@@ -1,0 +1,49 @@
+// Ablation A3 — crossbar preference definition.
+//
+// The paper's CP formula is typeset corruptly; its two monotonicity
+// criteria pin it to CP = (m/s)*u = m^2/s^3 (our default). This sweep
+// compares the paper definition against pure utilization (u) and
+// connections-per-row (m/s) as the ISC ranking criterion.
+#include <cstdio>
+
+#include "autoncs/pipeline.hpp"
+#include "common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace autoncs;
+  bench::banner("Ablation A3: crossbar preference definition");
+
+  const auto tb = nn::build_testbench(2);
+  struct Kind {
+    const char* name;
+    clustering::PreferenceKind kind;
+  };
+  const Kind kinds[] = {
+      {"(m/s)*u = m^2/s^3 (paper)", clustering::PreferenceKind::kPaper},
+      {"u = m/s^2", clustering::PreferenceKind::kUtilization},
+      {"m/s", clustering::PreferenceKind::kConnectionsPerRow},
+  };
+
+  util::ConsoleTable table({"CP definition", "iterations", "crossbars",
+                            "avg utilization", "outliers"});
+  util::CsvWriter csv(bench::output_path("ablation_cp_definition.csv"),
+                      {"definition", "iterations", "crossbars",
+                       "avg_utilization", "outlier_ratio"});
+  for (const auto& kind : kinds) {
+    FlowConfig config = bench::default_config();
+    config.isc.preference = kind.kind;
+    const auto isc = run_isc(tb.topology, config);
+    table.add_row({kind.name, std::to_string(isc.iterations.size()),
+                   std::to_string(isc.crossbars.size()),
+                   util::fmt_percent(isc.average_utilization()),
+                   util::fmt_percent(isc.outlier_ratio())});
+    csv.row({kind.name, std::to_string(isc.iterations.size()),
+             std::to_string(isc.crossbars.size()),
+             util::fmt_double(isc.average_utilization(), 4),
+             util::fmt_double(isc.outlier_ratio(), 4)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation A7 — ISC vs a greedy agglomerative mapper.
+//
+// How much of AutoNCS's win comes from the spectral machinery? This bench
+// replaces the ISC front end with a one-pass efficiency-greedy
+// agglomerative mapper (no eigensolves, no k-means, no iteration) and
+// runs both mappings through the same physical back end.
+#include <cstdio>
+
+#include "autoncs/pipeline.hpp"
+#include "clustering/agglomerative.hpp"
+#include "common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace autoncs;
+  bench::banner("Ablation A7: ISC vs greedy agglomerative mapper");
+
+  util::ConsoleTable table({"testbench", "mapper", "time (ms)", "crossbars",
+                            "synapses", "avg u", "L (um)", "A (um^2)"});
+  util::CsvWriter csv(bench::output_path("ablation_mapper.csv"),
+                      {"testbench", "mapper", "ms", "crossbars", "synapses",
+                       "avg_utilization", "wirelength", "area"});
+  const FlowConfig config = bench::default_config();
+  for (int id = 1; id <= 1; ++id) {  // TB1 only: agglomerative synapse-heavy netlists place slowly
+    const auto tb = nn::build_testbench(id);
+
+    util::WallTimer isc_timer;
+    const auto isc = run_isc(tb.topology, config);
+    const double isc_ms = isc_timer.elapsed_ms();
+    const auto isc_mapping = mapping::mapping_from_isc(isc, tb.topology.size());
+    const auto isc_flow = run_physical_design(isc_mapping, config);
+
+    util::WallTimer agg_timer;
+    clustering::AgglomerativeOptions agg_options;
+    agg_options.crossbar_sizes = config.isc.crossbar_sizes;
+    agg_options.utilization_threshold = 0.05;
+    const auto agg = clustering::agglomerative_clustering(tb.topology, agg_options);
+    const double agg_ms = agg_timer.elapsed_ms();
+    const auto agg_mapping = mapping::mapping_from_isc(agg, tb.topology.size());
+    const std::string error = mapping::validate_mapping(agg_mapping, tb.topology);
+    if (!error.empty()) {
+      std::printf("agglomerative mapping invalid: %s\n", error.c_str());
+      return 1;
+    }
+    const auto agg_flow = run_physical_design(agg_mapping, config);
+
+    const auto add = [&](const char* name, double ms,
+                         const mapping::HybridMapping& m, const FlowResult& f) {
+      table.add_row({std::to_string(id), name, util::fmt_double(ms, 0),
+                     std::to_string(m.crossbars.size()),
+                     std::to_string(m.discrete_synapses.size()),
+                     util::fmt_percent(m.average_utilization()),
+                     util::fmt_double(f.cost.total_wirelength_um, 0),
+                     util::fmt_double(f.cost.area_um2, 0)});
+      csv.row({std::to_string(id), name, util::fmt_double(ms, 2),
+               std::to_string(m.crossbars.size()),
+               std::to_string(m.discrete_synapses.size()),
+               util::fmt_double(m.average_utilization(), 4),
+               util::fmt_double(f.cost.total_wirelength_um, 1),
+               util::fmt_double(f.cost.area_um2, 1)});
+    };
+    add("ISC (paper)", isc_ms, isc_mapping, isc_flow);
+    add("agglomerative", agg_ms, agg_mapping, agg_flow);
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

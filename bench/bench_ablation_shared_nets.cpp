@@ -1,0 +1,50 @@
+// Ablation A8 — shared output nets + MST decomposition (extension).
+//
+// The paper's physical model implicitly gives every (neuron, device) pair
+// its own wire. Electrically, a neuron has ONE output driver whose net
+// branches to all its sinks; modelling that as a multi-pin net routed
+// along a spanning tree shares trunks and shortens the layout. This bench
+// quantifies the difference on testbench 1's AutoNCS mapping.
+#include <cstdio>
+
+#include "autoncs/pipeline.hpp"
+#include "common.hpp"
+#include "netlist/builder.hpp"
+#include "place/placer.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace autoncs;
+  bench::banner("Ablation A8: per-device wires vs shared output nets");
+
+  const auto tb = nn::build_testbench(1);
+  const FlowConfig config = bench::default_config();
+  const auto isc = run_isc(tb.topology, config);
+  const auto mapping = mapping::mapping_from_isc(isc, tb.topology.size());
+
+  util::ConsoleTable table({"wiring model", "wires", "routed L (um)",
+                            "T (ns)", "peak congestion"});
+  util::CsvWriter csv(bench::output_path("ablation_shared_nets.csv"),
+                      {"model", "wires", "wirelength", "delay", "peak"});
+  for (const bool shared : {false, true}) {
+    netlist::BuilderOptions builder;
+    builder.share_output_nets = shared;
+    auto net = netlist::build_netlist(mapping, config.tech, builder);
+    place::PlacerOptions placer = config.placer;
+    placer.seed = config.seed;
+    place::place(net, placer);
+    const auto routing = route::route(net, config.router, config.tech);
+    const char* name = shared ? "shared output nets (MST)" : "per-device (paper)";
+    table.add_row({name, std::to_string(net.wires.size()),
+                   util::fmt_double(routing.total_wirelength_um, 0),
+                   util::fmt_double(routing.average_delay_ns, 3),
+                   util::fmt_double(routing.peak_congestion, 2)});
+    csv.row({name, std::to_string(net.wires.size()),
+             util::fmt_double(routing.total_wirelength_um, 1),
+             util::fmt_double(routing.average_delay_ns, 4),
+             util::fmt_double(routing.peak_congestion, 3)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation A2 — crossbar size library.
+//
+// The paper's library is 16..64 step 4. This sweep compares size sets on
+// testbench 2 through the full physical flow: a 64-only library degrades
+// toward FullCro behaviour, finer/smaller libraries trade crossbar count
+// against utilization and physical cost.
+#include <cstdio>
+#include <numeric>
+
+#include "autoncs/pipeline.hpp"
+#include "common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace autoncs;
+  bench::banner("Ablation A2: crossbar size library");
+
+  const auto tb = nn::build_testbench(2);
+  struct SetSpec {
+    const char* name;
+    std::vector<std::size_t> sizes;
+  };
+  std::vector<std::size_t> paper_sizes;
+  for (std::size_t s = 16; s <= 64; s += 4) paper_sizes.push_back(s);
+  std::vector<std::size_t> fine_sizes;
+  for (std::size_t s = 8; s <= 64; s += 4) fine_sizes.push_back(s);
+  const std::vector<SetSpec> sets = {
+      {"{64}", {64}},
+      {"{32..64 step 8}", {32, 40, 48, 56, 64}},
+      {"{16..64 step 4} (paper)", paper_sizes},
+      {"{8..64 step 4}", fine_sizes},
+  };
+
+  util::ConsoleTable table({"size set", "crossbars", "synapses",
+                            "avg utilization", "L (um)", "A (um^2)", "T (ns)"});
+  util::CsvWriter csv(bench::output_path("ablation_size_set.csv"),
+                      {"set", "crossbars", "synapses", "avg_utilization",
+                       "wirelength_um", "area_um2", "delay_ns"});
+  for (const auto& set : sets) {
+    FlowConfig config = bench::default_config();
+    config.isc.crossbar_sizes = set.sizes;
+    const auto result = run_autoncs(tb.topology, config);
+    table.add_row({set.name, std::to_string(result.mapping.crossbars.size()),
+                   std::to_string(result.mapping.discrete_synapses.size()),
+                   util::fmt_percent(result.mapping.average_utilization()),
+                   util::fmt_double(result.cost.total_wirelength_um, 0),
+                   util::fmt_double(result.cost.area_um2, 0),
+                   util::fmt_double(result.cost.average_delay_ns, 3)});
+    csv.row({set.name, std::to_string(result.mapping.crossbars.size()),
+             std::to_string(result.mapping.discrete_synapses.size()),
+             util::fmt_double(result.mapping.average_utilization(), 4),
+             util::fmt_double(result.cost.total_wirelength_um, 2),
+             util::fmt_double(result.cost.area_um2, 2),
+             util::fmt_double(result.cost.average_delay_ns, 4)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Extension study — per-inference read energy, FullCro vs AutoNCS.
+//
+// The paper's cost function covers wirelength, area, and delay; energy is
+// the natural fourth axis for a neuromorphic accelerator. Both designs
+// program the same number of devices (the network's connections), so the
+// difference comes from row drivers (fewer, fuller rows after clustering)
+// and interconnect switching (shorter wires).
+#include <cstdio>
+
+#include "autoncs/energy.hpp"
+#include "autoncs/pipeline.hpp"
+#include "common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace autoncs;
+  bench::banner("Extension: per-inference read energy");
+
+  const FlowConfig config = bench::default_config();
+  util::ConsoleTable table({"testbench", "flow", "devices (fJ)", "drivers (fJ)",
+                            "synapses (fJ)", "wires (fJ)", "total (fJ)"});
+  util::CsvWriter csv(bench::output_path("ext_energy.csv"),
+                      {"testbench", "flow", "devices", "drivers", "synapses",
+                       "wires", "total"});
+  for (int id = 1; id <= 3; ++id) {
+    const auto tb = nn::build_testbench(id);
+    const auto ours = run_autoncs(tb.topology, config);
+    const auto baseline = run_fullcro(tb.topology, config);
+    double totals[2] = {0.0, 0.0};
+    int which = 0;
+    for (const auto* flow : {&ours, &baseline}) {
+      const auto report =
+          estimate_energy(flow->mapping, flow->routing, config.tech);
+      const char* name = which == 0 ? "AutoNCS" : "FullCro";
+      table.add_row({std::to_string(id), name,
+                     util::fmt_double(report.crossbar_device_fj, 0),
+                     util::fmt_double(report.row_driver_fj, 0),
+                     util::fmt_double(report.synapse_fj, 0),
+                     util::fmt_double(report.wire_fj, 0),
+                     util::fmt_double(report.total_fj(), 0)});
+      csv.row({std::to_string(id), name,
+               util::fmt_double(report.crossbar_device_fj, 1),
+               util::fmt_double(report.row_driver_fj, 1),
+               util::fmt_double(report.synapse_fj, 1),
+               util::fmt_double(report.wire_fj, 1),
+               util::fmt_double(report.total_fj(), 1)});
+      totals[which++] = report.total_fj();
+    }
+    std::printf("testbench %d energy reduction: %.1f%%\n", id,
+                100.0 * (totals[1] - totals[0]) / totals[1]);
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

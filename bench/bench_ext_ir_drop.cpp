@@ -1,0 +1,37 @@
+// Extension study — the IR-drop origin of the 64x64 crossbar limit.
+//
+// Sec. 2.1 cites [6] for "reliable memristor crossbars with a size no
+// larger than 64x64". This bench sweeps the crossbar size through the
+// resistive row-ladder model and prints the worst-case read error,
+// showing the reliability cliff that motivates the paper's size library.
+#include <cstdio>
+
+#include "common.hpp"
+#include "sim/ir_drop.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace autoncs;
+  bench::banner("Extension: IR-drop vs crossbar size (why the 64x64 limit)");
+
+  util::ConsoleTable table({"size", "worst read error (dense row)",
+                            "avg read error", "error at 50% utilization"});
+  util::CsvWriter csv(bench::output_path("ext_ir_drop.csv"),
+                      {"size", "worst_error", "avg_error", "half_util_error"});
+  for (std::size_t size : {8u, 16u, 24u, 32u, 48u, 64u, 96u, 128u, 192u, 256u}) {
+    const auto dense = sim::analyze_row_ir_drop(size, 1.0);
+    const auto half = sim::analyze_row_ir_drop(size, 0.5);
+    table.add_row({std::to_string(size),
+                   util::fmt_percent(dense.worst_relative_error),
+                   util::fmt_percent(dense.average_relative_error),
+                   util::fmt_percent(half.worst_relative_error)});
+    csv.row_values({static_cast<double>(size), dense.worst_relative_error,
+                    dense.average_relative_error, half.worst_relative_error});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("largest size within a 10%% read-error budget: %zu "
+              "(the paper's limit is 64)\n",
+              sim::max_reliable_size(0.1));
+  return 0;
+}

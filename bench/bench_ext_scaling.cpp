@@ -1,0 +1,61 @@
+// Extension study — scalability with network size.
+//
+// Table 1's closing observation: "wirelength and area reductions increase
+// with the scale of NCS, which implies the scalability and adaptability of
+// AutoNCS to large-scale NCS. The delay keeps steady because it is
+// determined by the crossbar size distribution." This bench sweeps
+// testbench-style networks from N = 200 to N = 600 and reports the three
+// reductions per size.
+#include <cstdio>
+
+#include "autoncs/pipeline.hpp"
+#include "autoncs/report.hpp"
+#include "common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace autoncs;
+  bench::banner("Extension: reductions vs NCS scale");
+
+  util::ConsoleTable table({"N", "patterns", "L reduction", "A reduction",
+                            "T reduction", "AutoNCS T (ns)", "FullCro T (ns)",
+                            "time (s)"});
+  util::CsvWriter csv(bench::output_path("ext_scaling.csv"),
+                      {"n", "patterns", "wirelength_reduction",
+                       "area_reduction", "delay_reduction", "autoncs_delay",
+                       "fullcro_delay"});
+  const FlowConfig config = bench::default_config();
+  for (std::size_t n : {200u, 300u, 400u, 500u, 600u}) {
+    // Scale the stored-pattern count like the paper's testbenches
+    // (M roughly N / 20) and keep the ~94% sparsity regime.
+    nn::TestbenchSpec spec;
+    spec.id = static_cast<int>(n);
+    spec.pattern_count = n / 20;
+    spec.dimension = n;
+    spec.target_sparsity = 0.944;
+    const auto tb = nn::build_testbench(spec, 2015 + n);
+
+    util::WallTimer timer;
+    const auto ours = run_autoncs(tb.topology, config);
+    const auto baseline = run_fullcro(tb.topology, config);
+    const auto cmp = compare_costs(ours, baseline);
+    table.add_row({std::to_string(n), std::to_string(spec.pattern_count),
+                   util::fmt_percent(cmp.wirelength_reduction()),
+                   util::fmt_percent(cmp.area_reduction()),
+                   util::fmt_percent(cmp.delay_reduction()),
+                   util::fmt_double(cmp.autoncs.average_delay_ns, 2),
+                   util::fmt_double(cmp.fullcro.average_delay_ns, 2),
+                   util::fmt_double(timer.elapsed_s(), 1)});
+    csv.row_values({static_cast<double>(n),
+                    static_cast<double>(spec.pattern_count),
+                    cmp.wirelength_reduction(), cmp.area_reduction(),
+                    cmp.delay_reduction(), cmp.autoncs.average_delay_ns,
+                    cmp.fullcro.average_delay_ns});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("expected shape: area reduction grows with N; FullCro delay "
+              "flat (crossbar-size dominated).\n");
+  return 0;
+}

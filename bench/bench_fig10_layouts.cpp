@@ -1,0 +1,59 @@
+// Figure 10 — placement and routing of testbench 3.
+//
+// Panels (a)/(c): the placed layouts of FullCro and AutoNCS (crossbars as
+// bright squares of different sizes); (b)/(d): the routed wire congestion
+// maps. In FullCro, uniformly placed maximum-size crossbars concentrate
+// congestion in the die center; AutoNCS places the large crossbars toward
+// the periphery, with small crossbars and discrete synapses inside.
+#include <cstdio>
+
+#include "autoncs/pipeline.hpp"
+#include "autoncs/export.hpp"
+#include "autoncs/report.hpp"
+#include "common.hpp"
+#include "util/heatmap.hpp"
+
+int main() {
+  using namespace autoncs;
+  bench::banner("Figure 10: placement & routing, testbench 3");
+
+  const auto tb = nn::build_testbench(3);
+  const FlowConfig config = bench::default_config();
+
+  const auto baseline = run_fullcro(tb.topology, config);
+  std::printf("%s\n", summarize_flow(baseline, "FullCro").c_str());
+  std::printf("(a) FullCro layout (die %.0f x %.0f um):\n%s",
+              baseline.placement.die.width(), baseline.placement.die.height(),
+              util::render_ascii(layout_field(baseline.netlist, 2.0), 26, 52)
+                  .c_str());
+  const auto base_congestion = baseline.routing.grid.congestion_field();
+  std::printf("(b) FullCro congestion (peak %.2f, overflow %.0f):\n%s",
+              baseline.routing.peak_congestion, baseline.routing.total_overflow,
+              util::render_ascii(base_congestion, 26, 52).c_str());
+
+  const auto ours = run_autoncs(tb.topology, config);
+  std::printf("%s\n", summarize_flow(ours, "AutoNCS").c_str());
+  std::printf("(c) AutoNCS layout (die %.0f x %.0f um):\n%s",
+              ours.placement.die.width(), ours.placement.die.height(),
+              util::render_ascii(layout_field(ours.netlist, 2.0), 26, 52)
+                  .c_str());
+  const auto ours_congestion = ours.routing.grid.congestion_field();
+  std::printf("(d) AutoNCS congestion (peak %.2f, overflow %.0f):\n%s",
+              ours.routing.peak_congestion, ours.routing.total_overflow,
+              util::render_ascii(ours_congestion, 26, 52).c_str());
+
+  write_layout_svg(baseline.netlist,
+                   bench::output_path("fig10a_fullcro_layout.svg"));
+  write_layout_svg(ours.netlist,
+                   bench::output_path("fig10c_autoncs_layout.svg"));
+  util::write_pgm(layout_field(baseline.netlist, 1.0),
+                  bench::output_path("fig10a_fullcro_layout.pgm"));
+  util::write_pgm(base_congestion,
+                  bench::output_path("fig10b_fullcro_congestion.pgm"));
+  util::write_pgm(layout_field(ours.netlist, 1.0),
+                  bench::output_path("fig10c_autoncs_layout.pgm"));
+  util::write_pgm(ours_congestion,
+                  bench::output_path("fig10d_autoncs_congestion.pgm"));
+  std::printf("artifacts: %s\n", bench::output_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Figure 4 — GCP vs the traversing algorithm.
+//
+// Both must cap every cluster at the 64x64 crossbar limit; the paper
+// measures nearly identical clustering quality but ~2x runtime for
+// traversing (190 ms vs 106 ms on their machine). We reproduce the
+// comparison on the 400x400 network, sharing one spectral embedding so the
+// timing difference isolates the two size-limiting strategies.
+#include <cstdio>
+
+#include "clustering/gcp.hpp"
+#include "clustering/msc.hpp"
+#include "clustering/traversing.hpp"
+#include "common.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "nn/generators.hpp"
+
+namespace {
+
+struct Row {
+  std::string name;
+  double ms = 0;
+  std::size_t max_cluster = 0;
+  std::size_t clusters = 0;
+  std::size_t attempts = 0;
+  double outlier_ratio = 0;
+};
+
+/// Runs both size-limiting strategies on one network (active subnetwork,
+/// shared embedding) and returns their rows.
+std::pair<Row, Row> compare_on(const autoncs::nn::ConnectionMatrix& full,
+                               const std::string& tag) {
+  using namespace autoncs;
+  const auto view = bench::active_view(full);
+  const nn::ConnectionMatrix& network = view.compact;
+  const auto embedding = clustering::spectral_embedding(network);
+
+  Row gcp_row{"GCP / " + tag};
+  Row trav_row{"Traversing / " + tag};
+  {
+    util::Rng rng(2015);
+    util::WallTimer timer;
+    const auto result = clustering::gcp_from_embedding(embedding, 64, rng);
+    gcp_row.ms = timer.elapsed_ms();
+    gcp_row.max_cluster = result.clustering.largest_cluster();
+    gcp_row.clusters = result.clustering.cluster_count();
+    gcp_row.attempts = result.stats.outer_rounds;
+    gcp_row.outlier_ratio =
+        clustering::split_outliers(network, result.clustering).outlier_ratio();
+  }
+  {
+    util::Rng rng(2015);
+    util::WallTimer timer;
+    const auto result =
+        clustering::traversing_from_embedding(embedding, 64, rng);
+    trav_row.ms = timer.elapsed_ms();
+    trav_row.max_cluster = result.clustering.largest_cluster();
+    trav_row.clusters = result.clustering.cluster_count();
+    trav_row.attempts = result.stats.attempts;
+    trav_row.outlier_ratio =
+        clustering::split_outliers(network, result.clustering).outlier_ratio();
+  }
+  return {gcp_row, trav_row};
+}
+
+}  // namespace
+
+int main() {
+  using namespace autoncs;
+  bench::banner("Figure 4: GCP vs traversing (max cluster size 64)");
+
+  // (i) A block-structured 400-neuron network — the regime the paper's
+  // comparison describes: both methods succeed, traversing just pays for
+  // scanning k.
+  util::Rng net_rng(7);
+  nn::BlockSparseOptions blocks;
+  blocks.blocks = 10;
+  blocks.intra_density = 0.35;
+  blocks.inter_density = 0.01;
+  const auto block_net = nn::block_sparse(400, blocks, net_rng);
+  const auto [gcp_blocks, trav_blocks] = compare_on(block_net, "block net");
+
+  // (ii) The QR testbench network, whose ~90-neuron structurally
+  // equivalent clique defeats plain-MSC size capping: traversing must push
+  // k very high before the clique fragments, while GCP's explicit split
+  // handles it directly. This failure mode is exactly why GCP exists.
+  const auto [gcp_qr, trav_qr] = compare_on(bench::figure_network(), "QR net");
+
+  util::ConsoleTable table({"method / network", "time (ms)", "attempts",
+                            "max cluster", "clusters", "outlier ratio"});
+  util::CsvWriter csv(bench::output_path("fig4_gcp_vs_traversing.csv"),
+                      {"method", "ms", "attempts", "max_cluster", "clusters",
+                       "outliers"});
+  for (const Row& row : {gcp_blocks, trav_blocks, gcp_qr, trav_qr}) {
+    table.add_row({row.name, util::fmt_double(row.ms, 1),
+                   std::to_string(row.attempts),
+                   std::to_string(row.max_cluster),
+                   std::to_string(row.clusters),
+                   util::fmt_percent(row.outlier_ratio)});
+    csv.row({row.name, util::fmt_double(row.ms, 3),
+             std::to_string(row.attempts), std::to_string(row.max_cluster),
+             std::to_string(row.clusters),
+             util::fmt_double(row.outlier_ratio, 4)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("block net speedup (traversing / GCP): %.2fx (paper: ~1.8x)\n",
+              trav_blocks.ms / gcp_blocks.ms);
+  std::printf("QR net speedup: %.0fx — the structural clique makes plain\n"
+              "MSC scanning degenerate, which GCP's in-loop splitting avoids\n",
+              trav_qr.ms / gcp_qr.ms);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 6 — ISC iterations with the partial selection strategy.
+//
+// The paper renders the clustering state at iterations 1, 2, and 11 of ISC
+// on the 400x400 network: red (high-CP, realized) and yellow (kept) blocks,
+// with <5% outliers left at the end. We run the full ISC, print the
+// iteration-by-iteration trajectory, and render the remaining network at
+// the paper's three checkpoints.
+#include <cstdio>
+
+#include "autoncs/pipeline.hpp"
+#include "common.hpp"
+#include "util/csv.hpp"
+#include "util/heatmap.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace autoncs;
+  bench::banner("Figure 6: ISC iterations (partial selection, top 25% CP)");
+
+  const nn::ConnectionMatrix network = bench::figure_network();
+  const FlowConfig config = bench::default_config();
+  const auto isc = run_isc(network, config);
+
+  util::ConsoleTable table({"iteration", "clusters", "placed", "connections",
+                            "avg utilization", "outlier ratio"});
+  for (const auto& it : isc.iterations) {
+    table.add_row({std::to_string(it.iteration),
+                   std::to_string(it.clusters_formed),
+                   std::to_string(it.crossbars_placed),
+                   std::to_string(it.connections_realized),
+                   util::fmt_percent(it.average_utilization),
+                   util::fmt_percent(it.outlier_ratio)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("final: %zu crossbars, %zu discrete synapses, outliers %.1f%% "
+              "(paper: <5%% after 11 iterations)\n",
+              isc.crossbars.size(), isc.outliers.size(),
+              100.0 * isc.outlier_ratio());
+
+  // Remaining-network snapshots at iterations 1, 2, and the last.
+  nn::ConnectionMatrix remaining = network;
+  util::CsvWriter csv(bench::output_path("fig6_isc_iterations.csv"),
+                      {"iteration", "placed", "avg_utilization", "outlier_ratio"});
+  std::size_t next_crossbar = 0;
+  for (const auto& it : isc.iterations) {
+    while (next_crossbar < isc.crossbars.size() &&
+           isc.crossbars[next_crossbar].iteration == it.iteration) {
+      for (const auto& c : isc.crossbars[next_crossbar].connections)
+        remaining.remove(c.from, c.to);
+      ++next_crossbar;
+    }
+    csv.row_values({static_cast<double>(it.iteration),
+                    static_cast<double>(it.crossbars_placed),
+                    it.average_utilization, it.outlier_ratio});
+    if (it.iteration == 1 || it.iteration == 2 ||
+        it.iteration == isc.iterations.size()) {
+      std::printf("remaining network after iteration %zu:\n%s", it.iteration,
+                  util::render_ascii(remaining.to_field(), 24, 48).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the flow's computational
+// kernels: spectral embedding, k-means, GCP, maze routing, and the WA /
+// density evaluations that dominate placement. These quantify where the
+// runtime goes (the paper's only runtime claim is GCP vs traversing, which
+// bench_fig4 covers end to end).
+#include <benchmark/benchmark.h>
+
+#include "clustering/gcp.hpp"
+#include "clustering/msc.hpp"
+#include "linalg/kmeans.hpp"
+#include "nn/generators.hpp"
+#include "place/density.hpp"
+#include "place/wa_wirelength.hpp"
+#include "route/maze_router.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace autoncs;
+
+void BM_SpectralEmbedding(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  const auto net = nn::random_sparse(n, 0.1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clustering::spectral_embedding(net));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpectralEmbedding)->Arg(50)->Arg(100)->Arg(200)->Complexity();
+
+void BM_KMeans(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 8;
+  util::Rng rng(2);
+  linalg::Matrix points(n, k);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < k; ++j) points(i, j) = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    util::Rng seed_rng(3);
+    benchmark::DoNotOptimize(linalg::kmeans(points, k, seed_rng));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(100)->Arg(400)->Arg(1000);
+
+void BM_Gcp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4);
+  nn::BlockSparseOptions options;
+  options.blocks = n / 25;
+  const auto net = nn::block_sparse(n, options, rng);
+  for (auto _ : state) {
+    util::Rng seed_rng(5);
+    benchmark::DoNotOptimize(
+        clustering::greedy_cluster_size_prediction(net, 64, seed_rng));
+  }
+}
+BENCHMARK(BM_Gcp)->Arg(100)->Arg(200);
+
+void BM_MazeRoute(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  route::GridGraph grid(side, side, 1.0, 0.0, 0.0, 8.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        route::maze_route(grid, {0, 0}, {side - 1, side - 1}, {}));
+  }
+}
+BENCHMARK(BM_MazeRoute)->Arg(32)->Arg(64)->Arg(128);
+
+netlist::Netlist random_placed_netlist(std::size_t cells, std::size_t wires) {
+  util::Rng rng(6);
+  netlist::Netlist net;
+  for (std::size_t c = 0; c < cells; ++c) {
+    netlist::Cell cell;
+    cell.width = rng.uniform(0.5, 5.0);
+    cell.height = rng.uniform(0.5, 5.0);
+    cell.x = rng.uniform(-50.0, 50.0);
+    cell.y = rng.uniform(-50.0, 50.0);
+    net.cells.push_back(cell);
+  }
+  for (std::size_t w = 0; w < wires; ++w) {
+    const auto a = static_cast<std::size_t>(rng.next_below(cells));
+    auto b = static_cast<std::size_t>(rng.next_below(cells));
+    if (b == a) b = (b + 1) % cells;
+    net.wires.push_back({{a, b}, 1.0 + rng.uniform(), 0.0});
+  }
+  return net;
+}
+
+void BM_WaWirelengthGradient(benchmark::State& state) {
+  const auto net = random_placed_netlist(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) * 4);
+  const auto coords = place::pack_positions(net);
+  const place::WaModel model{2.0};
+  std::vector<double> gradient(coords.size());
+  for (auto _ : state) {
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    benchmark::DoNotOptimize(model.evaluate(net, coords, &gradient));
+  }
+}
+BENCHMARK(BM_WaWirelengthGradient)->Arg(200)->Arg(1000);
+
+void BM_DensityGradient(benchmark::State& state) {
+  const auto net = random_placed_netlist(
+      static_cast<std::size_t>(state.range(0)), 1);
+  const auto coords = place::pack_positions(net);
+  const place::DensityModel model{1.2, 16.0};
+  std::vector<double> gradient(coords.size());
+  for (auto _ : state) {
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    benchmark::DoNotOptimize(model.evaluate(net, coords, &gradient));
+  }
+}
+BENCHMARK(BM_DensityGradient)->Arg(200)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Table 1 — The Physical Design Cost Evaluation.
+//
+// For each of the three testbenches, run both flows (AutoNCS and the
+// FullCro baseline) through the full physical back end and report total
+// wirelength, placement area, and average wire delay, plus the per-bench
+// and average reductions. The paper's averages are 47.80% (wirelength),
+// 31.97% (area), and 47.18% (delay); our substrate is a reimplementation,
+// so the SHAPE (AutoNCS wins everywhere, delay roughly flat per flow) is
+// the reproduction target, not the absolute numbers.
+#include <cstdio>
+
+#include "autoncs/pipeline.hpp"
+#include "autoncs/report.hpp"
+#include "common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace autoncs;
+  bench::banner("Table 1: physical design cost, FullCro vs AutoNCS");
+
+  const FlowConfig config = bench::default_config();
+  util::ConsoleTable table({"testbench", "flow", "wirelength (um)",
+                            "area (um^2)", "delay (ns)"});
+  util::CsvWriter csv(bench::output_path("table1_cost.csv"),
+                      {"testbench", "flow", "wirelength_um", "area_um2",
+                       "delay_ns"});
+
+  double sum_l = 0.0;
+  double sum_a = 0.0;
+  double sum_t = 0.0;
+  for (int id = 1; id <= 3; ++id) {
+    const auto tb = nn::build_testbench(id);
+    util::WallTimer timer;
+    const auto ours = run_autoncs(tb.topology, config);
+    const auto baseline = run_fullcro(tb.topology, config);
+    const CostComparison cmp = compare_costs(ours, baseline);
+
+    table.add_row({std::to_string(id), "AutoNCS",
+                   util::fmt_double(cmp.autoncs.total_wirelength_um, 1),
+                   util::fmt_double(cmp.autoncs.area_um2, 2),
+                   util::fmt_double(cmp.autoncs.average_delay_ns, 2)});
+    table.add_row({"", "FullCro",
+                   util::fmt_double(cmp.fullcro.total_wirelength_um, 1),
+                   util::fmt_double(cmp.fullcro.area_um2, 2),
+                   util::fmt_double(cmp.fullcro.average_delay_ns, 2)});
+    table.add_row({"", "Reduc. (%)",
+                   util::fmt_percent(cmp.wirelength_reduction()),
+                   util::fmt_percent(cmp.area_reduction()),
+                   util::fmt_percent(cmp.delay_reduction())});
+    table.add_separator();
+
+    for (const auto* flow : {"AutoNCS", "FullCro"}) {
+      const auto& cost =
+          std::string(flow) == "AutoNCS" ? cmp.autoncs : cmp.fullcro;
+      csv.row({std::to_string(id), flow,
+               util::fmt_double(cost.total_wirelength_um, 2),
+               util::fmt_double(cost.area_um2, 2),
+               util::fmt_double(cost.average_delay_ns, 4)});
+    }
+    sum_l += cmp.wirelength_reduction();
+    sum_a += cmp.area_reduction();
+    sum_t += cmp.delay_reduction();
+    std::printf("testbench %d done in %.1f s\n", id, timer.elapsed_s());
+  }
+  table.add_row({"average", "Reduc. (%)", util::fmt_percent(sum_l / 3.0),
+                 util::fmt_percent(sum_a / 3.0), util::fmt_percent(sum_t / 3.0)});
+  std::printf("%s", table.render().c_str());
+  std::printf("paper's average reductions: wirelength 47.80%%, area 31.97%%, "
+              "delay 47.18%%\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "common.hpp"
+
+#include <filesystem>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::bench {
+
+std::string output_dir() {
+  static const std::string dir = [] {
+    std::string d = "bench_out";
+    std::error_code ec;
+    std::filesystem::create_directories(d, ec);
+    return d;
+  }();
+  return dir;
+}
+
+std::string output_path(const std::string& name) {
+  return output_dir() + "/" + name;
+}
+
+void banner(const std::string& title) {
+  std::printf("\n===== %s =====\n", title.c_str());
+}
+
+nn::ConnectionMatrix figure_network() {
+  // Testbench 2's topology with the neuron order scrambled: the flow is
+  // permutation-invariant, but the paper's Fig. 3(a) shows connections
+  // scattered over the whole matrix — the clustering has to REDISCOVER the
+  // blocks, and the index order must not give them away.
+  const nn::ConnectionMatrix base = nn::build_testbench(2).topology;
+  util::Rng rng(424242);
+  std::vector<std::size_t> position(base.size());
+  for (std::size_t i = 0; i < position.size(); ++i) position[i] = i;
+  rng.shuffle(std::span<std::size_t>(position));
+  nn::ConnectionMatrix scrambled(base.size());
+  for (const auto& c : base.connections())
+    scrambled.add(position[c.from], position[c.to]);
+  return scrambled;
+}
+
+FlowConfig default_config() { return FlowConfig{}; }
+
+ActiveView active_view(const nn::ConnectionMatrix& network) {
+  ActiveView view;
+  view.original_index = network.active_neurons();
+  view.compact = network.submatrix(view.original_index);
+  return view;
+}
+
+nn::ConnectionMatrix permute_by_clusters(
+    const nn::ConnectionMatrix& network,
+    const std::vector<std::vector<std::size_t>>& clusters) {
+  const std::size_t n = network.size();
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> placed(n, false);
+  for (const auto& cluster : clusters) {
+    for (std::size_t v : cluster) {
+      AUTONCS_CHECK(v < n && !placed[v], "clusters must partition the network");
+      order.push_back(v);
+      placed[v] = true;
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v)
+    if (!placed[v]) order.push_back(v);
+
+  std::vector<std::size_t> position(n);
+  for (std::size_t p = 0; p < n; ++p) position[order[p]] = p;
+
+  nn::ConnectionMatrix permuted(n);
+  for (const auto& c : network.connections())
+    permuted.add(position[c.from], position[c.to]);
+  return permuted;
+}
+
+}  // namespace autoncs::bench

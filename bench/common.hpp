@@ -1,0 +1,49 @@
+// Shared helpers for the benchmark harness. Every bench binary reproduces
+// one table or figure of the paper (see DESIGN.md's experiments index),
+// prints the series/rows on stdout, and drops CSVs next to the binary for
+// external plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "autoncs/config.hpp"
+#include "nn/connection_matrix.hpp"
+#include "nn/testbench.hpp"
+
+namespace autoncs::bench {
+
+/// Directory for CSV artifacts (created on demand); defaults to
+/// "bench_out" under the current working directory.
+std::string output_dir();
+
+/// output_dir() + "/" + name.
+std::string output_path(const std::string& name);
+
+/// Prints a section header.
+void banner(const std::string& title);
+
+/// The 400x400 network used by the paper's Figures 3-6 ("a real 400x400
+/// neural network") — testbench 2's topology, neuron order scrambled.
+nn::ConnectionMatrix figure_network();
+
+/// Active subnetwork of `network` plus the original index of each compact
+/// node. Spectral clustering must run on this (isolated neurons flood the
+/// Laplacian null space — see DESIGN.md).
+struct ActiveView {
+  nn::ConnectionMatrix compact;
+  std::vector<std::size_t> original_index;
+};
+ActiveView active_view(const nn::ConnectionMatrix& network);
+
+/// Default flow configuration used across benches (paper parameters).
+FlowConfig default_config();
+
+/// Permutes a connection matrix so the given clusters occupy contiguous
+/// index ranges — the paper's Figures 3-6 render clustered matrices this
+/// way (clusters as blocks along the diagonal).
+nn::ConnectionMatrix permute_by_clusters(
+    const nn::ConnectionMatrix& network,
+    const std::vector<std::vector<std::size_t>>& clusters);
+
+}  // namespace autoncs::bench

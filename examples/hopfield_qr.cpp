@@ -1,0 +1,87 @@
+// Example: building and mapping a QR-code associative memory.
+//
+// Walks the full story of the paper's testbenches:
+//   1. generate random QR-code-like patterns,
+//   2. store them in a Hopfield network (Hebbian learning),
+//   3. sparsify to ~94% while keeping recognition above 90%,
+//   4. run AutoNCS to map the surviving synapses onto memristor crossbars
+//      and discrete synapses,
+//   5. demonstrate recall on a noisy code.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "autoncs/pipeline.hpp"
+#include "autoncs/report.hpp"
+#include "nn/hopfield.hpp"
+#include "nn/qr_pattern.hpp"
+#include "util/heatmap.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+/// Renders a pattern as its QR module grid.
+void print_pattern(const autoncs::nn::Pattern& pattern, const char* title) {
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(pattern.size()))));
+  std::printf("%s\n", title);
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      const std::size_t i = r * side + c;
+      std::printf("%s", i < pattern.size() ? (pattern[i] > 0 ? "##" : "  ")
+                                           : "  ");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace autoncs;
+
+  // 1-2: patterns and Hebbian training (a small instance of testbench 1).
+  util::Rng rng(2015);
+  nn::QrPatternOptions pattern_options;
+  pattern_options.dimension = 300;
+  const auto patterns = nn::generate_qr_patterns(15, pattern_options, rng);
+  auto network = nn::HopfieldNetwork::train(patterns);
+  std::printf("trained Hopfield network: %zu neurons, dense sparsity %.1f%%\n",
+              network.size(), 100.0 * network.sparsity());
+
+  // 3: sparsify and verify recognition.
+  network.prune_to_sparsity(0.9447);
+  const auto topology = network.topology();
+  util::Rng eval_rng(99);
+  const auto report = network.evaluate_recognition(patterns, 0.05, 5, eval_rng);
+  std::printf("after pruning: sparsity %.2f%%, recognition rate %.1f%% "
+              "(paper requires >90%%)\n",
+              100.0 * topology.sparsity(), 100.0 * report.recognition_rate);
+
+  // 4: map to hardware.
+  FlowConfig config;
+  const FlowResult flow = run_autoncs(topology, config);
+  std::printf("%s\n", summarize_flow(flow, "AutoNCS").c_str());
+  std::printf("crossbars by ISC iteration:");
+  std::size_t last_iteration = 0;
+  for (const auto& xbar : flow.mapping.crossbars)
+    last_iteration = std::max(last_iteration, xbar.iteration);
+  for (std::size_t it = 1; it <= last_iteration; ++it) {
+    std::size_t count = 0;
+    for (const auto& xbar : flow.mapping.crossbars)
+      if (xbar.iteration == it) ++count;
+    std::printf(" %zu", count);
+  }
+  std::printf("\n");
+
+  // 5: recall demo.
+  util::Rng noise_rng(7);
+  const auto noisy = nn::corrupt_pattern(patterns[0], 0.08, noise_rng);
+  const auto recalled = network.recall(noisy);
+  print_pattern(patterns[0], "stored code:");
+  print_pattern(noisy, "noisy probe (8% flipped):");
+  print_pattern(recalled, "recalled:");
+  std::printf("overlap with the stored code: %.3f\n",
+              nn::pattern_overlap(recalled, patterns[0]));
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Example: mapping an LDPC message-passing network.
+//
+// Sec. 2.2 of the paper motivates AutoNCS with the IEEE 802.11 LDPC
+// decoder: its Tanner graph is >99% sparse, so full crossbars waste almost
+// all their memristors. This example builds an LDPC-style bipartite
+// network, maps it with both flows, and shows why the hybrid design wins
+// on extremely sparse topologies.
+#include <cstdio>
+
+#include "autoncs/pipeline.hpp"
+#include "autoncs/report.hpp"
+#include "mapping/stats.hpp"
+#include "nn/generators.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace autoncs;
+
+  // A scaled-down 802.11-like code: 324 variable nodes, 162 checks,
+  // row weight 7 (the real (648, 324) code halved).
+  util::Rng rng(802);
+  nn::LdpcOptions ldpc;
+  ldpc.variable_nodes = 324;
+  ldpc.check_nodes = 162;
+  ldpc.row_weight = 7;
+  const auto network = nn::ldpc_like(ldpc, rng);
+  std::printf("LDPC network: %zu nodes (%zu variables + %zu checks), "
+              "%zu connections, sparsity %.2f%%\n",
+              network.size(), ldpc.variable_nodes, ldpc.check_nodes,
+              network.connection_count(), 100.0 * network.sparsity());
+
+  FlowConfig config;
+  config.seed = 802;
+  const auto ours = run_autoncs(network, config);
+  const auto baseline = run_fullcro(network, config);
+
+  const CostComparison cmp = compare_costs(ours, baseline);
+  util::ConsoleTable table({"metric", "AutoNCS", "FullCro", "reduction"});
+  table.add_row({"crossbars", std::to_string(ours.mapping.crossbars.size()),
+                 std::to_string(baseline.mapping.crossbars.size()), ""});
+  table.add_row({"discrete synapses",
+                 std::to_string(ours.mapping.discrete_synapses.size()),
+                 std::to_string(baseline.mapping.discrete_synapses.size()), ""});
+  table.add_row({"avg crossbar utilization",
+                 util::fmt_percent(ours.mapping.average_utilization()),
+                 util::fmt_percent(baseline.mapping.average_utilization()), ""});
+  table.add_row({"wirelength (um)",
+                 util::fmt_double(cmp.autoncs.total_wirelength_um, 0),
+                 util::fmt_double(cmp.fullcro.total_wirelength_um, 0),
+                 util::fmt_percent(cmp.wirelength_reduction())});
+  table.add_row({"area (um^2)", util::fmt_double(cmp.autoncs.area_um2, 0),
+                 util::fmt_double(cmp.fullcro.area_um2, 0),
+                 util::fmt_percent(cmp.area_reduction())});
+  table.add_row({"avg delay (ns)",
+                 util::fmt_double(cmp.autoncs.average_delay_ns, 3),
+                 util::fmt_double(cmp.fullcro.average_delay_ns, 3),
+                 util::fmt_percent(cmp.delay_reduction())});
+  std::printf("%s", table.render().c_str());
+
+  // The structural insight: on a >98% sparse Tanner graph even the
+  // best clusters are thin, so a large share of connections belongs on
+  // discrete synapses — the "hybrid" in hybrid NCS.
+  std::printf("connections on discrete synapses: %.1f%%\n",
+              100.0 * ours.mapping.outlier_ratio());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: the whole AutoNCS flow on a small sparse network, in ~40
+// lines of user code.
+//
+//   1. generate a sparse block-structured neural network,
+//   2. run the AutoNCS flow (ISC clustering -> hybrid mapping -> placement
+//      -> routing -> physical cost),
+//   3. run the FullCro brute-force baseline on the same network,
+//   4. print the cost comparison the paper's Table 1 reports.
+#include <cstdio>
+#include <string>
+
+#include "autoncs/pipeline.hpp"
+#include "autoncs/report.hpp"
+#include "nn/generators.hpp"
+#include "util/heatmap.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace autoncs;
+
+  // A 160-neuron network with 8 hidden communities — sparse overall, dense
+  // inside the communities, like the connectivity of a trained associative
+  // memory.
+  util::Rng rng(/*seed=*/7);
+  nn::BlockSparseOptions topology;
+  topology.blocks = 8;
+  topology.intra_density = 0.35;
+  topology.inter_density = 0.004;
+  const nn::ConnectionMatrix network = nn::block_sparse(160, topology, rng);
+  std::printf("network: %zu neurons, %zu connections, sparsity %.2f%%\n",
+              network.size(), network.connection_count(),
+              100.0 * network.sparsity());
+
+  FlowConfig config;
+  config.seed = 7;
+  const FlowResult ours = run_autoncs(network, config);
+  const FlowResult baseline = run_fullcro(network, config);
+
+  std::printf("%s\n", summarize_flow(ours, "AutoNCS").c_str());
+  std::printf("%s\n", summarize_flow(baseline, "FullCro").c_str());
+
+  const CostComparison cmp = compare_costs(ours, baseline);
+  util::ConsoleTable table({"metric", "AutoNCS", "FullCro", "reduction"});
+  table.add_row({"wirelength (um)", util::fmt_double(cmp.autoncs.total_wirelength_um, 1),
+                 util::fmt_double(cmp.fullcro.total_wirelength_um, 1),
+                 util::fmt_percent(cmp.wirelength_reduction())});
+  table.add_row({"area (um^2)", util::fmt_double(cmp.autoncs.area_um2, 1),
+                 util::fmt_double(cmp.fullcro.area_um2, 1),
+                 util::fmt_percent(cmp.area_reduction())});
+  table.add_row({"avg delay (ns)", util::fmt_double(cmp.autoncs.average_delay_ns, 3),
+                 util::fmt_double(cmp.fullcro.average_delay_ns, 3),
+                 util::fmt_percent(cmp.delay_reduction())});
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\nAutoNCS layout (crossbars '@', neurons ':', synapses '.')\n%s",
+              util::render_ascii(layout_field(ours.netlist, 1.0), 24, 60).c_str());
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Flow configuration: one struct bundling every stage's options, with the
+// paper's experimental defaults (crossbar sizes 16..64 step 4, alpha = beta
+// = delta = 1, ISC threshold tied to the FullCro baseline utilization).
+#pragma once
+
+#include <cstdint>
+
+#include "clustering/isc.hpp"
+#include "place/placer.hpp"
+#include "place/refine.hpp"
+#include "route/router.hpp"
+#include "tech/cost.hpp"
+#include "tech/tech_model.hpp"
+
+namespace autoncs {
+
+struct FlowConfig {
+  clustering::IscOptions isc{};
+  /// When true (default), isc.utilization_threshold is replaced by the
+  /// average crossbar utilization of the FullCro baseline on the same
+  /// network (Sec. 4.2's stopping rule).
+  bool derive_threshold_from_baseline = true;
+  /// Crossbar size of the FullCro baseline (the maximum available size).
+  std::size_t baseline_crossbar_size = 64;
+
+  place::PlacerOptions placer{};
+  /// Extension (ablation A9): run the greedy detailed-placement refinement
+  /// (swap/relocate) between legalization and routing. Never worsens the
+  /// weighted HPWL; off by default to keep the paper's flow.
+  bool refine_placement = false;
+  route::RouterOptions router{};
+  tech::TechnologyModel tech{};
+  tech::CostWeights cost_weights{};
+
+  /// Master seed for the flow's stochastic components.
+  std::uint64_t seed = 2015;
+};
+
+}  // namespace autoncs

@@ -1,0 +1,30 @@
+#include "autoncs/energy.hpp"
+
+#include <unordered_set>
+
+namespace autoncs {
+
+EnergyReport estimate_energy(const mapping::HybridMapping& mapping,
+                             const route::RoutingResult& routing,
+                             const tech::TechnologyModel& tech,
+                             const tech::EnergyModel& model) {
+  EnergyReport report;
+  const double device_fj = model.device_read_energy_fj();
+  for (const auto& xbar : mapping.crossbars) {
+    report.crossbar_device_fj +=
+        device_fj * static_cast<double>(xbar.connections.size());
+    std::unordered_set<std::size_t> used_rows;
+    for (const auto& c : xbar.connections) used_rows.insert(c.from);
+    report.row_driver_fj +=
+        model.row_driver_energy_fj * static_cast<double>(used_rows.size());
+  }
+  report.synapse_fj =
+      device_fj * static_cast<double>(mapping.discrete_synapses.size());
+  for (const auto& wire : routing.wires) {
+    report.wire_fj += model.wire_switching_energy_fj(
+        wire.length_um, tech.wire_capacitance_ff_per_um);
+  }
+  return report;
+}
+
+}  // namespace autoncs

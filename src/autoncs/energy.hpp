@@ -1,0 +1,29 @@
+// Per-inference energy estimate of a mapped, routed design (extension).
+#pragma once
+
+#include "mapping/hybrid_mapping.hpp"
+#include "route/router.hpp"
+#include "tech/energy.hpp"
+#include "tech/tech_model.hpp"
+
+namespace autoncs {
+
+struct EnergyReport {
+  double crossbar_device_fj = 0.0;  // programmed memristors conducting
+  double row_driver_fj = 0.0;       // one firing per used crossbar row
+  double synapse_fj = 0.0;          // discrete synapse devices
+  double wire_fj = 0.0;             // interconnect switching
+
+  double total_fj() const {
+    return crossbar_device_fj + row_driver_fj + synapse_fj + wire_fj;
+  }
+};
+
+/// Energy of one full inference through the mapped design, using the
+/// routing result's wire lengths for the interconnect term.
+EnergyReport estimate_energy(const mapping::HybridMapping& mapping,
+                             const route::RoutingResult& routing,
+                             const tech::TechnologyModel& tech,
+                             const tech::EnergyModel& model = {});
+
+}  // namespace autoncs

@@ -1,0 +1,75 @@
+#include "autoncs/export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace autoncs {
+
+std::string layout_svg(const netlist::Netlist& netlist, const SvgOptions& options) {
+  AUTONCS_CHECK(options.scale > 0.0, "scale must be positive");
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -min_x;
+  double min_y = min_x;
+  double max_y = -min_x;
+  for (const auto& cell : netlist.cells) {
+    min_x = std::min(min_x, cell.x - cell.half_width());
+    max_x = std::max(max_x, cell.x + cell.half_width());
+    min_y = std::min(min_y, cell.y - cell.half_height());
+    max_y = std::max(max_y, cell.y + cell.half_height());
+  }
+  if (netlist.cells.empty()) {
+    min_x = min_y = 0.0;
+    max_x = max_y = 1.0;
+  }
+  min_x -= options.margin_um;
+  min_y -= options.margin_um;
+  max_x += options.margin_um;
+  max_y += options.margin_um;
+
+  const double width = (max_x - min_x) * options.scale;
+  const double height = (max_y - min_y) * options.scale;
+  // SVG y grows downward; flip so the layout's +y is up.
+  const auto sx = [&](double x) { return (x - min_x) * options.scale; };
+  const auto sy = [&](double y) { return (max_y - y) * options.scale; };
+
+  std::ostringstream svg;
+  svg << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << ' '
+      << height << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"" << options.background
+      << "\"/>\n";
+  // Draw big cells first so small ones stay visible.
+  std::vector<std::size_t> order(netlist.cells.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return netlist.cells[a].area() > netlist.cells[b].area();
+  });
+  for (std::size_t index : order) {
+    const auto& cell = netlist.cells[index];
+    const std::string* fill = &options.neuron_fill;
+    if (cell.kind == netlist::CellKind::kCrossbar) fill = &options.crossbar_fill;
+    if (cell.kind == netlist::CellKind::kSynapse) fill = &options.synapse_fill;
+    svg << "<rect x=\"" << sx(cell.x - cell.half_width()) << "\" y=\""
+        << sy(cell.y + cell.half_height()) << "\" width=\""
+        << cell.width * options.scale << "\" height=\""
+        << cell.height * options.scale << "\" fill=\"" << *fill
+        << "\" stroke=\"#333333\" stroke-width=\"0.5\"/>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+bool write_layout_svg(const netlist::Netlist& netlist, const std::string& path,
+                      const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << layout_svg(netlist, options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace autoncs

@@ -1,0 +1,31 @@
+// SVG export of placed layouts — the publication-quality counterpart of
+// the ASCII renders (Fig. 10 style): crossbars, neurons, and discrete
+// synapses as colored rectangles at their placed positions.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace autoncs {
+
+struct SvgOptions {
+  /// Pixels per micrometre.
+  double scale = 4.0;
+  /// Margin around the layout (um).
+  double margin_um = 5.0;
+  std::string crossbar_fill = "#2f6db3";
+  std::string neuron_fill = "#4caf50";
+  std::string synapse_fill = "#e08030";
+  std::string background = "#ffffff";
+};
+
+/// Renders the placed netlist to an SVG string.
+std::string layout_svg(const netlist::Netlist& netlist,
+                       const SvgOptions& options = {});
+
+/// Writes layout_svg() to a file; returns false on I/O failure.
+bool write_layout_svg(const netlist::Netlist& netlist, const std::string& path,
+                      const SvgOptions& options = {});
+
+}  // namespace autoncs

@@ -1,0 +1,79 @@
+#include "autoncs/pipeline.hpp"
+
+#include "mapping/fullcro.hpp"
+#include "netlist/builder.hpp"
+#include "place/refine.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs {
+
+FlowResult run_physical_design(mapping::HybridMapping mapping,
+                               const FlowConfig& config) {
+  FlowResult result;
+  result.mapping = std::move(mapping);
+  result.netlist = netlist::build_netlist(result.mapping, config.tech);
+
+  place::PlacerOptions placer = config.placer;
+  placer.seed = config.seed;
+  // Keep the legalizer's notion of routing space in sync with the placer.
+  placer.legalizer.omega = placer.omega;
+  result.placement = place::place(result.netlist, placer);
+
+  if (config.refine_placement) {
+    place::RefineOptions refine;
+    refine.omega = placer.omega;
+    place::refine_placement(result.netlist, refine);
+    // The die box may have tightened; re-derive the area from the refined
+    // positions.
+    result.placement.die =
+        place::placement_bounding_box(result.netlist, placer.omega);
+    result.placement.area_um2 = result.placement.die.area();
+  }
+
+  result.routing = route::route(result.netlist, config.router, config.tech);
+
+  result.cost.total_wirelength_um = result.routing.total_wirelength_um;
+  result.cost.area_um2 = result.placement.area_um2;
+  result.cost.average_delay_ns = result.routing.average_delay_ns;
+  return result;
+}
+
+clustering::IscResult run_isc(const nn::ConnectionMatrix& network,
+                              const FlowConfig& config) {
+  clustering::IscOptions isc = config.isc;
+  if (config.derive_threshold_from_baseline) {
+    isc.utilization_threshold = mapping::fullcro_utilization_threshold(
+        network, {config.baseline_crossbar_size, true});
+    util::LogLine(util::LogLevel::kInfo, "flow")
+        << "ISC threshold t = baseline utilization = "
+        << isc.utilization_threshold;
+  }
+  util::Rng rng(config.seed);
+  return clustering::iterative_spectral_clustering(network, isc, rng);
+}
+
+FlowResult run_autoncs(const nn::ConnectionMatrix& network,
+                       const FlowConfig& config) {
+  clustering::IscResult isc = run_isc(network, config);
+  mapping::HybridMapping hybrid =
+      mapping::mapping_from_isc(isc, network.size());
+  const std::string error = mapping::validate_mapping(hybrid, network);
+  AUTONCS_CHECK(error.empty(), "AutoNCS mapping invalid: " + error);
+
+  FlowResult result = run_physical_design(std::move(hybrid), config);
+  result.isc = std::move(isc);
+  return result;
+}
+
+FlowResult run_fullcro(const nn::ConnectionMatrix& network,
+                       const FlowConfig& config) {
+  mapping::HybridMapping baseline = mapping::fullcro_mapping(
+      network, {config.baseline_crossbar_size, true});
+  const std::string error = mapping::validate_mapping(baseline, network);
+  AUTONCS_CHECK(error.empty(), "FullCro mapping invalid: " + error);
+  return run_physical_design(std::move(baseline), config);
+}
+
+}  // namespace autoncs

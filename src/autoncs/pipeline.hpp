@@ -1,0 +1,52 @@
+// End-to-end AutoNCS flow (Fig. 2 of the paper):
+//   network -> ISC (MSC + GCP, partial selection) -> hybrid mapping
+//           -> netlist -> analytical placement -> maze routing
+//           -> physical cost (Eq. 3),
+// plus the FullCro brute-force baseline flow that shares the physical
+// back end.
+#pragma once
+
+#include <optional>
+
+#include "autoncs/config.hpp"
+#include "clustering/isc.hpp"
+#include "mapping/hybrid_mapping.hpp"
+#include "netlist/netlist.hpp"
+#include "nn/connection_matrix.hpp"
+#include "place/placer.hpp"
+#include "route/router.hpp"
+#include "tech/cost.hpp"
+
+namespace autoncs {
+
+struct FlowResult {
+  mapping::HybridMapping mapping;
+  /// Clustering telemetry; absent for the FullCro baseline.
+  std::optional<clustering::IscResult> isc;
+  /// Placed netlist (cell coordinates are final).
+  netlist::Netlist netlist;
+  place::PlacementReport placement;
+  route::RoutingResult routing;
+  tech::PhysicalCost cost;
+};
+
+/// Runs the physical back end (netlist build, place, route, cost) on an
+/// existing mapping. Shared by both flows.
+FlowResult run_physical_design(mapping::HybridMapping mapping,
+                               const FlowConfig& config);
+
+/// Full AutoNCS flow on `network`. Throws CheckError if the produced
+/// mapping fails validation against the network (internal invariant).
+FlowResult run_autoncs(const nn::ConnectionMatrix& network,
+                       const FlowConfig& config = {});
+
+/// FullCro baseline: maximum-size crossbars only, same back end.
+FlowResult run_fullcro(const nn::ConnectionMatrix& network,
+                       const FlowConfig& config = {});
+
+/// Clustering front end only (no physical design) — used by the figure
+/// benches that analyze ISC behaviour.
+clustering::IscResult run_isc(const nn::ConnectionMatrix& network,
+                              const FlowConfig& config = {});
+
+}  // namespace autoncs

@@ -1,0 +1,83 @@
+#include "autoncs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace autoncs {
+
+double CostComparison::wirelength_reduction() const {
+  return tech::reduction(fullcro.total_wirelength_um, autoncs.total_wirelength_um);
+}
+
+double CostComparison::area_reduction() const {
+  return tech::reduction(fullcro.area_um2, autoncs.area_um2);
+}
+
+double CostComparison::delay_reduction() const {
+  return tech::reduction(fullcro.average_delay_ns, autoncs.average_delay_ns);
+}
+
+CostComparison compare_costs(const FlowResult& autoncs_result,
+                             const FlowResult& fullcro_result) {
+  return CostComparison{autoncs_result.cost, fullcro_result.cost};
+}
+
+util::Field2D layout_field(const netlist::Netlist& netlist, double resolution) {
+  AUTONCS_CHECK(resolution > 0.0, "resolution must be positive");
+  if (netlist.cells.empty()) return {};
+  double min_x = netlist.cells.front().x;
+  double max_x = min_x;
+  double min_y = netlist.cells.front().y;
+  double max_y = min_y;
+  for (const auto& cell : netlist.cells) {
+    min_x = std::min(min_x, cell.x - cell.half_width());
+    max_x = std::max(max_x, cell.x + cell.half_width());
+    min_y = std::min(min_y, cell.y - cell.half_height());
+    max_y = std::max(max_y, cell.y + cell.half_height());
+  }
+  const auto cols = static_cast<std::size_t>(
+      std::ceil((max_x - min_x) / resolution)) + 1;
+  const auto rows = static_cast<std::size_t>(
+      std::ceil((max_y - min_y) / resolution)) + 1;
+  util::Field2D field(rows, cols);
+  for (const auto& cell : netlist.cells) {
+    const auto c0 = static_cast<std::size_t>(
+        std::max(0.0, (cell.x - cell.half_width() - min_x) / resolution));
+    const auto c1 = static_cast<std::size_t>(
+        std::max(0.0, (cell.x + cell.half_width() - min_x) / resolution));
+    const auto r0 = static_cast<std::size_t>(
+        std::max(0.0, (cell.y - cell.half_height() - min_y) / resolution));
+    const auto r1 = static_cast<std::size_t>(
+        std::max(0.0, (cell.y + cell.half_height() - min_y) / resolution));
+    for (std::size_t r = r0; r <= r1 && r < rows; ++r) {
+      for (std::size_t c = c0; c <= c1 && c < cols; ++c) {
+        // Top of layout = row 0; crossbars render brightest.
+        const double value = cell.kind == netlist::CellKind::kCrossbar ? 1.0
+                             : cell.kind == netlist::CellKind::kNeuron ? 0.6
+                                                                       : 0.3;
+        field.at(rows - 1 - r, c) =
+            std::max(field.at(rows - 1 - r, c), value);
+      }
+    }
+  }
+  return field;
+}
+
+std::string summarize_flow(const FlowResult& result, const std::string& name) {
+  std::ostringstream oss;
+  oss << name << ": " << result.mapping.crossbars.size() << " crossbars, "
+      << result.mapping.discrete_synapses.size() << " discrete synapses, "
+      << "avg utilization "
+      << util::fmt_percent(result.mapping.average_utilization()) << "; "
+      << "L = " << util::fmt_double(result.cost.total_wirelength_um, 1)
+      << " um, A = " << util::fmt_double(result.cost.area_um2, 1)
+      << " um^2, T = " << util::fmt_double(result.cost.average_delay_ns, 3)
+      << " ns";
+  return oss.str();
+}
+
+}  // namespace autoncs

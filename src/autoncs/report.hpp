@@ -1,0 +1,32 @@
+// Reporting helpers: cost comparisons (Table 1 rows) and layout/congestion
+// rendering (Fig. 10 panels) for console output.
+#pragma once
+
+#include <string>
+
+#include "autoncs/pipeline.hpp"
+#include "util/heatmap.hpp"
+
+namespace autoncs {
+
+struct CostComparison {
+  tech::PhysicalCost autoncs;
+  tech::PhysicalCost fullcro;
+
+  double wirelength_reduction() const;
+  double area_reduction() const;
+  double delay_reduction() const;
+};
+
+CostComparison compare_costs(const FlowResult& autoncs_result,
+                             const FlowResult& fullcro_result);
+
+/// Rasterizes the placed cells into a field (Fig. 10 (a)/(c) style): each
+/// cell rectangle splats its kind-dependent intensity into bins of
+/// `resolution` um. Row 0 of the field is the top of the layout.
+util::Field2D layout_field(const netlist::Netlist& netlist, double resolution);
+
+/// One-paragraph human summary of a flow result.
+std::string summarize_flow(const FlowResult& result, const std::string& name);
+
+}  // namespace autoncs

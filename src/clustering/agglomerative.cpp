@@ -1,0 +1,86 @@
+#include "clustering/agglomerative.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace autoncs::clustering {
+
+IscResult agglomerative_clustering(const nn::ConnectionMatrix& network,
+                                   const AgglomerativeOptions& options) {
+  AUTONCS_CHECK(!options.crossbar_sizes.empty(), "crossbar size set is empty");
+  AUTONCS_CHECK(std::is_sorted(options.crossbar_sizes.begin(),
+                               options.crossbar_sizes.end()),
+                "crossbar sizes must be sorted ascending");
+
+  IscResult result;
+  result.total_connections = network.connection_count();
+  nn::ConnectionMatrix remaining = network;
+
+  // Singleton clusters over the active neurons, agglomerated by the same
+  // efficiency-greedy merge the packing pass uses, allowed to grow up to
+  // the largest crossbar.
+  const auto active = network.active_neurons();
+  std::vector<std::vector<std::size_t>> clusters;
+  clusters.reserve(active.size());
+  for (std::size_t v : active) clusters.push_back({v});
+  clusters = pack_clusters(network, std::move(clusters), options.crossbar_sizes,
+                           options.crossbar_sizes.back());
+
+  // Realize each cluster whose crossbar earns its keep.
+  for (const auto& members : clusters) {
+    std::vector<nn::Connection> connections;
+    std::vector<std::size_t> rows;
+    std::vector<std::size_t> cols;
+    {
+      std::vector<bool> is_row(network.size(), false);
+      std::vector<bool> is_col(network.size(), false);
+      for (std::size_t a : members)
+        for (std::size_t b : members)
+          if (a != b && remaining.has(a, b)) {
+            connections.push_back({a, b});
+            is_row[a] = true;
+            is_col[b] = true;
+          }
+      for (std::size_t v : members) {
+        if (is_row[v]) rows.push_back(v);
+        if (is_col[v]) cols.push_back(v);
+      }
+    }
+    if (connections.empty()) continue;
+    const std::size_t demand = std::max(rows.size(), cols.size());
+    const std::size_t s =
+        minimum_satisfiable_size(options.crossbar_sizes, demand);
+    AUTONCS_CHECK(s != 0, "agglomeration exceeded the largest crossbar");
+    if (crossbar_utilization(connections.size(), s) <
+        options.utilization_threshold) {
+      continue;  // cheaper on discrete synapses
+    }
+    CrossbarInstance xbar;
+    xbar.size = s;
+    xbar.rows = std::move(rows);
+    xbar.cols = std::move(cols);
+    xbar.connections = std::move(connections);
+    xbar.iteration = 1;
+    remaining.remove_within(members);
+    result.crossbars.push_back(std::move(xbar));
+  }
+  if (!result.crossbars.empty()) {
+    IscIterationStats stats;
+    stats.iteration = 1;
+    stats.clusters_formed = clusters.size();
+    stats.crossbars_placed = result.crossbars.size();
+    stats.connections_realized = result.clustered_connections();
+    stats.average_utilization = result.average_utilization();
+    stats.outlier_ratio =
+        result.total_connections > 0
+            ? static_cast<double>(remaining.connection_count()) /
+                  static_cast<double>(result.total_connections)
+            : 0.0;
+    result.iterations.push_back(stats);
+  }
+  result.outliers = remaining.connections();
+  return result;
+}
+
+}  // namespace autoncs::clustering

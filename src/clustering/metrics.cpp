@@ -1,0 +1,84 @@
+#include "clustering/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace autoncs::clustering {
+
+namespace {
+
+/// Undirected edge list of the symmetrized graph (i < j).
+std::vector<std::pair<std::size_t, std::size_t>> undirected_edges(
+    const nn::ConnectionMatrix& network) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (const auto& c : network.connections()) {
+    const auto a = std::min(c.from, c.to);
+    const auto b = std::max(c.from, c.to);
+    if (c.from < c.to || !network.has(c.to, c.from)) edges.push_back({a, b});
+  }
+  return edges;
+}
+
+}  // namespace
+
+double modularity(const nn::ConnectionMatrix& network,
+                  const Clustering& clustering) {
+  AUTONCS_CHECK(clustering.assignment.size() == network.size(),
+                "clustering does not cover this network");
+  const auto edges = undirected_edges(network);
+  if (edges.empty()) return 0.0;
+  const double m = static_cast<double>(edges.size());
+
+  const std::size_t k = clustering.cluster_count();
+  std::vector<double> internal(k, 0.0);
+  std::vector<double> degree(k, 0.0);
+  for (const auto& [a, b] : edges) {
+    const std::size_t ca = clustering.assignment[a];
+    const std::size_t cb = clustering.assignment[b];
+    degree[ca] += 1.0;
+    degree[cb] += 1.0;
+    if (ca == cb) internal[ca] += 1.0;
+  }
+  double q = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const double fraction = internal[c] / m;
+    const double expected = degree[c] / (2.0 * m);
+    q += fraction - expected * expected;
+  }
+  return q;
+}
+
+double conductance(const nn::ConnectionMatrix& network,
+                   const std::vector<std::size_t>& members) {
+  std::vector<bool> in_set(network.size(), false);
+  for (std::size_t v : members) {
+    AUTONCS_CHECK(v < network.size(), "member out of range");
+    in_set[v] = true;
+  }
+  const auto edges = undirected_edges(network);
+  double cut = 0.0;
+  double vol_in = 0.0;
+  double vol_out = 0.0;
+  for (const auto& [a, b] : edges) {
+    const bool ia = in_set[a];
+    const bool ib = in_set[b];
+    if (ia != ib) cut += 1.0;
+    vol_in += (ia ? 1.0 : 0.0) + (ib ? 1.0 : 0.0);
+    vol_out += (ia ? 0.0 : 1.0) + (ib ? 0.0 : 1.0);
+  }
+  const double denom = std::min(vol_in, vol_out);
+  if (denom <= 0.0) return 0.0;
+  return cut / denom;
+}
+
+double within_cluster_ratio(const nn::ConnectionMatrix& network,
+                            const Clustering& clustering) {
+  const auto split = split_outliers(network, clustering);
+  const std::size_t total = split.within + split.outliers;
+  return total == 0 ? 0.0
+                    : static_cast<double>(split.within) /
+                          static_cast<double>(total);
+}
+
+}  // namespace autoncs::clustering

@@ -1,0 +1,31 @@
+// Clustering quality metrics.
+//
+// Used by tests and benches to quantify what MSC/GCP/ISC achieve beyond
+// the crossbar-centric CP: Newman modularity of a partition, per-cluster
+// conductance (the normalized-cut objective spectral clustering
+// approximates), and the within-cluster connection ratio.
+#pragma once
+
+#include <vector>
+
+#include "clustering/msc.hpp"
+#include "nn/connection_matrix.hpp"
+
+namespace autoncs::clustering {
+
+/// Newman-Girvan modularity Q of the partition on the symmetrized graph:
+/// Q = sum_c (e_c / m - (d_c / 2m)^2), in [-0.5, 1). Higher = stronger
+/// community structure captured.
+double modularity(const nn::ConnectionMatrix& network, const Clustering& clustering);
+
+/// Conductance of one vertex set S on the symmetrized graph:
+/// cut(S, V\S) / min(vol(S), vol(V\S)); 0 = perfectly separated.
+/// Returns 0 for empty or full-volume sets.
+double conductance(const nn::ConnectionMatrix& network,
+                   const std::vector<std::size_t>& members);
+
+/// Fraction of connections whose both endpoints share a cluster.
+double within_cluster_ratio(const nn::ConnectionMatrix& network,
+                            const Clustering& clustering);
+
+}  // namespace autoncs::clustering

@@ -1,0 +1,37 @@
+#include "clustering/traversing.hpp"
+
+#include "util/check.hpp"
+
+namespace autoncs::clustering {
+
+TraversingResult traversing_from_embedding(
+    const linalg::EigenDecomposition& embedding, std::size_t max_size,
+    util::Rng& rng) {
+  const std::size_t n = embedding.vectors.rows();
+  AUTONCS_CHECK(n > 0, "cannot cluster an empty network");
+  AUTONCS_CHECK(max_size >= 1, "cluster size limit must be positive");
+
+  TraversingResult result;
+  std::size_t k = std::max<std::size_t>(1, (n + max_size - 1) / max_size);
+  for (; k <= n; ++k) {
+    ++result.stats.attempts;
+    Clustering clustering = msc_from_embedding(embedding, k, rng);
+    if (clustering.largest_cluster() <= max_size) {
+      result.stats.final_k = clustering.cluster_count();
+      result.clustering = std::move(clustering);
+      return result;
+    }
+  }
+  // k = n assigns (after empty-cluster repair) one point per cluster, so
+  // the loop always returns; reaching here means max_size < 1, which the
+  // checks above exclude.
+  AUTONCS_CHECK(false, "traversing failed to satisfy the size limit");
+  __builtin_unreachable();
+}
+
+TraversingResult traversing_clustering(const nn::ConnectionMatrix& network,
+                                       std::size_t max_size, util::Rng& rng) {
+  return traversing_from_embedding(spectral_embedding(network), max_size, rng);
+}
+
+}  // namespace autoncs::clustering

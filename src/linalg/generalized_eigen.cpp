@@ -1,0 +1,72 @@
+#include "linalg/generalized_eigen.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace autoncs::linalg {
+
+EigenDecomposition generalized_symmetric_eigen(
+    const Matrix& laplacian, const std::vector<double>& degrees,
+    const GeneralizedEigenOptions& options) {
+  const std::size_t n = laplacian.rows();
+  AUTONCS_CHECK(laplacian.cols() == n, "Laplacian must be square");
+  AUTONCS_CHECK(degrees.size() == n, "degree vector size must match");
+
+  std::vector<double> inv_sqrt(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    AUTONCS_CHECK(degrees[i] >= 0.0, "degrees must be nonnegative");
+    inv_sqrt[i] = 1.0 / std::sqrt(std::max(degrees[i], options.degree_floor));
+  }
+
+  // Symmetric similarity transform: M = D^{-1/2} L D^{-1/2}.
+  Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      m(r, c) = inv_sqrt[r] * laplacian(r, c) * inv_sqrt[c];
+  // Enforce exact symmetry against rounding in the transform.
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r + 1; c < n; ++c) {
+      const double avg = 0.5 * (m(r, c) + m(c, r));
+      m(r, c) = avg;
+      m(c, r) = avg;
+    }
+
+  EigenDecomposition dec = symmetric_eigen(m);
+  // Back-transform the eigenvectors: u = D^{-1/2} v.
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dec.vectors(i, j) *= inv_sqrt[i];
+      norm_sq += dec.vectors(i, j) * dec.vectors(i, j);
+    }
+    if (options.unit_normalize && norm_sq > 0.0) {
+      const double inv = 1.0 / std::sqrt(norm_sq);
+      for (std::size_t i = 0; i < n; ++i) dec.vectors(i, j) *= inv;
+    }
+  }
+  return dec;
+}
+
+EigenDecomposition laplacian_embedding(const Matrix& weights,
+                                       const GeneralizedEigenOptions& options) {
+  const std::size_t n = weights.rows();
+  AUTONCS_CHECK(weights.cols() == n, "weight matrix must be square");
+  std::vector<double> degrees(n, 0.0);
+  Matrix lap(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double deg = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (c == r) continue;  // self loops cancel in L = D - W
+      const double w = weights(r, c);
+      AUTONCS_DCHECK(w >= 0.0, "similarity weights must be nonnegative");
+      lap(r, c) = -w;
+      deg += w;
+    }
+    degrees[r] = deg;
+    lap(r, r) = deg;
+  }
+  return generalized_symmetric_eigen(lap, degrees, options);
+}
+
+}  // namespace autoncs::linalg

@@ -1,0 +1,53 @@
+// Lloyd's k-means with k-means++ seeding and warm-start support.
+//
+// The paper's clustering algorithms use k-means twice: MSC (Alg. 1) runs it
+// on the spectral embedding rows, and GCP (Alg. 2) re-runs it with the
+// centroid set B carried across inner iterations ("under B, cluster the
+// points ... and update B") while splitting oversize clusters with a
+// 2-means. Both needs are served here; empty clusters are repaired by
+// reseeding on the point farthest from its centroid, which keeps k stable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::linalg {
+
+struct KMeansOptions {
+  std::size_t max_iterations = 100;
+  /// Convergence threshold on total squared centroid movement.
+  double tolerance = 1e-10;
+};
+
+struct KMeansResult {
+  /// assignment[i] is the cluster index of point i (in [0, k)).
+  std::vector<std::size_t> assignment;
+  /// k x dim centroid matrix.
+  Matrix centroids;
+  /// Sum of squared distances from each point to its centroid.
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// k-means++ seeding: returns a k x dim centroid matrix chosen from the
+/// points with the standard D² weighting. Requires 1 <= k <= n.
+Matrix kmeans_plus_plus_seeds(const Matrix& points, std::size_t k, util::Rng& rng);
+
+/// Full k-means from k-means++ seeds.
+KMeansResult kmeans(const Matrix& points, std::size_t k, util::Rng& rng,
+                    const KMeansOptions& options = {});
+
+/// k-means warm-started from the given centroids (k = centroids.rows()).
+/// Degenerate centroid sets (e.g. the all-zero initialization of GCP
+/// Alg. 2 line 2) are detected and replaced with k-means++ seeds.
+KMeansResult kmeans_warm(const Matrix& points, Matrix centroids, util::Rng& rng,
+                         const KMeansOptions& options = {});
+
+/// Members of each cluster from an assignment vector.
+std::vector<std::vector<std::size_t>> cluster_members(
+    const std::vector<std::size_t>& assignment, std::size_t k);
+
+}  // namespace autoncs::linalg

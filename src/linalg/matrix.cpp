@@ -1,0 +1,121 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace autoncs::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    AUTONCS_CHECK(rows[r].size() == m.cols_, "ragged initializer rows");
+    for (std::size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  AUTONCS_DCHECK(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  AUTONCS_DCHECK(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  AUTONCS_DCHECK(r < rows_, "row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  AUTONCS_DCHECK(r < rows_, "row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  AUTONCS_CHECK(cols_ == other.rows_, "inner dimensions must match");
+  Matrix out(rows_, other.cols_);
+  // ikj loop order keeps the inner loop streaming over contiguous rows.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = other.data_.data() + k * other.cols_;
+      double* orow = out.data_.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> x) const {
+  AUTONCS_CHECK(x.size() == cols_, "vector size must match matrix columns");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* arow = data_.data() + i * cols_;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += arow[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+double Matrix::frobenius_distance(const Matrix& other) const {
+  AUTONCS_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+                "shapes must match");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = r + 1; c < cols_; ++c)
+      if (std::abs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+  return true;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  AUTONCS_CHECK(a.size() == b.size(), "dot: sizes must match");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  AUTONCS_CHECK(a.size() == b.size(), "squared_distance: sizes must match");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace autoncs::linalg

@@ -1,0 +1,68 @@
+// Dense row-major matrix of doubles. This is the numerical workhorse under
+// the spectral embedding; it deliberately implements only what the framework
+// needs (no expression templates, no BLAS dependency) so the whole stack
+// stays self-contained and auditable.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace autoncs::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds a matrix from nested initializer data (row major); all rows
+  /// must have equal length.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of order n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Contiguous view of row r.
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  Matrix transposed() const;
+
+  /// General matrix product (this * other).
+  Matrix multiply(const Matrix& other) const;
+
+  /// Matrix-vector product.
+  std::vector<double> multiply(std::span<const double> x) const;
+
+  /// Frobenius norm of (this - other); both must be the same shape.
+  double frobenius_distance(const Matrix& other) const;
+
+  /// True if |a_ij - a_ji| <= tol for all i, j.
+  bool is_symmetric(double tol = 1e-12) const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of a vector.
+double norm2(std::span<const double> x);
+
+/// Dot product (sizes must match).
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Squared Euclidean distance between two equally sized vectors.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace autoncs::linalg

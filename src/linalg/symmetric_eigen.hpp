@@ -1,0 +1,27 @@
+// Dense symmetric eigensolver: Householder tridiagonalization followed by
+// the implicit-shift QL iteration (the classic EISPACK tred2/tql2 pair).
+// Produces the full spectrum with eigenvalues in ascending order, which is
+// exactly what the spectral-clustering embedding needs (Algorithms 1 and 2
+// of the paper take the k smallest generalized eigenvectors).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace autoncs::linalg {
+
+struct EigenDecomposition {
+  /// Eigenvalues in ascending order.
+  std::vector<double> values;
+  /// Column j of `vectors` is the unit eigenvector for values[j].
+  Matrix vectors;
+};
+
+/// Full eigendecomposition of a symmetric matrix. The input must be square
+/// and symmetric (checked up to a loose tolerance). Throws CheckError on
+/// shape violations and std::runtime_error if QL fails to converge (which
+/// for symmetric input practically never happens within 50 sweeps).
+EigenDecomposition symmetric_eigen(const Matrix& a);
+
+}  // namespace autoncs::linalg

@@ -1,0 +1,44 @@
+#include "mapping/fullcro.hpp"
+
+#include "util/check.hpp"
+
+namespace autoncs::mapping {
+
+HybridMapping fullcro_mapping(const nn::ConnectionMatrix& network,
+                              const FullCroOptions& options) {
+  AUTONCS_CHECK(options.crossbar_size > 0, "crossbar size must be positive");
+  const std::size_t n = network.size();
+  const std::size_t s = options.crossbar_size;
+  const std::size_t groups = n == 0 ? 0 : (n + s - 1) / s;
+
+  auto group_members = [&](std::size_t g) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = g * s; i < std::min(n, (g + 1) * s); ++i)
+      members.push_back(i);
+    return members;
+  };
+
+  HybridMapping mapping;
+  mapping.neuron_count = n;
+  for (std::size_t gi = 0; gi < groups; ++gi) {
+    for (std::size_t gj = 0; gj < groups; ++gj) {
+      CrossbarInstance xbar;
+      xbar.size = s;
+      xbar.rows = group_members(gi);
+      xbar.cols = group_members(gj);
+      for (std::size_t i : xbar.rows)
+        for (std::size_t j : xbar.cols)
+          if (i != j && network.has(i, j)) xbar.connections.push_back({i, j});
+      if (xbar.connections.empty() && options.skip_empty_blocks) continue;
+      mapping.crossbars.push_back(std::move(xbar));
+    }
+  }
+  return mapping;
+}
+
+double fullcro_utilization_threshold(const nn::ConnectionMatrix& network,
+                                     const FullCroOptions& options) {
+  return fullcro_mapping(network, options).average_utilization();
+}
+
+}  // namespace autoncs::mapping

@@ -1,0 +1,33 @@
+// FullCro — the paper's baseline design (Sec. 4.2).
+//
+// "The baseline design [is] a full crossbar design that uses only crossbars
+// with a size of 64 to implement the neural network." Neurons are
+// partitioned sequentially into groups of at most 64; each group-pair block
+// of the connection matrix that contains at least one connection becomes a
+// bipartite 64x64 crossbar instance (rows = source group, cols =
+// destination group). Everything is realized on crossbars — FullCro has no
+// discrete synapses, and correspondingly low utilization on sparse nets.
+#pragma once
+
+#include "mapping/hybrid_mapping.hpp"
+
+namespace autoncs::mapping {
+
+struct FullCroOptions {
+  std::size_t crossbar_size = 64;
+  /// When false (paper behaviour) even all-empty blocks are instantiated so
+  /// the implementation forms a complete uniform grid; when true, blocks
+  /// with zero connections are dropped.
+  bool skip_empty_blocks = true;
+};
+
+HybridMapping fullcro_mapping(const nn::ConnectionMatrix& network,
+                              const FullCroOptions& options = {});
+
+/// Average crossbar utilization of the FullCro design — the ISC stopping
+/// threshold t of Sec. 4.2 ("the iteration of ISC stops when the average
+/// crossbar utilization is below that of the baseline design").
+double fullcro_utilization_threshold(const nn::ConnectionMatrix& network,
+                                     const FullCroOptions& options = {});
+
+}  // namespace autoncs::mapping

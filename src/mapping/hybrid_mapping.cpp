@@ -1,0 +1,120 @@
+#include "mapping/hybrid_mapping.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace autoncs::mapping {
+
+std::size_t HybridMapping::crossbar_connections() const {
+  std::size_t acc = 0;
+  for (const auto& xbar : crossbars) acc += xbar.connections.size();
+  return acc;
+}
+
+std::size_t HybridMapping::total_connections() const {
+  return crossbar_connections() + discrete_synapses.size();
+}
+
+double HybridMapping::outlier_ratio() const {
+  const std::size_t total = total_connections();
+  if (total == 0) return 0.0;
+  return static_cast<double>(discrete_synapses.size()) /
+         static_cast<double>(total);
+}
+
+double HybridMapping::average_utilization() const {
+  if (crossbars.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& xbar : crossbars) acc += xbar.utilization();
+  return acc / static_cast<double>(crossbars.size());
+}
+
+double HybridMapping::average_preference(clustering::PreferenceKind kind) const {
+  if (crossbars.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& xbar : crossbars) acc += xbar.preference(kind);
+  return acc / static_cast<double>(crossbars.size());
+}
+
+HybridMapping mapping_from_isc(const clustering::IscResult& isc,
+                               std::size_t neuron_count) {
+  HybridMapping mapping;
+  mapping.neuron_count = neuron_count;
+  mapping.crossbars = isc.crossbars;
+  mapping.discrete_synapses = isc.outliers;
+  return mapping;
+}
+
+std::string validate_mapping(const HybridMapping& mapping,
+                             const nn::ConnectionMatrix& network) {
+  std::ostringstream err;
+  if (mapping.neuron_count != network.size()) {
+    err << "neuron count mismatch: mapping has " << mapping.neuron_count
+        << ", network has " << network.size();
+    return err.str();
+  }
+  const std::size_t n = network.size();
+  auto key = [n](const nn::Connection& c) { return c.from * n + c.to; };
+
+  std::unordered_set<std::size_t> seen;
+  seen.reserve(network.connection_count() * 2);
+  auto realize = [&](const nn::Connection& c, const char* where) -> bool {
+    if (c.from >= n || c.to >= n) {
+      err << where << " realizes out-of-range connection (" << c.from << " -> "
+          << c.to << ")";
+      return false;
+    }
+    if (!network.has(c.from, c.to)) {
+      err << where << " realizes connection (" << c.from << " -> " << c.to
+          << ") absent from the network";
+      return false;
+    }
+    if (!seen.insert(key(c)).second) {
+      err << where << " realizes connection (" << c.from << " -> " << c.to
+          << ") twice";
+      return false;
+    }
+    return true;
+  };
+
+  for (std::size_t x = 0; x < mapping.crossbars.size(); ++x) {
+    const auto& xbar = mapping.crossbars[x];
+    std::ostringstream tag;
+    tag << "crossbar #" << x << " (size " << xbar.size << ")";
+    if (xbar.size == 0) {
+      err << tag.str() << " has zero size";
+      return err.str();
+    }
+    if (xbar.rows.size() > xbar.size || xbar.cols.size() > xbar.size) {
+      err << tag.str() << " exceeds its capacity: " << xbar.rows.size()
+          << " rows x " << xbar.cols.size() << " cols";
+      return err.str();
+    }
+    const std::unordered_set<std::size_t> rows(xbar.rows.begin(), xbar.rows.end());
+    const std::unordered_set<std::size_t> cols(xbar.cols.begin(), xbar.cols.end());
+    if (rows.size() != xbar.rows.size() || cols.size() != xbar.cols.size()) {
+      err << tag.str() << " lists a neuron twice on one side";
+      return err.str();
+    }
+    for (const auto& c : xbar.connections) {
+      if (!rows.contains(c.from) || !cols.contains(c.to)) {
+        err << tag.str() << " realizes (" << c.from << " -> " << c.to
+            << ") but the endpoints are not on its row/col sides";
+        return err.str();
+      }
+      if (!realize(c, tag.str().c_str())) return err.str();
+    }
+  }
+  for (const auto& c : mapping.discrete_synapses) {
+    if (!realize(c, "discrete synapse list")) return err.str();
+  }
+  if (seen.size() != network.connection_count()) {
+    err << "mapping realizes " << seen.size() << " of "
+        << network.connection_count() << " network connections";
+    return err.str();
+  }
+  return {};
+}
+
+}  // namespace autoncs::mapping

@@ -1,0 +1,62 @@
+#include "mapping/stats.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace autoncs::mapping {
+
+std::vector<std::size_t> NeuronLinkProfile::total_links() const {
+  std::vector<std::size_t> total(crossbar_links.size());
+  for (std::size_t i = 0; i < total.size(); ++i)
+    total[i] = crossbar_links[i] + synapse_links[i];
+  return total;
+}
+
+double NeuronLinkProfile::average_total() const {
+  if (crossbar_links.empty()) return 0.0;
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < crossbar_links.size(); ++i)
+    acc += crossbar_links[i] + synapse_links[i];
+  return static_cast<double>(acc) / static_cast<double>(crossbar_links.size());
+}
+
+NeuronLinkProfile neuron_link_profile(const HybridMapping& mapping) {
+  NeuronLinkProfile profile;
+  profile.crossbar_links.assign(mapping.neuron_count, 0);
+  profile.synapse_links.assign(mapping.neuron_count, 0);
+
+  for (const auto& xbar : mapping.crossbars) {
+    // A row (column) wire exists only when at least one connection uses it.
+    std::unordered_set<std::size_t> used_rows;
+    std::unordered_set<std::size_t> used_cols;
+    for (const auto& c : xbar.connections) {
+      used_rows.insert(c.from);
+      used_cols.insert(c.to);
+    }
+    for (std::size_t v : used_rows) {
+      AUTONCS_CHECK(v < mapping.neuron_count, "row neuron out of range");
+      profile.crossbar_links[v] += 1;
+    }
+    for (std::size_t v : used_cols) {
+      AUTONCS_CHECK(v < mapping.neuron_count, "col neuron out of range");
+      profile.crossbar_links[v] += 1;
+    }
+  }
+  for (const auto& c : mapping.discrete_synapses) {
+    AUTONCS_CHECK(c.from < mapping.neuron_count && c.to < mapping.neuron_count,
+                  "synapse endpoint out of range");
+    profile.synapse_links[c.from] += 1;
+    profile.synapse_links[c.to] += 1;
+  }
+  return profile;
+}
+
+std::map<std::size_t, std::size_t> crossbar_size_distribution(
+    const HybridMapping& mapping) {
+  std::map<std::size_t, std::size_t> dist;
+  for (const auto& xbar : mapping.crossbars) dist[xbar.size] += 1;
+  return dist;
+}
+
+}  // namespace autoncs::mapping

@@ -1,0 +1,38 @@
+// Mapping-level statistics backing Figures 7-9:
+//  (c) distribution of utilized crossbar sizes in the final implementation,
+//  (d) per-neuron fanin+fanout split into crossbar links, discrete-synapse
+//      links, and their sum.
+//
+// A neuron's "crossbar fanin+fanout" counts, per crossbar, one link when
+// the neuron drives a used row and one when it receives from a used column
+// — i.e. the number of physical wires between the neuron cell and crossbar
+// cells, which is what congests the layout. Clustering concentrates a
+// neuron's connections into few crossbars, so this sum drops (the paper
+// reports the post-ISC average at ~80% of the FullCro baseline).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "mapping/hybrid_mapping.hpp"
+
+namespace autoncs::mapping {
+
+struct NeuronLinkProfile {
+  /// Per-neuron wire counts to crossbars ("Crossbar" series of Fig. 9d).
+  std::vector<std::size_t> crossbar_links;
+  /// Per-neuron wire counts to discrete synapses ("Synapsis" series).
+  std::vector<std::size_t> synapse_links;
+
+  std::vector<std::size_t> total_links() const;
+  double average_total() const;
+};
+
+NeuronLinkProfile neuron_link_profile(const HybridMapping& mapping);
+
+/// Histogram of crossbar sizes: size -> count (Fig. 9c).
+std::map<std::size_t, std::size_t> crossbar_size_distribution(
+    const HybridMapping& mapping);
+
+}  // namespace autoncs::mapping

@@ -1,0 +1,134 @@
+#include "netlist/builder.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace autoncs::netlist {
+
+Netlist build_netlist(const mapping::HybridMapping& mapping,
+                      const tech::TechnologyModel& tech,
+                      const BuilderOptions& options) {
+  Netlist net;
+  net.cells.reserve(mapping.neuron_count + mapping.crossbars.size() +
+                    mapping.discrete_synapses.size());
+
+  // Neurons that participate in no realized connection are not part of the
+  // physical NCS: a wire-less cell would only drift during placement and
+  // inflate the die bounding box.
+  std::vector<bool> active(mapping.neuron_count, false);
+  for (const auto& xbar : mapping.crossbars) {
+    for (const auto& c : xbar.connections) {
+      active[c.from] = true;
+      active[c.to] = true;
+    }
+  }
+  for (const auto& c : mapping.discrete_synapses) {
+    active[c.from] = true;
+    active[c.to] = true;
+  }
+
+  // Neuron cells first; neuron_cell[v] maps a neuron id to its cell index.
+  std::vector<std::size_t> neuron_cell(mapping.neuron_count,
+                                       std::numeric_limits<std::size_t>::max());
+  // share_output_nets: deferred fanout sinks per neuron.
+  struct Sink {
+    std::size_t cell;
+    double load;
+    double device_delay_ns;
+  };
+  std::map<std::size_t, std::vector<Sink>> output_sinks;
+  for (std::size_t v = 0; v < mapping.neuron_count; ++v) {
+    if (!active[v]) continue;
+    Cell cell;
+    cell.kind = CellKind::kNeuron;
+    cell.width = tech.neuron_side_um;
+    cell.height = tech.neuron_side_um;
+    cell.source_index = v;
+    neuron_cell[v] = net.cells.size();
+    net.cells.push_back(cell);
+  }
+
+  for (std::size_t x = 0; x < mapping.crossbars.size(); ++x) {
+    const auto& xbar = mapping.crossbars[x];
+    Cell cell;
+    cell.kind = CellKind::kCrossbar;
+    cell.width = tech.crossbar_side_um(xbar.size);
+    cell.height = cell.width;
+    cell.source_index = x;
+    const std::size_t xbar_cell = net.cells.size();
+    net.cells.push_back(cell);
+
+    // Count realized connections per used row / column: the wire weight.
+    std::map<std::size_t, std::size_t> row_load;
+    std::map<std::size_t, std::size_t> col_load;
+    for (const auto& c : xbar.connections) {
+      row_load[c.from] += 1;
+      col_load[c.to] += 1;
+    }
+    const double xbar_delay = tech.crossbar_delay_ns(xbar.size);
+    if (options.share_output_nets) {
+      for (const auto& [neuron, load] : row_load) {
+        AUTONCS_CHECK(neuron < mapping.neuron_count, "row neuron out of range");
+        output_sinks[neuron].push_back(
+            {xbar_cell, static_cast<double>(load), xbar_delay});
+      }
+    } else {
+      for (const auto& [neuron, load] : row_load) {
+        AUTONCS_CHECK(neuron < mapping.neuron_count, "row neuron out of range");
+        net.wires.push_back(Wire{{neuron_cell[neuron], xbar_cell},
+                                 static_cast<double>(load), xbar_delay});
+      }
+    }
+    for (const auto& [neuron, load] : col_load) {
+      AUTONCS_CHECK(neuron < mapping.neuron_count, "col neuron out of range");
+      net.wires.push_back(Wire{{xbar_cell, neuron_cell[neuron]},
+                               static_cast<double>(load), xbar_delay});
+    }
+  }
+
+  for (std::size_t s = 0; s < mapping.discrete_synapses.size(); ++s) {
+    const auto& synapse = mapping.discrete_synapses[s];
+    AUTONCS_CHECK(synapse.from < mapping.neuron_count &&
+                      synapse.to < mapping.neuron_count,
+                  "synapse endpoint out of range");
+    Cell cell;
+    cell.kind = CellKind::kSynapse;
+    cell.width = tech.synapse_side_um;
+    cell.height = tech.synapse_side_um;
+    cell.source_index = s;
+    const std::size_t synapse_cell = net.cells.size();
+    net.cells.push_back(cell);
+    if (options.share_output_nets) {
+      output_sinks[synapse.from].push_back(
+          {synapse_cell, 1.0, tech.synapse_delay_ns});
+    } else {
+      net.wires.push_back(Wire{{neuron_cell[synapse.from], synapse_cell}, 1.0,
+                               tech.synapse_delay_ns});
+    }
+    net.wires.push_back(Wire{{synapse_cell, neuron_cell[synapse.to]}, 1.0,
+                             tech.synapse_delay_ns});
+  }
+
+  // Emit the merged output nets: pin 0 is the driving neuron, the rest are
+  // its sinks; the weight is the net's total carried load and the device
+  // delay the slowest attached device.
+  for (const auto& [neuron, sinks] : output_sinks) {
+    Wire wire;
+    wire.pins.push_back(neuron_cell[neuron]);
+    wire.weight = 0.0;
+    wire.device_delay_ns = 0.0;
+    for (const auto& sink : sinks) {
+      wire.pins.push_back(sink.cell);
+      wire.weight += sink.load;
+      wire.device_delay_ns = std::max(wire.device_delay_ns, sink.device_delay_ns);
+    }
+    net.wires.push_back(std::move(wire));
+  }
+
+  return net;
+}
+
+}  // namespace autoncs::netlist

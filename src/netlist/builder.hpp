@@ -1,0 +1,38 @@
+// Builds the physical netlist of a hybrid mapping.
+//
+// Cells: one per neuron, one per crossbar instance, one per discrete
+// synapse (its memristor), dimensioned by the technology model.
+// Wires (all 2-pin):
+//   - neuron -> crossbar for every crossbar row the neuron drives with at
+//     least one realized connection,
+//   - crossbar -> neuron for every used column,
+//   - neuron -> synapse cell and synapse cell -> neuron for each discrete
+//     synapse.
+// Wire weights follow the paper's RC-criticality idea: a crossbar wire that
+// carries many realized connections is more timing-critical, so its weight
+// equals the number of connections it carries; discrete-synapse wires carry
+// exactly one and get weight 1.
+#pragma once
+
+#include "mapping/hybrid_mapping.hpp"
+#include "netlist/netlist.hpp"
+#include "tech/tech_model.hpp"
+
+namespace autoncs::netlist {
+
+struct BuilderOptions {
+  /// When true, all fanout wires of one neuron (to the crossbar rows it
+  /// drives and the discrete synapses it feeds) merge into ONE multi-pin
+  /// net — electrically accurate, since a neuron has a single output
+  /// driver whose net branches to every sink. The default keeps the
+  /// paper's implicit one-wire-per-(neuron, device) model. Input-side
+  /// wires always stay 2-pin: every crossbar column / synapse output is
+  /// its own driver.
+  bool share_output_nets = false;
+};
+
+Netlist build_netlist(const mapping::HybridMapping& mapping,
+                      const tech::TechnologyModel& tech = tech::default_tech(),
+                      const BuilderOptions& options = {});
+
+}  // namespace autoncs::netlist

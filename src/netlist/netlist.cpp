@@ -1,0 +1,56 @@
+#include "netlist/netlist.hpp"
+
+#include <sstream>
+
+namespace autoncs::netlist {
+
+const char* cell_kind_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::kNeuron: return "neuron";
+    case CellKind::kCrossbar: return "crossbar";
+    case CellKind::kSynapse: return "synapse";
+  }
+  return "?";
+}
+
+double Netlist::total_cell_area() const {
+  double acc = 0.0;
+  for (const auto& cell : cells) acc += cell.area();
+  return acc;
+}
+
+std::size_t Netlist::count_kind(CellKind kind) const {
+  std::size_t acc = 0;
+  for (const auto& cell : cells)
+    if (cell.kind == kind) ++acc;
+  return acc;
+}
+
+std::string Netlist::validate() const {
+  std::ostringstream err;
+  for (std::size_t w = 0; w < wires.size(); ++w) {
+    if (wires[w].pins.size() < 2) {
+      err << "wire #" << w << " has fewer than two pins";
+      return err.str();
+    }
+    for (std::size_t pin : wires[w].pins) {
+      if (pin >= cells.size()) {
+        err << "wire #" << w << " references missing cell " << pin;
+        return err.str();
+      }
+    }
+    if (wires[w].weight <= 0.0) {
+      err << "wire #" << w << " has non-positive weight";
+      return err.str();
+    }
+  }
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (cells[c].width <= 0.0 || cells[c].height <= 0.0) {
+      err << "cell #" << c << " has non-positive dimensions";
+      return err.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace autoncs::netlist

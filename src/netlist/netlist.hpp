@@ -1,0 +1,59 @@
+// Physical netlist: mixed-size cells (neurons, crossbars, discrete
+// synapses) connected by weighted wires.
+//
+// Sec. 3.5 of the paper explains why off-the-shelf placers don't fit:
+// (1) wires carry different weights (RC criticality between memristors and
+// crossbars), (2) cells are mixed-size, (3) cells need not align into rows.
+// This model captures exactly that: free-floating rectangular cells with
+// center coordinates and multi-pin wires with per-wire weights.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace autoncs::netlist {
+
+enum class CellKind { kNeuron, kCrossbar, kSynapse };
+
+const char* cell_kind_name(CellKind kind);
+
+struct Cell {
+  CellKind kind = CellKind::kNeuron;
+  double width = 0.0;   // um
+  double height = 0.0;  // um
+  double x = 0.0;       // center coordinate, um
+  double y = 0.0;
+  /// Index back into the source object (neuron id, crossbar index, or
+  /// synapse index), for reporting.
+  std::size_t source_index = 0;
+
+  double area() const { return width * height; }
+  double half_width() const { return 0.5 * width; }
+  double half_height() const { return 0.5 * height; }
+};
+
+struct Wire {
+  /// Cell indices this wire connects (pins at cell centers). All wires the
+  /// builder produces are 2-pin, but the model allows multi-pin.
+  std::vector<std::size_t> pins;
+  /// RC-criticality weight (Sec. 3.5: higher-weight wires are shortened
+  /// preferentially by the WA model and win routing tie-breaks).
+  double weight = 1.0;
+  /// Fixed delay of the device the wire terminates into (crossbar internal
+  /// RC or discrete-synapse switching), added to the routed Elmore delay
+  /// when computing the average wire delay T.
+  double device_delay_ns = 0.0;
+};
+
+struct Netlist {
+  std::vector<Cell> cells;
+  std::vector<Wire> wires;
+
+  double total_cell_area() const;
+  std::size_t count_kind(CellKind kind) const;
+  /// Validates pin indices; returns an empty string when consistent.
+  std::string validate() const;
+};
+
+}  // namespace autoncs::netlist

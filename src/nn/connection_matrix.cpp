@@ -1,0 +1,179 @@
+#include "nn/connection_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace autoncs::nn {
+
+ConnectionMatrix::ConnectionMatrix(std::size_t n)
+    : n_(n), count_(0), bits_(n * n, 0) {}
+
+ConnectionMatrix ConnectionMatrix::from_connections(
+    std::size_t n, std::span<const Connection> connections) {
+  ConnectionMatrix m(n);
+  for (const auto& c : connections) m.add(c.from, c.to);
+  return m;
+}
+
+ConnectionMatrix ConnectionMatrix::from_weights(const linalg::Matrix& weights,
+                                                double tol) {
+  AUTONCS_CHECK(weights.rows() == weights.cols(),
+                "connection matrix must be square");
+  ConnectionMatrix m(weights.rows());
+  for (std::size_t i = 0; i < weights.rows(); ++i)
+    for (std::size_t j = 0; j < weights.cols(); ++j)
+      if (i != j && std::abs(weights(i, j)) > tol) m.add(i, j);
+  return m;
+}
+
+double ConnectionMatrix::sparsity() const {
+  if (n_ < 2) return 1.0;
+  const double possible = static_cast<double>(n_) * static_cast<double>(n_ - 1);
+  return 1.0 - static_cast<double>(count_) / possible;
+}
+
+bool ConnectionMatrix::has(std::size_t from, std::size_t to) const {
+  AUTONCS_CHECK(from < n_ && to < n_, "neuron index out of range");
+  return bits_[index(from, to)] != 0;
+}
+
+bool ConnectionMatrix::add(std::size_t from, std::size_t to) {
+  AUTONCS_CHECK(from < n_ && to < n_, "neuron index out of range");
+  AUTONCS_CHECK(from != to, "self connections are not supported");
+  auto& bit = bits_[index(from, to)];
+  if (bit != 0) return false;
+  bit = 1;
+  ++count_;
+  return true;
+}
+
+bool ConnectionMatrix::remove(std::size_t from, std::size_t to) {
+  AUTONCS_CHECK(from < n_ && to < n_, "neuron index out of range");
+  auto& bit = bits_[index(from, to)];
+  if (bit == 0) return false;
+  bit = 0;
+  --count_;
+  return true;
+}
+
+std::vector<Connection> ConnectionMatrix::connections() const {
+  std::vector<Connection> out;
+  out.reserve(count_);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < n_; ++j)
+      if (bits_[index(i, j)] != 0) out.push_back({i, j});
+  return out;
+}
+
+std::size_t ConnectionMatrix::fanout(std::size_t neuron) const {
+  AUTONCS_CHECK(neuron < n_, "neuron index out of range");
+  std::size_t acc = 0;
+  for (std::size_t j = 0; j < n_; ++j) acc += bits_[index(neuron, j)];
+  return acc;
+}
+
+std::size_t ConnectionMatrix::fanin(std::size_t neuron) const {
+  AUTONCS_CHECK(neuron < n_, "neuron index out of range");
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < n_; ++i) acc += bits_[index(i, neuron)];
+  return acc;
+}
+
+std::size_t ConnectionMatrix::fanin_fanout(std::size_t neuron) const {
+  return fanin(neuron) + fanout(neuron);
+}
+
+std::size_t ConnectionMatrix::count_within(std::span<const std::size_t> nodes) const {
+  std::size_t acc = 0;
+  for (std::size_t a : nodes) {
+    AUTONCS_CHECK(a < n_, "neuron index out of range");
+    for (std::size_t b : nodes) {
+      if (bits_[index(a, b)] != 0) ++acc;
+    }
+  }
+  return acc;
+}
+
+std::size_t ConnectionMatrix::remove_within(std::span<const std::size_t> nodes) {
+  std::size_t removed = 0;
+  for (std::size_t a : nodes) {
+    AUTONCS_CHECK(a < n_, "neuron index out of range");
+    for (std::size_t b : nodes) {
+      auto& bit = bits_[index(a, b)];
+      if (bit != 0) {
+        bit = 0;
+        ++removed;
+      }
+    }
+  }
+  count_ -= removed;
+  return removed;
+}
+
+linalg::Matrix ConnectionMatrix::symmetrized_dense() const {
+  linalg::Matrix w(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < n_; ++j)
+      if (bits_[index(i, j)] != 0) {
+        w(i, j) = 1.0;
+        w(j, i) = 1.0;
+      }
+  return w;
+}
+
+std::vector<double> ConnectionMatrix::symmetric_degrees() const {
+  std::vector<double> degrees(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < n_; ++j)
+      if (i != j && (bits_[index(i, j)] != 0 || bits_[index(j, i)] != 0))
+        degrees[i] += 1.0;
+  return degrees;
+}
+
+linalg::Matrix ConnectionMatrix::to_dense() const {
+  linalg::Matrix w(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < n_; ++j) w(i, j) = bits_[index(i, j)];
+  return w;
+}
+
+util::Field2D ConnectionMatrix::to_field() const {
+  util::Field2D field(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < n_; ++j)
+      if (bits_[index(i, j)] != 0) field.at(i, j) = 1.0;
+  return field;
+}
+
+std::vector<std::size_t> ConnectionMatrix::active_neurons() const {
+  std::vector<bool> active(n_, false);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < n_; ++j)
+      if (bits_[index(i, j)] != 0) {
+        active[i] = true;
+        active[j] = true;
+      }
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < n_; ++i)
+    if (active[i]) out.push_back(i);
+  return out;
+}
+
+ConnectionMatrix ConnectionMatrix::submatrix(std::span<const std::size_t> nodes) const {
+  ConnectionMatrix sub(nodes.size());
+  for (std::size_t a = 0; a < nodes.size(); ++a) {
+    AUTONCS_CHECK(nodes[a] < n_, "submatrix node out of range");
+    for (std::size_t b = 0; b < nodes.size(); ++b) {
+      if (a != b && bits_[index(nodes[a], nodes[b])] != 0) sub.add(a, b);
+    }
+  }
+  return sub;
+}
+
+bool operator==(const ConnectionMatrix& a, const ConnectionMatrix& b) {
+  return a.n_ == b.n_ && a.bits_ == b.bits_;
+}
+
+}  // namespace autoncs::nn

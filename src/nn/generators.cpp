@@ -1,0 +1,116 @@
+#include "nn/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace autoncs::nn {
+
+ConnectionMatrix random_sparse(std::size_t n, double density, util::Rng& rng) {
+  AUTONCS_CHECK(density >= 0.0 && density <= 1.0, "density must be in [0, 1]");
+  ConnectionMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j && rng.bernoulli(density)) m.add(i, j);
+  return m;
+}
+
+ConnectionMatrix random_with_count(std::size_t n, std::size_t connections,
+                                   util::Rng& rng) {
+  const std::size_t possible = n * (n - 1);
+  AUTONCS_CHECK(connections <= possible, "too many connections requested");
+  // Sample distinct linear indices over the off-diagonal pairs.
+  const auto chosen = rng.sample_without_replacement(possible, connections);
+  ConnectionMatrix m(n);
+  for (std::size_t linear : chosen) {
+    const std::size_t i = linear / (n - 1);
+    std::size_t j = linear % (n - 1);
+    if (j >= i) ++j;  // skip the diagonal slot
+    m.add(i, j);
+  }
+  return m;
+}
+
+ConnectionMatrix block_sparse(std::size_t n, const BlockSparseOptions& options,
+                              util::Rng& rng) {
+  AUTONCS_CHECK(options.blocks >= 1, "at least one block required");
+  std::vector<std::size_t> label(n);
+  for (std::size_t i = 0; i < n; ++i) label[i] = i * options.blocks / n;
+  if (options.scramble) rng.shuffle(std::span<std::size_t>(label));
+
+  ConnectionMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double p =
+          label[i] == label[j] ? options.intra_density : options.inter_density;
+      if (rng.bernoulli(p)) m.add(i, j);
+    }
+  return m;
+}
+
+ConnectionMatrix ldpc_like(const LdpcOptions& options, util::Rng& rng) {
+  const std::size_t v = options.variable_nodes;
+  const std::size_t c = options.check_nodes;
+  AUTONCS_CHECK(v > 0 && c > 0, "LDPC graph needs both node kinds");
+  AUTONCS_CHECK(options.row_weight > 0 && options.row_weight <= v,
+                "row weight must be in [1, variable_nodes]");
+  ConnectionMatrix m(v + c);
+  for (std::size_t check = 0; check < c; ++check) {
+    const auto vars = rng.sample_without_replacement(v, options.row_weight);
+    for (std::size_t var : vars) {
+      // Message passing is bidirectional on the Tanner graph.
+      m.add(var, v + check);
+      m.add(v + check, var);
+    }
+  }
+  return m;
+}
+
+std::vector<std::size_t> mlp_layer_offsets(const MlpOptions& options) {
+  std::vector<std::size_t> offsets = {0};
+  for (std::size_t size : options.layer_sizes)
+    offsets.push_back(offsets.back() + size);
+  return offsets;
+}
+
+ConnectionMatrix layered_mlp(const MlpOptions& options, util::Rng& rng) {
+  AUTONCS_CHECK(options.layer_sizes.size() >= 2, "an MLP needs >= 2 layers");
+  AUTONCS_CHECK(options.connection_density > 0.0 &&
+                    options.connection_density <= 1.0,
+                "connection density must be in (0, 1]");
+  AUTONCS_CHECK(options.locality >= 0.0, "locality must be >= 0");
+  for (std::size_t size : options.layer_sizes)
+    AUTONCS_CHECK(size >= 1, "layers must be nonempty");
+
+  const auto offsets = mlp_layer_offsets(options);
+  ConnectionMatrix m(offsets.back());
+  for (std::size_t layer = 0; layer + 1 < options.layer_sizes.size(); ++layer) {
+    const std::size_t from_size = options.layer_sizes[layer];
+    const std::size_t to_size = options.layer_sizes[layer + 1];
+    for (std::size_t i = 0; i < from_size; ++i) {
+      const double pos_i =
+          static_cast<double>(i) / static_cast<double>(from_size);
+      for (std::size_t j = 0; j < to_size; ++j) {
+        const double pos_j =
+            static_cast<double>(j) / static_cast<double>(to_size);
+        // Locality: keep probability decays with the relative-position
+        // distance; normalized so the layer's mean stays near the target
+        // density for moderate locality.
+        double p = options.connection_density;
+        if (options.locality > 0.0) {
+          const double d = std::abs(pos_i - pos_j);
+          p *= (1.0 + options.locality) *
+               std::exp(-options.locality * d * 2.0);
+          p = std::min(p, 1.0);
+        }
+        if (rng.bernoulli(p)) m.add(offsets[layer] + i, offsets[layer + 1] + j);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace autoncs::nn

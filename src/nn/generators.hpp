@@ -1,0 +1,74 @@
+// Synthetic network topology generators.
+//
+// These provide the network families the paper motivates: uniformly random
+// sparse networks (worst case for clustering, used for the 400x400 example
+// of Figures 3-6), block-structured networks (neocortex-like locality,
+// Sec. 2.2), and LDPC-style bipartite parity graphs (the IEEE 802.11
+// motivation with >99% sparsity).
+#pragma once
+
+#include <cstddef>
+
+#include "nn/connection_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::nn {
+
+/// Uniformly random directed network: each ordered pair (i, j), i != j, is
+/// connected independently with probability `density`.
+ConnectionMatrix random_sparse(std::size_t n, double density, util::Rng& rng);
+
+/// Random network with an exact number of connections (sampled without
+/// replacement over all ordered off-diagonal pairs).
+ConnectionMatrix random_with_count(std::size_t n, std::size_t connections,
+                                   util::Rng& rng);
+
+struct BlockSparseOptions {
+  std::size_t blocks = 8;
+  /// Connection probability within a block.
+  double intra_density = 0.4;
+  /// Connection probability across blocks.
+  double inter_density = 0.005;
+  /// When true, neuron indices are shuffled so the block structure is
+  /// hidden from the identity ordering — the realistic input for MSC, whose
+  /// whole job is to rediscover the blocks.
+  bool scramble = true;
+};
+
+/// Planted block-structured network (dense communities + sparse glue).
+ConnectionMatrix block_sparse(std::size_t n, const BlockSparseOptions& options,
+                              util::Rng& rng);
+
+struct LdpcOptions {
+  std::size_t variable_nodes = 324;
+  std::size_t check_nodes = 162;
+  /// Ones per parity-check row (edges per check node).
+  std::size_t row_weight = 7;
+};
+
+/// Regular LDPC-style Tanner graph folded into one square connection
+/// matrix: neurons [0, V) are variable nodes, [V, V+C) are check nodes, and
+/// message-passing edges run both ways.
+ConnectionMatrix ldpc_like(const LdpcOptions& options, util::Rng& rng);
+
+struct MlpOptions {
+  /// Neurons per layer, front to back. At least two layers.
+  std::vector<std::size_t> layer_sizes = {256, 128, 64};
+  /// Fraction of the possible layer-to-layer connections kept (pruned
+  /// feed-forward network, like the sparse DNNs of the paper's ref [7]).
+  double connection_density = 0.1;
+  /// When > 0, connections prefer locality: the probability of (i, j)
+  /// decays with the distance between their relative positions within
+  /// their layers (receptive-field structure). 0 = uniform.
+  double locality = 4.0;
+};
+
+/// Sparse feed-forward multi-layer network folded into one square
+/// connection matrix; neuron ids are assigned layer by layer. All
+/// connections point from layer l to layer l+1 (no recurrence).
+ConnectionMatrix layered_mlp(const MlpOptions& options, util::Rng& rng);
+
+/// First neuron id of each layer plus the total (size layers + 1).
+std::vector<std::size_t> mlp_layer_offsets(const MlpOptions& options);
+
+}  // namespace autoncs::nn

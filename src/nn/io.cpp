@@ -1,0 +1,97 @@
+#include "nn/io.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace autoncs::nn {
+
+namespace {
+constexpr const char* kMagic = "ncsnet";
+constexpr int kVersion = 1;
+}  // namespace
+
+void write_network(const ConnectionMatrix& network, std::ostream& out) {
+  out << kMagic << ' ' << kVersion << ' ' << network.size() << ' '
+      << network.connection_count() << '\n';
+  for (const auto& c : network.connections()) {
+    out << c.from << ' ' << c.to << '\n';
+  }
+}
+
+bool save_network(const ConnectionMatrix& network, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_network(network, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<ConnectionMatrix> read_network(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  std::size_t n = 0;
+  std::size_t count = 0;
+  if (!(in >> magic >> version >> n >> count)) return std::nullopt;
+  if (magic != kMagic || version != kVersion) return std::nullopt;
+  ConnectionMatrix network(n);
+  for (std::size_t k = 0; k < count; ++k) {
+    std::size_t from = 0;
+    std::size_t to = 0;
+    if (!(in >> from >> to)) return std::nullopt;
+    if (from >= n || to >= n || from == to) return std::nullopt;
+    network.add(from, to);
+    // Optional trailing weight column: consume the rest of the line.
+    in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  }
+  return network;
+}
+
+std::optional<ConnectionMatrix> load_network(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return read_network(in);
+}
+
+bool save_weights(const linalg::Matrix& weights, const std::string& path) {
+  AUTONCS_CHECK(weights.rows() == weights.cols(),
+                "weight matrix must be square");
+  std::ofstream out(path);
+  if (!out) return false;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < weights.rows(); ++i)
+    for (std::size_t j = 0; j < weights.cols(); ++j)
+      if (i != j && weights(i, j) != 0.0) ++count;
+  out << kMagic << ' ' << kVersion << ' ' << weights.rows() << ' ' << count
+      << '\n';
+  out.precision(17);
+  for (std::size_t i = 0; i < weights.rows(); ++i)
+    for (std::size_t j = 0; j < weights.cols(); ++j)
+      if (i != j && weights(i, j) != 0.0)
+        out << i << ' ' << j << ' ' << weights(i, j) << '\n';
+  return static_cast<bool>(out);
+}
+
+std::optional<linalg::Matrix> load_weights(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string magic;
+  int version = 0;
+  std::size_t n = 0;
+  std::size_t count = 0;
+  if (!(in >> magic >> version >> n >> count)) return std::nullopt;
+  if (magic != kMagic || version != kVersion) return std::nullopt;
+  linalg::Matrix weights(n, n);
+  for (std::size_t k = 0; k < count; ++k) {
+    std::size_t from = 0;
+    std::size_t to = 0;
+    double w = 0.0;
+    if (!(in >> from >> to >> w)) return std::nullopt;
+    if (from >= n || to >= n) return std::nullopt;
+    weights(from, to) = w;
+  }
+  return weights;
+}
+
+}  // namespace autoncs::nn

@@ -1,0 +1,35 @@
+// Plain-text serialization of networks and patterns.
+//
+// Format ("ncsnet v1"): a header line, one line per connection. Weighted
+// networks add the weight as a third column. Designed to be stable,
+// diff-able, and hand-editable so external tools (or the CLI) can exchange
+// topologies with the flow.
+//
+//   ncsnet 1 <n> <count>
+//   <from> <to> [weight]
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "nn/connection_matrix.hpp"
+
+namespace autoncs::nn {
+
+/// Writes the binary topology. Returns false on I/O failure.
+bool save_network(const ConnectionMatrix& network, const std::string& path);
+void write_network(const ConnectionMatrix& network, std::ostream& out);
+
+/// Reads a topology written by save_network (weights, if present, are
+/// thresholded at nonzero). Returns nullopt on parse or I/O errors.
+std::optional<ConnectionMatrix> load_network(const std::string& path);
+std::optional<ConnectionMatrix> read_network(std::istream& in);
+
+/// Weighted variants: serializes every nonzero off-diagonal entry.
+bool save_weights(const linalg::Matrix& weights, const std::string& path);
+std::optional<linalg::Matrix> load_weights(const std::string& path);
+
+}  // namespace autoncs::nn

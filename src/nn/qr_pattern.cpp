@@ -1,0 +1,135 @@
+#include "nn/qr_pattern.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace autoncs::nn {
+
+namespace {
+
+enum class ModuleKind : std::uint8_t { kPayload, kFinderDark, kFinderLight, kTiming };
+
+/// Classifies module (r, c) of a `side` x `side` QR-like grid.
+ModuleKind classify(std::size_t r, std::size_t c, std::size_t side,
+                    std::size_t finder) {
+  auto in_finder = [&](std::size_t r0, std::size_t c0) {
+    return r >= r0 && r < r0 + finder && c >= c0 && c < c0 + finder;
+  };
+  const std::size_t far = side >= finder ? side - finder : 0;
+  if (in_finder(0, 0) || in_finder(0, far) || in_finder(far, 0)) {
+    // Concentric look: border modules dark, interior light.
+    const bool border = r % finder == 0 || r % finder == finder - 1 ||
+                        c % finder == 0 || c % finder == finder - 1;
+    return border ? ModuleKind::kFinderDark : ModuleKind::kFinderLight;
+  }
+  if (finder < side && (r == finder || c == finder)) return ModuleKind::kTiming;
+  return ModuleKind::kPayload;
+}
+
+}  // namespace
+
+std::vector<Pattern> generate_qr_patterns(std::size_t count,
+                                          const QrPatternOptions& options,
+                                          util::Rng& rng) {
+  AUTONCS_CHECK(options.dimension > 0, "pattern dimension must be positive");
+  AUTONCS_CHECK(options.payload_correlation >= 0.0 &&
+                    options.payload_correlation <= 1.0,
+                "payload correlation must be in [0, 1]");
+  AUTONCS_CHECK(options.structure_noise >= 0.0 && options.structure_noise <= 1.0,
+                "structure noise must be in [0, 1]");
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(options.dimension))));
+  const std::size_t finder = options.finder_size > 0
+                                 ? options.finder_size
+                                 : std::max<std::size_t>(3, side / 8);
+
+  AUTONCS_CHECK(options.payload_group_size > 0,
+                "payload group size must be positive");
+  // Group-local mask templates: payload modules that copy their group's
+  // mask are correlated across patterns, mimicking the block-local
+  // structure (codewords, headers) of real QR payloads. Grouping is by
+  // payload ordinal, so groups are contiguous regions of the symbol.
+  std::vector<std::size_t> payload_group(options.dimension, 0);
+  {
+    std::size_t ordinal = 0;
+    for (std::size_t i = 0; i < options.dimension; ++i) {
+      const std::size_t r = i / side;
+      const std::size_t c = i % side;
+      if (classify(r, c, side, finder) == ModuleKind::kPayload) {
+        payload_group[i] = ordinal / options.payload_group_size;
+        ++ordinal;
+      }
+    }
+  }
+  std::vector<Pattern> group_masks;
+  {
+    std::size_t groups = 0;
+    for (std::size_t i = 0; i < options.dimension; ++i)
+      groups = std::max(groups, payload_group[i] + 1);
+    group_masks.assign(groups, Pattern(options.dimension, 0));
+    for (auto& gm : group_masks)
+      for (auto& bit : gm) bit = rng.bernoulli(0.5) ? 1 : -1;
+  }
+
+  std::vector<Pattern> patterns;
+  patterns.reserve(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    // Per-pattern random sign factor of each group. Modules copying their
+    // group mask are multiplied by it, so two modules of the SAME group
+    // stay correlated across patterns while cross-group and
+    // payload-vs-structural correlations average to zero — the Hebbian
+    // weights then develop one dense block per group (plus the structural
+    // clique), the block-diagonal-plus-outliers shape of the paper's
+    // Fig. 3 connection matrices.
+    std::vector<std::int8_t> group_sign(group_masks.size());
+    for (auto& s : group_sign) s = rng.bernoulli(0.5) ? 1 : -1;
+
+    Pattern pattern(options.dimension);
+    for (std::size_t i = 0; i < options.dimension; ++i) {
+      const std::size_t r = i / side;
+      const std::size_t c = i % side;
+      bool structural = true;
+      switch (classify(r, c, side, finder)) {
+        case ModuleKind::kFinderDark: pattern[i] = 1; break;
+        case ModuleKind::kFinderLight: pattern[i] = -1; break;
+        case ModuleKind::kTiming: pattern[i] = (r + c) % 2 == 0 ? 1 : -1; break;
+        case ModuleKind::kPayload:
+          structural = false;
+          pattern[i] =
+              rng.bernoulli(options.payload_correlation)
+                  ? static_cast<std::int8_t>(group_sign[payload_group[i]] *
+                                             group_masks[payload_group[i]][i])
+                  : (rng.bernoulli(0.5) ? std::int8_t{1} : std::int8_t{-1});
+          break;
+      }
+      if (structural && rng.bernoulli(options.structure_noise)) {
+        pattern[i] = static_cast<std::int8_t>(-pattern[i]);
+      }
+    }
+    patterns.push_back(std::move(pattern));
+  }
+  return patterns;
+}
+
+Pattern corrupt_pattern(const Pattern& pattern, double flip_probability,
+                        util::Rng& rng) {
+  AUTONCS_CHECK(flip_probability >= 0.0 && flip_probability <= 1.0,
+                "flip probability must be in [0, 1]");
+  Pattern noisy = pattern;
+  for (auto& bit : noisy) {
+    if (rng.bernoulli(flip_probability)) bit = static_cast<std::int8_t>(-bit);
+  }
+  return noisy;
+}
+
+double pattern_overlap(const Pattern& a, const Pattern& b) {
+  AUTONCS_CHECK(a.size() == b.size(), "patterns must have equal dimension");
+  AUTONCS_CHECK(!a.empty(), "patterns must be nonempty");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  return acc / static_cast<double>(a.size());
+}
+
+}  // namespace autoncs::nn

@@ -1,0 +1,65 @@
+// Random quick-response-code-like pattern generation.
+//
+// The paper's testbenches store "random quick response code patterns" in
+// sparse Hopfield networks (Sec. 4.1). The exact training images were not
+// released, so we synthesize patterns with the same structure a QR symbol
+// has: a square module grid, three fixed finder blocks in the corners
+// (identical across patterns, as in real QR codes), timing-like alternating
+// strips, and a random payload elsewhere. Only the pattern statistics reach
+// the connection matrix (via Hebbian training + magnitude pruning), so this
+// preserves the behaviour the evaluation depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace autoncs::nn {
+
+/// Bipolar pattern: entries are +1 or -1.
+using Pattern = std::vector<std::int8_t>;
+
+struct QrPatternOptions {
+  /// Pattern dimension N; the module grid is ceil(sqrt(N)) wide and the
+  /// pattern is the first N modules in row-major order.
+  std::size_t dimension = 400;
+  /// Side of each square finder block placed in three corners; 0 selects
+  /// automatically as max(3, side/8) — proportionally what real QR symbols
+  /// dedicate to finders. The (nearly) pattern-invariant finder and timing
+  /// modules are what give the stored Hopfield networks their dense
+  /// clusters.
+  std::size_t finder_size = 0;
+  /// Probability that a payload module repeats its group's mask template
+  /// instead of being drawn iid — QR data is not white noise (mode/version
+  /// headers, error-correction codewords are block-local). 0 = fully
+  /// random payload.
+  double payload_correlation = 0.75;
+  /// Payload modules are partitioned into contiguous groups of this many
+  /// modules, each with its own mask. Groups bound the size of the dense
+  /// blocks the stored Hopfield network develops, mirroring the
+  /// block-local structure of real QR codewords; keep it under the largest
+  /// crossbar (64) so one block maps onto one crossbar.
+  std::size_t payload_group_size = 40;
+  /// Per-pattern flip probability of the structural (finder/timing)
+  /// modules, modelling print/scan noise. Keeping this nonzero spreads the
+  /// Hebbian weight magnitudes into a smooth spectrum instead of a
+  /// degenerate tie at |w| = 1, which magnitude pruning needs.
+  double structure_noise = 0.03;
+};
+
+/// Generates `count` patterns of the given dimension. Finder and timing
+/// modules are identical across patterns; payload modules are iid ±1.
+std::vector<Pattern> generate_qr_patterns(std::size_t count,
+                                          const QrPatternOptions& options,
+                                          util::Rng& rng);
+
+/// Flips each element independently with probability `flip_probability`
+/// (the noise model for recall experiments).
+Pattern corrupt_pattern(const Pattern& pattern, double flip_probability,
+                        util::Rng& rng);
+
+/// Normalized overlap in [-1, 1]: (1/N) sum_i a_i b_i.
+double pattern_overlap(const Pattern& a, const Pattern& b);
+
+}  // namespace autoncs::nn

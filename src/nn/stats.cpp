@@ -1,0 +1,48 @@
+#include "nn/stats.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace autoncs::nn {
+
+NetworkStats compute_stats(const ConnectionMatrix& network) {
+  NetworkStats stats;
+  stats.neurons = network.size();
+  stats.connections = network.connection_count();
+  stats.sparsity = network.sparsity();
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    const std::size_t ff = network.fanin_fanout(i);
+    total += ff;
+    stats.max_fanin_fanout = std::max(stats.max_fanin_fanout, ff);
+  }
+  stats.mean_fanin_fanout =
+      stats.neurons > 0 ? static_cast<double>(total) / static_cast<double>(stats.neurons)
+                        : 0.0;
+  return stats;
+}
+
+std::vector<std::size_t> fanin_fanout_profile(const ConnectionMatrix& network) {
+  std::vector<std::size_t> profile(network.size());
+  for (std::size_t i = 0; i < network.size(); ++i)
+    profile[i] = network.fanin_fanout(i);
+  return profile;
+}
+
+std::vector<std::size_t> histogram(const std::vector<std::size_t>& values,
+                                   std::size_t bins) {
+  AUTONCS_CHECK(bins > 0, "histogram needs at least one bin");
+  std::vector<std::size_t> counts(bins, 0);
+  if (values.empty()) return counts;
+  const std::size_t max_value = *std::max_element(values.begin(), values.end());
+  const double width =
+      max_value == 0 ? 1.0 : static_cast<double>(max_value + 1) / static_cast<double>(bins);
+  for (std::size_t v : values) {
+    auto bin = static_cast<std::size_t>(static_cast<double>(v) / width);
+    counts[std::min(bin, bins - 1)] += 1;
+  }
+  return counts;
+}
+
+}  // namespace autoncs::nn

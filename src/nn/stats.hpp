@@ -1,0 +1,29 @@
+// Network-level statistics used across the evaluation figures.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/connection_matrix.hpp"
+
+namespace autoncs::nn {
+
+struct NetworkStats {
+  std::size_t neurons = 0;
+  std::size_t connections = 0;
+  double sparsity = 0.0;
+  double mean_fanin_fanout = 0.0;
+  std::size_t max_fanin_fanout = 0;
+};
+
+NetworkStats compute_stats(const ConnectionMatrix& network);
+
+/// fanin+fanout of every neuron (Sec. 4.2's congestion proxy).
+std::vector<std::size_t> fanin_fanout_profile(const ConnectionMatrix& network);
+
+/// Histogram of values with the given number of equal-width bins over
+/// [0, max]; returns per-bin counts.
+std::vector<std::size_t> histogram(const std::vector<std::size_t>& values,
+                                   std::size_t bins);
+
+}  // namespace autoncs::nn

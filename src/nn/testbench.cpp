@@ -1,0 +1,36 @@
+#include "nn/testbench.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::nn {
+
+const std::vector<TestbenchSpec>& paper_testbenches() {
+  static const std::vector<TestbenchSpec> specs = {
+      {1, 15, 300, 0.9447},
+      {2, 20, 400, 0.9359},
+      {3, 30, 500, 0.9439},
+  };
+  return specs;
+}
+
+Testbench build_testbench(int id, std::uint64_t seed) {
+  for (const auto& spec : paper_testbenches()) {
+    if (spec.id == id) return build_testbench(spec, seed + static_cast<std::uint64_t>(id));
+  }
+  AUTONCS_CHECK(false, "unknown testbench id (valid: 1, 2, 3)");
+  __builtin_unreachable();
+}
+
+Testbench build_testbench(const TestbenchSpec& spec, std::uint64_t seed) {
+  util::Rng rng(seed);
+  QrPatternOptions pattern_options;
+  pattern_options.dimension = spec.dimension;
+  auto patterns = generate_qr_patterns(spec.pattern_count, pattern_options, rng);
+  HopfieldNetwork network = HopfieldNetwork::train(patterns);
+  network.prune_to_sparsity(spec.target_sparsity);
+  ConnectionMatrix topology = network.topology();
+  return Testbench{spec, std::move(patterns), std::move(network), std::move(topology)};
+}
+
+}  // namespace autoncs::nn

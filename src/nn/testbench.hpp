@@ -1,0 +1,43 @@
+// The paper's three testbenches (Sec. 4.1): random QR-code patterns stored
+// in sparse Hopfield networks with
+//   testbench 1: (M, N) = (15, 300), sparsity 94.47%
+//   testbench 2: (M, N) = (20, 400), sparsity 93.59%
+//   testbench 3: (M, N) = (30, 500), sparsity 94.39%
+// and recognition rates above 90%.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "nn/connection_matrix.hpp"
+#include "nn/hopfield.hpp"
+#include "nn/qr_pattern.hpp"
+
+namespace autoncs::nn {
+
+struct TestbenchSpec {
+  int id = 0;
+  std::size_t pattern_count = 0;      // M
+  std::size_t dimension = 0;          // N
+  double target_sparsity = 0.0;       // from Sec. 4.1
+};
+
+/// Specs for testbenches 1..3 exactly as published.
+const std::vector<TestbenchSpec>& paper_testbenches();
+
+struct Testbench {
+  TestbenchSpec spec;
+  std::vector<Pattern> patterns;
+  HopfieldNetwork network;
+  ConnectionMatrix topology;
+};
+
+/// Builds testbench `id` (1-based) deterministically from `seed`. Throws on
+/// unknown id.
+Testbench build_testbench(int id, std::uint64_t seed = 2015);
+
+/// Builds a testbench from an arbitrary spec (used by scaling sweeps).
+Testbench build_testbench(const TestbenchSpec& spec, std::uint64_t seed);
+
+}  // namespace autoncs::nn

@@ -1,0 +1,101 @@
+#include "place/conjugate_gradient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace autoncs::place {
+
+namespace {
+
+double infinity_norm(const std::vector<double>& v) {
+  double out = 0.0;
+  for (double x : v) out = std::max(out, std::abs(x));
+  return out;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace
+
+CgResult minimize_cg(std::vector<double>& x, const Objective& objective,
+                     const CgOptions& options) {
+  AUTONCS_CHECK(!x.empty(), "cannot optimize an empty state");
+  const std::size_t n = x.size();
+
+  std::vector<double> grad(n, 0.0);
+  std::vector<double> prev_grad(n, 0.0);
+  std::vector<double> direction(n, 0.0);
+  std::vector<double> trial(n, 0.0);
+  std::vector<double> trial_grad(n, 0.0);
+
+  CgResult result;
+  double value = objective(x, grad);
+  result.value = value;
+  result.gradient_infinity_norm = infinity_norm(grad);
+  if (result.gradient_infinity_norm <= options.gradient_tolerance) {
+    result.converged = true;
+    return result;
+  }
+  for (std::size_t i = 0; i < n; ++i) direction[i] = -grad[i];
+  double step = options.initial_step;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    double slope = dot(grad, direction);
+    if (slope >= 0.0) {
+      // Direction lost descent property — restart with steepest descent.
+      for (std::size_t i = 0; i < n; ++i) direction[i] = -grad[i];
+      slope = dot(grad, direction);
+      if (slope >= 0.0) break;  // gradient numerically zero
+    }
+
+    // Armijo backtracking line search.
+    double t = step;
+    double trial_value = value;
+    bool accepted = false;
+    for (std::size_t bt = 0; bt < options.max_backtracks; ++bt) {
+      for (std::size_t i = 0; i < n; ++i) trial[i] = x[i] + t * direction[i];
+      trial_value = objective(trial, trial_grad);
+      if (trial_value <= value + options.armijo_c1 * t * slope) {
+        accepted = true;
+        break;
+      }
+      t *= options.backtrack;
+    }
+    if (!accepted) break;  // no progress possible along this direction
+
+    x.swap(trial);
+    prev_grad.swap(grad);
+    grad.swap(trial_grad);
+    value = trial_value;
+    // Grow the next initial step moderately so the search adapts to scale.
+    step = std::max(t * 2.0, 1e-12);
+
+    result.value = value;
+    result.gradient_infinity_norm = infinity_norm(grad);
+    if (result.gradient_infinity_norm <= options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Polak-Ribiere+ beta.
+    double gg = dot(prev_grad, prev_grad);
+    if (gg <= 0.0) break;
+    double beta = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      beta += grad[i] * (grad[i] - prev_grad[i]);
+    beta = std::max(0.0, beta / gg);
+    for (std::size_t i = 0; i < n; ++i)
+      direction[i] = -grad[i] + beta * direction[i];
+  }
+  return result;
+}
+
+}  // namespace autoncs::place

@@ -1,0 +1,43 @@
+// Nonlinear conjugate gradient (Polak-Ribiere+ with Armijo backtracking),
+// the solver the paper uses for the penalty function at each outer
+// placement iteration (Alg. 4 line 3, citing NTUplace3 [15]).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace autoncs::place {
+
+struct CgOptions {
+  std::size_t max_iterations = 200;
+  /// Stop when the infinity norm of the gradient falls below this.
+  double gradient_tolerance = 1e-7;
+  /// Armijo sufficient-decrease constant.
+  double armijo_c1 = 1e-4;
+  /// Step shrink factor for backtracking.
+  double backtrack = 0.5;
+  /// Maximum backtracking trials per line search.
+  std::size_t max_backtracks = 30;
+  /// First trial step of the first line search.
+  double initial_step = 1.0;
+};
+
+struct CgResult {
+  double value = 0.0;
+  std::size_t iterations = 0;
+  double gradient_infinity_norm = 0.0;
+  /// True when the gradient tolerance was met (vs. iteration cap).
+  bool converged = false;
+};
+
+/// Objective callback: returns f(x) and fills `gradient` (resized by the
+/// caller to x.size()).
+using Objective =
+    std::function<double(const std::vector<double>& x, std::vector<double>& gradient)>;
+
+/// Minimizes `objective` starting from (and updating) `x`.
+CgResult minimize_cg(std::vector<double>& x, const Objective& objective,
+                     const CgOptions& options = {});
+
+}  // namespace autoncs::place

@@ -1,0 +1,175 @@
+#include "place/density.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace autoncs::place {
+
+namespace {
+
+/// Uniform-grid neighbor finder over cell centers. Cells are binned by
+/// center; queries scan every bin within the maximum interaction distance,
+/// so no pair within range is missed regardless of cell size disparity.
+class SpatialHash {
+ public:
+  SpatialHash(const netlist::Netlist& netlist, const std::vector<double>& state,
+              double interaction_reach, double bucket)
+      : bucket_(bucket), reach_(interaction_reach) {
+    for (std::size_t c = 0; c < netlist.cells.size(); ++c) {
+      buckets_[key(state[2 * c], state[2 * c + 1])].push_back(c);
+    }
+  }
+
+  /// Calls fn(j) for every cell j > i whose center lies within the
+  /// interaction reach of cell i's center (conservative superset).
+  template <typename Fn>
+  void for_candidates(std::size_t i, double xi, double yi, Fn&& fn) const {
+    const auto span = static_cast<long long>(std::ceil(reach_ / bucket_));
+    const long long bx = coord(xi);
+    const long long by = coord(yi);
+    for (long long dx = -span; dx <= span; ++dx) {
+      for (long long dy = -span; dy <= span; ++dy) {
+        const auto it = buckets_.find(pack(bx + dx, by + dy));
+        if (it == buckets_.end()) continue;
+        for (std::size_t j : it->second) {
+          if (j > i) fn(j);
+        }
+      }
+    }
+  }
+
+ private:
+  long long coord(double v) const {
+    return static_cast<long long>(std::floor(v / bucket_));
+  }
+  static std::uint64_t pack(long long x, long long y) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(y));
+  }
+  std::uint64_t key(double x, double y) const { return pack(coord(x), coord(y)); }
+
+  double bucket_;
+  double reach_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets_;
+};
+
+double softplus(double z, double beta) {
+  const double t = beta * z;
+  if (t > 30.0) return z;
+  if (t < -30.0) return 0.0;
+  return std::log1p(std::exp(t)) / beta;
+}
+
+double sigmoid(double z, double beta) {
+  const double t = beta * z;
+  if (t > 30.0) return 1.0;
+  if (t < -30.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-t));
+}
+
+double max_virtual_half_extent(const netlist::Netlist& netlist, double omega) {
+  double out = 0.0;
+  for (const auto& cell : netlist.cells) {
+    out = std::max(out, 0.5 * omega * std::max(cell.width, cell.height));
+  }
+  return out;
+}
+
+}  // namespace
+
+double DensityModel::evaluate(const netlist::Netlist& netlist,
+                              const std::vector<double>& state,
+                              std::vector<double>* gradient) const {
+  AUTONCS_CHECK(state.size() == netlist.cells.size() * 2,
+                "state size must be 2 * cell count");
+  AUTONCS_CHECK(omega >= 1.0, "omega must be at least 1");
+  AUTONCS_CHECK(beta > 0.0, "beta must be positive");
+  if (gradient != nullptr) {
+    AUTONCS_CHECK(gradient->size() == state.size(),
+                  "gradient size must match the state");
+  }
+  const std::size_t n = netlist.cells.size();
+  if (n < 2) return 0.0;
+
+  // Softplus tail: beyond penetration < -tail/beta the contribution is
+  // below exp(-30) and can be skipped.
+  const double tail = 30.0 / beta;
+  const double r_max = max_virtual_half_extent(netlist, omega);
+  const double reach = 2.0 * r_max + tail;
+  const double bucket = std::max(reach / 2.0, 1e-6);
+  const SpatialHash hash(netlist, state, reach, bucket);
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& ci = netlist.cells[i];
+    const double xi = state[2 * i];
+    const double yi = state[2 * i + 1];
+    const double hwi = 0.5 * omega * ci.width;
+    const double hhi = 0.5 * omega * ci.height;
+    hash.for_candidates(i, xi, yi, [&](std::size_t j) {
+      const auto& cj = netlist.cells[j];
+      const double dx = xi - state[2 * j];
+      const double dy = yi - state[2 * j + 1];
+      const double tx = hwi + 0.5 * omega * cj.width;
+      const double ty = hhi + 0.5 * omega * cj.height;
+      const double zx = tx - std::abs(dx);
+      const double zy = ty - std::abs(dy);
+      if (zx < -tail || zy < -tail) return;
+      const double ox = softplus(zx, beta);
+      const double oy = softplus(zy, beta);
+      total += ox * oy;
+      if (gradient != nullptr) {
+        const double sx = (dx > 0.0 ? -1.0 : (dx < 0.0 ? 1.0 : 0.0)) *
+                          sigmoid(zx, beta) * oy;
+        const double sy = (dy > 0.0 ? -1.0 : (dy < 0.0 ? 1.0 : 0.0)) *
+                          sigmoid(zy, beta) * ox;
+        (*gradient)[2 * i] += sx;
+        (*gradient)[2 * j] -= sx;
+        (*gradient)[2 * i + 1] += sy;
+        (*gradient)[2 * j + 1] -= sy;
+      }
+    });
+  }
+  return total;
+}
+
+double exact_overlap_area(const netlist::Netlist& netlist,
+                          const std::vector<double>& state, double omega) {
+  AUTONCS_CHECK(state.size() == netlist.cells.size() * 2,
+                "state size must be 2 * cell count");
+  const std::size_t n = netlist.cells.size();
+  if (n < 2) return 0.0;
+  const double r_max = max_virtual_half_extent(netlist, omega);
+  const double reach = 2.0 * r_max;
+  const double bucket = std::max(reach / 2.0, 1e-6);
+  const SpatialHash hash(netlist, state, reach, bucket);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& ci = netlist.cells[i];
+    const double xi = state[2 * i];
+    const double yi = state[2 * i + 1];
+    hash.for_candidates(i, xi, yi, [&](std::size_t j) {
+      const auto& cj = netlist.cells[j];
+      const double ox = std::max(
+          0.0, 0.5 * omega * (ci.width + cj.width) - std::abs(xi - state[2 * j]));
+      const double oy = std::max(0.0, 0.5 * omega * (ci.height + cj.height) -
+                                          std::abs(yi - state[2 * j + 1]));
+      total += ox * oy;
+    });
+  }
+  return total;
+}
+
+double overlap_ratio(const netlist::Netlist& netlist,
+                     const std::vector<double>& state, double omega) {
+  double area = 0.0;
+  for (const auto& cell : netlist.cells)
+    area += omega * cell.width * omega * cell.height;
+  if (area <= 0.0) return 0.0;
+  return exact_overlap_area(netlist, state, omega) / area;
+}
+
+}  // namespace autoncs::place

@@ -1,0 +1,44 @@
+// Cell density model — Eq. (2) of the paper, following the sigmoid-based
+// overlap of Chou et al. [14]:
+//   D(x, y) = sum_{ci, cj} Ox(ci, cj) * Oy(ci, cj)
+// where Ox is a smooth one-dimensional overlap between the VIRTUAL extents
+// of two cells. The virtual width is omega * width (Sec. 3.5), reserving
+// routing space around every cell.
+//
+// Our smooth overlap is the softplus of the rectilinear penetration depth:
+//   Ox = softplus_beta(tx - |xi - xj|),  tx = (wi' + wj') / 2,
+// which matches the exact overlap (tx - |d|)+ as beta grows and has the
+// sigmoid as its derivative. Pairs are enumerated through a uniform spatial
+// hash so the cost stays near-linear in the cell count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace autoncs::place {
+
+struct DensityModel {
+  /// Routing-space factor omega applied to both cell dimensions.
+  double omega = 1.2;
+  /// Softplus sharpness (1/um). Larger = closer to the exact hinge.
+  double beta = 16.0;
+
+  /// D(x, y); accumulates into `gradient` when nonnull (caller zeroes it).
+  double evaluate(const netlist::Netlist& netlist,
+                  const std::vector<double>& state,
+                  std::vector<double>* gradient) const;
+};
+
+/// Exact total pairwise rectangle overlap AREA of the virtual cells; the
+/// convergence criterion of Alg. 4 line 6 ("sum of overlap").
+double exact_overlap_area(const netlist::Netlist& netlist,
+                          const std::vector<double>& state, double omega);
+
+/// Overlap area normalized by total virtual cell area (a scale-free
+/// stopping threshold).
+double overlap_ratio(const netlist::Netlist& netlist,
+                     const std::vector<double>& state, double omega);
+
+}  // namespace autoncs::place

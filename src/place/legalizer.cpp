@@ -1,0 +1,83 @@
+#include "place/legalizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "place/density.hpp"
+#include "util/check.hpp"
+
+namespace autoncs::place {
+
+LegalizerReport legalize(const netlist::Netlist& netlist,
+                         std::vector<double>& state,
+                         const LegalizerOptions& options) {
+  AUTONCS_CHECK(state.size() == netlist.cells.size() * 2,
+                "state size must be 2 * cell count");
+  const std::size_t n = netlist.cells.size();
+  LegalizerReport report;
+
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    report.passes = pass + 1;
+    bool any_overlap = false;
+    // Deterministic sweep over ordered pairs; for the few hundred to few
+    // thousand cells of an NCS netlist the quadratic sweep is cheap
+    // relative to the analytic phase and has no tuning knobs.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double hwi = 0.5 * options.omega * netlist.cells[i].width;
+      const double hhi = 0.5 * options.omega * netlist.cells[i].height;
+      const double ai = netlist.cells[i].area();
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double tx = hwi + 0.5 * options.omega * netlist.cells[j].width;
+        const double ty = hhi + 0.5 * options.omega * netlist.cells[j].height;
+        const double dx = state[2 * i] - state[2 * j];
+        const double dy = state[2 * i + 1] - state[2 * j + 1];
+        const double px = tx - std::abs(dx);
+        const double py = ty - std::abs(dy);
+        if (px <= 0.0 || py <= 0.0) continue;
+        any_overlap = true;
+        const double aj = netlist.cells[j].area();
+        const double share_i = aj / (ai + aj);  // lighter cell moves more
+        if (px <= py) {
+          const double move = px + options.margin;
+          const double dir = dx >= 0.0 ? 1.0 : -1.0;
+          state[2 * i] += dir * move * share_i;
+          state[2 * j] -= dir * move * (1.0 - share_i);
+        } else {
+          const double move = py + options.margin;
+          const double dir = dy >= 0.0 ? 1.0 : -1.0;
+          state[2 * i + 1] += dir * move * share_i;
+          state[2 * j + 1] -= dir * move * (1.0 - share_i);
+        }
+      }
+    }
+    if (options.die_half > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double lx = std::max(
+            0.0, options.die_half - 0.5 * options.omega * netlist.cells[i].width);
+        const double ly = std::max(
+            0.0,
+            options.die_half - 0.5 * options.omega * netlist.cells[i].height);
+        state[2 * i] = std::clamp(state[2 * i], -lx, lx);
+        state[2 * i + 1] = std::clamp(state[2 * i + 1], -ly, ly);
+      }
+    }
+    if (!any_overlap) {
+      report.converged = true;
+      break;
+    }
+    if (pass % 8 == 7) {
+      // Periodic exact check so we can stop early on "good enough".
+      const double ratio = overlap_ratio(netlist, state, options.omega);
+      if (ratio < options.overlap_tolerance) {
+        report.converged = true;
+        break;
+      }
+    }
+  }
+  report.final_overlap_ratio = overlap_ratio(netlist, state, options.omega);
+  if (report.final_overlap_ratio < options.overlap_tolerance)
+    report.converged = true;
+  return report;
+}
+
+}  // namespace autoncs::place

@@ -1,0 +1,42 @@
+// Overlap legalization — Alg. 4 line 7 ("pushes away the cells to legalize
+// the remaining overlap between cells").
+//
+// After the penalty loop the residual overlap is small, so a deterministic
+// pairwise push-apart relaxation suffices: every overlapping pair of
+// virtual rectangles is separated along its minimum-penetration axis, the
+// lighter (smaller-area) cell moving further, until the residual overlap
+// ratio drops below the tolerance or the pass budget is exhausted.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace autoncs::place {
+
+struct LegalizerOptions {
+  /// Virtual-width factor (must match the placer's omega).
+  double omega = 1.2;
+  /// Extra clearance added when separating a pair (um).
+  double margin = 0.01;
+  std::size_t max_passes = 400;
+  /// Stop when overlap_ratio() falls below this.
+  double overlap_tolerance = 1e-4;
+  /// Half-side of the square die centered at the origin; cells are clamped
+  /// inside after every pass. 0 disables clamping.
+  double die_half = 0.0;
+};
+
+struct LegalizerReport {
+  std::size_t passes = 0;
+  double final_overlap_ratio = 0.0;
+  bool converged = false;
+};
+
+/// Separates overlapping cells in `state` (interleaved coordinates).
+LegalizerReport legalize(const netlist::Netlist& netlist,
+                         std::vector<double>& state,
+                         const LegalizerOptions& options = {});
+
+}  // namespace autoncs::place

@@ -1,0 +1,151 @@
+#include "place/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::place {
+
+namespace {
+
+/// Regular-grid initial placement (Alg. 4 line 1) within the die, with a
+/// small deterministic jitter so symmetric configurations don't stall CG.
+void initial_grid(netlist::Netlist& netlist, double die_side, std::uint64_t seed) {
+  const std::size_t n = netlist.cells.size();
+  if (n == 0) return;
+  const auto cols =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  const double pitch = die_side / static_cast<double>(cols);
+  util::Rng rng(seed);
+  for (std::size_t c = 0; c < n; ++c) {
+    const double gx = static_cast<double>(c % cols);
+    const double gy = static_cast<double>(c / cols);
+    netlist.cells[c].x =
+        (gx + 0.5) * pitch - 0.5 * die_side + rng.uniform(-0.05, 0.05) * pitch;
+    netlist.cells[c].y =
+        (gy + 0.5) * pitch - 0.5 * die_side + rng.uniform(-0.05, 0.05) * pitch;
+  }
+}
+
+double sum_abs(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += std::abs(x);
+  return acc;
+}
+
+/// Quadratic out-of-die penalty, sharing lambda with the density term.
+/// Returns the penalty; accumulates the gradient when nonnull.
+double boundary_penalty(const netlist::Netlist& netlist,
+                        const std::vector<double>& state, double omega,
+                        double die_half, std::vector<double>* gradient) {
+  double total = 0.0;
+  for (std::size_t c = 0; c < netlist.cells.size(); ++c) {
+    const auto& cell = netlist.cells[c];
+    const double limit_x =
+        std::max(0.0, die_half - 0.5 * omega * cell.width);
+    const double limit_y =
+        std::max(0.0, die_half - 0.5 * omega * cell.height);
+    for (int axis = 0; axis < 2; ++axis) {
+      const double v = state[2 * c + static_cast<std::size_t>(axis)];
+      const double limit = axis == 0 ? limit_x : limit_y;
+      const double excess = std::abs(v) - limit;
+      if (excess <= 0.0) continue;
+      total += excess * excess;
+      if (gradient != nullptr) {
+        (*gradient)[2 * c + static_cast<std::size_t>(axis)] +=
+            2.0 * excess * (v > 0.0 ? 1.0 : -1.0);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+BoundingBox placement_bounding_box(const netlist::Netlist& netlist, double omega) {
+  BoundingBox box;
+  if (netlist.cells.empty()) return box;
+  box.min_x = box.min_y = std::numeric_limits<double>::infinity();
+  box.max_x = box.max_y = -std::numeric_limits<double>::infinity();
+  for (const auto& cell : netlist.cells) {
+    const double hw = 0.5 * omega * cell.width;
+    const double hh = 0.5 * omega * cell.height;
+    box.min_x = std::min(box.min_x, cell.x - hw);
+    box.max_x = std::max(box.max_x, cell.x + hw);
+    box.min_y = std::min(box.min_y, cell.y - hh);
+    box.max_y = std::max(box.max_y, cell.y + hh);
+  }
+  return box;
+}
+
+PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
+  AUTONCS_CHECK(netlist.validate().empty(), "netlist failed validation");
+  AUTONCS_CHECK(!netlist.cells.empty(), "cannot place an empty netlist");
+
+  AUTONCS_CHECK(options.target_density > 0.0 && options.target_density <= 1.0,
+                "target density must be in (0, 1]");
+  double virtual_area = 0.0;
+  for (const auto& cell : netlist.cells)
+    virtual_area += options.omega * cell.width * options.omega * cell.height;
+  const double die_side = std::sqrt(virtual_area / options.target_density);
+  const double die_half = 0.5 * die_side;
+
+  initial_grid(netlist, die_side, options.seed);
+  std::vector<double> state = pack_positions(netlist);
+
+  const WaModel wl_model{options.gamma};
+  const DensityModel density_model{options.omega, options.beta};
+
+  // lambda_0 = sum |dWL| / sum |dD| at the initial placement.
+  std::vector<double> grad_wl(state.size(), 0.0);
+  std::vector<double> grad_d(state.size(), 0.0);
+  wl_model.evaluate(netlist, state, &grad_wl);
+  density_model.evaluate(netlist, state, &grad_d);
+  const double denom = sum_abs(grad_d);
+  double lambda = denom > 0.0 ? sum_abs(grad_wl) / denom : 1.0;
+  if (lambda <= 0.0) lambda = 1.0;
+
+  PlacementReport report;
+  for (std::size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
+    report.outer_iterations = outer + 1;
+    const double lambda_now = lambda;
+    const Objective objective = [&](const std::vector<double>& x,
+                                    std::vector<double>& gradient) {
+      std::fill(gradient.begin(), gradient.end(), 0.0);
+      const double wl = wl_model.evaluate(netlist, x, &gradient);
+      // Density + boundary gradients accumulate unscaled into a scratch
+      // vector, then fold in scaled by lambda.
+      std::vector<double> dgrad(x.size(), 0.0);
+      double d = density_model.evaluate(netlist, x, &dgrad);
+      d += boundary_penalty(netlist, x, options.omega, die_half, &dgrad);
+      for (std::size_t i = 0; i < gradient.size(); ++i)
+        gradient[i] += lambda_now * dgrad[i];
+      return wl + lambda_now * d;
+    };
+    const CgResult cg = minimize_cg(state, objective, options.cg);
+    const double ratio = overlap_ratio(netlist, state, options.omega);
+    util::LogLine(util::LogLevel::kInfo, "place")
+        << "outer " << outer + 1 << ": lambda=" << lambda_now
+        << " f=" << cg.value << " overlap=" << ratio;
+    report.lambda_final = lambda_now;
+    report.overlap_ratio_before_legalization = ratio;
+    if (ratio <= options.overlap_stop_ratio) break;
+    lambda *= options.lambda_growth;
+  }
+
+  LegalizerOptions legal = options.legalizer;
+  legal.omega = options.omega;
+  legal.die_half = die_half;
+  report.legalization = legalize(netlist, state, legal);
+
+  unpack_positions(state, netlist);
+  report.hpwl_um = hpwl(netlist, state);
+  report.die = placement_bounding_box(netlist, options.omega);
+  report.area_um2 = report.die.area();
+  return report;
+}
+
+}  // namespace autoncs::place

@@ -1,0 +1,69 @@
+// Analytical placement driver — Algorithm 4 of the paper.
+//
+//   min WL(x, y) + lambda * D(x, y)
+//
+// Line 1 initializes cells on a regular grid and sets
+// lambda_0 = sum|dWL| / sum|dD|; lines 3-6 repeatedly solve the penalty
+// function with conjugate gradient and double lambda until the remaining
+// overlap is below the user threshold; line 7 legalizes the residue.
+#pragma once
+
+#include <cstdint>
+
+#include "place/conjugate_gradient.hpp"
+#include "place/density.hpp"
+#include "place/legalizer.hpp"
+#include "place/wa_wirelength.hpp"
+
+namespace autoncs::place {
+
+struct PlacerOptions {
+  /// WA smoothness gamma (um).
+  double gamma = 2.0;
+  /// Routing-space factor for virtual widths.
+  double omega = 1.2;
+  /// Softplus sharpness of the density model (1/um).
+  double beta = 16.0;
+  /// Fraction of the square die the virtual cell area should fill; the die
+  /// side is sqrt(total virtual area / target_density). Cells straying
+  /// outside pay a quadratic penalty scaled by the same lambda as the
+  /// density term, so the outline tightens together with overlap removal.
+  double target_density = 0.8;
+  /// Outer loop stops when overlap_ratio() <= this (Alg. 4 line 6).
+  double overlap_stop_ratio = 0.03;
+  std::size_t max_outer_iterations = 24;
+  /// lambda multiplier per outer iteration (Alg. 4 line 5).
+  double lambda_growth = 2.0;
+  CgOptions cg{.max_iterations = 100, .gradient_tolerance = 1e-6};
+  LegalizerOptions legalizer{};
+  /// Deterministic jitter seed for the initial grid (breaks exact ties).
+  std::uint64_t seed = 1;
+};
+
+struct BoundingBox {
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+  double area() const { return width() * height(); }
+};
+
+struct PlacementReport {
+  std::size_t outer_iterations = 0;
+  double lambda_final = 0.0;
+  double overlap_ratio_before_legalization = 0.0;
+  LegalizerReport legalization;
+  /// Exact HPWL of the final placement (um), unweighted.
+  double hpwl_um = 0.0;
+  /// Chip area: bounding box of the virtual cell extents (um^2) — routing
+  /// space is part of the die.
+  double area_um2 = 0.0;
+  BoundingBox die;
+};
+
+/// Places `netlist` in-place (cell x/y updated) and reports the outcome.
+PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options = {});
+
+/// Bounding box of the placed cells' virtual extents.
+BoundingBox placement_bounding_box(const netlist::Netlist& netlist, double omega);
+
+}  // namespace autoncs::place

@@ -1,0 +1,159 @@
+#include "place/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "place/wa_wirelength.hpp"
+#include "util/check.hpp"
+
+namespace autoncs::place {
+
+namespace {
+
+/// Weighted HPWL of one wire given current cell positions.
+double wire_hpwl(const netlist::Netlist& net, const netlist::Wire& wire) {
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -min_x;
+  double min_y = min_x;
+  double max_y = -min_x;
+  for (std::size_t pin : wire.pins) {
+    min_x = std::min(min_x, net.cells[pin].x);
+    max_x = std::max(max_x, net.cells[pin].x);
+    min_y = std::min(min_y, net.cells[pin].y);
+    max_y = std::max(max_y, net.cells[pin].y);
+  }
+  return wire.weight * ((max_x - min_x) + (max_y - min_y));
+}
+
+/// Sum over the wires incident to one or two cells (deduplicated).
+double incident_cost(const netlist::Netlist& net,
+                     const std::vector<std::vector<std::size_t>>& wires_of,
+                     std::size_t a, std::size_t b) {
+  double cost = 0.0;
+  for (std::size_t w : wires_of[a]) cost += wire_hpwl(net, net.wires[w]);
+  if (b != a) {
+    for (std::size_t w : wires_of[b]) {
+      // Skip wires already counted through a.
+      bool shared = false;
+      for (std::size_t wa : wires_of[a]) {
+        if (wa == w) {
+          shared = true;
+          break;
+        }
+      }
+      if (!shared) cost += wire_hpwl(net, net.wires[w]);
+    }
+  }
+  return cost;
+}
+
+bool overlaps_anyone(const netlist::Netlist& net, std::size_t cell,
+                     double x, double y, double omega) {
+  const auto& c = net.cells[cell];
+  const double hw = 0.5 * omega * c.width;
+  const double hh = 0.5 * omega * c.height;
+  for (std::size_t other = 0; other < net.cells.size(); ++other) {
+    if (other == cell) continue;
+    const auto& o = net.cells[other];
+    const double tx = hw + 0.5 * omega * o.width;
+    const double ty = hh + 0.5 * omega * o.height;
+    if (std::abs(x - o.x) < tx && std::abs(y - o.y) < ty) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+RefineReport refine_placement(netlist::Netlist& netlist,
+                              const RefineOptions& options) {
+  AUTONCS_CHECK(netlist.validate().empty(), "netlist failed validation");
+  RefineReport report;
+  const std::size_t n = netlist.cells.size();
+  if (n < 2) return report;
+
+  // Incidence: wires touching each cell.
+  std::vector<std::vector<std::size_t>> wires_of(n);
+  for (std::size_t w = 0; w < netlist.wires.size(); ++w)
+    for (std::size_t pin : netlist.wires[w].pins) wires_of[pin].push_back(w);
+
+  const auto state = pack_positions(netlist);
+  report.weighted_hpwl_before = weighted_hpwl(netlist, state);
+
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    report.passes = pass + 1;
+    bool improved = false;
+
+    for (std::size_t a = 0; a < n; ++a) {
+      if (wires_of[a].empty()) continue;
+
+      // Candidate 1: swap with an equal-footprint cell within the radius.
+      for (std::size_t b = a + 1; b < n; ++b) {
+        const auto& ca = netlist.cells[a];
+        const auto& cb = netlist.cells[b];
+        if (std::abs(ca.width - cb.width) > options.footprint_tolerance_um ||
+            std::abs(ca.height - cb.height) > options.footprint_tolerance_um) {
+          continue;
+        }
+        if (std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y) >
+            options.swap_radius_um) {
+          continue;
+        }
+        const double before = incident_cost(netlist, wires_of, a, b);
+        std::swap(netlist.cells[a].x, netlist.cells[b].x);
+        std::swap(netlist.cells[a].y, netlist.cells[b].y);
+        const double after = incident_cost(netlist, wires_of, a, b);
+        if (after + 1e-12 < before) {
+          ++report.swaps;
+          improved = true;
+        } else {
+          std::swap(netlist.cells[a].x, netlist.cells[b].x);
+          std::swap(netlist.cells[a].y, netlist.cells[b].y);
+        }
+      }
+
+      // Candidate 2: relocate toward the weighted median of connected pins
+      // if the spot is free of overlap.
+      double sum_w = 0.0;
+      double target_x = 0.0;
+      double target_y = 0.0;
+      for (std::size_t w : wires_of[a]) {
+        const auto& wire = netlist.wires[w];
+        for (std::size_t pin : wire.pins) {
+          if (pin == a) continue;
+          sum_w += wire.weight;
+          target_x += wire.weight * netlist.cells[pin].x;
+          target_y += wire.weight * netlist.cells[pin].y;
+        }
+      }
+      if (sum_w <= 0.0) continue;
+      target_x /= sum_w;
+      target_y /= sum_w;
+      const double old_x = netlist.cells[a].x;
+      const double old_y = netlist.cells[a].y;
+      if (std::abs(target_x - old_x) + std::abs(target_y - old_y) < 1e-9)
+        continue;
+      if (overlaps_anyone(netlist, a, target_x, target_y, options.omega))
+        continue;
+      const double before = incident_cost(netlist, wires_of, a, a);
+      netlist.cells[a].x = target_x;
+      netlist.cells[a].y = target_y;
+      const double after = incident_cost(netlist, wires_of, a, a);
+      if (after + 1e-12 < before) {
+        ++report.moves;
+        improved = true;
+      } else {
+        netlist.cells[a].x = old_x;
+        netlist.cells[a].y = old_y;
+      }
+    }
+    if (!improved) break;
+  }
+
+  const auto final_state = pack_positions(netlist);
+  report.weighted_hpwl_after = weighted_hpwl(netlist, final_state);
+  return report;
+}
+
+}  // namespace autoncs::place

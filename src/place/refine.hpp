@@ -1,0 +1,42 @@
+// Detailed-placement refinement (extension beyond Alg. 4).
+//
+// After global placement + legalization, a greedy improvement pass mops up
+// the local suboptimality the analytic solver leaves behind:
+//  * swap two equal-footprint cells when that lowers the weighted HPWL of
+//    their incident wires (legality is preserved trivially), and
+//  * relocate a cell toward the weighted median of its connected pins when
+//    the spot is free.
+// Deterministic sweeps; stops when a pass makes no improvement.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace autoncs::place {
+
+struct RefineOptions {
+  std::size_t max_passes = 8;
+  /// Swap-candidate search radius around each cell (um).
+  double swap_radius_um = 25.0;
+  /// Virtual-width factor for legality checks (match the placer's omega).
+  double omega = 1.2;
+  /// Two cells are swap-compatible when their widths and heights differ by
+  /// no more than this (um) — the swap then cannot create overlap.
+  double footprint_tolerance_um = 1e-9;
+};
+
+struct RefineReport {
+  std::size_t passes = 0;
+  std::size_t swaps = 0;
+  std::size_t moves = 0;
+  double weighted_hpwl_before = 0.0;
+  double weighted_hpwl_after = 0.0;
+};
+
+/// Improves the placement in-place; never increases the weighted HPWL and
+/// never introduces new overlap.
+RefineReport refine_placement(netlist::Netlist& netlist,
+                              const RefineOptions& options = {});
+
+}  // namespace autoncs::place

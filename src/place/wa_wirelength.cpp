@@ -1,0 +1,128 @@
+#include "place/wa_wirelength.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace autoncs::place {
+
+std::vector<double> pack_positions(const netlist::Netlist& netlist) {
+  std::vector<double> state(netlist.cells.size() * 2);
+  for (std::size_t c = 0; c < netlist.cells.size(); ++c) {
+    state[2 * c] = netlist.cells[c].x;
+    state[2 * c + 1] = netlist.cells[c].y;
+  }
+  return state;
+}
+
+void unpack_positions(const std::vector<double>& state, netlist::Netlist& netlist) {
+  AUTONCS_CHECK(state.size() == netlist.cells.size() * 2,
+                "state size must be 2 * cell count");
+  for (std::size_t c = 0; c < netlist.cells.size(); ++c) {
+    netlist.cells[c].x = state[2 * c];
+    netlist.cells[c].y = state[2 * c + 1];
+  }
+}
+
+namespace {
+
+/// One-dimensional WA term for a wire along one axis. Accumulates the
+/// gradient (scaled by `weight`) when `gradient` is nonnull.
+double wa_axis(const std::vector<std::size_t>& pins,
+               const std::vector<double>& state, std::size_t axis, double gamma,
+               double weight, std::vector<double>* gradient) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t pin : pins) {
+    const double v = state[2 * pin + axis];
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  // Max-shifted exponentials: a_i = e^{(v-hi)/g}, b_i = e^{-(v-lo)/g}.
+  double sum_a = 0.0;
+  double sum_va = 0.0;
+  double sum_b = 0.0;
+  double sum_vb = 0.0;
+  for (std::size_t pin : pins) {
+    const double v = state[2 * pin + axis];
+    const double a = std::exp((v - hi) / gamma);
+    const double b = std::exp(-(v - lo) / gamma);
+    sum_a += a;
+    sum_va += v * a;
+    sum_b += b;
+    sum_vb += v * b;
+  }
+  const double f_plus = sum_va / sum_a;    // smooth max
+  const double f_minus = sum_vb / sum_b;   // smooth min
+  if (gradient != nullptr) {
+    for (std::size_t pin : pins) {
+      const double v = state[2 * pin + axis];
+      const double a = std::exp((v - hi) / gamma);
+      const double b = std::exp(-(v - lo) / gamma);
+      const double d_plus = a / sum_a * (1.0 + (v - f_plus) / gamma);
+      const double d_minus = b / sum_b * (1.0 - (v - f_minus) / gamma);
+      (*gradient)[2 * pin + axis] += weight * (d_plus - d_minus);
+    }
+  }
+  return f_plus - f_minus;
+}
+
+}  // namespace
+
+double WaModel::evaluate(const netlist::Netlist& netlist,
+                         const std::vector<double>& state,
+                         std::vector<double>* gradient) const {
+  AUTONCS_CHECK(state.size() == netlist.cells.size() * 2,
+                "state size must be 2 * cell count");
+  AUTONCS_CHECK(gamma > 0.0, "gamma must be positive");
+  if (gradient != nullptr) {
+    AUTONCS_CHECK(gradient->size() == state.size(),
+                  "gradient size must match the state");
+  }
+  double total = 0.0;
+  for (const auto& wire : netlist.wires) {
+    total += wire.weight *
+             (wa_axis(wire.pins, state, 0, gamma, wire.weight, gradient) +
+              wa_axis(wire.pins, state, 1, gamma, wire.weight, gradient));
+  }
+  return total;
+}
+
+namespace {
+
+double hpwl_impl(const netlist::Netlist& netlist, const std::vector<double>& state,
+                 bool weighted) {
+  AUTONCS_CHECK(state.size() == netlist.cells.size() * 2,
+                "state size must be 2 * cell count");
+  double total = 0.0;
+  for (const auto& wire : netlist.wires) {
+    double min_x = std::numeric_limits<double>::infinity();
+    double max_x = -min_x;
+    double min_y = min_x;
+    double max_y = -min_x;
+    for (std::size_t pin : wire.pins) {
+      min_x = std::min(min_x, state[2 * pin]);
+      max_x = std::max(max_x, state[2 * pin]);
+      min_y = std::min(min_y, state[2 * pin + 1]);
+      max_y = std::max(max_y, state[2 * pin + 1]);
+    }
+    const double length = (max_x - min_x) + (max_y - min_y);
+    total += weighted ? wire.weight * length : length;
+  }
+  return total;
+}
+
+}  // namespace
+
+double weighted_hpwl(const netlist::Netlist& netlist,
+                     const std::vector<double>& state) {
+  return hpwl_impl(netlist, state, true);
+}
+
+double hpwl(const netlist::Netlist& netlist, const std::vector<double>& state) {
+  return hpwl_impl(netlist, state, false);
+}
+
+}  // namespace autoncs::place

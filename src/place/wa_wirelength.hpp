@@ -1,0 +1,42 @@
+// Weighted-average (WA) smooth wirelength model — Eq. (1) of the paper,
+// adopted from Hsu et al. [13] to approximate the nonconvex HPWL, with
+// per-wire weights w_i that bias the optimizer toward shortening
+// RC-critical wires.
+//
+// For one wire e with pin coordinates {x_v}:
+//   WA_x(e) = sum x e^{x/g} / sum e^{x/g} - sum x e^{-x/g} / sum e^{-x/g}
+// (g = gamma, the user-defined smoothness), likewise for y, and
+//   WL(x, y) = sum_e w_e (WA_x(e) + WA_y(e)).
+// Exponentials are max-shifted for numerical stability.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace autoncs::place {
+
+/// Interleaved coordinate state [x0, y0, x1, y1, ...] of netlist cells.
+std::vector<double> pack_positions(const netlist::Netlist& netlist);
+void unpack_positions(const std::vector<double>& state, netlist::Netlist& netlist);
+
+struct WaModel {
+  /// Smoothness gamma of Eq. (1), in the same unit as the coordinates.
+  double gamma = 1.0;
+
+  /// WL(x, y); if `gradient` is nonnull it must have state.size() entries
+  /// and receives d WL / d state (accumulated, caller zeroes it).
+  double evaluate(const netlist::Netlist& netlist,
+                  const std::vector<double>& state,
+                  std::vector<double>* gradient) const;
+};
+
+/// Exact weighted HPWL: sum_e w_e (max x - min x + max y - min y) — the
+/// nonsmooth quantity the WA model approximates.
+double weighted_hpwl(const netlist::Netlist& netlist,
+                     const std::vector<double>& state);
+
+/// Unweighted HPWL (every wire counted once).
+double hpwl(const netlist::Netlist& netlist, const std::vector<double>& state);
+
+}  // namespace autoncs::place

@@ -1,0 +1,81 @@
+// Grid graph for global routing — Sec. 3.5 of the paper, following the
+// FastRoute model [18]: the die is tessellated into square bins of width
+// theta (user parameter); routing demand lives on the edges between
+// adjacent bins, each with a virtual capacity [17] that estimates how many
+// wires fit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/heatmap.hpp"
+
+namespace autoncs::route {
+
+struct BinRef {
+  std::size_t ix = 0;
+  std::size_t iy = 0;
+  friend bool operator==(const BinRef&, const BinRef&) = default;
+};
+
+class GridGraph {
+ public:
+  /// Builds an nx x ny grid with the given bin width (um) and per-edge
+  /// capacity (wires per edge).
+  GridGraph(std::size_t nx, std::size_t ny, double bin_um, double origin_x,
+            double origin_y, double edge_capacity);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  double bin_um() const { return bin_um_; }
+
+  /// Bin containing the point (clamped to the grid).
+  BinRef bin_of(double x, double y) const;
+  /// Center coordinates of a bin.
+  double bin_center_x(std::size_t ix) const;
+  double bin_center_y(std::size_t iy) const;
+
+  /// Horizontal edge between (ix, iy) and (ix+1, iy).
+  double h_usage(std::size_t ix, std::size_t iy) const;
+  /// Vertical edge between (ix, iy) and (ix, iy+1).
+  double v_usage(std::size_t ix, std::size_t iy) const;
+  double edge_capacity() const { return capacity_; }
+
+  void add_h_usage(std::size_t ix, std::size_t iy, double amount);
+  void add_v_usage(std::size_t ix, std::size_t iy, double amount);
+
+  /// Congestion history (PathFinder-style negotiated rerouting): grows on
+  /// every edge that is overflowed at the end of a routing pass, steering
+  /// later passes away from chronically contested edges.
+  double h_history(std::size_t ix, std::size_t iy) const;
+  double v_history(std::size_t ix, std::size_t iy) const;
+  /// Adds each edge's current overflow (usage - capacity, if positive)
+  /// into its history. Returns the number of overflowed edges.
+  std::size_t accumulate_history();
+
+  /// Total usage above capacity, summed over edges (overflow metric).
+  double total_overflow() const;
+  /// Largest usage/capacity over all edges.
+  double peak_congestion() const;
+
+  /// Wire count crossing each bin (sum of adjacent edge usages) — the
+  /// congestion map of Fig. 10(b)/(d).
+  util::Field2D congestion_field() const;
+
+ private:
+  std::size_t h_index(std::size_t ix, std::size_t iy) const;
+  std::size_t v_index(std::size_t ix, std::size_t iy) const;
+
+  std::size_t nx_;
+  std::size_t ny_;
+  double bin_um_;
+  double origin_x_;
+  double origin_y_;
+  double capacity_;
+  std::vector<double> h_usage_;  // (nx-1) * ny
+  std::vector<double> v_usage_;  // nx * (ny-1)
+  std::vector<double> h_history_;
+  std::vector<double> v_history_;
+};
+
+}  // namespace autoncs::route

@@ -1,0 +1,138 @@
+#include "route/maze_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace autoncs::route {
+
+namespace {
+
+struct QueueEntry {
+  double priority;  // g + heuristic
+  double cost;      // g
+  std::size_t node;
+  friend bool operator<(const QueueEntry& a, const QueueEntry& b) {
+    return a.priority > b.priority;  // min-heap via std::priority_queue
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<BinRef>> maze_route(const GridGraph& grid,
+                                              BinRef source, BinRef target,
+                                              const MazeOptions& options) {
+  const std::size_t nx = grid.nx();
+  const std::size_t ny = grid.ny();
+  AUTONCS_CHECK(source.ix < nx && source.iy < ny, "source bin out of range");
+  AUTONCS_CHECK(target.ix < nx && target.iy < ny, "target bin out of range");
+
+  const auto node_of = [nx](BinRef b) { return b.iy * nx + b.ix; };
+  const std::size_t start = node_of(source);
+  const std::size_t goal = node_of(target);
+
+  const double bin = grid.bin_um();
+  const double limit = options.capacity_limit_factor * grid.edge_capacity();
+  const auto heuristic = [&](std::size_t node) {
+    const double dx = static_cast<double>(node % nx) -
+                      static_cast<double>(target.ix);
+    const double dy = static_cast<double>(node / nx) -
+                      static_cast<double>(target.iy);
+    return (std::abs(dx) + std::abs(dy)) * bin;
+  };
+
+  std::vector<double> best(nx * ny, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> parent(nx * ny, nx * ny);
+  std::priority_queue<QueueEntry> open;
+  best[start] = 0.0;
+  open.push({heuristic(start), 0.0, start});
+
+  while (!open.empty()) {
+    const QueueEntry entry = open.top();
+    open.pop();
+    if (entry.cost > best[entry.node]) continue;
+    if (entry.node == goal) break;
+    const std::size_t ix = entry.node % nx;
+    const std::size_t iy = entry.node / nx;
+
+    const auto relax = [&](std::size_t next, double usage, double history) {
+      if (usage >= limit) return;  // blocked under the virtual capacity
+      const double edge_cost =
+          bin * (1.0 +
+                 options.congestion_penalty * usage / grid.edge_capacity() +
+                 options.history_weight * history / grid.edge_capacity());
+      const double g = entry.cost + edge_cost;
+      if (g < best[next]) {
+        best[next] = g;
+        parent[next] = entry.node;
+        open.push({g + heuristic(next), g, next});
+      }
+    };
+    if (ix + 1 < nx)
+      relax(entry.node + 1, grid.h_usage(ix, iy), grid.h_history(ix, iy));
+    if (ix > 0)
+      relax(entry.node - 1, grid.h_usage(ix - 1, iy), grid.h_history(ix - 1, iy));
+    if (iy + 1 < ny)
+      relax(entry.node + nx, grid.v_usage(ix, iy), grid.v_history(ix, iy));
+    if (iy > 0)
+      relax(entry.node - nx, grid.v_usage(ix, iy - 1), grid.v_history(ix, iy - 1));
+  }
+
+  if (!std::isfinite(best[goal])) return std::nullopt;
+  std::vector<BinRef> path;
+  for (std::size_t node = goal;;) {
+    path.push_back({node % nx, node / nx});
+    if (node == start) break;
+    node = parent[node];
+    AUTONCS_CHECK(node < nx * ny, "broken parent chain in maze route");
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+namespace {
+
+void apply_path(GridGraph& grid, const std::vector<BinRef>& path, double amount) {
+  for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+    const BinRef a = path[k];
+    const BinRef b = path[k + 1];
+    if (a.iy == b.iy) {
+      grid.add_h_usage(std::min(a.ix, b.ix), a.iy, amount);
+    } else {
+      AUTONCS_CHECK(a.ix == b.ix, "path steps must be axis-aligned");
+      grid.add_v_usage(a.ix, std::min(a.iy, b.iy), amount);
+    }
+  }
+}
+
+}  // namespace
+
+void commit_path(GridGraph& grid, const std::vector<BinRef>& path) {
+  apply_path(grid, path, 1.0);
+}
+
+void uncommit_path(GridGraph& grid, const std::vector<BinRef>& path) {
+  apply_path(grid, path, -1.0);
+}
+
+bool path_overflows(const GridGraph& grid, const std::vector<BinRef>& path) {
+  for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+    const BinRef a = path[k];
+    const BinRef b = path[k + 1];
+    const double usage =
+        a.iy == b.iy ? grid.h_usage(std::min(a.ix, b.ix), a.iy)
+                     : grid.v_usage(a.ix, std::min(a.iy, b.iy));
+    if (usage > grid.edge_capacity()) return true;
+  }
+  return false;
+}
+
+double path_length_um(const GridGraph& grid, const std::vector<BinRef>& path) {
+  if (path.size() < 2) return 0.0;
+  return static_cast<double>(path.size() - 1) * grid.bin_um();
+}
+
+}  // namespace autoncs::route

@@ -1,0 +1,43 @@
+// Maze routing on the grid graph — Lee's algorithm [16] generalized to
+// weighted edges (Dijkstra with an admissible Manhattan A* heuristic).
+// Edge cost grows with congestion, and edges at or above the current
+// virtual-capacity limit are blocked; the caller relaxes the limit for
+// wires that cannot be routed (FastRoute-style rip-up avoidance [17]).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "route/grid_graph.hpp"
+
+namespace autoncs::route {
+
+struct MazeOptions {
+  /// Multiplier on usage/capacity added to the base edge cost.
+  double congestion_penalty = 2.0;
+  /// Edges with usage >= capacity_limit_factor * capacity are blocked.
+  double capacity_limit_factor = 1.0;
+  /// Multiplier on history/capacity (negotiated rerouting); 0 ignores the
+  /// grid's congestion history.
+  double history_weight = 0.0;
+};
+
+/// Bin path from source to target inclusive; nullopt when no path exists
+/// under the capacity limit.
+std::optional<std::vector<BinRef>> maze_route(const GridGraph& grid,
+                                              BinRef source, BinRef target,
+                                              const MazeOptions& options);
+
+/// Commits one unit of usage along a path returned by maze_route.
+void commit_path(GridGraph& grid, const std::vector<BinRef>& path);
+
+/// Removes a previously committed path's usage (rip-up for rerouting).
+void uncommit_path(GridGraph& grid, const std::vector<BinRef>& path);
+
+/// True when any edge along the path is currently over capacity.
+bool path_overflows(const GridGraph& grid, const std::vector<BinRef>& path);
+
+/// Length of a committed path in um (edges * bin width).
+double path_length_um(const GridGraph& grid, const std::vector<BinRef>& path);
+
+}  // namespace autoncs::route

@@ -1,0 +1,209 @@
+#include "route/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace autoncs::route {
+
+namespace {
+
+struct Segment {
+  std::size_t wire_index;
+  std::size_t pin_a;  // cell indices
+  std::size_t pin_b;
+  double sort_distance;
+  double weight;
+};
+
+}  // namespace
+
+RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& options,
+                    const tech::TechnologyModel& tech) {
+  AUTONCS_CHECK(netlist.validate().empty(), "netlist failed validation");
+  AUTONCS_CHECK(options.theta > 0.0, "theta must be positive");
+
+  // Die extent over cell centers (cells already placed).
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -min_x;
+  double min_y = min_x;
+  double max_y = -min_x;
+  double cog_x = 0.0;
+  double cog_y = 0.0;
+  for (const auto& cell : netlist.cells) {
+    min_x = std::min(min_x, cell.x);
+    max_x = std::max(max_x, cell.x);
+    min_y = std::min(min_y, cell.y);
+    max_y = std::max(max_y, cell.y);
+    cog_x += cell.x;
+    cog_y += cell.y;
+  }
+  const auto cell_count = static_cast<double>(netlist.cells.size());
+  cog_x /= cell_count;
+  cog_y /= cell_count;
+
+  const double margin = static_cast<double>(options.margin_bins) * options.theta;
+  const double origin_x = min_x - margin;
+  const double origin_y = min_y - margin;
+  const auto nx = static_cast<std::size_t>(
+      std::ceil((max_x - min_x + 2.0 * margin) / options.theta)) + 1;
+  const auto ny = static_cast<std::size_t>(
+      std::ceil((max_y - min_y + 2.0 * margin) / options.theta)) + 1;
+  const double capacity = std::max(1.0, options.theta * options.capacity_per_um);
+
+  RoutingResult result;
+  result.grid = GridGraph(nx, ny, options.theta, origin_x, origin_y, capacity);
+  GridGraph& grid = result.grid;
+
+  // Decompose wires into 2-pin segments: star from the driver, or an MST
+  // over the pin positions (better trunk sharing for multi-pin nets).
+  std::vector<Segment> segments;
+  for (std::size_t w = 0; w < netlist.wires.size(); ++w) {
+    const auto& wire = netlist.wires[w];
+    double closest = std::numeric_limits<double>::infinity();
+    for (std::size_t pin : wire.pins) {
+      const auto& cell = netlist.cells[pin];
+      closest = std::min(closest, std::abs(cell.x - cog_x) +
+                                      std::abs(cell.y - cog_y));
+    }
+    if (wire.pins.size() <= 2 ||
+        options.decomposition == MultiPinDecomposition::kStar) {
+      for (std::size_t p = 1; p < wire.pins.size(); ++p) {
+        segments.push_back(
+            {w, wire.pins[0], wire.pins[p], closest, wire.weight});
+      }
+    } else {
+      // Prim's MST over the pins (Manhattan distance between cell centers).
+      const std::size_t pins = wire.pins.size();
+      const auto distance = [&](std::size_t a, std::size_t b) {
+        const auto& ca = netlist.cells[wire.pins[a]];
+        const auto& cb = netlist.cells[wire.pins[b]];
+        return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+      };
+      std::vector<bool> in_tree(pins, false);
+      std::vector<double> best(pins, std::numeric_limits<double>::infinity());
+      std::vector<std::size_t> attach(pins, 0);
+      in_tree[0] = true;  // grow from the driver
+      for (std::size_t p = 1; p < pins; ++p) {
+        best[p] = distance(0, p);
+        attach[p] = 0;
+      }
+      for (std::size_t added = 1; added < pins; ++added) {
+        std::size_t next = pins;
+        for (std::size_t p = 0; p < pins; ++p)
+          if (!in_tree[p] && (next == pins || best[p] < best[next])) next = p;
+        in_tree[next] = true;
+        segments.push_back({w, wire.pins[attach[next]], wire.pins[next],
+                            closest, wire.weight});
+        for (std::size_t p = 0; p < pins; ++p) {
+          if (in_tree[p]) continue;
+          const double d = distance(next, p);
+          if (d < best[p]) {
+            best[p] = d;
+            attach[p] = next;
+          }
+        }
+      }
+    }
+  }
+  // Routing order: ascending center-of-gravity distance, weight breaks ties
+  // (heavier first), then wire index for determinism.
+  std::sort(segments.begin(), segments.end(), [](const Segment& a, const Segment& b) {
+    if (a.sort_distance != b.sort_distance) return a.sort_distance < b.sort_distance;
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.wire_index < b.wire_index;
+  });
+
+  std::vector<double> wire_length(netlist.wires.size(), 0.0);
+  std::vector<std::size_t> wire_relax(netlist.wires.size(), 0);
+  // Committed grid path per segment (empty = intra-bin connection).
+  std::vector<std::vector<BinRef>> segment_path(segments.size());
+
+  const auto route_segment = [&](std::size_t s, double history_weight) {
+    const Segment& segment = segments[s];
+    const auto& ca = netlist.cells[segment.pin_a];
+    const auto& cb = netlist.cells[segment.pin_b];
+    const BinRef source = grid.bin_of(ca.x, ca.y);
+    const BinRef target = grid.bin_of(cb.x, cb.y);
+    if (source == target) {
+      return;  // intra-bin: handled by the direct-length term below
+    }
+    MazeOptions maze{options.congestion_penalty, 1.0, history_weight};
+    std::optional<std::vector<BinRef>> path;
+    for (std::size_t attempt = 0; attempt <= options.max_relax_steps; ++attempt) {
+      path = maze_route(grid, source, target, maze);
+      if (path) break;
+      // Relax the virtual capacity for this wire and retry (Sec. 3.5).
+      maze.capacity_limit_factor *= options.relax_factor;
+      wire_relax[segment.wire_index] += 1;
+    }
+    if (!path) {
+      // Route unconstrained (infinite limit): always succeeds on a
+      // connected grid.
+      maze.capacity_limit_factor = std::numeric_limits<double>::infinity();
+      path = maze_route(grid, source, target, maze);
+      AUTONCS_CHECK(path.has_value(), "unconstrained maze route failed");
+    }
+    commit_path(grid, *path);
+    segment_path[s] = std::move(*path);
+  };
+
+  for (std::size_t s = 0; s < segments.size(); ++s) route_segment(s, 0.0);
+
+  // Negotiated rerouting: accumulate history on overflowed edges, rip up
+  // the wires crossing them, and reroute with the history in the cost.
+  for (std::size_t pass = 0; pass < options.reroute_passes; ++pass) {
+    if (grid.accumulate_history() == 0) break;
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+      if (segment_path[s].empty() || !path_overflows(grid, segment_path[s]))
+        continue;
+      uncommit_path(grid, segment_path[s]);
+      segment_path[s].clear();
+      route_segment(s, options.history_weight);
+    }
+  }
+
+  // Wire lengths: grid paths plus the detailed (intra-bin) spans.
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const Segment& segment = segments[s];
+    if (segment_path[s].empty()) {
+      const auto& ca = netlist.cells[segment.pin_a];
+      const auto& cb = netlist.cells[segment.pin_b];
+      wire_length[segment.wire_index] +=
+          std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+    } else {
+      wire_length[segment.wire_index] += path_length_um(grid, segment_path[s]);
+    }
+  }
+
+  result.wires.reserve(netlist.wires.size());
+  double delay_sum = 0.0;
+  for (std::size_t w = 0; w < netlist.wires.size(); ++w) {
+    RoutedWire routed;
+    routed.wire_index = w;
+    routed.length_um = wire_length[w];
+    routed.relaxations = wire_relax[w];
+    routed.delay_ns =
+        tech.wire_delay_ns(wire_length[w]) + netlist.wires[w].device_delay_ns;
+    delay_sum += routed.delay_ns;
+    result.max_delay_ns = std::max(result.max_delay_ns, routed.delay_ns);
+    result.total_wirelength_um += routed.length_um;
+    result.wires.push_back(routed);
+  }
+  result.average_delay_ns =
+      netlist.wires.empty() ? 0.0
+                            : delay_sum / static_cast<double>(netlist.wires.size());
+  result.total_overflow = grid.total_overflow();
+  result.peak_congestion = grid.peak_congestion();
+
+  util::LogLine(util::LogLevel::kInfo, "route")
+      << "routed " << netlist.wires.size() << " wires, L="
+      << result.total_wirelength_um << " um, overflow=" << result.total_overflow;
+  return result;
+}
+
+}  // namespace autoncs::route

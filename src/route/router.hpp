@@ -1,0 +1,78 @@
+// Global routing driver — Sec. 3.5 of the paper.
+//
+// A grid graph with user bin width theta is built over the placed die.
+// Wires are decomposed into two-pin segments and routed in ascending order
+// of "distance from the center of gravity of all cells to the wire's
+// closest pin", with the wire weight as tie breaker. A wire that cannot be
+// routed under the current virtual capacity is retried with the capacity
+// relaxed until it routes, exactly as the paper describes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "route/grid_graph.hpp"
+#include "route/maze_router.hpp"
+#include "tech/tech_model.hpp"
+
+namespace autoncs::route {
+
+/// How multi-pin wires decompose into routable 2-pin segments.
+enum class MultiPinDecomposition {
+  /// Every sink connects straight to the driver (pin 0).
+  kStar,
+  /// Minimum spanning tree over pin positions (Manhattan metric) — shorter
+  /// trunks for shared output nets.
+  kMst,
+};
+
+struct RouterOptions {
+  /// Bin width theta (um).
+  double theta = 4.0;
+  MultiPinDecomposition decomposition = MultiPinDecomposition::kMst;
+  /// Routing tracks per edge per um of bin width (capacity = theta * this).
+  double capacity_per_um = 2.0;
+  /// Base congestion penalty for maze cost.
+  double congestion_penalty = 2.0;
+  /// Virtual-capacity relaxation multiplier per failed attempt.
+  double relax_factor = 1.5;
+  /// Maximum relaxation retries per segment before routing unconstrained.
+  std::size_t max_relax_steps = 8;
+  /// Extra margin of empty bins around the die.
+  std::size_t margin_bins = 1;
+  /// Negotiated rip-up-and-reroute passes after the initial routing
+  /// (PathFinder-style): overflowed edges accumulate history cost and the
+  /// wires crossing them are rerouted. 0 = the paper's single-pass flow.
+  std::size_t reroute_passes = 0;
+  /// Weight of the accumulated history in the maze cost during reroutes.
+  double history_weight = 2.0;
+};
+
+struct RoutedWire {
+  std::size_t wire_index = 0;
+  double length_um = 0.0;
+  /// Routed Elmore delay plus the wire's device delay (ns).
+  double delay_ns = 0.0;
+  /// Number of capacity relaxations this wire needed.
+  std::size_t relaxations = 0;
+};
+
+struct RoutingResult {
+  std::vector<RoutedWire> wires;
+  double total_wirelength_um = 0.0;
+  double average_delay_ns = 0.0;
+  double max_delay_ns = 0.0;
+  double total_overflow = 0.0;
+  double peak_congestion = 0.0;
+  GridGraph grid = GridGraph(1, 1, 1.0, 0.0, 0.0, 1.0);
+};
+
+/// Routes all wires of the placed netlist. Every wire is guaranteed to be
+/// routed (capacity is relaxed as needed), so total_wirelength covers the
+/// entire design.
+RoutingResult route(const netlist::Netlist& netlist,
+                    const RouterOptions& options = {},
+                    const tech::TechnologyModel& tech = tech::default_tech());
+
+}  // namespace autoncs::route

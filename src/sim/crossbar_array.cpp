@@ -1,0 +1,85 @@
+#include "sim/crossbar_array.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace autoncs::sim {
+
+namespace {
+
+double quantize(double w, double max_abs, std::size_t levels) {
+  if (levels == 0 || max_abs <= 0.0) return w;
+  const double step = max_abs / static_cast<double>(levels);
+  return std::copysign(std::round(std::abs(w) / step) * step, w);
+}
+
+}  // namespace
+
+CrossbarArray::CrossbarArray(const clustering::CrossbarInstance& instance,
+                             const linalg::Matrix& weights,
+                             const DeviceOptions& options, util::Rng& rng)
+    : size_(instance.size), rows_(instance.rows), cols_(instance.cols) {
+  AUTONCS_CHECK(rows_.size() <= size_ && cols_.size() <= size_,
+                "crossbar instance exceeds its physical size");
+  AUTONCS_CHECK(options.variation_sigma >= 0.0, "variation must be >= 0");
+
+  std::unordered_map<std::size_t, std::size_t> row_of;
+  std::unordered_map<std::size_t, std::size_t> col_of;
+  for (std::size_t r = 0; r < rows_.size(); ++r) row_of[rows_[r]] = r;
+  for (std::size_t c = 0; c < cols_.size(); ++c) col_of[cols_[c]] = c;
+
+  array_ = linalg::Matrix(rows_.size(), cols_.size());
+  double max_abs = 0.0;
+  for (const auto& connection : instance.connections) {
+    AUTONCS_CHECK(connection.from < weights.rows() &&
+                      connection.to < weights.cols(),
+                  "connection outside the weight matrix");
+    max_abs = std::max(max_abs,
+                       std::abs(weights(connection.from, connection.to)));
+  }
+  for (const auto& connection : instance.connections) {
+    const auto r = row_of.find(connection.from);
+    const auto c = col_of.find(connection.to);
+    AUTONCS_CHECK(r != row_of.end() && c != col_of.end(),
+                  "realized connection endpoints missing from the sides");
+    double w = weights(connection.from, connection.to);
+    w = quantize(w, max_abs, options.conductance_levels);
+    if (options.variation_sigma > 0.0 && w != 0.0) {
+      w *= std::exp(rng.normal(0.0, options.variation_sigma));
+    }
+    if (options.stuck_off_rate > 0.0 && rng.bernoulli(options.stuck_off_rate)) {
+      w = 0.0;
+    }
+    array_(r->second, c->second) = w;
+    ++programmed_;
+  }
+  if (options.stuck_on_rate > 0.0) {
+    for (std::size_t r = 0; r < array_.rows(); ++r)
+      for (std::size_t c = 0; c < array_.cols(); ++c)
+        if (rng.bernoulli(options.stuck_on_rate)) array_(r, c) = max_abs;
+  }
+}
+
+double CrossbarArray::weight(std::size_t r, std::size_t c) const {
+  AUTONCS_CHECK(r < array_.rows() && c < array_.cols(),
+                "cross-point index out of range");
+  return array_(r, c);
+}
+
+void CrossbarArray::accumulate(std::span<const double> input,
+                               std::span<double> field) const {
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    AUTONCS_DCHECK(cols_[c] < field.size(), "column neuron out of range");
+    double current = 0.0;
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      AUTONCS_DCHECK(rows_[r] < input.size(), "row neuron out of range");
+      current += array_(r, c) * input[rows_[r]];
+    }
+    field[cols_[c]] += current;
+  }
+}
+
+}  // namespace autoncs::sim

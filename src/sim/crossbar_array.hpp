@@ -1,0 +1,70 @@
+// Functional model of one programmed memristor crossbar.
+//
+// A crossbar instance from the mapping stage holds the TOPOLOGY (which
+// connections it realizes); this class adds the VALUES: a dense weight
+// array programmed from the logical network's weights, computing the
+// analog matrix-vector product the hardware performs (each column wire
+// sums the currents of its memristors; the output neuron integrates them
+// — Sec. 2.1 of the paper).
+//
+// Device non-idealities can be layered on at programming time:
+//  * quantization to a finite number of conductance levels,
+//  * lognormal programming variation (process variation / noise),
+//  * stuck-at faults (a memristor stuck at zero or full conductance).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "clustering/isc.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::sim {
+
+struct DeviceOptions {
+  /// Number of programmable conductance levels per polarity; 0 = ideal
+  /// (continuous). Levels quantize |w| linearly over the array's max |w|.
+  std::size_t conductance_levels = 0;
+  /// Relative lognormal programming variation (sigma of ln w); 0 = none.
+  double variation_sigma = 0.0;
+  /// Probability that a UTILIZED cross-point is stuck at zero conductance.
+  double stuck_off_rate = 0.0;
+  /// Probability that any cross-point is stuck at the maximum conductance
+  /// (shorted device adds a phantom connection).
+  double stuck_on_rate = 0.0;
+};
+
+class CrossbarArray {
+ public:
+  /// Programs the crossbar from the realized connections of `instance`,
+  /// taking each weight from `weights(from, to)`. Non-idealities are
+  /// applied with draws from `rng`.
+  CrossbarArray(const clustering::CrossbarInstance& instance,
+                const linalg::Matrix& weights, const DeviceOptions& options,
+                util::Rng& rng);
+
+  std::size_t size() const { return size_; }
+  const std::vector<std::size_t>& row_neurons() const { return rows_; }
+  const std::vector<std::size_t>& col_neurons() const { return cols_; }
+
+  /// The programmed weight at (row r, col c) of the physical array.
+  double weight(std::size_t r, std::size_t c) const;
+
+  /// Analog MVM: accumulates column currents into `field`, indexed by
+  /// GLOBAL neuron id: field[col_neuron] += sum_r w(r,c) * input[row_neuron].
+  void accumulate(std::span<const double> input, std::span<double> field) const;
+
+  /// Number of programmed (nonzero before faults) cross-points.
+  std::size_t programmed_points() const { return programmed_; }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::size_t> rows_;  // global neuron ids per physical row
+  std::vector<std::size_t> cols_;
+  linalg::Matrix array_;           // |rows| x |cols| programmed weights
+  std::size_t programmed_ = 0;
+};
+
+}  // namespace autoncs::sim

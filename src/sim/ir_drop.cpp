@@ -1,0 +1,84 @@
+#include "sim/ir_drop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace autoncs::sim {
+
+IrDropReport analyze_row_ir_drop(std::size_t size, double utilization,
+                                 const IrDropOptions& options) {
+  AUTONCS_CHECK(size >= 1, "crossbar size must be positive");
+  AUTONCS_CHECK(utilization > 0.0 && utilization <= 1.0,
+                "utilization must be in (0, 1]");
+  AUTONCS_CHECK(options.on_resistance_ohm > 0.0 &&
+                    options.segment_resistance_ohm >= 0.0,
+                "resistances must be physical");
+
+  const auto on_count = static_cast<std::size_t>(
+      std::ceil(utilization * static_cast<double>(size)));
+  // ON devices at the far end of the row (worst case); the conductance of
+  // node k (1-based from the driver).
+  std::vector<double> conductance(size, 0.0);
+  for (std::size_t k = size - on_count; k < size; ++k)
+    conductance[k] = 1.0 / options.on_resistance_ohm;
+
+  // Fixed point on the ladder: V_k = V_{k-1} - r * (current through
+  // segment k) with segment k carrying the device currents of nodes >= k.
+  std::vector<double> voltage(size, options.read_voltage);
+  std::vector<double> current(size, 0.0);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    for (std::size_t k = 0; k < size; ++k)
+      current[k] = voltage[k] * conductance[k];
+    // Suffix sums: load through each segment.
+    double load = 0.0;
+    std::vector<double> next(size, 0.0);
+    for (std::size_t k = size; k-- > 0;) load += current[k];
+    double upstream = options.read_voltage;
+    double passing = load;
+    double delta = 0.0;
+    for (std::size_t k = 0; k < size; ++k) {
+      const double v = upstream - options.segment_resistance_ohm * passing;
+      next[k] = v;
+      delta = std::max(delta, std::abs(v - voltage[k]));
+      upstream = v;
+      passing -= current[k];
+    }
+    voltage.swap(next);
+    if (delta <= options.tolerance) break;
+  }
+
+  IrDropReport report;
+  double error_sum = 0.0;
+  for (std::size_t k = 0; k < size; ++k) {
+    if (conductance[k] == 0.0) continue;
+    report.device_voltage.push_back(voltage[k]);
+    const double error =
+        (options.read_voltage - voltage[k]) / options.read_voltage;
+    report.worst_relative_error = std::max(report.worst_relative_error, error);
+    error_sum += error;
+  }
+  if (!report.device_voltage.empty()) {
+    report.average_relative_error =
+        error_sum / static_cast<double>(report.device_voltage.size());
+  }
+  return report;
+}
+
+std::size_t max_reliable_size(double error_budget, std::size_t max_size,
+                              const IrDropOptions& options) {
+  AUTONCS_CHECK(error_budget > 0.0 && error_budget < 1.0,
+                "error budget must be in (0, 1)");
+  std::size_t reliable = 0;
+  for (std::size_t size = 1; size <= max_size; ++size) {
+    if (analyze_row_ir_drop(size, 1.0, options).worst_relative_error >
+        error_budget) {
+      break;
+    }
+    reliable = size;
+  }
+  return reliable;
+}
+
+}  // namespace autoncs::sim

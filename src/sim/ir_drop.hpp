@@ -1,0 +1,54 @@
+// IR-drop analysis of a crossbar row.
+//
+// Sec. 2.1 of the paper: "As the size of a crossbar raises, IR-drop,
+// device defect, and process variation introduce increasing impacts on the
+// reliability ... the current technology can only supply reliable
+// memristor crossbars with a size no larger than 64x64 [6]." This module
+// makes that limit quantitative: it solves the resistive ladder of one
+// row wire (driver at one end, memristors tapping current along it) and
+// reports how far the voltage seen by each device sags below the read
+// voltage. The bench sweeps the crossbar size to show the reliability
+// cliff that justifies the 16..64 size library.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace autoncs::sim {
+
+struct IrDropOptions {
+  /// Read voltage applied by the row driver (V).
+  double read_voltage = 0.5;
+  /// Wire resistance of one cell-to-cell row segment (ohm). A 45 nm-class
+  /// nanowire segment of one memristor pitch is a few ohms.
+  double segment_resistance_ohm = 2.5;
+  /// Low-resistance (programmed ON) device resistance (ohm).
+  double on_resistance_ohm = 100e3;
+  /// Fixed-point iterations for the nonlinear ladder solve.
+  std::size_t max_iterations = 200;
+  double tolerance = 1e-12;
+};
+
+struct IrDropReport {
+  /// Voltage actually seen by each ON device along the row (V).
+  std::vector<double> device_voltage;
+  /// max_k (Vread - V_k) / Vread — the worst relative read error.
+  double worst_relative_error = 0.0;
+  /// Mean relative error over ON devices.
+  double average_relative_error = 0.0;
+};
+
+/// Solves the row ladder for a crossbar of the given size with
+/// ceil(utilization * size) ON devices placed at the FAR end of the row
+/// (the worst case: all load current crosses the full wire). Utilization 1
+/// is the dense-row worst case the 64x64 limit is quoted for.
+IrDropReport analyze_row_ir_drop(std::size_t size, double utilization,
+                                 const IrDropOptions& options = {});
+
+/// Largest crossbar size whose worst relative error stays at or below
+/// `error_budget` under the given options (at utilization 1). Scans sizes
+/// upward from 1; returns at most `max_size`.
+std::size_t max_reliable_size(double error_budget, std::size_t max_size = 256,
+                              const IrDropOptions& options = {});
+
+}  // namespace autoncs::sim

@@ -1,0 +1,112 @@
+#include "sim/mapped_ncs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace autoncs::sim {
+
+MappedNcs::MappedNcs(const mapping::HybridMapping& mapping,
+                     const linalg::Matrix& weights, const DeviceOptions& options,
+                     std::uint64_t seed)
+    : neuron_count_(mapping.neuron_count) {
+  AUTONCS_CHECK(weights.rows() == neuron_count_ && weights.cols() == neuron_count_,
+                "weight matrix must match the mapping's neuron count");
+  util::Rng rng(seed);
+  crossbars_.reserve(mapping.crossbars.size());
+  for (const auto& instance : mapping.crossbars) {
+    crossbars_.emplace_back(instance, weights, options, rng);
+  }
+  synapses_.reserve(mapping.discrete_synapses.size());
+  for (const auto& connection : mapping.discrete_synapses) {
+    double w = weights(connection.from, connection.to);
+    if (options.variation_sigma > 0.0 && w != 0.0) {
+      w *= std::exp(rng.normal(0.0, options.variation_sigma));
+    }
+    if (options.stuck_off_rate > 0.0 && rng.bernoulli(options.stuck_off_rate)) {
+      w = 0.0;
+    }
+    synapses_.push_back({connection.from, connection.to, w});
+  }
+
+  // Per-neuron incidence lists for the asynchronous recall.
+  column_of_.resize(neuron_count_);
+  synapse_into_.resize(neuron_count_);
+  for (std::size_t x = 0; x < crossbars_.size(); ++x) {
+    const auto& cols = crossbars_[x].col_neurons();
+    for (std::size_t c = 0; c < cols.size(); ++c)
+      column_of_[cols[c]].push_back({x, c});
+  }
+  for (std::size_t s = 0; s < synapses_.size(); ++s)
+    synapse_into_[synapses_[s].to].push_back(s);
+}
+
+double MappedNcs::field_of(std::size_t neuron,
+                           std::span<const double> state) const {
+  double field = 0.0;
+  for (const auto& [x, c] : column_of_[neuron]) {
+    const auto& rows = crossbars_[x].row_neurons();
+    for (std::size_t r = 0; r < rows.size(); ++r)
+      field += crossbars_[x].weight(r, c) * state[rows[r]];
+  }
+  for (std::size_t s : synapse_into_[neuron])
+    field += synapses_[s].weight * state[synapses_[s].from];
+  return field;
+}
+
+std::vector<double> MappedNcs::compute_field(std::span<const double> state) const {
+  AUTONCS_CHECK(state.size() == neuron_count_,
+                "state size must match the neuron count");
+  std::vector<double> field(neuron_count_, 0.0);
+  for (const auto& crossbar : crossbars_) {
+    crossbar.accumulate(state, field);
+  }
+  for (const auto& synapse : synapses_) {
+    field[synapse.to] += synapse.weight * state[synapse.from];
+  }
+  return field;
+}
+
+nn::Pattern MappedNcs::recall(const nn::Pattern& probe,
+                              std::size_t max_sweeps) const {
+  AUTONCS_CHECK(probe.size() == neuron_count_,
+                "probe size must match the neuron count");
+  nn::Pattern state = probe;
+  std::vector<double> real_state(neuron_count_);
+  for (std::size_t v = 0; v < neuron_count_; ++v)
+    real_state[v] = static_cast<double>(state[v]);
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool changed = false;
+    for (std::size_t i = 0; i < neuron_count_; ++i) {
+      const double field = field_of(i, real_state);
+      // Tolerance instead of exact zero: the hardware accumulates partial
+      // sums in a different order than the logical network, so a true zero
+      // field can come out as +/- a few ulps.
+      if (std::abs(field) < 1e-9) continue;
+      const std::int8_t next = field > 0.0 ? std::int8_t{1} : std::int8_t{-1};
+      if (next != state[i]) {
+        state[i] = next;
+        real_state[i] = static_cast<double>(next);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return state;
+}
+
+double MappedNcs::field_error(const linalg::Matrix& weights,
+                              std::span<const double> state) const {
+  const auto mapped = compute_field(state);
+  double worst = 0.0;
+  for (std::size_t j = 0; j < neuron_count_; ++j) {
+    double direct = 0.0;
+    for (std::size_t i = 0; i < neuron_count_; ++i)
+      direct += weights(i, j) * state[i];
+    worst = std::max(worst, std::abs(mapped[j] - direct));
+  }
+  return worst;
+}
+
+}  // namespace autoncs::sim

@@ -1,0 +1,66 @@
+// Functional simulator of the mapped hybrid NCS.
+//
+// Sec. 3 of the paper: "our design maintains the topology of the original
+// NCS by mapping connections into crossbars and discrete synapses." This
+// simulator makes that claim executable: it programs every crossbar
+// instance and discrete synapse of a HybridMapping with the logical
+// network's weights and evaluates the synaptic field T = A F by summing
+// crossbar MVMs and discrete-synapse currents. With ideal devices the
+// result must equal the direct matrix product exactly (up to FP
+// reassociation); with non-ideal devices it quantifies how the mapped
+// hardware degrades (the bench_ext_nonideality study).
+#pragma once
+
+#include <vector>
+
+#include "mapping/hybrid_mapping.hpp"
+#include "nn/qr_pattern.hpp"
+#include "sim/crossbar_array.hpp"
+
+namespace autoncs::sim {
+
+class MappedNcs {
+ public:
+  /// Programs the hardware described by `mapping` with the weights of the
+  /// logical network. `weights` must be n x n with n = mapping.neuron_count.
+  MappedNcs(const mapping::HybridMapping& mapping, const linalg::Matrix& weights,
+            const DeviceOptions& options = {}, std::uint64_t seed = 1);
+
+  std::size_t neuron_count() const { return neuron_count_; }
+  std::size_t crossbar_count() const { return crossbars_.size(); }
+  std::size_t synapse_count() const { return synapses_.size(); }
+
+  /// Synaptic field of every neuron for the given input state:
+  /// field[j] = sum_i w_ij * state[i], computed THROUGH the hardware.
+  std::vector<double> compute_field(std::span<const double> state) const;
+
+  /// Hopfield-style deterministic asynchronous recall through the mapped
+  /// hardware (sign thresholding, sweeps in index order).
+  nn::Pattern recall(const nn::Pattern& probe, std::size_t max_sweeps = 30) const;
+
+  /// Largest |field_mapped - field_direct| over a given state — the
+  /// equivalence check against the logical weight matrix.
+  double field_error(const linalg::Matrix& weights,
+                     std::span<const double> state) const;
+
+ private:
+  struct ProgrammedSynapse {
+    std::size_t from;
+    std::size_t to;
+    double weight;
+  };
+
+  /// Incoming field of one neuron through the hardware (used by the
+  /// asynchronous recall; indexes the per-neuron incidence lists).
+  double field_of(std::size_t neuron, std::span<const double> state) const;
+
+  std::size_t neuron_count_ = 0;
+  std::vector<CrossbarArray> crossbars_;
+  std::vector<ProgrammedSynapse> synapses_;
+  /// For each neuron: (crossbar index, physical column) pairs feeding it.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> column_of_;
+  /// For each neuron: indices into synapses_ that feed it.
+  std::vector<std::vector<std::size_t>> synapse_into_;
+};
+
+}  // namespace autoncs::sim

@@ -1,0 +1,66 @@
+#include "sim/programming.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace autoncs::sim {
+
+ProgrammingResult program_device(double target, const ProgrammingOptions& options,
+                                 util::Rng& rng) {
+  AUTONCS_CHECK(target > 0.0, "target conductance must be positive");
+  AUTONCS_CHECK(options.pulse_step > 0.0 && options.tolerance > 0.0,
+                "pulse step and tolerance must be positive");
+  AUTONCS_CHECK(options.initial_fraction > 0.0 && options.initial_fraction < 1.0,
+                "initial fraction must be in (0, 1)");
+
+  double g = target * options.initial_fraction;
+  ProgrammingResult result;
+  for (std::size_t pulse = 0; pulse < options.max_pulses; ++pulse) {
+    const double error = (g - target) / target;
+    if (std::abs(error) <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    ++result.pulses;
+    // Potentiate when low, depress when high; the efficacy of each pulse
+    // varies lognormally (cycle-to-cycle variation).
+    const double efficacy =
+        options.pulse_step * std::exp(rng.normal(0.0, options.pulse_variation_sigma));
+    if (g < target) {
+      g *= 1.0 + efficacy;
+    } else {
+      g /= 1.0 + efficacy;
+    }
+  }
+  result.final_relative_error = std::abs(g - target) / target;
+  result.converged =
+      result.converged || result.final_relative_error <= options.tolerance;
+  return result;
+}
+
+ProgrammingStats program_array(const std::vector<double>& targets,
+                               const ProgrammingOptions& options,
+                               util::Rng& rng) {
+  ProgrammingStats stats;
+  std::size_t total_pulses = 0;
+  std::size_t failures = 0;
+  for (double target : targets) {
+    if (target == 0.0) continue;
+    const auto result = program_device(std::abs(target), options, rng);
+    ++stats.devices;
+    total_pulses += result.pulses;
+    stats.max_pulses = std::max(stats.max_pulses, result.pulses);
+    if (!result.converged) ++failures;
+  }
+  if (stats.devices > 0) {
+    stats.mean_pulses =
+        static_cast<double>(total_pulses) / static_cast<double>(stats.devices);
+    stats.failure_rate =
+        static_cast<double>(failures) / static_cast<double>(stats.devices);
+  }
+  return stats;
+}
+
+}  // namespace autoncs::sim

@@ -1,0 +1,57 @@
+// Write-verify programming of memristor devices.
+//
+// Sec. 2.1 notes that crossbars need peripheral circuits "to perform
+// additional functions including memristor training". This module models
+// the standard closed-loop scheme: apply a programming pulse, read back,
+// repeat until the conductance is within tolerance of the target. Pulses
+// change the conductance multiplicatively with stochastic efficacy (the
+// dominant nonideality of filamentary devices), so the pulse count per
+// device — and with it programming time/energy — grows as the tolerance
+// tightens.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace autoncs::sim {
+
+struct ProgrammingOptions {
+  /// Relative conductance step of one nominal pulse (e.g. 0.08 = 8%).
+  double pulse_step = 0.08;
+  /// Lognormal sigma of the per-pulse efficacy (cycle-to-cycle variation).
+  double pulse_variation_sigma = 0.3;
+  /// Accept when |g - target| / target <= tolerance.
+  double tolerance = 0.05;
+  /// Give up after this many pulses (device marked as failed).
+  std::size_t max_pulses = 500;
+  /// Initial conductance as a fraction of the target (devices are formed
+  /// to a low state first).
+  double initial_fraction = 0.1;
+};
+
+struct ProgrammingResult {
+  std::size_t pulses = 0;
+  double final_relative_error = 0.0;
+  bool converged = false;
+};
+
+/// Programs one device to `target` conductance (arbitrary units > 0).
+ProgrammingResult program_device(double target, const ProgrammingOptions& options,
+                                 util::Rng& rng);
+
+struct ProgrammingStats {
+  double mean_pulses = 0.0;
+  std::size_t max_pulses = 0;
+  double failure_rate = 0.0;
+  std::size_t devices = 0;
+};
+
+/// Programs every target in `targets` (zeros are skipped — unprogrammed
+/// cross-points) and aggregates the statistics.
+ProgrammingStats program_array(const std::vector<double>& targets,
+                               const ProgrammingOptions& options,
+                               util::Rng& rng);
+
+}  // namespace autoncs::sim

@@ -1,0 +1,10 @@
+#include "tech/cost.hpp"
+
+namespace autoncs::tech {
+
+double reduction(double baseline, double ours) {
+  if (baseline == 0.0) return 0.0;
+  return (baseline - ours) / baseline;
+}
+
+}  // namespace autoncs::tech

@@ -1,0 +1,29 @@
+// Physical cost function (Eq. 3 of the paper): Cost = alpha*L + beta*A +
+// delta*T with total wirelength L, chip area A, and average wire delay T.
+// The experiments set alpha = beta = delta = 1.
+#pragma once
+
+namespace autoncs::tech {
+
+struct CostWeights {
+  double alpha = 1.0;  // wirelength weight
+  double beta = 1.0;   // area weight
+  double delta = 1.0;  // delay weight
+};
+
+struct PhysicalCost {
+  double total_wirelength_um = 0.0;  // L
+  double area_um2 = 0.0;             // A
+  double average_delay_ns = 0.0;     // T
+
+  double combined(const CostWeights& weights = {}) const {
+    return weights.alpha * total_wirelength_um + weights.beta * area_um2 +
+           weights.delta * average_delay_ns;
+  }
+};
+
+/// Relative reduction of `ours` vs `baseline` for one metric (e.g. 0.478
+/// means 47.8% lower).
+double reduction(double baseline, double ours);
+
+}  // namespace autoncs::tech

@@ -1,0 +1,23 @@
+#include "tech/energy.hpp"
+
+#include "util/check.hpp"
+
+namespace autoncs::tech {
+
+double EnergyModel::device_read_energy_fj() const {
+  AUTONCS_CHECK(device_resistance_ohm > 0.0, "device resistance must be > 0");
+  // P = V^2 / R [W]; E = P * t. V^2/R in watts, t in ns -> 1e-9 J, to fJ
+  // -> 1e15: net factor 1e6.
+  return read_voltage_v * read_voltage_v / device_resistance_ohm *
+         read_pulse_ns * 1e6;
+}
+
+double EnergyModel::wire_switching_energy_fj(double length_um,
+                                             double capacitance_ff_per_um) const {
+  AUTONCS_CHECK(length_um >= 0.0, "length cannot be negative");
+  // C in fF, V in volts: 1/2 C V^2 is directly in fJ.
+  return activity_factor * 0.5 * capacitance_ff_per_um * length_um *
+         supply_voltage_v * supply_voltage_v;
+}
+
+}  // namespace autoncs::tech

@@ -1,0 +1,40 @@
+// Read-energy model (extension beyond the paper's Eq. 3 cost).
+//
+// One inference (matrix-vector pass) costs:
+//  * device read energy: every programmed memristor conducts for the read
+//    pulse, E = V_read^2 / R * t_read,
+//  * row-driver energy per used crossbar row,
+//  * interconnect switching energy: alpha * 1/2 * C_wire * V_dd^2 over the
+//    routed wire capacitance.
+// All constants are 45 nm-class defaults in the same spirit as
+// TechnologyModel; the interesting output is the AutoNCS/FullCro ratio.
+#pragma once
+
+#include <cstddef>
+
+namespace autoncs::tech {
+
+struct EnergyModel {
+  /// Crossbar read voltage (V).
+  double read_voltage_v = 0.5;
+  /// Read pulse width (ns).
+  double read_pulse_ns = 10.0;
+  /// Average programmed device resistance during read (ohm).
+  double device_resistance_ohm = 500e3;
+  /// Logic/interconnect supply (V).
+  double supply_voltage_v = 0.9;
+  /// Switching activity factor of the routed wires.
+  double activity_factor = 0.5;
+  /// Energy of one row driver firing once (fJ).
+  double row_driver_energy_fj = 2.0;
+
+  /// Energy of one programmed device conducting for one read pulse (fJ).
+  double device_read_energy_fj() const;
+
+  /// Switching energy of a routed wire of the given length (fJ), given the
+  /// technology's capacitance per um.
+  double wire_switching_energy_fj(double length_um,
+                                  double capacitance_ff_per_um) const;
+};
+
+}  // namespace autoncs::tech

@@ -1,0 +1,44 @@
+#include "tech/tech_model.hpp"
+
+#include "util/check.hpp"
+
+namespace autoncs::tech {
+
+double TechnologyModel::crossbar_side_um(std::size_t size) const {
+  AUTONCS_CHECK(size > 0, "crossbar size must be positive");
+  return static_cast<double>(size) * memristor_pitch_um + crossbar_periphery_um;
+}
+
+double TechnologyModel::crossbar_area_um2(std::size_t size) const {
+  const double side = crossbar_side_um(size);
+  return side * side;
+}
+
+double TechnologyModel::synapse_area_um2() const {
+  return synapse_side_um * synapse_side_um;
+}
+
+double TechnologyModel::neuron_area_um2() const {
+  return neuron_side_um * neuron_side_um;
+}
+
+double TechnologyModel::crossbar_delay_ns(std::size_t size) const {
+  AUTONCS_CHECK(size > 0, "crossbar size must be positive");
+  const double ratio = static_cast<double>(size) / 64.0;
+  return crossbar_delay_at_64_ns * ratio * ratio;
+}
+
+double TechnologyModel::wire_delay_ns(double length_um) const {
+  AUTONCS_CHECK(length_um >= 0.0, "wire length cannot be negative");
+  // r [ohm/um] * c [fF/um] * L^2 [um^2] / 2 = delay in fs*1e... :
+  // ohm * fF = 1e-15 s = 1e-6 ns.
+  return 0.5 * wire_resistance_ohm_per_um * wire_capacitance_ff_per_um *
+         length_um * length_um * 1e-6;
+}
+
+const TechnologyModel& default_tech() {
+  static const TechnologyModel model{};
+  return model;
+}
+
+}  // namespace autoncs::tech

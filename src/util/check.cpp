@@ -1,0 +1,15 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace autoncs::util {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream oss;
+  oss << "check failed: (" << expr << ") at " << file << ':' << line << " — "
+      << message;
+  throw CheckError(oss.str());
+}
+
+}  // namespace autoncs::util

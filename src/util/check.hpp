@@ -1,0 +1,38 @@
+// Precondition / invariant checking.
+//
+// AUTONCS_CHECK is always on (it guards API misuse with a descriptive
+// exception, following the library-boundary error-handling idiom), while
+// AUTONCS_DCHECK compiles away in release builds and is reserved for hot
+// inner-loop invariants.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace autoncs::util {
+
+/// Thrown when a checked precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+}  // namespace autoncs::util
+
+#define AUTONCS_CHECK(expr, message)                                        \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::autoncs::util::check_failed(#expr, __FILE__, __LINE__, (message));  \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define AUTONCS_DCHECK(expr, message) \
+  do {                                \
+  } while (false)
+#else
+#define AUTONCS_DCHECK(expr, message) AUTONCS_CHECK(expr, message)
+#endif

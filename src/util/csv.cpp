@@ -1,0 +1,56 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace autoncs::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), out_(path), columns_(header.size()) {
+  AUTONCS_CHECK(columns_ > 0, "CSV header must have at least one column");
+  write_row(header);
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  AUTONCS_CHECK(fields.size() == columns_,
+                "CSV row width must match header width");
+  write_row(fields);
+}
+
+void CsvWriter::row_values(std::initializer_list<double> values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream oss;
+    oss.precision(12);
+    oss << v;
+    fields.push_back(oss.str());
+  }
+  row(fields);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace autoncs::util

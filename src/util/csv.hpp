@@ -1,0 +1,42 @@
+// CSV emission for benchmark series (each figure bench can dump its series
+// for external plotting in addition to the console tables).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace autoncs::util {
+
+/// Streams rows of a CSV file; values are quoted only when needed.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one row; the number of fields must match the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats arithmetic values with full precision.
+  void row_values(std::initializer_list<double> values);
+
+  bool ok() const { return static_cast<bool>(out_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  void write_row(const std::vector<std::string>& fields);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Escapes one CSV field (RFC 4180 quoting).
+std::string csv_escape(const std::string& field);
+
+}  // namespace autoncs::util

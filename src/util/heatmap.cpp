@@ -1,0 +1,115 @@
+#include "util/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace autoncs::util {
+
+Field2D::Field2D(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Field2D::at(std::size_t r, std::size_t c) {
+  AUTONCS_DCHECK(r < rows_ && c < cols_, "Field2D index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Field2D::at(std::size_t r, std::size_t c) const {
+  AUTONCS_DCHECK(r < rows_ && c < cols_, "Field2D index out of range");
+  return data_[r * cols_ + c];
+}
+
+void Field2D::splat(std::size_t r, std::size_t c, double v) {
+  if (rows_ == 0 || cols_ == 0) return;
+  r = std::min(r, rows_ - 1);
+  c = std::min(c, cols_ - 1);
+  data_[r * cols_ + c] += v;
+}
+
+double Field2D::max_value() const {
+  if (data_.empty()) return 0.0;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Field2D::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+std::string render_ascii(const Field2D& field, std::size_t max_rows,
+                         std::size_t max_cols) {
+  if (field.rows() == 0 || field.cols() == 0) return "(empty)\n";
+  static constexpr char kRamp[] = {' ', '.', ':', '+', '#', '@'};
+  constexpr std::size_t kRampSize = sizeof(kRamp);
+
+  const std::size_t out_rows = std::min(max_rows, field.rows());
+  const std::size_t out_cols = std::min(max_cols, field.cols());
+  // Downsample by averaging each block of source cells.
+  Field2D down(out_rows, out_cols);
+  Field2D counts(out_rows, out_cols);
+  for (std::size_t r = 0; r < field.rows(); ++r) {
+    const std::size_t rr = r * out_rows / field.rows();
+    for (std::size_t c = 0; c < field.cols(); ++c) {
+      const std::size_t cc = c * out_cols / field.cols();
+      down.at(rr, cc) += field.at(r, c);
+      counts.at(rr, cc) += 1.0;
+    }
+  }
+  double peak = 0.0;
+  for (std::size_t r = 0; r < out_rows; ++r)
+    for (std::size_t c = 0; c < out_cols; ++c) {
+      down.at(r, c) /= std::max(1.0, counts.at(r, c));
+      peak = std::max(peak, down.at(r, c));
+    }
+  std::string out;
+  out.reserve((out_cols + 3) * (out_rows + 2));
+  out += '+';
+  out.append(out_cols, '-');
+  out += "+\n";
+  for (std::size_t r = 0; r < out_rows; ++r) {
+    out += '|';
+    for (std::size_t c = 0; c < out_cols; ++c) {
+      const double v = peak > 0.0 ? down.at(r, c) / peak : 0.0;
+      auto idx = static_cast<std::size_t>(std::lround(v * (kRampSize - 1)));
+      idx = std::min(idx, kRampSize - 1);
+      out += kRamp[idx];
+    }
+    out += "|\n";
+  }
+  out += '+';
+  out.append(out_cols, '-');
+  out += "+\n";
+  return out;
+}
+
+bool write_pgm(const Field2D& field, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const double peak = field.max_value();
+  out << "P5\n" << field.cols() << ' ' << field.rows() << "\n255\n";
+  for (std::size_t r = 0; r < field.rows(); ++r) {
+    for (std::size_t c = 0; c < field.cols(); ++c) {
+      const double v = peak > 0.0 ? field.at(r, c) / peak : 0.0;
+      const auto byte = static_cast<unsigned char>(std::lround(v * 255.0));
+      out.put(static_cast<char>(byte));
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+Field2D field_from_bitmap(const std::vector<std::vector<bool>>& bits) {
+  if (bits.empty()) return {};
+  Field2D field(bits.size(), bits.front().size());
+  for (std::size_t r = 0; r < bits.size(); ++r) {
+    AUTONCS_CHECK(bits[r].size() == bits.front().size(),
+                  "bitmap rows must have equal width");
+    for (std::size_t c = 0; c < bits[r].size(); ++c) {
+      if (bits[r][c]) field.at(r, c) = 1.0;
+    }
+  }
+  return field;
+}
+
+}  // namespace autoncs::util

@@ -1,0 +1,53 @@
+// Rendering of 2-D scalar fields (connection matrices, congestion maps,
+// placement layouts) as ASCII art and binary PGM images. These stand in for
+// the paper's Figures 3-6 and 10 in a terminal-only environment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace autoncs::util {
+
+/// Row-major 2-D grid of doubles with named dimensions.
+class Field2D {
+ public:
+  Field2D() = default;
+  Field2D(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Adds `v` into the cell, clamping indices into range (useful when
+  /// rasterizing geometry that may touch the boundary).
+  void splat(std::size_t r, std::size_t c, double v);
+
+  double max_value() const;
+  double sum() const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Renders the field as ASCII art (' ', '.', ':', '+', '#', '@' ramp),
+/// downsampling to at most `max_cols` x `max_rows` characters. Row 0 is
+/// printed at the top.
+std::string render_ascii(const Field2D& field, std::size_t max_rows = 40,
+                         std::size_t max_cols = 80);
+
+/// Writes the field as an 8-bit binary PGM (values scaled to [0, 255]).
+/// Returns false on I/O failure.
+bool write_pgm(const Field2D& field, const std::string& path);
+
+/// Rasterizes a binary connection matrix into a Field2D (1 per connection)
+/// for rendering; handy overload so callers don't repeat the loop.
+Field2D field_from_bitmap(const std::vector<std::vector<bool>>& bits);
+
+}  // namespace autoncs::util

@@ -1,0 +1,41 @@
+// Minimal leveled logger used by the long-running flow stages (ISC,
+// placement, routing) to report progress. Output goes to stderr so that
+// benches can pipe machine-readable results on stdout.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace autoncs::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global verbosity threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line ("[level] tag: message") if `level` passes the
+/// threshold. Thread-compatible (single writer assumed).
+void log_message(LogLevel level, const std::string& tag, const std::string& message);
+
+/// Stream-style helper: LogLine(LogLevel::kInfo, "isc") << "iter " << i;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string tag) : level_(level), tag_(std::move(tag)) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, tag_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream stream_;
+};
+
+}  // namespace autoncs::util

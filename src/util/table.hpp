@@ -1,0 +1,35 @@
+// Console table formatting used by the benchmark harness to print the same
+// rows the paper's Table 1 and figure captions report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace autoncs::util {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Adds a horizontal separator before the next row.
+  void add_separator();
+
+  /// Renders the table with box-drawing ASCII.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string fmt_double(double value, int precision = 2);
+
+/// Formats a percentage like "47.80%".
+std::string fmt_percent(double fraction, int precision = 2);
+
+}  // namespace autoncs::util

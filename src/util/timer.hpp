@@ -1,0 +1,31 @@
+// Wall-clock timing for the GCP-vs-traversing comparison (Fig. 4) and flow
+// stage reporting.
+#pragma once
+
+#include <chrono>
+
+namespace autoncs::util {
+
+/// Simple steady-clock stopwatch; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds.
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in seconds.
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace autoncs::util

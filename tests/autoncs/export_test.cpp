@@ -1,0 +1,84 @@
+#include "autoncs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace autoncs {
+namespace {
+
+netlist::Netlist tiny_layout() {
+  netlist::Netlist net;
+  netlist::Cell crossbar;
+  crossbar.kind = netlist::CellKind::kCrossbar;
+  crossbar.width = 10.0;
+  crossbar.height = 10.0;
+  net.cells.push_back(crossbar);
+  netlist::Cell neuron;
+  neuron.kind = netlist::CellKind::kNeuron;
+  neuron.width = 2.0;
+  neuron.height = 2.0;
+  neuron.x = 15.0;
+  net.cells.push_back(neuron);
+  netlist::Cell synapse;
+  synapse.kind = netlist::CellKind::kSynapse;
+  synapse.width = 1.0;
+  synapse.height = 1.0;
+  synapse.y = 12.0;
+  net.cells.push_back(synapse);
+  return net;
+}
+
+TEST(SvgExport, ContainsAllCellsAndKindsColors) {
+  const SvgOptions options;
+  const std::string svg = layout_svg(tiny_layout(), options);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One background rect + three cells.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_EQ(rects, 4u);
+  EXPECT_NE(svg.find(options.crossbar_fill), std::string::npos);
+  EXPECT_NE(svg.find(options.neuron_fill), std::string::npos);
+  EXPECT_NE(svg.find(options.synapse_fill), std::string::npos);
+}
+
+TEST(SvgExport, BigCellsDrawnFirst) {
+  const SvgOptions options;
+  const std::string svg = layout_svg(tiny_layout(), options);
+  // The crossbar (largest) must appear before the synapse (smallest).
+  EXPECT_LT(svg.find(options.crossbar_fill), svg.find(options.synapse_fill));
+}
+
+TEST(SvgExport, EmptyNetlistStillValid) {
+  const std::string svg = layout_svg(netlist::Netlist{});
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+}
+
+TEST(SvgExport, WritesFile) {
+  const std::string path = std::string(::testing::TempDir()) + "/layout.svg";
+  EXPECT_TRUE(write_layout_svg(tiny_layout(), path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("</svg>"), std::string::npos);
+}
+
+TEST(SvgExport, BadPathFails) {
+  EXPECT_FALSE(write_layout_svg(tiny_layout(), "/nonexistent_dir/x.svg"));
+}
+
+TEST(SvgExport, InvalidScaleThrows) {
+  SvgOptions options;
+  options.scale = 0.0;
+  EXPECT_THROW(layout_svg(tiny_layout(), options), util::CheckError);
+}
+
+}  // namespace
+}  // namespace autoncs

@@ -1,0 +1,113 @@
+// Property tests over the whole front end: for every network family and
+// seed, the clustering + mapping pipeline must produce an exact-cover
+// hybrid mapping whose netlist validates, and the physical back end must
+// produce a legal placement and route every wire. These invariants are the
+// contract the paper's Sec. 3 promises ("maintains the topology").
+#include <gtest/gtest.h>
+
+#include "autoncs/pipeline.hpp"
+#include "nn/generators.hpp"
+#include "place/density.hpp"
+#include "place/wa_wirelength.hpp"
+#include "sim/mapped_ncs.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs {
+namespace {
+
+enum class Family { kRandom, kBlock, kLdpc, kRing };
+
+nn::ConnectionMatrix make_network(Family family, std::uint64_t seed) {
+  util::Rng rng(seed);
+  switch (family) {
+    case Family::kRandom:
+      return nn::random_sparse(48, 0.12, rng);
+    case Family::kBlock: {
+      nn::BlockSparseOptions options;
+      options.blocks = 4;
+      options.intra_density = 0.4;
+      options.inter_density = 0.02;
+      return nn::block_sparse(48, options, rng);
+    }
+    case Family::kLdpc: {
+      nn::LdpcOptions options;
+      options.variable_nodes = 32;
+      options.check_nodes = 16;
+      options.row_weight = 4;
+      return nn::ldpc_like(options, rng);
+    }
+    case Family::kRing: {
+      nn::ConnectionMatrix ring(40);
+      for (std::size_t i = 0; i < 40; ++i) ring.add(i, (i + 1) % 40);
+      return ring;
+    }
+  }
+  return nn::ConnectionMatrix(1);
+}
+
+FlowConfig fast_config(std::uint64_t seed) {
+  FlowConfig config;
+  config.isc.crossbar_sizes = {4, 8, 16};
+  config.baseline_crossbar_size = 16;
+  config.placer.cg.max_iterations = 50;
+  config.placer.max_outer_iterations = 10;
+  config.seed = seed;
+  return config;
+}
+
+class FlowPropertySweep
+    : public ::testing::TestWithParam<std::tuple<Family, std::uint64_t>> {};
+
+TEST_P(FlowPropertySweep, MappingIsExactCover) {
+  const auto [family, seed] = GetParam();
+  const auto network = make_network(family, seed);
+  // run_autoncs validates the mapping internally and throws on violation.
+  const auto result = run_autoncs(network, fast_config(seed));
+  EXPECT_EQ(result.mapping.total_connections(), network.connection_count());
+  EXPECT_EQ(mapping::validate_mapping(result.mapping, network), "");
+}
+
+TEST_P(FlowPropertySweep, NetlistValidAndFullyRouted) {
+  const auto [family, seed] = GetParam();
+  const auto network = make_network(family, seed);
+  if (network.connection_count() == 0) GTEST_SKIP();
+  const auto result = run_autoncs(network, fast_config(seed));
+  EXPECT_EQ(result.netlist.validate(), "");
+  EXPECT_EQ(result.routing.wires.size(), result.netlist.wires.size());
+  EXPECT_GT(result.cost.total_wirelength_um, 0.0);
+}
+
+TEST_P(FlowPropertySweep, PlacementLegalAndInsideDie) {
+  const auto [family, seed] = GetParam();
+  const auto network = make_network(family, seed);
+  const auto result = run_autoncs(network, fast_config(seed));
+  EXPECT_LT(result.placement.legalization.final_overlap_ratio, 0.05);
+  for (const auto& cell : result.netlist.cells) {
+    EXPECT_GE(cell.x, result.placement.die.min_x - 1e-6);
+    EXPECT_LE(cell.x, result.placement.die.max_x + 1e-6);
+    EXPECT_GE(cell.y, result.placement.die.min_y - 1e-6);
+    EXPECT_LE(cell.y, result.placement.die.max_y + 1e-6);
+  }
+}
+
+TEST_P(FlowPropertySweep, MappedHardwareComputesTheLogicalField) {
+  const auto [family, seed] = GetParam();
+  const auto network = make_network(family, seed);
+  const auto result = run_autoncs(network, fast_config(seed));
+  // Weights: +1 per connection (binary network).
+  const auto weights = network.to_dense();
+  const sim::MappedNcs ncs(result.mapping, weights);
+  util::Rng rng(seed + 1);
+  std::vector<double> state(network.size());
+  for (auto& v : state) v = rng.bernoulli(0.5) ? 1.0 : -1.0;
+  EXPECT_LT(ncs.field_error(weights, state), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndSeeds, FlowPropertySweep,
+    ::testing::Combine(::testing::Values(Family::kRandom, Family::kBlock,
+                                         Family::kLdpc, Family::kRing),
+                       ::testing::Values(1ull, 7ull, 42ull)));
+
+}  // namespace
+}  // namespace autoncs

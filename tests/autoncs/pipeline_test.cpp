@@ -1,0 +1,108 @@
+#include "autoncs/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/generators.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs {
+namespace {
+
+/// Small config so end-to-end tests stay fast.
+FlowConfig fast_config() {
+  FlowConfig config;
+  config.isc.crossbar_sizes = {4, 8, 16};
+  config.baseline_crossbar_size = 16;
+  config.placer.cg.max_iterations = 60;
+  config.placer.max_outer_iterations = 12;
+  config.seed = 77;
+  return config;
+}
+
+nn::ConnectionMatrix small_block_network(std::uint64_t seed = 5) {
+  util::Rng rng(seed);
+  nn::BlockSparseOptions topology;
+  topology.blocks = 4;
+  topology.intra_density = 0.45;
+  topology.inter_density = 0.01;
+  return nn::block_sparse(48, topology, rng);
+}
+
+TEST(Pipeline, AutoNcsEndToEnd) {
+  const auto network = small_block_network();
+  const auto result = run_autoncs(network, fast_config());
+  ASSERT_TRUE(result.isc.has_value());
+  // Mapping valid by construction (pipeline validates internally), costs
+  // populated and positive.
+  EXPECT_GT(result.cost.total_wirelength_um, 0.0);
+  EXPECT_GT(result.cost.area_um2, 0.0);
+  EXPECT_GT(result.cost.average_delay_ns, 0.0);
+  EXPECT_FALSE(result.netlist.cells.empty());
+  EXPECT_EQ(result.routing.wires.size(), result.netlist.wires.size());
+}
+
+TEST(Pipeline, MappingRealizesWholeNetwork) {
+  const auto network = small_block_network();
+  const auto result = run_autoncs(network, fast_config());
+  EXPECT_EQ(result.mapping.total_connections(), network.connection_count());
+  EXPECT_EQ(mapping::validate_mapping(result.mapping, network), "");
+}
+
+TEST(Pipeline, FullCroEndToEnd) {
+  const auto network = small_block_network();
+  const auto result = run_fullcro(network, fast_config());
+  EXPECT_FALSE(result.isc.has_value());
+  EXPECT_TRUE(result.mapping.discrete_synapses.empty());
+  for (const auto& xbar : result.mapping.crossbars)
+    EXPECT_EQ(xbar.size, 16u);
+  EXPECT_GT(result.cost.area_um2, 0.0);
+}
+
+TEST(Pipeline, AutoNcsBeatsFullCroOnStructuredNetwork) {
+  // The paper's headline claim, on a miniature instance.
+  const auto network = small_block_network(11);
+  const auto config = fast_config();
+  const auto ours = run_autoncs(network, config);
+  const auto baseline = run_fullcro(network, config);
+  EXPECT_LT(ours.cost.area_um2, baseline.cost.area_um2);
+  EXPECT_LT(ours.cost.average_delay_ns, baseline.cost.average_delay_ns);
+  EXPECT_LT(ours.cost.total_wirelength_um, baseline.cost.total_wirelength_um);
+}
+
+TEST(Pipeline, ThresholdDerivedFromBaseline) {
+  const auto network = small_block_network();
+  FlowConfig config = fast_config();
+  config.derive_threshold_from_baseline = true;
+  const auto isc = run_isc(network, config);
+  EXPECT_FALSE(isc.crossbars.empty());
+  // Manual threshold is honoured too.
+  config.derive_threshold_from_baseline = false;
+  config.isc.utilization_threshold = 0.9;
+  const auto strict = run_isc(network, config);
+  EXPECT_LE(strict.iterations.size(), isc.iterations.size() + 1);
+}
+
+TEST(Pipeline, DeterministicForFixedSeed) {
+  const auto network = small_block_network();
+  const auto config = fast_config();
+  const auto a = run_autoncs(network, config);
+  const auto b = run_autoncs(network, config);
+  EXPECT_DOUBLE_EQ(a.cost.total_wirelength_um, b.cost.total_wirelength_um);
+  EXPECT_DOUBLE_EQ(a.cost.area_um2, b.cost.area_um2);
+  EXPECT_DOUBLE_EQ(a.cost.average_delay_ns, b.cost.average_delay_ns);
+  EXPECT_EQ(a.mapping.crossbars.size(), b.mapping.crossbars.size());
+}
+
+TEST(Pipeline, SeedChangesPlacementButNotMappingValidity) {
+  const auto network = small_block_network();
+  FlowConfig config = fast_config();
+  config.seed = 1;
+  const auto a = run_autoncs(network, config);
+  config.seed = 2;
+  const auto b = run_autoncs(network, config);
+  EXPECT_EQ(mapping::validate_mapping(a.mapping, network), "");
+  EXPECT_EQ(mapping::validate_mapping(b.mapping, network), "");
+}
+
+}  // namespace
+}  // namespace autoncs

@@ -1,0 +1,80 @@
+#include "autoncs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace autoncs {
+namespace {
+
+TEST(CostComparison, ReductionsMatchDefinition) {
+  CostComparison cmp;
+  cmp.fullcro.total_wirelength_um = 200.0;
+  cmp.autoncs.total_wirelength_um = 100.0;
+  cmp.fullcro.area_um2 = 50.0;
+  cmp.autoncs.area_um2 = 40.0;
+  cmp.fullcro.average_delay_ns = 2.0;
+  cmp.autoncs.average_delay_ns = 1.0;
+  EXPECT_DOUBLE_EQ(cmp.wirelength_reduction(), 0.5);
+  EXPECT_DOUBLE_EQ(cmp.area_reduction(), 0.2);
+  EXPECT_DOUBLE_EQ(cmp.delay_reduction(), 0.5);
+}
+
+TEST(LayoutField, RendersCellsByKind) {
+  netlist::Netlist net;
+  netlist::Cell crossbar;
+  crossbar.kind = netlist::CellKind::kCrossbar;
+  crossbar.width = 4.0;
+  crossbar.height = 4.0;
+  crossbar.x = 0.0;
+  crossbar.y = 0.0;
+  net.cells.push_back(crossbar);
+  netlist::Cell synapse;
+  synapse.kind = netlist::CellKind::kSynapse;
+  synapse.width = 1.0;
+  synapse.height = 1.0;
+  synapse.x = 10.0;
+  synapse.y = 0.0;
+  net.cells.push_back(synapse);
+
+  const auto field = layout_field(net, 1.0);
+  EXPECT_GT(field.rows(), 0u);
+  EXPECT_GT(field.cols(), 10u);
+  // Crossbars brightest (1.0), synapses dimmer (0.3).
+  EXPECT_DOUBLE_EQ(field.max_value(), 1.0);
+  bool saw_synapse_intensity = false;
+  for (std::size_t r = 0; r < field.rows(); ++r)
+    for (std::size_t c = 0; c < field.cols(); ++c)
+      if (field.at(r, c) == 0.3) saw_synapse_intensity = true;
+  EXPECT_TRUE(saw_synapse_intensity);
+}
+
+TEST(LayoutField, EmptyNetlist) {
+  const auto field = layout_field(netlist::Netlist{}, 1.0);
+  EXPECT_EQ(field.rows(), 0u);
+}
+
+TEST(LayoutField, InvalidResolutionThrows) {
+  netlist::Netlist net;
+  netlist::Cell cell;
+  cell.width = 1.0;
+  cell.height = 1.0;
+  net.cells.push_back(cell);
+  EXPECT_THROW(layout_field(net, 0.0), util::CheckError);
+}
+
+TEST(SummarizeFlow, MentionsKeyQuantities) {
+  FlowResult result;
+  result.mapping.neuron_count = 4;
+  result.cost.total_wirelength_um = 123.0;
+  result.cost.area_um2 = 456.0;
+  result.cost.average_delay_ns = 1.5;
+  const std::string summary = summarize_flow(result, "TestFlow");
+  EXPECT_NE(summary.find("TestFlow"), std::string::npos);
+  EXPECT_NE(summary.find("123.0"), std::string::npos);
+  EXPECT_NE(summary.find("456.0"), std::string::npos);
+  EXPECT_NE(summary.find("1.500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autoncs

@@ -1,0 +1,113 @@
+#include "clustering/gcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/generators.hpp"
+#include "util/check.hpp"
+
+namespace autoncs::clustering {
+namespace {
+
+void expect_valid_partition(const Clustering& clustering, std::size_t n) {
+  ASSERT_EQ(clustering.assignment.size(), n);
+  std::vector<std::size_t> seen(n, 0);
+  for (std::size_t c = 0; c < clustering.clusters.size(); ++c) {
+    for (std::size_t v : clustering.clusters[c]) {
+      ASSERT_LT(v, n);
+      ++seen[v];
+      EXPECT_EQ(clustering.assignment[v], c);
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) EXPECT_EQ(seen[v], 1u);
+}
+
+TEST(Gcp, SizeLimitRespected) {
+  util::Rng rng(1);
+  const auto net = nn::random_sparse(60, 0.15, rng);
+  const auto result = greedy_cluster_size_prediction(net, 10, rng);
+  expect_valid_partition(result.clustering, 60);
+  EXPECT_LE(result.clustering.largest_cluster(), 10u);
+}
+
+TEST(Gcp, CliqueBiggerThanLimitIsSplit) {
+  // A 20-clique with limit 8: structurally equivalent members must still
+  // end up in clusters of at most 8 (the degenerate-split guard).
+  nn::ConnectionMatrix net(20);
+  for (std::size_t i = 0; i < 20; ++i)
+    for (std::size_t j = 0; j < 20; ++j)
+      if (i != j) net.add(i, j);
+  util::Rng rng(2);
+  const auto result = greedy_cluster_size_prediction(net, 8, rng);
+  expect_valid_partition(result.clustering, 20);
+  EXPECT_LE(result.clustering.largest_cluster(), 8u);
+  EXPECT_GE(result.stats.splits, 1u);
+}
+
+TEST(Gcp, LimitAboveNGivesFewClusters) {
+  util::Rng rng(3);
+  const auto net = nn::random_sparse(15, 0.3, rng);
+  const auto result = greedy_cluster_size_prediction(net, 100, rng);
+  expect_valid_partition(result.clustering, 15);
+  EXPECT_EQ(result.clustering.cluster_count(), 1u);  // k = ceil(15/100) = 1
+}
+
+TEST(Gcp, LimitOneGivesSingletons) {
+  util::Rng rng(4);
+  const auto net = nn::random_sparse(8, 0.4, rng);
+  const auto result = greedy_cluster_size_prediction(net, 1, rng);
+  expect_valid_partition(result.clustering, 8);
+  EXPECT_EQ(result.clustering.largest_cluster(), 1u);
+  EXPECT_EQ(result.clustering.cluster_count(), 8u);
+}
+
+TEST(Gcp, RecoversPlantedBlocksWithinLimit) {
+  util::Rng rng(5);
+  nn::BlockSparseOptions options;
+  options.blocks = 4;
+  options.intra_density = 0.7;
+  options.inter_density = 0.0;
+  options.scramble = false;
+  const auto net = nn::block_sparse(48, options, rng);  // blocks of 12
+  const auto result = greedy_cluster_size_prediction(net, 12, rng);
+  EXPECT_LE(result.clustering.largest_cluster(), 12u);
+  // Count within-cluster connections: perfect recovery keeps all.
+  std::size_t within = 0;
+  for (const auto& cluster : result.clustering.clusters)
+    within += net.count_within(cluster);
+  EXPECT_GT(static_cast<double>(within),
+            0.8 * static_cast<double>(net.connection_count()));
+}
+
+TEST(Gcp, StatsAreConsistent) {
+  util::Rng rng(6);
+  const auto net = nn::random_sparse(40, 0.2, rng);
+  const auto result = greedy_cluster_size_prediction(net, 6, rng);
+  EXPECT_GE(result.stats.outer_rounds, 1u);
+  EXPECT_EQ(result.stats.final_k, result.clustering.cluster_count());
+}
+
+TEST(Gcp, InvalidLimitThrows) {
+  util::Rng rng(7);
+  const auto net = nn::random_sparse(10, 0.2, rng);
+  EXPECT_THROW(greedy_cluster_size_prediction(net, 0, rng), util::CheckError);
+}
+
+class GcpSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(GcpSweep, SizeInvariantHoldsAcrossShapes) {
+  const auto [n, limit] = GetParam();
+  util::Rng rng(1000 + n + limit);
+  const auto net = nn::random_sparse(n, 0.15, rng);
+  const auto result = greedy_cluster_size_prediction(net, limit, rng);
+  expect_valid_partition(result.clustering, n);
+  EXPECT_LE(result.clustering.largest_cluster(), limit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GcpSweep,
+    ::testing::Combine(::testing::Values(10, 30, 50, 80),
+                       ::testing::Values(4, 8, 16, 64)));
+
+}  // namespace
+}  // namespace autoncs::clustering

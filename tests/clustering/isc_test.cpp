@@ -1,0 +1,270 @@
+#include "clustering/isc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nn/generators.hpp"
+#include "util/check.hpp"
+
+namespace autoncs::clustering {
+namespace {
+
+/// Checks that the ISC result realizes every connection of `net` exactly
+/// once across crossbars and outliers.
+void expect_exact_cover(const IscResult& result, const nn::ConnectionMatrix& net) {
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  auto realize = [&](const nn::Connection& c) {
+    EXPECT_TRUE(net.has(c.from, c.to))
+        << "realized connection absent: " << c.from << "->" << c.to;
+    EXPECT_TRUE(seen.emplace(c.from, c.to).second)
+        << "double-realized: " << c.from << "->" << c.to;
+  };
+  for (const auto& xbar : result.crossbars)
+    for (const auto& c : xbar.connections) realize(c);
+  for (const auto& c : result.outliers) realize(c);
+  EXPECT_EQ(seen.size(), net.connection_count());
+}
+
+IscOptions small_options() {
+  IscOptions options;
+  options.crossbar_sizes = {4, 8, 16};
+  options.utilization_threshold = 0.05;
+  return options;
+}
+
+TEST(Isc, ExactCoverOnRandomNetwork) {
+  util::Rng rng(1);
+  const auto net = nn::random_sparse(40, 0.1, rng);
+  const auto result = iterative_spectral_clustering(net, small_options(), rng);
+  expect_exact_cover(result, net);
+  EXPECT_EQ(result.total_connections, net.connection_count());
+}
+
+TEST(Isc, CrossbarSizesComeFromLibrary) {
+  util::Rng rng(2);
+  const auto net = nn::random_sparse(50, 0.15, rng);
+  const auto options = small_options();
+  const auto result = iterative_spectral_clustering(net, options, rng);
+  const std::set<std::size_t> library(options.crossbar_sizes.begin(),
+                                      options.crossbar_sizes.end());
+  for (const auto& xbar : result.crossbars) {
+    EXPECT_TRUE(library.contains(xbar.size));
+    EXPECT_LE(xbar.rows.size(), xbar.size);
+    EXPECT_LE(xbar.cols.size(), xbar.size);
+    EXPECT_FALSE(xbar.connections.empty());
+  }
+}
+
+TEST(Isc, CrossbarEndpointsOnTheRightSides) {
+  util::Rng rng(3);
+  const auto net = nn::random_sparse(40, 0.2, rng);
+  const auto result = iterative_spectral_clustering(net, small_options(), rng);
+  for (const auto& xbar : result.crossbars) {
+    const std::set<std::size_t> rows(xbar.rows.begin(), xbar.rows.end());
+    const std::set<std::size_t> cols(xbar.cols.begin(), xbar.cols.end());
+    for (const auto& c : xbar.connections) {
+      EXPECT_TRUE(rows.contains(c.from));
+      EXPECT_TRUE(cols.contains(c.to));
+    }
+  }
+}
+
+TEST(Isc, BlockNetworkClustersAlmostEverything) {
+  util::Rng rng(4);
+  nn::BlockSparseOptions topology;
+  topology.blocks = 5;
+  topology.intra_density = 0.6;
+  topology.inter_density = 0.0;
+  topology.scramble = false;
+  const auto net = nn::block_sparse(60, topology, rng);  // blocks of 12
+  IscOptions options = small_options();
+  const auto result = iterative_spectral_clustering(net, options, rng);
+  expect_exact_cover(result, net);
+  EXPECT_LT(result.outlier_ratio(), 0.1);
+}
+
+TEST(Isc, EmptyNetworkYieldsNothing) {
+  util::Rng rng(5);
+  const nn::ConnectionMatrix net(20);
+  const auto result = iterative_spectral_clustering(net, small_options(), rng);
+  EXPECT_TRUE(result.crossbars.empty());
+  EXPECT_TRUE(result.outliers.empty());
+  EXPECT_TRUE(result.iterations.empty());
+}
+
+TEST(Isc, IterationStatsConsistent) {
+  util::Rng rng(6);
+  const auto net = nn::random_sparse(50, 0.12, rng);
+  const auto result = iterative_spectral_clustering(net, small_options(), rng);
+  std::size_t placed = 0;
+  std::size_t realized = 0;
+  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+    const auto& stats = result.iterations[i];
+    EXPECT_EQ(stats.iteration, i + 1);
+    EXPECT_GE(stats.clusters_formed, stats.crossbars_placed);
+    placed += stats.crossbars_placed;
+    realized += stats.connections_realized;
+    // Outlier ratio is monotonically non-increasing.
+    if (i > 0) {
+      EXPECT_LE(stats.outlier_ratio, result.iterations[i - 1].outlier_ratio);
+    }
+  }
+  EXPECT_EQ(placed, result.crossbars.size());
+  EXPECT_EQ(realized, result.clustered_connections());
+  EXPECT_EQ(realized + result.outliers.size(), result.total_connections);
+}
+
+TEST(Isc, HighThresholdStopsEarly) {
+  util::Rng rng(7);
+  const auto net = nn::random_sparse(40, 0.08, rng);
+  IscOptions options = small_options();
+  options.utilization_threshold = 0.99;  // nothing sustains this
+  const auto result = iterative_spectral_clustering(net, options, rng);
+  // At most one iteration runs (its placements stay), then the loop stops.
+  EXPECT_LE(result.iterations.size(), 1u);
+  expect_exact_cover(result, net);
+}
+
+TEST(Isc, UtilizationThresholdSemantics) {
+  // Every iteration EXCEPT possibly the last satisfies u >= t (Alg. 3
+  // line 17 checks after realizing).
+  util::Rng rng(8);
+  const auto net = nn::random_sparse(60, 0.1, rng);
+  IscOptions options = small_options();
+  options.utilization_threshold = 0.2;
+  const auto result = iterative_spectral_clustering(net, options, rng);
+  for (std::size_t i = 0; i + 1 < result.iterations.size(); ++i)
+    EXPECT_GE(result.iterations[i].average_utilization,
+              options.utilization_threshold);
+}
+
+TEST(Isc, SelectionFractionOneRealizesEverythingFaster) {
+  util::Rng rng(9);
+  const auto net = nn::random_sparse(40, 0.15, rng);
+  IscOptions quarter = small_options();
+  IscOptions all = small_options();
+  all.selection_fraction = 1.0;
+  util::Rng rng_a(10);
+  util::Rng rng_b(10);
+  const auto r_quarter = iterative_spectral_clustering(net, quarter, rng_a);
+  const auto r_all = iterative_spectral_clustering(net, all, rng_b);
+  EXPECT_LE(r_all.iterations.size(), r_quarter.iterations.size());
+}
+
+TEST(PackClusters, MergesSubMinimumCliques) {
+  // Two disjoint 3-cliques with a size-8-only library: separately each
+  // strands most of an 8x8 crossbar (e = 6/64); merged they fit one
+  // crossbar with e = 12/64, so the packing pass must merge them.
+  nn::ConnectionMatrix net(12);
+  for (std::size_t base : {0u, 6u}) {
+    for (std::size_t i = base; i < base + 3; ++i)
+      for (std::size_t j = base; j < base + 3; ++j)
+        if (i != j) net.add(i, j);
+  }
+  std::vector<std::vector<std::size_t>> clusters = {{0, 1, 2}, {6, 7, 8}};
+  const auto packed = pack_clusters(net, clusters, {8});
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_EQ(packed[0].size(), 6u);
+}
+
+TEST(PackClusters, RespectsDemandLimit) {
+  // Two 5-cliques cannot merge into a size-8 crossbar (demand 10 > 8).
+  nn::ConnectionMatrix net(12);
+  for (std::size_t base : {0u, 5u}) {
+    for (std::size_t i = base; i < base + 5; ++i)
+      for (std::size_t j = base; j < base + 5; ++j)
+        if (i != j) net.add(i, j);
+  }
+  std::vector<std::vector<std::size_t>> clusters = {{0, 1, 2, 3, 4},
+                                                    {5, 6, 7, 8, 9}};
+  const auto packed = pack_clusters(net, clusters, {8});
+  EXPECT_EQ(packed.size(), 2u);
+}
+
+TEST(PackClusters, DoesNotMergeWhenEfficiencyDrops) {
+  // A dense 4-clique and a lone edge with library {4, 8}: merging would
+  // move the clique from a full 4x4 (e = 12/16) to an 8x8 with 14
+  // connections (e = 14/64) — worse, so no merge.
+  nn::ConnectionMatrix net(8);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      if (i != j) net.add(i, j);
+  net.add(4, 5);
+  net.add(5, 4);
+  std::vector<std::vector<std::size_t>> clusters = {{0, 1, 2, 3}, {4, 5}};
+  const auto packed = pack_clusters(net, clusters, {4, 8}, 8);
+  EXPECT_EQ(packed.size(), 2u);
+}
+
+TEST(PackClusters, CrossConnectionsCountTowardMerge) {
+  // Two 2-cliques joined by cross edges: merging captures the cross
+  // connections, raising efficiency.
+  nn::ConnectionMatrix net(4);
+  net.add(0, 1);
+  net.add(1, 0);
+  net.add(2, 3);
+  net.add(3, 2);
+  net.add(0, 2);
+  net.add(2, 0);
+  std::vector<std::vector<std::size_t>> clusters = {{0, 1}, {2, 3}};
+  const auto packed = pack_clusters(net, clusters, {4});
+  ASSERT_EQ(packed.size(), 1u);
+}
+
+TEST(Isc, InvalidOptionsThrow) {
+  util::Rng rng(13);
+  const auto net = nn::random_sparse(10, 0.2, rng);
+  IscOptions no_sizes;
+  no_sizes.crossbar_sizes = {};
+  EXPECT_THROW(iterative_spectral_clustering(net, no_sizes, rng),
+               util::CheckError);
+  IscOptions unsorted;
+  unsorted.crossbar_sizes = {16, 8};
+  EXPECT_THROW(iterative_spectral_clustering(net, unsorted, rng),
+               util::CheckError);
+  IscOptions bad_fraction;
+  bad_fraction.selection_fraction = 0.0;
+  EXPECT_THROW(iterative_spectral_clustering(net, bad_fraction, rng),
+               util::CheckError);
+}
+
+TEST(Isc, MinimumSatisfiableSize) {
+  const std::vector<std::size_t> sizes = {16, 20, 24};
+  EXPECT_EQ(minimum_satisfiable_size(sizes, 1), 16u);
+  EXPECT_EQ(minimum_satisfiable_size(sizes, 16), 16u);
+  EXPECT_EQ(minimum_satisfiable_size(sizes, 17), 20u);
+  EXPECT_EQ(minimum_satisfiable_size(sizes, 24), 24u);
+  EXPECT_EQ(minimum_satisfiable_size(sizes, 25), 0u);
+}
+
+TEST(Isc, ResultAccessors) {
+  IscResult result;
+  result.total_connections = 10;
+  CrossbarInstance xbar;
+  xbar.size = 4;
+  xbar.connections = {{0, 1}, {1, 0}};
+  result.crossbars.push_back(xbar);
+  result.outliers = {{2, 3}};
+  EXPECT_EQ(result.clustered_connections(), 2u);
+  EXPECT_DOUBLE_EQ(result.outlier_ratio(), 0.1);
+  EXPECT_DOUBLE_EQ(result.average_utilization(), 2.0 / 16.0);
+}
+
+class IscThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(IscThresholdSweep, ExactCoverAtEveryThreshold) {
+  util::Rng rng(20);
+  const auto net = nn::random_sparse(45, 0.12, rng);
+  IscOptions options = small_options();
+  options.utilization_threshold = GetParam();
+  util::Rng isc_rng(21);
+  const auto result = iterative_spectral_clustering(net, options, isc_rng);
+  expect_exact_cover(result, net);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, IscThresholdSweep,
+                         ::testing::Values(0.01, 0.05, 0.2, 0.5, 0.9));
+
+}  // namespace
+}  // namespace autoncs::clustering

@@ -1,0 +1,110 @@
+#include "clustering/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/generators.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::clustering {
+namespace {
+
+/// Two disjoint triangles.
+nn::ConnectionMatrix two_triangles() {
+  nn::ConnectionMatrix net(6);
+  for (std::size_t base : {0u, 3u}) {
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j)
+        if (i != j) net.add(base + i, base + j);
+  }
+  return net;
+}
+
+Clustering partition(const std::vector<std::vector<std::size_t>>& clusters,
+                     std::size_t n) {
+  Clustering c;
+  c.clusters = clusters;
+  c.assignment.assign(n, 0);
+  for (std::size_t k = 0; k < clusters.size(); ++k)
+    for (std::size_t v : clusters[k]) c.assignment[v] = k;
+  return c;
+}
+
+TEST(Modularity, PerfectSplitOfDisjointCliques) {
+  const auto net = two_triangles();
+  const auto good = partition({{0, 1, 2}, {3, 4, 5}}, 6);
+  // Two equal disjoint communities: Q = 0.5 exactly.
+  EXPECT_NEAR(modularity(net, good), 0.5, 1e-12);
+}
+
+TEST(Modularity, SingleClusterIsZero) {
+  const auto net = two_triangles();
+  const auto trivial = partition({{0, 1, 2, 3, 4, 5}}, 6);
+  EXPECT_NEAR(modularity(net, trivial), 0.0, 1e-12);
+}
+
+TEST(Modularity, BadSplitIsWorseThanGoodSplit) {
+  const auto net = two_triangles();
+  const auto good = partition({{0, 1, 2}, {3, 4, 5}}, 6);
+  const auto bad = partition({{0, 3}, {1, 4}, {2, 5}}, 6);
+  EXPECT_GT(modularity(net, good), modularity(net, bad));
+}
+
+TEST(Modularity, EmptyNetworkIsZero) {
+  const nn::ConnectionMatrix net(4);
+  EXPECT_DOUBLE_EQ(modularity(net, partition({{0, 1}, {2, 3}}, 4)), 0.0);
+}
+
+TEST(Conductance, DisconnectedSetIsZero) {
+  const auto net = two_triangles();
+  EXPECT_DOUBLE_EQ(conductance(net, {0, 1, 2}), 0.0);
+}
+
+TEST(Conductance, CutSetIsPositive) {
+  auto net = two_triangles();
+  net.add(0, 3);  // bridge between triangles
+  const double c = conductance(net, {0, 1, 2});
+  EXPECT_GT(c, 0.0);
+  EXPECT_LE(c, 1.0);
+}
+
+TEST(Conductance, SingleVertexOfClique) {
+  // Vertex 0 of a triangle: cut = 2, vol(S) = 2 -> conductance 1.
+  nn::ConnectionMatrix net(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      if (i != j) net.add(i, j);
+  EXPECT_DOUBLE_EQ(conductance(net, {0}), 1.0);
+}
+
+TEST(WithinRatio, MatchesOutlierSplit) {
+  util::Rng rng(3);
+  const auto net = nn::random_sparse(30, 0.2, rng);
+  const auto clustering = modified_spectral_clustering(net, 3, rng);
+  const double ratio = within_cluster_ratio(net, clustering);
+  const auto split = split_outliers(net, clustering);
+  EXPECT_DOUBLE_EQ(ratio, 1.0 - split.outlier_ratio());
+}
+
+TEST(Metrics, MscBeatsRandomPartitionOnBlockNetwork) {
+  util::Rng rng(5);
+  nn::BlockSparseOptions options;
+  options.blocks = 4;
+  options.intra_density = 0.5;
+  options.inter_density = 0.02;
+  const auto net = nn::block_sparse(64, options, rng);
+  const auto spectral = modified_spectral_clustering(net, 4, rng);
+
+  // Random partition with the same k.
+  Clustering random;
+  random.assignment.resize(64);
+  random.clusters.assign(4, {});
+  for (std::size_t v = 0; v < 64; ++v) {
+    const auto c = static_cast<std::size_t>(rng.next_below(4));
+    random.assignment[v] = c;
+    random.clusters[c].push_back(v);
+  }
+  EXPECT_GT(modularity(net, spectral), modularity(net, random));
+}
+
+}  // namespace
+}  // namespace autoncs::clustering

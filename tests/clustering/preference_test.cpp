@@ -1,0 +1,76 @@
+#include "clustering/preference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace autoncs::clustering {
+namespace {
+
+TEST(Utilization, Definition) {
+  // u = m / s^2 (Sec. 3.1).
+  EXPECT_DOUBLE_EQ(crossbar_utilization(32, 8), 0.5);
+  EXPECT_DOUBLE_EQ(crossbar_utilization(0, 16), 0.0);
+  EXPECT_DOUBLE_EQ(crossbar_utilization(256, 16), 1.0);
+}
+
+TEST(Utilization, CapacityViolationThrows) {
+  EXPECT_THROW(crossbar_utilization(65, 8), util::CheckError);
+  EXPECT_THROW(crossbar_utilization(1, 0), util::CheckError);
+}
+
+TEST(Preference, PaperDefinitionIsM2OverS3) {
+  // CP = (m/s) * u = m^2 / s^3.
+  EXPECT_DOUBLE_EQ(crossbar_preference(8, 4), 64.0 / 64.0);
+  EXPECT_DOUBLE_EQ(crossbar_preference(16, 8), 256.0 / 512.0);
+}
+
+TEST(Preference, AlternativeKinds) {
+  EXPECT_DOUBLE_EQ(
+      crossbar_preference(32, 8, PreferenceKind::kUtilization), 0.5);
+  EXPECT_DOUBLE_EQ(
+      crossbar_preference(32, 8, PreferenceKind::kConnectionsPerRow), 4.0);
+}
+
+// Property sweep over the paper's two monotonicity criteria (Sec. 3.1):
+//  (a) fixed s: CP strictly increases with m,
+//  (b) fixed m: CP strictly decreases with s.
+class PreferenceKindSweep : public ::testing::TestWithParam<PreferenceKind> {};
+
+TEST_P(PreferenceKindSweep, MonotoneIncreasingInM) {
+  for (std::size_t s : {4u, 8u, 16u, 64u}) {
+    double prev = -1.0;
+    for (std::size_t m = 0; m <= s * s; m += std::max<std::size_t>(1, s)) {
+      const double cp = crossbar_preference(m, s, GetParam());
+      EXPECT_GT(cp, prev) << "m=" << m << " s=" << s;
+      prev = cp;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PreferenceKindSweep,
+                         ::testing::Values(PreferenceKind::kPaper,
+                                           PreferenceKind::kUtilization,
+                                           PreferenceKind::kConnectionsPerRow));
+
+TEST(Preference, PaperKindMonotoneDecreasingInS) {
+  // Criterion (b): same m on a bigger crossbar is less preferable.
+  for (std::size_t m : {1u, 10u, 100u}) {
+    double prev = 1e300;
+    for (std::size_t s : {16u, 20u, 32u, 64u}) {
+      const double cp = crossbar_preference(m, s, PreferenceKind::kPaper);
+      EXPECT_LT(cp, prev) << "m=" << m << " s=" << s;
+      prev = cp;
+    }
+  }
+}
+
+TEST(Preference, UtilizationKindAlsoSatisfiesCriterionB) {
+  for (std::size_t s : {16u, 32u, 64u}) {
+    EXPECT_GT(crossbar_preference(100, 16, PreferenceKind::kUtilization),
+              crossbar_preference(100, s + 1, PreferenceKind::kUtilization));
+  }
+}
+
+}  // namespace
+}  // namespace autoncs::clustering

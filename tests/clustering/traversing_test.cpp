@@ -1,0 +1,85 @@
+#include "clustering/traversing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clustering/gcp.hpp"
+#include "nn/generators.hpp"
+#include "util/check.hpp"
+
+namespace autoncs::clustering {
+namespace {
+
+TEST(Traversing, SizeLimitRespected) {
+  util::Rng rng(1);
+  const auto net = nn::random_sparse(50, 0.15, rng);
+  const auto result = traversing_clustering(net, 9, rng);
+  EXPECT_LE(result.clustering.largest_cluster(), 9u);
+  EXPECT_GE(result.stats.attempts, 1u);
+}
+
+TEST(Traversing, FirstAttemptCanSucceed) {
+  util::Rng rng(2);
+  nn::BlockSparseOptions options;
+  options.blocks = 5;
+  options.intra_density = 0.7;
+  options.inter_density = 0.0;
+  options.scramble = false;
+  const auto net = nn::block_sparse(50, options, rng);  // blocks of 10
+  const auto result = traversing_clustering(net, 10, rng);
+  EXPECT_LE(result.clustering.largest_cluster(), 10u);
+}
+
+TEST(Traversing, AttemptsGrowWhenLimitTight) {
+  util::Rng rng(3);
+  // A clique resists splitting, so traversing must scan several k.
+  nn::ConnectionMatrix net(24);
+  for (std::size_t i = 0; i < 24; ++i)
+    for (std::size_t j = 0; j < 24; ++j)
+      if (i != j) net.add(i, j);
+  const auto result = traversing_clustering(net, 6, rng);
+  EXPECT_LE(result.clustering.largest_cluster(), 6u);
+}
+
+TEST(Traversing, PartitionCoversAllNeurons) {
+  util::Rng rng(4);
+  const auto net = nn::random_sparse(30, 0.2, rng);
+  const auto result = traversing_clustering(net, 7, rng);
+  std::vector<bool> seen(30, false);
+  for (const auto& cluster : result.clustering.clusters)
+    for (std::size_t v : cluster) {
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Traversing, ComparableQualityToGcp) {
+  // The paper's point is GCP matches traversing quality at half the cost;
+  // check the outlier ratios are in the same ballpark on a structured net.
+  util::Rng rng(5);
+  nn::BlockSparseOptions options;
+  options.blocks = 4;
+  options.intra_density = 0.5;
+  options.inter_density = 0.02;
+  const auto net = nn::block_sparse(64, options, rng);
+  const auto trav = traversing_clustering(net, 16, rng);
+  const auto gcp = greedy_cluster_size_prediction(net, 16, rng);
+  const auto outliers = [&](const Clustering& c) {
+    std::size_t within = 0;
+    for (const auto& cluster : c.clusters) within += net.count_within(cluster);
+    return 1.0 - static_cast<double>(within) /
+                     static_cast<double>(net.connection_count());
+  };
+  EXPECT_LT(std::abs(outliers(trav.clustering) - outliers(gcp.clustering)), 0.35);
+}
+
+TEST(Traversing, InvalidLimitThrows) {
+  util::Rng rng(6);
+  const auto net = nn::random_sparse(10, 0.2, rng);
+  EXPECT_THROW(traversing_clustering(net, 0, rng), util::CheckError);
+}
+
+}  // namespace
+}  // namespace autoncs::clustering

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/generalized_eigen.hpp"
+#include "linalg/symmetric_eigen.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, util::Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  return m;
+}
+
+/// Largest entry of |A v_j - lambda_j v_j| over all eigenpairs.
+double residual(const Matrix& a, const EigenDecomposition& dec) {
+  double worst = 0.0;
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (std::size_t k = 0; k < n; ++k) av += a(i, k) * dec.vectors(k, j);
+      worst = std::max(worst, std::abs(av - dec.values[j] * dec.vectors(i, j)));
+    }
+  }
+  return worst;
+}
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  const Matrix d = Matrix::from_rows({{3, 0, 0}, {0, 1, 0}, {0, 0, 2}});
+  const auto dec = symmetric_eigen(d);
+  ASSERT_EQ(dec.values.size(), 3u);
+  EXPECT_NEAR(dec.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(dec.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(dec.values[2], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigen, TwoByTwoKnown) {
+  // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+  const auto dec = symmetric_eigen(Matrix::from_rows({{2, 1}, {1, 2}}));
+  EXPECT_NEAR(dec.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(dec.values[1], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigen, OneByOne) {
+  const auto dec = symmetric_eigen(Matrix::from_rows({{5}}));
+  EXPECT_DOUBLE_EQ(dec.values[0], 5.0);
+  EXPECT_DOUBLE_EQ(dec.vectors(0, 0), 1.0);
+}
+
+TEST(SymmetricEigen, EmptyMatrix) {
+  const auto dec = symmetric_eigen(Matrix());
+  EXPECT_TRUE(dec.values.empty());
+}
+
+TEST(SymmetricEigen, NonSquareThrows) {
+  EXPECT_THROW(symmetric_eigen(Matrix(2, 3)), util::CheckError);
+}
+
+TEST(SymmetricEigen, AsymmetricThrows) {
+  EXPECT_THROW(symmetric_eigen(Matrix::from_rows({{1, 2}, {0, 1}})),
+               util::CheckError);
+}
+
+TEST(SymmetricEigen, RepeatedEigenvalues) {
+  // 4x4 identity scaled: all eigenvalues equal; any orthonormal basis ok.
+  Matrix m = Matrix::identity(4);
+  for (std::size_t i = 0; i < 4; ++i) m(i, i) = 2.5;
+  const auto dec = symmetric_eigen(m);
+  for (double v : dec.values) EXPECT_NEAR(v, 2.5, 1e-12);
+  EXPECT_LT(residual(m, dec), 1e-10);
+}
+
+TEST(SymmetricEigen, BlockDiagonalWithZeros) {
+  // Exactly the hard case for QL deflation: several zero diagonal entries.
+  Matrix m(5, 5, 0.0);
+  m(3, 3) = 1.0;
+  m(3, 4) = 0.5;
+  m(4, 3) = 0.5;
+  m(4, 4) = 1.0;
+  const auto dec = symmetric_eigen(m);
+  EXPECT_LT(residual(m, dec), 1e-10);
+  EXPECT_NEAR(dec.values[0], 0.0, 1e-12);
+  EXPECT_NEAR(dec.values.back(), 1.5, 1e-12);
+}
+
+class SymmetricEigenSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SymmetricEigenSweep, ResidualAndOrthonormality) {
+  util::Rng rng(100 + GetParam());
+  const Matrix a = random_symmetric(GetParam(), rng);
+  const auto dec = symmetric_eigen(a);
+
+  EXPECT_LT(residual(a, dec), 1e-9);
+  EXPECT_TRUE(std::is_sorted(dec.values.begin(), dec.values.end()));
+
+  // Columns orthonormal.
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double d = 0.0;
+      for (std::size_t k = 0; k < n; ++k)
+        d += dec.vectors(k, i) * dec.vectors(k, j);
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+
+  // Trace preserved.
+  double trace = 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace += a(i, i);
+    sum += dec.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-9 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SymmetricEigenSweep,
+                         ::testing::Values(2, 3, 5, 8, 13, 21, 40, 64));
+
+TEST(GeneralizedEigen, ReducesToOrdinaryWithUnitDegrees) {
+  const Matrix lap = Matrix::from_rows({{2, -1, -1}, {-1, 2, -1}, {-1, -1, 2}});
+  const std::vector<double> degrees = {1.0, 1.0, 1.0};
+  const auto dec = generalized_symmetric_eigen(lap, degrees);
+  EXPECT_NEAR(dec.values[0], 0.0, 1e-10);
+  EXPECT_NEAR(dec.values[1], 3.0, 1e-10);
+  EXPECT_NEAR(dec.values[2], 3.0, 1e-10);
+}
+
+TEST(GeneralizedEigen, SatisfiesGeneralizedEquation) {
+  util::Rng rng(7);
+  const std::size_t n = 10;
+  // Random graph Laplacian.
+  Matrix w(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(0.4)) {
+        w(i, j) = 1.0;
+        w(j, i) = 1.0;
+      }
+  std::vector<double> degrees(n, 0.0);
+  Matrix lap(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        lap(i, j) = -w(i, j);
+        degrees[i] += w(i, j);
+      }
+    }
+    lap(i, i) = degrees[i];
+  }
+  GeneralizedEigenOptions options;
+  options.unit_normalize = false;  // keep raw D-orthonormal vectors
+  const auto dec = generalized_symmetric_eigen(lap, degrees, options);
+  // Check L u = lambda D u entrywise.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double lu = 0.0;
+      for (std::size_t k = 0; k < n; ++k) lu += lap(i, k) * dec.vectors(k, j);
+      const double du =
+          std::max(degrees[i], options.degree_floor) * dec.vectors(i, j);
+      EXPECT_NEAR(lu, dec.values[j] * du, 1e-8);
+    }
+  }
+}
+
+TEST(GeneralizedEigen, UnitNormalizeGivesUnitColumns) {
+  const Matrix w = Matrix::from_rows({{0, 1, 0}, {1, 0, 1}, {0, 1, 0}});
+  const auto dec = laplacian_embedding(w);
+  for (std::size_t j = 0; j < 3; ++j) {
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < 3; ++i)
+      norm_sq += dec.vectors(i, j) * dec.vectors(i, j);
+    EXPECT_NEAR(norm_sq, 1.0, 1e-10);
+  }
+}
+
+TEST(GeneralizedEigen, IsolatedNodeCoordinatesStayBounded) {
+  // Two connected nodes + one isolated; with the degree floor at 1 the
+  // isolated node's embedding entries must not explode.
+  Matrix w(3, 3);
+  w(0, 1) = 1.0;
+  w(1, 0) = 1.0;
+  const auto dec = laplacian_embedding(w);
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::size_t i = 0; i < 3; ++i)
+      EXPECT_LE(std::abs(dec.vectors(i, j)), 1.0 + 1e-9);
+}
+
+TEST(GeneralizedEigen, ConnectedComponentsShareSmallestEigenvector) {
+  // A path graph is connected: exactly one ~zero eigenvalue.
+  Matrix w(4, 4);
+  for (std::size_t i = 0; i + 1 < 4; ++i) {
+    w(i, i + 1) = 1.0;
+    w(i + 1, i) = 1.0;
+  }
+  const auto dec = laplacian_embedding(w);
+  EXPECT_NEAR(dec.values[0], 0.0, 1e-9);
+  EXPECT_GT(dec.values[1], 1e-6);
+}
+
+TEST(GeneralizedEigen, DegreeSizeMismatchThrows) {
+  EXPECT_THROW(
+      generalized_symmetric_eigen(Matrix::identity(3), {1.0, 1.0}),
+      util::CheckError);
+}
+
+}  // namespace
+}  // namespace autoncs::linalg

@@ -1,0 +1,121 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace autoncs::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 0.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.5);
+}
+
+TEST(Matrix, FromRows) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, FromRaggedRowsThrows) {
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), util::CheckError);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, RowSpanIsMutable) {
+  Matrix m(2, 2);
+  auto row = m.row(1);
+  row[0] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyByIdentityIsNoop) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix c = a.multiply(Matrix::identity(2));
+  EXPECT_DOUBLE_EQ(a.frobenius_distance(c), 0.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), util::CheckError);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a = Matrix::from_rows({{1, 0, 2}, {0, 3, 0}});
+  const std::vector<double> x = {1, 2, 3};
+  const auto y = a.multiply(std::span<const double>(x));
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Matrix, FrobeniusDistance) {
+  const Matrix a = Matrix::from_rows({{1, 0}, {0, 1}});
+  const Matrix b = Matrix::from_rows({{0, 0}, {0, 0}});
+  EXPECT_DOUBLE_EQ(a.frobenius_distance(b), std::sqrt(2.0));
+}
+
+TEST(Matrix, IsSymmetric) {
+  EXPECT_TRUE(Matrix::from_rows({{1, 2}, {2, 1}}).is_symmetric());
+  EXPECT_FALSE(Matrix::from_rows({{1, 2}, {3, 1}}).is_symmetric());
+  EXPECT_FALSE(Matrix(2, 3).is_symmetric());  // non square
+}
+
+TEST(Matrix, IsSymmetricTolerance) {
+  Matrix m = Matrix::from_rows({{1.0, 2.0}, {2.0 + 1e-13, 1.0}});
+  EXPECT_TRUE(m.is_symmetric(1e-12));
+  EXPECT_FALSE(m.is_symmetric(1e-14));
+}
+
+TEST(VectorOps, DotAndNorm) {
+  const std::vector<double> a = {3, 4};
+  const std::vector<double> b = {1, 2};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+}
+
+TEST(VectorOps, SquaredDistance) {
+  const std::vector<double> a = {1, 1};
+  const std::vector<double> b = {4, 5};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  const std::vector<double> a = {1};
+  const std::vector<double> b = {1, 2};
+  EXPECT_THROW(dot(a, b), util::CheckError);
+  EXPECT_THROW(squared_distance(a, b), util::CheckError);
+}
+
+}  // namespace
+}  // namespace autoncs::linalg

@@ -1,0 +1,98 @@
+#include "linalg/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::linalg {
+namespace {
+
+TEST(SparseMatrix, EmptyMatrix) {
+  SparseMatrix m(3, 3, {});
+  EXPECT_EQ(m.nonzeros(), 0u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+}
+
+TEST(SparseMatrix, TripletsStoredSorted) {
+  SparseMatrix m(2, 3, {{1, 2, 5.0}, {0, 1, 3.0}, {1, 0, -1.0}});
+  EXPECT_EQ(m.nonzeros(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(SparseMatrix, DuplicateTripletsSum) {
+  SparseMatrix m(2, 2, {{0, 0, 1.0}, {0, 0, 2.5}});
+  EXPECT_EQ(m.nonzeros(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+}
+
+TEST(SparseMatrix, OutOfRangeTripletThrows) {
+  EXPECT_THROW(SparseMatrix(2, 2, {{2, 0, 1.0}}), util::CheckError);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  util::Rng rng(5);
+  Matrix dense(7, 9);
+  for (std::size_t i = 0; i < 7; ++i)
+    for (std::size_t j = 0; j < 9; ++j)
+      if (rng.bernoulli(0.3)) dense(i, j) = rng.uniform(-2.0, 2.0);
+  const SparseMatrix sparse = SparseMatrix::from_dense(dense);
+
+  std::vector<double> x(9);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const auto y_dense = dense.multiply(std::span<const double>(x));
+  const auto y_sparse = sparse.multiply(std::span<const double>(x));
+  ASSERT_EQ(y_dense.size(), y_sparse.size());
+  for (std::size_t i = 0; i < y_dense.size(); ++i)
+    EXPECT_NEAR(y_dense[i], y_sparse[i], 1e-12);
+}
+
+TEST(SparseMatrix, RowSums) {
+  SparseMatrix m(2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 4.0}});
+  const auto sums = m.row_sums();
+  ASSERT_EQ(sums.size(), 2u);
+  EXPECT_DOUBLE_EQ(sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(sums[1], 4.0);
+}
+
+TEST(SparseMatrix, DenseRoundTrip) {
+  util::Rng rng(11);
+  Matrix dense(5, 5);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      if (rng.bernoulli(0.4)) dense(i, j) = rng.uniform(-1.0, 1.0);
+  const Matrix round = SparseMatrix::from_dense(dense).to_dense();
+  EXPECT_DOUBLE_EQ(dense.frobenius_distance(round), 0.0);
+}
+
+TEST(SparseMatrix, FromDenseRespectsTolerance) {
+  Matrix dense(2, 2);
+  dense(0, 0) = 1e-8;
+  dense(1, 1) = 1.0;
+  const SparseMatrix m = SparseMatrix::from_dense(dense, 1e-6);
+  EXPECT_EQ(m.nonzeros(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 1.0);
+}
+
+TEST(SparseMatrix, MultiplySizeMismatchThrows) {
+  SparseMatrix m(2, 3, {});
+  std::vector<double> x(2, 1.0);
+  EXPECT_THROW(m.multiply(std::span<const double>(x)), util::CheckError);
+}
+
+TEST(SparseMatrix, CsrInternalsConsistent) {
+  SparseMatrix m(3, 3, {{0, 1, 1.0}, {2, 0, 1.0}, {2, 2, 1.0}});
+  const auto& offsets = m.row_offsets();
+  ASSERT_EQ(offsets.size(), 4u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[1], 1u);
+  EXPECT_EQ(offsets[2], 1u);  // row 1 empty
+  EXPECT_EQ(offsets[3], 3u);
+  EXPECT_EQ(m.col_indices().size(), m.values().size());
+}
+
+}  // namespace
+}  // namespace autoncs::linalg

@@ -1,0 +1,88 @@
+#include "mapping/fullcro.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/generators.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::mapping {
+namespace {
+
+TEST(FullCro, RealizesEveryConnectionOnCrossbars) {
+  util::Rng rng(1);
+  const auto net = nn::random_sparse(100, 0.1, rng);
+  const auto mapping = fullcro_mapping(net, {64, true});
+  EXPECT_TRUE(validate_mapping(mapping, net).empty());
+  EXPECT_TRUE(mapping.discrete_synapses.empty());
+  EXPECT_EQ(mapping.crossbar_connections(), net.connection_count());
+}
+
+TEST(FullCro, OnlyMaximumSizeCrossbars) {
+  util::Rng rng(2);
+  const auto net = nn::random_sparse(150, 0.05, rng);
+  const auto mapping = fullcro_mapping(net, {64, true});
+  for (const auto& xbar : mapping.crossbars) EXPECT_EQ(xbar.size, 64u);
+}
+
+TEST(FullCro, GroupPairBlocks) {
+  // 100 neurons, crossbar 64 -> 2 groups -> at most 4 block crossbars.
+  util::Rng rng(3);
+  const auto net = nn::random_sparse(100, 0.2, rng);
+  const auto mapping = fullcro_mapping(net, {64, true});
+  EXPECT_LE(mapping.crossbars.size(), 4u);
+  EXPECT_GE(mapping.crossbars.size(), 1u);
+}
+
+TEST(FullCro, SkipEmptyBlocksFalseKeepsFullGrid) {
+  nn::ConnectionMatrix net(100);
+  net.add(0, 1);  // a single connection
+  const auto dense_grid = fullcro_mapping(net, {64, false});
+  EXPECT_EQ(dense_grid.crossbars.size(), 4u);  // 2x2 groups
+  const auto sparse_grid = fullcro_mapping(net, {64, true});
+  EXPECT_EQ(sparse_grid.crossbars.size(), 1u);
+}
+
+TEST(FullCro, LowUtilizationOnSparseNetworks) {
+  util::Rng rng(4);
+  const auto net = nn::random_sparse(128, 0.05, rng);
+  const auto mapping = fullcro_mapping(net, {64, true});
+  // Paper Sec. 4.2: FullCro has low crossbar utilization on sparse nets.
+  EXPECT_LT(mapping.average_utilization(), 0.1);
+  EXPECT_GT(mapping.average_utilization(), 0.0);
+}
+
+TEST(FullCro, UtilizationThresholdMatchesMappingAverage) {
+  util::Rng rng(5);
+  const auto net = nn::random_sparse(90, 0.08, rng);
+  EXPECT_DOUBLE_EQ(fullcro_utilization_threshold(net, {64, true}),
+                   fullcro_mapping(net, {64, true}).average_utilization());
+}
+
+TEST(FullCro, SmallerBaselineCrossbarsWork) {
+  util::Rng rng(6);
+  const auto net = nn::random_sparse(40, 0.2, rng);
+  const auto mapping = fullcro_mapping(net, {16, true});
+  EXPECT_TRUE(validate_mapping(mapping, net).empty());
+  for (const auto& xbar : mapping.crossbars) {
+    EXPECT_EQ(xbar.size, 16u);
+    EXPECT_LE(xbar.rows.size(), 16u);
+  }
+}
+
+TEST(FullCro, NetworkSmallerThanOneCrossbar) {
+  util::Rng rng(7);
+  const auto net = nn::random_sparse(10, 0.3, rng);
+  const auto mapping = fullcro_mapping(net, {64, true});
+  EXPECT_EQ(mapping.crossbars.size(), 1u);
+  EXPECT_TRUE(validate_mapping(mapping, net).empty());
+}
+
+TEST(FullCro, EmptyNetwork) {
+  const nn::ConnectionMatrix net(30);
+  const auto mapping = fullcro_mapping(net, {64, true});
+  EXPECT_TRUE(mapping.crossbars.empty());
+  EXPECT_TRUE(validate_mapping(mapping, net).empty());
+}
+
+}  // namespace
+}  // namespace autoncs::mapping

@@ -1,0 +1,108 @@
+#include "mapping/hybrid_mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clustering/isc.hpp"
+#include "nn/generators.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::mapping {
+namespace {
+
+/// Small valid mapping over a 4-neuron network: one 2x2 crossbar realizing
+/// the dense pair, one discrete synapse for the leftover.
+struct Fixture {
+  nn::ConnectionMatrix net{4};
+  HybridMapping mapping;
+
+  Fixture() {
+    net.add(0, 1);
+    net.add(1, 0);
+    net.add(2, 3);
+    mapping.neuron_count = 4;
+    CrossbarInstance xbar;
+    xbar.size = 2;
+    xbar.rows = {0, 1};
+    xbar.cols = {0, 1};
+    xbar.connections = {{0, 1}, {1, 0}};
+    mapping.crossbars.push_back(xbar);
+    mapping.discrete_synapses = {{2, 3}};
+  }
+};
+
+TEST(HybridMapping, ValidFixturePasses) {
+  Fixture f;
+  EXPECT_EQ(validate_mapping(f.mapping, f.net), "");
+}
+
+TEST(HybridMapping, Accessors) {
+  Fixture f;
+  EXPECT_EQ(f.mapping.crossbar_connections(), 2u);
+  EXPECT_EQ(f.mapping.total_connections(), 3u);
+  EXPECT_NEAR(f.mapping.outlier_ratio(), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f.mapping.average_utilization(), 0.5);
+  EXPECT_GT(f.mapping.average_preference(), 0.0);
+}
+
+TEST(HybridMapping, DetectsMissingConnection) {
+  Fixture f;
+  f.mapping.discrete_synapses.clear();  // (2,3) now unrealized
+  EXPECT_NE(validate_mapping(f.mapping, f.net), "");
+}
+
+TEST(HybridMapping, DetectsDuplicateRealization) {
+  Fixture f;
+  f.mapping.discrete_synapses.push_back({0, 1});  // already in the crossbar
+  EXPECT_NE(validate_mapping(f.mapping, f.net), "");
+}
+
+TEST(HybridMapping, DetectsPhantomConnection) {
+  Fixture f;
+  f.mapping.discrete_synapses.push_back({3, 2});  // not in the network
+  EXPECT_NE(validate_mapping(f.mapping, f.net), "");
+}
+
+TEST(HybridMapping, DetectsCapacityViolation) {
+  Fixture f;
+  f.mapping.crossbars[0].size = 1;  // 2 rows on a size-1 crossbar
+  EXPECT_NE(validate_mapping(f.mapping, f.net), "");
+}
+
+TEST(HybridMapping, DetectsEndpointOffSides) {
+  Fixture f;
+  f.mapping.crossbars[0].cols = {0};  // connection (0,1) now has no column
+  EXPECT_NE(validate_mapping(f.mapping, f.net), "");
+}
+
+TEST(HybridMapping, DetectsDuplicateRowListing) {
+  Fixture f;
+  f.mapping.crossbars[0].rows = {0, 0};
+  EXPECT_NE(validate_mapping(f.mapping, f.net), "");
+}
+
+TEST(HybridMapping, DetectsNeuronCountMismatch) {
+  Fixture f;
+  f.mapping.neuron_count = 5;
+  EXPECT_NE(validate_mapping(f.mapping, f.net), "");
+}
+
+TEST(HybridMapping, DetectsZeroSizeCrossbar) {
+  Fixture f;
+  f.mapping.crossbars[0].size = 0;
+  EXPECT_NE(validate_mapping(f.mapping, f.net), "");
+}
+
+TEST(HybridMapping, FromIscIsValid) {
+  util::Rng rng(1);
+  const auto net = nn::random_sparse(40, 0.1, rng);
+  clustering::IscOptions options;
+  options.crossbar_sizes = {4, 8, 16};
+  options.utilization_threshold = 0.05;
+  const auto isc = clustering::iterative_spectral_clustering(net, options, rng);
+  const auto mapping = mapping_from_isc(isc, net.size());
+  EXPECT_EQ(validate_mapping(mapping, net), "");
+  EXPECT_EQ(mapping.total_connections(), net.connection_count());
+}
+
+}  // namespace
+}  // namespace autoncs::mapping

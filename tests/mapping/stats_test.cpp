@@ -1,0 +1,107 @@
+#include "mapping/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mapping/fullcro.hpp"
+#include "nn/generators.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::mapping {
+namespace {
+
+HybridMapping tiny_mapping() {
+  // Crossbar realizing (0->1), (0->2); synapse realizing (3->0).
+  HybridMapping mapping;
+  mapping.neuron_count = 4;
+  CrossbarInstance xbar;
+  xbar.size = 4;
+  xbar.rows = {0, 1, 2};
+  xbar.cols = {0, 1, 2};
+  xbar.connections = {{0, 1}, {0, 2}};
+  mapping.crossbars.push_back(xbar);
+  mapping.discrete_synapses = {{3, 0}};
+  return mapping;
+}
+
+TEST(MappingStats, LinkProfileCountsWires) {
+  const auto profile = neuron_link_profile(tiny_mapping());
+  // Neuron 0 drives one used row -> 1 crossbar link; neurons 1, 2 receive
+  // on used columns -> 1 each; rows 1, 2 carry no connection -> no link.
+  EXPECT_EQ(profile.crossbar_links[0], 1u);
+  EXPECT_EQ(profile.crossbar_links[1], 1u);
+  EXPECT_EQ(profile.crossbar_links[2], 1u);
+  EXPECT_EQ(profile.crossbar_links[3], 0u);
+  // Synapse (3->0) touches neurons 3 and 0.
+  EXPECT_EQ(profile.synapse_links[3], 1u);
+  EXPECT_EQ(profile.synapse_links[0], 1u);
+  EXPECT_EQ(profile.synapse_links[1], 0u);
+}
+
+TEST(MappingStats, TotalsAndAverage) {
+  const auto profile = neuron_link_profile(tiny_mapping());
+  const auto total = profile.total_links();
+  EXPECT_EQ(total[0], 2u);
+  EXPECT_EQ(total[3], 1u);
+  EXPECT_DOUBLE_EQ(profile.average_total(), (2 + 1 + 1 + 1) / 4.0);
+}
+
+TEST(MappingStats, SizeDistribution) {
+  HybridMapping mapping;
+  mapping.neuron_count = 10;
+  for (std::size_t size : {16u, 16u, 32u}) {
+    CrossbarInstance xbar;
+    xbar.size = size;
+    mapping.crossbars.push_back(xbar);
+  }
+  const auto dist = crossbar_size_distribution(mapping);
+  EXPECT_EQ(dist.at(16), 2u);
+  EXPECT_EQ(dist.at(32), 1u);
+  EXPECT_EQ(dist.size(), 2u);
+}
+
+TEST(MappingStats, ClusteringReducesCrossbarLinksVsFullCro) {
+  // The Fig. 9(d) claim: after clustering, neurons touch fewer crossbars
+  // than in the FullCro baseline on a block-structured network.
+  // Blocks of 48 are misaligned with FullCro's sequential groups of 64, so
+  // block-1 neurons straddle two groups and touch several block crossbars.
+  util::Rng rng(3);
+  nn::BlockSparseOptions topology;
+  topology.blocks = 4;
+  topology.intra_density = 0.5;
+  topology.inter_density = 0.0;
+  topology.scramble = false;
+  const auto net = nn::block_sparse(192, topology, rng);  // blocks of 48
+
+  const auto baseline = fullcro_mapping(net, {64, true});
+  const auto base_profile = neuron_link_profile(baseline);
+
+  // Ideal clustering: one 48-crossbar per block.
+  HybridMapping clustered;
+  clustered.neuron_count = 192;
+  for (std::size_t b = 0; b < 4; ++b) {
+    CrossbarInstance xbar;
+    xbar.size = 48;
+    for (std::size_t v = b * 48; v < (b + 1) * 48; ++v) {
+      xbar.rows.push_back(v);
+      xbar.cols.push_back(v);
+    }
+    for (std::size_t i = b * 48; i < (b + 1) * 48; ++i)
+      for (std::size_t j = b * 48; j < (b + 1) * 48; ++j)
+        if (i != j && net.has(i, j)) xbar.connections.push_back({i, j});
+    clustered.crossbars.push_back(std::move(xbar));
+  }
+  ASSERT_EQ(validate_mapping(clustered, net), "");
+  const auto clustered_profile = neuron_link_profile(clustered);
+  EXPECT_LT(clustered_profile.average_total(), base_profile.average_total());
+}
+
+TEST(MappingStats, EmptyMapping) {
+  HybridMapping mapping;
+  mapping.neuron_count = 3;
+  const auto profile = neuron_link_profile(mapping);
+  EXPECT_DOUBLE_EQ(profile.average_total(), 0.0);
+  EXPECT_TRUE(crossbar_size_distribution(mapping).empty());
+}
+
+}  // namespace
+}  // namespace autoncs::mapping

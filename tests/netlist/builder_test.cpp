@@ -1,0 +1,125 @@
+#include "netlist/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mapping/fullcro.hpp"
+#include "nn/generators.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::netlist {
+namespace {
+
+mapping::HybridMapping tiny_mapping() {
+  // Neurons 0..3; crossbar over {0,1} with (0->1) and (1->0); synapse
+  // (2->3); neuron 4 exists but is inactive.
+  mapping::HybridMapping m;
+  m.neuron_count = 5;
+  mapping::CrossbarInstance xbar;
+  xbar.size = 16;
+  xbar.rows = {0, 1};
+  xbar.cols = {0, 1};
+  xbar.connections = {{0, 1}, {1, 0}};
+  m.crossbars.push_back(xbar);
+  m.discrete_synapses = {{2, 3}};
+  return m;
+}
+
+TEST(Builder, CellCountsAndKinds) {
+  const Netlist net = build_netlist(tiny_mapping());
+  // 4 active neurons (0..3) + 1 crossbar + 1 synapse cell.
+  EXPECT_EQ(net.count_kind(CellKind::kNeuron), 4u);
+  EXPECT_EQ(net.count_kind(CellKind::kCrossbar), 1u);
+  EXPECT_EQ(net.count_kind(CellKind::kSynapse), 1u);
+  EXPECT_EQ(net.validate(), "");
+}
+
+TEST(Builder, InactiveNeuronsDropped) {
+  const Netlist net = build_netlist(tiny_mapping());
+  for (const auto& cell : net.cells) {
+    if (cell.kind == CellKind::kNeuron) {
+      EXPECT_NE(cell.source_index, 4u);
+    }
+  }
+}
+
+TEST(Builder, WireCounts) {
+  const Netlist net = build_netlist(tiny_mapping());
+  // Crossbar: 2 used rows + 2 used cols = 4 wires; synapse: 2 wires.
+  EXPECT_EQ(net.wires.size(), 6u);
+}
+
+TEST(Builder, WireWeightsEqualRowLoads) {
+  mapping::HybridMapping m;
+  m.neuron_count = 3;
+  mapping::CrossbarInstance xbar;
+  xbar.size = 4;
+  xbar.rows = {0, 1};
+  xbar.cols = {0, 1, 2};
+  xbar.connections = {{0, 1}, {0, 2}, {1, 2}};
+  m.crossbars.push_back(xbar);
+  const Netlist net = build_netlist(m);
+  // Row wire of neuron 0 carries 2 connections -> weight 2.
+  double max_weight = 0.0;
+  for (const auto& wire : net.wires) max_weight = std::max(max_weight, wire.weight);
+  EXPECT_DOUBLE_EQ(max_weight, 2.0);
+}
+
+TEST(Builder, DeviceDelaysFromTech) {
+  const tech::TechnologyModel& t = tech::default_tech();
+  const Netlist net = build_netlist(tiny_mapping(), t);
+  bool saw_crossbar_delay = false;
+  bool saw_synapse_delay = false;
+  for (const auto& wire : net.wires) {
+    if (wire.device_delay_ns == t.crossbar_delay_ns(16)) saw_crossbar_delay = true;
+    if (wire.device_delay_ns == t.synapse_delay_ns) saw_synapse_delay = true;
+  }
+  EXPECT_TRUE(saw_crossbar_delay);
+  EXPECT_TRUE(saw_synapse_delay);
+}
+
+TEST(Builder, CellDimensionsFromTech) {
+  const tech::TechnologyModel& t = tech::default_tech();
+  const Netlist net = build_netlist(tiny_mapping(), t);
+  for (const auto& cell : net.cells) {
+    switch (cell.kind) {
+      case CellKind::kNeuron:
+        EXPECT_DOUBLE_EQ(cell.width, t.neuron_side_um);
+        break;
+      case CellKind::kCrossbar:
+        EXPECT_DOUBLE_EQ(cell.width, t.crossbar_side_um(16));
+        break;
+      case CellKind::kSynapse:
+        EXPECT_DOUBLE_EQ(cell.width, t.synapse_side_um);
+        break;
+    }
+  }
+}
+
+TEST(Builder, FullCroNetlistIsConsistent) {
+  util::Rng rng(1);
+  const auto network = nn::random_sparse(80, 0.1, rng);
+  const auto m = mapping::fullcro_mapping(network, {64, true});
+  const Netlist net = build_netlist(m);
+  EXPECT_EQ(net.validate(), "");
+  EXPECT_EQ(net.count_kind(CellKind::kCrossbar), m.crossbars.size());
+  EXPECT_EQ(net.count_kind(CellKind::kSynapse), 0u);
+}
+
+TEST(Builder, UnusedRowsGetNoWires) {
+  mapping::HybridMapping m;
+  m.neuron_count = 4;
+  mapping::CrossbarInstance xbar;
+  xbar.size = 4;
+  xbar.rows = {0, 1, 2};  // rows 1, 2 unused by connections
+  xbar.cols = {0, 1};
+  xbar.connections = {{0, 1}};
+  m.crossbars.push_back(xbar);
+  const Netlist net = build_netlist(m);
+  // Only row 0 and col 1 are used -> 2 wires.
+  EXPECT_EQ(net.wires.size(), 2u);
+}
+
+}  // namespace
+}  // namespace autoncs::netlist

@@ -1,0 +1,74 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autoncs::netlist {
+namespace {
+
+TEST(Netlist, CellGeometry) {
+  Cell cell;
+  cell.width = 4.0;
+  cell.height = 2.0;
+  EXPECT_DOUBLE_EQ(cell.area(), 8.0);
+  EXPECT_DOUBLE_EQ(cell.half_width(), 2.0);
+  EXPECT_DOUBLE_EQ(cell.half_height(), 1.0);
+}
+
+TEST(Netlist, KindNames) {
+  EXPECT_STREQ(cell_kind_name(CellKind::kNeuron), "neuron");
+  EXPECT_STREQ(cell_kind_name(CellKind::kCrossbar), "crossbar");
+  EXPECT_STREQ(cell_kind_name(CellKind::kSynapse), "synapse");
+}
+
+Netlist two_cell_netlist() {
+  Netlist net;
+  Cell a;
+  a.width = 1.0;
+  a.height = 1.0;
+  net.cells.push_back(a);
+  net.cells.push_back(a);
+  net.wires.push_back(Wire{{0, 1}, 1.0, 0.0});
+  return net;
+}
+
+TEST(Netlist, TotalAreaAndKindCounts) {
+  Netlist net = two_cell_netlist();
+  net.cells[1].kind = CellKind::kCrossbar;
+  net.cells[1].width = 3.0;
+  net.cells[1].height = 3.0;
+  EXPECT_DOUBLE_EQ(net.total_cell_area(), 10.0);
+  EXPECT_EQ(net.count_kind(CellKind::kNeuron), 1u);
+  EXPECT_EQ(net.count_kind(CellKind::kCrossbar), 1u);
+  EXPECT_EQ(net.count_kind(CellKind::kSynapse), 0u);
+}
+
+TEST(Netlist, ValidNetlistPasses) {
+  EXPECT_EQ(two_cell_netlist().validate(), "");
+}
+
+TEST(Netlist, ValidateCatchesDanglingPin) {
+  Netlist net = two_cell_netlist();
+  net.wires[0].pins = {0, 5};
+  EXPECT_NE(net.validate(), "");
+}
+
+TEST(Netlist, ValidateCatchesSinglePinWire) {
+  Netlist net = two_cell_netlist();
+  net.wires[0].pins = {0};
+  EXPECT_NE(net.validate(), "");
+}
+
+TEST(Netlist, ValidateCatchesNonPositiveWeight) {
+  Netlist net = two_cell_netlist();
+  net.wires[0].weight = 0.0;
+  EXPECT_NE(net.validate(), "");
+}
+
+TEST(Netlist, ValidateCatchesDegenerateCell) {
+  Netlist net = two_cell_netlist();
+  net.cells[0].width = 0.0;
+  EXPECT_NE(net.validate(), "");
+}
+
+}  // namespace
+}  // namespace autoncs::netlist

@@ -1,0 +1,170 @@
+#include "nn/connection_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace autoncs::nn {
+namespace {
+
+TEST(ConnectionMatrix, StartsEmpty) {
+  ConnectionMatrix m(4);
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_EQ(m.connection_count(), 0u);
+  EXPECT_DOUBLE_EQ(m.sparsity(), 1.0);
+}
+
+TEST(ConnectionMatrix, AddRemoveHas) {
+  ConnectionMatrix m(3);
+  EXPECT_TRUE(m.add(0, 1));
+  EXPECT_FALSE(m.add(0, 1));  // duplicate
+  EXPECT_TRUE(m.has(0, 1));
+  EXPECT_FALSE(m.has(1, 0));  // directed
+  EXPECT_EQ(m.connection_count(), 1u);
+  EXPECT_TRUE(m.remove(0, 1));
+  EXPECT_FALSE(m.remove(0, 1));
+  EXPECT_EQ(m.connection_count(), 0u);
+}
+
+TEST(ConnectionMatrix, SelfLoopRejected) {
+  ConnectionMatrix m(3);
+  EXPECT_THROW(m.add(1, 1), util::CheckError);
+}
+
+TEST(ConnectionMatrix, OutOfRangeThrows) {
+  ConnectionMatrix m(2);
+  EXPECT_THROW(m.add(0, 2), util::CheckError);
+  EXPECT_THROW(m.has(2, 0), util::CheckError);
+}
+
+TEST(ConnectionMatrix, SparsityDefinition) {
+  // Paper Sec 2.2: sparsity = 1 - connections / possible.
+  ConnectionMatrix m(3);  // possible = 6
+  m.add(0, 1);
+  m.add(1, 2);
+  m.add(2, 0);
+  EXPECT_DOUBLE_EQ(m.sparsity(), 0.5);
+}
+
+TEST(ConnectionMatrix, ConnectionsListRowMajor) {
+  ConnectionMatrix m(3);
+  m.add(2, 0);
+  m.add(0, 2);
+  m.add(0, 1);
+  const auto list = m.connections();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], (Connection{0, 1}));
+  EXPECT_EQ(list[1], (Connection{0, 2}));
+  EXPECT_EQ(list[2], (Connection{2, 0}));
+}
+
+TEST(ConnectionMatrix, FaninFanout) {
+  ConnectionMatrix m(4);
+  m.add(0, 1);
+  m.add(0, 2);
+  m.add(3, 0);
+  EXPECT_EQ(m.fanout(0), 2u);
+  EXPECT_EQ(m.fanin(0), 1u);
+  EXPECT_EQ(m.fanin_fanout(0), 3u);
+  EXPECT_EQ(m.fanin_fanout(1), 1u);
+}
+
+TEST(ConnectionMatrix, CountWithin) {
+  ConnectionMatrix m(5);
+  m.add(0, 1);
+  m.add(1, 0);
+  m.add(2, 3);
+  m.add(0, 4);
+  const std::vector<std::size_t> cluster = {0, 1, 2, 3};
+  EXPECT_EQ(m.count_within(cluster), 3u);  // (0,1), (1,0), (2,3)
+}
+
+TEST(ConnectionMatrix, RemoveWithinDeletesBothDirections) {
+  ConnectionMatrix m(4);
+  m.add(0, 1);
+  m.add(1, 0);
+  m.add(0, 3);
+  const std::vector<std::size_t> cluster = {0, 1};
+  EXPECT_EQ(m.remove_within(cluster), 2u);
+  EXPECT_EQ(m.connection_count(), 1u);
+  EXPECT_TRUE(m.has(0, 3));
+}
+
+TEST(ConnectionMatrix, SymmetrizedDense) {
+  ConnectionMatrix m(3);
+  m.add(0, 1);  // only one direction
+  const auto w = m.symmetrized_dense();
+  EXPECT_DOUBLE_EQ(w(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(w(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(w(0, 2), 0.0);
+}
+
+TEST(ConnectionMatrix, SymmetricDegrees) {
+  ConnectionMatrix m(3);
+  m.add(0, 1);
+  m.add(1, 0);  // same undirected edge
+  m.add(1, 2);
+  const auto degrees = m.symmetric_degrees();
+  EXPECT_DOUBLE_EQ(degrees[0], 1.0);
+  EXPECT_DOUBLE_EQ(degrees[1], 2.0);
+  EXPECT_DOUBLE_EQ(degrees[2], 1.0);
+}
+
+TEST(ConnectionMatrix, FromWeightsThresholdsAndSkipsDiagonal) {
+  linalg::Matrix w(2, 2);
+  w(0, 0) = 5.0;  // diagonal ignored
+  w(0, 1) = 0.2;
+  w(1, 0) = -0.3;  // magnitude counts
+  const auto m = ConnectionMatrix::from_weights(w, 0.25);
+  EXPECT_FALSE(m.has(0, 1));
+  EXPECT_TRUE(m.has(1, 0));
+}
+
+TEST(ConnectionMatrix, FromConnectionsCollapsesDuplicates) {
+  const std::vector<Connection> conns = {{0, 1}, {0, 1}, {1, 2}};
+  const auto m = ConnectionMatrix::from_connections(3, conns);
+  EXPECT_EQ(m.connection_count(), 2u);
+}
+
+TEST(ConnectionMatrix, ActiveNeurons) {
+  ConnectionMatrix m(5);
+  m.add(1, 3);
+  const auto active = m.active_neurons();
+  EXPECT_EQ(active, (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(ConnectionMatrix, SubmatrixMirrorsConnections) {
+  ConnectionMatrix m(5);
+  m.add(1, 3);
+  m.add(3, 4);
+  m.add(0, 1);
+  const std::vector<std::size_t> nodes = {1, 3, 4};
+  const auto sub = m.submatrix(nodes);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_TRUE(sub.has(0, 1));   // 1 -> 3
+  EXPECT_TRUE(sub.has(1, 2));   // 3 -> 4
+  EXPECT_EQ(sub.connection_count(), 2u);  // (0,1) dropped: 0 not in nodes
+}
+
+TEST(ConnectionMatrix, EqualityAndField) {
+  ConnectionMatrix a(3);
+  ConnectionMatrix b(3);
+  a.add(0, 1);
+  EXPECT_FALSE(a == b);
+  b.add(0, 1);
+  EXPECT_TRUE(a == b);
+  const auto field = a.to_field();
+  EXPECT_DOUBLE_EQ(field.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(field.sum(), 1.0);
+}
+
+TEST(ConnectionMatrix, ToDenseMatchesBits) {
+  ConnectionMatrix m(3);
+  m.add(2, 1);
+  const auto dense = m.to_dense();
+  EXPECT_DOUBLE_EQ(dense(2, 1), 1.0);
+  EXPECT_DOUBLE_EQ(dense(1, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace autoncs::nn

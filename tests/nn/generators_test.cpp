@@ -1,0 +1,195 @@
+#include "nn/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace autoncs::nn {
+namespace {
+
+TEST(RandomSparse, DensityApproximatelyRespected) {
+  util::Rng rng(1);
+  const auto m = random_sparse(100, 0.1, rng);
+  const double density = 1.0 - m.sparsity();
+  EXPECT_NEAR(density, 0.1, 0.02);
+}
+
+TEST(RandomSparse, ExtremeDensities) {
+  util::Rng rng(2);
+  EXPECT_EQ(random_sparse(20, 0.0, rng).connection_count(), 0u);
+  EXPECT_EQ(random_sparse(20, 1.0, rng).connection_count(), 20u * 19u);
+}
+
+TEST(RandomSparse, InvalidDensityThrows) {
+  util::Rng rng(3);
+  EXPECT_THROW(random_sparse(10, 1.5, rng), util::CheckError);
+}
+
+TEST(RandomWithCount, ExactConnectionCount) {
+  util::Rng rng(5);
+  for (std::size_t count : {0u, 1u, 57u, 380u}) {
+    const auto m = random_with_count(20, count, rng);
+    EXPECT_EQ(m.connection_count(), count);
+  }
+}
+
+TEST(RandomWithCount, FullGraph) {
+  util::Rng rng(7);
+  const auto m = random_with_count(10, 90, rng);
+  EXPECT_EQ(m.connection_count(), 90u);
+  EXPECT_DOUBLE_EQ(m.sparsity(), 0.0);
+}
+
+TEST(RandomWithCount, TooManyThrows) {
+  util::Rng rng(9);
+  EXPECT_THROW(random_with_count(5, 21, rng), util::CheckError);
+}
+
+TEST(BlockSparse, IntraDenserThanInter) {
+  util::Rng rng(11);
+  BlockSparseOptions options;
+  options.blocks = 4;
+  options.intra_density = 0.5;
+  options.inter_density = 0.01;
+  options.scramble = false;
+  const auto m = block_sparse(120, options, rng);
+  // With scramble off, blocks are contiguous index ranges of 30.
+  std::size_t intra = 0;
+  std::size_t inter = 0;
+  for (const auto& c : m.connections()) {
+    if (c.from / 30 == c.to / 30) ++intra;
+    else ++inter;
+  }
+  const double intra_density = static_cast<double>(intra) / (4.0 * 30 * 29);
+  const double inter_density = static_cast<double>(inter) / (120.0 * 119 - 4.0 * 30 * 29);
+  EXPECT_GT(intra_density, 10.0 * inter_density);
+}
+
+TEST(BlockSparse, ScrambleKeepsCounts) {
+  BlockSparseOptions options;
+  options.blocks = 4;
+  options.intra_density = 0.5;
+  options.inter_density = 0.0;
+  util::Rng rng_a(13);
+  const auto scrambled = block_sparse(80, options, rng_a);
+  // Roughly blocks * 20*19*0.5 connections regardless of scrambling.
+  EXPECT_NEAR(static_cast<double>(scrambled.connection_count()),
+              4.0 * 20 * 19 * 0.5, 150.0);
+}
+
+TEST(Ldpc, BipartiteStructure) {
+  util::Rng rng(17);
+  LdpcOptions options;
+  options.variable_nodes = 30;
+  options.check_nodes = 15;
+  options.row_weight = 4;
+  const auto m = ldpc_like(options, rng);
+  EXPECT_EQ(m.size(), 45u);
+  // Every connection crosses the variable/check boundary.
+  for (const auto& c : m.connections()) {
+    const bool from_var = c.from < 30;
+    const bool to_var = c.to < 30;
+    EXPECT_NE(from_var, to_var);
+  }
+  // Each check node has exactly row_weight fanin and fanout.
+  for (std::size_t check = 30; check < 45; ++check) {
+    EXPECT_EQ(m.fanout(check), 4u);
+    EXPECT_EQ(m.fanin(check), 4u);
+  }
+}
+
+TEST(Ldpc, HighSparsityLikeThePaper) {
+  // Sec. 2.2: LDPC message-passing networks are >99% sparse.
+  util::Rng rng(19);
+  LdpcOptions options;
+  options.variable_nodes = 324;
+  options.check_nodes = 162;
+  options.row_weight = 7;
+  const auto m = ldpc_like(options, rng);
+  EXPECT_GT(m.sparsity(), 0.98);
+}
+
+TEST(Ldpc, InvalidRowWeightThrows) {
+  util::Rng rng(23);
+  LdpcOptions options;
+  options.variable_nodes = 5;
+  options.row_weight = 6;
+  EXPECT_THROW(ldpc_like(options, rng), util::CheckError);
+}
+
+
+TEST(LayeredMlp, OnlyForwardInterLayerConnections) {
+  util::Rng rng(31);
+  MlpOptions options;
+  options.layer_sizes = {20, 12, 8};
+  options.connection_density = 0.3;
+  const auto m = layered_mlp(options, rng);
+  const auto offsets = mlp_layer_offsets(options);
+  EXPECT_EQ(m.size(), 40u);
+  auto layer_of = [&](std::size_t v) {
+    std::size_t layer = 0;
+    while (layer + 1 < offsets.size() && v >= offsets[layer + 1]) ++layer;
+    return layer;
+  };
+  for (const auto& c : m.connections()) {
+    EXPECT_EQ(layer_of(c.to), layer_of(c.from) + 1)
+        << c.from << " -> " << c.to;
+  }
+}
+
+TEST(LayeredMlp, DensityApproximatelyRespectedWithoutLocality) {
+  util::Rng rng(37);
+  MlpOptions options;
+  options.layer_sizes = {60, 60};
+  options.connection_density = 0.2;
+  options.locality = 0.0;
+  const auto m = layered_mlp(options, rng);
+  const double density =
+      static_cast<double>(m.connection_count()) / (60.0 * 60.0);
+  EXPECT_NEAR(density, 0.2, 0.03);
+}
+
+TEST(LayeredMlp, LocalityConcentratesNearDiagonal) {
+  util::Rng rng(41);
+  MlpOptions options;
+  options.layer_sizes = {50, 50};
+  options.connection_density = 0.15;
+  options.locality = 8.0;
+  const auto m = layered_mlp(options, rng);
+  std::size_t near = 0;
+  std::size_t far = 0;
+  for (const auto& c : m.connections()) {
+    const double pi = static_cast<double>(c.from) / 50.0;
+    const double pj = static_cast<double>(c.to - 50) / 50.0;
+    (std::abs(pi - pj) < 0.25 ? near : far) += 1;
+  }
+  EXPECT_GT(near, 3 * far);
+}
+
+TEST(LayeredMlp, LayerOffsets) {
+  MlpOptions options;
+  options.layer_sizes = {3, 5, 2};
+  EXPECT_EQ(mlp_layer_offsets(options),
+            (std::vector<std::size_t>{0, 3, 8, 10}));
+}
+
+TEST(LayeredMlp, InvalidOptionsThrow) {
+  util::Rng rng(43);
+  MlpOptions one_layer;
+  one_layer.layer_sizes = {10};
+  EXPECT_THROW(layered_mlp(one_layer, rng), util::CheckError);
+  MlpOptions zero_density;
+  zero_density.connection_density = 0.0;
+  EXPECT_THROW(layered_mlp(zero_density, rng), util::CheckError);
+}
+
+TEST(Generators, DeterministicAcrossRuns) {
+  util::Rng a(99);
+  util::Rng b(99);
+  EXPECT_TRUE(random_sparse(40, 0.2, a) == random_sparse(40, 0.2, b));
+}
+
+}  // namespace
+}  // namespace autoncs::nn

@@ -1,0 +1,111 @@
+#include "nn/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "nn/generators.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::nn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(NetworkIo, RoundTripThroughFile) {
+  util::Rng rng(1);
+  const auto original = random_sparse(37, 0.15, rng);
+  const auto path = temp_path("net.ncsnet");
+  ASSERT_TRUE(save_network(original, path));
+  const auto loaded = load_network(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(*loaded == original);
+}
+
+TEST(NetworkIo, RoundTripThroughStreams) {
+  util::Rng rng(2);
+  const auto original = random_sparse(12, 0.3, rng);
+  std::stringstream stream;
+  write_network(original, stream);
+  const auto loaded = read_network(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(*loaded == original);
+}
+
+TEST(NetworkIo, EmptyNetworkRoundTrips) {
+  const ConnectionMatrix original(5);
+  std::stringstream stream;
+  write_network(original, stream);
+  const auto loaded = read_network(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(*loaded == original);
+}
+
+TEST(NetworkIo, MissingFileFails) {
+  EXPECT_FALSE(load_network("/nonexistent/net.ncsnet").has_value());
+}
+
+TEST(NetworkIo, BadMagicFails) {
+  std::stringstream stream("wrongformat 1 3 0\n");
+  EXPECT_FALSE(read_network(stream).has_value());
+}
+
+TEST(NetworkIo, OutOfRangeEndpointFails) {
+  std::stringstream stream("ncsnet 1 3 1\n0 7\n");
+  EXPECT_FALSE(read_network(stream).has_value());
+}
+
+TEST(NetworkIo, SelfLoopFails) {
+  std::stringstream stream("ncsnet 1 3 1\n1 1\n");
+  EXPECT_FALSE(read_network(stream).has_value());
+}
+
+TEST(NetworkIo, TruncatedFileFails) {
+  std::stringstream stream("ncsnet 1 3 2\n0 1\n");
+  EXPECT_FALSE(read_network(stream).has_value());
+}
+
+TEST(WeightIo, RoundTripPreservesValues) {
+  util::Rng rng(3);
+  linalg::Matrix weights(9, 9);
+  for (std::size_t i = 0; i < 9; ++i)
+    for (std::size_t j = 0; j < 9; ++j)
+      if (i != j && rng.bernoulli(0.3)) weights(i, j) = rng.uniform(-2.0, 2.0);
+  const auto path = temp_path("weights.ncsnet");
+  ASSERT_TRUE(save_weights(weights, path));
+  const auto loaded = load_weights(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(weights.frobenius_distance(*loaded), 0.0);
+}
+
+TEST(WeightIo, DiagonalNeverSerialized) {
+  linalg::Matrix weights(3, 3);
+  weights(0, 0) = 5.0;
+  weights(0, 1) = 1.0;
+  const auto path = temp_path("diag.ncsnet");
+  ASSERT_TRUE(save_weights(weights, path));
+  const auto loaded = load_weights(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ((*loaded)(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ((*loaded)(0, 1), 1.0);
+}
+
+TEST(WeightIo, LoadedNetworkMatchesThresholdedWeights) {
+  util::Rng rng(4);
+  linalg::Matrix weights(8, 8);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j)
+      if (i != j && rng.bernoulli(0.4)) weights(i, j) = rng.uniform(-1.0, 1.0);
+  const auto path = temp_path("wnet.ncsnet");
+  ASSERT_TRUE(save_weights(weights, path));
+  // A weighted file parses as a topology too (weight column ignored).
+  const auto topo = load_network(path);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_TRUE(*topo == ConnectionMatrix::from_weights(weights));
+}
+
+}  // namespace
+}  // namespace autoncs::nn

@@ -1,0 +1,122 @@
+#include "nn/qr_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace autoncs::nn {
+namespace {
+
+TEST(QrPattern, DimensionsAndBipolarValues) {
+  util::Rng rng(1);
+  QrPatternOptions options;
+  options.dimension = 300;
+  const auto patterns = generate_qr_patterns(5, options, rng);
+  ASSERT_EQ(patterns.size(), 5u);
+  for (const auto& p : patterns) {
+    ASSERT_EQ(p.size(), 300u);
+    for (auto bit : p) EXPECT_TRUE(bit == 1 || bit == -1);
+  }
+}
+
+TEST(QrPattern, StructuralModulesNearlyInvariant) {
+  util::Rng rng(2);
+  QrPatternOptions options;
+  options.dimension = 400;
+  options.structure_noise = 0.0;
+  const auto patterns = generate_qr_patterns(10, options, rng);
+  // With zero structure noise the finder/timing modules are identical
+  // across patterns; count positions that never change.
+  std::size_t invariant = 0;
+  for (std::size_t i = 0; i < 400; ++i) {
+    bool same = true;
+    for (std::size_t p = 1; p < 10; ++p)
+      same = same && patterns[p][i] == patterns[0][i];
+    if (same) ++invariant;
+  }
+  // At least the ~3*9 finder + timing modules, plus correlated payload
+  // coincidences.
+  EXPECT_GE(invariant, 40u);
+}
+
+TEST(QrPattern, PatternsDifferFromEachOther) {
+  util::Rng rng(3);
+  QrPatternOptions options;
+  options.dimension = 300;
+  const auto patterns = generate_qr_patterns(2, options, rng);
+  EXPECT_NE(patterns[0], patterns[1]);
+  // But they share the structural part, so overlap is well above zero.
+  EXPECT_GT(pattern_overlap(patterns[0], patterns[1]), 0.05);
+}
+
+TEST(QrPattern, ZeroDimensionThrows) {
+  util::Rng rng(4);
+  QrPatternOptions options;
+  options.dimension = 0;
+  EXPECT_THROW(generate_qr_patterns(1, options, rng), util::CheckError);
+}
+
+TEST(QrPattern, InvalidCorrelationThrows) {
+  util::Rng rng(5);
+  QrPatternOptions options;
+  options.payload_correlation = 1.5;
+  EXPECT_THROW(generate_qr_patterns(1, options, rng), util::CheckError);
+}
+
+TEST(QrPattern, Deterministic) {
+  QrPatternOptions options;
+  options.dimension = 123;
+  util::Rng a(77);
+  util::Rng b(77);
+  EXPECT_EQ(generate_qr_patterns(3, options, a), generate_qr_patterns(3, options, b));
+}
+
+TEST(CorruptPattern, FlipRateMatchesProbability) {
+  util::Rng rng(6);
+  Pattern pattern(2000, 1);
+  const Pattern noisy = corrupt_pattern(pattern, 0.2, rng);
+  std::size_t flips = 0;
+  for (std::size_t i = 0; i < pattern.size(); ++i)
+    if (noisy[i] != pattern[i]) ++flips;
+  EXPECT_NEAR(static_cast<double>(flips) / 2000.0, 0.2, 0.03);
+}
+
+TEST(CorruptPattern, ZeroAndOneProbability) {
+  util::Rng rng(7);
+  Pattern pattern(50, -1);
+  EXPECT_EQ(corrupt_pattern(pattern, 0.0, rng), pattern);
+  const Pattern flipped = corrupt_pattern(pattern, 1.0, rng);
+  for (auto bit : flipped) EXPECT_EQ(bit, 1);
+}
+
+TEST(PatternOverlap, KnownValues) {
+  const Pattern a = {1, 1, -1, -1};
+  const Pattern b = {1, -1, -1, 1};
+  EXPECT_DOUBLE_EQ(pattern_overlap(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(pattern_overlap(a, b), 0.0);
+  const Pattern c = {-1, -1, 1, 1};
+  EXPECT_DOUBLE_EQ(pattern_overlap(a, c), -1.0);
+}
+
+TEST(PatternOverlap, MismatchedSizesThrow) {
+  EXPECT_THROW(pattern_overlap({1}, {1, 1}), util::CheckError);
+  EXPECT_THROW(pattern_overlap({}, {}), util::CheckError);
+}
+
+class QrDimensionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QrDimensionSweep, EveryDimensionWorks) {
+  util::Rng rng(100);
+  QrPatternOptions options;
+  options.dimension = GetParam();
+  const auto patterns = generate_qr_patterns(3, options, rng);
+  for (const auto& p : patterns) EXPECT_EQ(p.size(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, QrDimensionSweep,
+                         ::testing::Values(1, 2, 9, 10, 100, 300, 400, 500));
+
+}  // namespace
+}  // namespace autoncs::nn

@@ -1,0 +1,66 @@
+#include "nn/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace autoncs::nn {
+namespace {
+
+TEST(Stats, ComputeStatsBasics) {
+  ConnectionMatrix m(4);
+  m.add(0, 1);
+  m.add(1, 0);
+  m.add(0, 2);
+  const auto stats = compute_stats(m);
+  EXPECT_EQ(stats.neurons, 4u);
+  EXPECT_EQ(stats.connections, 3u);
+  EXPECT_DOUBLE_EQ(stats.sparsity, 1.0 - 3.0 / 12.0);
+  // fanin+fanout: n0 = 3, n1 = 2, n2 = 1, n3 = 0 -> mean 1.5, max 3.
+  EXPECT_DOUBLE_EQ(stats.mean_fanin_fanout, 1.5);
+  EXPECT_EQ(stats.max_fanin_fanout, 3u);
+}
+
+TEST(Stats, EmptyNetwork) {
+  const auto stats = compute_stats(ConnectionMatrix(0));
+  EXPECT_EQ(stats.neurons, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_fanin_fanout, 0.0);
+}
+
+TEST(Stats, FaninFanoutProfile) {
+  ConnectionMatrix m(3);
+  m.add(0, 1);
+  m.add(2, 1);
+  const auto profile = fanin_fanout_profile(m);
+  EXPECT_EQ(profile, (std::vector<std::size_t>{1, 2, 1}));
+}
+
+TEST(Histogram, UniformBinning) {
+  const std::vector<std::size_t> values = {0, 1, 2, 3, 4, 5, 6, 7};
+  const auto counts = histogram(values, 4);
+  ASSERT_EQ(counts.size(), 4u);
+  for (auto c : counts) EXPECT_EQ(c, 2u);
+}
+
+TEST(Histogram, AllZeroValues) {
+  const auto counts = histogram({0, 0, 0}, 3);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 0u);
+}
+
+TEST(Histogram, EmptyValues) {
+  const auto counts = histogram({}, 2);
+  EXPECT_EQ(counts, (std::vector<std::size_t>{0, 0}));
+}
+
+TEST(Histogram, ZeroBinsThrows) {
+  EXPECT_THROW(histogram({1}, 0), util::CheckError);
+}
+
+TEST(Histogram, MaxValueLandsInLastBin) {
+  const auto counts = histogram({9}, 3);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+}  // namespace
+}  // namespace autoncs::nn

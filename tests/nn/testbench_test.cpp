@@ -1,0 +1,61 @@
+#include "nn/testbench.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::nn {
+namespace {
+
+TEST(Testbench, PaperSpecsExposed) {
+  const auto& specs = paper_testbenches();
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].pattern_count, 15u);
+  EXPECT_EQ(specs[0].dimension, 300u);
+  EXPECT_EQ(specs[1].pattern_count, 20u);
+  EXPECT_EQ(specs[1].dimension, 400u);
+  EXPECT_EQ(specs[2].pattern_count, 30u);
+  EXPECT_EQ(specs[2].dimension, 500u);
+}
+
+TEST(Testbench, UnknownIdThrows) {
+  EXPECT_THROW(build_testbench(0), util::CheckError);
+  EXPECT_THROW(build_testbench(4), util::CheckError);
+}
+
+TEST(Testbench, Deterministic) {
+  const auto a = build_testbench(1);
+  const auto b = build_testbench(1);
+  EXPECT_TRUE(a.topology == b.topology);
+}
+
+TEST(Testbench, DifferentSeedsDiffer) {
+  const auto a = build_testbench(1, 1);
+  const auto b = build_testbench(1, 2);
+  EXPECT_FALSE(a.topology == b.topology);
+}
+
+class TestbenchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TestbenchSweep, MatchesPaperCharacteristics) {
+  const auto tb = build_testbench(GetParam());
+  // Dimension and pattern count straight from Sec. 4.1.
+  EXPECT_EQ(tb.topology.size(), tb.spec.dimension);
+  EXPECT_EQ(tb.patterns.size(), tb.spec.pattern_count);
+  // Sparsity within half a percent of the published value.
+  EXPECT_NEAR(tb.topology.sparsity(), tb.spec.target_sparsity, 0.005);
+}
+
+TEST_P(TestbenchSweep, RecognitionRateAboveNinetyPercent) {
+  // Sec. 4.1: "All testbenches offer a recognition rate above 90%."
+  const auto tb = build_testbench(GetParam());
+  util::Rng rng(99);
+  const auto report = tb.network.evaluate_recognition(tb.patterns, 0.05, 5, rng);
+  EXPECT_GT(report.recognition_rate, 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, TestbenchSweep, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace autoncs::nn

@@ -1,0 +1,163 @@
+#include "place/density.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "place/wa_wirelength.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::place {
+namespace {
+
+netlist::Netlist boxes(const std::vector<std::array<double, 4>>& specs) {
+  // Each spec: {x, y, width, height}.
+  netlist::Netlist net;
+  for (const auto& s : specs) {
+    netlist::Cell cell;
+    cell.x = s[0];
+    cell.y = s[1];
+    cell.width = s[2];
+    cell.height = s[3];
+    net.cells.push_back(cell);
+  }
+  return net;
+}
+
+TEST(ExactOverlap, DisjointCellsZero) {
+  const auto net = boxes({{0, 0, 1, 1}, {10, 0, 1, 1}});
+  const auto state = pack_positions(net);
+  EXPECT_DOUBLE_EQ(exact_overlap_area(net, state, 1.0), 0.0);
+}
+
+TEST(ExactOverlap, FullyCoincidentCells) {
+  const auto net = boxes({{0, 0, 2, 2}, {0, 0, 2, 2}});
+  const auto state = pack_positions(net);
+  EXPECT_DOUBLE_EQ(exact_overlap_area(net, state, 1.0), 4.0);
+}
+
+TEST(ExactOverlap, PartialOverlapHandComputed) {
+  // Unit squares at distance 0.5 in x: overlap = 0.5 * 1.0.
+  const auto net = boxes({{0, 0, 1, 1}, {0.5, 0, 1, 1}});
+  const auto state = pack_positions(net);
+  EXPECT_NEAR(exact_overlap_area(net, state, 1.0), 0.5, 1e-12);
+}
+
+TEST(ExactOverlap, OmegaInflatesVirtualCells) {
+  // Touching unit squares overlap once omega > 1.
+  const auto net = boxes({{0, 0, 1, 1}, {1.0, 0, 1, 1}});
+  const auto state = pack_positions(net);
+  EXPECT_DOUBLE_EQ(exact_overlap_area(net, state, 1.0), 0.0);
+  EXPECT_GT(exact_overlap_area(net, state, 1.2), 0.0);
+}
+
+TEST(OverlapRatio, NormalizedByVirtualArea) {
+  const auto net = boxes({{0, 0, 2, 2}, {0, 0, 2, 2}});
+  const auto state = pack_positions(net);
+  // Overlap 4, total virtual area 8 -> ratio 0.5.
+  EXPECT_NEAR(overlap_ratio(net, state, 1.0), 0.5, 1e-12);
+}
+
+TEST(DensityModel, ZeroForFarCells) {
+  const auto net = boxes({{0, 0, 1, 1}, {100, 100, 1, 1}});
+  const auto state = pack_positions(net);
+  const DensityModel model{1.0, 8.0};
+  EXPECT_DOUBLE_EQ(model.evaluate(net, state, nullptr), 0.0);
+}
+
+TEST(DensityModel, ApproachesExactOverlapForLargeBeta) {
+  const auto net = boxes({{0, 0, 2, 2}, {1.0, 0.5, 2, 2}});
+  const auto state = pack_positions(net);
+  const DensityModel sharp{1.0, 64.0};
+  EXPECT_NEAR(sharp.evaluate(net, state, nullptr),
+              exact_overlap_area(net, state, 1.0), 0.1);
+}
+
+TEST(DensityModel, GradientMatchesFiniteDifferences) {
+  util::Rng rng(3);
+  netlist::Netlist net;
+  for (int c = 0; c < 6; ++c) {
+    netlist::Cell cell;
+    cell.x = rng.uniform(-2.0, 2.0);
+    cell.y = rng.uniform(-2.0, 2.0);
+    cell.width = rng.uniform(0.5, 2.0);
+    cell.height = rng.uniform(0.5, 2.0);
+    net.cells.push_back(cell);
+  }
+  auto state = pack_positions(net);
+  const DensityModel model{1.1, 4.0};
+  std::vector<double> gradient(state.size(), 0.0);
+  model.evaluate(net, state, &gradient);
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    auto plus = state;
+    auto minus = state;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const double numeric = (model.evaluate(net, plus, nullptr) -
+                            model.evaluate(net, minus, nullptr)) /
+                           (2.0 * eps);
+    EXPECT_NEAR(gradient[i], numeric, 1e-4) << "coordinate " << i;
+  }
+}
+
+TEST(DensityModel, MatchesBruteForcePairSum) {
+  // The spatial hash must not miss any interacting pair.
+  util::Rng rng(5);
+  netlist::Netlist net;
+  for (int c = 0; c < 40; ++c) {
+    netlist::Cell cell;
+    cell.x = rng.uniform(-10.0, 10.0);
+    cell.y = rng.uniform(-10.0, 10.0);
+    cell.width = rng.uniform(0.3, 4.0);
+    cell.height = rng.uniform(0.3, 4.0);
+    net.cells.push_back(cell);
+  }
+  const auto state = pack_positions(net);
+  const DensityModel model{1.2, 6.0};
+  const double fast = model.evaluate(net, state, nullptr);
+
+  // Brute force with the same softplus.
+  auto softplus = [](double z, double beta) {
+    const double t = beta * z;
+    if (t > 30.0) return z;
+    if (t < -30.0) return 0.0;
+    return std::log1p(std::exp(t)) / beta;
+  };
+  double brute = 0.0;
+  for (std::size_t i = 0; i < net.cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < net.cells.size(); ++j) {
+      const auto& a = net.cells[i];
+      const auto& b = net.cells[j];
+      const double tx = 0.6 * (a.width + b.width);
+      const double ty = 0.6 * (a.height + b.height);
+      const double zx = tx - std::abs(a.x - b.x);
+      const double zy = ty - std::abs(a.y - b.y);
+      if (zx < -5.0 || zy < -5.0) continue;
+      brute += softplus(zx, 6.0) * softplus(zy, 6.0);
+    }
+  }
+  EXPECT_NEAR(fast, brute, 1e-9 + 1e-9 * brute);
+}
+
+TEST(DensityModel, SingleCellIsZero) {
+  const auto net = boxes({{0, 0, 3, 3}});
+  const auto state = pack_positions(net);
+  const DensityModel model{1.2, 8.0};
+  EXPECT_DOUBLE_EQ(model.evaluate(net, state, nullptr), 0.0);
+}
+
+TEST(DensityModel, InvalidParametersThrow) {
+  const auto net = boxes({{0, 0, 1, 1}, {1, 1, 1, 1}});
+  const auto state = pack_positions(net);
+  DensityModel bad_omega{0.5, 8.0};
+  EXPECT_THROW(bad_omega.evaluate(net, state, nullptr), util::CheckError);
+  DensityModel bad_beta{1.2, 0.0};
+  EXPECT_THROW(bad_beta.evaluate(net, state, nullptr), util::CheckError);
+}
+
+}  // namespace
+}  // namespace autoncs::place

@@ -1,0 +1,100 @@
+#include "place/legalizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "place/density.hpp"
+#include "place/wa_wirelength.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::place {
+namespace {
+
+netlist::Netlist uniform_cells(std::size_t count, double side) {
+  netlist::Netlist net;
+  for (std::size_t c = 0; c < count; ++c) {
+    netlist::Cell cell;
+    cell.width = side;
+    cell.height = side;
+    net.cells.push_back(cell);
+  }
+  return net;
+}
+
+TEST(Legalizer, AlreadyLegalIsNoop) {
+  netlist::Netlist net = uniform_cells(2, 1.0);
+  net.cells[1].x = 5.0;
+  auto state = pack_positions(net);
+  const auto before = state;
+  LegalizerOptions options;
+  options.omega = 1.0;
+  const auto report = legalize(net, state, options);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(state, before);
+}
+
+TEST(Legalizer, SeparatesCoincidentPair) {
+  netlist::Netlist net = uniform_cells(2, 2.0);
+  auto state = pack_positions(net);  // both at origin
+  LegalizerOptions options;
+  options.omega = 1.0;
+  const auto report = legalize(net, state, options);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(report.final_overlap_ratio, options.overlap_tolerance);
+}
+
+TEST(Legalizer, ResolvesDensePileUp) {
+  util::Rng rng(1);
+  netlist::Netlist net = uniform_cells(30, 1.0);
+  auto state = pack_positions(net);
+  for (auto& v : state) v = rng.uniform(-2.0, 2.0);  // heavy overlap
+  LegalizerOptions options;
+  options.omega = 1.0;
+  const auto report = legalize(net, state, options);
+  EXPECT_LT(report.final_overlap_ratio, 0.01);
+}
+
+TEST(Legalizer, MixedSizesRespectLargeCell) {
+  netlist::Netlist net = uniform_cells(5, 1.0);
+  net.cells[0].width = 10.0;
+  net.cells[0].height = 10.0;
+  auto state = pack_positions(net);  // everything at origin
+  LegalizerOptions options;
+  options.omega = 1.0;
+  legalize(net, state, options);
+  unpack_positions(state, net);
+  // Small cells pushed outside the big one.
+  for (std::size_t c = 1; c < 5; ++c) {
+    const double dx = std::abs(net.cells[c].x - net.cells[0].x);
+    const double dy = std::abs(net.cells[c].y - net.cells[0].y);
+    EXPECT_TRUE(dx >= 5.4 || dy >= 5.4)
+        << "cell " << c << " still inside the macro";
+  }
+}
+
+TEST(Legalizer, DieClampKeepsCellsInside) {
+  util::Rng rng(2);
+  netlist::Netlist net = uniform_cells(12, 1.0);
+  auto state = pack_positions(net);
+  for (auto& v : state) v = rng.uniform(-20.0, 20.0);
+  LegalizerOptions options;
+  options.omega = 1.0;
+  options.die_half = 4.0;
+  legalize(net, state, options);
+  for (std::size_t c = 0; c < net.cells.size(); ++c) {
+    EXPECT_LE(std::abs(state[2 * c]), 4.0 - 0.5 + 1e-9);
+    EXPECT_LE(std::abs(state[2 * c + 1]), 4.0 - 0.5 + 1e-9);
+  }
+}
+
+TEST(Legalizer, ReportsPassCount) {
+  netlist::Netlist net = uniform_cells(4, 1.0);
+  auto state = pack_positions(net);
+  const auto report = legalize(net, state, {});
+  EXPECT_GE(report.passes, 1u);
+  EXPECT_LE(report.passes, LegalizerOptions{}.max_passes);
+}
+
+}  // namespace
+}  // namespace autoncs::place

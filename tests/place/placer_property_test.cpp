@@ -1,0 +1,68 @@
+// Property sweep over placement parameters: the placer must always end
+// legal (small residual overlap), inside the die, and deterministic.
+#include <gtest/gtest.h>
+
+#include "place/density.hpp"
+#include "place/placer.hpp"
+#include "place/wa_wirelength.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::place {
+namespace {
+
+netlist::Netlist mixed_netlist(std::size_t cells, std::uint64_t seed) {
+  util::Rng rng(seed);
+  netlist::Netlist net;
+  for (std::size_t c = 0; c < cells; ++c) {
+    netlist::Cell cell;
+    // Mixed sizes: a few macros among standard cells.
+    const bool macro = rng.bernoulli(0.1);
+    cell.width = macro ? rng.uniform(5.0, 12.0) : rng.uniform(0.8, 2.0);
+    cell.height = macro ? rng.uniform(5.0, 12.0) : rng.uniform(0.8, 2.0);
+    net.cells.push_back(cell);
+  }
+  for (std::size_t w = 0; w < cells * 2; ++w) {
+    const auto a = static_cast<std::size_t>(rng.next_below(cells));
+    auto b = static_cast<std::size_t>(rng.next_below(cells));
+    if (b == a) b = (b + 1) % cells;
+    net.wires.push_back({{a, b}, 1.0 + rng.uniform(), 0.0});
+  }
+  return net;
+}
+
+class PlacerParamSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double, double>> {
+};
+
+TEST_P(PlacerParamSweep, LegalInDieAndDeterministic) {
+  const auto [cells, omega, density] = GetParam();
+  netlist::Netlist net = mixed_netlist(cells, 11);
+  PlacerOptions options;
+  options.omega = omega;
+  options.target_density = density;
+  options.cg.max_iterations = 60;
+  const auto report = place(net, options);
+
+  // Legal enough.
+  EXPECT_LT(report.legalization.final_overlap_ratio, 0.06);
+  // Everyone inside the reported die.
+  for (const auto& cell : net.cells) {
+    EXPECT_GE(cell.x, report.die.min_x - 1e-6);
+    EXPECT_LE(cell.x, report.die.max_x + 1e-6);
+    EXPECT_GE(cell.y, report.die.min_y - 1e-6);
+    EXPECT_LE(cell.y, report.die.max_y + 1e-6);
+  }
+  // Deterministic re-run.
+  netlist::Netlist again = mixed_netlist(cells, 11);
+  const auto report2 = place(again, options);
+  EXPECT_DOUBLE_EQ(report.hpwl_um, report2.hpwl_um);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, PlacerParamSweep,
+    ::testing::Combine(::testing::Values(12, 30, 60),
+                       ::testing::Values(1.0, 1.2, 1.5),
+                       ::testing::Values(0.6, 0.8)));
+
+}  // namespace
+}  // namespace autoncs::place

@@ -1,0 +1,144 @@
+#include "place/placer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "netlist/builder.hpp"
+#include "mapping/fullcro.hpp"
+#include "nn/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::place {
+namespace {
+
+netlist::Netlist chain_netlist(std::size_t cells) {
+  netlist::Netlist net;
+  for (std::size_t c = 0; c < cells; ++c) {
+    netlist::Cell cell;
+    cell.width = 1.0;
+    cell.height = 1.0;
+    net.cells.push_back(cell);
+  }
+  for (std::size_t c = 0; c + 1 < cells; ++c)
+    net.wires.push_back({{c, c + 1}, 1.0, 0.0});
+  return net;
+}
+
+TEST(Placer, ProducesLegalCompactPlacement) {
+  netlist::Netlist net = chain_netlist(25);
+  const auto report = place(net);
+  // Legalized: residual overlap tiny.
+  EXPECT_LT(report.legalization.final_overlap_ratio, 0.02);
+  // Compact: bounding box within a few x of total virtual area.
+  double virtual_area = 0.0;
+  for (const auto& cell : net.cells)
+    virtual_area += 1.2 * cell.width * 1.2 * cell.height;
+  EXPECT_LT(report.area_um2, 4.0 * virtual_area);
+  EXPECT_GT(report.area_um2, 0.9 * virtual_area);
+}
+
+TEST(Placer, WirelengthFarBetterThanRandom) {
+  netlist::Netlist net = chain_netlist(36);
+  const auto report = place(net);
+  // A 35-edge chain in a compact legal placement: HPWL near the
+  // theoretical minimum (~35 * pitch), far below a random arrangement
+  // (~35 * half the die).
+  EXPECT_LT(report.hpwl_um, 35.0 * 4.0);
+}
+
+TEST(Placer, DeterministicForFixedSeed) {
+  netlist::Netlist a = chain_netlist(16);
+  netlist::Netlist b = chain_netlist(16);
+  PlacerOptions options;
+  options.seed = 12345;
+  const auto ra = place(a, options);
+  const auto rb = place(b, options);
+  EXPECT_DOUBLE_EQ(ra.hpwl_um, rb.hpwl_um);
+  for (std::size_t c = 0; c < a.cells.size(); ++c) {
+    EXPECT_DOUBLE_EQ(a.cells[c].x, b.cells[c].x);
+    EXPECT_DOUBLE_EQ(a.cells[c].y, b.cells[c].y);
+  }
+}
+
+TEST(Placer, ConnectedCellsEndUpClose) {
+  // Two tight cliques joined by one wire: intra-clique distances must be
+  // far below the cross-clique spread after placement.
+  netlist::Netlist net;
+  for (int c = 0; c < 10; ++c) {
+    netlist::Cell cell;
+    cell.width = 1.0;
+    cell.height = 1.0;
+    net.cells.push_back(cell);
+  }
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      net.wires.push_back({{i, j}, 1.0, 0.0});
+      net.wires.push_back({{i + 5, j + 5}, 1.0, 0.0});
+    }
+  place(net);
+  auto dist = [&](std::size_t a, std::size_t b) {
+    return std::abs(net.cells[a].x - net.cells[b].x) +
+           std::abs(net.cells[a].y - net.cells[b].y);
+  };
+  double intra = 0.0;
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = i + 1; j < 5; ++j)
+      intra = std::max({intra, dist(i, j), dist(i + 5, j + 5)});
+  // Cells are 1x1 with omega 1.2: a 5-clique fits in a ~3x3 region, so the
+  // max intra distance stays small.
+  EXPECT_LT(intra, 8.0);
+}
+
+TEST(Placer, MixedSizeNetlistFromFullCro) {
+  util::Rng rng(1);
+  const auto network = nn::random_sparse(60, 0.1, rng);
+  const auto mapping = mapping::fullcro_mapping(network, {32, true});
+  auto net = netlist::build_netlist(mapping);
+  const auto report = place(net);
+  EXPECT_LT(report.legalization.final_overlap_ratio, 0.05);
+  EXPECT_GT(report.area_um2, 0.0);
+  EXPECT_GE(report.outer_iterations, 1u);
+}
+
+TEST(Placer, DieBoundRespectedAfterLegalization) {
+  netlist::Netlist net = chain_netlist(20);
+  PlacerOptions options;
+  const auto report = place(net, options);
+  // All cells within the reported die box.
+  for (const auto& cell : net.cells) {
+    EXPECT_GE(cell.x, report.die.min_x - 1e-6);
+    EXPECT_LE(cell.x, report.die.max_x + 1e-6);
+    EXPECT_GE(cell.y, report.die.min_y - 1e-6);
+    EXPECT_LE(cell.y, report.die.max_y + 1e-6);
+  }
+}
+
+TEST(Placer, EmptyNetlistThrows) {
+  netlist::Netlist net;
+  EXPECT_THROW(place(net), util::CheckError);
+}
+
+TEST(Placer, InvalidTargetDensityThrows) {
+  netlist::Netlist net = chain_netlist(4);
+  PlacerOptions options;
+  options.target_density = 0.0;
+  EXPECT_THROW(place(net, options), util::CheckError);
+}
+
+TEST(BoundingBox, ComputedOverVirtualExtents) {
+  netlist::Netlist net = chain_netlist(1);
+  net.cells[0].x = 2.0;
+  net.cells[0].y = -1.0;
+  const auto box = placement_bounding_box(net, 2.0);
+  // Virtual half extent = 1.0 each side.
+  EXPECT_DOUBLE_EQ(box.min_x, 1.0);
+  EXPECT_DOUBLE_EQ(box.max_x, 3.0);
+  EXPECT_DOUBLE_EQ(box.width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.area(), 4.0);
+}
+
+}  // namespace
+}  // namespace autoncs::place

@@ -1,0 +1,127 @@
+#include "place/refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "place/density.hpp"
+#include "place/placer.hpp"
+#include "place/wa_wirelength.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::place {
+namespace {
+
+netlist::Netlist unit_cells(std::size_t count) {
+  netlist::Netlist net;
+  for (std::size_t c = 0; c < count; ++c) {
+    netlist::Cell cell;
+    cell.width = 1.0;
+    cell.height = 1.0;
+    net.cells.push_back(cell);
+  }
+  return net;
+}
+
+TEST(Refine, SwapsCrossedPair) {
+  // Cells 0,1 fixed-ish anchors; cells 2,3 placed crossed: 0-3 and 1-2
+  // wires want a swap of 2 and 3.
+  netlist::Netlist net = unit_cells(4);
+  net.cells[0].x = 0.0;
+  net.cells[1].x = 30.0;
+  net.cells[2].x = 28.0;  // connected to 1? no: wire 1 connects 1 and 2
+  net.cells[3].x = 2.0;
+  net.cells[2].y = 5.0;
+  net.cells[3].y = 5.0;
+  net.wires.push_back({{0, 2}, 1.0, 0.0});  // 0 at x=0 wants 2 near 0
+  net.wires.push_back({{1, 3}, 1.0, 0.0});  // 1 at x=30 wants 3 near 30
+  const auto before = weighted_hpwl(net, pack_positions(net));
+  const auto report = refine_placement(net);
+  const auto after = weighted_hpwl(net, pack_positions(net));
+  EXPECT_LT(after, before);
+  EXPECT_GE(report.swaps + report.moves, 1u);
+  EXPECT_DOUBLE_EQ(report.weighted_hpwl_after, after);
+}
+
+TEST(Refine, NeverIncreasesWeightedHpwl) {
+  util::Rng rng(5);
+  netlist::Netlist net = unit_cells(30);
+  for (auto& cell : net.cells) {
+    cell.x = rng.uniform(-20.0, 20.0);
+    cell.y = rng.uniform(-20.0, 20.0);
+  }
+  for (std::size_t w = 0; w < 50; ++w) {
+    const auto a = static_cast<std::size_t>(rng.next_below(30));
+    auto b = static_cast<std::size_t>(rng.next_below(30));
+    if (b == a) b = (b + 1) % 30;
+    net.wires.push_back({{a, b}, 1.0 + rng.uniform(), 0.0});
+  }
+  const auto before = weighted_hpwl(net, pack_positions(net));
+  refine_placement(net);
+  const auto after = weighted_hpwl(net, pack_positions(net));
+  EXPECT_LE(after, before + 1e-9);
+}
+
+TEST(Refine, DoesNotCreateOverlap) {
+  util::Rng rng(7);
+  netlist::Netlist net = unit_cells(16);
+  // Legal grid placement.
+  for (std::size_t c = 0; c < 16; ++c) {
+    net.cells[c].x = static_cast<double>(c % 4) * 3.0;
+    net.cells[c].y = static_cast<double>(c / 4) * 3.0;
+  }
+  for (std::size_t w = 0; w < 24; ++w) {
+    const auto a = static_cast<std::size_t>(rng.next_below(16));
+    auto b = static_cast<std::size_t>(rng.next_below(16));
+    if (b == a) b = (b + 1) % 16;
+    net.wires.push_back({{a, b}, 1.0, 0.0});
+  }
+  RefineOptions options;
+  options.omega = 1.2;
+  refine_placement(net, options);
+  EXPECT_LT(overlap_ratio(net, pack_positions(net), options.omega), 1e-9);
+}
+
+TEST(Refine, MixedSizesOnlySwapEqualFootprints) {
+  netlist::Netlist net = unit_cells(3);
+  net.cells[2].width = 5.0;  // incompatible footprint
+  net.cells[0].x = 0.0;
+  net.cells[1].x = 10.0;
+  net.cells[2].x = 20.0;
+  net.wires.push_back({{0, 2}, 1.0, 0.0});
+  const double big_x = net.cells[2].x;
+  RefineOptions options;
+  options.swap_radius_um = 100.0;
+  refine_placement(net, options);
+  // The big cell may move toward its pin (relocate) but can never have
+  // swapped into a unit cell's slot; in this sparse layout relocation is
+  // legal, so just assert no crash and no overlap.
+  EXPECT_LT(overlap_ratio(net, pack_positions(net), 1.0), 1e-9);
+  (void)big_x;
+}
+
+TEST(Refine, ImprovesRealPlacement) {
+  // End to end: global place, then refine; HPWL must not get worse and
+  // usually improves.
+  netlist::Netlist net = unit_cells(25);
+  util::Rng rng(11);
+  for (std::size_t w = 0; w < 40; ++w) {
+    const auto a = static_cast<std::size_t>(rng.next_below(25));
+    auto b = static_cast<std::size_t>(rng.next_below(25));
+    if (b == a) b = (b + 1) % 25;
+    net.wires.push_back({{a, b}, 1.0, 0.0});
+  }
+  place(net);
+  const auto before = weighted_hpwl(net, pack_positions(net));
+  const auto report = refine_placement(net);
+  EXPECT_LE(report.weighted_hpwl_after, before + 1e-9);
+}
+
+TEST(Refine, EmptyAndTrivialNetlists) {
+  netlist::Netlist empty;
+  EXPECT_NO_THROW(refine_placement(empty));
+  netlist::Netlist one = unit_cells(1);
+  const auto report = refine_placement(one);
+  EXPECT_EQ(report.swaps, 0u);
+}
+
+}  // namespace
+}  // namespace autoncs::place

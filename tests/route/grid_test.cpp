@@ -1,0 +1,64 @@
+#include "route/grid_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace autoncs::route {
+namespace {
+
+TEST(GridGraph, BinMappingAndClamping) {
+  GridGraph grid(4, 3, 2.0, 0.0, 0.0, 5.0);
+  EXPECT_EQ(grid.bin_of(0.1, 0.1), (BinRef{0, 0}));
+  EXPECT_EQ(grid.bin_of(3.9, 5.9), (BinRef{1, 2}));
+  // Out-of-range points clamp to the boundary bins.
+  EXPECT_EQ(grid.bin_of(-5.0, 100.0), (BinRef{0, 2}));
+  EXPECT_EQ(grid.bin_of(100.0, -5.0), (BinRef{3, 0}));
+}
+
+TEST(GridGraph, BinCenters) {
+  GridGraph grid(4, 3, 2.0, 1.0, -1.0, 5.0);
+  EXPECT_DOUBLE_EQ(grid.bin_center_x(0), 2.0);
+  EXPECT_DOUBLE_EQ(grid.bin_center_y(2), 4.0);
+}
+
+TEST(GridGraph, UsageAccounting) {
+  GridGraph grid(3, 3, 1.0, 0.0, 0.0, 2.0);
+  EXPECT_DOUBLE_EQ(grid.h_usage(0, 1), 0.0);
+  grid.add_h_usage(0, 1, 1.0);
+  grid.add_h_usage(0, 1, 0.5);
+  EXPECT_DOUBLE_EQ(grid.h_usage(0, 1), 1.5);
+  grid.add_v_usage(2, 0, 3.0);
+  EXPECT_DOUBLE_EQ(grid.v_usage(2, 0), 3.0);
+}
+
+TEST(GridGraph, OverflowAndPeak) {
+  GridGraph grid(3, 2, 1.0, 0.0, 0.0, 2.0);
+  grid.add_h_usage(0, 0, 3.0);  // 1 over capacity
+  grid.add_v_usage(1, 0, 1.0);  // under capacity
+  EXPECT_DOUBLE_EQ(grid.total_overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(grid.peak_congestion(), 1.5);
+}
+
+TEST(GridGraph, CongestionFieldSumsAdjacentEdges) {
+  GridGraph grid(2, 2, 1.0, 0.0, 0.0, 4.0);
+  grid.add_h_usage(0, 0, 1.0);  // between (0,0) and (1,0)
+  grid.add_v_usage(0, 0, 2.0);  // between (0,0) and (0,1)
+  const auto field = grid.congestion_field();
+  ASSERT_EQ(field.rows(), 2u);
+  ASSERT_EQ(field.cols(), 2u);
+  // Row 0 of the field is the TOP (iy = 1).
+  EXPECT_DOUBLE_EQ(field.at(1, 0), 3.0);  // bin (0,0): h + v
+  EXPECT_DOUBLE_EQ(field.at(1, 1), 1.0);  // bin (1,0): h only
+  EXPECT_DOUBLE_EQ(field.at(0, 0), 2.0);  // bin (0,1): v only
+  EXPECT_DOUBLE_EQ(field.at(0, 1), 0.0);
+}
+
+TEST(GridGraph, InvalidConstructionThrows) {
+  EXPECT_THROW(GridGraph(0, 2, 1.0, 0.0, 0.0, 1.0), util::CheckError);
+  EXPECT_THROW(GridGraph(2, 2, 0.0, 0.0, 0.0, 1.0), util::CheckError);
+  EXPECT_THROW(GridGraph(2, 2, 1.0, 0.0, 0.0, 0.0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace autoncs::route

@@ -1,0 +1,101 @@
+#include "route/maze_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace autoncs::route {
+namespace {
+
+TEST(MazeRoute, StraightLineOnEmptyGrid) {
+  GridGraph grid(10, 10, 1.0, 0.0, 0.0, 4.0);
+  const auto path = maze_route(grid, {1, 1}, {6, 1}, {});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 6u);  // 5 edges
+  EXPECT_DOUBLE_EQ(path_length_um(grid, *path), 5.0);
+  EXPECT_EQ(path->front(), (BinRef{1, 1}));
+  EXPECT_EQ(path->back(), (BinRef{6, 1}));
+}
+
+TEST(MazeRoute, ManhattanOptimalOnEmptyGrid) {
+  GridGraph grid(20, 20, 2.0, 0.0, 0.0, 4.0);
+  const auto path = maze_route(grid, {2, 3}, {9, 11}, {});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(path_length_um(grid, *path), (7.0 + 8.0) * 2.0);
+}
+
+TEST(MazeRoute, SourceEqualsTarget) {
+  GridGraph grid(5, 5, 1.0, 0.0, 0.0, 4.0);
+  const auto path = maze_route(grid, {2, 2}, {2, 2}, {});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 1u);
+  EXPECT_DOUBLE_EQ(path_length_um(grid, *path), 0.0);
+}
+
+TEST(MazeRoute, DetoursAroundBlockedWall) {
+  // Block the vertical wall x=2 except at the top row.
+  GridGraph grid(6, 6, 1.0, 0.0, 0.0, 1.0);
+  for (std::size_t iy = 0; iy < 5; ++iy) grid.add_h_usage(2, iy, 1.0);
+  const auto path = maze_route(grid, {0, 0}, {5, 0}, {});
+  ASSERT_TRUE(path.has_value());
+  // Must detour through the top row: longer than the direct 5 edges.
+  EXPECT_GT(path->size(), 6u);
+  for (std::size_t k = 0; k + 1 < path->size(); ++k) {
+    // No step crosses a full edge.
+    const BinRef a = (*path)[k];
+    const BinRef b = (*path)[k + 1];
+    if (a.iy == b.iy && std::min(a.ix, b.ix) == 2) {
+      EXPECT_EQ(a.iy, 5u);
+    }
+  }
+}
+
+TEST(MazeRoute, NoPathUnderCapacityLimit) {
+  // A full wall with capacity limit 1 blocks everything.
+  GridGraph grid(4, 4, 1.0, 0.0, 0.0, 1.0);
+  for (std::size_t iy = 0; iy < 4; ++iy) grid.add_h_usage(1, iy, 1.0);
+  const auto blocked = maze_route(grid, {0, 0}, {3, 3}, {});
+  EXPECT_FALSE(blocked.has_value());
+  // Relaxing the virtual capacity (factor 2) opens it up.
+  MazeOptions relaxed;
+  relaxed.capacity_limit_factor = 2.0;
+  const auto open = maze_route(grid, {0, 0}, {3, 3}, relaxed);
+  EXPECT_TRUE(open.has_value());
+}
+
+TEST(MazeRoute, CongestionPenaltySteersAround) {
+  GridGraph grid(7, 3, 1.0, 0.0, 0.0, 10.0);
+  // Congest the middle row heavily but below the block limit.
+  for (std::size_t ix = 0; ix < 6; ++ix) grid.add_h_usage(ix, 1, 9.0);
+  MazeOptions options;
+  options.congestion_penalty = 10.0;
+  const auto path = maze_route(grid, {0, 1}, {6, 1}, options);
+  ASSERT_TRUE(path.has_value());
+  // The cheap route leaves row 1.
+  bool left_row = false;
+  for (const auto& bin : *path) left_row = left_row || bin.iy != 1;
+  EXPECT_TRUE(left_row);
+}
+
+TEST(CommitPath, AddsUnitUsage) {
+  GridGraph grid(4, 4, 1.0, 0.0, 0.0, 4.0);
+  const auto path = maze_route(grid, {0, 0}, {2, 0}, {});
+  ASSERT_TRUE(path.has_value());
+  commit_path(grid, *path);
+  EXPECT_DOUBLE_EQ(grid.h_usage(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(grid.h_usage(1, 0), 1.0);
+}
+
+TEST(CommitPath, SecondWireSeesFirst) {
+  GridGraph grid(5, 5, 1.0, 0.0, 0.0, 1.0);
+  auto first = maze_route(grid, {0, 2}, {4, 2}, {});
+  ASSERT_TRUE(first.has_value());
+  commit_path(grid, *first);
+  // Same route again is blocked at capacity 1 -> must detour.
+  auto second = maze_route(grid, {0, 2}, {4, 2}, {});
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GT(second->size(), first->size());
+}
+
+}  // namespace
+}  // namespace autoncs::route

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "route/router.hpp"
+
+namespace autoncs::route {
+namespace {
+
+/// Many parallel wires crossing one narrow cut: single-pass routing with
+/// relaxation overflows; negotiated rerouting should spread the wires.
+netlist::Netlist contested_netlist(std::size_t pairs) {
+  netlist::Netlist net;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    netlist::Cell a;
+    a.width = 0.5;
+    a.height = 0.5;
+    a.x = 0.0;
+    a.y = static_cast<double>(p) * 2.0;
+    netlist::Cell b = a;
+    b.x = 40.0;
+    net.cells.push_back(a);
+    net.cells.push_back(b);
+    net.wires.push_back({{2 * p, 2 * p + 1}, 1.0, 0.0});
+  }
+  return net;
+}
+
+TEST(Reroute, ReducesOverflow) {
+  const auto net = contested_netlist(16);
+  RouterOptions single;
+  single.theta = 4.0;
+  single.capacity_per_um = 0.25;  // 1 wire per edge
+  RouterOptions negotiated = single;
+  negotiated.reroute_passes = 4;
+
+  const auto before = route(net, single);
+  const auto after = route(net, negotiated);
+  EXPECT_LE(after.total_overflow, before.total_overflow);
+  // Every wire still routed.
+  EXPECT_EQ(after.wires.size(), net.wires.size());
+  for (const auto& wire : after.wires) EXPECT_GT(wire.length_um, 0.0);
+}
+
+TEST(Reroute, NoopWhenNoOverflow) {
+  const auto net = contested_netlist(4);
+  RouterOptions generous;
+  generous.theta = 4.0;
+  generous.capacity_per_um = 10.0;
+  RouterOptions rerouted = generous;
+  rerouted.reroute_passes = 3;
+  const auto a = route(net, generous);
+  const auto b = route(net, rerouted);
+  EXPECT_DOUBLE_EQ(a.total_wirelength_um, b.total_wirelength_um);
+  EXPECT_DOUBLE_EQ(a.total_overflow, 0.0);
+  EXPECT_DOUBLE_EQ(b.total_overflow, 0.0);
+}
+
+TEST(Reroute, UsageAccountingStaysConsistent) {
+  // After rip-up and reroute, total committed edge usage equals the sum of
+  // the final path lengths (in bins).
+  const auto net = contested_netlist(10);
+  RouterOptions options;
+  options.theta = 4.0;
+  options.capacity_per_um = 0.25;
+  options.reroute_passes = 3;
+  const auto result = route(net, options);
+  double edge_usage = 0.0;
+  for (std::size_t iy = 0; iy < result.grid.ny(); ++iy) {
+    for (std::size_t ix = 0; ix + 1 < result.grid.nx(); ++ix)
+      edge_usage += result.grid.h_usage(ix, iy);
+  }
+  for (std::size_t iy = 0; iy + 1 < result.grid.ny(); ++iy) {
+    for (std::size_t ix = 0; ix < result.grid.nx(); ++ix)
+      edge_usage += result.grid.v_usage(ix, iy);
+  }
+  EXPECT_NEAR(edge_usage * options.theta, result.total_wirelength_um, 1e-9);
+}
+
+TEST(GridHistory, AccumulatesOnlyOverflowedEdges) {
+  GridGraph grid(3, 3, 1.0, 0.0, 0.0, 2.0);
+  grid.add_h_usage(0, 0, 3.0);  // 1 over
+  grid.add_v_usage(1, 1, 1.0);  // under
+  EXPECT_EQ(grid.accumulate_history(), 1u);
+  EXPECT_DOUBLE_EQ(grid.h_history(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(grid.v_history(1, 1), 0.0);
+  // History accumulates across passes.
+  EXPECT_EQ(grid.accumulate_history(), 1u);
+  EXPECT_DOUBLE_EQ(grid.h_history(0, 0), 2.0);
+}
+
+TEST(PathOverflow, DetectsOverloadedEdge) {
+  GridGraph grid(4, 1, 1.0, 0.0, 0.0, 1.0);
+  const std::vector<BinRef> path = {{0, 0}, {1, 0}, {2, 0}};
+  EXPECT_FALSE(path_overflows(grid, path));
+  commit_path(grid, path);
+  EXPECT_FALSE(path_overflows(grid, path));  // at capacity, not over
+  commit_path(grid, path);
+  EXPECT_TRUE(path_overflows(grid, path));
+  uncommit_path(grid, path);
+  EXPECT_FALSE(path_overflows(grid, path));
+}
+
+}  // namespace
+}  // namespace autoncs::route

@@ -1,0 +1,78 @@
+// Property sweep over router parameters: every wire always routes, and in
+// the uncongested regime no routed segment can beat its Manhattan lower
+// bound (modulo the bin quantization).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "route/router.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::route {
+namespace {
+
+netlist::Netlist random_placed(std::size_t cells, std::uint64_t seed) {
+  util::Rng rng(seed);
+  netlist::Netlist net;
+  for (std::size_t c = 0; c < cells; ++c) {
+    netlist::Cell cell;
+    cell.width = 1.0;
+    cell.height = 1.0;
+    cell.x = rng.uniform(-40.0, 40.0);
+    cell.y = rng.uniform(-40.0, 40.0);
+    net.cells.push_back(cell);
+  }
+  for (std::size_t w = 0; w < cells * 2; ++w) {
+    const auto a = static_cast<std::size_t>(rng.next_below(cells));
+    auto b = static_cast<std::size_t>(rng.next_below(cells));
+    if (b == a) b = (b + 1) % cells;
+    net.wires.push_back({{a, b}, 1.0, 0.0});
+  }
+  return net;
+}
+
+class RouterParamSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RouterParamSweep, AllWiresRoutedAtAnyParameters) {
+  const auto [theta, capacity] = GetParam();
+  const auto net = random_placed(25, 3);
+  RouterOptions options;
+  options.theta = theta;
+  options.capacity_per_um = capacity;
+  const auto result = route(net, options);
+  ASSERT_EQ(result.wires.size(), net.wires.size());
+  EXPECT_GT(result.total_wirelength_um, 0.0);
+  for (const auto& wire : result.wires) {
+    EXPECT_GE(wire.length_um, 0.0);
+    EXPECT_GE(wire.delay_ns, 0.0);
+  }
+}
+
+TEST_P(RouterParamSweep, UncongestedLengthsRespectManhattanBound) {
+  const auto [theta, capacity] = GetParam();
+  if (capacity < 5.0) GTEST_SKIP() << "bound only holds without detours";
+  const auto net = random_placed(20, 5);
+  RouterOptions options;
+  options.theta = theta;
+  options.capacity_per_um = capacity;
+  const auto result = route(net, options);
+  for (const auto& routed : result.wires) {
+    const auto& wire = net.wires[routed.wire_index];
+    const auto& a = net.cells[wire.pins[0]];
+    const auto& b = net.cells[wire.pins[1]];
+    const double manhattan =
+        std::abs(a.x - b.x) + std::abs(a.y - b.y);
+    // Grid quantization can add up to ~2 bins of slack per endpoint.
+    EXPECT_GE(routed.length_um + 4.0 * theta, manhattan)
+        << "wire " << routed.wire_index;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, RouterParamSweep,
+    ::testing::Combine(::testing::Values(2.0, 4.0, 8.0),
+                       ::testing::Values(0.5, 2.0, 10.0)));
+
+}  // namespace
+}  // namespace autoncs::route

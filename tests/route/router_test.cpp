@@ -1,0 +1,151 @@
+#include "route/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mapping/fullcro.hpp"
+#include "netlist/builder.hpp"
+#include "nn/generators.hpp"
+#include "place/placer.hpp"
+#include "place/wa_wirelength.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::route {
+namespace {
+
+/// Grid of cells with nearest-neighbour wires, pre-placed on a lattice.
+netlist::Netlist placed_lattice(std::size_t side, double pitch) {
+  netlist::Netlist net;
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      netlist::Cell cell;
+      cell.width = 1.0;
+      cell.height = 1.0;
+      cell.x = static_cast<double>(c) * pitch;
+      cell.y = static_cast<double>(r) * pitch;
+      net.cells.push_back(cell);
+    }
+  }
+  for (std::size_t r = 0; r < side; ++r)
+    for (std::size_t c = 0; c + 1 < side; ++c)
+      net.wires.push_back({{r * side + c, r * side + c + 1}, 1.0, 0.0});
+  return net;
+}
+
+TEST(Router, EveryWireRouted) {
+  const auto net = placed_lattice(5, 10.0);
+  const auto result = route(net);
+  EXPECT_EQ(result.wires.size(), net.wires.size());
+  for (const auto& wire : result.wires) EXPECT_GT(wire.length_um, 0.0);
+}
+
+TEST(Router, UncongestedLatticeNearManhattanLength) {
+  RouterOptions options;
+  options.theta = 5.0;
+  options.capacity_per_um = 10.0;  // plenty of tracks
+  const auto net = placed_lattice(4, 10.0);
+  const auto result = route(net, options);
+  // Each of the 12 wires spans 10 um Manhattan = 2 bins.
+  EXPECT_NEAR(result.total_wirelength_um, 12 * 10.0, 12 * 5.0 + 1.0);
+  EXPECT_DOUBLE_EQ(result.total_overflow, 0.0);
+}
+
+TEST(Router, SameBinPinsUseDetailedLength) {
+  netlist::Netlist net;
+  for (int c = 0; c < 2; ++c) {
+    netlist::Cell cell;
+    cell.width = 0.5;
+    cell.height = 0.5;
+    cell.x = 0.1 * c;
+    cell.y = 0.2 * c;
+    net.cells.push_back(cell);
+  }
+  net.wires.push_back({{0, 1}, 1.0, 0.0});
+  RouterOptions options;
+  options.theta = 10.0;  // both pins in one bin
+  const auto result = route(net, options);
+  EXPECT_NEAR(result.total_wirelength_um, 0.1 + 0.2, 1e-9);
+}
+
+TEST(Router, DelayIncludesDeviceDelay) {
+  netlist::Netlist net = placed_lattice(2, 8.0);
+  for (auto& wire : net.wires) wire.device_delay_ns = 0.7;
+  const auto result = route(net);
+  for (const auto& wire : result.wires) EXPECT_GE(wire.delay_ns, 0.7);
+  EXPECT_GE(result.average_delay_ns, 0.7);
+  EXPECT_GE(result.max_delay_ns, result.average_delay_ns);
+}
+
+TEST(Router, ElmoreDelayGrowsWithDistance) {
+  // Two isolated wire pairs at different spans.
+  netlist::Netlist net;
+  for (double x : {0.0, 5.0, 100.0, 180.0}) {
+    netlist::Cell cell;
+    cell.width = 1.0;
+    cell.height = 1.0;
+    cell.x = x;
+    net.cells.push_back(cell);
+  }
+  net.wires.push_back({{0, 1}, 1.0, 0.0});
+  net.wires.push_back({{2, 3}, 1.0, 0.0});
+  const auto result = route(net);
+  EXPECT_GT(result.wires[1].delay_ns, result.wires[0].delay_ns);
+}
+
+TEST(Router, TightCapacityCausesRelaxationsButRoutesAll) {
+  // Many parallel wires across one cut with tiny capacity.
+  netlist::Netlist net;
+  const std::size_t pairs = 20;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    netlist::Cell a;
+    a.width = 0.5;
+    a.height = 0.5;
+    a.x = 0.0;
+    a.y = static_cast<double>(p) * 0.4;
+    netlist::Cell b = a;
+    b.x = 30.0;
+    net.cells.push_back(a);
+    net.cells.push_back(b);
+    net.wires.push_back({{2 * p, 2 * p + 1}, 1.0, 0.0});
+  }
+  RouterOptions options;
+  options.theta = 4.0;
+  options.capacity_per_um = 0.5;  // 2 wires per edge
+  const auto result = route(net, options);
+  EXPECT_EQ(result.wires.size(), pairs);
+  for (const auto& wire : result.wires) EXPECT_GT(wire.length_um, 0.0);
+  // With 20 wires and a 9-bin tall cut at capacity 2, relaxation or heavy
+  // detouring must have happened.
+  std::size_t relaxations = 0;
+  for (const auto& wire : result.wires) relaxations += wire.relaxations;
+  EXPECT_TRUE(relaxations > 0 || result.total_overflow > 0.0 ||
+              result.total_wirelength_um > pairs * 40.0);
+}
+
+TEST(Router, DeterministicAcrossRuns) {
+  const auto net = placed_lattice(4, 7.0);
+  const auto a = route(net);
+  const auto b = route(net);
+  EXPECT_DOUBLE_EQ(a.total_wirelength_um, b.total_wirelength_um);
+  EXPECT_DOUBLE_EQ(a.average_delay_ns, b.average_delay_ns);
+}
+
+TEST(Router, EndToEndAfterPlacement) {
+  util::Rng rng(1);
+  const auto network = nn::random_sparse(50, 0.12, rng);
+  const auto mapping = mapping::fullcro_mapping(network, {32, true});
+  auto net = netlist::build_netlist(mapping);
+  place::place(net);
+  const auto result = route(net);
+  EXPECT_EQ(result.wires.size(), net.wires.size());
+  // Routed length is at least the exact HPWL (paths cannot be shorter than
+  // Manhattan distance, modulo the bin quantization on same-bin pins).
+  const auto state = place::pack_positions(net);
+  EXPECT_GT(result.total_wirelength_um, 0.3 * place::hpwl(net, state));
+  // Congestion field is renderable and nonzero.
+  EXPECT_GT(result.grid.congestion_field().sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace autoncs::route

@@ -1,0 +1,86 @@
+#include "sim/ir_drop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace autoncs::sim {
+namespace {
+
+TEST(IrDrop, ZeroWireResistanceMeansNoDrop) {
+  IrDropOptions options;
+  options.segment_resistance_ohm = 0.0;
+  const auto report = analyze_row_ir_drop(64, 1.0, options);
+  EXPECT_DOUBLE_EQ(report.worst_relative_error, 0.0);
+  for (double v : report.device_voltage) EXPECT_DOUBLE_EQ(v, options.read_voltage);
+}
+
+TEST(IrDrop, SingleCellLadderIsExact) {
+  // One device at the end of one segment: V = Vread * R / (R + r).
+  IrDropOptions options;
+  options.segment_resistance_ohm = 1000.0;
+  options.on_resistance_ohm = 9000.0;
+  const auto report = analyze_row_ir_drop(1, 1.0, options);
+  ASSERT_EQ(report.device_voltage.size(), 1u);
+  EXPECT_NEAR(report.device_voltage[0], options.read_voltage * 0.9, 1e-9);
+  EXPECT_NEAR(report.worst_relative_error, 0.1, 1e-9);
+}
+
+TEST(IrDrop, ErrorGrowsWithSize) {
+  double prev = 0.0;
+  for (std::size_t size : {8u, 16u, 32u, 64u, 128u}) {
+    const auto report = analyze_row_ir_drop(size, 1.0);
+    EXPECT_GT(report.worst_relative_error, prev) << "size " << size;
+    prev = report.worst_relative_error;
+  }
+}
+
+TEST(IrDrop, ErrorGrowsWithUtilization) {
+  const auto sparse = analyze_row_ir_drop(64, 0.1);
+  const auto dense = analyze_row_ir_drop(64, 1.0);
+  EXPECT_GT(dense.worst_relative_error, sparse.worst_relative_error);
+}
+
+TEST(IrDrop, SuperlinearGrowth) {
+  // The worst-case drop scales ~quadratically with size (load x length).
+  const double e32 = analyze_row_ir_drop(32, 1.0).worst_relative_error;
+  const double e64 = analyze_row_ir_drop(64, 1.0).worst_relative_error;
+  EXPECT_GT(e64, 3.0 * e32);
+}
+
+TEST(IrDrop, WorstDeviceIsFarthest) {
+  const auto report = analyze_row_ir_drop(32, 1.0);
+  ASSERT_EQ(report.device_voltage.size(), 32u);
+  for (std::size_t k = 1; k < 32; ++k)
+    EXPECT_LE(report.device_voltage[k], report.device_voltage[k - 1] + 1e-15);
+}
+
+TEST(IrDrop, DefaultTechnologySupportsThePaperLimit) {
+  // With the default 45 nm-class constants, a 64x64 crossbar stays within
+  // a ~10% read-error budget but substantially larger arrays do not —
+  // the paper's [6] limit.
+  const std::size_t reliable = max_reliable_size(0.1);
+  EXPECT_GE(reliable, 64u);
+  EXPECT_LT(reliable, 160u);
+}
+
+TEST(IrDrop, MaxReliableSizeMonotoneInBudget) {
+  EXPECT_LE(max_reliable_size(0.05), max_reliable_size(0.1));
+  EXPECT_LE(max_reliable_size(0.1), max_reliable_size(0.3));
+}
+
+TEST(IrDrop, InvalidArgumentsThrow) {
+  EXPECT_THROW(analyze_row_ir_drop(0, 1.0), util::CheckError);
+  EXPECT_THROW(analyze_row_ir_drop(8, 0.0), util::CheckError);
+  EXPECT_THROW(analyze_row_ir_drop(8, 1.5), util::CheckError);
+  EXPECT_THROW(max_reliable_size(0.0), util::CheckError);
+}
+
+TEST(IrDrop, AverageBelowWorst) {
+  const auto report = analyze_row_ir_drop(48, 0.8);
+  EXPECT_LE(report.average_relative_error, report.worst_relative_error);
+  EXPECT_GT(report.average_relative_error, 0.0);
+}
+
+}  // namespace
+}  // namespace autoncs::sim

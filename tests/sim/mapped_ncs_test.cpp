@@ -1,0 +1,190 @@
+#include "sim/mapped_ncs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clustering/isc.hpp"
+#include "mapping/fullcro.hpp"
+#include "nn/generators.hpp"
+#include "nn/hopfield.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::sim {
+namespace {
+
+/// A small weighted network + its topology.
+struct Instance {
+  linalg::Matrix weights;
+  nn::ConnectionMatrix topology;
+};
+
+Instance random_instance(std::size_t n, double density, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Instance instance{linalg::Matrix(n, n), nn::ConnectionMatrix(n)};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j && rng.bernoulli(density)) {
+        instance.weights(i, j) = rng.uniform(-1.0, 1.0);
+        instance.topology.add(i, j);
+      }
+  return instance;
+}
+
+std::vector<double> random_state(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> state(n);
+  for (auto& v : state) v = rng.bernoulli(0.5) ? 1.0 : -1.0;
+  return state;
+}
+
+TEST(MappedNcs, FullCroMappingComputesExactField) {
+  const auto instance = random_instance(40, 0.15, 1);
+  const auto mapping = mapping::fullcro_mapping(instance.topology, {16, true});
+  const MappedNcs ncs(mapping, instance.weights);
+  const auto state = random_state(40, 2);
+  EXPECT_LT(ncs.field_error(instance.weights, state), 1e-12);
+}
+
+TEST(MappedNcs, IscMappingComputesExactField) {
+  const auto instance = random_instance(50, 0.12, 3);
+  clustering::IscOptions options;
+  options.crossbar_sizes = {4, 8, 16};
+  options.utilization_threshold = 0.05;
+  util::Rng rng(4);
+  const auto isc =
+      clustering::iterative_spectral_clustering(instance.topology, options, rng);
+  const auto mapping = mapping::mapping_from_isc(isc, 50);
+  const MappedNcs ncs(mapping, instance.weights);
+  EXPECT_EQ(ncs.crossbar_count(), isc.crossbars.size());
+  EXPECT_EQ(ncs.synapse_count(), isc.outliers.size());
+  for (std::uint64_t seed = 10; seed < 15; ++seed) {
+    const auto state = random_state(50, seed);
+    EXPECT_LT(ncs.field_error(instance.weights, state), 1e-12);
+  }
+}
+
+TEST(MappedNcs, FieldMatchesDirectProduct) {
+  const auto instance = random_instance(30, 0.2, 5);
+  const auto mapping = mapping::fullcro_mapping(instance.topology, {8, true});
+  const MappedNcs ncs(mapping, instance.weights);
+  const auto state = random_state(30, 6);
+  const auto field = ncs.compute_field(state);
+  for (std::size_t j = 0; j < 30; ++j) {
+    double direct = 0.0;
+    for (std::size_t i = 0; i < 30; ++i)
+      direct += instance.weights(i, j) * state[i];
+    EXPECT_NEAR(field[j], direct, 1e-12);
+  }
+}
+
+TEST(MappedNcs, MappedRecallMatchesLogicalRecall) {
+  // The headline topology-preservation property: recall through the
+  // mapped hardware equals recall through the logical Hopfield network.
+  util::Rng rng(7);
+  std::vector<nn::Pattern> patterns(3, nn::Pattern(60));
+  for (auto& p : patterns)
+    for (auto& bit : p) bit = rng.bernoulli(0.5) ? 1 : -1;
+  auto hopfield = nn::HopfieldNetwork::train(patterns);
+  hopfield.prune_to_sparsity(0.7);
+  const auto topology = hopfield.topology();
+
+  clustering::IscOptions options;
+  options.crossbar_sizes = {8, 16};
+  options.utilization_threshold = 0.02;
+  util::Rng isc_rng(8);
+  const auto isc =
+      clustering::iterative_spectral_clustering(topology, options, isc_rng);
+  const auto mapping = mapping::mapping_from_isc(isc, 60);
+  const MappedNcs ncs(mapping, hopfield.weights());
+
+  for (std::uint64_t trial = 0; trial < 5; ++trial) {
+    util::Rng noise(100 + trial);
+    const auto probe = nn::corrupt_pattern(patterns[trial % 3], 0.1, noise);
+    EXPECT_EQ(ncs.recall(probe), hopfield.recall(probe));
+  }
+}
+
+TEST(MappedNcs, QuantizationBoundsFieldError) {
+  const auto instance = random_instance(30, 0.2, 9);
+  const auto mapping = mapping::fullcro_mapping(instance.topology, {16, true});
+  DeviceOptions coarse;
+  coarse.conductance_levels = 4;
+  const MappedNcs quantized(mapping, instance.weights, coarse);
+  DeviceOptions fine;
+  fine.conductance_levels = 256;
+  const MappedNcs precise(mapping, instance.weights, fine);
+  const auto state = random_state(30, 10);
+  // Finer quantization -> smaller field error.
+  EXPECT_LT(precise.field_error(instance.weights, state),
+            quantized.field_error(instance.weights, state));
+  EXPECT_GT(quantized.field_error(instance.weights, state), 0.0);
+}
+
+TEST(MappedNcs, VariationPerturbsButPreservesSigns) {
+  const auto instance = random_instance(25, 0.25, 11);
+  const auto mapping = mapping::fullcro_mapping(instance.topology, {8, true});
+  DeviceOptions noisy;
+  noisy.variation_sigma = 0.1;
+  const MappedNcs ncs(mapping, instance.weights, noisy, 42);
+  const auto state = random_state(25, 12);
+  const double error = ncs.field_error(instance.weights, state);
+  EXPECT_GT(error, 0.0);
+  // Lognormal variation at sigma 0.1 stays within ~40% per device; the
+  // field error is bounded by the sum of perturbations.
+  double bound = 0.0;
+  for (std::size_t i = 0; i < 25; ++i)
+    for (std::size_t j = 0; j < 25; ++j)
+      bound += std::abs(instance.weights(i, j)) * 0.6;
+  EXPECT_LT(error, bound);
+}
+
+TEST(MappedNcs, StuckOffZeroesSomeDevices) {
+  const auto instance = random_instance(30, 0.3, 13);
+  const auto mapping = mapping::fullcro_mapping(instance.topology, {16, true});
+  DeviceOptions faulty;
+  faulty.stuck_off_rate = 1.0;  // every utilized device dead
+  const MappedNcs ncs(mapping, instance.weights, faulty);
+  const auto state = random_state(30, 14);
+  const auto field = ncs.compute_field(state);
+  for (double f : field) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+TEST(MappedNcs, DeterministicForFixedSeed) {
+  const auto instance = random_instance(20, 0.3, 15);
+  const auto mapping = mapping::fullcro_mapping(instance.topology, {8, true});
+  DeviceOptions noisy;
+  noisy.variation_sigma = 0.2;
+  const MappedNcs a(mapping, instance.weights, noisy, 77);
+  const MappedNcs b(mapping, instance.weights, noisy, 77);
+  const auto state = random_state(20, 16);
+  EXPECT_EQ(a.compute_field(state), b.compute_field(state));
+}
+
+TEST(MappedNcs, WeightMatrixShapeMismatchThrows) {
+  mapping::HybridMapping mapping;
+  mapping.neuron_count = 4;
+  EXPECT_THROW(MappedNcs(mapping, linalg::Matrix(3, 3)), util::CheckError);
+}
+
+TEST(CrossbarArray, ProgramsOnlyRealizedPoints) {
+  clustering::CrossbarInstance instance;
+  instance.size = 4;
+  instance.rows = {0, 1};
+  instance.cols = {1, 2};
+  instance.connections = {{0, 1}, {1, 2}};
+  linalg::Matrix weights(3, 3);
+  weights(0, 1) = 0.5;
+  weights(1, 2) = -0.25;
+  weights(0, 2) = 9.0;  // not realized by this crossbar
+  util::Rng rng(1);
+  const CrossbarArray array(instance, weights, {}, rng);
+  EXPECT_EQ(array.programmed_points(), 2u);
+  EXPECT_DOUBLE_EQ(array.weight(0, 0), 0.5);    // (0 -> 1)
+  EXPECT_DOUBLE_EQ(array.weight(1, 1), -0.25);  // (1 -> 2)
+  EXPECT_DOUBLE_EQ(array.weight(0, 1), 0.0);    // unrealized point
+}
+
+}  // namespace
+}  // namespace autoncs::sim

@@ -1,0 +1,92 @@
+#include "sim/programming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace autoncs::sim {
+namespace {
+
+TEST(Programming, ConvergesForReasonableSettings) {
+  util::Rng rng(1);
+  ProgrammingOptions options;
+  const auto result = program_device(1.0, options, rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.final_relative_error, options.tolerance);
+  EXPECT_GT(result.pulses, 0u);
+}
+
+TEST(Programming, TighterToleranceNeedsMorePulses) {
+  ProgrammingOptions loose;
+  loose.tolerance = 0.2;
+  ProgrammingOptions tight;
+  tight.tolerance = 0.01;
+  double loose_sum = 0.0;
+  double tight_sum = 0.0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    util::Rng a(seed);
+    util::Rng b(seed);
+    loose_sum += static_cast<double>(program_device(1.0, loose, a).pulses);
+    tight_sum += static_cast<double>(program_device(1.0, tight, b).pulses);
+  }
+  EXPECT_GT(tight_sum, loose_sum);
+}
+
+TEST(Programming, NoiselessPulsesAreDeterministic) {
+  ProgrammingOptions options;
+  options.pulse_variation_sigma = 0.0;
+  util::Rng rng(3);
+  const auto a = program_device(2.5, options, rng);
+  util::Rng rng2(99);  // RNG irrelevant without variation
+  const auto b = program_device(2.5, options, rng2);
+  EXPECT_EQ(a.pulses, b.pulses);
+  EXPECT_TRUE(a.converged);
+}
+
+TEST(Programming, GivesUpAtMaxPulses) {
+  ProgrammingOptions options;
+  options.tolerance = 1e-9;  // unreachable with 8% steps
+  options.max_pulses = 20;
+  util::Rng rng(5);
+  const auto result = program_device(1.0, options, rng);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.pulses, 20u);
+}
+
+TEST(Programming, OvershootIsCorrectedByDepression) {
+  // Large pulses overshoot the target; the loop must come back down.
+  ProgrammingOptions options;
+  options.pulse_step = 0.5;
+  options.tolerance = 0.08;
+  util::Rng rng(7);
+  const auto result = program_device(1.0, options, rng);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(Programming, InvalidArgumentsThrow) {
+  util::Rng rng(1);
+  EXPECT_THROW(program_device(0.0, {}, rng), util::CheckError);
+  ProgrammingOptions bad;
+  bad.pulse_step = 0.0;
+  EXPECT_THROW(program_device(1.0, bad, rng), util::CheckError);
+}
+
+TEST(ProgramArray, SkipsZerosAndAggregates) {
+  util::Rng rng(9);
+  const std::vector<double> targets = {1.0, 0.0, 0.5, -0.8, 0.0};
+  const auto stats = program_array(targets, {}, rng);
+  EXPECT_EQ(stats.devices, 3u);  // zeros skipped; sign uses magnitude
+  EXPECT_GT(stats.mean_pulses, 0.0);
+  EXPECT_GE(static_cast<double>(stats.max_pulses), stats.mean_pulses);
+  EXPECT_DOUBLE_EQ(stats.failure_rate, 0.0);
+}
+
+TEST(ProgramArray, EmptyTargets) {
+  util::Rng rng(11);
+  const auto stats = program_array({}, {}, rng);
+  EXPECT_EQ(stats.devices, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_pulses, 0.0);
+}
+
+}  // namespace
+}  // namespace autoncs::sim

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "autoncs/energy.hpp"
+#include "tech/energy.hpp"
+#include "util/check.hpp"
+
+namespace autoncs {
+namespace {
+
+TEST(EnergyModel, DeviceReadEnergyHandComputed) {
+  tech::EnergyModel model;
+  model.read_voltage_v = 0.5;
+  model.device_resistance_ohm = 500e3;
+  model.read_pulse_ns = 10.0;
+  // P = 0.25 / 5e5 = 0.5 uW; E = 0.5 uW * 10 ns = 5 fJ.
+  EXPECT_NEAR(model.device_read_energy_fj(), 5.0, 1e-9);
+}
+
+TEST(EnergyModel, WireSwitchingEnergyHandComputed) {
+  tech::EnergyModel model;
+  model.activity_factor = 1.0;
+  model.supply_voltage_v = 1.0;
+  // 1/2 * (0.1 fF/um * 100 um) * 1 V^2 = 5 fJ.
+  EXPECT_NEAR(model.wire_switching_energy_fj(100.0, 0.1), 5.0, 1e-9);
+}
+
+TEST(EnergyModel, InvalidInputsThrow) {
+  tech::EnergyModel model;
+  model.device_resistance_ohm = 0.0;
+  EXPECT_THROW(model.device_read_energy_fj(), util::CheckError);
+  tech::EnergyModel ok;
+  EXPECT_THROW(ok.wire_switching_energy_fj(-1.0, 0.1), util::CheckError);
+}
+
+TEST(EstimateEnergy, CountsEveryComponent) {
+  mapping::HybridMapping mapping;
+  mapping.neuron_count = 4;
+  mapping::CrossbarInstance xbar;
+  xbar.size = 4;
+  xbar.rows = {0, 1};
+  xbar.cols = {0, 1};
+  xbar.connections = {{0, 1}, {1, 0}};  // two devices, two used rows
+  mapping.crossbars.push_back(xbar);
+  mapping.discrete_synapses = {{2, 3}};
+
+  route::RoutingResult routing;
+  route::RoutedWire wire;
+  wire.length_um = 100.0;
+  routing.wires.push_back(wire);
+
+  tech::EnergyModel model;  // device energy = 5 fJ (defaults)
+  const auto report =
+      estimate_energy(mapping, routing, tech::default_tech(), model);
+  EXPECT_NEAR(report.crossbar_device_fj, 10.0, 1e-9);
+  EXPECT_NEAR(report.row_driver_fj, 4.0, 1e-9);  // 2 used rows * 2 fJ
+  EXPECT_NEAR(report.synapse_fj, 5.0, 1e-9);
+  // wire: 0.5 activity * 0.5 * 0.1 fF/um * 100 um * 0.81 V^2 = 2.025 fJ.
+  EXPECT_NEAR(report.wire_fj, 2.025, 1e-9);
+  EXPECT_NEAR(report.total_fj(), 10.0 + 4.0 + 5.0 + 2.025, 1e-9);
+}
+
+TEST(EstimateEnergy, EmptyMappingIsZero) {
+  mapping::HybridMapping mapping;
+  route::RoutingResult routing;
+  const auto report = estimate_energy(mapping, routing, tech::default_tech());
+  EXPECT_DOUBLE_EQ(report.total_fj(), 0.0);
+}
+
+}  // namespace
+}  // namespace autoncs

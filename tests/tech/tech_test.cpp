@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "tech/cost.hpp"
+#include "tech/tech_model.hpp"
+#include "util/check.hpp"
+
+namespace autoncs::tech {
+namespace {
+
+TEST(TechModel, CrossbarAreaGrowsQuadratically) {
+  const TechnologyModel& t = default_tech();
+  const double a16 = t.crossbar_area_um2(16);
+  const double a32 = t.crossbar_area_um2(32);
+  const double a64 = t.crossbar_area_um2(64);
+  EXPECT_GT(a32, a16);
+  EXPECT_GT(a64, a32);
+  // Between quadratic (periphery-free) and the padded square.
+  EXPECT_GT(a64 / a16, 4.0);
+  EXPECT_LT(a64 / a16, 16.0);
+}
+
+TEST(TechModel, CrossbarSideIncludesPeriphery) {
+  const TechnologyModel& t = default_tech();
+  EXPECT_DOUBLE_EQ(t.crossbar_side_um(64),
+                   64.0 * t.memristor_pitch_um + t.crossbar_periphery_um);
+}
+
+TEST(TechModel, CrossbarDelayQuadraticInSize) {
+  const TechnologyModel& t = default_tech();
+  EXPECT_DOUBLE_EQ(t.crossbar_delay_ns(64), t.crossbar_delay_at_64_ns);
+  EXPECT_NEAR(t.crossbar_delay_ns(32), t.crossbar_delay_at_64_ns / 4.0, 1e-12);
+  EXPECT_NEAR(t.crossbar_delay_ns(16), t.crossbar_delay_at_64_ns / 16.0, 1e-12);
+}
+
+TEST(TechModel, DeviceAreasPositiveAndOrdered) {
+  const TechnologyModel& t = default_tech();
+  EXPECT_GT(t.synapse_area_um2(), 0.0);
+  EXPECT_GT(t.neuron_area_um2(), t.synapse_area_um2());
+  EXPECT_GT(t.crossbar_area_um2(16), t.neuron_area_um2());
+}
+
+TEST(TechModel, WireDelayElmoreQuadratic) {
+  const TechnologyModel& t = default_tech();
+  const double d100 = t.wire_delay_ns(100.0);
+  const double d200 = t.wire_delay_ns(200.0);
+  EXPECT_NEAR(d200 / d100, 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(t.wire_delay_ns(0.0), 0.0);
+}
+
+TEST(TechModel, WireDelayRealisticMagnitude) {
+  // 100 um at 45 nm-ish RC: tens of picoseconds, not nanoseconds.
+  const TechnologyModel& t = default_tech();
+  const double d = t.wire_delay_ns(100.0);
+  EXPECT_GT(d, 1e-5);
+  EXPECT_LT(d, 0.1);
+}
+
+TEST(TechModel, InvalidInputsThrow) {
+  const TechnologyModel& t = default_tech();
+  EXPECT_THROW(t.crossbar_area_um2(0), util::CheckError);
+  EXPECT_THROW(t.crossbar_delay_ns(0), util::CheckError);
+  EXPECT_THROW(t.wire_delay_ns(-1.0), util::CheckError);
+}
+
+TEST(Cost, CombinedIsWeightedSum) {
+  PhysicalCost cost;
+  cost.total_wirelength_um = 100.0;
+  cost.area_um2 = 50.0;
+  cost.average_delay_ns = 2.0;
+  EXPECT_DOUBLE_EQ(cost.combined(), 152.0);  // alpha=beta=delta=1 (paper)
+  CostWeights weights{2.0, 0.5, 10.0};
+  EXPECT_DOUBLE_EQ(cost.combined(weights), 200.0 + 25.0 + 20.0);
+}
+
+TEST(Cost, ReductionDefinition) {
+  EXPECT_DOUBLE_EQ(reduction(200.0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(reduction(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(reduction(100.0, 150.0), -0.5);
+  EXPECT_DOUBLE_EQ(reduction(0.0, 10.0), 0.0);  // guarded
+}
+
+}  // namespace
+}  // namespace autoncs::tech

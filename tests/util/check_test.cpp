@@ -1,0 +1,45 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace autoncs::util {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(AUTONCS_CHECK(1 + 1 == 2, "math works"));
+}
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(AUTONCS_CHECK(false, "boom"), CheckError);
+}
+
+TEST(Check, MessageContainsExpressionAndText) {
+  try {
+    AUTONCS_CHECK(2 > 3, "two is not more than three");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("two is not more than three"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckErrorIsLogicError) {
+  EXPECT_THROW(AUTONCS_CHECK(false, "x"), std::logic_error);
+}
+
+TEST(Check, ExpressionEvaluatedOnce) {
+  int calls = 0;
+  auto bump = [&] {
+    ++calls;
+    return true;
+  };
+  AUTONCS_CHECK(bump(), "side effect counted once");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace autoncs::util

@@ -1,0 +1,81 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace autoncs::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("123.5"), "123.5");
+}
+
+TEST(CsvEscape, CommaTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuotesAreDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const auto path = temp_path("basic.csv");
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.row({"1", "2"});
+    csv.row({"3", "4"});
+    EXPECT_TRUE(csv.ok());
+  }
+  EXPECT_EQ(slurp(path), "x,y\n1,2\n3,4\n");
+}
+
+TEST(CsvWriter, RowWidthMismatchThrows) {
+  CsvWriter csv(temp_path("width.csv"), {"a", "b", "c"});
+  EXPECT_THROW(csv.row({"1", "2"}), CheckError);
+}
+
+TEST(CsvWriter, EmptyHeaderThrows) {
+  EXPECT_THROW(CsvWriter(temp_path("empty.csv"), {}), CheckError);
+}
+
+TEST(CsvWriter, RowValuesFormatsDoubles) {
+  const auto path = temp_path("values.csv");
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row_values({1.5, 2.25});
+  }
+  EXPECT_EQ(slurp(path), "a,b\n1.5,2.25\n");
+}
+
+TEST(CsvWriter, QuotedFieldRoundTrips) {
+  const auto path = temp_path("quoted.csv");
+  {
+    CsvWriter csv(path, {"text"});
+    csv.row({"with,comma"});
+  }
+  EXPECT_EQ(slurp(path), "text\n\"with,comma\"\n");
+}
+
+}  // namespace
+}  // namespace autoncs::util

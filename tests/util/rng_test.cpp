@@ -1,0 +1,211 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace autoncs::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitMix64KnownValues) {
+  // Reference values from the SplitMix64 definition with state 0.
+  std::uint64_t state = 0;
+  EXPECT_EQ(split_mix64(state), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(split_mix64(state), 0x6e789e6aa1b965f4ull);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), CheckError);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntInvalidRangeThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), CheckError);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  const int n = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(23);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> data(100);
+  for (int i = 0; i < 100; ++i) data[i] = i;
+  auto copy = data;
+  rng.shuffle(std::span<int>(copy));
+  EXPECT_NE(copy, data);  // astronomically unlikely to be identity
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, data);
+}
+
+TEST(Rng, ShuffleSmallSpansAreSafe) {
+  Rng rng(41);
+  std::vector<int> empty;
+  rng.shuffle(std::span<int>(empty));
+  std::vector<int> one = {5};
+  rng.shuffle(std::span<int>(one));
+  EXPECT_EQ(one[0], 5);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(43);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleFullPopulation) {
+  Rng rng(47);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleTooManyThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), CheckError);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(53);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformMeanNearHalf) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  for (int i = 0; i < 5000; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / 5000.0, 0.5, 0.03);
+}
+
+TEST_P(RngSeedSweep, BitBalance) {
+  // Each of the 64 output bits should be set about half the time.
+  Rng rng(GetParam());
+  std::array<int, 64> counts{};
+  const int draws = 4096;
+  for (int i = 0; i < draws; ++i) {
+    std::uint64_t v = rng.next_u64();
+    for (int b = 0; b < 64; ++b) counts[static_cast<std::size_t>(b)] += (v >> b) & 1;
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(counts[static_cast<std::size_t>(b)] / double(draws), 0.5, 0.05)
+        << "bit " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 42ull, 2015ull,
+                                           0xdeadbeefull, ~0ull));
+
+}  // namespace
+}  // namespace autoncs::util

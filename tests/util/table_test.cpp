@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace autoncs::util {
+namespace {
+
+TEST(ConsoleTable, RendersHeaderAndRows) {
+  ConsoleTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("| 22"), std::string::npos);
+}
+
+TEST(ConsoleTable, ColumnsAligned) {
+  ConsoleTable table({"a", "b"});
+  table.add_row({"longvalue", "x"});
+  const std::string out = table.render();
+  // Every line has the same width.
+  std::istringstream iss(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(iss, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(ConsoleTable, ShortRowsPadded) {
+  ConsoleTable table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_NE(table.render().find("only"), std::string::npos);
+}
+
+TEST(ConsoleTable, SeparatorAddsRule) {
+  ConsoleTable table({"x"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string out = table.render();
+  // Rules: top, after header, separator, bottom = 4.
+  std::size_t rules = 0;
+  std::istringstream iss(out);
+  std::string line;
+  while (std::getline(iss, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt_double(-1.0, 1), "-1.0");
+}
+
+TEST(FmtPercent, FormatsFraction) {
+  EXPECT_EQ(fmt_percent(0.478), "47.80%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+  EXPECT_EQ(fmt_percent(0.0), "0.00%");
+}
+
+}  // namespace
+}  // namespace autoncs::util

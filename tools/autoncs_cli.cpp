@@ -1,0 +1,191 @@
+// autoncs — command-line front end for the flow.
+//
+//   autoncs generate --kind testbench --id 2 --out net.ncsnet
+//   autoncs generate --kind random --n 200 --density 0.08 --out net.ncsnet
+//   autoncs generate --kind ldpc --variables 324 --checks 162 --out net.ncsnet
+//   autoncs info net.ncsnet
+//   autoncs flow net.ncsnet [--baseline] [--seed N] [--max-size 64]
+//                            [--layout] [--csv out.csv]
+//
+// `flow` runs AutoNCS (and optionally the FullCro baseline) on a network
+// file and prints the physical cost; `generate` writes the built-in
+// network families to disk; `info` prints topology statistics.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "autoncs/pipeline.hpp"
+#include "autoncs/report.hpp"
+#include "nn/generators.hpp"
+#include "nn/io.hpp"
+#include "nn/stats.hpp"
+#include "nn/testbench.hpp"
+#include "util/heatmap.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace autoncs;
+
+/// Tiny flag parser: --name value pairs plus positional arguments.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string name = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          args.flags[name] = argv[++i];
+        } else {
+          args.flags[name] = "1";
+        }
+      } else {
+        args.positional.push_back(arg);
+      }
+    }
+    return args;
+  }
+
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  long get_long(const std::string& name, long fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::atol(it->second.c_str());
+  }
+  double get_double(const std::string& name, double fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool has(const std::string& name) const { return flags.contains(name); }
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  autoncs generate --kind testbench|random|block|ldpc "
+               "[options] --out FILE\n"
+               "  autoncs info FILE\n"
+               "  autoncs flow FILE [--baseline] [--seed N] [--max-size S] "
+               "[--layout] \n"
+               "see tools/autoncs_cli.cpp for the full option list\n");
+  return 2;
+}
+
+int cmd_generate(const Args& args) {
+  const std::string kind = args.get("kind", "testbench");
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out FILE is required\n");
+    return 2;
+  }
+  util::Rng rng(static_cast<std::uint64_t>(args.get_long("seed", 2015)));
+  nn::ConnectionMatrix network;
+  if (kind == "testbench") {
+    const auto id = static_cast<int>(args.get_long("id", 1));
+    network = nn::build_testbench(id).topology;
+  } else if (kind == "random") {
+    network = nn::random_sparse(
+        static_cast<std::size_t>(args.get_long("n", 200)),
+        args.get_double("density", 0.08), rng);
+  } else if (kind == "block") {
+    nn::BlockSparseOptions options;
+    options.blocks = static_cast<std::size_t>(args.get_long("blocks", 8));
+    options.intra_density = args.get_double("intra", 0.4);
+    options.inter_density = args.get_double("inter", 0.005);
+    network = nn::block_sparse(
+        static_cast<std::size_t>(args.get_long("n", 200)), options, rng);
+  } else if (kind == "ldpc") {
+    nn::LdpcOptions options;
+    options.variable_nodes =
+        static_cast<std::size_t>(args.get_long("variables", 324));
+    options.check_nodes =
+        static_cast<std::size_t>(args.get_long("checks", 162));
+    options.row_weight =
+        static_cast<std::size_t>(args.get_long("row-weight", 7));
+    network = nn::ldpc_like(options, rng);
+  } else {
+    std::fprintf(stderr, "generate: unknown kind '%s'\n", kind.c_str());
+    return 2;
+  }
+  if (!nn::save_network(network, out)) {
+    std::fprintf(stderr, "generate: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu neurons, %zu connections, sparsity %.2f%%\n",
+              out.c_str(), network.size(), network.connection_count(),
+              100.0 * network.sparsity());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto network = nn::load_network(args.positional[0]);
+  if (!network) {
+    std::fprintf(stderr, "info: cannot read %s\n", args.positional[0].c_str());
+    return 1;
+  }
+  const auto stats = nn::compute_stats(*network);
+  std::printf("neurons:            %zu\n", stats.neurons);
+  std::printf("connections:        %zu\n", stats.connections);
+  std::printf("sparsity:           %.2f%%\n", 100.0 * stats.sparsity);
+  std::printf("active neurons:     %zu\n", network->active_neurons().size());
+  std::printf("mean fanin+fanout:  %.2f\n", stats.mean_fanin_fanout);
+  std::printf("max fanin+fanout:   %zu\n", stats.max_fanin_fanout);
+  std::printf("%s", util::render_ascii(network->to_field(), 24, 48).c_str());
+  return 0;
+}
+
+int cmd_flow(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto network = nn::load_network(args.positional[0]);
+  if (!network) {
+    std::fprintf(stderr, "flow: cannot read %s\n", args.positional[0].c_str());
+    return 1;
+  }
+  FlowConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_long("seed", 2015));
+  const auto max_size = static_cast<std::size_t>(args.get_long("max-size", 64));
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 16; s <= max_size; s += 4) sizes.push_back(s);
+  if (!sizes.empty()) config.isc.crossbar_sizes = sizes;
+  config.baseline_crossbar_size = max_size;
+
+  const auto ours = run_autoncs(*network, config);
+  std::printf("%s\n", summarize_flow(ours, "AutoNCS").c_str());
+  if (args.has("layout")) {
+    std::printf("%s", util::render_ascii(layout_field(ours.netlist, 2.0), 26, 52)
+                          .c_str());
+  }
+  if (args.has("baseline")) {
+    const auto baseline = run_fullcro(*network, config);
+    std::printf("%s\n", summarize_flow(baseline, "FullCro").c_str());
+    const auto cmp = compare_costs(ours, baseline);
+    std::printf("reductions: wirelength %s, area %s, delay %s\n",
+                util::fmt_percent(cmp.wirelength_reduction()).c_str(),
+                util::fmt_percent(cmp.area_reduction()).c_str(),
+                util::fmt_percent(cmp.delay_reduction()).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = Args::parse(argc, argv);
+  if (command == "generate") return cmd_generate(args);
+  if (command == "info") return cmd_info(args);
+  if (command == "flow") return cmd_flow(args);
+  return usage();
+}
