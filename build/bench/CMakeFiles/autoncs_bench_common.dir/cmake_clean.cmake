@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoncs_bench_common.dir/common.cpp.o"
+  "CMakeFiles/autoncs_bench_common.dir/common.cpp.o.d"
+  "libautoncs_bench_common.a"
+  "libautoncs_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoncs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

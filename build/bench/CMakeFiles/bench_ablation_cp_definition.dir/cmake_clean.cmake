@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cp_definition.dir/bench_ablation_cp_definition.cpp.o"
+  "CMakeFiles/bench_ablation_cp_definition.dir/bench_ablation_cp_definition.cpp.o.d"
+  "bench_ablation_cp_definition"
+  "bench_ablation_cp_definition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cp_definition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_size_set.dir/bench_ablation_size_set.cpp.o"
+  "CMakeFiles/bench_ablation_size_set.dir/bench_ablation_size_set.cpp.o.d"
+  "bench_ablation_size_set"
+  "bench_ablation_size_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_size_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_wire_weights.cpp" "bench/CMakeFiles/bench_ablation_wire_weights.dir/bench_ablation_wire_weights.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_wire_weights.dir/bench_ablation_wire_weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/autoncs_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autoncs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/autoncs/CMakeFiles/autoncs_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/autoncs_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/autoncs_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/autoncs_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/autoncs_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/autoncs_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/autoncs_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autoncs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/autoncs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoncs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

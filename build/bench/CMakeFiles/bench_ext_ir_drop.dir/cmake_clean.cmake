@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ir_drop.dir/bench_ext_ir_drop.cpp.o"
+  "CMakeFiles/bench_ext_ir_drop.dir/bench_ext_ir_drop.cpp.o.d"
+  "bench_ext_ir_drop"
+  "bench_ext_ir_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ir_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_nonideality.dir/bench_ext_nonideality.cpp.o"
+  "CMakeFiles/bench_ext_nonideality.dir/bench_ext_nonideality.cpp.o.d"
+  "bench_ext_nonideality"
+  "bench_ext_nonideality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_nonideality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

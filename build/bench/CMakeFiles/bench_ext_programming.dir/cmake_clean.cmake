@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_programming.dir/bench_ext_programming.cpp.o"
+  "CMakeFiles/bench_ext_programming.dir/bench_ext_programming.cpp.o.d"
+  "bench_ext_programming"
+  "bench_ext_programming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_programming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_msc.dir/bench_fig3_msc.cpp.o"
+  "CMakeFiles/bench_fig3_msc.dir/bench_fig3_msc.cpp.o.d"
+  "bench_fig3_msc"
+  "bench_fig3_msc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_msc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_gcp_vs_traversing.dir/bench_fig4_gcp_vs_traversing.cpp.o"
+  "CMakeFiles/bench_fig4_gcp_vs_traversing.dir/bench_fig4_gcp_vs_traversing.cpp.o.d"
+  "bench_fig4_gcp_vs_traversing"
+  "bench_fig4_gcp_vs_traversing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_gcp_vs_traversing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7to9_isc_testbenches.dir/bench_fig7to9_isc_testbenches.cpp.o"
+  "CMakeFiles/bench_fig7to9_isc_testbenches.dir/bench_fig7to9_isc_testbenches.cpp.o.d"
+  "bench_fig7to9_isc_testbenches"
+  "bench_fig7to9_isc_testbenches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7to9_isc_testbenches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedforward_dnn.dir/feedforward_dnn.cpp.o"
+  "CMakeFiles/feedforward_dnn.dir/feedforward_dnn.cpp.o.d"
+  "feedforward_dnn"
+  "feedforward_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedforward_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

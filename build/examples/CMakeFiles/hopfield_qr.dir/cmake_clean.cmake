@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopfield_qr.dir/hopfield_qr.cpp.o"
+  "CMakeFiles/hopfield_qr.dir/hopfield_qr.cpp.o.d"
+  "hopfield_qr"
+  "hopfield_qr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopfield_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

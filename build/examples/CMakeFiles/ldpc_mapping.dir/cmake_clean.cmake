@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldpc_mapping.dir/ldpc_mapping.cpp.o"
+  "CMakeFiles/ldpc_mapping.dir/ldpc_mapping.cpp.o.d"
+  "ldpc_mapping"
+  "ldpc_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldpc_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autoncs/energy.cpp" "src/autoncs/CMakeFiles/autoncs_flow.dir/energy.cpp.o" "gcc" "src/autoncs/CMakeFiles/autoncs_flow.dir/energy.cpp.o.d"
+  "/root/repo/src/autoncs/export.cpp" "src/autoncs/CMakeFiles/autoncs_flow.dir/export.cpp.o" "gcc" "src/autoncs/CMakeFiles/autoncs_flow.dir/export.cpp.o.d"
+  "/root/repo/src/autoncs/pipeline.cpp" "src/autoncs/CMakeFiles/autoncs_flow.dir/pipeline.cpp.o" "gcc" "src/autoncs/CMakeFiles/autoncs_flow.dir/pipeline.cpp.o.d"
+  "/root/repo/src/autoncs/report.cpp" "src/autoncs/CMakeFiles/autoncs_flow.dir/report.cpp.o" "gcc" "src/autoncs/CMakeFiles/autoncs_flow.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapping/CMakeFiles/autoncs_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/autoncs_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/autoncs_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/autoncs_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/autoncs_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/autoncs_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autoncs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoncs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/autoncs_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

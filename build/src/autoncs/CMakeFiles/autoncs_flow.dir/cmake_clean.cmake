@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoncs_flow.dir/energy.cpp.o"
+  "CMakeFiles/autoncs_flow.dir/energy.cpp.o.d"
+  "CMakeFiles/autoncs_flow.dir/export.cpp.o"
+  "CMakeFiles/autoncs_flow.dir/export.cpp.o.d"
+  "CMakeFiles/autoncs_flow.dir/pipeline.cpp.o"
+  "CMakeFiles/autoncs_flow.dir/pipeline.cpp.o.d"
+  "CMakeFiles/autoncs_flow.dir/report.cpp.o"
+  "CMakeFiles/autoncs_flow.dir/report.cpp.o.d"
+  "libautoncs_flow.a"
+  "libautoncs_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoncs_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

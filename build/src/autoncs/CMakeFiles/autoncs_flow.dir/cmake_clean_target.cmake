@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautoncs_flow.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/agglomerative.cpp" "src/clustering/CMakeFiles/autoncs_clustering.dir/agglomerative.cpp.o" "gcc" "src/clustering/CMakeFiles/autoncs_clustering.dir/agglomerative.cpp.o.d"
+  "/root/repo/src/clustering/gcp.cpp" "src/clustering/CMakeFiles/autoncs_clustering.dir/gcp.cpp.o" "gcc" "src/clustering/CMakeFiles/autoncs_clustering.dir/gcp.cpp.o.d"
+  "/root/repo/src/clustering/isc.cpp" "src/clustering/CMakeFiles/autoncs_clustering.dir/isc.cpp.o" "gcc" "src/clustering/CMakeFiles/autoncs_clustering.dir/isc.cpp.o.d"
+  "/root/repo/src/clustering/metrics.cpp" "src/clustering/CMakeFiles/autoncs_clustering.dir/metrics.cpp.o" "gcc" "src/clustering/CMakeFiles/autoncs_clustering.dir/metrics.cpp.o.d"
+  "/root/repo/src/clustering/msc.cpp" "src/clustering/CMakeFiles/autoncs_clustering.dir/msc.cpp.o" "gcc" "src/clustering/CMakeFiles/autoncs_clustering.dir/msc.cpp.o.d"
+  "/root/repo/src/clustering/preference.cpp" "src/clustering/CMakeFiles/autoncs_clustering.dir/preference.cpp.o" "gcc" "src/clustering/CMakeFiles/autoncs_clustering.dir/preference.cpp.o.d"
+  "/root/repo/src/clustering/traversing.cpp" "src/clustering/CMakeFiles/autoncs_clustering.dir/traversing.cpp.o" "gcc" "src/clustering/CMakeFiles/autoncs_clustering.dir/traversing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/autoncs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/autoncs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoncs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

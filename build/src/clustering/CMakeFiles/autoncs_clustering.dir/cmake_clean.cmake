@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoncs_clustering.dir/agglomerative.cpp.o"
+  "CMakeFiles/autoncs_clustering.dir/agglomerative.cpp.o.d"
+  "CMakeFiles/autoncs_clustering.dir/gcp.cpp.o"
+  "CMakeFiles/autoncs_clustering.dir/gcp.cpp.o.d"
+  "CMakeFiles/autoncs_clustering.dir/isc.cpp.o"
+  "CMakeFiles/autoncs_clustering.dir/isc.cpp.o.d"
+  "CMakeFiles/autoncs_clustering.dir/metrics.cpp.o"
+  "CMakeFiles/autoncs_clustering.dir/metrics.cpp.o.d"
+  "CMakeFiles/autoncs_clustering.dir/msc.cpp.o"
+  "CMakeFiles/autoncs_clustering.dir/msc.cpp.o.d"
+  "CMakeFiles/autoncs_clustering.dir/preference.cpp.o"
+  "CMakeFiles/autoncs_clustering.dir/preference.cpp.o.d"
+  "CMakeFiles/autoncs_clustering.dir/traversing.cpp.o"
+  "CMakeFiles/autoncs_clustering.dir/traversing.cpp.o.d"
+  "libautoncs_clustering.a"
+  "libautoncs_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoncs_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoncs_linalg.dir/generalized_eigen.cpp.o"
+  "CMakeFiles/autoncs_linalg.dir/generalized_eigen.cpp.o.d"
+  "CMakeFiles/autoncs_linalg.dir/kmeans.cpp.o"
+  "CMakeFiles/autoncs_linalg.dir/kmeans.cpp.o.d"
+  "CMakeFiles/autoncs_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/autoncs_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/autoncs_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/autoncs_linalg.dir/sparse.cpp.o.d"
+  "CMakeFiles/autoncs_linalg.dir/symmetric_eigen.cpp.o"
+  "CMakeFiles/autoncs_linalg.dir/symmetric_eigen.cpp.o.d"
+  "libautoncs_linalg.a"
+  "libautoncs_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoncs_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

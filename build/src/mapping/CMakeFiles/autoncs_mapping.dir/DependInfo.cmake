@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/fullcro.cpp" "src/mapping/CMakeFiles/autoncs_mapping.dir/fullcro.cpp.o" "gcc" "src/mapping/CMakeFiles/autoncs_mapping.dir/fullcro.cpp.o.d"
+  "/root/repo/src/mapping/hybrid_mapping.cpp" "src/mapping/CMakeFiles/autoncs_mapping.dir/hybrid_mapping.cpp.o" "gcc" "src/mapping/CMakeFiles/autoncs_mapping.dir/hybrid_mapping.cpp.o.d"
+  "/root/repo/src/mapping/stats.cpp" "src/mapping/CMakeFiles/autoncs_mapping.dir/stats.cpp.o" "gcc" "src/mapping/CMakeFiles/autoncs_mapping.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clustering/CMakeFiles/autoncs_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autoncs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoncs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/autoncs_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

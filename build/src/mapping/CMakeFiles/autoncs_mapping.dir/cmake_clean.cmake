@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoncs_mapping.dir/fullcro.cpp.o"
+  "CMakeFiles/autoncs_mapping.dir/fullcro.cpp.o.d"
+  "CMakeFiles/autoncs_mapping.dir/hybrid_mapping.cpp.o"
+  "CMakeFiles/autoncs_mapping.dir/hybrid_mapping.cpp.o.d"
+  "CMakeFiles/autoncs_mapping.dir/stats.cpp.o"
+  "CMakeFiles/autoncs_mapping.dir/stats.cpp.o.d"
+  "libautoncs_mapping.a"
+  "libautoncs_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoncs_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

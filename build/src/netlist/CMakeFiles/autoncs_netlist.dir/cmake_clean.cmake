@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoncs_netlist.dir/builder.cpp.o"
+  "CMakeFiles/autoncs_netlist.dir/builder.cpp.o.d"
+  "CMakeFiles/autoncs_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/autoncs_netlist.dir/netlist.cpp.o.d"
+  "libautoncs_netlist.a"
+  "libautoncs_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoncs_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/connection_matrix.cpp" "src/nn/CMakeFiles/autoncs_nn.dir/connection_matrix.cpp.o" "gcc" "src/nn/CMakeFiles/autoncs_nn.dir/connection_matrix.cpp.o.d"
+  "/root/repo/src/nn/generators.cpp" "src/nn/CMakeFiles/autoncs_nn.dir/generators.cpp.o" "gcc" "src/nn/CMakeFiles/autoncs_nn.dir/generators.cpp.o.d"
+  "/root/repo/src/nn/hopfield.cpp" "src/nn/CMakeFiles/autoncs_nn.dir/hopfield.cpp.o" "gcc" "src/nn/CMakeFiles/autoncs_nn.dir/hopfield.cpp.o.d"
+  "/root/repo/src/nn/io.cpp" "src/nn/CMakeFiles/autoncs_nn.dir/io.cpp.o" "gcc" "src/nn/CMakeFiles/autoncs_nn.dir/io.cpp.o.d"
+  "/root/repo/src/nn/qr_pattern.cpp" "src/nn/CMakeFiles/autoncs_nn.dir/qr_pattern.cpp.o" "gcc" "src/nn/CMakeFiles/autoncs_nn.dir/qr_pattern.cpp.o.d"
+  "/root/repo/src/nn/stats.cpp" "src/nn/CMakeFiles/autoncs_nn.dir/stats.cpp.o" "gcc" "src/nn/CMakeFiles/autoncs_nn.dir/stats.cpp.o.d"
+  "/root/repo/src/nn/testbench.cpp" "src/nn/CMakeFiles/autoncs_nn.dir/testbench.cpp.o" "gcc" "src/nn/CMakeFiles/autoncs_nn.dir/testbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/autoncs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoncs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoncs_nn.dir/connection_matrix.cpp.o"
+  "CMakeFiles/autoncs_nn.dir/connection_matrix.cpp.o.d"
+  "CMakeFiles/autoncs_nn.dir/generators.cpp.o"
+  "CMakeFiles/autoncs_nn.dir/generators.cpp.o.d"
+  "CMakeFiles/autoncs_nn.dir/hopfield.cpp.o"
+  "CMakeFiles/autoncs_nn.dir/hopfield.cpp.o.d"
+  "CMakeFiles/autoncs_nn.dir/io.cpp.o"
+  "CMakeFiles/autoncs_nn.dir/io.cpp.o.d"
+  "CMakeFiles/autoncs_nn.dir/qr_pattern.cpp.o"
+  "CMakeFiles/autoncs_nn.dir/qr_pattern.cpp.o.d"
+  "CMakeFiles/autoncs_nn.dir/stats.cpp.o"
+  "CMakeFiles/autoncs_nn.dir/stats.cpp.o.d"
+  "CMakeFiles/autoncs_nn.dir/testbench.cpp.o"
+  "CMakeFiles/autoncs_nn.dir/testbench.cpp.o.d"
+  "libautoncs_nn.a"
+  "libautoncs_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoncs_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/conjugate_gradient.cpp" "src/place/CMakeFiles/autoncs_place.dir/conjugate_gradient.cpp.o" "gcc" "src/place/CMakeFiles/autoncs_place.dir/conjugate_gradient.cpp.o.d"
+  "/root/repo/src/place/density.cpp" "src/place/CMakeFiles/autoncs_place.dir/density.cpp.o" "gcc" "src/place/CMakeFiles/autoncs_place.dir/density.cpp.o.d"
+  "/root/repo/src/place/legalizer.cpp" "src/place/CMakeFiles/autoncs_place.dir/legalizer.cpp.o" "gcc" "src/place/CMakeFiles/autoncs_place.dir/legalizer.cpp.o.d"
+  "/root/repo/src/place/placer.cpp" "src/place/CMakeFiles/autoncs_place.dir/placer.cpp.o" "gcc" "src/place/CMakeFiles/autoncs_place.dir/placer.cpp.o.d"
+  "/root/repo/src/place/refine.cpp" "src/place/CMakeFiles/autoncs_place.dir/refine.cpp.o" "gcc" "src/place/CMakeFiles/autoncs_place.dir/refine.cpp.o.d"
+  "/root/repo/src/place/wa_wirelength.cpp" "src/place/CMakeFiles/autoncs_place.dir/wa_wirelength.cpp.o" "gcc" "src/place/CMakeFiles/autoncs_place.dir/wa_wirelength.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/autoncs_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoncs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/autoncs_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/autoncs_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autoncs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/autoncs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/autoncs_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

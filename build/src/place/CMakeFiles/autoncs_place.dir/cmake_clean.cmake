@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoncs_place.dir/conjugate_gradient.cpp.o"
+  "CMakeFiles/autoncs_place.dir/conjugate_gradient.cpp.o.d"
+  "CMakeFiles/autoncs_place.dir/density.cpp.o"
+  "CMakeFiles/autoncs_place.dir/density.cpp.o.d"
+  "CMakeFiles/autoncs_place.dir/legalizer.cpp.o"
+  "CMakeFiles/autoncs_place.dir/legalizer.cpp.o.d"
+  "CMakeFiles/autoncs_place.dir/placer.cpp.o"
+  "CMakeFiles/autoncs_place.dir/placer.cpp.o.d"
+  "CMakeFiles/autoncs_place.dir/refine.cpp.o"
+  "CMakeFiles/autoncs_place.dir/refine.cpp.o.d"
+  "CMakeFiles/autoncs_place.dir/wa_wirelength.cpp.o"
+  "CMakeFiles/autoncs_place.dir/wa_wirelength.cpp.o.d"
+  "libautoncs_place.a"
+  "libautoncs_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoncs_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoncs_route.dir/grid_graph.cpp.o"
+  "CMakeFiles/autoncs_route.dir/grid_graph.cpp.o.d"
+  "CMakeFiles/autoncs_route.dir/maze_router.cpp.o"
+  "CMakeFiles/autoncs_route.dir/maze_router.cpp.o.d"
+  "CMakeFiles/autoncs_route.dir/router.cpp.o"
+  "CMakeFiles/autoncs_route.dir/router.cpp.o.d"
+  "libautoncs_route.a"
+  "libautoncs_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoncs_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

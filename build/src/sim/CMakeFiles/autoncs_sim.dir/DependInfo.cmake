@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/crossbar_array.cpp" "src/sim/CMakeFiles/autoncs_sim.dir/crossbar_array.cpp.o" "gcc" "src/sim/CMakeFiles/autoncs_sim.dir/crossbar_array.cpp.o.d"
+  "/root/repo/src/sim/ir_drop.cpp" "src/sim/CMakeFiles/autoncs_sim.dir/ir_drop.cpp.o" "gcc" "src/sim/CMakeFiles/autoncs_sim.dir/ir_drop.cpp.o.d"
+  "/root/repo/src/sim/mapped_ncs.cpp" "src/sim/CMakeFiles/autoncs_sim.dir/mapped_ncs.cpp.o" "gcc" "src/sim/CMakeFiles/autoncs_sim.dir/mapped_ncs.cpp.o.d"
+  "/root/repo/src/sim/programming.cpp" "src/sim/CMakeFiles/autoncs_sim.dir/programming.cpp.o" "gcc" "src/sim/CMakeFiles/autoncs_sim.dir/programming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapping/CMakeFiles/autoncs_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autoncs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/autoncs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoncs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/autoncs_clustering.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

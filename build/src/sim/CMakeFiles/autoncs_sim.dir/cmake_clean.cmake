@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoncs_sim.dir/crossbar_array.cpp.o"
+  "CMakeFiles/autoncs_sim.dir/crossbar_array.cpp.o.d"
+  "CMakeFiles/autoncs_sim.dir/ir_drop.cpp.o"
+  "CMakeFiles/autoncs_sim.dir/ir_drop.cpp.o.d"
+  "CMakeFiles/autoncs_sim.dir/mapped_ncs.cpp.o"
+  "CMakeFiles/autoncs_sim.dir/mapped_ncs.cpp.o.d"
+  "CMakeFiles/autoncs_sim.dir/programming.cpp.o"
+  "CMakeFiles/autoncs_sim.dir/programming.cpp.o.d"
+  "libautoncs_sim.a"
+  "libautoncs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoncs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

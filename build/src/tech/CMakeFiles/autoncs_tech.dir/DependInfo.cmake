@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/cost.cpp" "src/tech/CMakeFiles/autoncs_tech.dir/cost.cpp.o" "gcc" "src/tech/CMakeFiles/autoncs_tech.dir/cost.cpp.o.d"
+  "/root/repo/src/tech/energy.cpp" "src/tech/CMakeFiles/autoncs_tech.dir/energy.cpp.o" "gcc" "src/tech/CMakeFiles/autoncs_tech.dir/energy.cpp.o.d"
+  "/root/repo/src/tech/tech_model.cpp" "src/tech/CMakeFiles/autoncs_tech.dir/tech_model.cpp.o" "gcc" "src/tech/CMakeFiles/autoncs_tech.dir/tech_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/autoncs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoncs_tech.dir/cost.cpp.o"
+  "CMakeFiles/autoncs_tech.dir/cost.cpp.o.d"
+  "CMakeFiles/autoncs_tech.dir/energy.cpp.o"
+  "CMakeFiles/autoncs_tech.dir/energy.cpp.o.d"
+  "CMakeFiles/autoncs_tech.dir/tech_model.cpp.o"
+  "CMakeFiles/autoncs_tech.dir/tech_model.cpp.o.d"
+  "libautoncs_tech.a"
+  "libautoncs_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoncs_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

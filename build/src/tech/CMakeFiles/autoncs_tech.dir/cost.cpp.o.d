@@ -1,0 +1,3 @@
+src/tech/CMakeFiles/autoncs_tech.dir/cost.cpp.o: \
+ /root/repo/src/tech/cost.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/tech/cost.hpp

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoncs_util.dir/check.cpp.o"
+  "CMakeFiles/autoncs_util.dir/check.cpp.o.d"
+  "CMakeFiles/autoncs_util.dir/csv.cpp.o"
+  "CMakeFiles/autoncs_util.dir/csv.cpp.o.d"
+  "CMakeFiles/autoncs_util.dir/heatmap.cpp.o"
+  "CMakeFiles/autoncs_util.dir/heatmap.cpp.o.d"
+  "CMakeFiles/autoncs_util.dir/log.cpp.o"
+  "CMakeFiles/autoncs_util.dir/log.cpp.o.d"
+  "CMakeFiles/autoncs_util.dir/rng.cpp.o"
+  "CMakeFiles/autoncs_util.dir/rng.cpp.o.d"
+  "CMakeFiles/autoncs_util.dir/table.cpp.o"
+  "CMakeFiles/autoncs_util.dir/table.cpp.o.d"
+  "libautoncs_util.a"
+  "libautoncs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoncs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_test.dir/clustering/agglomerative_test.cpp.o"
+  "CMakeFiles/clustering_test.dir/clustering/agglomerative_test.cpp.o.d"
+  "CMakeFiles/clustering_test.dir/clustering/gcp_test.cpp.o"
+  "CMakeFiles/clustering_test.dir/clustering/gcp_test.cpp.o.d"
+  "CMakeFiles/clustering_test.dir/clustering/isc_test.cpp.o"
+  "CMakeFiles/clustering_test.dir/clustering/isc_test.cpp.o.d"
+  "CMakeFiles/clustering_test.dir/clustering/metrics_test.cpp.o"
+  "CMakeFiles/clustering_test.dir/clustering/metrics_test.cpp.o.d"
+  "CMakeFiles/clustering_test.dir/clustering/msc_test.cpp.o"
+  "CMakeFiles/clustering_test.dir/clustering/msc_test.cpp.o.d"
+  "CMakeFiles/clustering_test.dir/clustering/preference_test.cpp.o"
+  "CMakeFiles/clustering_test.dir/clustering/preference_test.cpp.o.d"
+  "CMakeFiles/clustering_test.dir/clustering/traversing_test.cpp.o"
+  "CMakeFiles/clustering_test.dir/clustering/traversing_test.cpp.o.d"
+  "clustering_test"
+  "clustering_test.pdb"
+  "clustering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_test.dir/autoncs/export_test.cpp.o"
+  "CMakeFiles/flow_test.dir/autoncs/export_test.cpp.o.d"
+  "CMakeFiles/flow_test.dir/autoncs/flow_property_test.cpp.o"
+  "CMakeFiles/flow_test.dir/autoncs/flow_property_test.cpp.o.d"
+  "CMakeFiles/flow_test.dir/autoncs/pipeline_test.cpp.o"
+  "CMakeFiles/flow_test.dir/autoncs/pipeline_test.cpp.o.d"
+  "CMakeFiles/flow_test.dir/autoncs/report_test.cpp.o"
+  "CMakeFiles/flow_test.dir/autoncs/report_test.cpp.o.d"
+  "flow_test"
+  "flow_test.pdb"
+  "flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_test.dir/nn/connection_matrix_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/connection_matrix_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/generators_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/generators_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/hopfield_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/hopfield_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/io_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/io_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/qr_pattern_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/qr_pattern_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/stats_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/stats_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/testbench_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/testbench_test.cpp.o.d"
+  "nn_test"
+  "nn_test.pdb"
+  "nn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netlist/builder_test.cpp" "tests/CMakeFiles/physical_test.dir/netlist/builder_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/netlist/builder_test.cpp.o.d"
+  "/root/repo/tests/netlist/netlist_test.cpp" "tests/CMakeFiles/physical_test.dir/netlist/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/netlist/netlist_test.cpp.o.d"
+  "/root/repo/tests/netlist/shared_nets_test.cpp" "tests/CMakeFiles/physical_test.dir/netlist/shared_nets_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/netlist/shared_nets_test.cpp.o.d"
+  "/root/repo/tests/place/cg_test.cpp" "tests/CMakeFiles/physical_test.dir/place/cg_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/place/cg_test.cpp.o.d"
+  "/root/repo/tests/place/density_test.cpp" "tests/CMakeFiles/physical_test.dir/place/density_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/place/density_test.cpp.o.d"
+  "/root/repo/tests/place/legalizer_test.cpp" "tests/CMakeFiles/physical_test.dir/place/legalizer_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/place/legalizer_test.cpp.o.d"
+  "/root/repo/tests/place/placer_property_test.cpp" "tests/CMakeFiles/physical_test.dir/place/placer_property_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/place/placer_property_test.cpp.o.d"
+  "/root/repo/tests/place/placer_test.cpp" "tests/CMakeFiles/physical_test.dir/place/placer_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/place/placer_test.cpp.o.d"
+  "/root/repo/tests/place/refine_test.cpp" "tests/CMakeFiles/physical_test.dir/place/refine_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/place/refine_test.cpp.o.d"
+  "/root/repo/tests/place/wa_test.cpp" "tests/CMakeFiles/physical_test.dir/place/wa_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/place/wa_test.cpp.o.d"
+  "/root/repo/tests/route/grid_test.cpp" "tests/CMakeFiles/physical_test.dir/route/grid_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/route/grid_test.cpp.o.d"
+  "/root/repo/tests/route/maze_test.cpp" "tests/CMakeFiles/physical_test.dir/route/maze_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/route/maze_test.cpp.o.d"
+  "/root/repo/tests/route/reroute_test.cpp" "tests/CMakeFiles/physical_test.dir/route/reroute_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/route/reroute_test.cpp.o.d"
+  "/root/repo/tests/route/router_property_test.cpp" "tests/CMakeFiles/physical_test.dir/route/router_property_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/route/router_property_test.cpp.o.d"
+  "/root/repo/tests/route/router_test.cpp" "tests/CMakeFiles/physical_test.dir/route/router_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/route/router_test.cpp.o.d"
+  "/root/repo/tests/tech/energy_test.cpp" "tests/CMakeFiles/physical_test.dir/tech/energy_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/tech/energy_test.cpp.o.d"
+  "/root/repo/tests/tech/tech_test.cpp" "tests/CMakeFiles/physical_test.dir/tech/tech_test.cpp.o" "gcc" "tests/CMakeFiles/physical_test.dir/tech/tech_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autoncs/CMakeFiles/autoncs_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autoncs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/autoncs_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/autoncs_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/autoncs_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/autoncs_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/autoncs_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/autoncs_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autoncs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/autoncs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoncs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/clustering_test[1]_include.cmake")
+include("/root/repo/build/tests/mapping_test[1]_include.cmake")
+include("/root/repo/build/tests/physical_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+add_test(cli_generate "/root/repo/build/tools/autoncs" "generate" "--kind" "block" "--n" "60" "--blocks" "4" "--seed" "3" "--out" "/root/repo/build/tests/cli_net.ncsnet")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;82;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build/tools/autoncs" "info" "/root/repo/build/tests/cli_net.ncsnet")
+set_tests_properties(cli_info PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;85;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_flow "/root/repo/build/tools/autoncs" "flow" "/root/repo/build/tests/cli_net.ncsnet" "--baseline" "--max-size" "16")
+set_tests_properties(cli_flow PROPERTIES  DEPENDS "cli_generate" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;87;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_bad_file "/root/repo/build/tools/autoncs" "info" "/nonexistent.ncsnet")
+set_tests_properties(cli_bad_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;92;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoncs_cli.dir/autoncs_cli.cpp.o"
+  "CMakeFiles/autoncs_cli.dir/autoncs_cli.cpp.o.d"
+  "autoncs"
+  "autoncs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoncs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
