@@ -1,0 +1,90 @@
+// Performance study — parallel speedup of the physical-design hot paths.
+//
+// Sweeps the flow's thread knob over {1, 2, 4, 8} on the largest Hopfield
+// testbench (a fixed FullCro mapping, so every run places and routes the
+// identical netlist) and reports per-stage wall-clock, throughput, and the
+// speedup over the single-thread run. The routing result is required to be
+// bit-identical across thread counts (the wave model's determinism
+// guarantee); the bench verifies that, not just the timings.
+#include <cstdio>
+#include <cstdlib>
+
+#include "autoncs/pipeline.hpp"
+#include "mapping/fullcro.hpp"
+#include "nn/testbench.hpp"
+#include "common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace autoncs;
+  bench::banner("Performance: place/route speedup vs threads");
+
+  const auto tb = nn::build_testbench(3);  // largest testbench (N = 500)
+  FlowConfig config = bench::default_config();
+  const mapping::HybridMapping mapping =
+      mapping::fullcro_mapping(tb.topology, {config.baseline_crossbar_size, true});
+
+  util::ConsoleTable table({"threads", "place (ms)", "route (ms)",
+                            "total (ms)", "speedup", "seg/s", "L (um)",
+                            "overflow"});
+  util::CsvWriter csv(bench::output_path("perf_threads.csv"),
+                      {"threads", "place_ms", "route_ms", "total_ms",
+                       "speedup", "segments_per_s", "wirelength_um",
+                       "overflow"});
+
+  FlowResult reference;
+  bool identical = true;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    config.threads = threads;
+    const FlowResult result = run_physical_design(mapping, config);
+    const double place_route_ms =
+        result.timings.placement_ms + result.timings.routing_ms;
+    if (threads == 1) reference = result;
+    const double ref_ms =
+        reference.timings.placement_ms + reference.timings.routing_ms;
+    const double speedup = place_route_ms > 0.0 ? ref_ms / place_route_ms : 1.0;
+    const double route_s = result.timings.routing_ms / 1000.0;
+    const double throughput =
+        route_s > 0.0
+            ? static_cast<double>(result.routing.segments_routed) / route_s
+            : 0.0;
+
+    // Determinism check against the threads = 1 run.
+    if (result.routing.total_wirelength_um !=
+            reference.routing.total_wirelength_um ||
+        result.routing.total_overflow != reference.routing.total_overflow ||
+        result.routing.wires.size() != reference.routing.wires.size()) {
+      identical = false;
+    } else {
+      for (std::size_t w = 0; w < result.routing.wires.size(); ++w) {
+        if (result.routing.wires[w].length_um !=
+                reference.routing.wires[w].length_um ||
+            result.routing.wires[w].relaxations !=
+                reference.routing.wires[w].relaxations) {
+          identical = false;
+          break;
+        }
+      }
+    }
+
+    table.add_row({std::to_string(threads),
+                   util::fmt_double(result.timings.placement_ms, 1),
+                   util::fmt_double(result.timings.routing_ms, 1),
+                   util::fmt_double(place_route_ms, 1),
+                   util::fmt_double(speedup, 2),
+                   util::fmt_double(throughput, 0),
+                   util::fmt_double(result.routing.total_wirelength_um, 1),
+                   util::fmt_double(result.routing.total_overflow, 1)});
+    csv.row_values({static_cast<double>(threads), result.timings.placement_ms,
+                    result.timings.routing_ms, place_route_ms, speedup,
+                    throughput, result.routing.total_wirelength_um,
+                    result.routing.total_overflow});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("routing bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — determinism violated");
+  std::printf("expected shape: route/place time shrinks with threads on "
+              "multi-core hosts; identical L and overflow on every row.\n");
+  return identical ? 0 : 1;
+}

@@ -34,6 +34,12 @@ struct FlowConfig {
 
   /// Master seed for the flow's stochastic components.
   std::uint64_t seed = 2015;
+
+  /// Worker threads for the parallel placement / routing hot paths; 0 =
+  /// hardware concurrency. Copied into placer.threads / router.threads by
+  /// the pipeline unless those are set (nonzero) themselves. Results are
+  /// bit-identical for any value (see docs/threading.md).
+  std::size_t threads = 0;
 };
 
 }  // namespace autoncs

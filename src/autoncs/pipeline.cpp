@@ -6,19 +6,24 @@
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace autoncs {
 
 FlowResult run_physical_design(mapping::HybridMapping mapping,
                                const FlowConfig& config) {
+  util::WallTimer stage;
   FlowResult result;
   result.mapping = std::move(mapping);
   result.netlist = netlist::build_netlist(result.mapping, config.tech);
+  result.timings.netlist_ms = stage.elapsed_ms();
 
   place::PlacerOptions placer = config.placer;
   placer.seed = config.seed;
+  if (placer.threads == 0) placer.threads = config.threads;
   // Keep the legalizer's notion of routing space in sync with the placer.
   placer.legalizer.omega = placer.omega;
+  stage.restart();
   result.placement = place::place(result.netlist, placer);
 
   if (config.refine_placement) {
@@ -31,8 +36,16 @@ FlowResult run_physical_design(mapping::HybridMapping mapping,
         place::placement_bounding_box(result.netlist, placer.omega);
     result.placement.area_um2 = result.placement.die.area();
   }
+  result.timings.placement_ms = stage.elapsed_ms();
 
-  result.routing = route::route(result.netlist, config.router, config.tech);
+  route::RouterOptions router = config.router;
+  if (router.threads == 0) router.threads = config.threads;
+  stage.restart();
+  result.routing = route::route(result.netlist, router, config.tech);
+  result.timings.routing_ms = stage.elapsed_ms();
+  result.timings.total_ms = result.timings.netlist_ms +
+                            result.timings.placement_ms +
+                            result.timings.routing_ms;
 
   result.cost.total_wirelength_um = result.routing.total_wirelength_um;
   result.cost.area_um2 = result.placement.area_um2;
@@ -56,14 +69,18 @@ clustering::IscResult run_isc(const nn::ConnectionMatrix& network,
 
 FlowResult run_autoncs(const nn::ConnectionMatrix& network,
                        const FlowConfig& config) {
+  util::WallTimer stage;
   clustering::IscResult isc = run_isc(network, config);
   mapping::HybridMapping hybrid =
       mapping::mapping_from_isc(isc, network.size());
   const std::string error = mapping::validate_mapping(hybrid, network);
   AUTONCS_CHECK(error.empty(), "AutoNCS mapping invalid: " + error);
+  const double clustering_ms = stage.elapsed_ms();
 
   FlowResult result = run_physical_design(std::move(hybrid), config);
   result.isc = std::move(isc);
+  result.timings.clustering_ms = clustering_ms;
+  result.timings.total_ms += clustering_ms;
   return result;
 }
 

@@ -19,6 +19,17 @@
 
 namespace autoncs {
 
+/// Wall-clock per stage, for throughput reporting and the thread-scaling
+/// bench. Stages that did not run (e.g. clustering in run_physical_design)
+/// stay at zero.
+struct StageTimings {
+  double clustering_ms = 0.0;
+  double netlist_ms = 0.0;
+  double placement_ms = 0.0;
+  double routing_ms = 0.0;
+  double total_ms = 0.0;
+};
+
 struct FlowResult {
   mapping::HybridMapping mapping;
   /// Clustering telemetry; absent for the FullCro baseline.
@@ -28,6 +39,7 @@ struct FlowResult {
   place::PlacementReport placement;
   route::RoutingResult routing;
   tech::PhysicalCost cost;
+  StageTimings timings;
 };
 
 /// Runs the physical back end (netlist build, place, route, cost) on an

@@ -80,4 +80,25 @@ std::string summarize_flow(const FlowResult& result, const std::string& name) {
   return oss.str();
 }
 
+std::string summarize_timings(const FlowResult& result) {
+  const StageTimings& t = result.timings;
+  const route::RoutingResult& routing = result.routing;
+  const double route_s = t.routing_ms / 1000.0;
+  const double throughput =
+      route_s > 0.0 ? static_cast<double>(routing.segments_routed) / route_s
+                    : 0.0;
+  std::ostringstream oss;
+  oss << "stages:";
+  if (t.clustering_ms > 0.0)
+    oss << " clustering " << util::fmt_double(t.clustering_ms, 1) << " ms,";
+  oss << " netlist " << util::fmt_double(t.netlist_ms, 1) << " ms,"
+      << " place " << util::fmt_double(t.placement_ms, 1) << " ms,"
+      << " route " << util::fmt_double(t.routing_ms, 1) << " ms ("
+      << routing.segments_routed << " segments, " << routing.waves
+      << " waves, " << util::fmt_double(throughput, 0) << " seg/s, "
+      << routing.threads_used << " threads);"
+      << " total " << util::fmt_double(t.total_ms, 1) << " ms";
+  return oss.str();
+}
+
 }  // namespace autoncs

@@ -29,4 +29,8 @@ util::Field2D layout_field(const netlist::Netlist& netlist, double resolution);
 /// One-paragraph human summary of a flow result.
 std::string summarize_flow(const FlowResult& result, const std::string& name);
 
+/// One-line stage wall-clock / throughput summary (clustering, netlist,
+/// place, route with segments-per-second and the thread count used).
+std::string summarize_timings(const FlowResult& result);
+
 }  // namespace autoncs

@@ -82,7 +82,8 @@ double max_virtual_half_extent(const netlist::Netlist& netlist, double omega) {
 
 double DensityModel::evaluate(const netlist::Netlist& netlist,
                               const std::vector<double>& state,
-                              std::vector<double>* gradient) const {
+                              std::vector<double>* gradient,
+                              util::ThreadPool* pool) const {
   AUTONCS_CHECK(state.size() == netlist.cells.size() * 2,
                 "state size must be 2 * cell count");
   AUTONCS_CHECK(omega >= 1.0, "omega must be at least 1");
@@ -102,36 +103,94 @@ double DensityModel::evaluate(const netlist::Netlist& netlist,
   const double bucket = std::max(reach / 2.0, 1e-6);
   const SpatialHash hash(netlist, state, reach, bucket);
 
+  if (pool == nullptr || pool->size() == 1) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& ci = netlist.cells[i];
+      const double xi = state[2 * i];
+      const double yi = state[2 * i + 1];
+      const double hwi = 0.5 * omega * ci.width;
+      const double hhi = 0.5 * omega * ci.height;
+      hash.for_candidates(i, xi, yi, [&](std::size_t j) {
+        const auto& cj = netlist.cells[j];
+        const double dx = xi - state[2 * j];
+        const double dy = yi - state[2 * j + 1];
+        const double tx = hwi + 0.5 * omega * cj.width;
+        const double ty = hhi + 0.5 * omega * cj.height;
+        const double zx = tx - std::abs(dx);
+        const double zy = ty - std::abs(dy);
+        if (zx < -tail || zy < -tail) return;
+        const double ox = softplus(zx, beta);
+        const double oy = softplus(zy, beta);
+        total += ox * oy;
+        if (gradient != nullptr) {
+          const double sx = (dx > 0.0 ? -1.0 : (dx < 0.0 ? 1.0 : 0.0)) *
+                            sigmoid(zx, beta) * oy;
+          const double sy = (dy > 0.0 ? -1.0 : (dy < 0.0 ? 1.0 : 0.0)) *
+                            sigmoid(zy, beta) * ox;
+          (*gradient)[2 * i] += sx;
+          (*gradient)[2 * j] -= sx;
+          (*gradient)[2 * i + 1] += sy;
+          (*gradient)[2 * j + 1] -= sy;
+        }
+      });
+    }
+    return total;
+  }
+
+  // Phase 1 (parallel): cell i owns the pairs (i, j), j > i, and writes
+  // only its own scratch list. The hash is read-only and its candidate
+  // order is fixed by construction, so the lists are independent of the
+  // thread count.
+  pairs_.resize(n);
+  pool->parallel_for(
+      n, [&](std::size_t begin, std::size_t end, std::size_t /*worker*/) {
+        for (std::size_t i = begin; i < end; ++i) {
+          auto& list = pairs_[i];
+          list.clear();
+          const auto& ci = netlist.cells[i];
+          const double xi = state[2 * i];
+          const double yi = state[2 * i + 1];
+          const double hwi = 0.5 * omega * ci.width;
+          const double hhi = 0.5 * omega * ci.height;
+          hash.for_candidates(i, xi, yi, [&](std::size_t j) {
+            const auto& cj = netlist.cells[j];
+            const double dx = xi - state[2 * j];
+            const double dy = yi - state[2 * j + 1];
+            const double tx = hwi + 0.5 * omega * cj.width;
+            const double ty = hhi + 0.5 * omega * cj.height;
+            const double zx = tx - std::abs(dx);
+            const double zy = ty - std::abs(dy);
+            if (zx < -tail || zy < -tail) return;
+            const double ox = softplus(zx, beta);
+            const double oy = softplus(zy, beta);
+            PairTerm term;
+            term.j = j;
+            term.area = ox * oy;
+            if (gradient != nullptr) {
+              term.sx = (dx > 0.0 ? -1.0 : (dx < 0.0 ? 1.0 : 0.0)) *
+                        sigmoid(zx, beta) * oy;
+              term.sy = (dy > 0.0 ? -1.0 : (dy < 0.0 ? 1.0 : 0.0)) *
+                        sigmoid(zy, beta) * ox;
+            }
+            list.push_back(term);
+          });
+        }
+      });
+
+  // Phase 2 (sequential reduction in (i, candidate) order — the FP
+  // operation order of the single-thread loop above).
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& ci = netlist.cells[i];
-    const double xi = state[2 * i];
-    const double yi = state[2 * i + 1];
-    const double hwi = 0.5 * omega * ci.width;
-    const double hhi = 0.5 * omega * ci.height;
-    hash.for_candidates(i, xi, yi, [&](std::size_t j) {
-      const auto& cj = netlist.cells[j];
-      const double dx = xi - state[2 * j];
-      const double dy = yi - state[2 * j + 1];
-      const double tx = hwi + 0.5 * omega * cj.width;
-      const double ty = hhi + 0.5 * omega * cj.height;
-      const double zx = tx - std::abs(dx);
-      const double zy = ty - std::abs(dy);
-      if (zx < -tail || zy < -tail) return;
-      const double ox = softplus(zx, beta);
-      const double oy = softplus(zy, beta);
-      total += ox * oy;
+    for (const PairTerm& term : pairs_[i]) {
+      total += term.area;
       if (gradient != nullptr) {
-        const double sx = (dx > 0.0 ? -1.0 : (dx < 0.0 ? 1.0 : 0.0)) *
-                          sigmoid(zx, beta) * oy;
-        const double sy = (dy > 0.0 ? -1.0 : (dy < 0.0 ? 1.0 : 0.0)) *
-                          sigmoid(zy, beta) * ox;
-        (*gradient)[2 * i] += sx;
-        (*gradient)[2 * j] -= sx;
-        (*gradient)[2 * i + 1] += sy;
-        (*gradient)[2 * j + 1] -= sy;
+        (*gradient)[2 * i] += term.sx;
+        (*gradient)[2 * term.j] -= term.sx;
+        (*gradient)[2 * i + 1] += term.sy;
+        (*gradient)[2 * term.j + 1] -= term.sy;
       }
-    });
+    }
   }
   return total;
 }

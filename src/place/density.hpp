@@ -10,12 +10,19 @@
 // which matches the exact overlap (tx - |d|)+ as beta grows and has the
 // sigmoid as its derivative. Pairs are enumerated through a uniform spatial
 // hash so the cost stays near-linear in the cell count.
+//
+// With a thread pool, the pair terms are computed in parallel (cell i owns
+// the pairs (i, j), j > i, and writes only its own scratch list) and then
+// reduced into the total and the gradient sequentially in (i, hash
+// candidate) order — the exact FP operation order of the single-thread
+// loop, so the result is bit-identical for any thread count.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/thread_pool.hpp"
 
 namespace autoncs::place {
 
@@ -25,10 +32,29 @@ struct DensityModel {
   /// Softplus sharpness (1/um). Larger = closer to the exact hinge.
   double beta = 16.0;
 
+  DensityModel() = default;
+  DensityModel(double omega_in, double beta_in) : omega(omega_in), beta(beta_in) {}
+
   /// D(x, y); accumulates into `gradient` when nonnull (caller zeroes it).
+  /// `pool` parallelizes the pair enumeration; the scratch buffers make
+  /// this method non-reentrant, but the result is identical with or
+  /// without a pool.
   double evaluate(const netlist::Netlist& netlist,
                   const std::vector<double>& state,
-                  std::vector<double>* gradient) const;
+                  std::vector<double>* gradient,
+                  util::ThreadPool* pool = nullptr) const;
+
+ private:
+  /// One interacting pair (i, j) found in phase 1: the smooth overlap area
+  /// and the gradient terms applied to i (and negated on j) in phase 2.
+  struct PairTerm {
+    std::size_t j = 0;
+    double area = 0.0;
+    double sx = 0.0;
+    double sy = 0.0;
+  };
+  /// Per-cell pair lists, reused across evaluate() calls.
+  mutable std::vector<std::vector<PairTerm>> pairs_;
 };
 
 /// Exact total pairwise rectangle overlap AREA of the virtual cells; the

@@ -6,6 +6,7 @@
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace autoncs::place {
 
@@ -98,12 +99,14 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
 
   const WaModel wl_model{options.gamma};
   const DensityModel density_model{options.omega, options.beta};
+  util::ThreadPool pool(options.threads);
+  util::ThreadPool* pool_ptr = pool.size() > 1 ? &pool : nullptr;
 
   // lambda_0 = sum |dWL| / sum |dD| at the initial placement.
   std::vector<double> grad_wl(state.size(), 0.0);
   std::vector<double> grad_d(state.size(), 0.0);
-  wl_model.evaluate(netlist, state, &grad_wl);
-  density_model.evaluate(netlist, state, &grad_d);
+  wl_model.evaluate(netlist, state, &grad_wl, pool_ptr);
+  density_model.evaluate(netlist, state, &grad_d, pool_ptr);
   const double denom = sum_abs(grad_d);
   double lambda = denom > 0.0 ? sum_abs(grad_wl) / denom : 1.0;
   if (lambda <= 0.0) lambda = 1.0;
@@ -115,11 +118,11 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
     const Objective objective = [&](const std::vector<double>& x,
                                     std::vector<double>& gradient) {
       std::fill(gradient.begin(), gradient.end(), 0.0);
-      const double wl = wl_model.evaluate(netlist, x, &gradient);
+      const double wl = wl_model.evaluate(netlist, x, &gradient, pool_ptr);
       // Density + boundary gradients accumulate unscaled into a scratch
       // vector, then fold in scaled by lambda.
       std::vector<double> dgrad(x.size(), 0.0);
-      double d = density_model.evaluate(netlist, x, &dgrad);
+      double d = density_model.evaluate(netlist, x, &dgrad, pool_ptr);
       d += boundary_penalty(netlist, x, options.omega, die_half, &dgrad);
       for (std::size_t i = 0; i < gradient.size(); ++i)
         gradient[i] += lambda_now * dgrad[i];

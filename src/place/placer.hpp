@@ -38,6 +38,10 @@ struct PlacerOptions {
   LegalizerOptions legalizer{};
   /// Deterministic jitter seed for the initial grid (breaks exact ties).
   std::uint64_t seed = 1;
+  /// Worker threads for the WA-wirelength and density gradient evaluation;
+  /// 0 = hardware concurrency. The placement is bit-identical for any
+  /// value (per-item parallel phase, sequential fixed-order reduction).
+  std::size_t threads = 0;
 };
 
 struct BoundingBox {

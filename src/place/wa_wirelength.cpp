@@ -28,11 +28,14 @@ void unpack_positions(const std::vector<double>& state, netlist::Netlist& netlis
 
 namespace {
 
-/// One-dimensional WA term for a wire along one axis. Accumulates the
-/// gradient (scaled by `weight`) when `gradient` is nonnull.
-double wa_axis(const std::vector<std::size_t>& pins,
-               const std::vector<double>& state, std::size_t axis, double gamma,
-               double weight, std::vector<double>* gradient) {
+/// One-dimensional WA term for a wire along one axis. When `contrib` is
+/// nonnull, writes the k-th pin's gradient term (scaled by `weight`) into
+/// contrib[k] instead of scattering into a global gradient — the parallel
+/// phase-1 form. `wa_axis` below keeps the original scatter form; both
+/// compute each term with identical FP operations.
+double wa_axis_terms(const std::vector<std::size_t>& pins,
+                     const std::vector<double>& state, std::size_t axis,
+                     double gamma, double weight, double* contrib) {
   double lo = std::numeric_limits<double>::infinity();
   double hi = -std::numeric_limits<double>::infinity();
   for (std::size_t pin : pins) {
@@ -56,15 +59,56 @@ double wa_axis(const std::vector<std::size_t>& pins,
   }
   const double f_plus = sum_va / sum_a;    // smooth max
   const double f_minus = sum_vb / sum_b;   // smooth min
-  if (gradient != nullptr) {
-    for (std::size_t pin : pins) {
-      const double v = state[2 * pin + axis];
+  if (contrib != nullptr) {
+    for (std::size_t k = 0; k < pins.size(); ++k) {
+      const double v = state[2 * pins[k] + axis];
       const double a = std::exp((v - hi) / gamma);
       const double b = std::exp(-(v - lo) / gamma);
       const double d_plus = a / sum_a * (1.0 + (v - f_plus) / gamma);
       const double d_minus = b / sum_b * (1.0 - (v - f_minus) / gamma);
-      (*gradient)[2 * pin + axis] += weight * (d_plus - d_minus);
+      contrib[k] = weight * (d_plus - d_minus);
     }
+  }
+  return f_plus - f_minus;
+}
+
+/// Scatter form used on the sequential path: accumulates the gradient
+/// terms directly (same terms, same order as the parallel reduction).
+double wa_axis(const std::vector<std::size_t>& pins,
+               const std::vector<double>& state, std::size_t axis, double gamma,
+               double weight, std::vector<double>* gradient) {
+  if (gradient == nullptr) {
+    return wa_axis_terms(pins, state, axis, gamma, weight, nullptr);
+  }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t pin : pins) {
+    const double v = state[2 * pin + axis];
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  double sum_a = 0.0;
+  double sum_va = 0.0;
+  double sum_b = 0.0;
+  double sum_vb = 0.0;
+  for (std::size_t pin : pins) {
+    const double v = state[2 * pin + axis];
+    const double a = std::exp((v - hi) / gamma);
+    const double b = std::exp(-(v - lo) / gamma);
+    sum_a += a;
+    sum_va += v * a;
+    sum_b += b;
+    sum_vb += v * b;
+  }
+  const double f_plus = sum_va / sum_a;
+  const double f_minus = sum_vb / sum_b;
+  for (std::size_t pin : pins) {
+    const double v = state[2 * pin + axis];
+    const double a = std::exp((v - hi) / gamma);
+    const double b = std::exp(-(v - lo) / gamma);
+    const double d_plus = a / sum_a * (1.0 + (v - f_plus) / gamma);
+    const double d_minus = b / sum_b * (1.0 - (v - f_minus) / gamma);
+    (*gradient)[2 * pin + axis] += weight * (d_plus - d_minus);
   }
   return f_plus - f_minus;
 }
@@ -73,7 +117,8 @@ double wa_axis(const std::vector<std::size_t>& pins,
 
 double WaModel::evaluate(const netlist::Netlist& netlist,
                          const std::vector<double>& state,
-                         std::vector<double>* gradient) const {
+                         std::vector<double>* gradient,
+                         util::ThreadPool* pool) const {
   AUTONCS_CHECK(state.size() == netlist.cells.size() * 2,
                 "state size must be 2 * cell count");
   AUTONCS_CHECK(gamma > 0.0, "gamma must be positive");
@@ -81,11 +126,53 @@ double WaModel::evaluate(const netlist::Netlist& netlist,
     AUTONCS_CHECK(gradient->size() == state.size(),
                   "gradient size must match the state");
   }
+  const std::size_t wires = netlist.wires.size();
+  if (pool == nullptr || pool->size() == 1 || wires < 2) {
+    double total = 0.0;
+    for (const auto& wire : netlist.wires) {
+      total += wire.weight *
+               (wa_axis(wire.pins, state, 0, gamma, wire.weight, gradient) +
+                wa_axis(wire.pins, state, 1, gamma, wire.weight, gradient));
+    }
+    return total;
+  }
+
+  // Phase 1 (parallel): each wire computes its value and per-pin gradient
+  // terms into its own slots.
+  offsets_.resize(wires + 1);
+  offsets_[0] = 0;
+  for (std::size_t w = 0; w < wires; ++w)
+    offsets_[w + 1] = offsets_[w] + netlist.wires[w].pins.size();
+  wire_value_.resize(wires);
+  if (gradient != nullptr) {
+    contrib_x_.resize(offsets_[wires]);
+    contrib_y_.resize(offsets_[wires]);
+  }
+  pool->parallel_for(
+      wires, [&](std::size_t begin, std::size_t end, std::size_t /*worker*/) {
+        for (std::size_t w = begin; w < end; ++w) {
+          const auto& wire = netlist.wires[w];
+          double* cx = gradient ? contrib_x_.data() + offsets_[w] : nullptr;
+          double* cy = gradient ? contrib_y_.data() + offsets_[w] : nullptr;
+          wire_value_[w] =
+              wire.weight *
+              (wa_axis_terms(wire.pins, state, 0, gamma, wire.weight, cx) +
+               wa_axis_terms(wire.pins, state, 1, gamma, wire.weight, cy));
+        }
+      });
+
+  // Phase 2 (sequential reduction in wire order — the FP operation order
+  // of the single-thread loop, independent of the thread count).
   double total = 0.0;
-  for (const auto& wire : netlist.wires) {
-    total += wire.weight *
-             (wa_axis(wire.pins, state, 0, gamma, wire.weight, gradient) +
-              wa_axis(wire.pins, state, 1, gamma, wire.weight, gradient));
+  for (std::size_t w = 0; w < wires; ++w) {
+    const auto& wire = netlist.wires[w];
+    if (gradient != nullptr) {
+      for (std::size_t k = 0; k < wire.pins.size(); ++k)
+        (*gradient)[2 * wire.pins[k]] += contrib_x_[offsets_[w] + k];
+      for (std::size_t k = 0; k < wire.pins.size(); ++k)
+        (*gradient)[2 * wire.pins[k] + 1] += contrib_y_[offsets_[w] + k];
+    }
+    total += wire_value_[w];
   }
   return total;
 }

@@ -8,11 +8,18 @@
 // (g = gamma, the user-defined smoothness), likewise for y, and
 //   WL(x, y) = sum_e w_e (WA_x(e) + WA_y(e)).
 // Exponentials are max-shifted for numerical stability.
+//
+// With a thread pool, per-wire terms are computed in parallel (each wire
+// writes only its own slot of a scratch buffer) and then reduced into the
+// total and the gradient sequentially in wire order — the exact FP
+// operation order of the single-thread loop, so the result is
+// bit-identical for any thread count.
 #pragma once
 
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/thread_pool.hpp"
 
 namespace autoncs::place {
 
@@ -24,11 +31,27 @@ struct WaModel {
   /// Smoothness gamma of Eq. (1), in the same unit as the coordinates.
   double gamma = 1.0;
 
+  WaModel() = default;
+  explicit WaModel(double gamma_in) : gamma(gamma_in) {}
+
   /// WL(x, y); if `gradient` is nonnull it must have state.size() entries
-  /// and receives d WL / d state (accumulated, caller zeroes it).
+  /// and receives d WL / d state (accumulated, caller zeroes it). `pool`
+  /// parallelizes the per-wire terms; the scratch buffers make this
+  /// method non-reentrant, but the result is identical with or without a
+  /// pool.
   double evaluate(const netlist::Netlist& netlist,
                   const std::vector<double>& state,
-                  std::vector<double>* gradient) const;
+                  std::vector<double>* gradient,
+                  util::ThreadPool* pool = nullptr) const;
+
+ private:
+  // Reused across evaluate() calls (the placer evaluates in a tight CG
+  // loop): per-wire values and per-pin gradient terms, flattened through
+  // `offsets` by pin count.
+  mutable std::vector<double> wire_value_;
+  mutable std::vector<std::size_t> offsets_;
+  mutable std::vector<double> contrib_x_;
+  mutable std::vector<double> contrib_y_;
 };
 
 /// Exact weighted HPWL: sum_e w_e (max x - min x + max y - min y) — the

@@ -77,17 +77,17 @@ double GridGraph::v_history(std::size_t ix, std::size_t iy) const {
   return v_history_[v_index(ix, iy)];
 }
 
-std::size_t GridGraph::accumulate_history() {
+std::size_t GridGraph::accumulate_history(double limit) {
   std::size_t overflowed = 0;
   for (std::size_t e = 0; e < h_usage_.size(); ++e) {
-    if (h_usage_[e] > capacity_) {
-      h_history_[e] += h_usage_[e] - capacity_;
+    if (h_usage_[e] > limit) {
+      h_history_[e] += h_usage_[e] - limit;
       ++overflowed;
     }
   }
   for (std::size_t e = 0; e < v_usage_.size(); ++e) {
-    if (v_usage_[e] > capacity_) {
-      v_history_[e] += v_usage_[e] - capacity_;
+    if (v_usage_[e] > limit) {
+      v_history_[e] += v_usage_[e] - limit;
       ++overflowed;
     }
   }

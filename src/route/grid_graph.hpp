@@ -49,9 +49,12 @@ class GridGraph {
   /// later passes away from chronically contested edges.
   double h_history(std::size_t ix, std::size_t iy) const;
   double v_history(std::size_t ix, std::size_t iy) const;
-  /// Adds each edge's current overflow (usage - capacity, if positive)
-  /// into its history. Returns the number of overflowed edges.
-  std::size_t accumulate_history();
+  /// Adds each edge's current overflow above `limit` (usage - limit, for
+  /// edges with usage > limit — the edge_overflowed predicate of
+  /// maze_router.hpp) into its history. Returns the number of overflowed
+  /// edges. The zero-argument form uses the physical capacity.
+  std::size_t accumulate_history(double limit);
+  std::size_t accumulate_history() { return accumulate_history(capacity_); }
 
   /// Total usage above capacity, summed over edges (overflow metric).
   double total_overflow() const;

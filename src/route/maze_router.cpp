@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
-#include <queue>
 
 #include "util/check.hpp"
 
@@ -11,12 +9,9 @@ namespace autoncs::route {
 
 namespace {
 
-struct QueueEntry {
-  double priority;  // g + heuristic
-  double cost;      // g
-  std::size_t node;
-  friend bool operator<(const QueueEntry& a, const QueueEntry& b) {
-    return a.priority > b.priority;  // min-heap via std::priority_queue
+struct HeapOrder {
+  bool operator()(const MazeQueueEntry& a, const MazeQueueEntry& b) const {
+    return a.priority > b.priority;  // min-heap
   }
 };
 
@@ -24,7 +19,8 @@ struct QueueEntry {
 
 std::optional<std::vector<BinRef>> maze_route(const GridGraph& grid,
                                               BinRef source, BinRef target,
-                                              const MazeOptions& options) {
+                                              const MazeOptions& options,
+                                              MazeWorkspace& workspace) {
   const std::size_t nx = grid.nx();
   const std::size_t ny = grid.ny();
   AUTONCS_CHECK(source.ix < nx && source.iy < ny, "source bin out of range");
@@ -33,6 +29,7 @@ std::optional<std::vector<BinRef>> maze_route(const GridGraph& grid,
   const auto node_of = [nx](BinRef b) { return b.iy * nx + b.ix; };
   const std::size_t start = node_of(source);
   const std::size_t goal = node_of(target);
+  const std::size_t nodes = nx * ny;
 
   const double bin = grid.bin_um();
   const double limit = options.capacity_limit_factor * grid.edge_capacity();
@@ -44,31 +41,34 @@ std::optional<std::vector<BinRef>> maze_route(const GridGraph& grid,
     return (std::abs(dx) + std::abs(dy)) * bin;
   };
 
-  std::vector<double> best(nx * ny, std::numeric_limits<double>::infinity());
-  std::vector<std::size_t> parent(nx * ny, nx * ny);
-  std::priority_queue<QueueEntry> open;
-  best[start] = 0.0;
-  open.push({heuristic(start), 0.0, start});
+  workspace.prepare(nodes);
+  auto& open = workspace.heap();
+  const auto push = [&open](MazeQueueEntry entry) {
+    open.push_back(entry);
+    std::push_heap(open.begin(), open.end(), HeapOrder{});
+  };
+  workspace.record(start, 0.0, nodes);
+  push({heuristic(start), 0.0, start});
 
   while (!open.empty()) {
-    const QueueEntry entry = open.top();
-    open.pop();
-    if (entry.cost > best[entry.node]) continue;
+    const MazeQueueEntry entry = open.front();
+    std::pop_heap(open.begin(), open.end(), HeapOrder{});
+    open.pop_back();
+    if (entry.cost > workspace.best(entry.node)) continue;
     if (entry.node == goal) break;
     const std::size_t ix = entry.node % nx;
     const std::size_t iy = entry.node / nx;
 
     const auto relax = [&](std::size_t next, double usage, double history) {
-      if (usage >= limit) return;  // blocked under the virtual capacity
+      if (edge_blocked(usage, limit)) return;
       const double edge_cost =
           bin * (1.0 +
                  options.congestion_penalty * usage / grid.edge_capacity() +
                  options.history_weight * history / grid.edge_capacity());
       const double g = entry.cost + edge_cost;
-      if (g < best[next]) {
-        best[next] = g;
-        parent[next] = entry.node;
-        open.push({g + heuristic(next), g, next});
+      if (g < workspace.best(next)) {
+        workspace.record(next, g, entry.node);
+        push({g + heuristic(next), g, next});
       }
     };
     if (ix + 1 < nx)
@@ -81,16 +81,23 @@ std::optional<std::vector<BinRef>> maze_route(const GridGraph& grid,
       relax(entry.node - nx, grid.v_usage(ix, iy - 1), grid.v_history(ix, iy - 1));
   }
 
-  if (!std::isfinite(best[goal])) return std::nullopt;
+  if (!std::isfinite(workspace.best(goal))) return std::nullopt;
   std::vector<BinRef> path;
   for (std::size_t node = goal;;) {
     path.push_back({node % nx, node / nx});
     if (node == start) break;
-    node = parent[node];
-    AUTONCS_CHECK(node < nx * ny, "broken parent chain in maze route");
+    node = workspace.parent(node);
+    AUTONCS_CHECK(node < nodes, "broken parent chain in maze route");
   }
   std::reverse(path.begin(), path.end());
   return path;
+}
+
+std::optional<std::vector<BinRef>> maze_route(const GridGraph& grid,
+                                              BinRef source, BinRef target,
+                                              const MazeOptions& options) {
+  MazeWorkspace workspace;
+  return maze_route(grid, source, target, options, workspace);
 }
 
 namespace {
@@ -108,6 +115,11 @@ void apply_path(GridGraph& grid, const std::vector<BinRef>& path, double amount)
   }
 }
 
+double step_usage(const GridGraph& grid, BinRef a, BinRef b) {
+  return a.iy == b.iy ? grid.h_usage(std::min(a.ix, b.ix), a.iy)
+                      : grid.v_usage(a.ix, std::min(a.iy, b.iy));
+}
+
 }  // namespace
 
 void commit_path(GridGraph& grid, const std::vector<BinRef>& path) {
@@ -118,14 +130,25 @@ void uncommit_path(GridGraph& grid, const std::vector<BinRef>& path) {
   apply_path(grid, path, -1.0);
 }
 
-bool path_overflows(const GridGraph& grid, const std::vector<BinRef>& path) {
+bool path_overflows(const GridGraph& grid, const std::vector<BinRef>& path,
+                    double limit) {
   for (std::size_t k = 0; k + 1 < path.size(); ++k) {
-    const BinRef a = path[k];
-    const BinRef b = path[k + 1];
-    const double usage =
-        a.iy == b.iy ? grid.h_usage(std::min(a.ix, b.ix), a.iy)
-                     : grid.v_usage(a.ix, std::min(a.iy, b.iy));
-    if (usage > grid.edge_capacity()) return true;
+    if (edge_overflowed(step_usage(grid, path[k], path[k + 1]), limit))
+      return true;
+  }
+  return false;
+}
+
+bool path_overflows(const GridGraph& grid, const std::vector<BinRef>& path) {
+  return path_overflows(grid, path, grid.edge_capacity());
+}
+
+bool path_blocked(const GridGraph& grid, const std::vector<BinRef>& path,
+                  double limit) {
+  if (!std::isfinite(limit)) return false;
+  for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+    if (edge_blocked(step_usage(grid, path[k], path[k + 1]), limit))
+      return true;
   }
   return false;
 }

@@ -1,10 +1,31 @@
 // Maze routing on the grid graph — Lee's algorithm [16] generalized to
 // weighted edges (Dijkstra with an admissible Manhattan A* heuristic).
-// Edge cost grows with congestion, and edges at or above the current
-// virtual-capacity limit are blocked; the caller relaxes the limit for
-// wires that cannot be routed (FastRoute-style rip-up avoidance [17]).
+// Edge cost grows with congestion; edges whose usage cannot absorb one
+// more wire under the current virtual-capacity limit are blocked, and the
+// caller relaxes the limit for wires that cannot be routed
+// (FastRoute-style rip-up avoidance [17]).
+//
+// ## Capacity invariant (shared by routing and negotiated rerouting)
+//
+// All capacity comparisons derive from ONE virtual limit
+//   L = capacity_limit_factor * edge_capacity:
+//
+//  * An edge is BLOCKED for the maze when committing one more wire would
+//    push its usage above L:   usage + 1 > L   (edge_blocked).
+//  * An edge (or a path crossing it) is OVERFLOWED — eligible for history
+//    accumulation and negotiated rip-up — when its usage already exceeds
+//    the same limit:           usage > L       (edge_overflowed).
+//
+// Hence a path produced by the maze under limit L never overflows L: the
+// two predicates are exact complements around the commit. Overflow can
+// only be introduced by routes found under a RELAXED limit (or the
+// unconstrained fallback), and exactly those edges accumulate history and
+// trigger rerouting — including when capacity_limit_factor < 1 reserves
+// headroom below the physical capacity.
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -15,15 +36,82 @@ namespace autoncs::route {
 struct MazeOptions {
   /// Multiplier on usage/capacity added to the base edge cost.
   double congestion_penalty = 2.0;
-  /// Edges with usage >= capacity_limit_factor * capacity are blocked.
+  /// Virtual limit factor: edges are blocked when committing one more wire
+  /// would push usage above capacity_limit_factor * capacity.
   double capacity_limit_factor = 1.0;
   /// Multiplier on history/capacity (negotiated rerouting); 0 ignores the
   /// grid's congestion history.
   double history_weight = 0.0;
 };
 
+/// True when committing one more wire on an edge with `usage` would exceed
+/// the virtual limit (see the capacity invariant above).
+inline bool edge_blocked(double usage, double limit) {
+  return usage + 1.0 > limit;
+}
+
+/// True when an edge's usage already exceeds the virtual limit.
+inline bool edge_overflowed(double usage, double limit) {
+  return usage > limit;
+}
+
+/// Open-list entry of the A* search; exposed so MazeWorkspace can own the
+/// heap storage across calls.
+struct MazeQueueEntry {
+  double priority = 0.0;  // g + heuristic
+  double cost = 0.0;      // g
+  std::size_t node = 0;
+};
+
+/// Reusable scratch for maze_route: the best-cost/parent arrays and the
+/// open heap survive across calls, and a generation stamp makes each reset
+/// O(1) instead of O(nx * ny). One workspace serves one thread; the
+/// parallel router keeps a workspace per pool worker.
+class MazeWorkspace {
+ public:
+  /// Sizes the buffers for `nodes` grid nodes and invalidates all entries
+  /// from previous searches (constant time unless the grid size changed).
+  void prepare(std::size_t nodes) {
+    if (stamp_.size() != nodes) {
+      best_.assign(nodes, 0.0);
+      parent_.assign(nodes, nodes);
+      stamp_.assign(nodes, 0);
+      generation_ = 0;
+    }
+    ++generation_;
+    heap_.clear();
+  }
+
+  double best(std::size_t node) const {
+    return stamp_[node] == generation_
+               ? best_[node]
+               : std::numeric_limits<double>::infinity();
+  }
+  std::size_t parent(std::size_t node) const { return parent_[node]; }
+  void record(std::size_t node, double cost, std::size_t from) {
+    stamp_[node] = generation_;
+    best_[node] = cost;
+    parent_[node] = from;
+  }
+
+  std::vector<MazeQueueEntry>& heap() { return heap_; }
+
+ private:
+  std::vector<double> best_;
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t generation_ = 0;
+  std::vector<MazeQueueEntry> heap_;
+};
+
 /// Bin path from source to target inclusive; nullopt when no path exists
-/// under the capacity limit.
+/// under the capacity limit. The workspace overload reuses its buffers —
+/// the hot path for bulk routing; the plain overload is a convenience
+/// wrapper that allocates a fresh workspace.
+std::optional<std::vector<BinRef>> maze_route(const GridGraph& grid,
+                                              BinRef source, BinRef target,
+                                              const MazeOptions& options,
+                                              MazeWorkspace& workspace);
 std::optional<std::vector<BinRef>> maze_route(const GridGraph& grid,
                                               BinRef source, BinRef target,
                                               const MazeOptions& options);
@@ -34,8 +122,17 @@ void commit_path(GridGraph& grid, const std::vector<BinRef>& path);
 /// Removes a previously committed path's usage (rip-up for rerouting).
 void uncommit_path(GridGraph& grid, const std::vector<BinRef>& path);
 
-/// True when any edge along the path is currently over capacity.
+/// True when any edge along the path is overflowed against `limit`
+/// (usage > limit); the two-argument form uses the physical capacity.
+bool path_overflows(const GridGraph& grid, const std::vector<BinRef>& path,
+                    double limit);
 bool path_overflows(const GridGraph& grid, const std::vector<BinRef>& path);
+
+/// True when committing the path now would push some edge above `limit`
+/// (the maze's blocking predicate applied to a finished path) — used by
+/// the parallel router to validate speculative paths before commit.
+bool path_blocked(const GridGraph& grid, const std::vector<BinRef>& path,
+                  double limit);
 
 /// Length of a committed path in um (edges * bin width).
 double path_length_um(const GridGraph& grid, const std::vector<BinRef>& path);

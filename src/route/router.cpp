@@ -7,6 +7,8 @@
 
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace autoncs::route {
 
@@ -20,12 +22,68 @@ struct Segment {
   double weight;
 };
 
+/// Outcome of speculatively routing one segment against a frozen grid.
+struct Attempt {
+  std::optional<std::vector<BinRef>> path;
+  /// Virtual limit the path was found under (infinite for the fallback).
+  double limit = 0.0;
+  /// Relax steps used; max_relax_steps + 1 marks the unconstrained fallback.
+  std::size_t relaxations = 0;
+  /// Maze searches spent (successful + failed).
+  std::size_t searches = 0;
+};
+
+/// Routes one segment with the paper's relaxation schedule: start at the
+/// configured limit factor, multiply by relax_factor on failure, and fall
+/// back to an unconstrained route (always succeeds on a connected grid)
+/// once max_relax_steps is exhausted.
+Attempt route_segment(const GridGraph& grid, BinRef source, BinRef target,
+                      const RouterOptions& options, double history_weight,
+                      MazeWorkspace& workspace) {
+  Attempt out;
+  MazeOptions maze{options.congestion_penalty, options.capacity_limit_factor,
+                   history_weight};
+  for (std::size_t attempt = 0; attempt <= options.max_relax_steps; ++attempt) {
+    ++out.searches;
+    out.path = maze_route(grid, source, target, maze, workspace);
+    if (out.path) {
+      out.limit = maze.capacity_limit_factor * grid.edge_capacity();
+      out.relaxations = attempt;
+      return out;
+    }
+    // Relax the virtual capacity for this wire and retry (Sec. 3.5).
+    maze.capacity_limit_factor *= options.relax_factor;
+  }
+  maze.capacity_limit_factor = std::numeric_limits<double>::infinity();
+  ++out.searches;
+  out.path = maze_route(grid, source, target, maze, workspace);
+  AUTONCS_CHECK(out.path.has_value(), "unconstrained maze route failed");
+  out.limit = std::numeric_limits<double>::infinity();
+  out.relaxations = options.max_relax_steps + 1;
+  return out;
+}
+
 }  // namespace
 
 RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& options,
                     const tech::TechnologyModel& tech) {
+  util::WallTimer timer;
   AUTONCS_CHECK(netlist.validate().empty(), "netlist failed validation");
   AUTONCS_CHECK(options.theta > 0.0, "theta must be positive");
+  AUTONCS_CHECK(options.capacity_limit_factor > 0.0,
+                "capacity limit factor must be positive");
+
+  RoutingResult result;
+  if (netlist.cells.empty() || netlist.wires.empty()) {
+    // Nothing to route: an empty cell set would otherwise divide by zero
+    // below and propagate infinite extents into the grid dimensions.
+    result.wires.reserve(netlist.wires.size());
+    for (std::size_t w = 0; w < netlist.wires.size(); ++w) {
+      result.wires.push_back({w, 0.0, netlist.wires[w].device_delay_ns, 0});
+    }
+    result.runtime_ms = timer.elapsed_ms();
+    return result;
+  }
 
   // Die extent over cell centers (cells already placed).
   double min_x = std::numeric_limits<double>::infinity();
@@ -55,7 +113,6 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
       std::ceil((max_y - min_y + 2.0 * margin) / options.theta)) + 1;
   const double capacity = std::max(1.0, options.theta * options.capacity_per_um);
 
-  RoutingResult result;
   result.grid = GridGraph(nx, ny, options.theta, origin_x, origin_y, capacity);
   GridGraph& grid = result.grid;
 
@@ -110,64 +167,150 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
       }
     }
   }
-  // Routing order: ascending center-of-gravity distance, weight breaks ties
-  // (heavier first), then wire index for determinism.
+  // Canonical routing order: ascending center-of-gravity distance, weight
+  // breaks ties (heavier first), then wire index for determinism.
   std::sort(segments.begin(), segments.end(), [](const Segment& a, const Segment& b) {
     if (a.sort_distance != b.sort_distance) return a.sort_distance < b.sort_distance;
     if (a.weight != b.weight) return a.weight > b.weight;
     return a.wire_index < b.wire_index;
   });
+  result.segments_total = segments.size();
 
-  std::vector<double> wire_length(netlist.wires.size(), 0.0);
-  std::vector<std::size_t> wire_relax(netlist.wires.size(), 0);
-  // Committed grid path per segment (empty = intra-bin connection).
+  // Source/target bins are fixed by the placement; compute them once.
+  std::vector<BinRef> seg_source(segments.size());
+  std::vector<BinRef> seg_target(segments.size());
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const auto& ca = netlist.cells[segments[s].pin_a];
+    const auto& cb = netlist.cells[segments[s].pin_b];
+    seg_source[s] = grid.bin_of(ca.x, ca.y);
+    seg_target[s] = grid.bin_of(cb.x, cb.y);
+  }
+
+  util::ThreadPool pool(options.threads);
+  result.threads_used = pool.size();
+  std::vector<MazeWorkspace> workspaces(pool.size());
+
+  // Committed grid path per segment (empty = intra-bin connection), plus
+  // the relaxations its FINAL committed route used (reset on rip-up).
   std::vector<std::vector<BinRef>> segment_path(segments.size());
+  std::vector<std::size_t> segment_relax(segments.size(), 0);
+  std::vector<Attempt> attempts(segments.size());
 
-  const auto route_segment = [&](std::size_t s, double history_weight) {
-    const Segment& segment = segments[s];
-    const auto& ca = netlist.cells[segment.pin_a];
-    const auto& cb = netlist.cells[segment.pin_b];
-    const BinRef source = grid.bin_of(ca.x, ca.y);
-    const BinRef target = grid.bin_of(cb.x, cb.y);
-    if (source == target) {
-      return;  // intra-bin: handled by the direct-length term below
+  // Wave engine: `pending` must be in canonical (ascending segment) order.
+  const auto route_waves = [&](std::vector<std::size_t> pending,
+                               double history_weight) {
+    while (!pending.empty()) {
+      ++result.waves;
+      // Speculative phase: every pending segment searches against the
+      // frozen grid. The grid is read-only here, each worker owns its
+      // workspace, and each segment owns its attempt slot — no shared
+      // mutable state, so the paths are independent of the partition.
+      pool.parallel_for(
+          pending.size(),
+          [&](std::size_t begin, std::size_t end, std::size_t worker) {
+            for (std::size_t k = begin; k < end; ++k) {
+              const std::size_t s = pending[k];
+              attempts[s] = route_segment(grid, seg_source[s], seg_target[s],
+                                          options, history_weight,
+                                          workspaces[worker]);
+            }
+          });
+      // Commit phase: sequential, in canonical order. Only clean
+      // (unrelaxed) speculative paths commit; one invalidated by an
+      // earlier commit of this wave is deferred and rerouted against the
+      // updated grid next wave. A speculation that needed capacity
+      // relaxation is discarded outright — relaxed paths chosen against a
+      // stale snapshot pile overflow onto the same edges without seeing
+      // each other — and the segment is rerouted inline against the live
+      // grid, exactly what a sequential negotiated pass would do.
+      std::vector<std::size_t> deferred;
+      for (std::size_t s : pending) {
+        Attempt& attempt = attempts[s];
+        result.maze_invocations += attempt.searches;
+        if (attempt.relaxations == 0 &&
+            !path_blocked(grid, *attempt.path, attempt.limit)) {
+          commit_path(grid, *attempt.path);
+          segment_path[s] = std::move(*attempt.path);
+          segment_relax[s] = 0;
+          continue;
+        }
+        if (attempt.relaxations == 0) {
+          deferred.push_back(s);
+          continue;
+        }
+        Attempt fresh = route_segment(grid, seg_source[s], seg_target[s],
+                                      options, history_weight, workspaces[0]);
+        result.maze_invocations += fresh.searches;
+        commit_path(grid, *fresh.path);
+        segment_path[s] = std::move(*fresh.path);
+        segment_relax[s] = fresh.relaxations;
+      }
+      pending = std::move(deferred);
     }
-    MazeOptions maze{options.congestion_penalty, 1.0, history_weight};
-    std::optional<std::vector<BinRef>> path;
-    for (std::size_t attempt = 0; attempt <= options.max_relax_steps; ++attempt) {
-      path = maze_route(grid, source, target, maze);
-      if (path) break;
-      // Relax the virtual capacity for this wire and retry (Sec. 3.5).
-      maze.capacity_limit_factor *= options.relax_factor;
-      wire_relax[segment.wire_index] += 1;
-    }
-    if (!path) {
-      // Route unconstrained (infinite limit): always succeeds on a
-      // connected grid.
-      maze.capacity_limit_factor = std::numeric_limits<double>::infinity();
-      path = maze_route(grid, source, target, maze);
-      AUTONCS_CHECK(path.has_value(), "unconstrained maze route failed");
-    }
-    commit_path(grid, *path);
-    segment_path[s] = std::move(*path);
   };
 
-  for (std::size_t s = 0; s < segments.size(); ++s) route_segment(s, 0.0);
+  std::vector<std::size_t> initial;
+  initial.reserve(segments.size());
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    // Intra-bin segments are handled by the direct-length term below.
+    if (!(seg_source[s] == seg_target[s])) initial.push_back(s);
+  }
+  result.segments_routed = initial.size();
+  route_waves(std::move(initial), 0.0);
 
-  // Negotiated rerouting: accumulate history on overflowed edges, rip up
-  // the wires crossing them, and reroute with the history in the cost.
-  for (std::size_t pass = 0; pass < options.reroute_passes; ++pass) {
-    if (grid.accumulate_history() == 0) break;
-    for (std::size_t s = 0; s < segments.size(); ++s) {
-      if (segment_path[s].empty() || !path_overflows(grid, segment_path[s]))
-        continue;
-      uncommit_path(grid, segment_path[s]);
-      segment_path[s].clear();
-      route_segment(s, options.history_weight);
+  // Negotiated rerouting: accumulate history on overflowed edges, then rip
+  // up and reroute the crossing segments ONE AT A TIME — each reroute sees
+  // every other committed path (ripping the whole overflowed set first
+  // would let the reroutes pile straight back into the emptied cut).
+  // Overflow is judged against the SAME virtual limit the maze blocks on
+  // (see the capacity invariant in maze_router.hpp). This stage is
+  // sequential by construction; the heavy initial pass above carries the
+  // parallelism.
+  const double overflow_limit = options.capacity_limit_factor * capacity;
+  if (options.reroute_passes > 0) {
+    // Negotiated rerouting is not monotone — a pass can trade overflow up.
+    // Keep the best configuration seen (the initial routing included) and
+    // restore it if the passes end somewhere worse, so reroute_passes > 0
+    // is never worse than the single-pass flow.
+    double best_overflow = grid.total_overflow();
+    std::vector<std::vector<BinRef>> best_path = segment_path;
+    std::vector<std::size_t> best_relax = segment_relax;
+    for (std::size_t pass = 0; pass < options.reroute_passes; ++pass) {
+      if (grid.accumulate_history(overflow_limit) == 0) break;
+      for (std::size_t s = 0; s < segments.size(); ++s) {
+        if (segment_path[s].empty() ||
+            !path_overflows(grid, segment_path[s], overflow_limit))
+          continue;
+        uncommit_path(grid, segment_path[s]);
+        segment_path[s].clear();
+        Attempt fresh =
+            route_segment(grid, seg_source[s], seg_target[s], options,
+                          options.history_weight, workspaces[0]);
+        result.maze_invocations += fresh.searches;
+        commit_path(grid, *fresh.path);
+        segment_path[s] = std::move(*fresh.path);
+        segment_relax[s] = fresh.relaxations;
+      }
+      const double pass_overflow = grid.total_overflow();
+      if (pass_overflow < best_overflow) {
+        best_overflow = pass_overflow;
+        best_path = segment_path;
+        best_relax = segment_relax;
+      }
+    }
+    if (grid.total_overflow() > best_overflow) {
+      for (const auto& path : segment_path)
+        if (!path.empty()) uncommit_path(grid, path);
+      for (const auto& path : best_path)
+        if (!path.empty()) commit_path(grid, path);
+      segment_path = std::move(best_path);
+      segment_relax = std::move(best_relax);
     }
   }
 
   // Wire lengths: grid paths plus the detailed (intra-bin) spans.
+  std::vector<double> wire_length(netlist.wires.size(), 0.0);
+  std::vector<std::size_t> wire_relax(netlist.wires.size(), 0);
   for (std::size_t s = 0; s < segments.size(); ++s) {
     const Segment& segment = segments[s];
     if (segment_path[s].empty()) {
@@ -178,6 +321,7 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
     } else {
       wire_length[segment.wire_index] += path_length_um(grid, segment_path[s]);
     }
+    wire_relax[segment.wire_index] += segment_relax[s];
   }
 
   result.wires.reserve(netlist.wires.size());
@@ -199,10 +343,14 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
                             : delay_sum / static_cast<double>(netlist.wires.size());
   result.total_overflow = grid.total_overflow();
   result.peak_congestion = grid.peak_congestion();
+  result.runtime_ms = timer.elapsed_ms();
 
   util::LogLine(util::LogLevel::kInfo, "route")
       << "routed " << netlist.wires.size() << " wires, L="
-      << result.total_wirelength_um << " um, overflow=" << result.total_overflow;
+      << result.total_wirelength_um << " um, overflow=" << result.total_overflow
+      << " (" << result.segments_routed << " segments, " << result.waves
+      << " waves, " << result.threads_used << " threads, "
+      << result.runtime_ms << " ms)";
   return result;
 }
 

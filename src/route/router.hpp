@@ -1,11 +1,35 @@
 // Global routing driver — Sec. 3.5 of the paper.
 //
 // A grid graph with user bin width theta is built over the placed die.
-// Wires are decomposed into two-pin segments and routed in ascending order
-// of "distance from the center of gravity of all cells to the wire's
-// closest pin", with the wire weight as tie breaker. A wire that cannot be
-// routed under the current virtual capacity is retried with the capacity
-// relaxed until it routes, exactly as the paper describes.
+// Wires are decomposed into two-pin segments and ordered by "distance from
+// the center of gravity of all cells to the wire's closest pin", with the
+// wire weight as tie breaker. A wire that cannot be routed under the
+// current virtual capacity is retried with the capacity relaxed until it
+// routes, exactly as the paper describes.
+//
+// ## Parallel wave model (deterministic)
+//
+// Segments are routed in WAVES: every still-unrouted segment is routed
+// speculatively — in parallel, against a frozen snapshot of the grid —
+// and the resulting paths are then committed sequentially in the canonical
+// segment order. A clean (unrelaxed) speculative path is committed only if
+// the commits made earlier in the same wave left every one of its edges
+// able to absorb one more wire under the limit the path was found with
+// (path_blocked); otherwise the segment is deferred into the next wave and
+// rerouted against the updated grid. A speculation that needed capacity
+// relaxation is never committed — it was chosen against a stale view of
+// congestion — and the segment is instead rerouted inline against the live
+// grid during the commit phase, matching a fully sequential negotiated
+// pass. Each wave commits at least its first pending
+// segment, so the engine terminates, and because the wave composition,
+// the per-segment searches, and the commit order depend only on the
+// canonical order — never on the thread count or scheduling — the routing
+// result is bit-identical for any `threads` value.
+//
+// Negotiated reroute passes (reroute_passes > 0) rip up and reroute the
+// overflowed segments one at a time, sequentially: each reroute must see
+// every other committed path, or the reroutes pile straight back into the
+// cut they were ripped from. The initial pass carries the parallelism.
 #pragma once
 
 #include <cstddef>
@@ -35,6 +59,10 @@ struct RouterOptions {
   double capacity_per_um = 2.0;
   /// Base congestion penalty for maze cost.
   double congestion_penalty = 2.0;
+  /// Starting virtual-capacity limit factor (see the capacity invariant in
+  /// maze_router.hpp); < 1 reserves headroom below the physical capacity
+  /// and makes at-limit edges eligible for negotiated rerouting.
+  double capacity_limit_factor = 1.0;
   /// Virtual-capacity relaxation multiplier per failed attempt.
   double relax_factor = 1.5;
   /// Maximum relaxation retries per segment before routing unconstrained.
@@ -47,6 +75,9 @@ struct RouterOptions {
   std::size_t reroute_passes = 0;
   /// Weight of the accumulated history in the maze cost during reroutes.
   double history_weight = 2.0;
+  /// Worker threads for the speculative routing waves; 0 = hardware
+  /// concurrency. The routing result is bit-identical for any value.
+  std::size_t threads = 0;
 };
 
 struct RoutedWire {
@@ -54,7 +85,11 @@ struct RoutedWire {
   double length_um = 0.0;
   /// Routed Elmore delay plus the wire's device delay (ns).
   double delay_ns = 0.0;
-  /// Number of capacity relaxations this wire needed.
+  /// Capacity relaxations used by the FINAL committed routes of this
+  /// wire's segments: a segment routed after k relax steps contributes k,
+  /// and a segment that exhausted max_relax_steps and fell back to an
+  /// unconstrained route contributes max_relax_steps + 1. Ripped-up
+  /// segments contribute only their final (re)route.
   std::size_t relaxations = 0;
 };
 
@@ -66,11 +101,25 @@ struct RoutingResult {
   double total_overflow = 0.0;
   double peak_congestion = 0.0;
   GridGraph grid = GridGraph(1, 1, 1.0, 0.0, 0.0, 1.0);
+
+  // --- throughput telemetry ---
+  /// Two-pin segments the wires decomposed into (including intra-bin ones).
+  std::size_t segments_total = 0;
+  /// Segments that needed a grid path (inter-bin).
+  std::size_t segments_routed = 0;
+  /// Maze searches performed, counting relaxation retries and reroutes.
+  std::size_t maze_invocations = 0;
+  /// Speculative routing waves executed across all passes.
+  std::size_t waves = 0;
+  /// Pool workers used (1 = sequential).
+  std::size_t threads_used = 1;
+  double runtime_ms = 0.0;
 };
 
 /// Routes all wires of the placed netlist. Every wire is guaranteed to be
 /// routed (capacity is relaxed as needed), so total_wirelength covers the
-/// entire design.
+/// entire design. An empty netlist (no cells or no wires) yields an empty
+/// result with a degenerate 1x1 grid.
 RoutingResult route(const netlist::Netlist& netlist,
                     const RouterOptions& options = {},
                     const tech::TechnologyModel& tech = tech::default_tech());

@@ -1,0 +1,100 @@
+#include "util/thread_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace autoncs::util {
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : worker_count_(resolve_thread_count(threads)) {
+  threads_.reserve(worker_count_ - 1);
+  for (std::size_t w = 1; w < worker_count_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::chunk_bounds(std::size_t count, std::size_t chunk,
+                              std::size_t chunks, std::size_t* begin,
+                              std::size_t* end) {
+  AUTONCS_CHECK(chunks > 0 && chunk < chunks, "chunk index out of range");
+  *begin = chunk * count / chunks;
+  *end = (chunk + 1) * count / chunks;
+}
+
+void ThreadPool::run_chunk(const RangeFn& fn, std::size_t count,
+                           std::size_t worker) {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  chunk_bounds(count, worker, worker_count_, &begin, &end);
+  if (begin >= end) return;
+  try {
+    fn(begin, end, worker);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count, const RangeFn& fn) {
+  if (count == 0) return;
+  if (worker_count_ == 1) {
+    fn(0, count, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_count_ = count;
+    running_ = threads_.size();
+    error_ = nullptr;
+    ++job_id_;
+  }
+  start_cv_.notify_all();
+  run_chunk(fn, count, 0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return running_ == 0; });
+  job_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const RangeFn* job = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || job_id_ != seen; });
+      if (stop_) return;
+      seen = job_id_;
+      job = job_;
+      count = job_count_;
+    }
+    run_chunk(*job, count, worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace autoncs::util

@@ -1,0 +1,72 @@
+// Deterministic fixed-size thread pool.
+//
+// The pool statically partitions an index range [0, count) into size()
+// contiguous chunks — chunk w runs on worker w, with worker 0 being the
+// calling thread. The partition depends only on (count, size()), never on
+// scheduling, so any per-item computation that does not share mutable
+// state is reproducible run to run. Callers that need results independent
+// of the THREAD COUNT as well (the router and placer hot paths) arrange
+// their algorithms so each item's output is computed independently and
+// reduced in a fixed sequential order afterwards.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace autoncs::util {
+
+/// Maps a user-facing thread knob to a concrete worker count: 0 means
+/// "hardware concurrency" (at least 1), anything else is used as given.
+std::size_t resolve_thread_count(std::size_t requested);
+
+class ThreadPool {
+ public:
+  /// fn(begin, end, worker): process items [begin, end) on worker `worker`.
+  using RangeFn =
+      std::function<void(std::size_t, std::size_t, std::size_t)>;
+
+  /// Spawns `threads - 1` workers (the caller participates as worker 0);
+  /// 0 resolves to the hardware concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers including the calling thread (>= 1).
+  std::size_t size() const { return worker_count_; }
+
+  /// Runs fn over [0, count) split into size() contiguous chunks; blocks
+  /// until every chunk finished. The first exception thrown by any chunk
+  /// is rethrown on the calling thread. Not reentrant.
+  void parallel_for(std::size_t count, const RangeFn& fn);
+
+  /// Chunk `chunk` of `chunks` over [0, count): [begin, end). Contiguous,
+  /// covers the range exactly, sizes differ by at most one.
+  static void chunk_bounds(std::size_t count, std::size_t chunk,
+                           std::size_t chunks, std::size_t* begin,
+                           std::size_t* end);
+
+ private:
+  void worker_loop(std::size_t worker);
+  void run_chunk(const RangeFn& fn, std::size_t count, std::size_t worker);
+
+  std::size_t worker_count_;
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const RangeFn* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::uint64_t job_id_ = 0;
+  std::size_t running_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace autoncs::util

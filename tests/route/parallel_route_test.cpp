@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "route/maze_router.hpp"
+#include "route/router.hpp"
+
+namespace autoncs::route {
+namespace {
+
+/// Deterministic congested netlist: a lattice of cells with pseudo-random
+/// 2-pin and multi-pin wires (tiny LCG, no global RNG state) so both the
+/// star/MST decomposition and the relaxation path are exercised.
+netlist::Netlist congested_netlist(std::size_t cols, std::size_t rows,
+                                   std::size_t wires) {
+  netlist::Netlist net;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      netlist::Cell cell;
+      cell.width = 0.5;
+      cell.height = 0.5;
+      cell.x = static_cast<double>(c) * 6.0;
+      cell.y = static_cast<double>(r) * 6.0;
+      net.cells.push_back(cell);
+    }
+  }
+  std::uint64_t state = 2015;
+  const auto next = [&state](std::size_t bound) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::size_t>((state >> 33) % bound);
+  };
+  const std::size_t n = net.cells.size();
+  for (std::size_t w = 0; w < wires; ++w) {
+    netlist::Wire wire;
+    const std::size_t pins = 2 + (w % 3);  // mix of 2-, 3-, 4-pin wires
+    std::size_t previous = next(n);
+    wire.pins.push_back(previous);
+    while (wire.pins.size() < pins) {
+      const std::size_t pin = next(n);
+      if (pin != previous) {
+        wire.pins.push_back(pin);
+        previous = pin;
+      }
+    }
+    wire.weight = 1.0 + static_cast<double>(w % 4);
+    wire.device_delay_ns = 0.1;
+    net.wires.push_back(wire);
+  }
+  return net;
+}
+
+void expect_identical(const RoutingResult& a, const RoutingResult& b) {
+  // Bit-identical: exact comparisons, no tolerance.
+  EXPECT_EQ(a.total_wirelength_um, b.total_wirelength_um);
+  EXPECT_EQ(a.total_overflow, b.total_overflow);
+  EXPECT_EQ(a.peak_congestion, b.peak_congestion);
+  EXPECT_EQ(a.average_delay_ns, b.average_delay_ns);
+  EXPECT_EQ(a.max_delay_ns, b.max_delay_ns);
+  EXPECT_EQ(a.waves, b.waves);
+  EXPECT_EQ(a.maze_invocations, b.maze_invocations);
+  EXPECT_EQ(a.segments_routed, b.segments_routed);
+  ASSERT_EQ(a.wires.size(), b.wires.size());
+  for (std::size_t w = 0; w < a.wires.size(); ++w) {
+    EXPECT_EQ(a.wires[w].length_um, b.wires[w].length_um) << "wire " << w;
+    EXPECT_EQ(a.wires[w].relaxations, b.wires[w].relaxations) << "wire " << w;
+    EXPECT_EQ(a.wires[w].delay_ns, b.wires[w].delay_ns) << "wire " << w;
+  }
+  ASSERT_EQ(a.grid.nx(), b.grid.nx());
+  ASSERT_EQ(a.grid.ny(), b.grid.ny());
+  for (std::size_t iy = 0; iy < a.grid.ny(); ++iy) {
+    for (std::size_t ix = 0; ix + 1 < a.grid.nx(); ++ix)
+      EXPECT_EQ(a.grid.h_usage(ix, iy), b.grid.h_usage(ix, iy));
+  }
+  for (std::size_t iy = 0; iy + 1 < a.grid.ny(); ++iy) {
+    for (std::size_t ix = 0; ix < a.grid.nx(); ++ix)
+      EXPECT_EQ(a.grid.v_usage(ix, iy), b.grid.v_usage(ix, iy));
+  }
+}
+
+TEST(ParallelRoute, BitIdenticalAcrossThreadCounts) {
+  const auto net = congested_netlist(8, 8, 60);
+  RouterOptions options;
+  options.theta = 4.0;
+  options.capacity_per_um = 0.25;  // capacity 1: forces contention
+  options.reroute_passes = 2;
+  options.threads = 1;
+  const auto reference = route(net, options);
+  EXPECT_GT(reference.waves, 1u);  // contention actually produced deferrals
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    options.threads = threads;
+    const auto parallel = route(net, options);
+    EXPECT_EQ(parallel.threads_used, threads);
+    expect_identical(reference, parallel);
+  }
+}
+
+TEST(ParallelRoute, BitIdenticalWithoutContention) {
+  const auto net = congested_netlist(6, 6, 25);
+  RouterOptions options;
+  options.theta = 4.0;
+  options.capacity_per_um = 10.0;  // generous: single wave expected
+  options.threads = 1;
+  const auto reference = route(net, options);
+  options.threads = 4;
+  const auto parallel = route(net, options);
+  expect_identical(reference, parallel);
+}
+
+TEST(ParallelRoute, WorkspaceReuseMatchesFresh) {
+  GridGraph grid(12, 12, 2.0, 0.0, 0.0, 2.0);
+  grid.add_h_usage(3, 4, 2.0);  // carve some congestion into the grid
+  grid.add_h_usage(4, 4, 2.0);
+  grid.add_v_usage(5, 5, 1.0);
+  MazeOptions options;
+  MazeWorkspace reused;
+  const BinRef pairs[][2] = {
+      {{0, 0}, {11, 11}}, {{2, 4}, {9, 4}}, {{11, 0}, {0, 11}},
+      {{5, 5}, {5, 6}},   {{1, 9}, {10, 2}},
+  };
+  for (const auto& pair : pairs) {
+    const auto fresh_path = maze_route(grid, pair[0], pair[1], options);
+    const auto reused_path =
+        maze_route(grid, pair[0], pair[1], options, reused);
+    ASSERT_TRUE(fresh_path.has_value());
+    ASSERT_TRUE(reused_path.has_value());
+    EXPECT_EQ(*fresh_path, *reused_path);
+  }
+}
+
+TEST(ParallelRoute, EmptyNetlistYieldsEmptyResult) {
+  const netlist::Netlist empty;
+  const auto result = route(empty);
+  EXPECT_TRUE(result.wires.empty());
+  EXPECT_EQ(result.total_wirelength_um, 0.0);
+  EXPECT_EQ(result.total_overflow, 0.0);
+  EXPECT_EQ(result.segments_total, 0u);
+}
+
+TEST(ParallelRoute, CellsWithoutWiresYieldsEmptyResult) {
+  netlist::Netlist net;
+  netlist::Cell cell;
+  cell.width = 1.0;
+  cell.height = 1.0;
+  net.cells.push_back(cell);
+  net.cells.push_back(cell);
+  const auto result = route(net);
+  EXPECT_TRUE(result.wires.empty());
+  EXPECT_EQ(result.total_wirelength_um, 0.0);
+}
+
+TEST(EdgeSemantics, BlockedAndOverflowedAreConsistent) {
+  // The capacity invariant (maze_router.hpp): if an edge is not blocked,
+  // committing one more wire must not overflow it.
+  for (double limit : {1.0, 1.5, 2.0, 3.7}) {
+    for (double usage = 0.0; usage < 6.0; usage += 0.25) {
+      if (!edge_blocked(usage, limit)) {
+        EXPECT_FALSE(edge_overflowed(usage + 1.0, limit))
+            << "usage " << usage << " limit " << limit;
+      }
+    }
+  }
+}
+
+TEST(EdgeSemantics, AtCapacityBlocksButDoesNotOverflow) {
+  EXPECT_FALSE(edge_blocked(0.0, 1.0));
+  EXPECT_TRUE(edge_blocked(1.0, 1.0));     // full: one more would overflow
+  EXPECT_FALSE(edge_overflowed(1.0, 1.0));  // but at capacity is legal
+  EXPECT_TRUE(edge_overflowed(1.5, 1.0));
+}
+
+TEST(EdgeSemantics, InfiniteLimitNeverBlocks) {
+  GridGraph grid(4, 1, 1.0, 0.0, 0.0, 1.0);
+  const std::vector<BinRef> path = {{0, 0}, {1, 0}, {2, 0}};
+  commit_path(grid, path);
+  commit_path(grid, path);
+  EXPECT_FALSE(
+      path_blocked(grid, path, std::numeric_limits<double>::infinity()));
+  EXPECT_TRUE(path_blocked(grid, path, grid.edge_capacity()));
+}
+
+}  // namespace
+}  // namespace autoncs::route

@@ -75,6 +75,97 @@ TEST(Reroute, UsageAccountingStaysConsistent) {
   EXPECT_NEAR(edge_usage * options.theta, result.total_wirelength_um, 1e-9);
 }
 
+TEST(Reroute, NeverWorseThanSinglePass) {
+  // The router keeps the best configuration seen across passes, so more
+  // negotiation can never end with more overflow than no negotiation.
+  const auto net = contested_netlist(16);
+  RouterOptions base;
+  base.theta = 4.0;
+  base.capacity_per_um = 0.25;
+  const auto single = route(net, base);
+  for (std::size_t passes : {1u, 2u, 4u, 8u}) {
+    RouterOptions negotiated = base;
+    negotiated.reroute_passes = passes;
+    const auto result = route(net, negotiated);
+    EXPECT_LE(result.total_overflow, single.total_overflow)
+        << passes << " passes";
+  }
+}
+
+TEST(Reroute, HistoryRecordedOnResultGrid) {
+  const auto net = contested_netlist(16);
+  RouterOptions options;
+  options.theta = 4.0;
+  options.capacity_per_um = 0.25;
+  options.reroute_passes = 2;
+  const auto result = route(net, options);
+  double history = 0.0;
+  for (std::size_t iy = 0; iy < result.grid.ny(); ++iy) {
+    for (std::size_t ix = 0; ix + 1 < result.grid.nx(); ++ix)
+      history += result.grid.h_history(ix, iy);
+  }
+  for (std::size_t iy = 0; iy + 1 < result.grid.ny(); ++iy) {
+    for (std::size_t ix = 0; ix < result.grid.nx(); ++ix)
+      history += result.grid.v_history(ix, iy);
+  }
+  // The contested cut overflows, so the negotiation must have charged
+  // history onto its edges.
+  EXPECT_GT(history, 0.0);
+}
+
+/// All cells on one row with margin_bins = 0: the grid is a single-row
+/// corridor with no detours, so every wire after the first MUST relax the
+/// virtual capacity (or fall back to an unconstrained route).
+netlist::Netlist corridor_netlist(std::size_t wires) {
+  netlist::Netlist net;
+  for (std::size_t w = 0; w < wires; ++w) {
+    netlist::Cell a;
+    a.width = 0.5;
+    a.height = 0.5;
+    a.x = 0.0;
+    a.y = 0.0;
+    netlist::Cell b = a;
+    b.x = 16.0;
+    net.cells.push_back(a);
+    net.cells.push_back(b);
+    net.wires.push_back({{2 * w, 2 * w + 1}, 1.0, 0.0});
+  }
+  return net;
+}
+
+TEST(Reroute, RelaxationCountsReflectFinalRoutes) {
+  const auto net = corridor_netlist(4);
+  RouterOptions options;
+  options.theta = 4.0;
+  options.capacity_per_um = 0.25;  // capacity 1
+  options.margin_bins = 0;
+  const auto result = route(net, options);
+  // Wire k sees usage k on every corridor edge; it routes once the limit
+  // 1.5^r reaches k + 1: r = 0, 2, 3, 4.
+  EXPECT_EQ(result.wires[0].relaxations, 0u);
+  EXPECT_EQ(result.wires[1].relaxations, 2u);
+  EXPECT_EQ(result.wires[2].relaxations, 3u);
+  EXPECT_EQ(result.wires[3].relaxations, 4u);
+  EXPECT_GT(result.total_overflow, 0.0);
+}
+
+TEST(Reroute, UnconstrainedFallbackReportsMaxRelaxPlusOne) {
+  const auto net = corridor_netlist(3);
+  RouterOptions options;
+  options.theta = 4.0;
+  options.capacity_per_um = 0.25;
+  options.margin_bins = 0;
+  options.max_relax_steps = 1;  // relaxation cannot reach limit 2
+  const auto result = route(net, options);
+  EXPECT_EQ(result.wires[0].relaxations, 0u);
+  for (std::size_t w = 1; w < result.wires.size(); ++w) {
+    EXPECT_EQ(result.wires[w].relaxations, options.max_relax_steps + 1)
+        << "wire " << w;
+  }
+  // Every wire still routed despite the full corridor.
+  for (const auto& wire : result.wires) EXPECT_GT(wire.length_um, 0.0);
+}
+
 TEST(GridHistory, AccumulatesOnlyOverflowedEdges) {
   GridGraph grid(3, 3, 1.0, 0.0, 0.0, 2.0);
   grid.add_h_usage(0, 0, 3.0);  // 1 over

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace autoncs::util {
+namespace {
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_GE(resolve_thread_count(0), 1u);
+  EXPECT_EQ(resolve_thread_count(1), 1u);
+  EXPECT_EQ(resolve_thread_count(7), 7u);
+}
+
+TEST(ThreadPool, ChunkBoundsPartitionExactly) {
+  for (std::size_t count : {0u, 1u, 5u, 16u, 17u, 1000u}) {
+    for (std::size_t chunks : {1u, 2u, 3u, 4u, 8u}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+        ThreadPool::chunk_bounds(count, c, chunks, &begin, &end);
+        EXPECT_EQ(begin, prev_end);  // contiguous, in order
+        EXPECT_LE(begin, end);
+        covered += end - begin;
+        prev_end = end;
+      }
+      EXPECT_EQ(prev_end, count);
+      EXPECT_EQ(covered, count);
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkSizesDifferByAtMostOne) {
+  const std::size_t count = 23;
+  const std::size_t chunks = 5;
+  std::size_t min_size = count;
+  std::size_t max_size = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    ThreadPool::chunk_bounds(count, c, chunks, &begin, &end);
+    min_size = std::min(min_size, end - begin);
+    max_size = std::max(max_size, end - begin);
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    const std::size_t count = 777;
+    std::vector<std::atomic<int>> hits(count);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(count, [&](std::size_t begin, std::size_t end,
+                                 std::size_t worker) {
+      EXPECT_LT(worker, threads);
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  const std::size_t count = 100;
+  std::vector<double> out(count, 0.0);
+  for (int job = 0; job < 50; ++job) {
+    pool.parallel_for(count, [&](std::size_t begin, std::size_t end,
+                                 std::size_t) {
+      for (std::size_t i = begin; i < end; ++i)
+        out[i] = static_cast<double>(i) * 2.0;
+    });
+    const double sum = std::accumulate(out.begin(), out.end(), 0.0);
+    EXPECT_DOUBLE_EQ(sum, static_cast<double>(count * (count - 1)));
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(10,
+                        [](std::size_t begin, std::size_t, std::size_t) {
+                          if (begin == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a throwing job.
+  std::atomic<int> total{0};
+  pool.parallel_for(10, [&](std::size_t begin, std::size_t end, std::size_t) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(5, [&](std::size_t, std::size_t, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+}  // namespace
+}  // namespace autoncs::util

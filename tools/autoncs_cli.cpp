@@ -5,7 +5,7 @@
 //   autoncs generate --kind ldpc --variables 324 --checks 162 --out net.ncsnet
 //   autoncs info net.ncsnet
 //   autoncs flow net.ncsnet [--baseline] [--seed N] [--max-size 64]
-//                            [--layout] [--csv out.csv]
+//                            [--threads T] [--layout] [--csv out.csv]
 //
 // `flow` runs AutoNCS (and optionally the FullCro baseline) on a network
 // file and prints the physical cost; `generate` writes the built-in
@@ -76,7 +76,7 @@ int usage() {
                "[options] --out FILE\n"
                "  autoncs info FILE\n"
                "  autoncs flow FILE [--baseline] [--seed N] [--max-size S] "
-               "[--layout] \n"
+               "[--threads T] [--layout] \n"
                "see tools/autoncs_cli.cpp for the full option list\n");
   return 2;
 }
@@ -154,6 +154,8 @@ int cmd_flow(const Args& args) {
   }
   FlowConfig config;
   config.seed = static_cast<std::uint64_t>(args.get_long("seed", 2015));
+  // 0 = hardware concurrency; the flow result is identical for any value.
+  config.threads = static_cast<std::size_t>(args.get_long("threads", 0));
   const auto max_size = static_cast<std::size_t>(args.get_long("max-size", 64));
   std::vector<std::size_t> sizes;
   for (std::size_t s = 16; s <= max_size; s += 4) sizes.push_back(s);
@@ -162,6 +164,7 @@ int cmd_flow(const Args& args) {
 
   const auto ours = run_autoncs(*network, config);
   std::printf("%s\n", summarize_flow(ours, "AutoNCS").c_str());
+  std::printf("%s\n", summarize_timings(ours).c_str());
   if (args.has("layout")) {
     std::printf("%s", util::render_ascii(layout_field(ours.netlist, 2.0), 26, 52)
                           .c_str());
