@@ -1,0 +1,128 @@
+// Performance study — sparse Lanczos embedding vs the dense eigensolver.
+//
+// Sweeps the network size and times the spectral embedding both ways: the
+// historical dense tred2/tql2 path (all n eigenpairs, O(n^3)) and the
+// block-Lanczos CSR path (only the k eigenpairs clustering consumes).
+// Also reports the ISC front-end breakdown (embedding / k-means / packing)
+// with the sparse solver at the largest size, and verifies the Lanczos
+// embedding is bit-identical across thread counts (the determinism
+// guarantee documented in docs/clustering_perf.md).
+//
+// Usage: bench_perf_clustering [max_n]
+//   max_n caps the size sweep (default 1600); CI smoke-runs with a tiny
+//   cap so the dense reference stays cheap.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "clustering/embedding.hpp"
+#include "clustering/isc.hpp"
+#include "nn/generators.hpp"
+#include "common.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace autoncs;
+  bench::banner("Performance: sparse Lanczos embedding vs dense eigensolver");
+
+  std::size_t max_n = 1600;
+  if (argc > 1) max_n = static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10));
+
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 200; n <= max_n; n *= 2) sizes.push_back(n);
+  if (sizes.empty()) sizes.push_back(max_n);
+
+  util::ConsoleTable table({"n", "nnz", "k", "dense (ms)", "lanczos (ms)",
+                            "speedup"});
+  util::CsvWriter csv(bench::output_path("perf_clustering.csv"),
+                      {"n", "nnz", "k", "dense_ms", "lanczos_ms", "speedup"});
+
+  util::ThreadPool pool;  // hardware concurrency
+  bool identical = true;
+  double largest_speedup = 0.0;
+
+  for (std::size_t n : sizes) {
+    util::Rng rng(2015);
+    nn::BlockSparseOptions block;
+    block.blocks = std::max<std::size_t>(4, n / 50);
+    block.intra_density = 0.3;
+    block.inter_density = 0.002;
+    const auto net = nn::block_sparse(n, block, rng);
+    const std::size_t k = std::min(n, 2 * ((n + 63) / 64) + 16);
+
+    clustering::EmbeddingOptions dense_options;
+    dense_options.solver = clustering::EmbeddingSolver::kDense;
+    util::WallTimer timer;
+    const auto dense = clustering::spectral_embedding(net, dense_options);
+    const double dense_ms = timer.elapsed_ms();
+
+    clustering::EmbeddingOptions lanczos_options;
+    lanczos_options.solver = clustering::EmbeddingSolver::kLanczos;
+    lanczos_options.max_vectors = k;
+    lanczos_options.pool = &pool;
+    timer.restart();
+    const auto sparse = clustering::spectral_embedding(net, lanczos_options);
+    const double lanczos_ms = timer.elapsed_ms();
+
+    // Determinism: the Lanczos embedding must be bit-identical without the
+    // pool (i.e. for any thread count).
+    clustering::EmbeddingOptions serial_options = lanczos_options;
+    serial_options.pool = nullptr;
+    const auto serial = clustering::spectral_embedding(net, serial_options);
+    for (std::size_t j = 0; j < sparse.vectors.cols() && identical; ++j) {
+      if (sparse.values[j] != serial.values[j]) identical = false;
+      for (std::size_t i = 0; i < sparse.vectors.rows(); ++i)
+        if (sparse.vectors(i, j) != serial.vectors(i, j)) {
+          identical = false;
+          break;
+        }
+    }
+
+    const double speedup = lanczos_ms > 0.0 ? dense_ms / lanczos_ms : 0.0;
+    largest_speedup = speedup;
+    table.add_row({std::to_string(n),
+                   std::to_string(net.symmetrized_sparse().nonzeros()),
+                   std::to_string(k), util::fmt_double(dense_ms, 1),
+                   util::fmt_double(lanczos_ms, 1),
+                   util::fmt_double(speedup, 1)});
+    csv.row_values({static_cast<double>(n),
+                    static_cast<double>(net.symmetrized_sparse().nonzeros()),
+                    static_cast<double>(k), dense_ms, lanczos_ms, speedup});
+  }
+  std::printf("%s", table.render().c_str());
+
+  // ISC front-end breakdown with the sparse solver at the largest size.
+  {
+    const std::size_t n = sizes.back();
+    util::Rng rng(2015);
+    nn::BlockSparseOptions block;
+    block.blocks = std::max<std::size_t>(4, n / 50);
+    block.intra_density = 0.3;
+    block.inter_density = 0.002;
+    const auto net = nn::block_sparse(n, block, rng);
+    clustering::IscOptions options;
+    options.embedding_solver = clustering::EmbeddingSolver::kLanczos;
+    util::Rng isc_rng(2015);
+    const auto result =
+        clustering::iterative_spectral_clustering(net, options, isc_rng);
+    std::printf(
+        "ISC breakdown at n=%zu (%zu threads): embedding %.1f ms, "
+        "k-means %.1f ms, packing %.1f ms; %zu crossbars, outliers %.1f%%\n",
+        n, result.threads_used, result.timings.embedding_ms,
+        result.timings.kmeans_ms, result.timings.packing_ms,
+        result.crossbars.size(), 100.0 * result.outlier_ratio());
+  }
+
+  std::printf("lanczos embedding bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — determinism violated");
+  std::printf("largest-size embedding speedup (dense / lanczos): %.1fx\n",
+              largest_speedup);
+  std::printf("expected shape: speedup grows with n (dense is O(n^3), "
+              "Lanczos O(k nnz + k^2 n)); identical embeddings per row.\n");
+  return identical ? 0 : 1;
+}

@@ -6,6 +6,10 @@
 // speedup over the single-thread run. The routing result is required to be
 // bit-identical across thread counts (the wave model's determinism
 // guarantee); the bench verifies that, not just the timings.
+//
+// Usage: bench_perf_threads [testbench_id]
+//   testbench_id selects the Hopfield testbench (1..3, default 3 — the
+//   largest); CI smoke-runs with 1.
 #include <cstdio>
 #include <cstdlib>
 
@@ -16,11 +20,13 @@
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace autoncs;
   bench::banner("Performance: place/route speedup vs threads");
 
-  const auto tb = nn::build_testbench(3);  // largest testbench (N = 500)
+  int testbench_id = 3;  // largest testbench (N = 500)
+  if (argc > 1) testbench_id = std::atoi(argv[1]);
+  const auto tb = nn::build_testbench(testbench_id);
   FlowConfig config = bench::default_config();
   const mapping::HybridMapping mapping =
       mapping::fullcro_mapping(tb.topology, {config.baseline_crossbar_size, true});

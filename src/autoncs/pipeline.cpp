@@ -56,6 +56,7 @@ FlowResult run_physical_design(mapping::HybridMapping mapping,
 clustering::IscResult run_isc(const nn::ConnectionMatrix& network,
                               const FlowConfig& config) {
   clustering::IscOptions isc = config.isc;
+  if (isc.threads == 0) isc.threads = config.threads;
   if (config.derive_threshold_from_baseline) {
     isc.utilization_threshold = mapping::fullcro_utilization_threshold(
         network, {config.baseline_crossbar_size, true});
@@ -78,8 +79,11 @@ FlowResult run_autoncs(const nn::ConnectionMatrix& network,
   const double clustering_ms = stage.elapsed_ms();
 
   FlowResult result = run_physical_design(std::move(hybrid), config);
-  result.isc = std::move(isc);
   result.timings.clustering_ms = clustering_ms;
+  result.timings.clustering_embedding_ms = isc.timings.embedding_ms;
+  result.timings.clustering_kmeans_ms = isc.timings.kmeans_ms;
+  result.timings.clustering_packing_ms = isc.timings.packing_ms;
+  result.isc = std::move(isc);
   result.timings.total_ms += clustering_ms;
   return result;
 }

@@ -24,6 +24,11 @@ namespace autoncs {
 /// stay at zero.
 struct StageTimings {
   double clustering_ms = 0.0;
+  /// Clustering breakdown (subsets of clustering_ms): eigensolver,
+  /// k-means/GCP, and the optional packing pass.
+  double clustering_embedding_ms = 0.0;
+  double clustering_kmeans_ms = 0.0;
+  double clustering_packing_ms = 0.0;
   double netlist_ms = 0.0;
   double placement_ms = 0.0;
   double routing_ms = 0.0;

@@ -89,8 +89,17 @@ std::string summarize_timings(const FlowResult& result) {
                     : 0.0;
   std::ostringstream oss;
   oss << "stages:";
-  if (t.clustering_ms > 0.0)
-    oss << " clustering " << util::fmt_double(t.clustering_ms, 1) << " ms,";
+  if (t.clustering_ms > 0.0) {
+    oss << " clustering " << util::fmt_double(t.clustering_ms, 1) << " ms";
+    if (t.clustering_embedding_ms > 0.0 || t.clustering_kmeans_ms > 0.0 ||
+        t.clustering_packing_ms > 0.0) {
+      oss << " (embedding "
+          << util::fmt_double(t.clustering_embedding_ms, 1) << " ms, k-means "
+          << util::fmt_double(t.clustering_kmeans_ms, 1) << " ms, packing "
+          << util::fmt_double(t.clustering_packing_ms, 1) << " ms)";
+    }
+    oss << ",";
+  }
   oss << " netlist " << util::fmt_double(t.netlist_ms, 1) << " ms,"
       << " place " << util::fmt_double(t.placement_ms, 1) << " ms,"
       << " route " << util::fmt_double(t.routing_ms, 1) << " ms ("

@@ -1,0 +1,81 @@
+#include "clustering/embedding.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "linalg/lanczos.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::clustering {
+
+namespace {
+
+/// Structurally equivalent neurons (identical neighbourhoods — common in
+/// the finder cliques of QR-trained Hopfield nets) get EXACTLY equal
+/// embedding rows, which ties every k-means distance and defeats GCP's
+/// cluster splitting (a split cluster re-merges on the next assignment
+/// pass). A deterministic jitter far below the embedding scale breaks the
+/// ties without perturbing genuine structure. Keyed on (i, j) only, so the
+/// dense path (all n columns) and the sparse path (k columns) apply the
+/// identical perturbation to every column they share.
+void apply_tie_breaking_jitter(linalg::Matrix& vectors) {
+  for (std::size_t i = 0; i < vectors.rows(); ++i) {
+    for (std::size_t j = 0; j < vectors.cols(); ++j) {
+      std::uint64_t h = i * 0x100000001b3ull + j + 1;
+      const double unit =
+          static_cast<double>(util::split_mix64(h) >> 11) * 0x1.0p-53;
+      vectors(i, j) += (unit - 0.5) * 1e-7;
+    }
+  }
+}
+
+}  // namespace
+
+linalg::EigenDecomposition spectral_embedding(const nn::ConnectionMatrix& network,
+                                              const EmbeddingOptions& options) {
+  const std::size_t n = network.size();
+  const std::size_t k =
+      options.max_vectors == 0 ? n : std::min(options.max_vectors, n);
+  bool use_lanczos = options.solver == EmbeddingSolver::kLanczos;
+  if (options.solver == EmbeddingSolver::kAuto)
+    use_lanczos = n > options.dense_fallback_n && k < n;
+
+  linalg::EigenDecomposition embedding;
+  if (use_lanczos) {
+    linalg::LanczosOptions lanczos;
+    lanczos.pool = options.pool;
+    // The embedding feeds k-means geometry, where the tie-breaking jitter
+    // below is already 1e-7 of the coordinate scale — residuals tighter
+    // than that buy nothing but Lanczos iterations.
+    lanczos.tolerance = 1e-7;
+    // Krylov-space budget. The leading (community) eigenvalues converge in
+    // a few block steps, but the trailing requested pairs sit in the bulk
+    // of the Laplacian spectrum where gaps vanish and residual-driven
+    // Lanczos would grind toward a basis of size n — reintroducing the
+    // dense cost. A 4k-dimensional space pins the subspace geometry
+    // k-means consumes; the solver library default stays exact.
+    lanczos.max_iterations = std::max<std::size_t>(4 * k, 64);
+    embedding = linalg::sparse_laplacian_embedding(network.symmetrized_sparse(),
+                                                   k, {}, lanczos);
+  } else {
+    // Similarity = number of connections between two neurons (0, 1 or 2
+    // directed connections collapse to one undirected edge of weight 1;
+    // the clustering objective only needs "connected or not" because the
+    // connection matrix is binary — Sec. 3.2).
+    embedding = linalg::laplacian_embedding(network.symmetrized_dense());
+  }
+  apply_tie_breaking_jitter(embedding.vectors);
+  return embedding;
+}
+
+linalg::Matrix embedding_points(const linalg::EigenDecomposition& embedding,
+                                std::size_t k) {
+  const std::size_t n = embedding.vectors.rows();
+  const std::size_t cols = std::min(k, embedding.vectors.cols());
+  linalg::Matrix points(n, cols);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < cols; ++j) points(i, j) = embedding.vectors(i, j);
+  return points;
+}
+
+}  // namespace autoncs::clustering

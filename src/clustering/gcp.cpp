@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "clustering/embedding.hpp"
 #include "linalg/kmeans.hpp"
 #include "util/check.hpp"
 
@@ -30,15 +31,6 @@ std::vector<double> centroid_of(const linalg::Matrix& points,
   return mean;
 }
 
-linalg::Matrix embedding_points(const linalg::EigenDecomposition& embedding,
-                                std::size_t k) {
-  const std::size_t n = embedding.vectors.rows();
-  linalg::Matrix points(n, k);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < k; ++j) points(i, j) = embedding.vectors(i, j);
-  return points;
-}
-
 Clustering finalize(std::vector<std::size_t> assignment, std::size_t k) {
   Clustering out;
   out.clusters = linalg::cluster_members(assignment, k);
@@ -59,10 +51,14 @@ Clustering finalize(std::vector<std::size_t> assignment, std::size_t k) {
 }  // namespace
 
 GcpResult gcp_from_embedding(const linalg::EigenDecomposition& embedding,
-                             std::size_t max_size, util::Rng& rng) {
+                             std::size_t max_size, util::Rng& rng,
+                             util::ThreadPool* pool) {
   const std::size_t n = embedding.vectors.rows();
   AUTONCS_CHECK(n > 0, "cannot cluster an empty network");
   AUTONCS_CHECK(max_size >= 1, "cluster size limit must be positive");
+
+  linalg::KMeansOptions km_options;
+  km_options.pool = pool;
 
   GcpResult result;
   // Alg. 2 line 2: predict k = n / s (at least 1).
@@ -74,18 +70,20 @@ GcpResult gcp_from_embedding(const linalg::EigenDecomposition& embedding,
   while (flag_outer) {
     flag_outer = false;
     ++result.stats.outer_rounds;
-    // Line 4: re-derive the k-dimensional embedding points.
+    // Line 4: re-derive the k-dimensional embedding points (capped at the
+    // columns the embedding actually holds — the Lanczos path computes a
+    // fixed budget of eigenvectors, not all n).
     linalg::Matrix points = embedding_points(embedding, k);
     // Warm start: project previous clusters into the new embedding as
     // centroid seeds; on the first round B is "zeros" (Alg. 2 line 2) and
     // kmeans_warm reseeds it with k-means++.
-    linalg::Matrix centroids(k, k, 0.0);
+    linalg::Matrix centroids(k, points.cols(), 0.0);
     if (!assignment.empty()) {
       const auto members = linalg::cluster_members(assignment, k);
       for (std::size_t c = 0; c < k; ++c) {
         if (members[c].empty()) continue;
         const auto mean = centroid_of(points, members[c]);
-        for (std::size_t d = 0; d < k; ++d) centroids(c, d) = mean[d];
+        for (std::size_t d = 0; d < points.cols(); ++d) centroids(c, d) = mean[d];
       }
     }
 
@@ -93,7 +91,7 @@ GcpResult gcp_from_embedding(const linalg::EigenDecomposition& embedding,
     while (flag_inner) {
       flag_inner = false;
       // Line 6: k-means under B, update B.
-      auto km = linalg::kmeans_warm(points, centroids, rng);
+      auto km = linalg::kmeans_warm(points, centroids, rng, km_options);
       assignment = km.assignment;
       centroids = std::move(km.centroids);
 
@@ -102,7 +100,7 @@ GcpResult gcp_from_embedding(const linalg::EigenDecomposition& embedding,
         if (members[j].size() <= max_size) continue;
         // Lines 9-12: break cluster j into two sub-clusters by 2-means.
         const linalg::Matrix sub_points = gather_rows(points, members[j]);
-        auto split = linalg::kmeans(sub_points, 2, rng);
+        auto split = linalg::kmeans(sub_points, 2, rng, km_options);
         std::vector<std::size_t> first;
         std::vector<std::size_t> second;
         for (std::size_t idx = 0; idx < members[j].size(); ++idx) {
@@ -177,6 +175,13 @@ GcpResult gcp_from_embedding(const linalg::EigenDecomposition& embedding,
 GcpResult greedy_cluster_size_prediction(const nn::ConnectionMatrix& network,
                                          std::size_t max_size, util::Rng& rng) {
   return gcp_from_embedding(spectral_embedding(network), max_size, rng);
+}
+
+GcpResult greedy_cluster_size_prediction(const nn::ConnectionMatrix& network,
+                                         std::size_t max_size, util::Rng& rng,
+                                         const EmbeddingOptions& embedding_options) {
+  return gcp_from_embedding(spectral_embedding(network, embedding_options),
+                            max_size, rng, embedding_options.pool);
 }
 
 }  // namespace autoncs::clustering

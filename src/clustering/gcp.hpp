@@ -30,12 +30,22 @@ struct GcpResult {
 };
 
 /// Clusters the network with every cluster capped at `max_size` neurons.
-/// The embedding is computed internally (all n eigenvectors, once).
+/// The embedding is computed internally (all n eigenvectors, densely,
+/// once) — the historical behaviour.
 GcpResult greedy_cluster_size_prediction(const nn::ConnectionMatrix& network,
                                          std::size_t max_size, util::Rng& rng);
 
+/// Same, but with explicit embedding options (column budget, sparse
+/// Lanczos solver, thread pool) — the scalable path ISC uses.
+GcpResult greedy_cluster_size_prediction(const nn::ConnectionMatrix& network,
+                                         std::size_t max_size, util::Rng& rng,
+                                         const EmbeddingOptions& embedding_options);
+
 /// Same with a caller-provided embedding (ISC reuses one per iteration).
+/// The optional pool parallelizes the k-means assignment steps; results
+/// are bit-identical for any thread count.
 GcpResult gcp_from_embedding(const linalg::EigenDecomposition& embedding,
-                             std::size_t max_size, util::Rng& rng);
+                             std::size_t max_size, util::Rng& rng,
+                             util::ThreadPool* pool = nullptr);
 
 }  // namespace autoncs::clustering

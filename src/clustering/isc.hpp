@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "clustering/embedding.hpp"
 #include "clustering/gcp.hpp"
 #include "clustering/preference.hpp"
 #include "nn/connection_matrix.hpp"
@@ -69,6 +70,26 @@ struct IscOptions {
   /// (member count) leaves the ~5% scattered tail on discrete synapses.
   /// Either way the hardware instance only wires the used rows/columns.
   bool size_by_demand = false;
+  /// Worker threads for the embedding (Lanczos matvec) and k-means hot
+  /// loops; 0 = hardware concurrency. Results are bit-identical for every
+  /// thread count (see docs/clustering_perf.md).
+  std::size_t threads = 0;
+  /// Which eigensolver produces the spectral embedding. kAuto uses the
+  /// dense tred2/tql2 path for active subnetworks of up to
+  /// dense_fallback_n neurons (exactly reproducing the historical results)
+  /// and the sparse block-Lanczos path above that.
+  EmbeddingSolver embedding_solver = EmbeddingSolver::kAuto;
+  std::size_t dense_fallback_n = 512;
+};
+
+/// Wall-clock breakdown of the clustering front end, accumulated over all
+/// ISC iterations.
+struct ClusteringTimings {
+  double embedding_ms = 0.0;  // spectral embedding (eigensolver)
+  double kmeans_ms = 0.0;     // GCP (k-means + splitting)
+  double packing_ms = 0.0;    // optional cluster packing pass
+
+  double total_ms() const { return embedding_ms + kmeans_ms + packing_ms; }
 };
 
 struct IscIterationStats {
@@ -87,6 +108,10 @@ struct IscResult {
   std::vector<nn::Connection> outliers;
   std::vector<IscIterationStats> iterations;
   std::size_t total_connections = 0;
+  ClusteringTimings timings;
+  /// Pool size the run actually used (informational — results never
+  /// depend on it).
+  std::size_t threads_used = 1;
 
   std::size_t clustered_connections() const;
   double outlier_ratio() const;

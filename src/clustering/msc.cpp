@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "clustering/embedding.hpp"
 #include "linalg/kmeans.hpp"
 #include "util/rng.hpp"
 #include "util/check.hpp"
@@ -15,27 +16,9 @@ std::size_t Clustering::largest_cluster() const {
 }
 
 linalg::EigenDecomposition spectral_embedding(const nn::ConnectionMatrix& network) {
-  // Similarity = number of connections between two neurons (0, 1 or 2
-  // directed connections collapse to one undirected edge of weight 1; the
-  // clustering objective only needs "connected or not" because the
-  // connection matrix is binary — Sec. 3.2).
-  auto embedding = linalg::laplacian_embedding(network.symmetrized_dense());
-  // Structurally equivalent neurons (identical neighbourhoods — common in
-  // the finder cliques of QR-trained Hopfield nets) get EXACTLY equal
-  // embedding rows, which ties every k-means distance and defeats GCP's
-  // cluster splitting (a split cluster re-merges on the next assignment
-  // pass). A deterministic jitter far below the embedding scale breaks the
-  // ties without perturbing genuine structure.
-  const std::size_t n = embedding.vectors.rows();
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < embedding.vectors.cols(); ++j) {
-      std::uint64_t h = i * 0x100000001b3ull + j + 1;
-      const double unit =
-          static_cast<double>(util::split_mix64(h) >> 11) * 0x1.0p-53;
-      embedding.vectors(i, j) += (unit - 0.5) * 1e-7;
-    }
-  }
-  return embedding;
+  // Default options: all n columns via the dense solver plus the
+  // tie-breaking jitter — the historical dense-only behaviour.
+  return spectral_embedding(network, EmbeddingOptions{});
 }
 
 namespace {
@@ -59,24 +42,17 @@ Clustering clustering_from_assignment(std::vector<std::size_t> assignment,
   return out;
 }
 
-/// Points = first k columns of the embedding (rows y_i of Alg. 1 line 5).
-linalg::Matrix embedding_points(const linalg::EigenDecomposition& embedding,
-                                std::size_t k) {
-  const std::size_t n = embedding.vectors.rows();
-  linalg::Matrix points(n, k);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < k; ++j) points(i, j) = embedding.vectors(i, j);
-  return points;
-}
-
 }  // namespace
 
 Clustering msc_from_embedding(const linalg::EigenDecomposition& embedding,
-                              std::size_t k, util::Rng& rng) {
+                              std::size_t k, util::Rng& rng,
+                              util::ThreadPool* pool) {
   const std::size_t n = embedding.vectors.rows();
   AUTONCS_CHECK(k >= 1 && k <= n, "cluster count must be in [1, n]");
   const linalg::Matrix points = embedding_points(embedding, k);
-  auto result = linalg::kmeans(points, k, rng);
+  linalg::KMeansOptions km_options;
+  km_options.pool = pool;
+  auto result = linalg::kmeans(points, k, rng, km_options);
   return clustering_from_assignment(std::move(result.assignment), k);
 }
 

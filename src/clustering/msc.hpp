@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "clustering/embedding.hpp"
 #include "linalg/generalized_eigen.hpp"
 #include "nn/connection_matrix.hpp"
 #include "util/rng.hpp"
@@ -27,9 +28,12 @@ struct Clustering {
   std::size_t largest_cluster() const;
 };
 
-/// Spectral embedding of the (symmetrized) connection graph: all n
-/// generalized eigenvectors of L u = λ D u, ascending. Computed once and
-/// sliced by MSC / GCP / traversing, which need varying column counts.
+/// Spectral embedding of the (symmetrized) connection graph with default
+/// EmbeddingOptions: all n generalized eigenvectors of L u = λ D u,
+/// ascending, computed densely. Computed once and sliced by MSC / GCP /
+/// traversing, which need varying column counts. The overload in
+/// embedding.hpp takes options (column budget, sparse Lanczos solver,
+/// thread pool) for the scalable ISC path.
 linalg::EigenDecomposition spectral_embedding(const nn::ConnectionMatrix& network);
 
 /// Algorithm 1: cluster the network's neurons into k clusters using the k
@@ -38,9 +42,13 @@ Clustering modified_spectral_clustering(const nn::ConnectionMatrix& network,
                                         std::size_t k, util::Rng& rng);
 
 /// Same, but reusing a precomputed embedding (avoids the O(n^3) eigensolve
-/// when called repeatedly, e.g. by the traversing baseline).
+/// when called repeatedly, e.g. by the traversing baseline). The embedding
+/// may hold fewer than k columns (Lanczos column budget); k-means then runs
+/// on every available column. The optional pool parallelizes the k-means
+/// assignment step (bit-identical results for any thread count).
 Clustering msc_from_embedding(const linalg::EigenDecomposition& embedding,
-                              std::size_t k, util::Rng& rng);
+                              std::size_t k, util::Rng& rng,
+                              util::ThreadPool* pool = nullptr);
 
 /// Connections whose endpoints fall in different clusters (the outliers of
 /// Sec. 3.1) and those inside one cluster, for reporting.

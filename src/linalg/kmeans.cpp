@@ -5,10 +5,16 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace autoncs::linalg {
 
 namespace {
+
+/// Points below this count are assigned sequentially even when a pool is
+/// given — the dispatch overhead dominates (results are identical either
+/// way; this is purely a scheduling decision).
+constexpr std::size_t kParallelPointCutoff = 256;
 
 std::size_t nearest_centroid(const Matrix& points, std::size_t i,
                              const Matrix& centroids) {
@@ -22,6 +28,26 @@ std::size_t nearest_centroid(const Matrix& points, std::size_t i,
     }
   }
   return best;
+}
+
+/// Assigns every point to its nearest centroid, distributing points over
+/// the pool. The tie-break (strict <, first centroid wins) and each
+/// point's arithmetic are independent of the partition, so the result is
+/// bit-identical for any thread count.
+void assign_all(const Matrix& points, const Matrix& centroids,
+                std::vector<std::size_t>& assignment, util::ThreadPool* pool) {
+  const std::size_t n = points.rows();
+  const auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      assignment[i] = nearest_centroid(points, i, centroids);
+  };
+  if (pool != nullptr && pool->size() > 1 && n >= kParallelPointCutoff) {
+    pool->parallel_for(n, [&](std::size_t begin, std::size_t end, std::size_t) {
+      body(begin, end);
+    });
+  } else {
+    body(0, n);
+  }
 }
 
 /// True when the centroid set carries no information (all rows identical),
@@ -96,8 +122,7 @@ KMeansResult kmeans_warm(const Matrix& points, Matrix centroids, util::Rng& rng,
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
     // Assignment step.
-    for (std::size_t i = 0; i < n; ++i)
-      result.assignment[i] = nearest_centroid(points, i, centroids);
+    assign_all(points, centroids, result.assignment, options.pool);
 
     // Update step.
     std::fill(counts.begin(), counts.end(), std::size_t{0});
@@ -135,13 +160,27 @@ KMeansResult kmeans_warm(const Matrix& points, Matrix centroids, util::Rng& rng,
     if (movement <= options.tolerance) break;
   }
 
-  // Final assignment against the converged centroids and inertia.
-  result.inertia = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    result.assignment[i] = nearest_centroid(points, i, centroids);
-    result.inertia +=
-        squared_distance(points.row(i), centroids.row(result.assignment[i]));
+  // Final assignment against the converged centroids and inertia. The
+  // per-point distances land in a buffer and are folded sequentially in
+  // point order — the exact summation order of the sequential code — so
+  // the inertia is bit-identical for any thread count.
+  assign_all(points, centroids, result.assignment, options.pool);
+  std::vector<double> d2(n, 0.0);
+  const auto distance_body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      d2[i] = squared_distance(points.row(i), centroids.row(result.assignment[i]));
+  };
+  if (options.pool != nullptr && options.pool->size() > 1 &&
+      n >= kParallelPointCutoff) {
+    options.pool->parallel_for(
+        n, [&](std::size_t begin, std::size_t end, std::size_t) {
+          distance_body(begin, end);
+        });
+  } else {
+    distance_body(0, n);
   }
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) result.inertia += d2[i];
   result.centroids = std::move(centroids);
   return result;
 }

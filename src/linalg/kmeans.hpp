@@ -14,12 +14,21 @@
 #include "linalg/matrix.hpp"
 #include "util/rng.hpp"
 
+namespace autoncs::util {
+class ThreadPool;
+}
+
 namespace autoncs::linalg {
 
 struct KMeansOptions {
   std::size_t max_iterations = 100;
   /// Convergence threshold on total squared centroid movement.
   double tolerance = 1e-10;
+  /// Optional pool for the assignment step (each point's nearest centroid
+  /// is independent, so the partition cannot change any result — outputs
+  /// are bit-identical for every thread count). The update step stays
+  /// sequential: it accumulates over points in index order.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct KMeansResult {

@@ -5,9 +5,14 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+
+namespace autoncs::util {
+class ThreadPool;
+}
 
 namespace autoncs::linalg {
 
@@ -36,6 +41,13 @@ class SparseMatrix {
 
   /// y = A x.
   std::vector<double> multiply(std::span<const double> x) const;
+
+  /// y = A x into a caller-provided buffer; rows are distributed over the
+  /// pool (when given) with each row accumulated sequentially, so the
+  /// result is bit-identical for any thread count. This is the Lanczos
+  /// matvec kernel.
+  void multiply_into(std::span<const double> x, std::span<double> y,
+                     util::ThreadPool* pool = nullptr) const;
 
   /// Row-sum vector (degrees for a nonnegative adjacency matrix).
   std::vector<double> row_sums() const;

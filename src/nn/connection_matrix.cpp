@@ -8,7 +8,7 @@
 namespace autoncs::nn {
 
 ConnectionMatrix::ConnectionMatrix(std::size_t n)
-    : n_(n), count_(0), bits_(n * n, 0) {}
+    : n_(n), count_(0), bits_(n * n, 0), out_(n) {}
 
 ConnectionMatrix ConnectionMatrix::from_connections(
     std::size_t n, std::span<const Connection> connections) {
@@ -46,6 +46,8 @@ bool ConnectionMatrix::add(std::size_t from, std::size_t to) {
   if (bit != 0) return false;
   bit = 1;
   ++count_;
+  auto& row = out_[from];
+  row.insert(std::lower_bound(row.begin(), row.end(), to), to);
   return true;
 }
 
@@ -55,6 +57,8 @@ bool ConnectionMatrix::remove(std::size_t from, std::size_t to) {
   if (bit == 0) return false;
   bit = 0;
   --count_;
+  auto& row = out_[from];
+  row.erase(std::lower_bound(row.begin(), row.end(), to));
   return true;
 }
 
@@ -62,16 +66,13 @@ std::vector<Connection> ConnectionMatrix::connections() const {
   std::vector<Connection> out;
   out.reserve(count_);
   for (std::size_t i = 0; i < n_; ++i)
-    for (std::size_t j = 0; j < n_; ++j)
-      if (bits_[index(i, j)] != 0) out.push_back({i, j});
+    for (std::size_t j : out_[i]) out.push_back({i, j});
   return out;
 }
 
 std::size_t ConnectionMatrix::fanout(std::size_t neuron) const {
   AUTONCS_CHECK(neuron < n_, "neuron index out of range");
-  std::size_t acc = 0;
-  for (std::size_t j = 0; j < n_; ++j) acc += bits_[index(neuron, j)];
-  return acc;
+  return out_[neuron].size();
 }
 
 std::size_t ConnectionMatrix::fanin(std::size_t neuron) const {
@@ -85,28 +86,46 @@ std::size_t ConnectionMatrix::fanin_fanout(std::size_t neuron) const {
   return fanin(neuron) + fanout(neuron);
 }
 
+std::span<const std::size_t> ConnectionMatrix::out_neighbors(
+    std::size_t neuron) const {
+  AUTONCS_CHECK(neuron < n_, "neuron index out of range");
+  return out_[neuron];
+}
+
 std::size_t ConnectionMatrix::count_within(std::span<const std::size_t> nodes) const {
-  std::size_t acc = 0;
+  // Adjacency iteration with a membership bitmap: O(n + sum of fanouts)
+  // instead of the O(|nodes|^2) pairwise probing.
+  std::vector<std::uint8_t> member(n_, 0);
   for (std::size_t a : nodes) {
     AUTONCS_CHECK(a < n_, "neuron index out of range");
-    for (std::size_t b : nodes) {
-      if (bits_[index(a, b)] != 0) ++acc;
-    }
+    member[a] = 1;
   }
+  std::size_t acc = 0;
+  for (std::size_t a : nodes)
+    for (std::size_t b : out_[a])
+      if (member[b] != 0) ++acc;
   return acc;
 }
 
 std::size_t ConnectionMatrix::remove_within(std::span<const std::size_t> nodes) {
-  std::size_t removed = 0;
+  std::vector<std::uint8_t> member(n_, 0);
   for (std::size_t a : nodes) {
     AUTONCS_CHECK(a < n_, "neuron index out of range");
-    for (std::size_t b : nodes) {
-      auto& bit = bits_[index(a, b)];
-      if (bit != 0) {
-        bit = 0;
+    member[a] = 1;
+  }
+  std::size_t removed = 0;
+  for (std::size_t a : nodes) {
+    auto& row = out_[a];
+    auto kept = row.begin();
+    for (std::size_t b : row) {
+      if (member[b] != 0) {
+        bits_[index(a, b)] = 0;
         ++removed;
+      } else {
+        *kept++ = b;
       }
     }
+    row.erase(kept, row.end());
   }
   count_ -= removed;
   return removed;
@@ -123,12 +142,36 @@ linalg::Matrix ConnectionMatrix::symmetrized_dense() const {
   return w;
 }
 
+linalg::SparseMatrix ConnectionMatrix::symmetrized_sparse() const {
+  std::vector<linalg::Triplet> triplets;
+  triplets.reserve(2 * count_);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j : out_[i]) {
+      triplets.push_back({i, j, 1.0});
+      triplets.push_back({j, i, 1.0});
+    }
+  // Mutual connections emit (i, j) twice; CSR construction would sum the
+  // duplicates to 2.0, so collapse them first to keep the matrix 0/1.
+  std::sort(triplets.begin(), triplets.end(),
+            [](const linalg::Triplet& a, const linalg::Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  triplets.erase(std::unique(triplets.begin(), triplets.end(),
+                             [](const linalg::Triplet& a, const linalg::Triplet& b) {
+                               return a.row == b.row && a.col == b.col;
+                             }),
+                 triplets.end());
+  return linalg::SparseMatrix(n_, n_, std::move(triplets));
+}
+
 std::vector<double> ConnectionMatrix::symmetric_degrees() const {
   std::vector<double> degrees(n_, 0.0);
+  const auto sparse = symmetrized_sparse();
+  const auto& offsets = sparse.row_offsets();
+  const auto& cols = sparse.col_indices();
   for (std::size_t i = 0; i < n_; ++i)
-    for (std::size_t j = 0; j < n_; ++j)
-      if (i != j && (bits_[index(i, j)] != 0 || bits_[index(j, i)] != 0))
-        degrees[i] += 1.0;
+    for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k)
+      if (cols[k] != i) degrees[i] += 1.0;
   return degrees;
 }
 
@@ -150,11 +193,10 @@ util::Field2D ConnectionMatrix::to_field() const {
 std::vector<std::size_t> ConnectionMatrix::active_neurons() const {
   std::vector<bool> active(n_, false);
   for (std::size_t i = 0; i < n_; ++i)
-    for (std::size_t j = 0; j < n_; ++j)
-      if (bits_[index(i, j)] != 0) {
-        active[i] = true;
-        active[j] = true;
-      }
+    for (std::size_t j : out_[i]) {
+      active[i] = true;
+      active[j] = true;
+    }
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < n_; ++i)
     if (active[i]) out.push_back(i);
@@ -162,13 +204,19 @@ std::vector<std::size_t> ConnectionMatrix::active_neurons() const {
 }
 
 ConnectionMatrix ConnectionMatrix::submatrix(std::span<const std::size_t> nodes) const {
-  ConnectionMatrix sub(nodes.size());
+  // position[g] = local index of global neuron g within `nodes`.
+  constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> position(n_, kAbsent);
   for (std::size_t a = 0; a < nodes.size(); ++a) {
     AUTONCS_CHECK(nodes[a] < n_, "submatrix node out of range");
-    for (std::size_t b = 0; b < nodes.size(); ++b) {
-      if (a != b && bits_[index(nodes[a], nodes[b])] != 0) sub.add(a, b);
-    }
+    position[nodes[a]] = a;
   }
+  ConnectionMatrix sub(nodes.size());
+  for (std::size_t a = 0; a < nodes.size(); ++a)
+    for (std::size_t g : out_[nodes[a]]) {
+      const std::size_t b = position[g];
+      if (b != kAbsent && b != a) sub.add(a, b);
+    }
   return sub;
 }
 
