@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
 
   FlowResult reference;
   bool identical = true;
+  double last_speedup = 1.0;
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     config.threads = threads;
     const FlowResult result = run_physical_design(mapping, config);
@@ -50,6 +51,7 @@ int main(int argc, char** argv) {
     const double ref_ms =
         reference.timings.placement_ms + reference.timings.routing_ms;
     const double speedup = place_route_ms > 0.0 ? ref_ms / place_route_ms : 1.0;
+    last_speedup = speedup;
     const double route_s = result.timings.routing_ms / 1000.0;
     const double throughput =
         route_s > 0.0
@@ -92,5 +94,13 @@ int main(int argc, char** argv) {
               identical ? "yes" : "NO — determinism violated");
   std::printf("expected shape: route/place time shrinks with threads on "
               "multi-core hosts; identical L and overflow on every row.\n");
+  bench::write_bench_json(
+      "perf_threads",
+      {{"place_ms_1t", reference.timings.placement_ms},
+       {"route_ms_1t", reference.timings.routing_ms},
+       {"speedup_8t", last_speedup},
+       {"wirelength_um", reference.routing.total_wirelength_um},
+       {"overflow", reference.routing.total_overflow},
+       {"deterministic", identical ? 1.0 : 0.0}});
   return identical ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "util/check.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace autoncs::bench {
@@ -74,6 +75,22 @@ nn::ConnectionMatrix permute_by_clusters(
   for (const auto& c : network.connections())
     permuted.add(position[c.from], position[c.to]);
   return permuted;
+}
+
+bool write_bench_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("bench", name);
+  w.key("metrics").begin_object();
+  for (const auto& [key, value] : metrics) w.field(key, value);
+  w.end_object();
+  w.end_object();
+  const std::string path = "BENCH_" + name + ".json";
+  const bool ok = util::write_text_file(path, w.str());
+  std::printf("%s %s\n", ok ? "wrote" : "FAILED to write", path.c_str());
+  return ok;
 }
 
 }  // namespace autoncs::bench

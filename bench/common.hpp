@@ -6,6 +6,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "autoncs/config.hpp"
 #include "nn/connection_matrix.hpp"
@@ -45,5 +47,14 @@ FlowConfig default_config();
 nn::ConnectionMatrix permute_by_clusters(
     const nn::ConnectionMatrix& network,
     const std::vector<std::vector<std::size_t>>& clusters);
+
+/// Writes BENCH_<name>.json into the current working directory with the
+/// shared bench-artifact schema
+///   {"bench":"<name>","metrics":{"<key>":<number>,...}}
+/// so CI / trend tooling can track headline numbers run over run. Metric
+/// order is preserved. Returns false on I/O failure (also printed).
+bool write_bench_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics);
 
 }  // namespace autoncs::bench

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "autoncs/telemetry.hpp"
 #include "clustering/isc.hpp"
 #include "place/placer.hpp"
 #include "place/refine.hpp"
@@ -40,6 +41,12 @@ struct FlowConfig {
   /// the pipeline unless those are set (nonzero) themselves. Results are
   /// bit-identical for any value (see docs/threading.md).
   std::size_t threads = 0;
+
+  /// Telemetry sinks (trace / metrics / manifest paths). All empty by
+  /// default: the flow runs with every instrumentation point reduced to a
+  /// relaxed atomic load, and outputs are bit-identical either way (see
+  /// docs/observability.md).
+  TelemetryOptions telemetry{};
 };
 
 }  // namespace autoncs

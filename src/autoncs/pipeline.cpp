@@ -1,12 +1,15 @@
 #include "autoncs/pipeline.hpp"
 
+#include "autoncs/telemetry.hpp"
 #include "mapping/fullcro.hpp"
 #include "netlist/builder.hpp"
 #include "place/refine.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace autoncs {
 
@@ -15,7 +18,10 @@ FlowResult run_physical_design(mapping::HybridMapping mapping,
   util::WallTimer stage;
   FlowResult result;
   result.mapping = std::move(mapping);
-  result.netlist = netlist::build_netlist(result.mapping, config.tech);
+  {
+    AUTONCS_TRACE_SCOPE("flow/netlist");
+    result.netlist = netlist::build_netlist(result.mapping, config.tech);
+  }
   result.timings.netlist_ms = stage.elapsed_ms();
 
   place::PlacerOptions placer = config.placer;
@@ -24,24 +30,31 @@ FlowResult run_physical_design(mapping::HybridMapping mapping,
   // Keep the legalizer's notion of routing space in sync with the placer.
   placer.legalizer.omega = placer.omega;
   stage.restart();
-  result.placement = place::place(result.netlist, placer);
+  {
+    AUTONCS_TRACE_SCOPE("flow/place");
+    result.placement = place::place(result.netlist, placer);
 
-  if (config.refine_placement) {
-    place::RefineOptions refine;
-    refine.omega = placer.omega;
-    place::refine_placement(result.netlist, refine);
-    // The die box may have tightened; re-derive the area from the refined
-    // positions.
-    result.placement.die =
-        place::placement_bounding_box(result.netlist, placer.omega);
-    result.placement.area_um2 = result.placement.die.area();
+    if (config.refine_placement) {
+      AUTONCS_TRACE_SCOPE("place/refine");
+      place::RefineOptions refine;
+      refine.omega = placer.omega;
+      place::refine_placement(result.netlist, refine);
+      // The die box may have tightened; re-derive the area from the refined
+      // positions.
+      result.placement.die =
+          place::placement_bounding_box(result.netlist, placer.omega);
+      result.placement.area_um2 = result.placement.die.area();
+    }
   }
   result.timings.placement_ms = stage.elapsed_ms();
 
   route::RouterOptions router = config.router;
   if (router.threads == 0) router.threads = config.threads;
   stage.restart();
-  result.routing = route::route(result.netlist, router, config.tech);
+  {
+    AUTONCS_TRACE_SCOPE("flow/route");
+    result.routing = route::route(result.netlist, router, config.tech);
+  }
   result.timings.routing_ms = stage.elapsed_ms();
   result.timings.total_ms = result.timings.netlist_ms +
                             result.timings.placement_ms +
@@ -50,6 +63,13 @@ FlowResult run_physical_design(mapping::HybridMapping mapping,
   result.cost.total_wirelength_um = result.routing.total_wirelength_um;
   result.cost.area_um2 = result.placement.area_um2;
   result.cost.average_delay_ns = result.routing.average_delay_ns;
+  if (util::metrics_enabled()) {
+    util::metric_gauge("cost/wirelength_um", result.cost.total_wirelength_um);
+    util::metric_gauge("cost/area_um2", result.cost.area_um2);
+    util::metric_gauge("cost/average_delay_ns", result.cost.average_delay_ns);
+    util::metric_gauge("cost/combined",
+                       result.cost.combined(config.cost_weights));
+  }
   return result;
 }
 
@@ -70,8 +90,15 @@ clustering::IscResult run_isc(const nn::ConnectionMatrix& network,
 
 FlowResult run_autoncs(const nn::ConnectionMatrix& network,
                        const FlowConfig& config) {
+  // Inert when the CLI (or a test) already opened an outer session.
+  telemetry::Session session(config.telemetry);
+  util::MetricPrefix prefix("autoncs");
+  AUTONCS_TRACE_SCOPE("flow/autoncs");
   util::WallTimer stage;
-  clustering::IscResult isc = run_isc(network, config);
+  clustering::IscResult isc = [&] {
+    AUTONCS_TRACE_SCOPE("flow/clustering");
+    return run_isc(network, config);
+  }();
   mapping::HybridMapping hybrid =
       mapping::mapping_from_isc(isc, network.size());
   const std::string error = mapping::validate_mapping(hybrid, network);
@@ -85,16 +112,22 @@ FlowResult run_autoncs(const nn::ConnectionMatrix& network,
   result.timings.clustering_packing_ms = isc.timings.packing_ms;
   result.isc = std::move(isc);
   result.timings.total_ms += clustering_ms;
+  telemetry::Session::record_manifest(config, result, "autoncs");
   return result;
 }
 
 FlowResult run_fullcro(const nn::ConnectionMatrix& network,
                        const FlowConfig& config) {
+  telemetry::Session session(config.telemetry);
+  util::MetricPrefix prefix("fullcro");
+  AUTONCS_TRACE_SCOPE("flow/fullcro");
   mapping::HybridMapping baseline = mapping::fullcro_mapping(
       network, {config.baseline_crossbar_size, true});
   const std::string error = mapping::validate_mapping(baseline, network);
   AUTONCS_CHECK(error.empty(), "FullCro mapping invalid: " + error);
-  return run_physical_design(std::move(baseline), config);
+  FlowResult result = run_physical_design(std::move(baseline), config);
+  telemetry::Session::record_manifest(config, result, "fullcro");
+  return result;
 }
 
 }  // namespace autoncs

@@ -110,4 +110,44 @@ std::string summarize_timings(const FlowResult& result) {
   return oss.str();
 }
 
+std::string summarize_convergence(const FlowResult& result) {
+  std::ostringstream oss;
+  oss << "convergence:";
+  if (result.isc.has_value()) {
+    const clustering::IscResult& isc = *result.isc;
+    oss << "\n  isc: " << isc.iterations.size() << " iterations, "
+        << isc.crossbars.size() << " crossbars, avg utilization "
+        << util::fmt_percent(isc.average_utilization()) << ", "
+        << isc.outliers.size() << " outliers ("
+        << util::fmt_percent(isc.outlier_ratio()) << ")";
+  }
+  const place::PlacementReport& placement = result.placement;
+  std::size_t cg_total = 0;
+  for (const auto& outer : placement.outer) cg_total += outer.cg_iterations;
+  oss << "\n  place: " << placement.outer_iterations
+      << " outer iterations (lambda "
+      << util::fmt_double(placement.lambda_final, 3) << ", " << cg_total
+      << " CG iterations), overlap "
+      << util::fmt_percent(placement.overlap_ratio_before_legalization)
+      << " -> " << util::fmt_percent(placement.legalization.final_overlap_ratio)
+      << " after " << placement.legalization.passes
+      << " legalization passes, HPWL "
+      << util::fmt_double(placement.hpwl_um, 1) << " um";
+  const route::RoutingResult& routing = result.routing;
+  std::size_t max_wave = 0;
+  for (std::size_t size : routing.wave_sizes)
+    max_wave = std::max(max_wave, size);
+  oss << "\n  route: " << routing.waves << " waves (max " << max_wave
+      << " pending), " << routing.segments_deferred << " deferred, "
+      << routing.segments_relaxed << " relaxed, " << routing.segments_fallback
+      << " fallback";
+  if (!routing.reroute_stats.empty()) {
+    oss << "; " << routing.reroute_stats.size() << " reroute passes ("
+        << routing.reroute_stats.back().segments_rerouted
+        << " segments in the last)";
+  }
+  oss << ", final overflow " << util::fmt_double(routing.total_overflow, 1);
+  return oss.str();
+}
+
 }  // namespace autoncs

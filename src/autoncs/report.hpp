@@ -33,4 +33,10 @@ std::string summarize_flow(const FlowResult& result, const std::string& name);
 /// place, route with segments-per-second and the thread count used).
 std::string summarize_timings(const FlowResult& result);
 
+/// Multi-line convergence summary of the solver loops: ISC iterations and
+/// final utilization/outliers, placer outer iterations with the lambda
+/// trajectory and CG effort, router waves/deferrals/relaxations and the
+/// negotiated reroute passes with the final overflow.
+std::string summarize_convergence(const FlowResult& result);
+
 }  // namespace autoncs

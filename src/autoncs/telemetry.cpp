@@ -1,0 +1,264 @@
+#include "autoncs/telemetry.hpp"
+
+#include <utility>
+
+#include "autoncs/pipeline.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+#ifndef AUTONCS_BUILD_TYPE
+#define AUTONCS_BUILD_TYPE "unknown"
+#endif
+
+namespace autoncs::telemetry {
+
+namespace {
+
+/// The owning session, if any. Sessions are constructed from sequential
+/// driver code (CLI main, pipeline entry points), so a plain pointer is
+/// sufficient.
+Session* g_active = nullptr;
+
+const char* preference_name(clustering::PreferenceKind kind) {
+  switch (kind) {
+    case clustering::PreferenceKind::kPaper:
+      return "paper";
+    case clustering::PreferenceKind::kUtilization:
+      return "utilization";
+    case clustering::PreferenceKind::kConnectionsPerRow:
+      return "connections_per_row";
+  }
+  return "unknown";
+}
+
+const char* solver_name(clustering::EmbeddingSolver solver) {
+  switch (solver) {
+    case clustering::EmbeddingSolver::kAuto:
+      return "auto";
+    case clustering::EmbeddingSolver::kDense:
+      return "dense";
+    case clustering::EmbeddingSolver::kLanczos:
+      return "lanczos";
+  }
+  return "unknown";
+}
+
+void write_config(util::JsonWriter& w, const FlowConfig& config) {
+  w.key("config").begin_object();
+
+  w.key("isc").begin_object();
+  w.key("crossbar_sizes").begin_array();
+  for (std::size_t s : config.isc.crossbar_sizes) w.value(s);
+  w.end_array();
+  w.field("utilization_threshold", config.isc.utilization_threshold)
+      .field("selection_fraction", config.isc.selection_fraction)
+      .field("max_iterations", config.isc.max_iterations)
+      .field("preference", preference_name(config.isc.preference))
+      .field("pack_clusters", config.isc.pack_clusters)
+      .field("pack_limit", config.isc.pack_limit)
+      .field("size_by_demand", config.isc.size_by_demand)
+      .field("embedding_solver", solver_name(config.isc.embedding_solver))
+      .field("dense_fallback_n", config.isc.dense_fallback_n)
+      .field("threads", config.isc.threads);
+  w.end_object();
+  w.field("derive_threshold_from_baseline",
+          config.derive_threshold_from_baseline)
+      .field("baseline_crossbar_size", config.baseline_crossbar_size);
+
+  w.key("placer").begin_object();
+  w.field("gamma", config.placer.gamma)
+      .field("omega", config.placer.omega)
+      .field("beta", config.placer.beta)
+      .field("target_density", config.placer.target_density)
+      .field("overlap_stop_ratio", config.placer.overlap_stop_ratio)
+      .field("max_outer_iterations", config.placer.max_outer_iterations)
+      .field("lambda_growth", config.placer.lambda_growth)
+      .field("cg_max_iterations", config.placer.cg.max_iterations)
+      .field("cg_gradient_tolerance", config.placer.cg.gradient_tolerance)
+      .field("threads", config.placer.threads);
+  w.end_object();
+  w.field("refine_placement", config.refine_placement);
+
+  w.key("router").begin_object();
+  w.field("theta", config.router.theta)
+      .field("decomposition",
+             config.router.decomposition == route::MultiPinDecomposition::kMst
+                 ? "mst"
+                 : "star")
+      .field("capacity_per_um", config.router.capacity_per_um)
+      .field("congestion_penalty", config.router.congestion_penalty)
+      .field("capacity_limit_factor", config.router.capacity_limit_factor)
+      .field("relax_factor", config.router.relax_factor)
+      .field("max_relax_steps", config.router.max_relax_steps)
+      .field("margin_bins", config.router.margin_bins)
+      .field("reroute_passes", config.router.reroute_passes)
+      .field("history_weight", config.router.history_weight)
+      .field("threads", config.router.threads);
+  w.end_object();
+
+  w.key("tech").begin_object();
+  w.field("memristor_pitch_um", config.tech.memristor_pitch_um)
+      .field("crossbar_periphery_um", config.tech.crossbar_periphery_um)
+      .field("synapse_side_um", config.tech.synapse_side_um)
+      .field("neuron_side_um", config.tech.neuron_side_um)
+      .field("wire_resistance_ohm_per_um",
+             config.tech.wire_resistance_ohm_per_um)
+      .field("wire_capacitance_ff_per_um",
+             config.tech.wire_capacitance_ff_per_um)
+      .field("crossbar_delay_at_64_ns", config.tech.crossbar_delay_at_64_ns)
+      .field("synapse_delay_ns", config.tech.synapse_delay_ns);
+  w.end_object();
+
+  w.key("cost_weights").begin_object();
+  w.field("alpha", config.cost_weights.alpha)
+      .field("beta", config.cost_weights.beta)
+      .field("delta", config.cost_weights.delta);
+  w.end_object();
+
+  w.end_object();  // config
+}
+
+void write_result(util::JsonWriter& w, const FlowConfig& config,
+                  const FlowResult& result) {
+  w.key("timings_ms").begin_object();
+  w.field("clustering", result.timings.clustering_ms)
+      .field("clustering_embedding", result.timings.clustering_embedding_ms)
+      .field("clustering_kmeans", result.timings.clustering_kmeans_ms)
+      .field("clustering_packing", result.timings.clustering_packing_ms)
+      .field("netlist", result.timings.netlist_ms)
+      .field("placement", result.timings.placement_ms)
+      .field("routing", result.timings.routing_ms)
+      .field("total", result.timings.total_ms);
+  w.end_object();
+
+  w.key("result").begin_object();
+  w.field("crossbars", result.mapping.crossbars.size())
+      .field("discrete_synapses", result.mapping.discrete_synapses.size())
+      .field("average_utilization", result.mapping.average_utilization());
+  if (result.isc.has_value()) {
+    w.key("isc").begin_object();
+    w.field("iterations", result.isc->iterations.size())
+        .field("outliers", result.isc->outliers.size())
+        .field("outlier_ratio", result.isc->outlier_ratio())
+        .field("total_connections", result.isc->total_connections);
+    w.end_object();
+  }
+  w.key("placement").begin_object();
+  w.field("outer_iterations", result.placement.outer_iterations)
+      .field("lambda_final", result.placement.lambda_final)
+      .field("overlap_before_legalization",
+             result.placement.overlap_ratio_before_legalization)
+      .field("legalization_passes", result.placement.legalization.passes)
+      .field("legalization_converged", result.placement.legalization.converged)
+      .field("final_overlap",
+             result.placement.legalization.final_overlap_ratio)
+      .field("hpwl_um", result.placement.hpwl_um)
+      .field("area_um2", result.placement.area_um2);
+  w.end_object();
+  w.key("routing").begin_object();
+  w.field("wirelength_um", result.routing.total_wirelength_um)
+      .field("average_delay_ns", result.routing.average_delay_ns)
+      .field("max_delay_ns", result.routing.max_delay_ns)
+      .field("total_overflow", result.routing.total_overflow)
+      .field("peak_congestion", result.routing.peak_congestion)
+      .field("segments_total", result.routing.segments_total)
+      .field("segments_routed", result.routing.segments_routed)
+      .field("segments_deferred", result.routing.segments_deferred)
+      .field("segments_relaxed", result.routing.segments_relaxed)
+      .field("segments_fallback", result.routing.segments_fallback)
+      .field("maze_invocations", result.routing.maze_invocations)
+      .field("waves", result.routing.waves)
+      .field("reroute_passes", result.routing.reroute_stats.size())
+      .field("threads_used", result.routing.threads_used);
+  w.end_object();
+  w.key("cost").begin_object();
+  w.field("total_wirelength_um", result.cost.total_wirelength_um)
+      .field("area_um2", result.cost.area_um2)
+      .field("average_delay_ns", result.cost.average_delay_ns)
+      .field("combined", result.cost.combined(config.cost_weights));
+  w.end_object();
+  w.end_object();  // result
+}
+
+/// <stem>.manifest.json next to the artifact the user did ask for.
+std::string derived_manifest_path(const TelemetryOptions& options) {
+  if (!options.manifest_path.empty()) return options.manifest_path;
+  std::string base =
+      !options.trace_path.empty() ? options.trace_path : options.metrics_path;
+  if (base.empty()) return {};
+  const auto strip = [&base](const char* suffix) {
+    const std::string s(suffix);
+    if (base.size() > s.size() &&
+        base.compare(base.size() - s.size(), s.size(), s) == 0)
+      base.resize(base.size() - s.size());
+  };
+  strip(".jsonl");
+  strip(".json");
+  return base + ".manifest.json";
+}
+
+}  // namespace
+
+std::string run_manifest_json(const FlowConfig& config,
+                              const FlowResult& result,
+                              const std::string& flow_name) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "autoncs-run-manifest/1")
+      .field("flow", flow_name)
+      .field("build_type", AUTONCS_BUILD_TYPE)
+      .field("seed", config.seed)
+      .field("threads_configured", config.threads)
+      .field("threads_used", result.routing.threads_used);
+  write_config(w, config);
+  write_result(w, config, result);
+  w.end_object();
+  return w.str();
+}
+
+Session::Session(const TelemetryOptions& options) : options_(options) {
+  if (!options_.any() || g_active != nullptr) return;
+  owner_ = true;
+  g_active = this;
+  if (!options_.trace_path.empty()) util::start_tracing();
+  if (!options_.metrics_path.empty()) util::start_metrics();
+}
+
+Session::~Session() {
+  if (!owner_) return;
+  g_active = nullptr;
+  if (!options_.trace_path.empty()) {
+    const std::string json = util::chrome_trace_json(util::stop_tracing());
+    if (!util::write_text_file(options_.trace_path, json)) {
+      util::LogLine(util::LogLevel::kError, "telemetry")
+          << "failed to write trace to " << options_.trace_path;
+    }
+  }
+  if (!options_.metrics_path.empty()) {
+    const std::string jsonl = util::metrics_jsonl(util::stop_metrics());
+    if (!util::write_text_file(options_.metrics_path, jsonl)) {
+      util::LogLine(util::LogLevel::kError, "telemetry")
+          << "failed to write metrics to " << options_.metrics_path;
+    }
+  }
+  const std::string manifest_path = derived_manifest_path(options_);
+  if (!manifest_path.empty() && !manifest_json_.empty()) {
+    if (!util::write_text_file(manifest_path, manifest_json_)) {
+      util::LogLine(util::LogLevel::kError, "telemetry")
+          << "failed to write manifest to " << manifest_path;
+    }
+  }
+}
+
+void Session::record_manifest(const FlowConfig& config,
+                              const FlowResult& result,
+                              const std::string& flow_name) {
+  if (g_active == nullptr || !g_active->manifest_json_.empty()) return;
+  g_active->manifest_json_ = run_manifest_json(config, result, flow_name);
+}
+
+Session* Session::active() { return g_active; }
+
+}  // namespace autoncs::telemetry

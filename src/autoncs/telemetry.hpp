@@ -1,0 +1,84 @@
+// Flow telemetry session: one RAII object that turns the passive trace /
+// metrics layers on, collects what the stages emit, and writes the
+// machine-readable run artifacts on destruction:
+//
+//   - <trace_path>     Chrome trace-event JSON (Perfetto / chrome://tracing)
+//   - <metrics_path>   metrics JSONL, one JSON object per line
+//   - <manifest_path>  run manifest: flow config, seed, thread count,
+//                      build type, stage wall times and the final cost
+//
+// Ownership model: the OUTERMOST Session owns the collection — nested
+// Sessions (the pipeline constructs one per flow run, the CLI wraps both
+// flows of a --baseline comparison in its own) are inert, so artifacts are
+// written exactly once, by whoever enabled telemetry first. The manifest
+// records the FIRST flow completed under the owning session (the AutoNCS
+// run of a comparison); stage timings of later runs still land in the
+// trace and the metric prefixes keep their series apart.
+#pragma once
+
+#include <string>
+
+namespace autoncs {
+
+struct FlowConfig;
+struct FlowResult;
+
+/// Telemetry sinks, carried inside FlowConfig. All empty (the default)
+/// means telemetry stays disabled and every instrumentation point is a
+/// single relaxed atomic load.
+struct TelemetryOptions {
+  /// Chrome trace-event JSON output path ("" = no tracing).
+  std::string trace_path;
+  /// Metrics JSONL output path ("" = no metrics).
+  std::string metrics_path;
+  /// Run manifest path; when empty it is derived from trace_path (or
+  /// metrics_path) by appending ".manifest.json" to the stem.
+  std::string manifest_path;
+
+  bool any() const {
+    return !trace_path.empty() || !metrics_path.empty() ||
+           !manifest_path.empty();
+  }
+};
+
+namespace telemetry {
+
+/// Renders the run manifest for one completed flow as a JSON document:
+/// schema version, flow name, the full FlowConfig (every stage's options),
+/// build type, stage wall times, throughput counters and the final
+/// PhysicalCost.
+std::string run_manifest_json(const FlowConfig& config,
+                              const FlowResult& result,
+                              const std::string& flow_name);
+
+/// RAII telemetry session (see the ownership model above). Constructing
+/// with options.any() == false, or while another session is active, yields
+/// an inert session.
+class Session {
+ public:
+  explicit Session(const TelemetryOptions& options);
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  ~Session();
+
+  /// True when this session owns collection and will write artifacts.
+  bool owns() const { return owner_; }
+
+  /// Records the manifest of a completed flow into the active session.
+  /// First call wins; a no-op when no session is active or the active
+  /// session has no manifest sink.
+  static void record_manifest(const FlowConfig& config,
+                              const FlowResult& result,
+                              const std::string& flow_name);
+
+  /// The currently owning session, or nullptr.
+  static Session* active();
+
+ private:
+  TelemetryOptions options_;
+  bool owner_ = false;
+  std::string manifest_json_;
+};
+
+}  // namespace telemetry
+}  // namespace autoncs

@@ -55,6 +55,7 @@ linalg::EigenDecomposition spectral_embedding(const nn::ConnectionMatrix& networ
     // dense cost. A 4k-dimensional space pins the subspace geometry
     // k-means consumes; the solver library default stays exact.
     lanczos.max_iterations = std::max<std::size_t>(4 * k, 64);
+    lanczos.stats = options.lanczos_stats;
     embedding = linalg::sparse_laplacian_embedding(network.symmetrized_sparse(),
                                                    k, {}, lanczos);
   } else {

@@ -24,6 +24,10 @@ namespace autoncs::util {
 class ThreadPool;
 }
 
+namespace autoncs::linalg {
+struct LanczosStats;
+}
+
 namespace autoncs::clustering {
 
 enum class EmbeddingSolver {
@@ -50,6 +54,10 @@ struct EmbeddingOptions {
   /// Pool for the Lanczos matvec / k-means hot loops. Results are
   /// bit-identical for any thread count (see docs/clustering_perf.md).
   util::ThreadPool* pool = nullptr;
+  /// Optional Lanczos convergence-telemetry sink; only populated when the
+  /// sparse solver actually runs. Purely observational (the embedding is
+  /// identical with or without it).
+  linalg::LanczosStats* lanczos_stats = nullptr;
 };
 
 /// Spectral embedding of the (symmetrized) connection graph with the

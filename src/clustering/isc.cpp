@@ -7,9 +7,12 @@
 #include <unordered_set>
 #include <utility>
 
+#include "linalg/lanczos.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace autoncs::clustering {
 
@@ -222,6 +225,7 @@ std::vector<std::vector<std::size_t>> pack_clusters(
 IscResult iterative_spectral_clustering(const nn::ConnectionMatrix& network,
                                         const IscOptions& options,
                                         util::Rng& rng) {
+  AUTONCS_TRACE_SCOPE("isc");
   AUTONCS_CHECK(!options.crossbar_sizes.empty(), "crossbar size set is empty");
   AUTONCS_CHECK(std::is_sorted(options.crossbar_sizes.begin(),
                                options.crossbar_sizes.end()),
@@ -246,9 +250,15 @@ IscResult iterative_spectral_clustering(const nn::ConnectionMatrix& network,
   // Alg. 3 line 1: remaining network R = W.
   nn::ConnectionMatrix remaining = network;
 
+  // Running index for the cross-iteration Lanczos residual series (one
+  // sample per convergence check, concatenated over iterations).
+  std::size_t residual_check_index = 0;
+
   for (std::size_t iteration = 1;
        iteration <= options.max_iterations && remaining.connection_count() > 0;
        ++iteration) {
+    AUTONCS_TRACE_SCOPE("isc/iteration", "iter",
+                        static_cast<std::int64_t>(iteration));
     // Line 3: cluster R with GCP, size capped at max(S). Only the active
     // subnetwork is clustered: every isolated neuron is its own graph
     // component, so leaving them in floods the Laplacian null space with
@@ -269,18 +279,31 @@ IscResult iterative_spectral_clustering(const nn::ConnectionMatrix& network,
     const std::size_t base_k = (active.size() + max_size - 1) / max_size;
     embed.max_vectors = std::min(active.size(), 2 * base_k + 16);
 
+    // Convergence telemetry of the sparse solver; stays zeroed when the
+    // dense fallback handles this iteration.
+    linalg::LanczosStats lanczos_stats;
+    embed.lanczos_stats = &lanczos_stats;
+
     auto mark = Clock::now();
-    const linalg::EigenDecomposition embedding = spectral_embedding(compact, embed);
+    linalg::EigenDecomposition embedding;
+    {
+      AUTONCS_TRACE_SCOPE("isc/embedding");
+      embedding = spectral_embedding(compact, embed);
+    }
     result.timings.embedding_ms += elapsed_ms(mark);
 
     mark = Clock::now();
-    GcpResult gcp = gcp_from_embedding(embedding, max_size, rng, &pool);
+    GcpResult gcp = [&] {
+      AUTONCS_TRACE_SCOPE("isc/kmeans");
+      return gcp_from_embedding(embedding, max_size, rng, &pool);
+    }();
     result.timings.kmeans_ms += elapsed_ms(mark);
 
     std::vector<std::vector<std::size_t>> clusters = gcp.clustering.clusters;
     for (auto& cluster : clusters)
       for (auto& member : cluster) member = active[member];
     if (options.pack_clusters) {
+      AUTONCS_TRACE_SCOPE("isc/packing");
       mark = Clock::now();
       clusters = pack_clusters(remaining, std::move(clusters),
                                options.crossbar_sizes, options.pack_limit);
@@ -369,7 +392,36 @@ IscResult iterative_spectral_clustering(const nn::ConnectionMatrix& network,
             ? static_cast<double>(remaining.connection_count()) /
                   static_cast<double>(result.total_connections)
             : 0.0;
+    stats.embedding_basis_size = lanczos_stats.basis_size;
+    stats.embedding_matvecs = lanczos_stats.matvecs;
+    stats.embedding_residual = lanczos_stats.residual_history.empty()
+                                   ? 0.0
+                                   : lanczos_stats.residual_history.back();
     result.iterations.push_back(stats);
+
+    if (util::metrics_enabled()) {
+      const auto idx = static_cast<double>(iteration);
+      util::metric_sample("isc/clusters_formed", idx,
+                          static_cast<double>(stats.clusters_formed));
+      util::metric_sample("isc/crossbars_placed", idx,
+                          static_cast<double>(stats.crossbars_placed));
+      util::metric_sample("isc/connections_realized", idx,
+                          static_cast<double>(stats.connections_realized));
+      util::metric_sample("isc/utilization", idx, stats.average_utilization);
+      util::metric_sample("isc/preference", idx, stats.average_preference);
+      util::metric_sample("isc/outlier_ratio", idx, stats.outlier_ratio);
+      if (lanczos_stats.basis_size > 0) {
+        util::metric_sample("isc/lanczos/basis", idx,
+                            static_cast<double>(lanczos_stats.basis_size));
+        util::metric_sample("isc/lanczos/matvecs", idx,
+                            static_cast<double>(lanczos_stats.matvecs));
+      }
+      for (const double residual : lanczos_stats.residual_history) {
+        util::metric_sample("isc/lanczos/residual",
+                            static_cast<double>(residual_check_index++),
+                            residual);
+      }
+    }
 
     util::LogLine(util::LogLevel::kInfo, "isc")
         << "iter " << iteration << ": placed " << stats.crossbars_placed
@@ -385,6 +437,15 @@ IscResult iterative_spectral_clustering(const nn::ConnectionMatrix& network,
 
   // Line 18: remaining connections become discrete synapses.
   result.outliers = remaining.connections();
+
+  util::metric_gauge("isc/iterations",
+                     static_cast<double>(result.iterations.size()));
+  util::metric_gauge("isc/crossbars",
+                     static_cast<double>(result.crossbars.size()));
+  util::metric_gauge("isc/outliers",
+                     static_cast<double>(result.outliers.size()));
+  util::metric_gauge("isc/final_outlier_ratio", result.outlier_ratio());
+  util::metric_gauge("isc/final_utilization", result.average_utilization());
   return result;
 }
 

@@ -100,6 +100,12 @@ struct IscIterationStats {
   double average_utilization = 0.0;     // u of Alg. 3 line 15
   double average_preference = 0.0;      // mean CP over placed crossbars
   double outlier_ratio = 0.0;           // remaining / total connections
+  /// Lanczos telemetry of this iteration's embedding; zero when the dense
+  /// fallback solved it (small active subnetwork).
+  std::size_t embedding_basis_size = 0;
+  std::size_t embedding_matvecs = 0;
+  /// Last relative Ritz-residual estimate of the solve (0 for dense).
+  double embedding_residual = 0.0;
 };
 
 struct IscResult {

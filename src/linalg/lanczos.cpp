@@ -173,10 +173,13 @@ EigenDecomposition lanczos_smallest(const SparseMatrix& a, std::size_t k,
   std::vector<std::vector<double>> h_col;
   std::vector<std::vector<double>> g_col;
 
+  std::size_t matvec_count = 0;
+
   // Appends an already-orthonormalized vector and its matvec image.
   const auto append = [&](std::vector<double> v) {
     std::vector<double> image(n);
     a.multiply_into(v, image, pool);
+    ++matvec_count;
     basis.push_back(std::move(v));
     av.push_back(std::move(image));
     const std::size_t q = basis.size() - 1;
@@ -273,6 +276,17 @@ EigenDecomposition lanczos_smallest(const SparseMatrix& a, std::size_t k,
   const auto converged = [&]() {
     const std::size_t m = basis.size();
     if (m < k) return false;
+    if (options.stats != nullptr) {
+      // Observational only: recomputes the cheap estimates the gate below
+      // also derives from the cached triangles; never alters control flow.
+      double worst = 0.0;
+      for (std::size_t i = 0; i < k; ++i) {
+        const double theta = ritz.values[i];
+        worst = std::max(worst, pair_estimate(i) /
+                                    std::max(scale, std::abs(theta)));
+      }
+      options.stats->residual_history.push_back(worst);
+    }
     if (m >= n) return true;  // exact Rayleigh-Ritz on the full space
     const double gate = std::max(32.0 * options.tolerance, 1e-5);
     for (std::size_t i = 0; i < k; ++i) {
@@ -338,6 +352,10 @@ EigenDecomposition lanczos_smallest(const SparseMatrix& a, std::size_t k,
 
   const std::size_t m = basis.size();
   AUTONCS_CHECK(m >= k, "lanczos basis smaller than requested pair count");
+  if (options.stats != nullptr) {
+    options.stats->basis_size = m;
+    options.stats->matvecs = matvec_count;
+  }
 
   // Ritz vectors for the k smallest Ritz values, renormalized so
   // downstream geometry sees exactly unit columns.

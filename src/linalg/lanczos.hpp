@@ -42,6 +42,21 @@ class ThreadPool;
 
 namespace autoncs::linalg {
 
+/// Convergence telemetry of one lanczos_smallest call. Filled only when a
+/// LanczosOptions::stats sink is given; collecting it never changes the
+/// computation (the recorded estimates are recomputed from cached Gram
+/// matrices), so results are identical with or without a sink.
+struct LanczosStats {
+  /// Final Krylov basis size m.
+  std::size_t basis_size = 0;
+  /// Sparse matvec invocations (one per basis vector appended).
+  std::size_t matvecs = 0;
+  /// Worst (largest) relative Ritz-residual estimate over the k requested
+  /// pairs at each convergence check, in check order — the series that
+  /// shows how the solve converged.
+  std::vector<double> residual_history;
+};
+
 struct LanczosOptions {
   /// Hard cap on Krylov basis size; 0 = up to n (always sufficient).
   std::size_t max_iterations = 0;
@@ -52,6 +67,9 @@ struct LanczosOptions {
   /// single-thread pools run the identical blocked arithmetic sequentially,
   /// so results do not depend on this in any way.
   util::ThreadPool* pool = nullptr;
+  /// Optional convergence-telemetry sink (see LanczosStats). Purely
+  /// observational; null disables collection.
+  LanczosStats* stats = nullptr;
 };
 
 /// k smallest eigenpairs of the symmetric sparse matrix `a` (values

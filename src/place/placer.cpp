@@ -5,8 +5,10 @@
 
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace autoncs::place {
 
@@ -83,6 +85,7 @@ BoundingBox placement_bounding_box(const netlist::Netlist& netlist, double omega
 }
 
 PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
+  AUTONCS_TRACE_SCOPE("place");
   AUTONCS_CHECK(netlist.validate().empty(), "netlist failed validation");
   AUTONCS_CHECK(!netlist.cells.empty(), "cannot place an empty netlist");
 
@@ -113,6 +116,8 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
 
   PlacementReport report;
   for (std::size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
+    AUTONCS_TRACE_SCOPE("place/outer", "iter",
+                        static_cast<std::int64_t>(outer + 1));
     report.outer_iterations = outer + 1;
     const double lambda_now = lambda;
     const Objective objective = [&](const std::vector<double>& x,
@@ -128,11 +133,33 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
         gradient[i] += lambda_now * dgrad[i];
       return wl + lambda_now * d;
     };
-    const CgResult cg = minimize_cg(state, objective, options.cg);
+    const CgResult cg = [&] {
+      AUTONCS_TRACE_SCOPE("place/cg");
+      return minimize_cg(state, objective, options.cg);
+    }();
     const double ratio = overlap_ratio(netlist, state, options.omega);
     util::LogLine(util::LogLevel::kInfo, "place")
         << "outer " << outer + 1 << ": lambda=" << lambda_now
         << " f=" << cg.value << " overlap=" << ratio;
+    PlacerOuterStats stats;
+    stats.lambda = lambda_now;
+    stats.objective = cg.value;
+    stats.overlap_ratio = ratio;
+    stats.hpwl_um = hpwl(netlist, state);
+    stats.cg_iterations = cg.iterations;
+    stats.cg_converged = cg.converged;
+    report.outer.push_back(stats);
+    if (util::metrics_enabled()) {
+      const auto idx = static_cast<double>(outer + 1);
+      util::metric_sample("place/lambda", idx, stats.lambda);
+      util::metric_sample("place/objective", idx, stats.objective);
+      util::metric_sample("place/overlap", idx, stats.overlap_ratio);
+      util::metric_sample("place/hpwl", idx, stats.hpwl_um);
+      util::metric_sample("place/cg_iterations", idx,
+                          static_cast<double>(stats.cg_iterations));
+      util::metric_observe("place/cg_iterations_per_outer",
+                           static_cast<double>(stats.cg_iterations));
+    }
     report.lambda_final = lambda_now;
     report.overlap_ratio_before_legalization = ratio;
     if (ratio <= options.overlap_stop_ratio) break;
@@ -142,12 +169,26 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
   LegalizerOptions legal = options.legalizer;
   legal.omega = options.omega;
   legal.die_half = die_half;
-  report.legalization = legalize(netlist, state, legal);
+  {
+    AUTONCS_TRACE_SCOPE("place/legalize");
+    report.legalization = legalize(netlist, state, legal);
+  }
 
   unpack_positions(state, netlist);
   report.hpwl_um = hpwl(netlist, state);
   report.die = placement_bounding_box(netlist, options.omega);
   report.area_um2 = report.die.area();
+  if (util::metrics_enabled()) {
+    util::metric_gauge("place/outer_iterations",
+                       static_cast<double>(report.outer_iterations));
+    util::metric_gauge("place/lambda_final", report.lambda_final);
+    util::metric_gauge("place/legalization_passes",
+                       static_cast<double>(report.legalization.passes));
+    util::metric_gauge("place/final_overlap",
+                       report.legalization.final_overlap_ratio);
+    util::metric_gauge("place/final_hpwl_um", report.hpwl_um);
+    util::metric_gauge("place/area_um2", report.area_um2);
+  }
   return report;
 }
 

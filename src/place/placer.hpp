@@ -51,10 +51,26 @@ struct BoundingBox {
   double area() const { return width() * height(); }
 };
 
+/// Convergence record of one outer penalty iteration (Alg. 4 lines 3-6):
+/// the lambda trajectory, the CG effort it took, and how far overlap and
+/// wirelength had come when it finished.
+struct PlacerOuterStats {
+  double lambda = 0.0;
+  /// Penalty-function value CG converged to (WL + lambda * D).
+  double objective = 0.0;
+  double overlap_ratio = 0.0;
+  /// Exact unweighted HPWL at this iteration's solution (um).
+  double hpwl_um = 0.0;
+  std::size_t cg_iterations = 0;
+  bool cg_converged = false;
+};
+
 struct PlacementReport {
   std::size_t outer_iterations = 0;
   double lambda_final = 0.0;
   double overlap_ratio_before_legalization = 0.0;
+  /// Per-outer-iteration convergence trajectory, in iteration order.
+  std::vector<PlacerOuterStats> outer;
   LegalizerReport legalization;
   /// Exact HPWL of the final placement (um), unweighted.
   double hpwl_um = 0.0;

@@ -7,8 +7,10 @@
 
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace autoncs::route {
 
@@ -67,6 +69,7 @@ Attempt route_segment(const GridGraph& grid, BinRef source, BinRef target,
 
 RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& options,
                     const tech::TechnologyModel& tech) {
+  AUTONCS_TRACE_SCOPE("route");
   util::WallTimer timer;
   AUTONCS_CHECK(netlist.validate().empty(), "netlist failed validation");
   AUTONCS_CHECK(options.theta > 0.0, "theta must be positive");
@@ -201,6 +204,9 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
                                double history_weight) {
     while (!pending.empty()) {
       ++result.waves;
+      result.wave_sizes.push_back(pending.size());
+      AUTONCS_TRACE_SCOPE("route/wave", "pending",
+                          static_cast<std::int64_t>(pending.size()));
       // Speculative phase: every pending segment searches against the
       // frozen grid. The grid is read-only here, each worker owns its
       // workspace, and each segment owns its attempt slot — no shared
@@ -208,6 +214,8 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
       pool.parallel_for(
           pending.size(),
           [&](std::size_t begin, std::size_t end, std::size_t worker) {
+            AUTONCS_TRACE_SCOPE("route/speculate", "segments",
+                                static_cast<std::int64_t>(end - begin));
             for (std::size_t k = begin; k < end; ++k) {
               const std::size_t s = pending[k];
               attempts[s] = route_segment(grid, seg_source[s], seg_target[s],
@@ -245,6 +253,7 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
         segment_path[s] = std::move(*fresh.path);
         segment_relax[s] = fresh.relaxations;
       }
+      result.segments_deferred += deferred.size();
       pending = std::move(deferred);
     }
   };
@@ -277,6 +286,9 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
     std::vector<std::size_t> best_relax = segment_relax;
     for (std::size_t pass = 0; pass < options.reroute_passes; ++pass) {
       if (grid.accumulate_history(overflow_limit) == 0) break;
+      AUTONCS_TRACE_SCOPE("route/reroute_pass", "pass",
+                          static_cast<std::int64_t>(pass + 1));
+      std::size_t rerouted = 0;
       for (std::size_t s = 0; s < segments.size(); ++s) {
         if (segment_path[s].empty() ||
             !path_overflows(grid, segment_path[s], overflow_limit))
@@ -290,8 +302,10 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
         commit_path(grid, *fresh.path);
         segment_path[s] = std::move(*fresh.path);
         segment_relax[s] = fresh.relaxations;
+        ++rerouted;
       }
       const double pass_overflow = grid.total_overflow();
+      result.reroute_stats.push_back({rerouted, pass_overflow});
       if (pass_overflow < best_overflow) {
         best_overflow = pass_overflow;
         best_path = segment_path;
@@ -322,6 +336,8 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
       wire_length[segment.wire_index] += path_length_um(grid, segment_path[s]);
     }
     wire_relax[segment.wire_index] += segment_relax[s];
+    if (segment_relax[s] > 0) ++result.segments_relaxed;
+    if (segment_relax[s] > options.max_relax_steps) ++result.segments_fallback;
   }
 
   result.wires.reserve(netlist.wires.size());
@@ -344,6 +360,37 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
   result.total_overflow = grid.total_overflow();
   result.peak_congestion = grid.peak_congestion();
   result.runtime_ms = timer.elapsed_ms();
+
+  if (util::metrics_enabled()) {
+    for (std::size_t w = 0; w < result.wave_sizes.size(); ++w) {
+      util::metric_sample("route/wave_size", static_cast<double>(w + 1),
+                          static_cast<double>(result.wave_sizes[w]));
+    }
+    for (std::size_t p = 0; p < result.reroute_stats.size(); ++p) {
+      const auto idx = static_cast<double>(p + 1);
+      util::metric_sample("route/reroute/segments", idx,
+                          static_cast<double>(
+                              result.reroute_stats[p].segments_rerouted));
+      util::metric_sample("route/reroute/overflow", idx,
+                          result.reroute_stats[p].overflow_after);
+    }
+    util::metric_gauge("route/waves", static_cast<double>(result.waves));
+    util::metric_gauge("route/segments_total",
+                       static_cast<double>(result.segments_total));
+    util::metric_gauge("route/segments_routed",
+                       static_cast<double>(result.segments_routed));
+    util::metric_gauge("route/segments_deferred",
+                       static_cast<double>(result.segments_deferred));
+    util::metric_gauge("route/segments_relaxed",
+                       static_cast<double>(result.segments_relaxed));
+    util::metric_gauge("route/segments_fallback",
+                       static_cast<double>(result.segments_fallback));
+    util::metric_gauge("route/maze_invocations",
+                       static_cast<double>(result.maze_invocations));
+    util::metric_gauge("route/final_overflow", result.total_overflow);
+    util::metric_gauge("route/peak_congestion", result.peak_congestion);
+    util::metric_gauge("route/wirelength_um", result.total_wirelength_um);
+  }
 
   util::LogLine(util::LogLevel::kInfo, "route")
       << "routed " << netlist.wires.size() << " wires, L="

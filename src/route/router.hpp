@@ -93,6 +93,14 @@ struct RoutedWire {
   std::size_t relaxations = 0;
 };
 
+/// Convergence record of one negotiated reroute pass.
+struct ReroutePassStats {
+  /// Segments ripped up and rerouted in this pass.
+  std::size_t segments_rerouted = 0;
+  /// Grid overflow after the pass committed.
+  double overflow_after = 0.0;
+};
+
 struct RoutingResult {
   std::vector<RoutedWire> wires;
   double total_wirelength_um = 0.0;
@@ -114,6 +122,22 @@ struct RoutingResult {
   /// Pool workers used (1 = sequential).
   std::size_t threads_used = 1;
   double runtime_ms = 0.0;
+
+  // --- convergence telemetry (deterministic: depends only on the
+  // canonical segment order, never on thread count) ---
+  /// Pending-segment count of each speculative wave, in execution order.
+  std::vector<std::size_t> wave_sizes;
+  /// Clean speculative paths invalidated by earlier commits of their wave
+  /// and pushed to the next wave (summed over all waves).
+  std::size_t segments_deferred = 0;
+  /// Segments whose FINAL committed route needed >= 1 capacity relaxation.
+  std::size_t segments_relaxed = 0;
+  /// Segments whose final route exhausted relaxation and fell back to an
+  /// unconstrained search.
+  std::size_t segments_fallback = 0;
+  /// One entry per executed negotiated reroute pass (empty when
+  /// reroute_passes == 0 or the first pass found no overflow).
+  std::vector<ReroutePassStats> reroute_stats;
 };
 
 /// Routes all wires of the placed netlist. Every wire is guaranteed to be

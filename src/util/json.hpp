@@ -1,0 +1,71 @@
+// Minimal JSON emission and validation shared by the telemetry layer
+// (Chrome trace export, metrics JSONL, run manifests) and the bench
+// harness JSON artifacts. Writing is string-building only — no DOM — and
+// the validator is a strict RFC 8259 recognizer used by tests and tools to
+// guarantee the emitted artifacts stay loadable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace autoncs::util {
+
+/// Escapes `text` for use inside a JSON string literal (quotes, backslash,
+/// control characters). Does NOT add the surrounding quotes.
+std::string json_escape(const std::string& text);
+
+/// Formats a double as a JSON number token. Non-finite values (which JSON
+/// cannot represent) are emitted as null. Round-trips exactly via %.17g.
+std::string json_number(double value);
+
+/// Incremental writer for nested objects/arrays. The caller is responsible
+/// for balanced begin/end calls; keys are only legal inside objects. A
+/// minimal state stack inserts commas automatically.
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits `"name":` — must be followed by exactly one value.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& text);  // string value (escaped)
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::size_t number);
+  JsonWriter& value(long long number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Shorthand: key(name) followed by value(v).
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  /// One frame per open container: true = expecting the first element.
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+/// Strict JSON recognizer: true iff `text` is one complete, valid JSON
+/// value (with optional surrounding whitespace). Used by the telemetry
+/// tests to parse the emitted artifacts back.
+bool json_valid(const std::string& text);
+
+/// Writes `content` to `path`, returning false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace autoncs::util

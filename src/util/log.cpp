@@ -1,13 +1,31 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace autoncs::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
 
-const char* level_name(LogLevel level) {
+/// The threshold is read on every call site, including from pool workers,
+/// so it is atomic; the sink and the emission itself share one mutex.
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mutex;
+LogSink g_sink;  // empty = default stderr sink
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "debug";
     case LogLevel::kInfo: return "info";
@@ -17,15 +35,43 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+bool parse_log_level(const std::string& name, LogLevel* out) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    if (name == log_level_name(level)) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
 
-LogLevel log_level() { return g_level; }
+LogSink set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  LogSink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
 
 void log_message(LogLevel level, const std::string& tag, const std::string& message) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), tag.c_str(), message.c_str());
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  // Format outside the lock; dispatch atomically so lines from concurrent
+  // stages (pool workers, parallel flows) never interleave mid-line.
+  std::string line;
+  line.reserve(tag.size() + message.size() + 16);
+  line += '[';
+  line += log_level_name(level);
+  line += "] ";
+  line += tag;
+  line += ": ";
+  line += message;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace autoncs::util

@@ -1,8 +1,14 @@
 // Minimal leveled logger used by the long-running flow stages (ISC,
 // placement, routing) to report progress. Output goes to stderr so that
 // benches can pipe machine-readable results on stdout.
+//
+// Thread-safe: stages own thread pools, so lines are formatted into a
+// single string first and emitted atomically under a mutex — concurrent
+// writers can interleave LINES but never characters. The sink is
+// pluggable (set_log_sink) so tests and tools can capture output.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -14,8 +20,23 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Lowercase level name ("debug", ..., "off").
+const char* log_level_name(LogLevel level);
+
+/// Parses a level name; returns false (and leaves `out` untouched) on an
+/// unknown name. Accepts exactly the strings log_level_name produces.
+bool parse_log_level(const std::string& name, LogLevel* out);
+
+/// Receives each formatted line (no trailing newline). Called under the
+/// logger's mutex, so a sink needs no synchronization of its own.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+
+/// Replaces the output sink; an empty function restores the default
+/// stderr sink. Returns the previous sink so scoped captures can restore.
+LogSink set_log_sink(LogSink sink);
+
 /// Emits one formatted line ("[level] tag: message") if `level` passes the
-/// threshold. Thread-compatible (single writer assumed).
+/// threshold. Thread-safe: the line is dispatched to the sink atomically.
 void log_message(LogLevel level, const std::string& tag, const std::string& message);
 
 /// Stream-style helper: LogLine(LogLevel::kInfo, "isc") << "iter " << i;

@@ -1,0 +1,185 @@
+#include "util/metrics.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "util/json.hpp"
+
+namespace autoncs::util {
+
+namespace metrics_detail {
+std::atomic<bool> g_enabled{false};
+}
+
+namespace {
+
+/// Registry state. Kind maps are name -> index into the snapshot vectors,
+/// so repeated touches update in place while first-touch order is kept for
+/// deterministic export.
+struct Registry {
+  std::mutex mutex;
+  MetricsSnapshot snapshot;
+  std::unordered_map<std::string, std::size_t> counter_index;
+  std::unordered_map<std::string, std::size_t> gauge_index;
+  std::unordered_map<std::string, std::size_t> histogram_index;
+  std::unordered_map<std::string, std::size_t> series_index;
+  std::vector<std::string> prefixes;
+
+  std::string qualify(const std::string& name) const {
+    if (prefixes.empty()) return name;
+    std::string out;
+    for (const auto& p : prefixes) {
+      out += p;
+      out += '/';
+    }
+    out += name;
+    return out;
+  }
+
+  void clear() {
+    snapshot = MetricsSnapshot{};
+    counter_index.clear();
+    gauge_index.clear();
+    histogram_index.clear();
+    series_index.clear();
+    // Prefixes are scoping state owned by live MetricPrefix objects, not
+    // session data — they survive a session restart.
+  }
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+}  // namespace
+
+void start_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.clear();
+  metrics_detail::g_enabled.store(true, std::memory_order_release);
+}
+
+MetricsSnapshot stop_metrics() {
+  metrics_detail::g_enabled.store(false, std::memory_order_release);
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  MetricsSnapshot out = std::move(r.snapshot);
+  r.clear();
+  return out;
+}
+
+void metric_count(const std::string& name, double delta) {
+  if (!metrics_enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const std::string full = r.qualify(name);
+  auto [it, inserted] =
+      r.counter_index.try_emplace(full, r.snapshot.counters.size());
+  if (inserted) r.snapshot.counters.push_back({full, 0.0});
+  r.snapshot.counters[it->second].value += delta;
+}
+
+void metric_gauge(const std::string& name, double value) {
+  if (!metrics_enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const std::string full = r.qualify(name);
+  auto [it, inserted] =
+      r.gauge_index.try_emplace(full, r.snapshot.gauges.size());
+  if (inserted) r.snapshot.gauges.push_back({full, 0.0});
+  r.snapshot.gauges[it->second].value = value;
+}
+
+void metric_observe(const std::string& name, double value) {
+  if (!metrics_enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const std::string full = r.qualify(name);
+  auto [it, inserted] =
+      r.histogram_index.try_emplace(full, r.snapshot.histograms.size());
+  if (inserted) r.snapshot.histograms.push_back({full, 0, 0.0, value, value});
+  auto& h = r.snapshot.histograms[it->second];
+  h.count += 1;
+  h.sum += value;
+  h.min = value < h.min ? value : h.min;
+  h.max = value > h.max ? value : h.max;
+}
+
+void metric_sample(const std::string& name, double index, double value) {
+  if (!metrics_enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const std::string full = r.qualify(name);
+  auto [it, inserted] =
+      r.series_index.try_emplace(full, r.snapshot.series.size());
+  if (inserted) r.snapshot.series.push_back({full, {}});
+  r.snapshot.series[it->second].samples.emplace_back(index, value);
+}
+
+void push_metric_prefix(const std::string& prefix) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.prefixes.push_back(prefix);
+}
+
+void pop_metric_prefix() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (!r.prefixes.empty()) r.prefixes.pop_back();
+}
+
+std::string metrics_jsonl(const MetricsSnapshot& snapshot) {
+  std::string out;
+  const auto line = [&out](const JsonWriter& json) {
+    out += json.str();
+    out += '\n';
+  };
+  for (const auto& c : snapshot.counters) {
+    JsonWriter json;
+    json.begin_object()
+        .field("type", "counter")
+        .field("name", c.name)
+        .field("value", c.value)
+        .end_object();
+    line(json);
+  }
+  for (const auto& g : snapshot.gauges) {
+    JsonWriter json;
+    json.begin_object()
+        .field("type", "gauge")
+        .field("name", g.name)
+        .field("value", g.value)
+        .end_object();
+    line(json);
+  }
+  for (const auto& h : snapshot.histograms) {
+    JsonWriter json;
+    json.begin_object()
+        .field("type", "histogram")
+        .field("name", h.name)
+        .field("count", h.count)
+        .field("sum", h.sum)
+        .field("min", h.min)
+        .field("max", h.max)
+        .field("mean", h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0)
+        .end_object();
+    line(json);
+  }
+  for (const auto& s : snapshot.series) {
+    for (const auto& [index, value] : s.samples) {
+      JsonWriter json;
+      json.begin_object()
+          .field("type", "sample")
+          .field("name", s.name)
+          .field("index", index)
+          .field("value", value)
+          .end_object();
+      line(json);
+    }
+  }
+  return out;
+}
+
+}  // namespace autoncs::util

@@ -1,0 +1,120 @@
+// Metrics registry: named counters, gauges, histograms and per-iteration
+// series, populated by the flow stages and exported as JSONL.
+//
+// Design rules (the same passivity contract as the trace layer):
+//
+//  - Disabled (the default), every metric_* call is one relaxed atomic
+//    load. Enabled, it takes the registry mutex — metrics are only emitted
+//    from SEQUENTIAL driver code (per-iteration loops, commit phases),
+//    never from inside parallel reductions, so the lock is uncontended.
+//  - Metric values are derived from flow state that is itself
+//    bit-identical across thread counts, and wall-clock never enters a
+//    metric (timings live in the run manifest). The exported JSONL is
+//    therefore byte-identical for --threads 1 and --threads N, which the
+//    telemetry tests assert.
+//  - Nothing reads metrics back into the flow, so outputs are identical
+//    with metrics on or off.
+//
+// Naming convention (docs/observability.md): "<stage>/<quantity>", with an
+// optional flow prefix ("autoncs/", "fullcro/") pushed by the pipeline so
+// a CLI run that executes both flows keeps their series separate.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace autoncs::util {
+
+namespace metrics_detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// True while a metrics session is collecting.
+inline bool metrics_enabled() {
+  return metrics_detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Everything collected by a session, in first-touch order (deterministic:
+/// emission points are sequential code in fixed order).
+struct MetricsSnapshot {
+  struct Counter {
+    std::string name;
+    double value = 0.0;
+  };
+  struct Gauge {
+    std::string name;
+    double value = 0.0;
+  };
+  struct Histogram {
+    std::string name;
+    std::size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  /// Ordered (index, value) samples of one convergence series.
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> samples;
+  };
+
+  std::vector<Counter> counters;
+  std::vector<Gauge> gauges;
+  std::vector<Histogram> histograms;
+  std::vector<Series> series;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           series.empty();
+  }
+};
+
+/// Clears the registry and starts collecting (idempotent).
+void start_metrics();
+
+/// Stops collecting and returns (moving out) everything recorded.
+MetricsSnapshot stop_metrics();
+
+/// Adds `delta` to the named monotonic counter.
+void metric_count(const std::string& name, double delta = 1.0);
+
+/// Sets the named gauge to `value` (last write wins).
+void metric_gauge(const std::string& name, double value);
+
+/// Folds `value` into the named histogram (count/sum/min/max).
+void metric_observe(const std::string& name, double value);
+
+/// Appends one (index, value) sample to the named series — the
+/// per-iteration convergence traces.
+void metric_sample(const std::string& name, double index, double value);
+
+/// Pushes/pops a name prefix ("autoncs" -> names become "autoncs/...").
+/// Used by the pipeline to scope one flow run; flows execute sequentially
+/// on the calling thread, so a plain push/pop pair is sufficient.
+void push_metric_prefix(const std::string& prefix);
+void pop_metric_prefix();
+
+/// RAII helper for push/pop_metric_prefix.
+class MetricPrefix {
+ public:
+  explicit MetricPrefix(const std::string& prefix) {
+    push_metric_prefix(prefix);
+  }
+  MetricPrefix(const MetricPrefix&) = delete;
+  MetricPrefix& operator=(const MetricPrefix&) = delete;
+  ~MetricPrefix() { pop_metric_prefix(); }
+};
+
+/// Renders a snapshot as JSONL: one JSON object per line —
+///   {"type":"counter","name":...,"value":...}
+///   {"type":"gauge","name":...,"value":...}
+///   {"type":"histogram","name":...,"count":...,"sum":...,"min":...,"max":...,"mean":...}
+///   {"type":"sample","name":...,"index":...,"value":...}
+/// Counters, gauges and histograms come first, then every series' samples
+/// in order. Each line is independently parseable.
+std::string metrics_jsonl(const MetricsSnapshot& snapshot);
+
+}  // namespace autoncs::util

@@ -1,0 +1,149 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "util/json.hpp"
+
+namespace autoncs::util {
+
+namespace trace_detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Session epoch; reset by start_tracing. Guarded by the registry mutex
+/// for writes; reads race benignly only before the first start (disabled).
+Clock::time_point g_epoch = Clock::now();
+
+/// Per-thread event buffer. Owned jointly by the recording thread (via a
+/// thread_local shared_ptr) and the global registry, so events survive
+/// worker threads that exit before the session is collected (stage-scoped
+/// ThreadPools are torn down at stage end). The mutex is uncontended in
+/// steady state: only the owner thread appends; the registry locks it
+/// during start/stop, which happen outside the parallel regions.
+struct Buffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  std::uint32_t next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives exiting threads
+  return *r;
+}
+
+Buffer& thread_buffer() {
+  thread_local std::shared_ptr<Buffer> buffer = [] {
+    auto b = std::make_shared<Buffer>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    b->tid = r.next_tid++;
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() - g_epoch)
+      .count();
+}
+
+void record(const TraceEvent& event) {
+  Buffer& buffer = thread_buffer();
+  TraceEvent stamped = event;
+  stamped.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(stamped);
+}
+
+}  // namespace trace_detail
+
+void start_tracing() {
+  using namespace trace_detail;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& buffer : r.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  g_epoch = std::chrono::steady_clock::now();
+  g_enabled.store(true, std::memory_order_release);
+}
+
+std::vector<TraceEvent> stop_tracing() {
+  using namespace trace_detail;
+  g_enabled.store(false, std::memory_order_release);
+  std::vector<TraceEvent> out;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& buffer : r.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    buffer->events.clear();
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.dur_us > b.dur_us;  // enclosing span first
+  });
+  return out;
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+  for (const TraceEvent& e : events) {
+    json.begin_object()
+        .field("name", e.name)
+        .field("ph", "X")
+        .field("ts", e.ts_us)
+        .field("dur", e.dur_us)
+        .field("pid", std::size_t{1})
+        .field("tid", static_cast<std::size_t>(e.tid));
+    if (e.arg_name != nullptr) {
+      json.key("args").begin_object().field(e.arg_name,
+                                            static_cast<long long>(e.arg));
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.field("displayTimeUnit", "ms");
+  json.end_object();
+  return json.str();
+}
+
+void TraceSpan::open(const char* name, const char* arg_name, std::int64_t arg) {
+  name_ = name;
+  arg_name_ = arg_name;
+  arg_ = arg;
+  start_us_ = trace_detail::now_us();
+}
+
+void TraceSpan::close() {
+  TraceEvent event;
+  event.name = name_;
+  event.ts_us = start_us_;
+  event.dur_us = trace_detail::now_us() - start_us_;
+  event.tid = 0;  // stamped by record()
+  event.arg_name = arg_name_;
+  event.arg = arg_;
+  trace_detail::record(event);
+}
+
+}  // namespace autoncs::util

@@ -1,0 +1,94 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace autoncs::util {
+namespace {
+
+TEST(JsonEscape, HandlesSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonNumber, RoundTripsAndRejectsNonFinite) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  // %.17g round-trips any double exactly.
+  const double value = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(json_number(value)), value);
+}
+
+TEST(JsonWriter, NestedObjectsAndArrays) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "flow").field("count", std::size_t{3}).field("ok", true);
+  w.key("series").begin_array();
+  w.value(1.0).value(2.0).value(3.0);
+  w.end_array();
+  w.key("inner").begin_object();
+  w.field("x", 1.5);
+  w.key("none").null();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"flow\",\"count\":3,\"ok\":true,"
+            "\"series\":[1,2,3],\"inner\":{\"x\":1.5,\"none\":null}}");
+  EXPECT_TRUE(json_valid(w.str()));
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").begin_array().end_array();
+  w.key("o").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\":[],\"o\":{}}");
+  EXPECT_TRUE(json_valid(w.str()));
+}
+
+TEST(JsonValid, AcceptsValidDocuments) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid("[]"));
+  EXPECT_TRUE(json_valid("  {\"a\": [1, 2.5, -3e4, true, false, null]} "));
+  EXPECT_TRUE(json_valid("\"just a string\""));
+  EXPECT_TRUE(json_valid("-0.5"));
+  EXPECT_TRUE(json_valid("{\"u\":\"\\u00e9\",\"n\":{\"x\":[{}]}}"));
+}
+
+TEST(JsonValid, RejectsInvalidDocuments) {
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("{\"a\":}"));
+  EXPECT_FALSE(json_valid("{\"a\":1,}"));
+  EXPECT_FALSE(json_valid("[1 2]"));
+  EXPECT_FALSE(json_valid("{} {}"));
+  EXPECT_FALSE(json_valid("nul"));
+  EXPECT_FALSE(json_valid("01"));
+  EXPECT_FALSE(json_valid("\"unterminated"));
+  EXPECT_FALSE(json_valid("{'a':1}"));
+}
+
+TEST(WriteTextFile, RoundTrips) {
+  const std::string path =
+      ::testing::TempDir() + "/autoncs_json_test_artifact.json";
+  ASSERT_TRUE(write_text_file(path, "{\"x\":1}"));
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "{\"x\":1}");
+  EXPECT_FALSE(write_text_file("/nonexistent-dir/nope/file.json", "x"));
+}
+
+}  // namespace
+}  // namespace autoncs::util

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "util/timer.hpp"
 
 namespace autoncs::util {
@@ -14,6 +18,25 @@ class LogLevelGuard {
 
  private:
   LogLevel saved_;
+};
+
+/// Captures every dispatched line for the duration of a test.
+class LogCapture {
+ public:
+  LogCapture() {
+    previous_ = set_log_sink([this](LogLevel level, const std::string& line) {
+      lines_.push_back({level, line});
+    });
+  }
+  ~LogCapture() { set_log_sink(previous_); }
+
+  const std::vector<std::pair<LogLevel, std::string>>& lines() const {
+    return lines_;
+  }
+
+ private:
+  LogSink previous_;
+  std::vector<std::pair<LogLevel, std::string>> lines_;
 };
 
 TEST(Log, LevelRoundTrips) {
@@ -37,6 +60,68 @@ TEST(Log, StreamFormatting) {
   // The LogLine destructor must assemble and submit without throwing.
   EXPECT_NO_THROW(
       (LogLine(LogLevel::kWarn, "tag") << "x=" << 1.5 << " y=" << "s"));
+}
+
+TEST(Log, LevelNamesRoundTrip) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                               LogLevel::kWarn, LogLevel::kError,
+                               LogLevel::kOff}) {
+    LogLevel parsed = LogLevel::kOff;
+    ASSERT_TRUE(parse_log_level(log_level_name(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  LogLevel untouched = LogLevel::kWarn;
+  EXPECT_FALSE(parse_log_level("verbose", &untouched));
+  EXPECT_FALSE(parse_log_level("", &untouched));
+  EXPECT_EQ(untouched, LogLevel::kWarn);
+}
+
+TEST(Log, SinkCapturesFormattedLines) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  LogCapture capture;
+  log_message(LogLevel::kInfo, "stage", "hello");
+  LogLine(LogLevel::kWarn, "stage") << "x=" << 2;
+  ASSERT_EQ(capture.lines().size(), 2u);
+  EXPECT_EQ(capture.lines()[0].first, LogLevel::kInfo);
+  EXPECT_NE(capture.lines()[0].second.find("stage"), std::string::npos);
+  EXPECT_NE(capture.lines()[0].second.find("hello"), std::string::npos);
+  EXPECT_NE(capture.lines()[1].second.find("x=2"), std::string::npos);
+}
+
+TEST(Log, SinkRespectsThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  LogCapture capture;
+  log_message(LogLevel::kInfo, "stage", "dropped");
+  log_message(LogLevel::kError, "stage", "kept");
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_NE(capture.lines()[0].second.find("kept"), std::string::npos);
+}
+
+TEST(Log, ConcurrentWritersNeverInterleaveCharacters) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  LogCapture capture;
+  constexpr int kThreads = 4;
+  constexpr int kLines = 50;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i)
+        LogLine(LogLevel::kInfo, "t" + std::to_string(t))
+            << "line " << i << " end";
+    });
+  }
+  for (auto& w : writers) w.join();
+  ASSERT_EQ(capture.lines().size(),
+            static_cast<std::size_t>(kThreads * kLines));
+  // Every captured line must be one intact message (the mutex admits
+  // interleaved LINES but never characters).
+  for (const auto& [level, line] : capture.lines()) {
+    EXPECT_EQ(level, LogLevel::kInfo);
+    EXPECT_NE(line.find(" end"), std::string::npos) << line;
+  }
 }
 
 TEST(Timer, MeasuresElapsedTime) {

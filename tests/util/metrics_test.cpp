@@ -1,0 +1,114 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace autoncs::util {
+namespace {
+
+TEST(Metrics, DisabledRecordsNothing) {
+  ASSERT_FALSE(metrics_enabled());
+  metric_count("dropped");
+  metric_gauge("dropped", 1.0);
+  metric_observe("dropped", 1.0);
+  metric_sample("dropped", 1.0, 1.0);
+  EXPECT_TRUE(stop_metrics().empty());
+}
+
+TEST(Metrics, CollectsEveryKind) {
+  start_metrics();
+  EXPECT_TRUE(metrics_enabled());
+  metric_count("hits");
+  metric_count("hits", 2.0);
+  metric_gauge("level", 1.0);
+  metric_gauge("level", 4.0);  // last write wins
+  metric_observe("latency", 2.0);
+  metric_observe("latency", 6.0);
+  metric_sample("loss", 1.0, 0.5);
+  metric_sample("loss", 2.0, 0.25);
+  const MetricsSnapshot snapshot = stop_metrics();
+  EXPECT_FALSE(metrics_enabled());
+
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].name, "hits");
+  EXPECT_DOUBLE_EQ(snapshot.counters[0].value, 3.0);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].value, 4.0);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 2u);
+  EXPECT_DOUBLE_EQ(snapshot.histograms[0].sum, 8.0);
+  EXPECT_DOUBLE_EQ(snapshot.histograms[0].min, 2.0);
+  EXPECT_DOUBLE_EQ(snapshot.histograms[0].max, 6.0);
+  ASSERT_EQ(snapshot.series.size(), 1u);
+  ASSERT_EQ(snapshot.series[0].samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(snapshot.series[0].samples[1].second, 0.25);
+}
+
+TEST(Metrics, StopClearsTheRegistry) {
+  start_metrics();
+  metric_count("once");
+  EXPECT_FALSE(stop_metrics().empty());
+  start_metrics();
+  EXPECT_TRUE(stop_metrics().empty());
+}
+
+TEST(Metrics, PrefixesScopeNames) {
+  start_metrics();
+  {
+    MetricPrefix outer("autoncs");
+    metric_gauge("isc/iterations", 3.0);
+    {
+      MetricPrefix inner("sub");
+      metric_count("events");
+    }
+  }
+  metric_gauge("unprefixed", 1.0);
+  const MetricsSnapshot snapshot = stop_metrics();
+  ASSERT_EQ(snapshot.gauges.size(), 2u);
+  EXPECT_EQ(snapshot.gauges[0].name, "autoncs/isc/iterations");
+  EXPECT_EQ(snapshot.gauges[1].name, "unprefixed");
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].name, "autoncs/sub/events");
+}
+
+TEST(Metrics, JsonlLinesAreIndependentlyValid) {
+  start_metrics();
+  metric_count("c", 2.0);
+  metric_gauge("g", 1.5);
+  metric_observe("h", 3.0);
+  metric_sample("s", 1.0, 9.0);
+  const std::string jsonl = metrics_jsonl(stop_metrics());
+  ASSERT_FALSE(jsonl.empty());
+  EXPECT_EQ(jsonl.back(), '\n');
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(json_valid(line)) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+  EXPECT_NE(jsonl.find("{\"type\":\"counter\",\"name\":\"c\",\"value\":2}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"mean\":3"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"index\":1,\"value\":9"), std::string::npos);
+}
+
+TEST(Metrics, FirstTouchOrderIsDeterministic) {
+  start_metrics();
+  metric_gauge("b", 1.0);
+  metric_gauge("a", 1.0);
+  metric_gauge("b", 2.0);
+  const MetricsSnapshot snapshot = stop_metrics();
+  ASSERT_EQ(snapshot.gauges.size(), 2u);
+  EXPECT_EQ(snapshot.gauges[0].name, "b");
+  EXPECT_EQ(snapshot.gauges[1].name, "a");
+}
+
+}  // namespace
+}  // namespace autoncs::util

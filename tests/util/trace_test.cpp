@@ -1,0 +1,91 @@
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace autoncs::util {
+namespace {
+
+TEST(Trace, DisabledRecordsNothing) {
+  ASSERT_FALSE(tracing_enabled());
+  {
+    AUTONCS_TRACE_SCOPE("never/recorded");
+    AUTONCS_TRACE_SCOPE("also/never", "arg", 7);
+  }
+  EXPECT_TRUE(stop_tracing().empty());
+}
+
+TEST(Trace, SpansNestOnOneThread) {
+  start_tracing();
+  {
+    AUTONCS_TRACE_SCOPE("outer");
+    { AUTONCS_TRACE_SCOPE("inner", "iter", 3); }
+  }
+  const auto events = stop_tracing();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by begin timestamp with the enclosing span first.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_GE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us);
+  EXPECT_EQ(events[0].arg_name, nullptr);
+  ASSERT_NE(events[1].arg_name, nullptr);
+  EXPECT_STREQ(events[1].arg_name, "iter");
+  EXPECT_EQ(events[1].arg, 3);
+}
+
+TEST(Trace, WorkerSpansCarryDistinctThreadIds) {
+  start_tracing();
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.size(), 4u);
+  pool.parallel_for(4, [](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) {
+      AUTONCS_TRACE_SCOPE("worker/chunk");
+    }
+  });
+  const auto events = stop_tracing();
+  ASSERT_EQ(events.size(), 4u);
+  std::set<std::uint32_t> tids;
+  for (const auto& event : events) tids.insert(event.tid);
+  // One chunk per worker; worker 0 is the calling thread, the other three
+  // are pool threads — every span must come from a different thread.
+  EXPECT_EQ(tids.size(), 4u);
+}
+
+TEST(Trace, SessionsAreIsolated) {
+  start_tracing();
+  { AUTONCS_TRACE_SCOPE("first/session"); }
+  EXPECT_EQ(stop_tracing().size(), 1u);
+  // A new session must not see the old session's events.
+  start_tracing();
+  { AUTONCS_TRACE_SCOPE("second/session"); }
+  const auto events = stop_tracing();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "second/session");
+}
+
+TEST(Trace, ChromeTraceJsonIsValid) {
+  start_tracing();
+  {
+    AUTONCS_TRACE_SCOPE("flow/place");
+    { AUTONCS_TRACE_SCOPE("place/cg", "iter", 1); }
+  }
+  const std::string json = chrome_trace_json(stop_tracing());
+  EXPECT_TRUE(json_valid(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("place/cg"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"iter\":1}"), std::string::npos);
+  // An empty event list still renders a loadable document.
+  EXPECT_TRUE(json_valid(chrome_trace_json({})));
+}
+
+}  // namespace
+}  // namespace autoncs::util

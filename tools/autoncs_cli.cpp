@@ -6,10 +6,19 @@
 //   autoncs info net.ncsnet
 //   autoncs flow net.ncsnet [--baseline] [--seed N] [--max-size 64]
 //                            [--threads T] [--layout] [--csv out.csv]
+//                            [--trace trace.json] [--metrics metrics.jsonl]
+//                            [--manifest run.json] [--log-level LEVEL]
 //
 // `flow` runs AutoNCS (and optionally the FullCro baseline) on a network
 // file and prints the physical cost; `generate` writes the built-in
 // network families to disk; `info` prints topology statistics.
+//
+// Telemetry (docs/observability.md): --trace writes a Chrome trace-event
+// JSON loadable in Perfetto / chrome://tracing, --metrics writes the
+// convergence metrics as JSONL, and a run manifest (full config, seed,
+// build type, stage wall times, final cost) lands next to either artifact
+// (or at an explicit --manifest path). The flow result is bit-identical
+// with telemetry on or off.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,11 +28,13 @@
 
 #include "autoncs/pipeline.hpp"
 #include "autoncs/report.hpp"
+#include "autoncs/telemetry.hpp"
 #include "nn/generators.hpp"
 #include "nn/io.hpp"
 #include "nn/stats.hpp"
 #include "nn/testbench.hpp"
 #include "util/heatmap.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -76,7 +87,17 @@ int usage() {
                "[options] --out FILE\n"
                "  autoncs info FILE\n"
                "  autoncs flow FILE [--baseline] [--seed N] [--max-size S] "
-               "[--threads T] [--layout] \n"
+               "[--threads T] [--layout]\n"
+               "               [--trace trace.json] [--metrics metrics.jsonl] "
+               "[--manifest run.json]\n"
+               "common options:\n"
+               "  --log-level debug|info|warn|error|off   stderr verbosity "
+               "(default warn)\n"
+               "  --trace FILE     write a Chrome trace-event JSON "
+               "(Perfetto / chrome://tracing)\n"
+               "  --metrics FILE   write convergence metrics as JSONL\n"
+               "  --manifest FILE  write the run manifest (defaults next to "
+               "--trace/--metrics)\n"
                "see tools/autoncs_cli.cpp for the full option list\n");
   return 2;
 }
@@ -161,10 +182,20 @@ int cmd_flow(const Args& args) {
   for (std::size_t s = 16; s <= max_size; s += 4) sizes.push_back(s);
   if (!sizes.empty()) config.isc.crossbar_sizes = sizes;
   config.baseline_crossbar_size = max_size;
+  config.telemetry.trace_path = args.get("trace", "");
+  config.telemetry.metrics_path = args.get("metrics", "");
+  config.telemetry.manifest_path = args.get("manifest", "");
+
+  // The CLI owns the telemetry session so a --baseline comparison lands
+  // both flows in ONE trace/metrics artifact set (the nested per-flow
+  // sessions inside the pipeline are inert, and the metric prefixes keep
+  // the two flows' series apart).
+  telemetry::Session session(config.telemetry);
 
   const auto ours = run_autoncs(*network, config);
   std::printf("%s\n", summarize_flow(ours, "AutoNCS").c_str());
   std::printf("%s\n", summarize_timings(ours).c_str());
+  std::printf("%s\n", summarize_convergence(ours).c_str());
   if (args.has("layout")) {
     std::printf("%s", util::render_ascii(layout_field(ours.netlist, 2.0), 26, 52)
                           .c_str());
@@ -187,6 +218,17 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const Args args = Args::parse(argc, argv);
+  if (args.has("log-level")) {
+    util::LogLevel level;
+    const std::string name = args.get("log-level", "");
+    if (!util::parse_log_level(name, &level)) {
+      std::fprintf(stderr,
+                   "unknown --log-level '%s' (debug|info|warn|error|off)\n",
+                   name.c_str());
+      return 2;
+    }
+    util::set_log_level(level);
+  }
   if (command == "generate") return cmd_generate(args);
   if (command == "info") return cmd_info(args);
   if (command == "flow") return cmd_flow(args);
