@@ -114,6 +114,103 @@ void BM_DensityGradient(benchmark::State& state) {
 }
 BENCHMARK(BM_DensityGradient)->Arg(200)->Arg(1000);
 
+// Value-only evaluations — the Armijo line-search hot path. Compare
+// against the *Gradient twins above to see what skipping gradient work
+// buys per call.
+void BM_WaWirelengthValueOnly(benchmark::State& state) {
+  const auto net = random_placed_netlist(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) * 4);
+  const auto coords = place::pack_positions(net);
+  const place::WaModel model{2.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.evaluate(net, coords, nullptr));
+  }
+}
+BENCHMARK(BM_WaWirelengthValueOnly)->Arg(200)->Arg(1000);
+
+void BM_DensityValueOnly(benchmark::State& state) {
+  const auto net = random_placed_netlist(
+      static_cast<std::size_t>(state.range(0)), 1);
+  const auto coords = place::pack_positions(net);
+  const place::DensityModel model{1.2, 16.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.evaluate(net, coords, nullptr));
+  }
+}
+BENCHMARK(BM_DensityValueOnly)->Arg(200)->Arg(1000);
+
+// WA axis kernel in isolation (one wire, one axis): range(0) pins,
+// range(1) selects value-only (0) vs with cached-exp gradient terms (1).
+// An exp-caching regression shows up here without running the placer.
+void BM_WaAxisKernel(benchmark::State& state) {
+  const auto pin_count = static_cast<std::size_t>(state.range(0));
+  const bool with_gradient = state.range(1) != 0;
+  util::Rng rng(7);
+  std::vector<std::size_t> pins(pin_count);
+  std::vector<double> coords(2 * pin_count);
+  for (std::size_t k = 0; k < pin_count; ++k) {
+    pins[k] = k;
+    coords[2 * k] = rng.uniform(-20.0, 20.0);
+    coords[2 * k + 1] = rng.uniform(-20.0, 20.0);
+  }
+  std::vector<double> contrib(pin_count);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(place::wa_axis_terms(
+        pins, coords, 0, 2.0, 1.0, with_gradient ? contrib.data() : nullptr));
+  }
+}
+BENCHMARK(BM_WaAxisKernel)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+// Density pair kernel over a batch of synthetic pair geometries (about
+// half inside the softplus tail); range(0) selects value-only vs gradient.
+void BM_DensityPairKernel(benchmark::State& state) {
+  const bool with_gradient = state.range(0) != 0;
+  constexpr std::size_t kPairs = 4096;
+  constexpr double kBeta = 16.0;
+  constexpr double kTail = 30.0 / kBeta;
+  util::Rng rng(8);
+  std::vector<double> dx(kPairs), dy(kPairs), tx(kPairs), ty(kPairs);
+  for (std::size_t k = 0; k < kPairs; ++k) {
+    dx[k] = rng.uniform(-6.0, 6.0);
+    dy[k] = rng.uniform(-6.0, 6.0);
+    tx[k] = rng.uniform(0.5, 4.0);
+    ty[k] = rng.uniform(0.5, 4.0);
+  }
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < kPairs; ++k) {
+      place::DensityPairTerm term;
+      if (place::density_pair_kernel(dx[k], dy[k], tx[k], ty[k], kBeta, kTail,
+                                     with_gradient, term)) {
+        acc += term.area + term.sx + term.sy;
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPairs));
+}
+BENCHMARK(BM_DensityPairKernel)->Arg(0)->Arg(1);
+
+// Flat-grid rebuild alone (counting-sort binning into reused buffers) —
+// the per-evaluation fixed cost that replaced the unordered_map build.
+void BM_UniformGridBuild(benchmark::State& state) {
+  const auto net = random_placed_netlist(
+      static_cast<std::size_t>(state.range(0)), 1);
+  const auto coords = place::pack_positions(net);
+  place::UniformGrid grid;
+  for (auto _ : state) {
+    grid.build(net, coords, 8.0, 4.0);
+    benchmark::DoNotOptimize(grid.builds());
+  }
+}
+BENCHMARK(BM_UniformGridBuild)->Arg(200)->Arg(1000)->Arg(5000);
+
 }  // namespace
 
 BENCHMARK_MAIN();

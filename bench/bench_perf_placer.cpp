@@ -1,0 +1,167 @@
+// Performance study — the fast placer evaluation engine vs the legacy one.
+//
+// Sweeps the cell count and runs the full analytical placer (Alg. 4) both
+// ways at one thread: the legacy engine (gradient on every Armijo trial,
+// per-evaluation unordered_map spatial hash) and the fast engine
+// (value-only trials, reusable flat uniform grid, cached WA exponentials).
+// The two engines must land on BIT-identical placements — the bench
+// verifies it on every size — so the speedup is pure evaluation-engine
+// work, not a different trajectory. The largest size is also placed with
+// the full thread pool to report the multithreaded wall time.
+//
+// Usage: bench_perf_placer [max_n]
+//   max_n caps the size sweep (default 8000, where the legacy engine's
+//   quadratic legalizer and per-eval hashing dominate); CI smoke-runs with
+//   a tiny cap so the legacy baseline stays cheap.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "place/placer.hpp"
+#include "place/wa_wirelength.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace autoncs;
+
+/// Synthetic placement instance: random cell sizes, a sparse mix of
+/// two-pin and multi-pin wires (~4 wires per cell).
+netlist::Netlist bench_netlist(std::size_t cells) {
+  util::Rng rng(2015);
+  netlist::Netlist net;
+  for (std::size_t c = 0; c < cells; ++c) {
+    netlist::Cell cell;
+    cell.width = rng.uniform(0.5, 3.0);
+    cell.height = rng.uniform(0.5, 3.0);
+    net.cells.push_back(cell);
+  }
+  for (std::size_t w = 0; w < cells * 4; ++w) {
+    const auto a = static_cast<std::size_t>(rng.next_below(cells));
+    auto b = static_cast<std::size_t>(rng.next_below(cells));
+    if (b == a) b = (b + 1) % cells;
+    net.wires.push_back({{a, b}, 1.0 + rng.uniform(), 0.0});
+  }
+  for (std::size_t w = 0; w + 8 < cells; w += 29) {
+    net.wires.push_back({{w, w + 1, w + 3, w + 8}, 1.0, 0.0});
+  }
+  return net;
+}
+
+place::PlacerOptions bench_options(std::size_t threads, bool legacy) {
+  place::PlacerOptions options;
+  options.seed = 7;
+  options.threads = threads;
+  options.legacy_evaluation = legacy;
+  // Bound the bench runtime: fewer, representative outer iterations.
+  options.max_outer_iterations = 10;
+  options.cg.max_iterations = 60;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Performance: fast placer evaluation engine vs legacy");
+
+  std::size_t max_n = 8000;
+  if (argc > 1) max_n = static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10));
+
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 500; n <= max_n; n *= 2) sizes.push_back(n);
+  if (sizes.empty() || sizes.back() != max_n) sizes.push_back(max_n);
+
+  util::ConsoleTable table({"n", "legacy (ms)", "fast (ms)", "speedup",
+                            "value evals", "grad evals", "grid builds",
+                            "identical"});
+  util::CsvWriter csv(bench::output_path("perf_placer.csv"),
+                      {"n", "legacy_ms", "fast_ms", "speedup", "value_evals",
+                       "gradient_evals", "grid_builds", "bit_identical"});
+
+  bool all_identical = true;
+  bool grad_le_value = true;
+  double largest_legacy_ms = 0.0;
+  double largest_fast_ms = 0.0;
+  double largest_speedup = 0.0;
+  place::PlacementReport largest_report;
+
+  for (std::size_t n : sizes) {
+    netlist::Netlist legacy_net = bench_netlist(n);
+    util::WallTimer timer;
+    place::place(legacy_net, bench_options(1, true));
+    const double legacy_ms = timer.elapsed_ms();
+
+    netlist::Netlist fast_net = bench_netlist(n);
+    timer.restart();
+    const auto fast_report = place::place(fast_net, bench_options(1, false));
+    const double fast_ms = timer.elapsed_ms();
+
+    const bool identical = place::pack_positions(legacy_net) ==
+                           place::pack_positions(fast_net);
+    all_identical = all_identical && identical;
+    for (const auto& outer : fast_report.outer) {
+      grad_le_value =
+          grad_le_value && outer.cg_gradient_evals <= outer.cg_value_evals;
+    }
+
+    const double speedup = fast_ms > 0.0 ? legacy_ms / fast_ms : 0.0;
+    largest_legacy_ms = legacy_ms;
+    largest_fast_ms = fast_ms;
+    largest_speedup = speedup;
+    largest_report = fast_report;
+    table.add_row({std::to_string(n), util::fmt_double(legacy_ms, 1),
+                   util::fmt_double(fast_ms, 1), util::fmt_double(speedup, 2),
+                   std::to_string(fast_report.cg_value_evals_total),
+                   std::to_string(fast_report.cg_gradient_evals_total),
+                   std::to_string(fast_report.density_grid_builds_total),
+                   identical ? "yes" : "NO"});
+    csv.row_values({static_cast<double>(n), legacy_ms, fast_ms, speedup,
+                    static_cast<double>(fast_report.cg_value_evals_total),
+                    static_cast<double>(fast_report.cg_gradient_evals_total),
+                    static_cast<double>(fast_report.density_grid_builds_total),
+                    identical ? 1.0 : 0.0});
+  }
+  std::printf("%s", table.render().c_str());
+
+  // Multithreaded wall time at the largest size (bit-identical by the
+  // determinism guarantee; the per-call parallelism pays off as n grows).
+  const std::size_t hw = std::thread::hardware_concurrency() > 0
+                             ? std::thread::hardware_concurrency()
+                             : 2;
+  netlist::Netlist mt_net = bench_netlist(sizes.back());
+  util::WallTimer timer;
+  place::place(mt_net, bench_options(hw, false));
+  const double fast_mt_ms = timer.elapsed_ms();
+  std::printf("largest n=%zu with %zu threads: %.1f ms (1 thread: %.1f ms)\n",
+              sizes.back(), hw, fast_mt_ms, largest_fast_ms);
+  std::printf("placements bit-identical (fast vs legacy): %s\n",
+              all_identical ? "yes" : "NO — determinism violated");
+  std::printf("gradient evals <= value evals in every CG run: %s\n",
+              grad_le_value ? "yes" : "NO");
+  std::printf("expected shape: speedup >= 2x at n >= 2000 (trial gradients "
+              "skipped, no per-eval hashing); identical placements per row.\n");
+
+  bench::write_bench_json(
+      "perf_placer",
+      {{"largest_n", static_cast<double>(sizes.back())},
+       {"legacy_ms", largest_legacy_ms},
+       {"fast_ms", largest_fast_ms},
+       {"speedup", largest_speedup},
+       {"fast_mt_ms", fast_mt_ms},
+       {"mt_threads", static_cast<double>(hw)},
+       {"value_evals", static_cast<double>(largest_report.cg_value_evals_total)},
+       {"gradient_evals",
+        static_cast<double>(largest_report.cg_gradient_evals_total)},
+       {"grid_builds",
+        static_cast<double>(largest_report.density_grid_builds_total)},
+       {"grid_reallocations",
+        static_cast<double>(largest_report.density_grid_reallocations)},
+       {"bit_identical", all_identical ? 1.0 : 0.0}});
+  return (all_identical && grad_le_value) ? 0 : 1;
+}

@@ -132,7 +132,9 @@ std::string summarize_convergence(const FlowResult& result) {
       << " -> " << util::fmt_percent(placement.legalization.final_overlap_ratio)
       << " after " << placement.legalization.passes
       << " legalization passes, HPWL "
-      << util::fmt_double(placement.hpwl_um, 1) << " um";
+      << util::fmt_double(placement.hpwl_um, 1) << " um, "
+      << placement.cg_value_evals_total << " value / "
+      << placement.cg_gradient_evals_total << " gradient evals";
   const route::RoutingResult& routing = result.routing;
   std::size_t max_wave = 0;
   for (std::size_t size : routing.wave_sizes)

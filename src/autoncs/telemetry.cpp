@@ -77,6 +77,7 @@ void write_config(util::JsonWriter& w, const FlowConfig& config) {
       .field("lambda_growth", config.placer.lambda_growth)
       .field("cg_max_iterations", config.placer.cg.max_iterations)
       .field("cg_gradient_tolerance", config.placer.cg.gradient_tolerance)
+      .field("legacy_evaluation", config.placer.legacy_evaluation)
       .field("threads", config.placer.threads);
   w.end_object();
   w.field("refine_placement", config.refine_placement);
@@ -93,6 +94,7 @@ void write_config(util::JsonWriter& w, const FlowConfig& config) {
       .field("relax_factor", config.router.relax_factor)
       .field("max_relax_steps", config.router.max_relax_steps)
       .field("margin_bins", config.router.margin_bins)
+      .field("window_margin_bins", config.router.window_margin_bins)
       .field("reroute_passes", config.router.reroute_passes)
       .field("history_weight", config.router.history_weight)
       .field("threads", config.router.threads);
@@ -155,7 +157,12 @@ void write_result(util::JsonWriter& w, const FlowConfig& config,
       .field("final_overlap",
              result.placement.legalization.final_overlap_ratio)
       .field("hpwl_um", result.placement.hpwl_um)
-      .field("area_um2", result.placement.area_um2);
+      .field("area_um2", result.placement.area_um2)
+      .field("cg_value_evals", result.placement.cg_value_evals_total)
+      .field("cg_gradient_evals", result.placement.cg_gradient_evals_total)
+      .field("density_grid_builds", result.placement.density_grid_builds_total)
+      .field("density_grid_reallocations",
+             result.placement.density_grid_reallocations);
   w.end_object();
   w.key("routing").begin_object();
   w.field("wirelength_um", result.routing.total_wirelength_um)

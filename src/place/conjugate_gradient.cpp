@@ -35,7 +35,14 @@ CgResult minimize_cg(std::vector<double>& x, const Objective& objective,
   std::vector<double> trial_grad(n, 0.0);
 
   CgResult result;
-  double value = objective(x, grad);
+  const auto eval = [&](const std::vector<double>& point,
+                        std::vector<double>* gradient) {
+    ++result.value_evaluations;
+    if (gradient != nullptr) ++result.gradient_evaluations;
+    return objective(point, gradient);
+  };
+
+  double value = eval(x, &grad);
   result.value = value;
   result.gradient_infinity_norm = infinity_norm(grad);
   if (result.gradient_infinity_norm <= options.gradient_tolerance) {
@@ -56,13 +63,17 @@ CgResult minimize_cg(std::vector<double>& x, const Objective& objective,
       if (slope >= 0.0) break;  // gradient numerically zero
     }
 
-    // Armijo backtracking line search.
+    // Armijo backtracking line search. With value_only_trials the Armijo
+    // test sees the same values as the legacy engine (identical FP ops),
+    // so the same trial is accepted; the gradient is then computed once,
+    // at the accepted point only.
     double t = step;
     double trial_value = value;
     bool accepted = false;
     for (std::size_t bt = 0; bt < options.max_backtracks; ++bt) {
       for (std::size_t i = 0; i < n; ++i) trial[i] = x[i] + t * direction[i];
-      trial_value = objective(trial, trial_grad);
+      trial_value =
+          eval(trial, options.value_only_trials ? nullptr : &trial_grad);
       if (trial_value <= value + options.armijo_c1 * t * slope) {
         accepted = true;
         break;
@@ -70,6 +81,11 @@ CgResult minimize_cg(std::vector<double>& x, const Objective& objective,
       t *= options.backtrack;
     }
     if (!accepted) break;  // no progress possible along this direction
+    if (options.value_only_trials) {
+      // Gradient at the accepted point. The returned value is bit-identical
+      // to trial_value (same FP operations), so trial_value is kept.
+      eval(trial, &trial_grad);
+    }
 
     x.swap(trial);
     prev_grad.swap(grad);

@@ -1,6 +1,14 @@
 // Nonlinear conjugate gradient (Polak-Ribiere+ with Armijo backtracking),
 // the solver the paper uses for the penalty function at each outer
 // placement iteration (Alg. 4 line 3, citing NTUplace3 [15]).
+//
+// The objective takes the gradient by POINTER: `gradient == nullptr` asks
+// for the value only. With `CgOptions::value_only_trials` (the default),
+// Armijo backtracking trials are evaluated value-only and the gradient is
+// computed once, at the accepted point — rejected trials are discarded, so
+// as long as the objective's value is computed with identical FP operations
+// in both modes, the iterate sequence is bit-identical to the legacy
+// gradient-everywhere search.
 #pragma once
 
 #include <cstddef>
@@ -21,6 +29,10 @@ struct CgOptions {
   std::size_t max_backtracks = 30;
   /// First trial step of the first line search.
   double initial_step = 1.0;
+  /// Evaluate line-search trials value-only and compute the gradient once
+  /// on acceptance. False restores the legacy gradient-on-every-trial
+  /// engine (same iterates, more work) — used as the bench baseline.
+  bool value_only_trials = true;
 };
 
 struct CgResult {
@@ -29,12 +41,19 @@ struct CgResult {
   double gradient_infinity_norm = 0.0;
   /// True when the gradient tolerance was met (vs. iteration cap).
   bool converged = false;
+  /// Objective calls, total — every call computes the value, so this
+  /// counts both modes and `gradient_evaluations <= value_evaluations`
+  /// holds structurally.
+  std::size_t value_evaluations = 0;
+  /// Objective calls that also computed the gradient.
+  std::size_t gradient_evaluations = 0;
 };
 
-/// Objective callback: returns f(x) and fills `gradient` (resized by the
-/// caller to x.size()).
-using Objective =
-    std::function<double(const std::vector<double>& x, std::vector<double>& gradient)>;
+/// Objective callback: returns f(x); when `gradient` is nonnull (resized
+/// by the caller to x.size()) it receives df/dx. A nullptr gradient is the
+/// value-only hot path and must return the same value bit for bit.
+using Objective = std::function<double(const std::vector<double>& x,
+                                       std::vector<double>* gradient)>;
 
 /// Minimizes `objective` starting from (and updating) `x`.
 CgResult minimize_cg(std::vector<double>& x, const Objective& objective,

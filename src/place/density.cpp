@@ -1,7 +1,7 @@
 #include "place/density.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <type_traits>
 #include <unordered_map>
 
 #include "util/check.hpp"
@@ -10,9 +10,14 @@ namespace autoncs::place {
 
 namespace {
 
-/// Uniform-grid neighbor finder over cell centers. Cells are binned by
-/// center; queries scan every bin within the maximum interaction distance,
-/// so no pair within range is missed regardless of cell size disparity.
+/// Legacy uniform-grid neighbor finder: a per-evaluation `unordered_map`
+/// from packed bin coordinates to bucket vectors. Kept (behind
+/// `DensityModel::use_flat_grid == false`) as the reference engine for the
+/// determinism regression test and the bench_perf_placer baseline. Note
+/// `pack` truncates bin coordinates to 32 bits, so bins ~2^32 buckets
+/// apart alias into one bucket — harmless for values (aliased candidates
+/// fail the softplus tail check) but wasteful; the flat grid
+/// (place/spatial_grid.hpp) keeps exact 64-bit bin coordinates.
 class SpatialHash {
  public:
   SpatialHash(const netlist::Netlist& netlist, const std::vector<double>& state,
@@ -56,20 +61,6 @@ class SpatialHash {
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets_;
 };
 
-double softplus(double z, double beta) {
-  const double t = beta * z;
-  if (t > 30.0) return z;
-  if (t < -30.0) return 0.0;
-  return std::log1p(std::exp(t)) / beta;
-}
-
-double sigmoid(double z, double beta) {
-  const double t = beta * z;
-  if (t > 30.0) return 1.0;
-  if (t < -30.0) return 0.0;
-  return 1.0 / (1.0 + std::exp(-t));
-}
-
 double max_virtual_half_extent(const netlist::Netlist& netlist, double omega) {
   double out = 0.0;
   for (const auto& cell : netlist.cells) {
@@ -79,6 +70,128 @@ double max_virtual_half_extent(const netlist::Netlist& netlist, double omega) {
 }
 
 }  // namespace
+
+template <typename Grid>
+double DensityModel::evaluate_with_grid(const Grid& grid,
+                                        const netlist::Netlist& netlist,
+                                        const std::vector<double>& state,
+                                        std::vector<double>* gradient,
+                                        util::ThreadPool* pool, double tail,
+                                        bool fill_cache) const {
+  const std::size_t n = netlist.cells.size();
+  const bool with_gradient = gradient != nullptr;
+  // The flat grid hands candidates back with their packed {x, y, hw, hh}
+  // slot — one contiguous stream instead of four gathers; the slots hold
+  // copies of the same doubles, so the pair geometry is bit-identical.
+  constexpr bool kPacked = std::is_same_v<Grid, UniformGrid>;
+
+  if (pool == nullptr || pool->size() == 1) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xi = state[2 * i];
+      const double yi = state[2 * i + 1];
+      const double hwi = half_w_[i];
+      const double hhi = half_h_[i];
+      const auto handle = [&](std::size_t j, double dx, double dy, double tx,
+                              double ty) {
+        DensityPairTerm term;
+        if (!density_pair_kernel(dx, dy, tx, ty, beta, tail, with_gradient,
+                                 term)) {
+          return;
+        }
+        total += term.area;
+        if (fill_cache) {
+          cache_pairs_.push_back({static_cast<std::uint32_t>(i),
+                                  static_cast<std::uint32_t>(j), term.ox,
+                                  term.oy});
+        }
+        if (with_gradient) {
+          (*gradient)[2 * i] += term.sx;
+          (*gradient)[2 * j] -= term.sx;
+          (*gradient)[2 * i + 1] += term.sy;
+          (*gradient)[2 * j + 1] -= term.sy;
+        }
+      };
+      if constexpr (kPacked) {
+        grid.for_candidates_packed(
+            i, xi, yi, [&](std::size_t j, const double* p) {
+              handle(j, xi - p[0], yi - p[1], hwi + p[2], hhi + p[3]);
+            });
+      } else {
+        grid.for_candidates(i, xi, yi, [&](std::size_t j) {
+          handle(j, xi - state[2 * j], yi - state[2 * j + 1],
+                 hwi + half_w_[j], hhi + half_h_[j]);
+        });
+      }
+    }
+    return total;
+  }
+
+  // Phase 1 (parallel): cell i owns the pairs (i, j), j > i, and writes
+  // only its own scratch list. The grid is read-only and its candidate
+  // order is fixed by construction, so the lists are independent of the
+  // thread count.
+  pairs_.resize(n);
+  pool->parallel_for(
+      n, [&](std::size_t begin, std::size_t end, std::size_t /*worker*/) {
+        for (std::size_t i = begin; i < end; ++i) {
+          auto& list = pairs_[i];
+          list.clear();
+          const double xi = state[2 * i];
+          const double yi = state[2 * i + 1];
+          const double hwi = half_w_[i];
+          const double hhi = half_h_[i];
+          const auto handle = [&](std::size_t j, double dx, double dy,
+                                  double tx, double ty) {
+            DensityPairTerm pair;
+            if (!density_pair_kernel(dx, dy, tx, ty, beta, tail, with_gradient,
+                                     pair)) {
+              return;
+            }
+            PairTerm term;
+            term.j = j;
+            term.area = pair.area;
+            term.ox = pair.ox;
+            term.oy = pair.oy;
+            term.sx = pair.sx;
+            term.sy = pair.sy;
+            list.push_back(term);
+          };
+          if constexpr (kPacked) {
+            grid.for_candidates_packed(
+                i, xi, yi, [&](std::size_t j, const double* p) {
+                  handle(j, xi - p[0], yi - p[1], hwi + p[2], hhi + p[3]);
+                });
+          } else {
+            grid.for_candidates(i, xi, yi, [&](std::size_t j) {
+              handle(j, xi - state[2 * j], yi - state[2 * j + 1],
+                     hwi + half_w_[j], hhi + half_h_[j]);
+            });
+          }
+        }
+      });
+
+  // Phase 2 (sequential reduction in (i, candidate) order — the FP
+  // operation order of the single-thread loop above).
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const PairTerm& term : pairs_[i]) {
+      total += term.area;
+      if (fill_cache) {
+        cache_pairs_.push_back({static_cast<std::uint32_t>(i),
+                                static_cast<std::uint32_t>(term.j), term.ox,
+                                term.oy});
+      }
+      if (with_gradient) {
+        (*gradient)[2 * i] += term.sx;
+        (*gradient)[2 * term.j] -= term.sx;
+        (*gradient)[2 * i + 1] += term.sy;
+        (*gradient)[2 * term.j + 1] -= term.sy;
+      }
+    }
+  }
+  return total;
+}
 
 double DensityModel::evaluate(const netlist::Netlist& netlist,
                               const std::vector<double>& state,
@@ -95,104 +208,68 @@ double DensityModel::evaluate(const netlist::Netlist& netlist,
   const std::size_t n = netlist.cells.size();
   if (n < 2) return 0.0;
 
+  // Acceptance replay: a gradient request at the exact point of the last
+  // value-only evaluation (the accepted Armijo trial) reuses that pass's
+  // surviving pairs and total. The pairs are replayed in the recorded
+  // (i, candidate) order with the recorded geometry, so the gradient is
+  // bit-identical to a full evaluation — only the enumeration, softplus,
+  // and grid-build work is skipped.
+  if (use_flat_grid && gradient != nullptr && cache_valid_ &&
+      cache_beta_ == beta && cache_omega_ == omega && cache_state_ == state) {
+    // The pair geometry is recomputed exactly as the value pass derived it:
+    // dx from the same state doubles the grid packed, tx from the same
+    // half-extent sums — identical values, so the replayed gradient terms
+    // match a full evaluation bit for bit.
+    for (const CachedPair& p : cache_pairs_) {
+      const double dx = state[2 * p.i] - state[2 * p.j];
+      const double dy = state[2 * p.i + 1] - state[2 * p.j + 1];
+      const double tx = half_w_[p.i] + half_w_[p.j];
+      const double ty = half_h_[p.i] + half_h_[p.j];
+      DensityPairTerm term;
+      density_pair_gradient(dx, dy, tx, ty, p.ox, p.oy, beta, term);
+      (*gradient)[2 * p.i] += term.sx;
+      (*gradient)[2 * p.j] -= term.sx;
+      (*gradient)[2 * p.i + 1] += term.sy;
+      (*gradient)[2 * p.j + 1] -= term.sy;
+    }
+    return cache_total_;
+  }
+
   // Softplus tail: beyond penetration < -tail/beta the contribution is
   // below exp(-30) and can be skipped.
   const double tail = 30.0 / beta;
   const double r_max = max_virtual_half_extent(netlist, omega);
   const double reach = 2.0 * r_max + tail;
   const double bucket = std::max(reach / 2.0, 1e-6);
-  const SpatialHash hash(netlist, state, reach, bucket);
 
-  if (pool == nullptr || pool->size() == 1) {
-    double total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto& ci = netlist.cells[i];
-      const double xi = state[2 * i];
-      const double yi = state[2 * i + 1];
-      const double hwi = 0.5 * omega * ci.width;
-      const double hhi = 0.5 * omega * ci.height;
-      hash.for_candidates(i, xi, yi, [&](std::size_t j) {
-        const auto& cj = netlist.cells[j];
-        const double dx = xi - state[2 * j];
-        const double dy = yi - state[2 * j + 1];
-        const double tx = hwi + 0.5 * omega * cj.width;
-        const double ty = hhi + 0.5 * omega * cj.height;
-        const double zx = tx - std::abs(dx);
-        const double zy = ty - std::abs(dy);
-        if (zx < -tail || zy < -tail) return;
-        const double ox = softplus(zx, beta);
-        const double oy = softplus(zy, beta);
-        total += ox * oy;
-        if (gradient != nullptr) {
-          const double sx = (dx > 0.0 ? -1.0 : (dx < 0.0 ? 1.0 : 0.0)) *
-                            sigmoid(zx, beta) * oy;
-          const double sy = (dy > 0.0 ? -1.0 : (dy < 0.0 ? 1.0 : 0.0)) *
-                            sigmoid(zy, beta) * ox;
-          (*gradient)[2 * i] += sx;
-          (*gradient)[2 * j] -= sx;
-          (*gradient)[2 * i + 1] += sy;
-          (*gradient)[2 * j + 1] -= sy;
-        }
-      });
+  half_w_.resize(n);
+  half_h_.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    half_w_[c] = 0.5 * omega * netlist.cells[c].width;
+    half_h_[c] = 0.5 * omega * netlist.cells[c].height;
+  }
+  ++grid_builds_;
+
+  const bool fill_cache = use_flat_grid && gradient == nullptr;
+  if (fill_cache) cache_pairs_.clear();
+  cache_valid_ = false;
+
+  if (use_flat_grid) {
+    grid_.build(netlist, state, reach, bucket, pool, half_w_.data(),
+                half_h_.data());
+    const double total = evaluate_with_grid(grid_, netlist, state, gradient,
+                                            pool, tail, fill_cache);
+    if (fill_cache) {
+      cache_state_ = state;
+      cache_total_ = total;
+      cache_beta_ = beta;
+      cache_omega_ = omega;
+      cache_valid_ = true;
     }
     return total;
   }
-
-  // Phase 1 (parallel): cell i owns the pairs (i, j), j > i, and writes
-  // only its own scratch list. The hash is read-only and its candidate
-  // order is fixed by construction, so the lists are independent of the
-  // thread count.
-  pairs_.resize(n);
-  pool->parallel_for(
-      n, [&](std::size_t begin, std::size_t end, std::size_t /*worker*/) {
-        for (std::size_t i = begin; i < end; ++i) {
-          auto& list = pairs_[i];
-          list.clear();
-          const auto& ci = netlist.cells[i];
-          const double xi = state[2 * i];
-          const double yi = state[2 * i + 1];
-          const double hwi = 0.5 * omega * ci.width;
-          const double hhi = 0.5 * omega * ci.height;
-          hash.for_candidates(i, xi, yi, [&](std::size_t j) {
-            const auto& cj = netlist.cells[j];
-            const double dx = xi - state[2 * j];
-            const double dy = yi - state[2 * j + 1];
-            const double tx = hwi + 0.5 * omega * cj.width;
-            const double ty = hhi + 0.5 * omega * cj.height;
-            const double zx = tx - std::abs(dx);
-            const double zy = ty - std::abs(dy);
-            if (zx < -tail || zy < -tail) return;
-            const double ox = softplus(zx, beta);
-            const double oy = softplus(zy, beta);
-            PairTerm term;
-            term.j = j;
-            term.area = ox * oy;
-            if (gradient != nullptr) {
-              term.sx = (dx > 0.0 ? -1.0 : (dx < 0.0 ? 1.0 : 0.0)) *
-                        sigmoid(zx, beta) * oy;
-              term.sy = (dy > 0.0 ? -1.0 : (dy < 0.0 ? 1.0 : 0.0)) *
-                        sigmoid(zy, beta) * ox;
-            }
-            list.push_back(term);
-          });
-        }
-      });
-
-  // Phase 2 (sequential reduction in (i, candidate) order — the FP
-  // operation order of the single-thread loop above).
-  double total = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (const PairTerm& term : pairs_[i]) {
-      total += term.area;
-      if (gradient != nullptr) {
-        (*gradient)[2 * i] += term.sx;
-        (*gradient)[2 * term.j] -= term.sx;
-        (*gradient)[2 * i + 1] += term.sy;
-        (*gradient)[2 * term.j + 1] -= term.sy;
-      }
-    }
-  }
-  return total;
+  const SpatialHash hash(netlist, state, reach, bucket);
+  return evaluate_with_grid(hash, netlist, state, gradient, pool, tail, false);
 }
 
 double exact_overlap_area(const netlist::Netlist& netlist,
@@ -204,13 +281,14 @@ double exact_overlap_area(const netlist::Netlist& netlist,
   const double r_max = max_virtual_half_extent(netlist, omega);
   const double reach = 2.0 * r_max;
   const double bucket = std::max(reach / 2.0, 1e-6);
-  const SpatialHash hash(netlist, state, reach, bucket);
+  UniformGrid grid;
+  grid.build(netlist, state, reach, bucket);
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const auto& ci = netlist.cells[i];
     const double xi = state[2 * i];
     const double yi = state[2 * i + 1];
-    hash.for_candidates(i, xi, yi, [&](std::size_t j) {
+    grid.for_candidates(i, xi, yi, [&](std::size_t j) {
       const auto& cj = netlist.cells[j];
       const double ox = std::max(
           0.0, 0.5 * omega * (ci.width + cj.width) - std::abs(xi - state[2 * j]));

@@ -8,53 +8,190 @@
 // Our smooth overlap is the softplus of the rectilinear penetration depth:
 //   Ox = softplus_beta(tx - |xi - xj|),  tx = (wi' + wj') / 2,
 // which matches the exact overlap (tx - |d|)+ as beta grows and has the
-// sigmoid as its derivative. Pairs are enumerated through a uniform spatial
-// hash so the cost stays near-linear in the cell count.
+// sigmoid as its derivative. Pairs are enumerated through a flat-array
+// uniform grid (place/spatial_grid.hpp) owned by the model and rebinned —
+// not reallocated — on every evaluation, so the cost stays near-linear in
+// the cell count with no per-evaluation allocation.
+//
+// Evaluation modes: `gradient == nullptr` is the VALUE-ONLY hot path used
+// by the line-search trials of the placer — it skips the sigmoid terms and
+// every gradient scatter. The value is computed with the identical FP
+// operations in both modes, so a value-only trial followed by a gradient
+// evaluation at the accepted point reproduces the legacy
+// gradient-everywhere trajectory bit for bit.
 //
 // With a thread pool, the pair terms are computed in parallel (cell i owns
 // the pairs (i, j), j > i, and writes only its own scratch list) and then
-// reduced into the total and the gradient sequentially in (i, hash
+// reduced into the total and the gradient sequentially in (i, grid
 // candidate) order — the exact FP operation order of the single-thread
 // loop, so the result is bit-identical for any thread count.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "place/spatial_grid.hpp"
 #include "util/thread_pool.hpp"
 
 namespace autoncs::place {
+
+/// Softplus of the penetration depth — the smooth 1-D overlap. The +-30
+/// clamp keeps exp in range; beyond it softplus is its own asymptote to
+/// double precision.
+inline double density_softplus(double z, double beta) {
+  const double t = beta * z;
+  if (t > 30.0) return z;
+  if (t < -30.0) return 0.0;
+  return std::log1p(std::exp(t)) / beta;
+}
+
+/// Sigmoid of the penetration depth — the softplus derivative, used only
+/// on the gradient path.
+inline double density_sigmoid(double z, double beta) {
+  const double t = beta * z;
+  if (t > 30.0) return 1.0;
+  if (t < -30.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-t));
+}
+
+/// One interacting pair's contribution: the smooth overlap area, the 1-D
+/// overlaps it factors into, and the gradient terms applied to cell i
+/// (negated on j).
+struct DensityPairTerm {
+  double area = 0.0;
+  double ox = 0.0;
+  double oy = 0.0;
+  double sx = 0.0;
+  double sy = 0.0;
+};
+
+/// Gradient terms of one surviving pair, given its geometry and the 1-D
+/// overlaps from the value pass. Split out of density_pair_kernel so the
+/// acceptance replay (gradient at a point whose value pass was cached)
+/// performs the identical FP operations as a full gradient evaluation.
+inline void density_pair_gradient(double dx, double dy, double tx, double ty,
+                                  double ox, double oy, double beta,
+                                  DensityPairTerm& out) {
+  const double zx = tx - std::abs(dx);
+  const double zy = ty - std::abs(dy);
+  out.sx = (dx > 0.0 ? -1.0 : (dx < 0.0 ? 1.0 : 0.0)) *
+           density_sigmoid(zx, beta) * oy;
+  out.sy = (dy > 0.0 ? -1.0 : (dy < 0.0 ? 1.0 : 0.0)) *
+           density_sigmoid(zy, beta) * ox;
+}
+
+/// Smooth-overlap pair kernel shared by the sequential and parallel
+/// evaluation loops (and benched in isolation by bench_micro_kernels):
+/// dx/dy are the center deltas xi - xj / yi - yj, tx/ty the virtual
+/// half-extent sums. Returns false when the pair is outside the softplus
+/// tail (contribution below exp(-30)); the gradient terms are computed
+/// only when `with_gradient` is set.
+inline bool density_pair_kernel(double dx, double dy, double tx, double ty,
+                                double beta, double tail, bool with_gradient,
+                                DensityPairTerm& out) {
+  const double zx = tx - std::abs(dx);
+  const double zy = ty - std::abs(dy);
+  if (zx < -tail || zy < -tail) return false;
+  const double ox = density_softplus(zx, beta);
+  const double oy = density_softplus(zy, beta);
+  out.area = ox * oy;
+  out.ox = ox;
+  out.oy = oy;
+  if (with_gradient) {
+    density_pair_gradient(dx, dy, tx, ty, ox, oy, beta, out);
+  }
+  return true;
+}
 
 struct DensityModel {
   /// Routing-space factor omega applied to both cell dimensions.
   double omega = 1.2;
   /// Softplus sharpness (1/um). Larger = closer to the exact hinge.
   double beta = 16.0;
+  /// When false, pairs are enumerated through the legacy per-evaluation
+  /// `unordered_map` spatial hash instead of the reusable flat grid — the
+  /// pre-optimization engine kept for the determinism regression test and
+  /// the bench_perf_placer baseline. Values and gradients are identical
+  /// either way (same candidate order, same FP operations).
+  bool use_flat_grid = true;
 
   DensityModel() = default;
   DensityModel(double omega_in, double beta_in) : omega(omega_in), beta(beta_in) {}
 
   /// D(x, y); accumulates into `gradient` when nonnull (caller zeroes it).
-  /// `pool` parallelizes the pair enumeration; the scratch buffers make
-  /// this method non-reentrant, but the result is identical with or
-  /// without a pool.
+  /// `gradient == nullptr` is the cheap value-only mode (no sigmoids, no
+  /// scatter). `pool` parallelizes the pair enumeration; the scratch
+  /// buffers make this method non-reentrant, but the result is identical
+  /// with or without a pool.
   double evaluate(const netlist::Netlist& netlist,
                   const std::vector<double>& state,
                   std::vector<double>* gradient,
                   util::ThreadPool* pool = nullptr) const;
 
+  /// Spatial-structure rebuilds performed so far (one per evaluation —
+  /// positions change between objective calls, but the flat grid's buffers
+  /// are reused so a rebuild allocates nothing in steady state).
+  std::size_t grid_builds() const { return grid_builds_; }
+  /// Rebuilds that had to grow a flat-grid buffer.
+  std::size_t grid_reallocations() const { return grid_.reallocations(); }
+
  private:
   /// One interacting pair (i, j) found in phase 1: the smooth overlap area
-  /// and the gradient terms applied to i (and negated on j) in phase 2.
+  /// and the gradient terms applied to i (and negated on j) in phase 2,
+  /// plus the pair geometry so a value-only pass can feed the acceptance
+  /// cache.
   struct PairTerm {
     std::size_t j = 0;
     double area = 0.0;
+    double ox = 0.0;
+    double oy = 0.0;
     double sx = 0.0;
     double sy = 0.0;
   };
+  /// One surviving pair recorded by a value-only flat-grid evaluation: the
+  /// pair plus its 1-D softplus overlaps, enough to replay the gradient at
+  /// the same point without re-enumerating candidates or recomputing
+  /// softplus. Kept minimal — the cache is refilled on every trial, so its
+  /// write traffic is on the hot path. The pair geometry (dx, dy, tx, ty)
+  /// is recomputed at replay from the state and half-extent arrays, which
+  /// hold the identical doubles the value pass packed into the grid.
+  struct CachedPair {
+    std::uint32_t i = 0;
+    std::uint32_t j = 0;
+    double ox = 0.0;
+    double oy = 0.0;
+  };
+  template <typename Grid>
+  double evaluate_with_grid(const Grid& grid, const netlist::Netlist& netlist,
+                            const std::vector<double>& state,
+                            std::vector<double>* gradient,
+                            util::ThreadPool* pool, double tail,
+                            bool fill_cache) const;
+
   /// Per-cell pair lists, reused across evaluate() calls.
   mutable std::vector<std::vector<PairTerm>> pairs_;
+  /// Virtual half extents 0.5 * omega * {width, height} per cell, refreshed
+  /// each evaluation (cache-friendly vs chasing the cell structs).
+  mutable std::vector<double> half_w_;
+  mutable std::vector<double> half_h_;
+  /// Reusable flat grid (use_flat_grid == true).
+  mutable UniformGrid grid_;
+  mutable std::size_t grid_builds_ = 0;
+  /// Acceptance cache: the Armijo line search evaluates the accepted trial
+  /// value-only, then the placer asks for the gradient at the SAME point.
+  /// Each flat-grid value-only evaluation records its surviving pairs and
+  /// total here; a gradient call whose state matches byte for byte replays
+  /// them (identical order, identical FP terms) and only pays the sigmoid
+  /// work a full gradient evaluation would add on top of the value pass.
+  mutable std::vector<CachedPair> cache_pairs_;
+  mutable std::vector<double> cache_state_;
+  mutable double cache_total_ = 0.0;
+  mutable double cache_beta_ = 0.0;
+  mutable double cache_omega_ = 0.0;
+  mutable bool cache_valid_ = false;
 };
 
 /// Exact total pairwise rectangle overlap AREA of the virtual cells; the

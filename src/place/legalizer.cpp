@@ -2,11 +2,174 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "place/density.hpp"
+#include "place/spatial_grid.hpp"
 #include "util/check.hpp"
 
 namespace autoncs::place {
+
+namespace {
+
+/// Checks one ordered pair (i, j) against the CURRENT state and, when the
+/// virtual rectangles overlap, separates them along the minimum-penetration
+/// axis (the lighter cell moving further). Shared by the quadratic and the
+/// grid-pruned sweeps so both perform the identical FP operations on every
+/// overlapping pair. Returns false (and moves nothing) for a clear pair;
+/// on a separation, *moved_i / *moved_j receive the absolute distances the
+/// two cells were displaced.
+inline bool separate_pair(const netlist::Netlist& netlist,
+                          std::vector<double>& state,
+                          const LegalizerOptions& options, std::size_t i,
+                          std::size_t j, double hwi, double hhi, double ai,
+                          double* moved_i, double* moved_j) {
+  const double tx = hwi + 0.5 * options.omega * netlist.cells[j].width;
+  const double ty = hhi + 0.5 * options.omega * netlist.cells[j].height;
+  const double dx = state[2 * i] - state[2 * j];
+  const double dy = state[2 * i + 1] - state[2 * j + 1];
+  const double px = tx - std::abs(dx);
+  const double py = ty - std::abs(dy);
+  if (px <= 0.0 || py <= 0.0) return false;
+  const double aj = netlist.cells[j].area();
+  const double share_i = aj / (ai + aj);  // lighter cell moves more
+  if (px <= py) {
+    const double move = px + options.margin;
+    const double dir = dx >= 0.0 ? 1.0 : -1.0;
+    state[2 * i] += dir * move * share_i;
+    state[2 * j] -= dir * move * (1.0 - share_i);
+    *moved_i = move * share_i;
+    *moved_j = move * (1.0 - share_i);
+  } else {
+    const double move = py + options.margin;
+    const double dir = dy >= 0.0 ? 1.0 : -1.0;
+    state[2 * i + 1] += dir * move * share_i;
+    state[2 * j + 1] -= dir * move * (1.0 - share_i);
+    *moved_i = move * share_i;
+    *moved_j = move * (1.0 - share_i);
+  }
+  return true;
+}
+
+/// Quadratic reference sweep: every ordered pair, ascending (i, j).
+bool quadratic_pass(const netlist::Netlist& netlist, std::vector<double>& state,
+                    const LegalizerOptions& options) {
+  const std::size_t n = netlist.cells.size();
+  bool any_overlap = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double hwi = 0.5 * options.omega * netlist.cells[i].width;
+    const double hhi = 0.5 * options.omega * netlist.cells[i].height;
+    const double ai = netlist.cells[i].area();
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double mi = 0.0;
+      double mj = 0.0;
+      if (separate_pair(netlist, state, options, i, j, hwi, hhi, ai, &mi, &mj))
+        any_overlap = true;
+    }
+  }
+  return any_overlap;
+}
+
+/// Grid-pruned sweep, bit-identical to quadratic_pass. Two cells can only
+/// overlap when their centers are within t_max (the largest virtual pair
+/// extent) on both axes, so a pair whose binned distance rules that out is
+/// skipped — the reference sweep would have checked it and moved nothing.
+/// Because cells drift WHILE the sweep runs, the grid is built with slack:
+/// reach = t_max + 2 * slack covers the worst case of both the queried
+/// cell and a candidate having drifted up to `slack` from their binned
+/// positions, and the grid is rebinned from the current state the moment
+/// any cell's accumulated drift exceeds the slack. Candidates are sorted
+/// so pairs are still visited in ascending j against the same evolving
+/// state as the reference sweep.
+class PrunedSweep {
+ public:
+  PrunedSweep(const netlist::Netlist& netlist, const LegalizerOptions& options)
+      : netlist_(netlist),
+        options_(options),
+        drift_(netlist.cells.size(), 0.0) {
+    double max_w = 0.0;
+    double max_h = 0.0;
+    for (const auto& cell : netlist.cells) {
+      max_w = std::max(max_w, cell.width);
+      max_h = std::max(max_h, cell.height);
+    }
+    const double t_max = options.omega * std::max(max_w, max_h);
+    // Small slack keeps the probe window tight; separations move cells by
+    // fractions of a cell extent, so drift rarely exceeds it and the
+    // rebuild fallback below stays cheap (one O(n) rebin).
+    slack_ = std::max(0.25 * t_max, 1e-6);
+    reach_ = t_max + 2.0 * slack_;
+  }
+
+  bool pass(std::vector<double>& state) {
+    const std::size_t n = netlist_.cells.size();
+    rebin(state);
+    bool any_overlap = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double hwi = 0.5 * options_.omega * netlist_.cells[i].width;
+      const double hhi = 0.5 * options_.omega * netlist_.cells[i].height;
+      const double ai = netlist_.cells[i].area();
+      bool stale = true;
+      std::size_t next_after = i;  // only pairs with j > next_after remain
+      std::size_t idx = 0;
+      while (true) {
+        if (stale) {
+          cand_.clear();
+          grid_.for_candidates(i, state[2 * i], state[2 * i + 1],
+                               [&](std::size_t j) {
+                                 cand_.push_back(static_cast<std::uint32_t>(j));
+                               });
+          std::sort(cand_.begin(), cand_.end());
+          idx = 0;
+          stale = false;
+        }
+        while (idx < cand_.size() && cand_[idx] <= next_after) ++idx;
+        if (idx == cand_.size()) break;
+        const std::size_t j = cand_[idx];
+        next_after = j;
+        double mi = 0.0;
+        double mj = 0.0;
+        if (separate_pair(netlist_, state, options_, i, j, hwi, hhi, ai, &mi,
+                          &mj)) {
+          any_overlap = true;
+          drift_[i] += mi;
+          drift_[j] += mj;
+          drift_max_ = std::max(drift_max_, std::max(drift_[i], drift_[j]));
+          if (drift_max_ > slack_) {
+            // Candidate sets from the old bins are no longer a guaranteed
+            // superset; rebin and re-collect for this cell (the processed
+            // prefix is skipped via next_after).
+            rebin(state);
+            stale = true;
+          }
+        }
+      }
+    }
+    return any_overlap;
+  }
+
+ private:
+  void rebin(const std::vector<double>& state) {
+    // Bucket == reach: a 3x3 probe window covers the reach, and the sweep
+    // sorts its candidates anyway, so the coarser binning costs nothing in
+    // ordering (unlike the density grid, whose bucket fixes the candidate
+    // iteration order).
+    grid_.build(netlist_, state, reach_, std::max(reach_, 1e-6));
+    std::fill(drift_.begin(), drift_.end(), 0.0);
+    drift_max_ = 0.0;
+  }
+
+  const netlist::Netlist& netlist_;
+  const LegalizerOptions& options_;
+  UniformGrid grid_;
+  std::vector<double> drift_;  // per-cell |displacement| since last rebin
+  double drift_max_ = 0.0;
+  double slack_ = 0.0;
+  double reach_ = 0.0;
+  std::vector<std::uint32_t> cand_;
+};
+
+}  // namespace
 
 LegalizerReport legalize(const netlist::Netlist& netlist,
                          std::vector<double>& state,
@@ -15,45 +178,18 @@ LegalizerReport legalize(const netlist::Netlist& netlist,
                 "state size must be 2 * cell count");
   const std::size_t n = netlist.cells.size();
   LegalizerReport report;
+  PrunedSweep pruned(netlist, options);
 
   for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
     report.passes = pass + 1;
-    bool any_overlap = false;
-    // Deterministic sweep over ordered pairs; for the few hundred to few
-    // thousand cells of an NCS netlist the quadratic sweep is cheap
-    // relative to the analytic phase and has no tuning knobs.
-    for (std::size_t i = 0; i < n; ++i) {
-      const double hwi = 0.5 * options.omega * netlist.cells[i].width;
-      const double hhi = 0.5 * options.omega * netlist.cells[i].height;
-      const double ai = netlist.cells[i].area();
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const double tx = hwi + 0.5 * options.omega * netlist.cells[j].width;
-        const double ty = hhi + 0.5 * options.omega * netlist.cells[j].height;
-        const double dx = state[2 * i] - state[2 * j];
-        const double dy = state[2 * i + 1] - state[2 * j + 1];
-        const double px = tx - std::abs(dx);
-        const double py = ty - std::abs(dy);
-        if (px <= 0.0 || py <= 0.0) continue;
-        any_overlap = true;
-        const double aj = netlist.cells[j].area();
-        const double share_i = aj / (ai + aj);  // lighter cell moves more
-        if (px <= py) {
-          const double move = px + options.margin;
-          const double dir = dx >= 0.0 ? 1.0 : -1.0;
-          state[2 * i] += dir * move * share_i;
-          state[2 * j] -= dir * move * (1.0 - share_i);
-        } else {
-          const double move = py + options.margin;
-          const double dir = dy >= 0.0 ? 1.0 : -1.0;
-          state[2 * i + 1] += dir * move * share_i;
-          state[2 * j + 1] -= dir * move * (1.0 - share_i);
-        }
-      }
-    }
+    const bool any_overlap = options.use_flat_grid
+                                 ? pruned.pass(state)
+                                 : quadratic_pass(netlist, state, options);
     if (options.die_half > 0.0) {
       for (std::size_t i = 0; i < n; ++i) {
         const double lx = std::max(
-            0.0, options.die_half - 0.5 * options.omega * netlist.cells[i].width);
+            0.0,
+            options.die_half - 0.5 * options.omega * netlist.cells[i].width);
         const double ly = std::max(
             0.0,
             options.die_half - 0.5 * options.omega * netlist.cells[i].height);

@@ -26,6 +26,13 @@ struct LegalizerOptions {
   /// Half-side of the square die centered at the origin; cells are clamped
   /// inside after every pass. 0 disables clamping.
   double die_half = 0.0;
+  /// When true, each pass prunes the pair sweep through a flat uniform grid
+  /// (place/spatial_grid.hpp): only pairs close enough to possibly overlap
+  /// are checked, in the same ascending order and against the same evolving
+  /// state as the quadratic reference sweep, so the resulting placement is
+  /// BIT-identical — skipped pairs are exactly those that could not have
+  /// moved anything. False restores the all-pairs legacy sweep.
+  bool use_flat_grid = true;
 };
 
 struct LegalizerReport {

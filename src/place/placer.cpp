@@ -39,8 +39,8 @@ double sum_abs(const std::vector<double>& v) {
   return acc;
 }
 
-/// Quadratic out-of-die penalty, sharing lambda with the density term.
-/// Returns the penalty; accumulates the gradient when nonnull.
+}  // namespace
+
 double boundary_penalty(const netlist::Netlist& netlist,
                         const std::vector<double>& state, double omega,
                         double die_half, std::vector<double>* gradient) {
@@ -65,8 +65,6 @@ double boundary_penalty(const netlist::Netlist& netlist,
   }
   return total;
 }
-
-}  // namespace
 
 BoundingBox placement_bounding_box(const netlist::Netlist& netlist, double omega) {
   BoundingBox box;
@@ -100,8 +98,12 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
   initial_grid(netlist, die_side, options.seed);
   std::vector<double> state = pack_positions(netlist);
 
-  const WaModel wl_model{options.gamma};
-  const DensityModel density_model{options.omega, options.beta};
+  WaModel wl_model{options.gamma};
+  wl_model.cached_kernels = !options.legacy_evaluation;
+  DensityModel density_model{options.omega, options.beta};
+  density_model.use_flat_grid = !options.legacy_evaluation;
+  CgOptions cg_options = options.cg;
+  if (options.legacy_evaluation) cg_options.value_only_trials = false;
   util::ThreadPool pool(options.threads);
   util::ThreadPool* pool_ptr = pool.size() > 1 ? &pool : nullptr;
 
@@ -115,27 +117,39 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
   if (lambda <= 0.0) lambda = 1.0;
 
   PlacementReport report;
+  // Density + boundary gradient scratch, hoisted out of the objective so
+  // the CG loop performs no per-evaluation allocation.
+  std::vector<double> dgrad;
   for (std::size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
     AUTONCS_TRACE_SCOPE("place/outer", "iter",
                         static_cast<std::int64_t>(outer + 1));
     report.outer_iterations = outer + 1;
     const double lambda_now = lambda;
+    const std::size_t grid_builds_at_start = density_model.grid_builds();
     const Objective objective = [&](const std::vector<double>& x,
-                                    std::vector<double>& gradient) {
-      std::fill(gradient.begin(), gradient.end(), 0.0);
-      const double wl = wl_model.evaluate(netlist, x, &gradient, pool_ptr);
-      // Density + boundary gradients accumulate unscaled into a scratch
+                                    std::vector<double>* gradient) {
+      if (gradient == nullptr) {
+        // Value-only line-search trial: same terms, same FP operation
+        // order as below, with all gradient work skipped.
+        const double wl = wl_model.evaluate(netlist, x, nullptr, pool_ptr);
+        double d = density_model.evaluate(netlist, x, nullptr, pool_ptr);
+        d += boundary_penalty(netlist, x, options.omega, die_half, nullptr);
+        return wl + lambda_now * d;
+      }
+      std::fill(gradient->begin(), gradient->end(), 0.0);
+      const double wl = wl_model.evaluate(netlist, x, gradient, pool_ptr);
+      // Density + boundary gradients accumulate unscaled into the scratch
       // vector, then fold in scaled by lambda.
-      std::vector<double> dgrad(x.size(), 0.0);
+      dgrad.assign(x.size(), 0.0);
       double d = density_model.evaluate(netlist, x, &dgrad, pool_ptr);
       d += boundary_penalty(netlist, x, options.omega, die_half, &dgrad);
-      for (std::size_t i = 0; i < gradient.size(); ++i)
-        gradient[i] += lambda_now * dgrad[i];
+      for (std::size_t i = 0; i < gradient->size(); ++i)
+        (*gradient)[i] += lambda_now * dgrad[i];
       return wl + lambda_now * d;
     };
     const CgResult cg = [&] {
       AUTONCS_TRACE_SCOPE("place/cg");
-      return minimize_cg(state, objective, options.cg);
+      return minimize_cg(state, objective, cg_options);
     }();
     const double ratio = overlap_ratio(netlist, state, options.omega);
     util::LogLine(util::LogLevel::kInfo, "place")
@@ -148,6 +162,13 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
     stats.hpwl_um = hpwl(netlist, state);
     stats.cg_iterations = cg.iterations;
     stats.cg_converged = cg.converged;
+    stats.cg_value_evals = cg.value_evaluations;
+    stats.cg_gradient_evals = cg.gradient_evaluations;
+    stats.density_grid_builds =
+        density_model.grid_builds() - grid_builds_at_start;
+    report.cg_value_evals_total += stats.cg_value_evals;
+    report.cg_gradient_evals_total += stats.cg_gradient_evals;
+    report.density_grid_builds_total += stats.density_grid_builds;
     report.outer.push_back(stats);
     if (util::metrics_enabled()) {
       const auto idx = static_cast<double>(outer + 1);
@@ -159,6 +180,12 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
                           static_cast<double>(stats.cg_iterations));
       util::metric_observe("place/cg_iterations_per_outer",
                            static_cast<double>(stats.cg_iterations));
+      util::metric_sample("place/cg_value_evals", idx,
+                          static_cast<double>(stats.cg_value_evals));
+      util::metric_sample("place/cg_gradient_evals", idx,
+                          static_cast<double>(stats.cg_gradient_evals));
+      util::metric_sample("place/density_grid_builds", idx,
+                          static_cast<double>(stats.density_grid_builds));
     }
     report.lambda_final = lambda_now;
     report.overlap_ratio_before_legalization = ratio;
@@ -169,6 +196,9 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
   LegalizerOptions legal = options.legalizer;
   legal.omega = options.omega;
   legal.die_half = die_half;
+  // The grid-pruned sweep produces bit-identical placements; the legacy
+  // engine keeps the quadratic reference sweep as its baseline.
+  legal.use_flat_grid = !options.legacy_evaluation;
   {
     AUTONCS_TRACE_SCOPE("place/legalize");
     report.legalization = legalize(netlist, state, legal);
@@ -178,6 +208,7 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
   report.hpwl_um = hpwl(netlist, state);
   report.die = placement_bounding_box(netlist, options.omega);
   report.area_um2 = report.die.area();
+  report.density_grid_reallocations = density_model.grid_reallocations();
   if (util::metrics_enabled()) {
     util::metric_gauge("place/outer_iterations",
                        static_cast<double>(report.outer_iterations));
@@ -188,6 +219,15 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
                        report.legalization.final_overlap_ratio);
     util::metric_gauge("place/final_hpwl_um", report.hpwl_um);
     util::metric_gauge("place/area_um2", report.area_um2);
+    util::metric_gauge("place/cg_value_evals_total",
+                       static_cast<double>(report.cg_value_evals_total));
+    util::metric_gauge("place/cg_gradient_evals_total",
+                       static_cast<double>(report.cg_gradient_evals_total));
+    util::metric_gauge("place/density_grid_builds_total",
+                       static_cast<double>(report.density_grid_builds_total));
+    util::metric_gauge(
+        "place/density_grid_reallocations",
+        static_cast<double>(report.density_grid_reallocations));
   }
   return report;
 }

@@ -42,6 +42,12 @@ struct PlacerOptions {
   /// 0 = hardware concurrency. The placement is bit-identical for any
   /// value (per-item parallel phase, sequential fixed-order reduction).
   std::size_t threads = 0;
+  /// Run the pre-optimization evaluation engine: gradient on every
+  /// line-search trial and the per-evaluation unordered_map spatial hash
+  /// instead of the reusable flat grid. Produces bit-identical placements
+  /// (the determinism test asserts it) — kept as the honest baseline for
+  /// bench_perf_placer and for bisecting evaluation-engine regressions.
+  bool legacy_evaluation = false;
 };
 
 struct BoundingBox {
@@ -63,6 +69,13 @@ struct PlacerOuterStats {
   double hpwl_um = 0.0;
   std::size_t cg_iterations = 0;
   bool cg_converged = false;
+  /// Objective calls this CG run made (every call computes the value).
+  std::size_t cg_value_evals = 0;
+  /// Objective calls that also computed the gradient (<= cg_value_evals;
+  /// with value-only trials, one per accepted step plus the initial point).
+  std::size_t cg_gradient_evals = 0;
+  /// Density spatial-structure rebuilds during this outer iteration.
+  std::size_t density_grid_builds = 0;
 };
 
 struct PlacementReport {
@@ -78,10 +91,24 @@ struct PlacementReport {
   /// space is part of the die.
   double area_um2 = 0.0;
   BoundingBox die;
+  /// Evaluation-engine effort totals across all outer iterations (the
+  /// lambda_0 bootstrap evaluations are not CG calls and are excluded).
+  std::size_t cg_value_evals_total = 0;
+  std::size_t cg_gradient_evals_total = 0;
+  std::size_t density_grid_builds_total = 0;
+  /// Flat-grid rebuilds that had to grow a buffer (0 in steady state).
+  std::size_t density_grid_reallocations = 0;
 };
 
 /// Places `netlist` in-place (cell x/y updated) and reports the outcome.
 PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options = {});
+
+/// Quadratic out-of-die penalty, sharing lambda with the density term.
+/// Returns the penalty; accumulates into `gradient` when nonnull (nullptr
+/// is the value-only mode — same value, no gradient work).
+double boundary_penalty(const netlist::Netlist& netlist,
+                        const std::vector<double>& state, double omega,
+                        double die_half, std::vector<double>* gradient);
 
 /// Bounding box of the placed cells' virtual extents.
 BoundingBox placement_bounding_box(const netlist::Netlist& netlist, double omega);

@@ -1,0 +1,131 @@
+#include "place/spatial_grid.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace autoncs::place {
+
+namespace {
+
+/// Dense bucket tables are capped at a small multiple of the cell count so
+/// grid memory stays O(n) no matter how the die is shaped; pathological
+/// spreads (the extreme-coordinate regression) take the sparse path.
+double dense_bucket_cap(std::size_t n) {
+  return 8.0 * static_cast<double>(n) + 1024.0;
+}
+
+}  // namespace
+
+void UniformGrid::build(const netlist::Netlist& netlist,
+                        const std::vector<double>& state,
+                        double interaction_reach, double bucket,
+                        util::ThreadPool* pool, const double* aux_a,
+                        const double* aux_b) {
+  AUTONCS_CHECK(bucket > 0.0, "grid bucket must be positive");
+  AUTONCS_CHECK(state.size() == netlist.cells.size() * 2,
+                "state size must be 2 * cell count");
+  const std::size_t n = netlist.cells.size();
+  AUTONCS_CHECK(n < std::numeric_limits<std::uint32_t>::max(),
+                "uniform grid supports < 2^32 cells");
+  bucket_ = bucket;
+  reach_ = interaction_reach;
+  ++builds_;
+
+  bool grew = false;
+  if (bin_x_.capacity() < n) grew = true;
+  bin_x_.resize(n);
+  bin_y_.resize(n);
+  const auto compute_bins = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c) {
+      bin_x_[c] = bin_coord(state[2 * c]);
+      bin_y_[c] = bin_coord(state[2 * c + 1]);
+    }
+  };
+  if (pool != nullptr && pool->size() > 1 && n >= 2048) {
+    pool->parallel_for(n, [&](std::size_t begin, std::size_t end,
+                              std::size_t /*worker*/) {
+      compute_bins(begin, end);
+    });
+  } else {
+    compute_bins(0, n);
+  }
+
+  min_x_ = min_y_ = std::numeric_limits<long long>::max();
+  max_x_ = max_y_ = std::numeric_limits<long long>::min();
+  for (std::size_t c = 0; c < n; ++c) {
+    min_x_ = std::min(min_x_, bin_x_[c]);
+    max_x_ = std::max(max_x_, bin_x_[c]);
+    min_y_ = std::min(min_y_, bin_y_[c]);
+    max_y_ = std::max(max_y_, bin_y_[c]);
+  }
+  if (n == 0) {
+    dense_ = true;
+    ny_ = 0;
+    starts_.assign(1, 0);
+    ids_.clear();
+    packed_.clear();
+    entries_.clear();
+    return;
+  }
+
+  if (packed_.capacity() < 4 * n) grew = true;
+  packed_.resize(4 * n);
+  const auto pack_slot = [&](std::size_t slot, std::size_t c) {
+    double* p = &packed_[4 * slot];
+    p[0] = state[2 * c];
+    p[1] = state[2 * c + 1];
+    p[2] = aux_a != nullptr ? aux_a[c] : 0.0;
+    p[3] = aux_b != nullptr ? aux_b[c] : 0.0;
+  };
+
+  // Decide dense vs sparse on the bucket-table size (computed in doubles —
+  // the span product can overflow 64 bits for extreme coordinates).
+  const double width = static_cast<double>(max_x_ - min_x_) + 1.0;
+  const double height = static_cast<double>(max_y_ - min_y_) + 1.0;
+  dense_ = width * height <= dense_bucket_cap(n);
+
+  if (!dense_) {
+    if (entries_.capacity() < n) grew = true;
+    entries_.resize(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      entries_[c] = {bin_x_[c], bin_y_[c], static_cast<std::uint32_t>(c)};
+    }
+    std::sort(entries_.begin(), entries_.end(),
+              [](const SparseEntry& a, const SparseEntry& b) {
+                if (a.bx != b.bx) return a.bx < b.bx;
+                if (a.by != b.by) return a.by < b.by;
+                return a.id < b.id;
+              });
+    for (std::size_t k = 0; k < n; ++k) pack_slot(k, entries_[k].id);
+    if (grew) ++reallocs_;
+    return;
+  }
+
+  ny_ = static_cast<std::size_t>(max_y_ - min_y_) + 1;
+  const auto buckets =
+      ny_ * (static_cast<std::size_t>(max_x_ - min_x_) + 1);
+  if (starts_.capacity() < buckets + 1 || ids_.capacity() < n) grew = true;
+
+  // Stable counting sort: histogram, exclusive prefix, then fill in
+  // ascending cell index — each bucket lists its cells in the same order
+  // the legacy hash inserted them. x-major layout: a probe's dy column is
+  // one contiguous slot range (see for_candidates).
+  starts_.assign(buckets + 1, 0);
+  const auto bucket_of = [&](std::size_t c) {
+    return static_cast<std::size_t>(bin_x_[c] - min_x_) * ny_ +
+           static_cast<std::size_t>(bin_y_[c] - min_y_);
+  };
+  for (std::size_t c = 0; c < n; ++c) ++starts_[bucket_of(c) + 1];
+  for (std::size_t b = 0; b < buckets; ++b) starts_[b + 1] += starts_[b];
+  cursor_.assign(starts_.begin(), starts_.end() - 1);
+  ids_.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::uint32_t slot = cursor_[bucket_of(c)]++;
+    ids_[slot] = static_cast<std::uint32_t>(c);
+    pack_slot(slot, c);
+  }
+  if (grew) ++reallocs_;
+}
+
+}  // namespace autoncs::place

@@ -1,0 +1,181 @@
+// Flat-array uniform grid over cell centers — the reusable replacement for
+// the per-evaluation `unordered_map` spatial hash the density model used to
+// rebuild on every objective call.
+//
+// Cells are binned by center into a dense row-major bucket table via a
+// stable counting sort (two O(n) passes into pre-allocated buffers), so a
+// rebuild performs no per-cell allocation and a bucket probe is one array
+// index instead of a hash lookup. When the bin bounding box is too large
+// for a dense table (cells at extreme coordinates), the grid degrades to a
+// sorted sparse bucket list probed by binary search — exact 64-bit bin
+// coordinates either way, which removes the 32-bit `pack` truncation of the
+// legacy hash (far-apart bins can no longer alias into one bucket).
+//
+// Candidate enumeration order is the contract: `for_candidates` scans the
+// same dx-outer / dy-inner bucket window as the legacy hash and yields the
+// cells of each bucket in ascending index (the hash's insertion order), so
+// every consumer folds pair terms in the identical FP operation order and
+// results stay bit-identical.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/thread_pool.hpp"
+
+namespace autoncs::place {
+
+class UniformGrid {
+ public:
+  /// Rebins all cells of `netlist` at the positions in `state`. Queries
+  /// must use the same `interaction_reach` the grid was built with. `pool`
+  /// parallelizes the per-cell bin-coordinate pass; the counting sort is
+  /// sequential (O(n + buckets), stable in cell index). Buffers are reused
+  /// across builds — steady-state rebuilds allocate nothing.
+  ///
+  /// `aux_a` / `aux_b` (optional, length n) are per-cell payloads packed
+  /// next to each cell's coordinates in bucket order, so a
+  /// `for_candidates_packed` scan streams {x, y, aux_a, aux_b} from one
+  /// contiguous array instead of gathering through the cell index — the
+  /// packed doubles are copies of the caller's values, so consumers see
+  /// the identical bits either way.
+  void build(const netlist::Netlist& netlist, const std::vector<double>& state,
+             double interaction_reach, double bucket,
+             util::ThreadPool* pool = nullptr, const double* aux_a = nullptr,
+             const double* aux_b = nullptr);
+
+  /// Calls fn(j) for every cell j > i whose center lies within the
+  /// interaction reach of (xi, yi) (conservative superset — same bucket
+  /// window as the legacy spatial hash, same candidate order).
+  ///
+  /// The probe visits buckets dx-outer / dy-inner like the hash, but the
+  /// dense table is laid out x-major, so the dy column at each dx is ONE
+  /// contiguous CSR slot range — the whole column streams through a single
+  /// tight loop (and the sparse list, sorted by (bx, by), is likewise one
+  /// lower_bound per column). The candidate sequence is identical to
+  /// probing the 2 * span + 1 buckets individually.
+  template <typename Fn>
+  void for_candidates(std::size_t i, double xi, double yi, Fn&& fn) const {
+    const auto span = static_cast<long long>(std::ceil(reach_ / bucket_));
+    const long long bx = bin_coord(xi);
+    const long long by = bin_coord(yi);
+    for (long long dx = -span; dx <= span; ++dx) {
+      const long long cx = bx + dx;
+      if (dense_) {
+        if (cx < min_x_ || cx > max_x_) continue;
+        const long long lo = std::max(by - span, min_y_);
+        const long long hi = std::min(by + span, max_y_);
+        if (lo > hi) continue;
+        const std::size_t base = static_cast<std::size_t>(cx - min_x_) * ny_;
+        const std::uint32_t begin =
+            starts_[base + static_cast<std::size_t>(lo - min_y_)];
+        const std::uint32_t end =
+            starts_[base + static_cast<std::size_t>(hi - min_y_) + 1];
+        for (std::uint32_t k = begin; k < end; ++k) {
+          const std::size_t j = ids_[k];
+          if (j > i) fn(j);
+        }
+      } else {
+        auto it = std::lower_bound(
+            entries_.begin(), entries_.end(), std::make_pair(cx, by - span),
+            [](const SparseEntry& e, const std::pair<long long, long long>& k) {
+              return e.bx != k.first ? e.bx < k.first : e.by < k.second;
+            });
+        for (; it != entries_.end() && it->bx == cx && it->by <= by + span;
+             ++it) {
+          const std::size_t j = it->id;
+          if (j > i) fn(j);
+        }
+      }
+    }
+  }
+
+  /// Like for_candidates, but also hands fn the candidate's packed slot
+  /// {x, y, aux_a, aux_b} (see build). Candidate order is identical to
+  /// for_candidates; the slot holds copies of the build-time values.
+  template <typename Fn>
+  void for_candidates_packed(std::size_t i, double xi, double yi,
+                             Fn&& fn) const {
+    const auto span = static_cast<long long>(std::ceil(reach_ / bucket_));
+    const long long bx = bin_coord(xi);
+    const long long by = bin_coord(yi);
+    for (long long dx = -span; dx <= span; ++dx) {
+      const long long cx = bx + dx;
+      if (dense_) {
+        if (cx < min_x_ || cx > max_x_) continue;
+        const long long lo = std::max(by - span, min_y_);
+        const long long hi = std::min(by + span, max_y_);
+        if (lo > hi) continue;
+        const std::size_t base = static_cast<std::size_t>(cx - min_x_) * ny_;
+        const std::uint32_t begin =
+            starts_[base + static_cast<std::size_t>(lo - min_y_)];
+        const std::uint32_t end =
+            starts_[base + static_cast<std::size_t>(hi - min_y_) + 1];
+        for (std::uint32_t k = begin; k < end; ++k) {
+          const std::size_t j = ids_[k];
+          if (j > i) fn(j, &packed_[4 * k]);
+        }
+      } else {
+        auto it = std::lower_bound(
+            entries_.begin(), entries_.end(), std::make_pair(cx, by - span),
+            [](const SparseEntry& e, const std::pair<long long, long long>& k) {
+              return e.bx != k.first ? e.bx < k.first : e.by < k.second;
+            });
+        for (; it != entries_.end() && it->bx == cx && it->by <= by + span;
+             ++it) {
+          const std::size_t j = it->id;
+          const auto k = static_cast<std::size_t>(it - entries_.begin());
+          if (j > i) fn(j, &packed_[4 * k]);
+        }
+      }
+    }
+  }
+
+  /// Times build() ran over the lifetime of this grid.
+  std::size_t builds() const { return builds_; }
+  /// Builds that had to grow a buffer (steady state: 0 growth per build).
+  std::size_t reallocations() const { return reallocs_; }
+  /// True when the last build used the dense bucket table (vs the sparse
+  /// extreme-coordinate fallback).
+  bool dense() const { return dense_; }
+
+ private:
+  long long bin_coord(double v) const {
+    return static_cast<long long>(std::floor(v / bucket_));
+  }
+
+  struct SparseEntry {
+    long long bx = 0;
+    long long by = 0;
+    std::uint32_t id = 0;
+  };
+
+  double bucket_ = 1.0;
+  double reach_ = 0.0;
+  bool dense_ = true;
+  // Bin bounding box of the last build (dense table spans it exactly).
+  long long min_x_ = 0, max_x_ = -1, min_y_ = 0, max_y_ = -1;
+  // Dense bucket row length (y extent): the table is x-major so a probe
+  // column of consecutive by bins is contiguous in the CSR arrays.
+  std::size_t ny_ = 0;
+  // Dense: CSR-style bucket table. starts_ has buckets+1 prefix offsets
+  // into ids_, which lists cell indices bucket by bucket, ascending.
+  std::vector<std::uint32_t> starts_;
+  std::vector<std::uint32_t> cursor_;
+  std::vector<std::uint32_t> ids_;
+  // Packed per-candidate payload {x, y, aux_a, aux_b} in ids_ order (dense)
+  // or entries_ order (sparse); zeros for aux when build got no arrays.
+  std::vector<double> packed_;
+  // Per-cell bin coordinates (phase-1 scratch, parallel-filled).
+  std::vector<long long> bin_x_;
+  std::vector<long long> bin_y_;
+  // Sparse fallback: bucket list sorted by (bx, by, id).
+  std::vector<SparseEntry> entries_;
+  std::size_t builds_ = 0;
+  std::size_t reallocs_ = 0;
+};
+
+}  // namespace autoncs::place

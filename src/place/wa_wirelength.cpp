@@ -28,11 +28,22 @@ void unpack_positions(const std::vector<double>& state, netlist::Netlist& netlis
 
 namespace {
 
-/// One-dimensional WA term for a wire along one axis. When `contrib` is
-/// nonnull, writes the k-th pin's gradient term (scaled by `weight`) into
-/// contrib[k] instead of scattering into a global gradient — the parallel
-/// phase-1 form. `wa_axis` below keeps the original scatter form; both
-/// compute each term with identical FP operations.
+/// Per-worker scratch for the cached max-shifted exponentials. thread_local
+/// so the parallel phase-1 workers of WaModel::evaluate don't contend; the
+/// capacity converges to the largest pin count seen, so steady-state calls
+/// allocate nothing.
+struct WaExpScratch {
+  std::vector<double> a;
+  std::vector<double> b;
+};
+
+WaExpScratch& wa_exp_scratch() {
+  thread_local WaExpScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 double wa_axis_terms(const std::vector<std::size_t>& pins,
                      const std::vector<double>& state, std::size_t axis,
                      double gamma, double weight, double* contrib) {
@@ -44,14 +55,34 @@ double wa_axis_terms(const std::vector<std::size_t>& pins,
     hi = std::max(hi, v);
   }
   // Max-shifted exponentials: a_i = e^{(v-hi)/g}, b_i = e^{-(v-lo)/g}.
+  // On the gradient path each pin's a/b is cached here so the loop below
+  // reuses it instead of calling exp again — the stored values are the
+  // same doubles, so value-only and gradient modes agree bit for bit.
+  double* exp_a = nullptr;
+  double* exp_b = nullptr;
+  if (contrib != nullptr) {
+    WaExpScratch& scratch = wa_exp_scratch();
+    scratch.a.resize(pins.size());
+    scratch.b.resize(pins.size());
+    exp_a = scratch.a.data();
+    exp_b = scratch.b.data();
+  }
   double sum_a = 0.0;
   double sum_va = 0.0;
   double sum_b = 0.0;
   double sum_vb = 0.0;
-  for (std::size_t pin : pins) {
-    const double v = state[2 * pin + axis];
-    const double a = std::exp((v - hi) / gamma);
-    const double b = std::exp(-(v - lo) / gamma);
+  for (std::size_t k = 0; k < pins.size(); ++k) {
+    const double v = state[2 * pins[k] + axis];
+    // exp(0) == 1.0 exactly (IEEE 754), so the extreme pins — both pins of
+    // every two-pin wire — skip the libm call without changing a bit.
+    const double ta = (v - hi) / gamma;
+    const double tb = -(v - lo) / gamma;
+    const double a = ta == 0.0 ? 1.0 : std::exp(ta);
+    const double b = tb == 0.0 ? 1.0 : std::exp(tb);
+    if (contrib != nullptr) {
+      exp_a[k] = a;
+      exp_b[k] = b;
+    }
     sum_a += a;
     sum_va += v * a;
     sum_b += b;
@@ -62,24 +93,116 @@ double wa_axis_terms(const std::vector<std::size_t>& pins,
   if (contrib != nullptr) {
     for (std::size_t k = 0; k < pins.size(); ++k) {
       const double v = state[2 * pins[k] + axis];
-      const double a = std::exp((v - hi) / gamma);
-      const double b = std::exp(-(v - lo) / gamma);
-      const double d_plus = a / sum_a * (1.0 + (v - f_plus) / gamma);
-      const double d_minus = b / sum_b * (1.0 - (v - f_minus) / gamma);
+      const double d_plus = exp_a[k] / sum_a * (1.0 + (v - f_plus) / gamma);
+      const double d_minus = exp_b[k] / sum_b * (1.0 - (v - f_minus) / gamma);
       contrib[k] = weight * (d_plus - d_minus);
     }
   }
   return f_plus - f_minus;
 }
 
+namespace {
+
 /// Scatter form used on the sequential path: accumulates the gradient
-/// terms directly (same terms, same order as the parallel reduction).
+/// terms directly (same terms, same order as the parallel reduction),
+/// reusing the cached exponentials of the value pass.
 double wa_axis(const std::vector<std::size_t>& pins,
                const std::vector<double>& state, std::size_t axis, double gamma,
                double weight, std::vector<double>* gradient) {
   if (gradient == nullptr) {
     return wa_axis_terms(pins, state, axis, gamma, weight, nullptr);
   }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t pin : pins) {
+    const double v = state[2 * pin + axis];
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  WaExpScratch& scratch = wa_exp_scratch();
+  scratch.a.resize(pins.size());
+  scratch.b.resize(pins.size());
+  double* exp_a = scratch.a.data();
+  double* exp_b = scratch.b.data();
+  double sum_a = 0.0;
+  double sum_va = 0.0;
+  double sum_b = 0.0;
+  double sum_vb = 0.0;
+  for (std::size_t k = 0; k < pins.size(); ++k) {
+    const double v = state[2 * pins[k] + axis];
+    const double ta = (v - hi) / gamma;
+    const double tb = -(v - lo) / gamma;
+    const double a = ta == 0.0 ? 1.0 : std::exp(ta);
+    const double b = tb == 0.0 ? 1.0 : std::exp(tb);
+    exp_a[k] = a;
+    exp_b[k] = b;
+    sum_a += a;
+    sum_va += v * a;
+    sum_b += b;
+    sum_vb += v * b;
+  }
+  const double f_plus = sum_va / sum_a;
+  const double f_minus = sum_vb / sum_b;
+  for (std::size_t k = 0; k < pins.size(); ++k) {
+    const double v = state[2 * pins[k] + axis];
+    const double d_plus = exp_a[k] / sum_a * (1.0 + (v - f_plus) / gamma);
+    const double d_minus = exp_b[k] / sum_b * (1.0 - (v - f_minus) / gamma);
+    (*gradient)[2 * pins[k] + axis] += weight * (d_plus - d_minus);
+  }
+  return f_plus - f_minus;
+}
+
+/// Value pass that additionally records the acceptance-cache terms: the
+/// per-pin max-shifted exponentials into exp_a / exp_b and
+/// {f_plus, f_minus, sum_a, sum_b} into fp. FP operations are identical to
+/// the value-only wa_axis_terms — the stores are of doubles it computes
+/// anyway — so a cached trial value matches an uncached one bit for bit.
+double wa_axis_fill(const std::vector<std::size_t>& pins,
+                    const std::vector<double>& state, std::size_t axis,
+                    double gamma, double* exp_a, double* exp_b, double* fp) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t pin : pins) {
+    const double v = state[2 * pin + axis];
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  double sum_a = 0.0;
+  double sum_va = 0.0;
+  double sum_b = 0.0;
+  double sum_vb = 0.0;
+  for (std::size_t k = 0; k < pins.size(); ++k) {
+    const double v = state[2 * pins[k] + axis];
+    const double ta = (v - hi) / gamma;
+    const double tb = -(v - lo) / gamma;
+    const double a = ta == 0.0 ? 1.0 : std::exp(ta);
+    const double b = tb == 0.0 ? 1.0 : std::exp(tb);
+    exp_a[k] = a;
+    exp_b[k] = b;
+    sum_a += a;
+    sum_va += v * a;
+    sum_b += b;
+    sum_vb += v * b;
+  }
+  const double f_plus = sum_va / sum_a;
+  const double f_minus = sum_vb / sum_b;
+  fp[0] = f_plus;
+  fp[1] = f_minus;
+  fp[2] = sum_a;
+  fp[3] = sum_b;
+  return f_plus - f_minus;
+}
+
+/// Pre-optimization per-wire kernel (the engine as of the telemetry PR),
+/// kept verbatim behind `WaModel::cached_kernels == false` so the
+/// bench_perf_placer baseline pays the original costs: the gradient loop
+/// recomputes every exponential instead of reusing the value pass, and
+/// exp(0) goes through libm. Same inputs, same libm calls, same operation
+/// order — the results are bit-identical to the cached kernel.
+double wa_axis_legacy(const std::vector<std::size_t>& pins,
+                      const std::vector<double>& state, std::size_t axis,
+                      double gamma, double weight,
+                      std::vector<double>* gradient) {
   double lo = std::numeric_limits<double>::infinity();
   double hi = -std::numeric_limits<double>::infinity();
   for (std::size_t pin : pins) {
@@ -102,13 +225,15 @@ double wa_axis(const std::vector<std::size_t>& pins,
   }
   const double f_plus = sum_va / sum_a;
   const double f_minus = sum_vb / sum_b;
-  for (std::size_t pin : pins) {
-    const double v = state[2 * pin + axis];
-    const double a = std::exp((v - hi) / gamma);
-    const double b = std::exp(-(v - lo) / gamma);
-    const double d_plus = a / sum_a * (1.0 + (v - f_plus) / gamma);
-    const double d_minus = b / sum_b * (1.0 - (v - f_minus) / gamma);
-    (*gradient)[2 * pin + axis] += weight * (d_plus - d_minus);
+  if (gradient != nullptr) {
+    for (std::size_t pin : pins) {
+      const double v = state[2 * pin + axis];
+      const double a = std::exp((v - hi) / gamma);
+      const double b = std::exp(-(v - lo) / gamma);
+      const double d_plus = a / sum_a * (1.0 + (v - f_plus) / gamma);
+      const double d_minus = b / sum_b * (1.0 - (v - f_minus) / gamma);
+      (*gradient)[2 * pin + axis] += weight * (d_plus - d_minus);
+    }
   }
   return f_plus - f_minus;
 }
@@ -129,6 +254,76 @@ double WaModel::evaluate(const netlist::Netlist& netlist,
   const std::size_t wires = netlist.wires.size();
   if (pool == nullptr || pool->size() == 1 || wires < 2) {
     double total = 0.0;
+    if (!cached_kernels) {
+      // Reference engine: original uncached kernel (sequential only — the
+      // legacy baseline is a single-thread configuration).
+      for (const auto& wire : netlist.wires) {
+        total +=
+            wire.weight *
+            (wa_axis_legacy(wire.pins, state, 0, gamma, wire.weight, gradient) +
+             wa_axis_legacy(wire.pins, state, 1, gamma, wire.weight, gradient));
+      }
+      return total;
+    }
+    if (gradient != nullptr && cache_valid_ && cache_gamma_ == gamma &&
+        cache_state_ == state) {
+      // Acceptance replay: gradient at the exact point of the last
+      // value-only evaluation (the accepted Armijo trial). Only the
+      // gradient loops run, over the recorded exponentials and sums — the
+      // identical doubles the full kernel would recompute — in the same
+      // wire / axis / pin order, so gradient and value are bit-identical
+      // to an uncached evaluation.
+      for (std::size_t w = 0; w < wires; ++w) {
+        const auto& wire = netlist.wires[w];
+        const std::size_t off = offsets_[w];
+        const double* fp = &cache_fp_[8 * w];
+        for (std::size_t k = 0; k < wire.pins.size(); ++k) {
+          const double v = state[2 * wire.pins[k]];
+          const double d_plus =
+              cache_ax_[off + k] / fp[2] * (1.0 + (v - fp[0]) / gamma);
+          const double d_minus =
+              cache_bx_[off + k] / fp[3] * (1.0 - (v - fp[1]) / gamma);
+          (*gradient)[2 * wire.pins[k]] += wire.weight * (d_plus - d_minus);
+        }
+        for (std::size_t k = 0; k < wire.pins.size(); ++k) {
+          const double v = state[2 * wire.pins[k] + 1];
+          const double d_plus =
+              cache_ay_[off + k] / fp[6] * (1.0 + (v - fp[4]) / gamma);
+          const double d_minus =
+              cache_by_[off + k] / fp[7] * (1.0 - (v - fp[5]) / gamma);
+          (*gradient)[2 * wire.pins[k] + 1] += wire.weight * (d_plus - d_minus);
+        }
+        total += wire.weight * ((fp[0] - fp[1]) + (fp[4] - fp[5]));
+      }
+      return total;
+    }
+    if (gradient == nullptr) {
+      // Value-only trial: fill the acceptance cache as a side effect.
+      offsets_.resize(wires + 1);
+      offsets_[0] = 0;
+      for (std::size_t w = 0; w < wires; ++w)
+        offsets_[w + 1] = offsets_[w] + netlist.wires[w].pins.size();
+      cache_fp_.resize(8 * wires);
+      cache_ax_.resize(offsets_[wires]);
+      cache_bx_.resize(offsets_[wires]);
+      cache_ay_.resize(offsets_[wires]);
+      cache_by_.resize(offsets_[wires]);
+      cache_valid_ = false;
+      for (std::size_t w = 0; w < wires; ++w) {
+        const auto& wire = netlist.wires[w];
+        const std::size_t off = offsets_[w];
+        double* fp = &cache_fp_[8 * w];
+        total += wire.weight *
+                 (wa_axis_fill(wire.pins, state, 0, gamma, &cache_ax_[off],
+                               &cache_bx_[off], fp) +
+                  wa_axis_fill(wire.pins, state, 1, gamma, &cache_ay_[off],
+                               &cache_by_[off], fp + 4));
+      }
+      cache_state_ = state;
+      cache_gamma_ = gamma;
+      cache_valid_ = true;
+      return total;
+    }
     for (const auto& wire : netlist.wires) {
       total += wire.weight *
                (wa_axis(wire.pins, state, 0, gamma, wire.weight, gradient) +

@@ -27,9 +27,27 @@ namespace autoncs::place {
 std::vector<double> pack_positions(const netlist::Netlist& netlist);
 void unpack_positions(const std::vector<double>& state, netlist::Netlist& netlist);
 
+/// One-dimensional WA term for a wire along one axis — the per-wire kernel
+/// of WaModel::evaluate, exposed for bench_micro_kernels. When `contrib` is
+/// nonnull it must have pins.size() slots and receives the k-th pin's
+/// gradient term scaled by `weight`; the per-pin max-shifted exponentials
+/// a/b are computed once on the value pass and reused by the gradient pass
+/// (cached in thread-local scratch), with FP operations identical to the
+/// value-only mode. `contrib == nullptr` is the cheap value-only form.
+double wa_axis_terms(const std::vector<std::size_t>& pins,
+                     const std::vector<double>& state, std::size_t axis,
+                     double gamma, double weight, double* contrib);
+
 struct WaModel {
   /// Smoothness gamma of Eq. (1), in the same unit as the coordinates.
   double gamma = 1.0;
+  /// When false, the sequential path runs the pre-optimization per-wire
+  /// kernel — exponentials recomputed from scratch in the gradient loop,
+  /// no exp(0) shortcut — kept as the reference engine for the determinism
+  /// regression test and the bench_perf_placer baseline. Values and
+  /// gradients are bit-identical either way (the cached kernel stores and
+  /// reuses the same doubles the legacy kernel recomputes).
+  bool cached_kernels = true;
 
   WaModel() = default;
   explicit WaModel(double gamma_in) : gamma(gamma_in) {}
@@ -52,6 +70,20 @@ struct WaModel {
   mutable std::vector<std::size_t> offsets_;
   mutable std::vector<double> contrib_x_;
   mutable std::vector<double> contrib_y_;
+  // Acceptance cache (sequential cached-kernel path): each value-only
+  // evaluation records per wire-axis the smooth max/min and exponential
+  // sums {f_plus, f_minus, sum_a, sum_b} plus every pin's max-shifted
+  // exponentials. A gradient call at the same state byte for byte replays
+  // only the gradient loop over the cached doubles — identical FP
+  // operations, no min/max scan, no libm.
+  mutable std::vector<double> cache_fp_;  // stride 4 per wire-axis
+  mutable std::vector<double> cache_ax_;  // per-pin exps, offsets_ layout
+  mutable std::vector<double> cache_bx_;
+  mutable std::vector<double> cache_ay_;
+  mutable std::vector<double> cache_by_;
+  mutable std::vector<double> cache_state_;
+  mutable double cache_gamma_ = 0.0;
+  mutable bool cache_valid_ = false;
 };
 
 /// Exact weighted HPWL: sum_e w_e (max x - min x + max y - min y) — the

@@ -41,47 +41,85 @@ std::optional<std::vector<BinRef>> maze_route(const GridGraph& grid,
     return (std::abs(dx) + std::abs(dy)) * bin;
   };
 
-  workspace.prepare(nodes);
-  auto& open = workspace.heap();
-  const auto push = [&open](MazeQueueEntry entry) {
-    open.push_back(entry);
-    std::push_heap(open.begin(), open.end(), HeapOrder{});
-  };
-  workspace.record(start, 0.0, nodes);
-  push({heuristic(start), 0.0, start});
-
-  while (!open.empty()) {
-    const MazeQueueEntry entry = open.front();
-    std::pop_heap(open.begin(), open.end(), HeapOrder{});
-    open.pop_back();
-    if (entry.cost > workspace.best(entry.node)) continue;
-    if (entry.node == goal) break;
-    const std::size_t ix = entry.node % nx;
-    const std::size_t iy = entry.node / nx;
-
-    const auto relax = [&](std::size_t next, double usage, double history) {
-      if (edge_blocked(usage, limit)) return;
-      const double edge_cost =
-          bin * (1.0 +
-                 options.congestion_penalty * usage / grid.edge_capacity() +
-                 options.history_weight * history / grid.edge_capacity());
-      const double g = entry.cost + edge_cost;
-      if (g < workspace.best(next)) {
-        workspace.record(next, g, entry.node);
-        push({g + heuristic(next), g, next});
-      }
+  // One A* pass restricted to the inclusive bin window [lo_x, hi_x] x
+  // [lo_y, hi_y] (the full grid when the window spans it). Returns true
+  // when the goal was reached.
+  const auto search = [&](std::size_t lo_x, std::size_t lo_y, std::size_t hi_x,
+                          std::size_t hi_y) {
+    workspace.prepare(nodes);
+    auto& open = workspace.heap();
+    const auto push = [&open](MazeQueueEntry entry) {
+      open.push_back(entry);
+      std::push_heap(open.begin(), open.end(), HeapOrder{});
     };
-    if (ix + 1 < nx)
-      relax(entry.node + 1, grid.h_usage(ix, iy), grid.h_history(ix, iy));
-    if (ix > 0)
-      relax(entry.node - 1, grid.h_usage(ix - 1, iy), grid.h_history(ix - 1, iy));
-    if (iy + 1 < ny)
-      relax(entry.node + nx, grid.v_usage(ix, iy), grid.v_history(ix, iy));
-    if (iy > 0)
-      relax(entry.node - nx, grid.v_usage(ix, iy - 1), grid.v_history(ix, iy - 1));
-  }
+    workspace.record(start, 0.0, nodes);
+    push({heuristic(start), 0.0, start});
 
-  if (!std::isfinite(workspace.best(goal))) return std::nullopt;
+    while (!open.empty()) {
+      const MazeQueueEntry entry = open.front();
+      std::pop_heap(open.begin(), open.end(), HeapOrder{});
+      open.pop_back();
+      if (entry.cost > workspace.best(entry.node)) continue;
+      if (entry.node == goal) break;
+      const std::size_t ix = entry.node % nx;
+      const std::size_t iy = entry.node / nx;
+
+      const auto relax = [&](std::size_t next, std::size_t nix, std::size_t niy,
+                             double usage, double history) {
+        if (nix < lo_x || nix > hi_x || niy < lo_y || niy > hi_y) return;
+        if (edge_blocked(usage, limit)) return;
+        const double edge_cost =
+            bin * (1.0 +
+                   options.congestion_penalty * usage / grid.edge_capacity() +
+                   options.history_weight * history / grid.edge_capacity());
+        const double g = entry.cost + edge_cost;
+        if (g < workspace.best(next)) {
+          workspace.record(next, g, entry.node);
+          push({g + heuristic(next), g, next});
+        }
+      };
+      if (ix + 1 < nx)
+        relax(entry.node + 1, ix + 1, iy, grid.h_usage(ix, iy),
+              grid.h_history(ix, iy));
+      if (ix > 0)
+        relax(entry.node - 1, ix - 1, iy, grid.h_usage(ix - 1, iy),
+              grid.h_history(ix - 1, iy));
+      if (iy + 1 < ny)
+        relax(entry.node + nx, ix, iy + 1, grid.v_usage(ix, iy),
+              grid.v_history(ix, iy));
+      if (iy > 0)
+        relax(entry.node - nx, ix, iy - 1, grid.v_usage(ix, iy - 1),
+              grid.v_history(ix, iy - 1));
+    }
+    return std::isfinite(workspace.best(goal));
+  };
+
+  bool found = false;
+  bool windowed = false;
+  if (options.window_margin_bins != MazeOptions::kNoWindow) {
+    const std::size_t margin = options.window_margin_bins;
+    const auto lo = [margin](std::size_t a, std::size_t b) {
+      const std::size_t v = std::min(a, b);
+      return v > margin ? v - margin : 0;
+    };
+    const auto hi = [margin](std::size_t a, std::size_t b, std::size_t bound) {
+      const std::size_t v = std::max(a, b);
+      const std::size_t sum = v + margin;
+      return (sum < v || sum > bound) ? bound : sum;  // saturating
+    };
+    const std::size_t lo_x = lo(source.ix, target.ix);
+    const std::size_t lo_y = lo(source.iy, target.iy);
+    const std::size_t hi_x = hi(source.ix, target.ix, nx - 1);
+    const std::size_t hi_y = hi(source.iy, target.iy, ny - 1);
+    windowed = lo_x > 0 || lo_y > 0 || hi_x < nx - 1 || hi_y < ny - 1;
+    found = search(lo_x, lo_y, hi_x, hi_y);
+  } else {
+    found = search(0, 0, nx - 1, ny - 1);
+  }
+  // Congestion can force detours outside the window; retry unrestricted so
+  // a net is reported unroutable only when the FULL grid has no path.
+  if (!found && windowed) found = search(0, 0, nx - 1, ny - 1);
+  if (!found) return std::nullopt;
   std::vector<BinRef> path;
   for (std::size_t node = goal;;) {
     path.push_back({node % nx, node / nx});

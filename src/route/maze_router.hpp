@@ -42,6 +42,13 @@ struct MazeOptions {
   /// Multiplier on history/capacity (negotiated rerouting); 0 ignores the
   /// grid's congestion history.
   double history_weight = 0.0;
+  /// Sentinel for window_margin_bins: search the whole grid.
+  static constexpr std::size_t kNoWindow = static_cast<std::size_t>(-1);
+  /// Restrict the A* to the source/target bounding box expanded by this
+  /// many bins on each side. A failed windowed search falls back to the
+  /// full grid automatically, so routability is unchanged — congested
+  /// detours longer than the margin just cost a second (full) search.
+  std::size_t window_margin_bins = kNoWindow;
 };
 
 /// True when committing one more wire on an edge with `usage` would exceed

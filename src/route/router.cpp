@@ -44,7 +44,7 @@ Attempt route_segment(const GridGraph& grid, BinRef source, BinRef target,
                       MazeWorkspace& workspace) {
   Attempt out;
   MazeOptions maze{options.congestion_penalty, options.capacity_limit_factor,
-                   history_weight};
+                   history_weight, options.window_margin_bins};
   for (std::size_t attempt = 0; attempt <= options.max_relax_steps; ++attempt) {
     ++out.searches;
     out.path = maze_route(grid, source, target, maze, workspace);

@@ -75,6 +75,12 @@ struct RouterOptions {
   std::size_t reroute_passes = 0;
   /// Weight of the accumulated history in the maze cost during reroutes.
   double history_weight = 2.0;
+  /// Maze window: each segment's A* is restricted to its bounding box
+  /// expanded by this many bins (MazeOptions::kNoWindow = whole grid). A
+  /// failed windowed search retries on the full grid, so routability —
+  /// including unroutable-net handling — is unchanged; only searches whose
+  /// congested detour exceeds the margin pay a second pass.
+  std::size_t window_margin_bins = 16;
   /// Worker threads for the speculative routing waves; 0 = hardware
   /// concurrency. The routing result is bit-identical for any value.
   std::size_t threads = 0;

@@ -13,12 +13,12 @@ TEST(ConjugateGradient, MinimizesConvexQuadratic) {
   // f(x) = sum_i c_i (x_i - t_i)^2 with distinct curvatures.
   const std::vector<double> curvature = {1.0, 10.0, 0.5, 4.0};
   const std::vector<double> target = {1.0, -2.0, 3.0, 0.5};
-  const Objective f = [&](const std::vector<double>& x, std::vector<double>& g) {
+  const Objective f = [&](const std::vector<double>& x, std::vector<double>* g) {
     double value = 0.0;
     for (std::size_t i = 0; i < x.size(); ++i) {
       const double d = x[i] - target[i];
       value += curvature[i] * d * d;
-      g[i] = 2.0 * curvature[i] * d;
+      if (g != nullptr) (*g)[i] = 2.0 * curvature[i] * d;
     }
     return value;
   };
@@ -29,23 +29,25 @@ TEST(ConjugateGradient, MinimizesConvexQuadratic) {
 }
 
 TEST(ConjugateGradient, RosenbrockMakesLargeProgress) {
-  const Objective f = [](const std::vector<double>& x, std::vector<double>& g) {
+  const Objective f = [](const std::vector<double>& x, std::vector<double>* g) {
     const double a = 1.0 - x[0];
     const double b = x[1] - x[0] * x[0];
-    g[0] = -2.0 * a - 400.0 * x[0] * b;
-    g[1] = 200.0 * b;
+    if (g != nullptr) {
+      (*g)[0] = -2.0 * a - 400.0 * x[0] * b;
+      (*g)[1] = 200.0 * b;
+    }
     return a * a + 100.0 * b * b;
   };
   std::vector<double> x = {-1.2, 1.0};
   std::vector<double> g(2);
-  const double start = f(x, g);
+  const double start = f(x, &g);
   const CgResult result = minimize_cg(x, f, {.max_iterations = 500});
   EXPECT_LT(result.value, start * 1e-3);
 }
 
 TEST(ConjugateGradient, AlreadyAtMinimumConvergesImmediately) {
-  const Objective f = [](const std::vector<double>& x, std::vector<double>& g) {
-    g[0] = 2.0 * x[0];
+  const Objective f = [](const std::vector<double>& x, std::vector<double>* g) {
+    if (g != nullptr) (*g)[0] = 2.0 * x[0];
     return x[0] * x[0];
   };
   std::vector<double> x = {0.0};
@@ -55,11 +57,11 @@ TEST(ConjugateGradient, AlreadyAtMinimumConvergesImmediately) {
 }
 
 TEST(ConjugateGradient, RespectsIterationCap) {
-  const Objective f = [](const std::vector<double>& x, std::vector<double>& g) {
+  const Objective f = [](const std::vector<double>& x, std::vector<double>* g) {
     double v = 0.0;
     for (std::size_t i = 0; i < x.size(); ++i) {
       v += std::cosh(x[i] - static_cast<double>(i));
-      g[i] = std::sinh(x[i] - static_cast<double>(i));
+      if (g != nullptr) (*g)[i] = std::sinh(x[i] - static_cast<double>(i));
     }
     return v;
   };
@@ -70,7 +72,7 @@ TEST(ConjugateGradient, RespectsIterationCap) {
 
 TEST(ConjugateGradient, EmptyStateThrows) {
   std::vector<double> x;
-  const Objective f = [](const std::vector<double>&, std::vector<double>&) {
+  const Objective f = [](const std::vector<double>&, std::vector<double>*) {
     return 0.0;
   };
   EXPECT_THROW(minimize_cg(x, f), util::CheckError);
@@ -78,19 +80,68 @@ TEST(ConjugateGradient, EmptyStateThrows) {
 
 TEST(ConjugateGradient, MonotoneNonIncreasingValue) {
   // Armijo backtracking guarantees the accepted value never increases.
-  const Objective f = [](const std::vector<double>& x, std::vector<double>& g) {
+  const Objective f = [](const std::vector<double>& x, std::vector<double>* g) {
     double v = 0.0;
     for (std::size_t i = 0; i < x.size(); ++i) {
       v += std::pow(x[i], 4) - 2.0 * x[i] * x[i];
-      g[i] = 4.0 * std::pow(x[i], 3) - 4.0 * x[i];
+      if (g != nullptr) (*g)[i] = 4.0 * std::pow(x[i], 3) - 4.0 * x[i];
     }
     return v;
   };
   std::vector<double> x = {0.3, -0.2, 2.0};
   std::vector<double> g(3);
-  const double start = f(x, g);
+  const double start = f(x, &g);
   const CgResult result = minimize_cg(x, f, {.max_iterations = 50});
   EXPECT_LE(result.value, start + 1e-12);
+}
+
+TEST(ConjugateGradient, CountsEvaluationsAndGradientNeverExceedsValue) {
+  std::size_t value_calls = 0;
+  std::size_t gradient_calls = 0;
+  const Objective f = [&](const std::vector<double>& x, std::vector<double>* g) {
+    ++value_calls;
+    double value = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      value += (x[i] - 1.0) * (x[i] - 1.0);
+      if (g != nullptr) (*g)[i] = 2.0 * (x[i] - 1.0);
+    }
+    if (g != nullptr) ++gradient_calls;
+    return value;
+  };
+  std::vector<double> x(3, 10.0);
+  const CgResult result = minimize_cg(x, f, {.max_iterations = 100});
+  EXPECT_EQ(result.value_evaluations, value_calls);
+  EXPECT_EQ(result.gradient_evaluations, gradient_calls);
+  EXPECT_LE(result.gradient_evaluations, result.value_evaluations);
+  EXPECT_GT(result.gradient_evaluations, 0u);
+}
+
+TEST(ConjugateGradient, ValueOnlyTrialsMatchLegacyIterates) {
+  // The value-only engine must accept the same steps as gradient-on-every-
+  // trial and land on bit-identical iterates.
+  const Objective f = [](const std::vector<double>& x, std::vector<double>* g) {
+    double v = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      v += std::pow(x[i], 4) + 0.5 * x[i] * x[i] - x[i];
+      if (g != nullptr) (*g)[i] = 4.0 * std::pow(x[i], 3) + x[i] - 1.0;
+    }
+    return v;
+  };
+  std::vector<double> fast = {2.0, -3.0, 0.5, 4.0};
+  std::vector<double> legacy = fast;
+  CgOptions fast_opts{.max_iterations = 60};
+  CgOptions legacy_opts = fast_opts;
+  legacy_opts.value_only_trials = false;
+  const CgResult fast_result = minimize_cg(fast, f, fast_opts);
+  const CgResult legacy_result = minimize_cg(legacy, f, legacy_opts);
+  EXPECT_EQ(fast, legacy);  // bit-identical, not approximately equal
+  EXPECT_EQ(fast_result.value, legacy_result.value);
+  EXPECT_EQ(fast_result.iterations, legacy_result.iterations);
+  // Legacy computes a gradient on every call; the fast engine only at
+  // accepted points, so it can never do more gradient work.
+  EXPECT_EQ(legacy_result.gradient_evaluations,
+            legacy_result.value_evaluations);
+  EXPECT_LE(fast_result.gradient_evaluations, fast_result.value_evaluations);
 }
 
 }  // namespace

@@ -159,5 +159,68 @@ TEST(DensityModel, InvalidParametersThrow) {
   EXPECT_THROW(bad_beta.evaluate(net, state, nullptr), util::CheckError);
 }
 
+TEST(DensityModel, ExtremeCoordinatesDoNotAlias) {
+  // Regression for the legacy SpatialHash::pack 32-bit truncation: bins
+  // exactly 2^32 buckets apart aliased into one hash bucket. The flat
+  // grid keeps 64-bit bin coordinates (and falls back to its sparse
+  // layout for a spread this wide), so two overlapping clusters separated
+  // by an astronomical offset must contribute exactly two local overlaps
+  // and nothing across the gap.
+  const double beta = 8.0;
+  const DensityModel probe{1.2, beta};
+  // Recover the evaluation bucket width: reach = 2 * r_max + 30 / beta,
+  // bucket = reach / 2, with r_max = 0.6 * max extent below.
+  const double r_max = 0.6 * 2.0;
+  const double bucket = (2.0 * r_max + 30.0 / beta) / 2.0;
+  const double far = bucket * 4294967296.0;  // 2^32 bins away
+  const auto net = boxes({{0.0, 0.0, 2.0, 2.0},
+                          {0.5, 0.0, 2.0, 2.0},
+                          {far, 0.0, 2.0, 2.0},
+                          {far + 0.5, 0.0, 2.0, 2.0}});
+  const auto state = pack_positions(net);
+  const double total = probe.evaluate(net, state, nullptr);
+
+  // Reference: the same pair in isolation, twice.
+  const auto pair = boxes({{0.0, 0.0, 2.0, 2.0}, {0.5, 0.0, 2.0, 2.0}});
+  const double one = probe.evaluate(pair, pack_positions(pair), nullptr);
+  EXPECT_DOUBLE_EQ(total, 2.0 * one);
+
+  // The gradient path agrees and the far cluster pulls only locally.
+  std::vector<double> grad(state.size(), 0.0);
+  const double with_grad = probe.evaluate(net, state, &grad);
+  EXPECT_DOUBLE_EQ(with_grad, total);
+  EXPECT_DOUBLE_EQ(grad[0], grad[4]);  // same local geometry -> same pull
+}
+
+TEST(DensityModel, FlatGridMatchesLegacyHashBitForBit) {
+  util::Rng rng(11);
+  netlist::Netlist net;
+  for (int i = 0; i < 80; ++i) {
+    netlist::Cell cell;
+    cell.x = rng.uniform(-15.0, 15.0);
+    cell.y = rng.uniform(-15.0, 15.0);
+    cell.width = rng.uniform(0.3, 3.0);
+    cell.height = rng.uniform(0.3, 3.0);
+    net.cells.push_back(cell);
+  }
+  const auto state = pack_positions(net);
+  DensityModel flat{1.2, 8.0};
+  DensityModel legacy{1.2, 8.0};
+  legacy.use_flat_grid = false;
+  std::vector<double> flat_grad(state.size(), 0.0);
+  std::vector<double> legacy_grad(state.size(), 0.0);
+  const double flat_value = flat.evaluate(net, state, &flat_grad);
+  const double legacy_value = legacy.evaluate(net, state, &legacy_grad);
+  EXPECT_EQ(flat_value, legacy_value);  // identical candidate order -> bits
+  EXPECT_EQ(flat_grad, legacy_grad);
+  // Value-only mode returns the same bits as the gradient mode.
+  EXPECT_EQ(flat.evaluate(net, state, nullptr), flat_value);
+  // Buffer reuse: repeated evaluations rebuild but do not regrow.
+  const std::size_t reallocs = flat.grid_reallocations();
+  for (int r = 0; r < 3; ++r) flat.evaluate(net, state, nullptr);
+  EXPECT_EQ(flat.grid_reallocations(), reallocs);
+  EXPECT_GE(flat.grid_builds(), 5u);
+}
+
 }  // namespace
 }  // namespace autoncs::place

@@ -1,0 +1,211 @@
+// Determinism and gradient-correctness guarantees of the fast evaluation
+// engine (value-only trials + flat spatial grid + cached WA kernels):
+//
+//  * the final placed state is BIT-identical across thread counts,
+//  * the fast engine lands on the exact bits of the legacy engine
+//    (gradient on every trial, unordered_map spatial hash),
+//  * analytic gradients of WA, density, and the boundary penalty match
+//    central finite differences, and every model returns the identical
+//    value in value-only and gradient modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "place/density.hpp"
+#include "place/placer.hpp"
+#include "place/wa_wirelength.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::place {
+namespace {
+
+netlist::Netlist mesh_netlist(std::size_t side, std::uint64_t seed) {
+  netlist::Netlist net;
+  util::Rng rng(seed);
+  const std::size_t n = side * side;
+  for (std::size_t c = 0; c < n; ++c) {
+    netlist::Cell cell;
+    cell.width = rng.uniform(0.6, 1.8);
+    cell.height = rng.uniform(0.6, 1.8);
+    net.cells.push_back(cell);
+  }
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c + 1 < side; ++c) {
+      net.wires.push_back({{r * side + c, r * side + c + 1},
+                           rng.uniform(0.5, 2.0), 0.0});
+      net.wires.push_back({{c * side + r, (c + 1) * side + r},
+                           rng.uniform(0.5, 2.0), 0.0});
+    }
+  }
+  // A few multi-pin wires so the WA kernels see pin counts > 2.
+  for (std::size_t w = 0; w + 4 < n; w += 17)
+    net.wires.push_back({{w, w + 1, w + 2, w + 4}, 1.0, 0.0});
+  return net;
+}
+
+std::vector<double> placed_state(const netlist::Netlist& net) {
+  return pack_positions(net);
+}
+
+TEST(PlacerDeterminism, BitIdenticalAcrossThreadCounts) {
+  std::vector<std::vector<double>> results;
+  std::vector<PlacementReport> reports;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    netlist::Netlist net = mesh_netlist(7, 21);
+    PlacerOptions options;
+    options.threads = threads;
+    options.seed = 5;
+    reports.push_back(place(net, options));
+    results.push_back(placed_state(net));
+  }
+  EXPECT_EQ(results[0], results[1]);  // exact bits, not tolerances
+  EXPECT_EQ(results[0], results[2]);
+  EXPECT_EQ(reports[0].hpwl_um, reports[1].hpwl_um);
+  EXPECT_EQ(reports[0].cg_value_evals_total, reports[1].cg_value_evals_total);
+  EXPECT_EQ(reports[0].cg_value_evals_total, reports[2].cg_value_evals_total);
+}
+
+TEST(PlacerDeterminism, FastEngineMatchesLegacyEngineBitForBit) {
+  netlist::Netlist fast_net = mesh_netlist(6, 9);
+  netlist::Netlist legacy_net = mesh_netlist(6, 9);
+  PlacerOptions fast_options;
+  fast_options.seed = 3;
+  PlacerOptions legacy_options = fast_options;
+  legacy_options.legacy_evaluation = true;
+  const auto fast_report = place(fast_net, fast_options);
+  const auto legacy_report = place(legacy_net, legacy_options);
+  EXPECT_EQ(placed_state(fast_net), placed_state(legacy_net));
+  EXPECT_EQ(fast_report.hpwl_um, legacy_report.hpwl_um);
+  EXPECT_EQ(fast_report.outer_iterations, legacy_report.outer_iterations);
+  // Both engines walk the same iterate sequence, so they accept the same
+  // number of steps; the fast engine just skips trial gradients.
+  ASSERT_EQ(fast_report.outer.size(), legacy_report.outer.size());
+  for (std::size_t o = 0; o < fast_report.outer.size(); ++o) {
+    EXPECT_EQ(fast_report.outer[o].objective, legacy_report.outer[o].objective);
+    EXPECT_EQ(fast_report.outer[o].cg_iterations,
+              legacy_report.outer[o].cg_iterations);
+  }
+  EXPECT_LE(fast_report.cg_gradient_evals_total,
+            legacy_report.cg_gradient_evals_total);
+}
+
+TEST(PlacerDeterminism, GradientEvalsNeverExceedValueEvals) {
+  netlist::Netlist net = mesh_netlist(6, 2);
+  const auto report = place(net);
+  ASSERT_FALSE(report.outer.empty());
+  for (const auto& outer : report.outer) {
+    EXPECT_GT(outer.cg_value_evals, 0u);
+    EXPECT_LE(outer.cg_gradient_evals, outer.cg_value_evals);
+    EXPECT_GT(outer.density_grid_builds, 0u);
+  }
+  EXPECT_LE(report.cg_gradient_evals_total, report.cg_value_evals_total);
+  EXPECT_GT(report.density_grid_builds_total, 0u);
+}
+
+// --- finite-difference gradient checks -------------------------------
+
+netlist::Netlist scattered_netlist(std::size_t n, std::uint64_t seed) {
+  netlist::Netlist net;
+  util::Rng rng(seed);
+  for (std::size_t c = 0; c < n; ++c) {
+    netlist::Cell cell;
+    cell.x = rng.uniform(-6.0, 6.0);
+    cell.y = rng.uniform(-6.0, 6.0);
+    cell.width = rng.uniform(0.5, 2.0);
+    cell.height = rng.uniform(0.5, 2.0);
+    net.cells.push_back(cell);
+  }
+  for (std::size_t c = 0; c + 1 < n; ++c)
+    net.wires.push_back({{c, c + 1}, rng.uniform(0.5, 1.5), 0.0});
+  net.wires.push_back({{0, n / 2, n - 1}, 1.0, 0.0});
+  return net;
+}
+
+/// Checks d f / d state against central differences, and that the
+/// value-only mode (gradient == nullptr) returns the gradient-mode value
+/// bit for bit.
+template <typename EvalFn>
+void check_gradient(const netlist::Netlist& net, const EvalFn& eval,
+                    double step, double tolerance) {
+  std::vector<double> state = pack_positions(net);
+  std::vector<double> grad(state.size(), 0.0);
+  const double value = eval(state, &grad);
+  const double value_only = eval(state, nullptr);
+  EXPECT_EQ(value, value_only);  // identical FP operations in both modes
+
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    const double saved = state[i];
+    state[i] = saved + step;
+    const double plus = eval(state, nullptr);
+    state[i] = saved - step;
+    const double minus = eval(state, nullptr);
+    state[i] = saved;
+    const double fd = (plus - minus) / (2.0 * step);
+    EXPECT_NEAR(grad[i], fd, tolerance + tolerance * std::abs(fd))
+        << "component " << i;
+  }
+}
+
+TEST(PlacerGradients, WaWirelengthMatchesFiniteDifferences) {
+  const auto net = scattered_netlist(10, 77);
+  const WaModel model{1.5};
+  check_gradient(
+      net,
+      [&](const std::vector<double>& x, std::vector<double>* g) {
+        if (g != nullptr) std::fill(g->begin(), g->end(), 0.0);
+        return model.evaluate(net, x, g);
+      },
+      1e-5, 1e-5);
+}
+
+TEST(PlacerGradients, DensityMatchesFiniteDifferences) {
+  const auto net = scattered_netlist(10, 31);
+  const DensityModel model{1.2, 4.0};  // soft beta: smooth for FD
+  check_gradient(
+      net,
+      [&](const std::vector<double>& x, std::vector<double>* g) {
+        if (g != nullptr) std::fill(g->begin(), g->end(), 0.0);
+        return model.evaluate(net, x, g);
+      },
+      1e-5, 1e-4);
+}
+
+TEST(PlacerGradients, BoundaryPenaltyMatchesFiniteDifferences) {
+  const auto net = scattered_netlist(10, 55);
+  const double die_half = 3.0;  // tight: several cells pay the penalty
+  check_gradient(
+      net,
+      [&](const std::vector<double>& x, std::vector<double>* g) {
+        if (g != nullptr) std::fill(g->begin(), g->end(), 0.0);
+        return boundary_penalty(net, x, 1.2, die_half, g);
+      },
+      1e-6, 1e-5);
+}
+
+TEST(PlacerGradients, FullObjectiveValueIdenticalInBothModes) {
+  // The placer's composite objective (WL + lambda * (D + boundary)) must
+  // return the same bits with and without a gradient — that is the whole
+  // bit-identity argument for value-only line-search trials.
+  const auto net = scattered_netlist(12, 13);
+  const WaModel wl{2.0};
+  const DensityModel density{1.2, 16.0};
+  const double lambda = 0.37;
+  const double die_half = 5.0;
+  const auto state = pack_positions(net);
+  std::vector<double> grad(state.size(), 0.0);
+  std::vector<double> dgrad(state.size(), 0.0);
+  const double wl_g = wl.evaluate(net, state, &grad);
+  double d_g = density.evaluate(net, state, &dgrad);
+  d_g += boundary_penalty(net, state, 1.2, die_half, &dgrad);
+  const double with_gradient = wl_g + lambda * d_g;
+
+  const double wl_v = wl.evaluate(net, state, nullptr);
+  double d_v = density.evaluate(net, state, nullptr);
+  d_v += boundary_penalty(net, state, 1.2, die_half, nullptr);
+  const double value_only = wl_v + lambda * d_v;
+  EXPECT_EQ(with_gradient, value_only);
+}
+
+}  // namespace
+}  // namespace autoncs::place

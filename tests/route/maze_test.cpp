@@ -97,5 +97,51 @@ TEST(CommitPath, SecondWireSeesFirst) {
   EXPECT_GT(second->size(), first->size());
 }
 
+TEST(MazeRouteWindow, UncongestedWindowedPathMatchesFullSearch) {
+  GridGraph grid(32, 32, 1.0, 0.0, 0.0, 4.0);
+  MazeOptions windowed;
+  windowed.window_margin_bins = 2;
+  const auto narrow = maze_route(grid, {3, 5}, {20, 17}, windowed);
+  const auto full = maze_route(grid, {3, 5}, {20, 17}, {});
+  ASSERT_TRUE(narrow.has_value());
+  ASSERT_TRUE(full.has_value());
+  // Uncongested A* finds a Manhattan-optimal path either way.
+  EXPECT_EQ(narrow->size(), full->size());
+}
+
+TEST(MazeRouteWindow, FallsBackToFullGridWhenDetourLeavesWindow) {
+  // Wall off rows 0..3 except the top row: the detour must climb far
+  // above the source/target row, outside a margin-1 window.
+  GridGraph grid(8, 6, 1.0, 0.0, 0.0, 1.0);
+  for (std::size_t iy = 0; iy < 5; ++iy) grid.add_h_usage(3, iy, 1.0);
+  MazeOptions windowed;
+  windowed.window_margin_bins = 1;
+  const auto path = maze_route(grid, {0, 0}, {7, 0}, windowed);
+  ASSERT_TRUE(path.has_value());
+  bool used_top = false;
+  for (const auto& bin : *path) used_top = used_top || bin.iy == 5;
+  EXPECT_TRUE(used_top);
+}
+
+TEST(MazeRouteWindow, UnroutableBehavesExactlyAsFullSearch) {
+  // A fully blocked column separates source and target: both engines must
+  // report no path.
+  GridGraph grid(6, 4, 1.0, 0.0, 0.0, 1.0);
+  for (std::size_t iy = 0; iy < 4; ++iy) grid.add_h_usage(2, iy, 1.0);
+  MazeOptions windowed;
+  windowed.window_margin_bins = 1;
+  EXPECT_FALSE(maze_route(grid, {0, 1}, {5, 1}, windowed).has_value());
+  EXPECT_FALSE(maze_route(grid, {0, 1}, {5, 1}, {}).has_value());
+}
+
+TEST(MazeRouteWindow, HugeMarginSaturatesToFullGrid) {
+  GridGraph grid(10, 10, 1.0, 0.0, 0.0, 2.0);
+  MazeOptions windowed;
+  windowed.window_margin_bins = static_cast<std::size_t>(-2);  // near-max
+  const auto path = maze_route(grid, {1, 1}, {8, 8}, windowed);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 15u);  // Manhattan-optimal
+}
+
 }  // namespace
 }  // namespace autoncs::route

@@ -34,6 +34,7 @@
 #include "nn/stats.hpp"
 #include "nn/testbench.hpp"
 #include "util/heatmap.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -90,6 +91,8 @@ int usage() {
                "[--threads T] [--layout]\n"
                "               [--trace trace.json] [--metrics metrics.jsonl] "
                "[--manifest run.json]\n"
+               "  autoncs validate-json FILE... [--jsonl]   strict JSON (or "
+               "JSONL) artifact check\n"
                "common options:\n"
                "  --log-level debug|info|warn|error|off   stderr verbosity "
                "(default warn)\n"
@@ -166,6 +169,54 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
+// Validates each FILE as one complete JSON value — or, with --jsonl, as one
+// JSON value per nonempty line (the metrics artifact format). Exit 0 iff
+// every file passes; CI uses this to gate the bench/telemetry artifacts.
+int cmd_validate_json(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const bool jsonl = args.has("jsonl");
+  bool ok = true;
+  for (const std::string& path : args.positional) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "validate-json: cannot read %s\n", path.c_str());
+      ok = false;
+      continue;
+    }
+    std::string text;
+    char buffer[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+      text.append(buffer, got);
+    }
+    std::fclose(f);
+    bool file_ok = true;
+    if (jsonl) {
+      std::size_t line_no = 0;
+      std::size_t begin = 0;
+      while (begin <= text.size()) {
+        std::size_t end = text.find('\n', begin);
+        if (end == std::string::npos) end = text.size();
+        const std::string line = text.substr(begin, end - begin);
+        ++line_no;
+        if (line.find_first_not_of(" \t\r") != std::string::npos &&
+            !util::json_valid(line)) {
+          std::fprintf(stderr, "validate-json: %s:%zu: invalid JSON\n",
+                       path.c_str(), line_no);
+          file_ok = false;
+        }
+        begin = end + 1;
+      }
+    } else if (!util::json_valid(text)) {
+      std::fprintf(stderr, "validate-json: %s: invalid JSON\n", path.c_str());
+      file_ok = false;
+    }
+    if (file_ok) std::printf("%s: ok\n", path.c_str());
+    ok = ok && file_ok;
+  }
+  return ok ? 0 : 1;
+}
+
 int cmd_flow(const Args& args) {
   if (args.positional.empty()) return usage();
   const auto network = nn::load_network(args.positional[0]);
@@ -232,5 +283,6 @@ int main(int argc, char** argv) {
   if (command == "generate") return cmd_generate(args);
   if (command == "info") return cmd_info(args);
   if (command == "flow") return cmd_flow(args);
+  if (command == "validate-json") return cmd_validate_json(args);
   return usage();
 }
