@@ -5,6 +5,8 @@
 
 #include <cstdint>
 
+#include "autoncs/checkpoint.hpp"
+#include "autoncs/recovery.hpp"
 #include "autoncs/telemetry.hpp"
 #include "clustering/isc.hpp"
 #include "place/placer.hpp"
@@ -47,6 +49,15 @@ struct FlowConfig {
   /// relaxed atomic load, and outputs are bit-identical either way (see
   /// docs/observability.md).
   TelemetryOptions telemetry{};
+
+  /// Per-stage wall-clock budgets (docs/robustness.md). All zero by
+  /// default: no stage consults the clock and results are bit-identical
+  /// to a budget-free build. Filled into the per-stage wall_budget_ms
+  /// options by the pipeline unless those are set (nonzero) themselves.
+  StageBudget stage_budget{};
+
+  /// Checkpoint/resume policy (docs/robustness.md). Empty dir = off.
+  CheckpointOptions checkpoint{};
 };
 
 }  // namespace autoncs

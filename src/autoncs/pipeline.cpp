@@ -1,10 +1,15 @@
 #include "autoncs/pipeline.hpp"
 
+#include <utility>
+
+#include "autoncs/checkpoint.hpp"
+#include "autoncs/recovery.hpp"
 #include "autoncs/telemetry.hpp"
 #include "mapping/fullcro.hpp"
 #include "netlist/builder.hpp"
 #include "place/refine.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -13,48 +18,92 @@
 
 namespace autoncs {
 
-FlowResult run_physical_design(mapping::HybridMapping mapping,
-                               const FlowConfig& config) {
+namespace {
+
+/// Shared physical back end. `restored` carries a loaded placement
+/// checkpoint (positions + report; its mapping member has already been
+/// moved into `mapping`): the placement stage is skipped and the saved
+/// coordinates are applied to the freshly rebuilt netlist instead.
+FlowResult physical_design(mapping::HybridMapping mapping,
+                           const FlowConfig& config,
+                           const checkpoint::PlacementState* restored) {
   util::WallTimer stage;
   FlowResult result;
   result.mapping = std::move(mapping);
+  if (AUTONCS_FAULT_POINT("flow.bad_alloc"))
+    throw util::ResourceError("resource.bad_alloc", "flow",
+                              "injected allocation failure while building "
+                              "the netlist");
   {
     AUTONCS_TRACE_SCOPE("flow/netlist");
     result.netlist = netlist::build_netlist(result.mapping, config.tech);
   }
+  recovery::check_netlist_finite(result.netlist, "netlist");
   result.timings.netlist_ms = stage.elapsed_ms();
 
-  place::PlacerOptions placer = config.placer;
-  placer.seed = config.seed;
-  if (placer.threads == 0) placer.threads = config.threads;
-  // Keep the legalizer's notion of routing space in sync with the placer.
-  placer.legalizer.omega = placer.omega;
   stage.restart();
-  {
-    AUTONCS_TRACE_SCOPE("flow/place");
-    result.placement = place::place(result.netlist, placer);
+  if (restored != nullptr) {
+    // The netlist builder is deterministic given the mapping, so the saved
+    // positions apply index-for-index; a count mismatch means the
+    // checkpoint does not belong to this mapping.
+    if (restored->x.size() != result.netlist.cells.size())
+      throw util::InputError(
+          "input.checkpoint", "flow",
+          "placement checkpoint position count does not match the netlist");
+    for (std::size_t i = 0; i < result.netlist.cells.size(); ++i) {
+      result.netlist.cells[i].x = restored->x[i];
+      result.netlist.cells[i].y = restored->y[i];
+    }
+    result.placement = restored->report;
+    result.resumed = true;
+  } else {
+    place::PlacerOptions placer = config.placer;
+    placer.seed = config.seed;
+    if (placer.threads == 0) placer.threads = config.threads;
+    if (placer.wall_budget_ms == 0.0)
+      placer.wall_budget_ms = config.stage_budget.placement_ms;
+    placer.recovery = &result.recovery;
+    // Keep the legalizer's notion of routing space in sync with the placer.
+    placer.legalizer.omega = placer.omega;
+    {
+      AUTONCS_TRACE_SCOPE("flow/place");
+      result.placement = place::place(result.netlist, placer);
 
-    if (config.refine_placement) {
-      AUTONCS_TRACE_SCOPE("place/refine");
-      place::RefineOptions refine;
-      refine.omega = placer.omega;
-      place::refine_placement(result.netlist, refine);
-      // The die box may have tightened; re-derive the area from the refined
-      // positions.
-      result.placement.die =
-          place::placement_bounding_box(result.netlist, placer.omega);
-      result.placement.area_um2 = result.placement.die.area();
+      if (config.refine_placement) {
+        AUTONCS_TRACE_SCOPE("place/refine");
+        place::RefineOptions refine;
+        refine.omega = placer.omega;
+        place::refine_placement(result.netlist, refine);
+        // The die box may have tightened; re-derive the area from the
+        // refined positions.
+        result.placement.die =
+            place::placement_bounding_box(result.netlist, placer.omega);
+        result.placement.area_um2 = result.placement.die.area();
+      }
     }
   }
+  recovery::check_netlist_finite(result.netlist, "placement");
   result.timings.placement_ms = stage.elapsed_ms();
+
+  if (!config.checkpoint.dir.empty() && restored == nullptr) {
+    checkpoint::save_placement(config.checkpoint.dir, config, result.mapping,
+                               result.netlist, result.placement);
+  }
+  if (AUTONCS_FAULT_POINT("flow.crash_after_placement"))
+    throw util::InternalError("internal.injected_crash", "flow",
+                              "injected crash between placement and routing");
 
   route::RouterOptions router = config.router;
   if (router.threads == 0) router.threads = config.threads;
+  if (router.wall_budget_ms == 0.0)
+    router.wall_budget_ms = config.stage_budget.routing_ms;
+  router.recovery = &result.recovery;
   stage.restart();
   {
     AUTONCS_TRACE_SCOPE("flow/route");
     result.routing = route::route(result.netlist, router, config.tech);
   }
+  recovery::check_routing_finite(result.routing);
   result.timings.routing_ms = stage.elapsed_ms();
   result.timings.total_ms = result.timings.netlist_ms +
                             result.timings.placement_ms +
@@ -63,6 +112,8 @@ FlowResult run_physical_design(mapping::HybridMapping mapping,
   result.cost.total_wirelength_um = result.routing.total_wirelength_um;
   result.cost.area_um2 = result.placement.area_um2;
   result.cost.average_delay_ns = result.routing.average_delay_ns;
+  result.degraded = result.placement.degraded || result.routing.degraded ||
+                    result.recovery.degraded();
   if (util::metrics_enabled()) {
     util::metric_gauge("cost/wirelength_um", result.cost.total_wirelength_um);
     util::metric_gauge("cost/area_um2", result.cost.area_um2);
@@ -73,10 +124,21 @@ FlowResult run_physical_design(mapping::HybridMapping mapping,
   return result;
 }
 
+}  // namespace
+
+FlowResult run_physical_design(mapping::HybridMapping mapping,
+                               const FlowConfig& config) {
+  return physical_design(std::move(mapping), config, nullptr);
+}
+
 clustering::IscResult run_isc(const nn::ConnectionMatrix& network,
-                              const FlowConfig& config) {
+                              const FlowConfig& config,
+                              util::RecoveryLog* recovery) {
   clustering::IscOptions isc = config.isc;
   if (isc.threads == 0) isc.threads = config.threads;
+  if (isc.wall_budget_ms == 0.0)
+    isc.wall_budget_ms = config.stage_budget.clustering_ms;
+  if (isc.recovery == nullptr) isc.recovery = recovery;
   if (config.derive_threshold_from_baseline) {
     isc.utilization_threshold = mapping::fullcro_utilization_threshold(
         network, {config.baseline_crossbar_size, true});
@@ -94,10 +156,35 @@ FlowResult run_autoncs(const nn::ConnectionMatrix& network,
   telemetry::Session session(config.telemetry);
   util::MetricPrefix prefix("autoncs");
   AUTONCS_TRACE_SCOPE("flow/autoncs");
+
+  if (config.checkpoint.resume && !config.checkpoint.dir.empty()) {
+    if (auto placed = checkpoint::load_placement(config.checkpoint.dir,
+                                                 config)) {
+      // physical_design only reads positions + report from the restored
+      // state; the mapping member is handed over separately.
+      mapping::HybridMapping restored_mapping = std::move(placed->mapping);
+      FlowResult result =
+          physical_design(std::move(restored_mapping), config, &*placed);
+      telemetry::Session::record_manifest(config, result, "autoncs");
+      return result;
+    }
+    if (auto restored =
+            checkpoint::load_clustering(config.checkpoint.dir, config)) {
+      FlowResult result = physical_design(std::move(*restored), config,
+                                          nullptr);
+      result.resumed = true;
+      telemetry::Session::record_manifest(config, result, "autoncs");
+      return result;
+    }
+    // Neither checkpoint was usable; load_* already logged why. Fall
+    // through to the full run.
+  }
+
   util::WallTimer stage;
+  util::RecoveryLog clustering_log;
   clustering::IscResult isc = [&] {
     AUTONCS_TRACE_SCOPE("flow/clustering");
-    return run_isc(network, config);
+    return run_isc(network, config, &clustering_log);
   }();
   mapping::HybridMapping hybrid =
       mapping::mapping_from_isc(isc, network.size());
@@ -105,13 +192,21 @@ FlowResult run_autoncs(const nn::ConnectionMatrix& network,
   AUTONCS_CHECK(error.empty(), "AutoNCS mapping invalid: " + error);
   const double clustering_ms = stage.elapsed_ms();
 
-  FlowResult result = run_physical_design(std::move(hybrid), config);
+  if (!config.checkpoint.dir.empty())
+    checkpoint::save_clustering(config.checkpoint.dir, config, hybrid);
+
+  FlowResult result = physical_design(std::move(hybrid), config, nullptr);
   result.timings.clustering_ms = clustering_ms;
   result.timings.clustering_embedding_ms = isc.timings.embedding_ms;
   result.timings.clustering_kmeans_ms = isc.timings.kmeans_ms;
   result.timings.clustering_packing_ms = isc.timings.packing_ms;
   result.isc = std::move(isc);
   result.timings.total_ms += clustering_ms;
+  // Clustering ran first; its ladder events belong before the back end's.
+  util::RecoveryLog combined = std::move(clustering_log);
+  combined.merge(result.recovery);
+  result.recovery = std::move(combined);
+  if (result.recovery.degraded()) result.degraded = true;
   telemetry::Session::record_manifest(config, result, "autoncs");
   return result;
 }
@@ -125,7 +220,12 @@ FlowResult run_fullcro(const nn::ConnectionMatrix& network,
       network, {config.baseline_crossbar_size, true});
   const std::string error = mapping::validate_mapping(baseline, network);
   AUTONCS_CHECK(error.empty(), "FullCro mapping invalid: " + error);
-  FlowResult result = run_physical_design(std::move(baseline), config);
+  // The baseline shares the back end's guards and budgets but not the
+  // checkpoint files — they hold AutoNCS state.
+  FlowConfig baseline_config = config;
+  baseline_config.checkpoint = {};
+  FlowResult result =
+      physical_design(std::move(baseline), baseline_config, nullptr);
   telemetry::Session::record_manifest(config, result, "fullcro");
   return result;
 }

@@ -16,6 +16,7 @@
 #include "place/placer.hpp"
 #include "route/router.hpp"
 #include "tech/cost.hpp"
+#include "util/error.hpp"
 
 namespace autoncs {
 
@@ -45,15 +46,35 @@ struct FlowResult {
   route::RoutingResult routing;
   tech::PhysicalCost cost;
   StageTimings timings;
+
+  // --- robustness reporting (docs/robustness.md) ---
+  /// Recovery-ladder events from every stage, in execution order
+  /// (clustering first). Empty on the clean path.
+  util::RecoveryLog recovery;
+  /// True when any stage returned a non-clean-path result (ladder rung
+  /// that alters the result, budget exhaustion, partial routing). The
+  /// result is still complete and valid — just not bit-identical to an
+  /// unperturbed run.
+  bool degraded = false;
+  /// True when the run restarted from a checkpoint instead of recomputing
+  /// the stages before it.
+  bool resumed = false;
 };
 
 /// Runs the physical back end (netlist build, place, route, cost) on an
-/// existing mapping. Shared by both flows.
+/// existing mapping. Shared by both flows. Throws util::NumericalError
+/// when a non-finite value crosses a stage boundary after every in-stage
+/// recovery rung was exhausted (see docs/robustness.md).
 FlowResult run_physical_design(mapping::HybridMapping mapping,
                                const FlowConfig& config);
 
 /// Full AutoNCS flow on `network`. Throws CheckError if the produced
-/// mapping fails validation against the network (internal invariant).
+/// mapping fails validation against the network (internal invariant) and
+/// util::FlowError subtypes for runtime failures past every recovery rung.
+/// With config.checkpoint set, saves restart points after clustering and
+/// placement, and — when checkpoint.resume is true — restarts from the
+/// furthest compatible one (result.resumed), reproducing the original
+/// run's outputs bit-exactly.
 FlowResult run_autoncs(const nn::ConnectionMatrix& network,
                        const FlowConfig& config = {});
 
@@ -62,8 +83,10 @@ FlowResult run_fullcro(const nn::ConnectionMatrix& network,
                        const FlowConfig& config = {});
 
 /// Clustering front end only (no physical design) — used by the figure
-/// benches that analyze ISC behaviour.
+/// benches that analyze ISC behaviour. `recovery` optionally collects the
+/// embedding ladder / budget events (run_autoncs passes the flow log).
 clustering::IscResult run_isc(const nn::ConnectionMatrix& network,
-                              const FlowConfig& config = {});
+                              const FlowConfig& config = {},
+                              util::RecoveryLog* recovery = nullptr);
 
 }  // namespace autoncs

@@ -1,0 +1,49 @@
+#include "autoncs/recovery.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace autoncs::recovery {
+
+namespace {
+
+[[noreturn]] void fail(const char* code, const char* stage,
+                       const std::string& what) {
+  throw util::NumericalError(code, stage, what);
+}
+
+}  // namespace
+
+void check_netlist_finite(const netlist::Netlist& netlist, const char* stage) {
+  for (std::size_t i = 0; i < netlist.cells.size(); ++i) {
+    const netlist::Cell& cell = netlist.cells[i];
+    if (!std::isfinite(cell.x) || !std::isfinite(cell.y) ||
+        !std::isfinite(cell.width) || !std::isfinite(cell.height))
+      fail("numerical.netlist", stage,
+           "non-finite geometry on cell " + std::to_string(i));
+  }
+  for (std::size_t w = 0; w < netlist.wires.size(); ++w) {
+    const netlist::Wire& wire = netlist.wires[w];
+    if (!std::isfinite(wire.weight) || !std::isfinite(wire.device_delay_ns))
+      fail("numerical.netlist", stage,
+           "non-finite weight/delay on wire " + std::to_string(w));
+  }
+}
+
+void check_routing_finite(const route::RoutingResult& routing) {
+  if (!std::isfinite(routing.total_wirelength_um) ||
+      !std::isfinite(routing.average_delay_ns) ||
+      !std::isfinite(routing.max_delay_ns) ||
+      !std::isfinite(routing.total_overflow) ||
+      !std::isfinite(routing.peak_congestion))
+    fail("numerical.routing", "routing",
+         "non-finite routing aggregate (wirelength/delay/overflow)");
+  for (const route::RoutedWire& wire : routing.wires) {
+    if (!std::isfinite(wire.length_um) || !std::isfinite(wire.delay_ns))
+      fail("numerical.routing", "routing",
+           "non-finite length/delay on wire " +
+               std::to_string(wire.wire_index));
+  }
+}
+
+}  // namespace autoncs::recovery

@@ -45,8 +45,8 @@ const char* solver_name(clustering::EmbeddingSolver solver) {
   return "unknown";
 }
 
-void write_config(util::JsonWriter& w, const FlowConfig& config) {
-  w.key("config").begin_object();
+void write_config_object(util::JsonWriter& w, const FlowConfig& config) {
+  w.begin_object();
 
   w.key("isc").begin_object();
   w.key("crossbar_sizes").begin_array();
@@ -119,6 +119,12 @@ void write_config(util::JsonWriter& w, const FlowConfig& config) {
       .field("delta", config.cost_weights.delta);
   w.end_object();
 
+  w.key("stage_budget_ms").begin_object();
+  w.field("clustering", config.stage_budget.clustering_ms)
+      .field("placement", config.stage_budget.placement_ms)
+      .field("routing", config.stage_budget.routing_ms);
+  w.end_object();
+
   w.end_object();  // config
 }
 
@@ -144,7 +150,8 @@ void write_result(util::JsonWriter& w, const FlowConfig& config,
     w.field("iterations", result.isc->iterations.size())
         .field("outliers", result.isc->outliers.size())
         .field("outlier_ratio", result.isc->outlier_ratio())
-        .field("total_connections", result.isc->total_connections);
+        .field("total_connections", result.isc->total_connections)
+        .field("budget_exhausted", result.isc->budget_exhausted);
     w.end_object();
   }
   w.key("placement").begin_object();
@@ -162,7 +169,9 @@ void write_result(util::JsonWriter& w, const FlowConfig& config,
       .field("cg_gradient_evals", result.placement.cg_gradient_evals_total)
       .field("density_grid_builds", result.placement.density_grid_builds_total)
       .field("density_grid_reallocations",
-             result.placement.density_grid_reallocations);
+             result.placement.density_grid_reallocations)
+      .field("budget_exhausted", result.placement.budget_exhausted)
+      .field("degraded", result.placement.degraded);
   w.end_object();
   w.key("routing").begin_object();
   w.field("wirelength_um", result.routing.total_wirelength_um)
@@ -178,7 +187,11 @@ void write_result(util::JsonWriter& w, const FlowConfig& config,
       .field("maze_invocations", result.routing.maze_invocations)
       .field("waves", result.routing.waves)
       .field("reroute_passes", result.routing.reroute_stats.size())
-      .field("threads_used", result.routing.threads_used);
+      .field("threads_used", result.routing.threads_used)
+      .field("segments_failed", result.routing.segments_failed)
+      .field("failed_wires", result.routing.failed_wires.size())
+      .field("budget_exhausted", result.routing.budget_exhausted)
+      .field("degraded", result.routing.degraded);
   w.end_object();
   w.key("cost").begin_object();
   w.field("total_wirelength_um", result.cost.total_wirelength_um)
@@ -208,19 +221,57 @@ std::string derived_manifest_path(const TelemetryOptions& options) {
 
 }  // namespace
 
+std::string flow_config_json(const FlowConfig& config) {
+  util::JsonWriter w;
+  write_config_object(w, config);
+  return w.str();
+}
+
 std::string run_manifest_json(const FlowConfig& config,
                               const FlowResult& result,
                               const std::string& flow_name) {
   util::JsonWriter w;
   w.begin_object();
-  w.field("schema", "autoncs-run-manifest/1")
+  w.field("schema", "autoncs-run-manifest/2")
       .field("flow", flow_name)
       .field("build_type", AUTONCS_BUILD_TYPE)
       .field("seed", config.seed)
       .field("threads_configured", config.threads)
-      .field("threads_used", result.routing.threads_used);
-  write_config(w, config);
+      .field("threads_used", result.routing.threads_used)
+      .field("status", result.degraded ? "degraded" : "ok")
+      .field("degraded", result.degraded)
+      .field("resumed", result.resumed)
+      .field("error_code", result.recovery.first_degraded_code());
+  w.key("recovery").begin_array();
+  for (const util::RecoveryEvent& event : result.recovery.events()) {
+    w.begin_object();
+    w.field("stage", event.stage)
+        .field("point", event.point)
+        .field("action", event.action)
+        .field("recovered", event.recovered)
+        .field("alters_result", event.alters_result)
+        .field("detail", event.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("config");
+  write_config_object(w, config);
   write_result(w, config, result);
+  w.end_object();
+  return w.str();
+}
+
+std::string run_error_manifest_json(const util::FlowError& error) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "autoncs-run-manifest/2")
+      .field("build_type", AUTONCS_BUILD_TYPE)
+      .field("status", "error")
+      .field("error_category", util::error_category_name(error.category()))
+      .field("error_code", error.code())
+      .field("error_stage", error.stage())
+      .field("exit_code", static_cast<long long>(error.exit_code()))
+      .field("message", std::string(error.what()));
   w.end_object();
   return w.str();
 }
@@ -264,6 +315,11 @@ void Session::record_manifest(const FlowConfig& config,
                               const std::string& flow_name) {
   if (g_active == nullptr || !g_active->manifest_json_.empty()) return;
   g_active->manifest_json_ = run_manifest_json(config, result, flow_name);
+}
+
+void Session::record_error(const util::FlowError& error) {
+  if (g_active == nullptr || !g_active->manifest_json_.empty()) return;
+  g_active->manifest_json_ = run_error_manifest_json(error);
 }
 
 Session* Session::active() { return g_active; }

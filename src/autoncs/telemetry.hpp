@@ -18,6 +18,8 @@
 
 #include <string>
 
+#include "util/error.hpp"
+
 namespace autoncs {
 
 struct FlowConfig;
@@ -43,6 +45,13 @@ struct TelemetryOptions {
 
 namespace telemetry {
 
+/// Canonical JSON of the full FlowConfig — the "config" object of the run
+/// manifest. Also serves as the checkpoint compatibility stamp: the
+/// checkpoint layer hashes this string, so any option that can change the
+/// flow's results invalidates stale checkpoints. Telemetry and checkpoint
+/// paths are deliberately excluded (they never affect results).
+std::string flow_config_json(const FlowConfig& config);
+
 /// Renders the run manifest for one completed flow as a JSON document:
 /// schema version, flow name, the full FlowConfig (every stage's options),
 /// build type, stage wall times, throughput counters and the final
@@ -50,6 +59,11 @@ namespace telemetry {
 std::string run_manifest_json(const FlowConfig& config,
                               const FlowResult& result,
                               const std::string& flow_name);
+
+/// Renders the error manifest of a flow that died with a typed FlowError
+/// (status "error", category/code/stage, the exit code the CLI will
+/// return, and the message). Same schema version as the success manifest.
+std::string run_error_manifest_json(const util::FlowError& error);
 
 /// RAII telemetry session (see the ownership model above). Constructing
 /// with options.any() == false, or while another session is active, yields
@@ -70,6 +84,12 @@ class Session {
   static void record_manifest(const FlowConfig& config,
                               const FlowResult& result,
                               const std::string& flow_name);
+
+  /// Records an ERROR manifest for a flow that died with a typed error:
+  /// schema, error category/code/stage, exit code and message — so scripts
+  /// can triage a failed run from its artifacts alone. First record wins
+  /// (a flow that completed before a later one failed keeps its manifest).
+  static void record_error(const util::FlowError& error);
 
   /// The currently owning session, or nullptr.
   static Session* active();

@@ -1,7 +1,9 @@
 #include "clustering/embedding.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <string>
 
 #include "linalg/lanczos.hpp"
 #include "util/rng.hpp"
@@ -44,20 +46,72 @@ linalg::EigenDecomposition spectral_embedding(const nn::ConnectionMatrix& networ
   if (use_lanczos) {
     linalg::LanczosOptions lanczos;
     lanczos.pool = options.pool;
-    // The embedding feeds k-means geometry, where the tie-breaking jitter
-    // below is already 1e-7 of the coordinate scale — residuals tighter
-    // than that buy nothing but Lanczos iterations.
-    lanczos.tolerance = 1e-7;
-    // Krylov-space budget. The leading (community) eigenvalues converge in
-    // a few block steps, but the trailing requested pairs sit in the bulk
-    // of the Laplacian spectrum where gaps vanish and residual-driven
-    // Lanczos would grind toward a basis of size n — reintroducing the
-    // dense cost. A 4k-dimensional space pins the subspace geometry
-    // k-means consumes; the solver library default stays exact.
-    lanczos.max_iterations = std::max<std::size_t>(4 * k, 64);
-    lanczos.stats = options.lanczos_stats;
-    embedding = linalg::sparse_laplacian_embedding(network.symmetrized_sparse(),
-                                                   k, {}, lanczos);
+    lanczos.tolerance = options.lanczos_tolerance;
+    lanczos.max_iterations = options.lanczos_max_iterations != 0
+                                 ? options.lanczos_max_iterations
+                                 : std::max<std::size_t>(4 * k, 64);
+    linalg::LanczosStats stats;
+    lanczos.stats = &stats;
+    const linalg::SparseMatrix similarity = network.symmetrized_sparse();
+
+    // A solve is healthy when its output is finite AND it either met the
+    // tolerance or genuinely spent the whole Krylov budget (the advisory
+    // 4k budget is EXPECTED to truncate; see lanczos_max_iterations). A
+    // basis smaller than the budget without convergence means the solve
+    // collapsed — unreachable on the clean path, so no clean run ever
+    // enters the ladder below. strict_convergence tightens "healthy" to
+    // the tolerance itself.
+    const auto healthy = [&](const linalg::EigenDecomposition& dec) {
+      for (std::size_t j = 0; j < dec.vectors.cols(); ++j)
+        for (std::size_t i = 0; i < dec.vectors.rows(); ++i)
+          if (!std::isfinite(dec.vectors(i, j))) return false;
+      for (double v : dec.values)
+        if (!std::isfinite(v)) return false;
+      if (stats.converged) return true;
+      if (options.strict_convergence) return false;
+      return stats.basis_size >= std::min(n, lanczos.max_iterations);
+    };
+    const auto record = [&](const char* action, bool recovered,
+                            bool alters_result) {
+      if (options.recovery == nullptr) return;
+      options.recovery->record(
+          {"clustering", "lanczos.no_converge", action, recovered,
+           alters_result,
+           "basis " + std::to_string(stats.basis_size) + "/" +
+               std::to_string(std::min(n, lanczos.max_iterations)) +
+               (stats.converged ? ", converged" : ", not converged")});
+    };
+
+    embedding = linalg::sparse_laplacian_embedding(similarity, k, {}, lanczos);
+    if (!healthy(embedding)) {
+      // Rung 1: same-parameters retry. The solver is deterministic, so
+      // this only helps transient causes (a one-shot injected fault, a
+      // poisoned scratch state) — and when it does, the result is
+      // bit-identical to a clean run, hence alters_result = false.
+      stats = {};
+      embedding = linalg::sparse_laplacian_embedding(similarity, k, {}, lanczos);
+      if (healthy(embedding)) {
+        record("retry", true, false);
+      } else {
+        record("retry", false, false);
+        // Rung 2: 4x Krylov budget with the same tolerance — more fully
+        // reorthogonalized restarts, in the solver's terms.
+        stats = {};
+        lanczos.max_iterations = std::min(n, lanczos.max_iterations * 4);
+        embedding =
+            linalg::sparse_laplacian_embedding(similarity, k, {}, lanczos);
+        if (healthy(embedding)) {
+          record("budget_escalation", true, true);
+        } else {
+          record("budget_escalation", false, true);
+          // Rung 3: dense eigensolver — exact, O(n^3), always succeeds on
+          // finite input.
+          embedding = linalg::laplacian_embedding(network.symmetrized_dense());
+          record("dense_fallback", true, true);
+        }
+      }
+    }
+    if (options.lanczos_stats != nullptr) *options.lanczos_stats = stats;
   } else {
     // Similarity = number of connections between two neurons (0, 1 or 2
     // directed connections collapse to one undirected edge of weight 1;

@@ -254,9 +254,24 @@ IscResult iterative_spectral_clustering(const nn::ConnectionMatrix& network,
   // sample per convergence check, concatenated over iterations).
   std::size_t residual_check_index = 0;
 
+  const auto budget_start = Clock::now();
   for (std::size_t iteration = 1;
        iteration <= options.max_iterations && remaining.connection_count() > 0;
        ++iteration) {
+    if (options.wall_budget_ms > 0.0 &&
+        elapsed_ms(budget_start) >= options.wall_budget_ms) {
+      // Budget exhausted: stop clustering here. Everything still in R is
+      // realized with discrete synapses below — a valid, outlier-heavy
+      // mapping rather than a hung flow.
+      if (options.recovery != nullptr)
+        options.recovery->record(
+            {"clustering", "isc.wall_budget", "budget_exhausted", true, true,
+             "stopped before iteration " + std::to_string(iteration) + ", " +
+                 std::to_string(remaining.connection_count()) +
+                 " connections left to outliers"});
+      result.budget_exhausted = true;
+      break;
+    }
     AUTONCS_TRACE_SCOPE("isc/iteration", "iter",
                         static_cast<std::int64_t>(iteration));
     // Line 3: cluster R with GCP, size capped at max(S). Only the active
@@ -276,6 +291,7 @@ IscResult iterative_spectral_clustering(const nn::ConnectionMatrix& network,
     embed.solver = options.embedding_solver;
     embed.dense_fallback_n = options.dense_fallback_n;
     embed.pool = &pool;
+    embed.recovery = options.recovery;
     const std::size_t base_k = (active.size() + max_size - 1) / max_size;
     embed.max_vectors = std::min(active.size(), 2 * base_k + 16);
 

@@ -80,6 +80,15 @@ struct IscOptions {
   /// and the sparse block-Lanczos path above that.
   EmbeddingSolver embedding_solver = EmbeddingSolver::kAuto;
   std::size_t dense_fallback_n = 512;
+  /// Wall-clock budget for the ISC iteration loop in milliseconds; 0 =
+  /// unlimited (clean runs never consult the clock). On exhaustion the
+  /// loop stops before its next iteration and every remaining connection
+  /// is realized with discrete synapses — a valid (if outlier-heavy)
+  /// mapping flagged budget_exhausted.
+  double wall_budget_ms = 0.0;
+  /// Optional recovery-event sink (embedding ladder, budget exhaustion).
+  /// Null runs the identical ladder silently.
+  util::RecoveryLog* recovery = nullptr;
 };
 
 /// Wall-clock breakdown of the clustering front end, accumulated over all
@@ -118,6 +127,9 @@ struct IscResult {
   /// Pool size the run actually used (informational — results never
   /// depend on it).
   std::size_t threads_used = 1;
+  /// True when IscOptions::wall_budget_ms stopped the iteration loop early
+  /// (the leftover connections were realized as outliers).
+  bool budget_exhausted = false;
 
   std::size_t clustered_connections() const;
   double outlier_ratio() const;

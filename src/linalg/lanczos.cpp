@@ -5,6 +5,7 @@
 
 #include "linalg/matrix.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -144,8 +145,12 @@ EigenDecomposition lanczos_smallest(const SparseMatrix& a, std::size_t k,
   AUTONCS_CHECK(k >= 1 && k <= n, "lanczos requires 1 <= k <= n");
   util::ThreadPool* pool = options.pool;
 
-  const std::size_t cap = std::max(
+  std::size_t cap = std::max(
       k, options.max_iterations == 0 ? n : std::min(n, options.max_iterations));
+  // Injected non-convergence: collapse the budget to the bare k-vector
+  // basis, yielding a genuinely unconverged Rayleigh-Ritz answer that the
+  // caller's recovery ladder must detect and repair.
+  if (AUTONCS_FAULT_POINT("lanczos.no_converge")) cap = k;
 
   // Matrix scale for the dimensionless breakdown test.
   double scale = 0.0;
@@ -353,6 +358,7 @@ EigenDecomposition lanczos_smallest(const SparseMatrix& a, std::size_t k,
   const std::size_t m = basis.size();
   AUTONCS_CHECK(m >= k, "lanczos basis smaller than requested pair count");
   if (options.stats != nullptr) {
+    options.stats->converged = done;
     options.stats->basis_size = m;
     options.stats->matvecs = matvec_count;
   }

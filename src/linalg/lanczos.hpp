@@ -47,6 +47,11 @@ namespace autoncs::linalg {
 /// computation (the recorded estimates are recomputed from cached Gram
 /// matrices), so results are identical with or without a sink.
 struct LanczosStats {
+  /// True when the k requested pairs passed the residual test (or the basis
+  /// reached the full space, where Rayleigh-Ritz is exact). False means the
+  /// iteration budget ran out first — the returned pairs are best-effort
+  /// and callers should escalate (more iterations, or the dense solver).
+  bool converged = false;
   /// Final Krylov basis size m.
   std::size_t basis_size = 0;
   /// Sparse matvec invocations (one per basis vector appended).

@@ -1,16 +1,128 @@
 #include "nn/io.hpp"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
-#include <limits>
 #include <sstream>
+#include <vector>
 
 #include "util/check.hpp"
+#include "util/error.hpp"
 
 namespace autoncs::nn {
 
 namespace {
+
 constexpr const char* kMagic = "ncsnet";
 constexpr int kVersion = 1;
+constexpr const char* kStage = "io";
+
+/// Line-oriented reader that tracks position for `<source>:<line>` error
+/// context. Blank lines are skipped so hand-edited files stay loadable.
+class LineReader {
+ public:
+  LineReader(std::istream& in, std::string source)
+      : in_(in), source_(std::move(source)) {}
+
+  /// Next non-blank line; false at end of input.
+  bool next(std::string& line) {
+    while (std::getline(in_, line)) {
+      ++line_number_;
+      if (line.find_first_not_of(" \t\r") != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  std::string where() const {
+    return source_ + ":" + std::to_string(line_number_);
+  }
+
+ private:
+  std::istream& in_;
+  std::string source_;
+  std::size_t line_number_ = 0;
+};
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream iss(line);
+  std::string token;
+  while (iss >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+[[noreturn]] void fail(const std::string& code, const std::string& where,
+                       const std::string& what) {
+  throw util::InputError(code, kStage, where + ": " + what);
+}
+
+std::size_t parse_index(const std::string& token, const std::string& where) {
+  // Reject signs and anything strtoull would silently tolerate: an index
+  // is a plain decimal digit string.
+  if (token.empty() || token.find_first_not_of("0123456789") != std::string::npos)
+    fail("input.io.connection", where,
+         "expected a non-negative integer index, got '" + token + "'");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end == token.c_str() || *end != '\0')
+    fail("input.io.connection", where, "index '" + token + "' out of range");
+  return static_cast<std::size_t>(value);
+}
+
+double parse_weight(const std::string& token, const std::string& where) {
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0')
+    fail("input.io.weight", where, "malformed weight '" + token + "'");
+  if (!std::isfinite(value))
+    fail("input.io.weight", where, "non-finite weight '" + token + "'");
+  return value;
+}
+
+struct Header {
+  std::size_t n = 0;
+  std::size_t count = 0;
+};
+
+Header read_header(LineReader& reader, const std::string& source) {
+  std::string line;
+  if (!reader.next(line))
+    fail("input.io.truncated", source, "empty file, expected ncsnet header");
+  const auto tokens = split_tokens(line);
+  if (tokens.size() != 4)
+    fail("input.io.header", reader.where(),
+         "expected 'ncsnet <version> <n> <count>', got " +
+             std::to_string(tokens.size()) + " field(s)");
+  if (tokens[0] != kMagic)
+    fail("input.io.magic", reader.where(),
+         "bad magic '" + tokens[0] + "', expected '" + kMagic + "'");
+  if (tokens[1] != std::to_string(kVersion))
+    fail("input.io.version", reader.where(),
+         "unsupported format version '" + tokens[1] + "', expected " +
+             std::to_string(kVersion));
+  Header header;
+  header.n = parse_index(tokens[2], reader.where());
+  header.count = parse_index(tokens[3], reader.where());
+  // Edge-count sanity before any allocation sized from the header.
+  const long double possible = static_cast<long double>(header.n) *
+                               static_cast<long double>(header.n > 0 ? header.n - 1 : 0);
+  if (static_cast<long double>(header.count) > possible)
+    fail("input.io.count", reader.where(),
+         "connection count " + std::to_string(header.count) +
+             " exceeds the " + std::to_string(header.n) +
+             "-neuron maximum");
+  return header;
+}
+
+void check_no_trailing(LineReader& reader) {
+  std::string line;
+  if (reader.next(line))
+    fail("input.io.trailing", reader.where(),
+         "trailing content after the declared connection count: '" + line +
+             "'");
+}
+
 }  // namespace
 
 void write_network(const ConnectionMatrix& network, std::ostream& out) {
@@ -28,30 +140,106 @@ bool save_network(const ConnectionMatrix& network, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<ConnectionMatrix> read_network(std::istream& in) {
-  std::string magic;
-  int version = 0;
-  std::size_t n = 0;
-  std::size_t count = 0;
-  if (!(in >> magic >> version >> n >> count)) return std::nullopt;
-  if (magic != kMagic || version != kVersion) return std::nullopt;
-  ConnectionMatrix network(n);
-  for (std::size_t k = 0; k < count; ++k) {
-    std::size_t from = 0;
-    std::size_t to = 0;
-    if (!(in >> from >> to)) return std::nullopt;
-    if (from >= n || to >= n || from == to) return std::nullopt;
-    network.add(from, to);
-    // Optional trailing weight column: consume the rest of the line.
-    in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+ConnectionMatrix read_network_checked(std::istream& in,
+                                      const std::string& source) {
+  LineReader reader(in, source);
+  const Header header = read_header(reader, source);
+  ConnectionMatrix network(header.n);
+  std::string line;
+  for (std::size_t k = 0; k < header.count; ++k) {
+    if (!reader.next(line))
+      fail("input.io.truncated", source,
+           "file ends after " + std::to_string(k) + " of " +
+               std::to_string(header.count) + " connections");
+    const auto tokens = split_tokens(line);
+    if (tokens.size() != 2 && tokens.size() != 3)
+      fail("input.io.connection", reader.where(),
+           "expected '<from> <to> [weight]', got " +
+               std::to_string(tokens.size()) + " field(s)");
+    const std::size_t from = parse_index(tokens[0], reader.where());
+    const std::size_t to = parse_index(tokens[1], reader.where());
+    if (from >= header.n || to >= header.n)
+      fail("input.io.index", reader.where(),
+           "endpoint " + std::to_string(from >= header.n ? from : to) +
+               " out of range for a " + std::to_string(header.n) +
+               "-neuron network");
+    if (from == to)
+      fail("input.io.self_loop", reader.where(),
+           "self loop on neuron " + std::to_string(from));
+    if (tokens.size() == 3) parse_weight(tokens[2], reader.where());
+    if (!network.add(from, to))
+      fail("input.io.duplicate", reader.where(),
+           "duplicate connection " + std::to_string(from) + " -> " +
+               std::to_string(to));
   }
+  check_no_trailing(reader);
   return network;
 }
 
-std::optional<ConnectionMatrix> load_network(const std::string& path) {
+ConnectionMatrix load_network_checked(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
-  return read_network(in);
+  if (!in)
+    throw util::InputError("input.io.open", kStage,
+                           "cannot open '" + path + "' for reading");
+  return read_network_checked(in, path);
+}
+
+linalg::Matrix load_weights_checked(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw util::InputError("input.io.open", kStage,
+                           "cannot open '" + path + "' for reading");
+  LineReader reader(in, path);
+  const Header header = read_header(reader, path);
+  linalg::Matrix weights(header.n, header.n);
+  std::vector<std::uint8_t> seen(header.n * header.n, 0);
+  std::string line;
+  for (std::size_t k = 0; k < header.count; ++k) {
+    if (!reader.next(line))
+      fail("input.io.truncated", path,
+           "file ends after " + std::to_string(k) + " of " +
+               std::to_string(header.count) + " weights");
+    const auto tokens = split_tokens(line);
+    if (tokens.size() != 3)
+      fail("input.io.weight", reader.where(),
+           "expected '<from> <to> <weight>', got " +
+               std::to_string(tokens.size()) + " field(s)");
+    const std::size_t from = parse_index(tokens[0], reader.where());
+    const std::size_t to = parse_index(tokens[1], reader.where());
+    if (from >= header.n || to >= header.n)
+      fail("input.io.index", reader.where(),
+           "endpoint " + std::to_string(from >= header.n ? from : to) +
+               " out of range for a " + std::to_string(header.n) +
+               "-neuron matrix");
+    if (from == to)
+      fail("input.io.self_loop", reader.where(),
+           "self weight on neuron " + std::to_string(from));
+    std::uint8_t& mark = seen[from * header.n + to];
+    if (mark)
+      fail("input.io.duplicate", reader.where(),
+           "duplicate weight " + std::to_string(from) + " -> " +
+               std::to_string(to));
+    mark = 1;
+    weights(from, to) = parse_weight(tokens[2], reader.where());
+  }
+  check_no_trailing(reader);
+  return weights;
+}
+
+std::optional<ConnectionMatrix> read_network(std::istream& in) {
+  try {
+    return read_network_checked(in);
+  } catch (const util::InputError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<ConnectionMatrix> load_network(const std::string& path) {
+  try {
+    return load_network_checked(path);
+  } catch (const util::InputError&) {
+    return std::nullopt;
+  }
 }
 
 bool save_weights(const linalg::Matrix& weights, const std::string& path) {
@@ -74,24 +262,11 @@ bool save_weights(const linalg::Matrix& weights, const std::string& path) {
 }
 
 std::optional<linalg::Matrix> load_weights(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  std::string magic;
-  int version = 0;
-  std::size_t n = 0;
-  std::size_t count = 0;
-  if (!(in >> magic >> version >> n >> count)) return std::nullopt;
-  if (magic != kMagic || version != kVersion) return std::nullopt;
-  linalg::Matrix weights(n, n);
-  for (std::size_t k = 0; k < count; ++k) {
-    std::size_t from = 0;
-    std::size_t to = 0;
-    double w = 0.0;
-    if (!(in >> from >> to >> w)) return std::nullopt;
-    if (from >= n || to >= n) return std::nullopt;
-    weights(from, to) = w;
+  try {
+    return load_weights_checked(path);
+  } catch (const util::InputError&) {
+    return std::nullopt;
   }
-  return weights;
 }
 
 }  // namespace autoncs::nn

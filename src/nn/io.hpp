@@ -23,8 +23,21 @@ namespace autoncs::nn {
 bool save_network(const ConnectionMatrix& network, const std::string& path);
 void write_network(const ConnectionMatrix& network, std::ostream& out);
 
+/// Validating loaders. These are the real parsers: they reject bad magic or
+/// version, malformed headers, out-of-range or negative indices, self
+/// loops, duplicate edges, non-finite weights, truncated files, and
+/// trailing garbage, throwing util::InputError whose message carries
+/// `<source>:<line>` context. `source` labels the stream in diagnostics
+/// (a path for files).
+ConnectionMatrix read_network_checked(std::istream& in,
+                                      const std::string& source = "<stream>");
+ConnectionMatrix load_network_checked(const std::string& path);
+linalg::Matrix load_weights_checked(const std::string& path);
+
 /// Reads a topology written by save_network (weights, if present, are
-/// thresholded at nonzero). Returns nullopt on parse or I/O errors.
+/// thresholded at nonzero). Returns nullopt on parse or I/O errors —
+/// convenience wrappers over the checked loaders above for callers that
+/// do not care why a load failed.
 std::optional<ConnectionMatrix> load_network(const std::string& path);
 std::optional<ConnectionMatrix> read_network(std::istream& in);
 

@@ -15,6 +15,8 @@
 #include <functional>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace autoncs::place {
 
 struct CgOptions {
@@ -33,6 +35,13 @@ struct CgOptions {
   /// on acceptance. False restores the legacy gradient-on-every-trial
   /// engine (same iterates, more work) — used as the bench baseline.
   bool value_only_trials = true;
+  /// Damped steepest-descent restarts from the last finite iterate allowed
+  /// when the gradient goes non-finite, before the solver gives up and
+  /// returns best-so-far flagged degraded.
+  std::size_t max_recovery_restarts = 3;
+  /// Optional recovery-event sink for the numerical guards (transparent
+  /// retries, damped restarts). Null runs the identical guards silently.
+  util::RecoveryLog* recovery = nullptr;
 };
 
 struct CgResult {
@@ -47,6 +56,12 @@ struct CgResult {
   std::size_t value_evaluations = 0;
   /// Objective calls that also computed the gradient.
   std::size_t gradient_evaluations = 0;
+  /// Damped steepest-descent restarts taken after a non-finite gradient
+  /// survived its retry. Any restart alters the iterate sequence.
+  std::size_t recovery_restarts = 0;
+  /// True when the restart budget ran out and the solver returned its last
+  /// finite iterate early.
+  bool degraded = false;
 };
 
 /// Objective callback: returns f(x); when `gradient` is nonnull (resized
@@ -56,6 +71,16 @@ using Objective = std::function<double(const std::vector<double>& x,
                                        std::vector<double>* gradient)>;
 
 /// Minimizes `objective` starting from (and updating) `x`.
+///
+/// Numerical guards: a non-finite objective value or gradient is retried
+/// once at the same point (which repairs transient poisoning bit-identically
+/// — the objective is deterministic, so a genuine NaN just comes back and
+/// takes the next rung). Non-finite line-search trials are rejected like any
+/// failed Armijo trial; a non-finite gradient at an accepted point triggers
+/// a damped steepest-descent restart from the last finite iterate, up to
+/// CgOptions::max_recovery_restarts before returning best-so-far with
+/// `degraded` set. Throws util::NumericalError only when the STARTING point
+/// is non-finite even after retry — there is no finite iterate to return.
 CgResult minimize_cg(std::vector<double>& x, const Objective& objective,
                      const CgOptions& options = {});
 

@@ -1,6 +1,7 @@
 #include "place/placer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "util/check.hpp"
@@ -104,6 +105,7 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
   density_model.use_flat_grid = !options.legacy_evaluation;
   CgOptions cg_options = options.cg;
   if (options.legacy_evaluation) cg_options.value_only_trials = false;
+  cg_options.recovery = options.recovery;
   util::ThreadPool pool(options.threads);
   util::ThreadPool* pool_ptr = pool.size() > 1 ? &pool : nullptr;
 
@@ -117,6 +119,17 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
   if (lambda <= 0.0) lambda = 1.0;
 
   PlacementReport report;
+  const auto record = [&](const char* point, const char* action,
+                          bool recovered, bool alters_result,
+                          std::string detail) {
+    if (options.recovery != nullptr)
+      options.recovery->record({"placement", point, action, recovered,
+                                alters_result, std::move(detail)});
+  };
+  const auto budget_start = std::chrono::steady_clock::now();
+  // Snapshot of the last known-finite state, restored if an outer
+  // iteration ever produces a non-finite coordinate.
+  std::vector<double> finite_state = state;
   // Density + boundary gradient scratch, hoisted out of the objective so
   // the CG loop performs no per-evaluation allocation.
   std::vector<double> dgrad;
@@ -151,6 +164,27 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
       AUTONCS_TRACE_SCOPE("place/cg");
       return minimize_cg(state, objective, cg_options);
     }();
+    if (cg.degraded) report.degraded = true;
+    // Stage-boundary finite sweep: CG's own guards make a non-finite state
+    // unreachable from finite input, so this catches model-level poisoning
+    // before it reaches legalization. Revert to the last finite snapshot
+    // and stop with the best placement that exists.
+    bool state_finite = true;
+    for (double v : state)
+      if (!std::isfinite(v)) {
+        state_finite = false;
+        break;
+      }
+    if (!state_finite) {
+      state = finite_state;
+      record("placement.nonfinite_state", "revert", true, true,
+             "outer iteration " + std::to_string(outer + 1) +
+                 " produced non-finite coordinates; reverted to the last "
+                 "finite state");
+      report.degraded = true;
+      break;
+    }
+    finite_state = state;
     const double ratio = overlap_ratio(netlist, state, options.omega);
     util::LogLine(util::LogLevel::kInfo, "place")
         << "outer " << outer + 1 << ": lambda=" << lambda_now
@@ -190,6 +224,20 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
     report.lambda_final = lambda_now;
     report.overlap_ratio_before_legalization = ratio;
     if (ratio <= options.overlap_stop_ratio) break;
+    if (options.wall_budget_ms > 0.0) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - budget_start)
+              .count();
+      if (elapsed_ms >= options.wall_budget_ms) {
+        record("placement.wall_budget", "budget_exhausted", true, true,
+               "outer loop stopped after " + std::to_string(outer + 1) +
+                   " iterations, overlap " + std::to_string(ratio));
+        report.budget_exhausted = true;
+        report.degraded = true;
+        break;
+      }
+    }
     lambda *= options.lambda_growth;
   }
 

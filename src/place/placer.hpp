@@ -48,6 +48,15 @@ struct PlacerOptions {
   /// (the determinism test asserts it) — kept as the honest baseline for
   /// bench_perf_placer and for bisecting evaluation-engine regressions.
   bool legacy_evaluation = false;
+  /// Wall-clock budget for the outer penalty loop in milliseconds; 0 =
+  /// unlimited (the default — clean runs never consult the clock). When
+  /// the budget runs out the placer stops after the current outer
+  /// iteration, legalizes the best-so-far state and reports
+  /// budget_exhausted (a degraded but valid placement).
+  double wall_budget_ms = 0.0;
+  /// Optional recovery-event sink (CG numerical guards, budget exhaustion,
+  /// non-finite state reverts). Null runs the identical guards silently.
+  util::RecoveryLog* recovery = nullptr;
 };
 
 struct BoundingBox {
@@ -98,6 +107,12 @@ struct PlacementReport {
   std::size_t density_grid_builds_total = 0;
   /// Flat-grid rebuilds that had to grow a buffer (0 in steady state).
   std::size_t density_grid_reallocations = 0;
+  /// True when PlacerOptions::wall_budget_ms stopped the outer loop early.
+  bool budget_exhausted = false;
+  /// True when any recovery rung that alters the result fired (budget
+  /// exhaustion, CG restart exhaustion, non-finite state revert). The
+  /// placement is still valid and legalized — just not the clean-path one.
+  bool degraded = false;
 };
 
 /// Places `netlist` in-place (cell x/y updated) and reports the outcome.

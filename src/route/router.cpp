@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numeric>
+#include <string>
 
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -38,30 +41,41 @@ struct Attempt {
 /// Routes one segment with the paper's relaxation schedule: start at the
 /// configured limit factor, multiply by relax_factor on failure, and fall
 /// back to an unconstrained route (always succeeds on a connected grid)
-/// once max_relax_steps is exhausted.
+/// once max_relax_steps is exhausted. With strict_capacity the fallback is
+/// disabled and exhaustion returns an empty attempt (path == nullopt) for
+/// the caller to report as partial routing. `sabotage` (decided
+/// deterministically in sequential setup code by the router.force_overflow
+/// fault point) skips the constrained ladder as if every rung had failed.
 Attempt route_segment(const GridGraph& grid, BinRef source, BinRef target,
                       const RouterOptions& options, double history_weight,
-                      MazeWorkspace& workspace) {
+                      MazeWorkspace& workspace, bool sabotage = false) {
   Attempt out;
   MazeOptions maze{options.congestion_penalty, options.capacity_limit_factor,
                    history_weight, options.window_margin_bins};
-  for (std::size_t attempt = 0; attempt <= options.max_relax_steps; ++attempt) {
-    ++out.searches;
-    out.path = maze_route(grid, source, target, maze, workspace);
-    if (out.path) {
-      out.limit = maze.capacity_limit_factor * grid.edge_capacity();
-      out.relaxations = attempt;
-      return out;
+  if (!sabotage) {
+    for (std::size_t attempt = 0; attempt <= options.max_relax_steps;
+         ++attempt) {
+      ++out.searches;
+      out.path = maze_route(grid, source, target, maze, workspace);
+      if (out.path) {
+        out.limit = maze.capacity_limit_factor * grid.edge_capacity();
+        out.relaxations = attempt;
+        return out;
+      }
+      // Relax the virtual capacity for this wire and retry (Sec. 3.5).
+      maze.capacity_limit_factor *= options.relax_factor;
     }
-    // Relax the virtual capacity for this wire and retry (Sec. 3.5).
-    maze.capacity_limit_factor *= options.relax_factor;
+  }
+  out.relaxations = options.max_relax_steps + 1;
+  if (options.strict_capacity) {
+    out.path.reset();  // unroutable under the most-relaxed capacity
+    return out;
   }
   maze.capacity_limit_factor = std::numeric_limits<double>::infinity();
   ++out.searches;
   out.path = maze_route(grid, source, target, maze, workspace);
   AUTONCS_CHECK(out.path.has_value(), "unconstrained maze route failed");
   out.limit = std::numeric_limits<double>::infinity();
-  out.relaxations = options.max_relax_steps + 1;
   return out;
 }
 
@@ -198,6 +212,20 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
   std::vector<std::vector<BinRef>> segment_path(segments.size());
   std::vector<std::size_t> segment_relax(segments.size(), 0);
   std::vector<Attempt> attempts(segments.size());
+  // Strict-capacity failures (1 = unroutable after the full ladder) and
+  // fault-injected sabotage marks. Sabotage is decided below in sequential
+  // setup code so the fault hit order — and therefore which segments are
+  // hit — never depends on the thread count.
+  std::vector<std::uint8_t> segment_failed(segments.size(), 0);
+  std::vector<std::uint8_t> sabotaged(segments.size(), 0);
+  bool sabotage_fired = false;
+  const auto record = [&](const char* point, const char* action,
+                          bool recovered, bool alters_result,
+                          std::string detail) {
+    if (options.recovery != nullptr)
+      options.recovery->record({"routing", point, action, recovered,
+                                alters_result, std::move(detail)});
+  };
 
   // Wave engine: `pending` must be in canonical (ascending segment) order.
   const auto route_waves = [&](std::vector<std::size_t> pending,
@@ -220,7 +248,8 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
               const std::size_t s = pending[k];
               attempts[s] = route_segment(grid, seg_source[s], seg_target[s],
                                           options, history_weight,
-                                          workspaces[worker]);
+                                          workspaces[worker],
+                                          sabotaged[s] != 0);
             }
           });
       // Commit phase: sequential, in canonical order. Only clean
@@ -235,20 +264,29 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
       for (std::size_t s : pending) {
         Attempt& attempt = attempts[s];
         result.maze_invocations += attempt.searches;
-        if (attempt.relaxations == 0 &&
+        if (attempt.path && attempt.relaxations == 0 &&
             !path_blocked(grid, *attempt.path, attempt.limit)) {
           commit_path(grid, *attempt.path);
           segment_path[s] = std::move(*attempt.path);
           segment_relax[s] = 0;
           continue;
         }
-        if (attempt.relaxations == 0) {
+        if (attempt.path && attempt.relaxations == 0) {
           deferred.push_back(s);
           continue;
         }
         Attempt fresh = route_segment(grid, seg_source[s], seg_target[s],
-                                      options, history_weight, workspaces[0]);
+                                      options, history_weight, workspaces[0],
+                                      sabotaged[s] != 0);
         result.maze_invocations += fresh.searches;
+        if (!fresh.path) {
+          // Strict capacity: unroutable against the live grid too — final.
+          // The wire stays partially routed and is reported, not forced.
+          segment_failed[s] = 1;
+          segment_path[s].clear();
+          segment_relax[s] = fresh.relaxations;
+          continue;
+        }
         commit_path(grid, *fresh.path);
         segment_path[s] = std::move(*fresh.path);
         segment_relax[s] = fresh.relaxations;
@@ -262,7 +300,21 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
   initial.reserve(segments.size());
   for (std::size_t s = 0; s < segments.size(); ++s) {
     // Intra-bin segments are handled by the direct-length term below.
-    if (!(seg_source[s] == seg_target[s])) initial.push_back(s);
+    if (seg_source[s] == seg_target[s]) continue;
+    // Deterministic fault injection: hit accounting runs here, in the
+    // canonical segment order, so `router.force_overflow@N` always marks
+    // the same N segments regardless of thread count.
+    if (AUTONCS_FAULT_POINT("router.force_overflow")) {
+      sabotaged[s] = 1;
+      sabotage_fired = true;
+      record("router.force_overflow",
+             options.strict_capacity ? "partial_routing"
+                                     : "capacity_relaxation",
+             true, true,
+             "segment " + std::to_string(s) +
+                 " forced past the constrained relaxation ladder");
+    }
+    initial.push_back(s);
   }
   result.segments_routed = initial.size();
   route_waves(std::move(initial), 0.0);
@@ -284,7 +336,18 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
     double best_overflow = grid.total_overflow();
     std::vector<std::vector<BinRef>> best_path = segment_path;
     std::vector<std::size_t> best_relax = segment_relax;
+    std::vector<std::uint8_t> best_failed = segment_failed;
     for (std::size_t pass = 0; pass < options.reroute_passes; ++pass) {
+      if (options.wall_budget_ms > 0.0 &&
+          timer.elapsed_ms() >= options.wall_budget_ms) {
+        // The committed routing is complete and valid; only the optional
+        // improvement passes are cut short.
+        record("router.wall_budget", "budget_exhausted", true, true,
+               "reroute passes stopped after " + std::to_string(pass) +
+                   " of " + std::to_string(options.reroute_passes));
+        result.budget_exhausted = true;
+        break;
+      }
       if (grid.accumulate_history(overflow_limit) == 0) break;
       AUTONCS_TRACE_SCOPE("route/reroute_pass", "pass",
                           static_cast<std::int64_t>(pass + 1));
@@ -297,8 +360,17 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
         segment_path[s].clear();
         Attempt fresh =
             route_segment(grid, seg_source[s], seg_target[s], options,
-                          options.history_weight, workspaces[0]);
+                          options.history_weight, workspaces[0],
+                          sabotaged[s] != 0);
         result.maze_invocations += fresh.searches;
+        if (!fresh.path) {
+          // Strict capacity: the ripped-up segment no longer routes under
+          // the relaxed ladder. Leave it unrouted and reported.
+          segment_failed[s] = 1;
+          segment_relax[s] = fresh.relaxations;
+          ++rerouted;
+          continue;
+        }
         commit_path(grid, *fresh.path);
         segment_path[s] = std::move(*fresh.path);
         segment_relax[s] = fresh.relaxations;
@@ -310,6 +382,7 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
         best_overflow = pass_overflow;
         best_path = segment_path;
         best_relax = segment_relax;
+        best_failed = segment_failed;
       }
     }
     if (grid.total_overflow() > best_overflow) {
@@ -319,14 +392,23 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
         if (!path.empty()) commit_path(grid, path);
       segment_path = std::move(best_path);
       segment_relax = std::move(best_relax);
+      segment_failed = std::move(best_failed);
     }
   }
 
   // Wire lengths: grid paths plus the detailed (intra-bin) spans.
   std::vector<double> wire_length(netlist.wires.size(), 0.0);
   std::vector<std::size_t> wire_relax(netlist.wires.size(), 0);
+  std::vector<std::uint8_t> wire_failed(netlist.wires.size(), 0);
   for (std::size_t s = 0; s < segments.size(); ++s) {
     const Segment& segment = segments[s];
+    if (segment_failed[s]) {
+      // Unrouted under strict capacity: no length contribution — the wire
+      // is incomplete and reported below.
+      ++result.segments_failed;
+      wire_failed[segment.wire_index] = 1;
+      continue;
+    }
     if (segment_path[s].empty()) {
       const auto& ca = netlist.cells[segment.pin_a];
       const auto& cb = netlist.cells[segment.pin_b];
@@ -359,6 +441,16 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
                             : delay_sum / static_cast<double>(netlist.wires.size());
   result.total_overflow = grid.total_overflow();
   result.peak_congestion = grid.peak_congestion();
+  if (result.segments_failed > 0) {
+    for (std::size_t w = 0; w < netlist.wires.size(); ++w)
+      if (wire_failed[w]) result.failed_wires.push_back(w);
+    record("router.unroutable", "partial_routing", true, true,
+           std::to_string(result.segments_failed) + " segments across " +
+               std::to_string(result.failed_wires.size()) +
+               " wires unroutable under strict capacity");
+  }
+  result.degraded = result.segments_failed > 0 || result.budget_exhausted ||
+                    sabotage_fired;
   result.runtime_ms = timer.elapsed_ms();
 
   if (util::metrics_enabled()) {
@@ -390,6 +482,17 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
     util::metric_gauge("route/final_overflow", result.total_overflow);
     util::metric_gauge("route/peak_congestion", result.peak_congestion);
     util::metric_gauge("route/wirelength_um", result.total_wirelength_um);
+    // Emitted only on failure so clean-run metric streams are unchanged.
+    if (result.segments_failed > 0)
+      util::metric_gauge("route/segments_failed",
+                         static_cast<double>(result.segments_failed));
+  }
+
+  if (result.segments_failed > 0) {
+    util::LogLine(util::LogLevel::kWarn, "route")
+        << "partial routing: " << result.segments_failed
+        << " segments across " << result.failed_wires.size()
+        << " wires unroutable under strict capacity";
   }
 
   util::LogLine(util::LogLevel::kInfo, "route")

@@ -39,6 +39,7 @@
 #include "route/grid_graph.hpp"
 #include "route/maze_router.hpp"
 #include "tech/tech_model.hpp"
+#include "util/error.hpp"
 
 namespace autoncs::route {
 
@@ -84,6 +85,21 @@ struct RouterOptions {
   /// Worker threads for the speculative routing waves; 0 = hardware
   /// concurrency. The routing result is bit-identical for any value.
   std::size_t threads = 0;
+  /// Strict capacity mode: disable the unconstrained fallback after
+  /// max_relax_steps. A segment that cannot route under the most-relaxed
+  /// virtual capacity is reported in `failed_wires` (partial routing,
+  /// flagged degraded) instead of being forced through overflowed edges.
+  /// Default off — the paper's flow guarantees every wire a route.
+  bool strict_capacity = false;
+  /// Wall-clock budget for the negotiated reroute passes in milliseconds;
+  /// 0 = unlimited (clean runs never consult the clock). The initial
+  /// routing always completes — the budget only stops the optional
+  /// improvement passes, returning the best complete routing so far
+  /// flagged budget_exhausted.
+  double wall_budget_ms = 0.0;
+  /// Optional recovery-event sink (forced overflow, partial routing,
+  /// budget exhaustion). Null runs the identical ladder silently.
+  util::RecoveryLog* recovery = nullptr;
 };
 
 struct RoutedWire {
@@ -144,12 +160,27 @@ struct RoutingResult {
   /// One entry per executed negotiated reroute pass (empty when
   /// reroute_passes == 0 or the first pass found no overflow).
   std::vector<ReroutePassStats> reroute_stats;
+
+  // --- robustness reporting (all empty/false on the clean path) ---
+  /// Segments strict_capacity left unrouted after the full relaxation
+  /// ladder.
+  std::size_t segments_failed = 0;
+  /// Wires with at least one unrouted segment, ascending. A wire listed
+  /// here keeps the lengths of its routed segments but is incomplete.
+  std::vector<std::size_t> failed_wires;
+  /// True when RouterOptions::wall_budget_ms cut the reroute passes short.
+  bool budget_exhausted = false;
+  /// True when the routing differs from the clean path (partial routing,
+  /// budget exhaustion, or an injected forced overflow).
+  bool degraded = false;
 };
 
-/// Routes all wires of the placed netlist. Every wire is guaranteed to be
-/// routed (capacity is relaxed as needed), so total_wirelength covers the
-/// entire design. An empty netlist (no cells or no wires) yields an empty
-/// result with a degenerate 1x1 grid.
+/// Routes all wires of the placed netlist. On the default path every wire
+/// is guaranteed to be routed (capacity is relaxed as needed), so
+/// total_wirelength covers the entire design; with strict_capacity the
+/// unroutable residue is reported in failed_wires instead. An empty
+/// netlist (no cells or no wires) yields an empty result with a degenerate
+/// 1x1 grid.
 RoutingResult route(const netlist::Netlist& netlist,
                     const RouterOptions& options = {},
                     const tech::TechnologyModel& tech = tech::default_tech());

@@ -1,0 +1,65 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace autoncs::util {
+
+const char* error_category_name(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kInput: return "input";
+    case ErrorCategory::kNumerical: return "numerical";
+    case ErrorCategory::kResource: return "resource";
+    case ErrorCategory::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+int exit_code_for(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kInput: return 2;
+    case ErrorCategory::kNumerical: return 3;
+    case ErrorCategory::kResource: return 4;
+    case ErrorCategory::kInternal: return 5;
+  }
+  return 5;
+}
+
+namespace {
+
+std::string format_message(ErrorCategory category, const std::string& code,
+                           const std::string& stage,
+                           const std::string& message) {
+  std::ostringstream oss;
+  oss << error_category_name(category) << " error [" << code << "] in "
+      << stage << ": " << message;
+  return oss.str();
+}
+
+}  // namespace
+
+FlowError::FlowError(ErrorCategory category, std::string code,
+                     std::string stage, const std::string& message)
+    : std::runtime_error(format_message(category, code, stage, message)),
+      category_(category),
+      code_(std::move(code)),
+      stage_(std::move(stage)) {}
+
+bool RecoveryLog::degraded() const {
+  for (const auto& event : events_) {
+    if (!event.recovered || event.alters_result) return true;
+  }
+  return false;
+}
+
+std::string RecoveryLog::first_degraded_code() const {
+  for (const auto& event : events_) {
+    if (!event.recovered || event.alters_result) return event.point;
+  }
+  return {};
+}
+
+void RecoveryLog::merge(const RecoveryLog& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
+}  // namespace autoncs::util

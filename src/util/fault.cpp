@@ -1,0 +1,144 @@
+#include "util/fault.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace autoncs::util {
+
+namespace {
+
+/// Hot-path gate; everything else lives behind it under a mutex.
+std::atomic<bool> g_armed{false};
+
+struct PointState {
+  std::size_t max_fires = 0;  // SIZE_MAX = unlimited
+  std::size_t fires = 0;
+  std::size_t hits = 0;
+  bool armed = false;
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, PointState>& registry() {
+  static std::map<std::string, PointState> r;
+  return r;
+}
+
+/// The authoritative injection-point list. Every AUTONCS_FAULT_POINT call
+/// site must use one of these names; tests/fault walks this catalog.
+const std::vector<std::string>& catalog() {
+  static const std::vector<std::string> points = {
+      "cg.grad_nan",                  // poison the gradient at an accepted CG point
+      "cg.nan",                       // poison one CG objective value
+      "flow.bad_alloc",               // allocation failure inside the pipeline
+      "flow.crash_after_placement",   // hard crash after the placement checkpoint
+      "lanczos.no_converge",          // force a Lanczos convergence failure
+      "router.force_overflow",        // pretend a segment exhausts relaxation
+  };
+  return points;
+}
+
+/// Reads AUTONCS_FAULT once at process start so headless runs (tests, CI)
+/// can arm faults without touching the CLI.
+struct EnvArm {
+  EnvArm() {
+    const char* spec = std::getenv("AUTONCS_FAULT");
+    if (spec != nullptr && spec[0] != '\0') fault_arm(spec);
+  }
+};
+const EnvArm g_env_arm;
+
+}  // namespace
+
+bool fault_enabled() {
+  return g_armed.load(std::memory_order_relaxed);
+}
+
+bool fault_should_fire(const char* point) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto it = registry().find(point);
+  if (it == registry().end() || !it->second.armed) return false;
+  PointState& state = it->second;
+  ++state.hits;
+  if (state.fires >= state.max_fires) return false;
+  ++state.fires;
+  return true;
+}
+
+void fault_arm(const std::string& spec) {
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    // Trim surrounding whitespace.
+    const std::size_t lo = entry.find_first_not_of(" \t");
+    if (lo == std::string::npos) continue;
+    const std::size_t hi = entry.find_last_not_of(" \t");
+    entry = entry.substr(lo, hi - lo + 1);
+
+    std::string name = entry;
+    std::size_t max_fires = 1;
+    const std::size_t at = entry.find('@');
+    if (at != std::string::npos) {
+      name = entry.substr(0, at);
+      const std::string count = entry.substr(at + 1);
+      if (count == "*") {
+        max_fires = std::numeric_limits<std::size_t>::max();
+      } else if (!count.empty() &&
+                 count.find_first_not_of("0123456789") == std::string::npos &&
+                 count.find_first_not_of('0') != std::string::npos) {
+        max_fires = static_cast<std::size_t>(std::stoull(count));
+      } else {
+        throw InputError("input.fault_spec", "fault",
+                         "malformed fire count '" + count + "' in fault spec '" +
+                             entry + "'");
+      }
+    }
+    const auto& known = catalog();
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      throw InputError("input.fault_spec", "fault",
+                       "unknown fault point '" + name +
+                           "' (see fault_point_catalog())");
+    }
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    PointState& state = registry()[name];
+    state.armed = true;
+    state.max_fires = max_fires;
+    state.fires = 0;
+    state.hits = 0;
+    g_armed.store(true, std::memory_order_relaxed);
+  }
+}
+
+void fault_disarm_all() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().clear();
+  g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::size_t fault_fire_count(const std::string& point) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(point);
+  return it == registry().end() ? 0 : it->second.fires;
+}
+
+std::size_t fault_hit_count(const std::string& point) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(point);
+  return it == registry().end() ? 0 : it->second.hits;
+}
+
+const std::vector<std::string>& fault_point_catalog() { return catalog(); }
+
+}  // namespace autoncs::util

@@ -1,0 +1,64 @@
+// Deterministic fault injection.
+//
+// Named injection points are compiled into the flow at the places a
+// production run can genuinely fail (solver non-convergence, NaN escaping
+// a model, router overflow, allocation failure). Disarmed — the default —
+// a point costs one relaxed atomic load and a never-taken branch, so clean
+// runs are bit-identical and benchmark-neutral. Armed, a point "fires" on
+// a deterministic hit schedule, letting tests/fault/ walk every rung of
+// the recovery ladder without depending on timing, threads, or luck.
+//
+// Arming specs (comma separated, via fault_arm(), the CLI --fault flag, or
+// the AUTONCS_FAULT environment variable read at process start):
+//
+//   point          fire on the first hit only (one-shot, the default)
+//   point@N        fire on the first N hits
+//   point@*        fire on every hit
+//
+// Points MUST sit in sequential code (stage entry, commit loops) — never
+// inside a parallel region — so the hit order, and therefore the fire
+// schedule, is deterministic. fault_point_catalog() is the authoritative
+// list; arming an unknown point name throws InputError, which keeps the
+// catalog and the call sites from drifting apart.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace autoncs::util {
+
+/// True when any injection point is armed. Single relaxed atomic load —
+/// this is the only cost a disarmed build pays at an injection point.
+bool fault_enabled();
+
+/// Hit accounting + fire decision for one injection point. Call through
+/// AUTONCS_FAULT_POINT, never directly (the macro short-circuits the
+/// disarmed case before this function is reached).
+bool fault_should_fire(const char* point);
+
+/// Arms points from a spec ("a,b@3,c@*"). Throws InputError on an unknown
+/// point name or malformed count. Specs accumulate; re-arming a point
+/// replaces its schedule.
+void fault_arm(const std::string& spec);
+
+/// Disarms every point and resets all hit/fire counters.
+void fault_disarm_all();
+
+/// Fires so far for `point` (armed or not; 0 when never armed).
+std::size_t fault_fire_count(const std::string& point);
+
+/// Times `point` was reached while armed.
+std::size_t fault_hit_count(const std::string& point);
+
+/// Every injection point compiled into the flow, sorted. tests/fault
+/// iterates this to prove each rung of the ladder is exercised.
+const std::vector<std::string>& fault_point_catalog();
+
+}  // namespace autoncs::util
+
+/// Evaluates to true when the named fault point should fire. Disarmed this
+/// is one relaxed atomic load and a never-taken branch.
+#define AUTONCS_FAULT_POINT(name)       \
+  (::autoncs::util::fault_enabled() &&  \
+   ::autoncs::util::fault_should_fire(name))

@@ -268,9 +268,202 @@ class Parser {
   int depth_ = 0;
 };
 
+/// DOM-building parser: the same grammar as the recognizer above, but each
+/// production returns the parsed value. Kept separate so the recognizer
+/// stays allocation-free for the validate-json hot path.
+class DomParser {
+ public:
+  explicit DomParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value(JsonValue& out) {
+    if (depth_ > 256) return false;
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out.kind = JsonValue::Kind::kString; return string(out.string_value);
+      case 't': out.kind = JsonValue::Kind::kBool; out.bool_value = true;
+                return literal("true");
+      case 'f': out.kind = JsonValue::Kind::kBool; out.bool_value = false;
+                return literal("false");
+      case 'n': out.kind = JsonValue::Kind::kNull; return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++depth_;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; --depth_; return true; }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (peek() != '"' || !string(key)) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue member;
+      if (!value(member)) return false;
+      out.members.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; --depth_; return true; }
+      return false;
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++depth_;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; --depth_; return true; }
+    for (;;) {
+      skip_ws();
+      JsonValue item;
+      if (!value(item)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; --depth_; return true; }
+      return false;
+    }
+  }
+
+  bool string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') { ++pos_; return true; }
+      if (c < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++pos_;
+              if (pos_ >= text_.size()) return false;
+              const char h = text_[pos_];
+              unsigned digit = 0;
+              if (h >= '0' && h <= '9') digit = static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') digit = static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') digit = static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+              code = code * 16 + digit;
+            }
+            // Minimal UTF-8 encoding (surrogate pairs are not combined —
+            // the writer only ever emits \u00xx for control characters).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return false;
+        }
+        ++pos_;
+        continue;
+      }
+      out += static_cast<char>(c);
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (peek() == '0') {
+      ++pos_;
+    } else if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    } else {
+      return false;
+    }
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (pos_ == start) return false;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number_value = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                                   nullptr);
+    return true;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
 }  // namespace
 
 bool json_valid(const std::string& text) { return Parser(text).parse(); }
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, member] : members) {
+    if (name == key) return &member;
+  }
+  return nullptr;
+}
+
+bool json_parse(const std::string& text, JsonValue& out) {
+  out = JsonValue{};
+  return DomParser(text).parse(out);
+}
 
 bool write_text_file(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);

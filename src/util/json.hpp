@@ -65,6 +65,36 @@ class JsonWriter {
 /// tests to parse the emitted artifacts back.
 bool json_valid(const std::string& text);
 
+/// Minimal JSON DOM, the read-side counterpart of JsonWriter. Built for
+/// loading back the artifacts this library writes (checkpoints, manifests):
+/// numbers parse with strtod, so every %.17g double the writer emitted
+/// round-trips bit-exactly, and object member order is preserved.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;  // array elements
+  std::vector<std::pair<std::string, JsonValue>> members;  // object fields
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_bool() const { return kind == Kind::kBool; }
+
+  /// First member named `key`, or nullptr (also when not an object).
+  const JsonValue* find(const std::string& key) const;
+};
+
+/// Parses one complete JSON value (optional surrounding whitespace).
+/// Returns false and leaves `out` unspecified on any syntax error; accepts
+/// exactly the same language json_valid does.
+bool json_parse(const std::string& text, JsonValue& out);
+
 /// Writes `content` to `path`, returning false on I/O failure.
 bool write_text_file(const std::string& path, const std::string& content);
 

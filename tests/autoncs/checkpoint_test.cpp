@@ -1,0 +1,197 @@
+// Checkpoint/resume: a resumed run must reproduce the original run's
+// results bit-exactly, and anything wrong with a checkpoint — corruption,
+// another seed, another config — must degrade to a clean full recompute,
+// never a crash or a silently inconsistent resume.
+#include "autoncs/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "autoncs/pipeline.hpp"
+#include "nn/generators.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs {
+namespace {
+
+FlowConfig fast_config() {
+  FlowConfig config;
+  config.isc.crossbar_sizes = {4, 8, 16};
+  config.baseline_crossbar_size = 16;
+  config.placer.cg.max_iterations = 60;
+  config.placer.max_outer_iterations = 12;
+  config.seed = 77;
+  return config;
+}
+
+nn::ConnectionMatrix small_network() {
+  util::Rng rng(5);
+  nn::BlockSparseOptions topology;
+  topology.blocks = 4;
+  topology.intra_density = 0.45;
+  topology.inter_density = 0.01;
+  return nn::block_sparse(48, topology, rng);
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("autoncs_ckpt_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+bool identical_results(const FlowResult& a, const FlowResult& b) {
+  return a.cost.total_wirelength_um == b.cost.total_wirelength_um &&
+         a.cost.area_um2 == b.cost.area_um2 &&
+         a.cost.average_delay_ns == b.cost.average_delay_ns &&
+         a.placement.hpwl_um == b.placement.hpwl_um &&
+         a.placement.cg_value_evals_total == b.placement.cg_value_evals_total &&
+         a.routing.total_wirelength_um == b.routing.total_wirelength_um &&
+         a.routing.maze_invocations == b.routing.maze_invocations &&
+         a.mapping.crossbars.size() == b.mapping.crossbars.size() &&
+         a.mapping.discrete_synapses.size() ==
+             b.mapping.discrete_synapses.size();
+}
+
+TEST_F(CheckpointTest, SaveWritesValidVersionedJson) {
+  FlowConfig config = fast_config();
+  config.checkpoint.dir = dir_;
+  (void)run_autoncs(small_network(), config);
+  for (const std::string& path : {checkpoint::clustering_path(dir_),
+                                 checkpoint::placement_path(dir_)}) {
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    util::JsonValue doc;
+    ASSERT_TRUE(util::json_parse(text, doc)) << path;
+    const util::JsonValue* schema = doc.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->string_value, "autoncs-checkpoint/1");
+    EXPECT_NE(doc.find("config_hash"), nullptr);
+    EXPECT_NE(doc.find("seed"), nullptr);
+  }
+}
+
+TEST_F(CheckpointTest, ResumeFromPlacementIsBitIdentical) {
+  const auto network = small_network();
+  FlowConfig config = fast_config();
+  config.checkpoint.dir = dir_;
+  const auto original = run_autoncs(network, config);
+  EXPECT_FALSE(original.resumed);
+
+  config.checkpoint.resume = true;
+  const auto resumed = run_autoncs(network, config);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_TRUE(identical_results(original, resumed));
+  // Placement was skipped entirely, not recomputed.
+  EXPECT_EQ(resumed.placement.outer_iterations,
+            original.placement.outer_iterations);
+  EXPECT_FALSE(resumed.isc.has_value());
+}
+
+TEST_F(CheckpointTest, ResumeFromClusteringIsBitIdentical) {
+  const auto network = small_network();
+  FlowConfig config = fast_config();
+  config.checkpoint.dir = dir_;
+  const auto original = run_autoncs(network, config);
+
+  // Remove the later checkpoint so the clustering rung is the furthest.
+  std::filesystem::remove(checkpoint::placement_path(dir_));
+  config.checkpoint.resume = true;
+  const auto resumed = run_autoncs(network, config);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_TRUE(identical_results(original, resumed));
+}
+
+TEST_F(CheckpointTest, CorruptCheckpointFallsBackToFullRun) {
+  const auto network = small_network();
+  FlowConfig config = fast_config();
+  config.checkpoint.dir = dir_;
+  const auto original = run_autoncs(network, config);
+
+  for (const std::string& path : {checkpoint::placement_path(dir_),
+                                 checkpoint::clustering_path(dir_)}) {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"schema\":\"autoncs-checkpoint/1\",\"kind\"";  // truncated
+  }
+  config.checkpoint.resume = true;
+  const auto recomputed = run_autoncs(network, config);
+  EXPECT_FALSE(recomputed.resumed);
+  EXPECT_TRUE(identical_results(original, recomputed));
+}
+
+TEST_F(CheckpointTest, SeedMismatchInvalidatesCheckpoints) {
+  const auto network = small_network();
+  FlowConfig config = fast_config();
+  config.checkpoint.dir = dir_;
+  (void)run_autoncs(network, config);
+
+  config.seed = 1234;  // different stochastic stream
+  config.checkpoint.resume = true;
+  const auto rerun = run_autoncs(network, config);
+  EXPECT_FALSE(rerun.resumed);
+}
+
+TEST_F(CheckpointTest, ConfigChangeInvalidatesCheckpoints) {
+  const auto network = small_network();
+  FlowConfig config = fast_config();
+  config.checkpoint.dir = dir_;
+  (void)run_autoncs(network, config);
+
+  config.router.theta = 8.0;  // changes routing results
+  config.checkpoint.resume = true;
+  const auto rerun = run_autoncs(network, config);
+  EXPECT_FALSE(rerun.resumed);
+}
+
+TEST_F(CheckpointTest, ConfigHashIsStableAndSensitive) {
+  const FlowConfig a = fast_config();
+  FlowConfig b = fast_config();
+  EXPECT_EQ(checkpoint::config_hash(a), checkpoint::config_hash(b));
+  b.placer.gamma *= 2.0;
+  EXPECT_NE(checkpoint::config_hash(a), checkpoint::config_hash(b));
+  // Telemetry sinks are excluded from the stamp: turning tracing on must
+  // not invalidate checkpoints.
+  FlowConfig c = fast_config();
+  c.telemetry.trace_path = "/tmp/trace.json";
+  EXPECT_EQ(checkpoint::config_hash(a), checkpoint::config_hash(c));
+}
+
+TEST_F(CheckpointTest, MissingDirectoryIsCreatedOnSave) {
+  FlowConfig config = fast_config();
+  config.checkpoint.dir =
+      (std::filesystem::path(dir_) / "nested" / "deeper").string();
+  (void)run_autoncs(small_network(), config);
+  EXPECT_TRUE(std::filesystem::exists(
+      checkpoint::placement_path(config.checkpoint.dir)));
+}
+
+TEST_F(CheckpointTest, ResumeWithoutCheckpointsRunsCleanly) {
+  FlowConfig config = fast_config();
+  config.checkpoint.dir = dir_;
+  config.checkpoint.resume = true;  // nothing saved yet
+  const auto result = run_autoncs(small_network(), config);
+  EXPECT_FALSE(result.resumed);
+  EXPECT_GT(result.cost.total_wirelength_um, 0.0);
+}
+
+}  // namespace
+}  // namespace autoncs

@@ -105,12 +105,18 @@ TEST(Telemetry, WritesValidArtifacts) {
       read_file(temp_path("artifacts_trace.manifest.json"));
   ASSERT_FALSE(manifest.empty());
   EXPECT_TRUE(util::json_valid(manifest));
-  EXPECT_NE(manifest.find("\"schema\":\"autoncs-run-manifest/1\""),
+  EXPECT_NE(manifest.find("\"schema\":\"autoncs-run-manifest/2\""),
             std::string::npos);
   EXPECT_NE(manifest.find("\"flow\":\"autoncs\""), std::string::npos);
   EXPECT_NE(manifest.find("\"seed\":77"), std::string::npos);
   EXPECT_NE(manifest.find("\"timings_ms\""), std::string::npos);
   EXPECT_NE(manifest.find("\"cost\""), std::string::npos);
+  // Robustness fields of schema /2: a clean run reports ok / not degraded
+  // / no error code / an empty recovery log.
+  EXPECT_NE(manifest.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"degraded\":false"), std::string::npos);
+  EXPECT_NE(manifest.find("\"error_code\":\"\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"recovery\":[]"), std::string::npos);
 }
 
 TEST(Telemetry, MetricsJsonlByteIdenticalAcrossThreadCounts) {

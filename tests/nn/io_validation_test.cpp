@@ -1,0 +1,132 @@
+// Validation behaviour of the checked loaders against the malformed-file
+// corpus under tests/data/bad/. Every rejection must be a typed InputError
+// carrying a stable code and <file>:<line> context — never a crash, a
+// CheckError, or a silently wrong network.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "nn/io.hpp"
+#include "util/error.hpp"
+
+#ifndef AUTONCS_TEST_DATA_DIR
+#error "AUTONCS_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace autoncs::nn {
+namespace {
+
+std::string bad(const std::string& name) {
+  return std::string(AUTONCS_TEST_DATA_DIR) + "/bad/" + name;
+}
+
+/// Loads `name` expecting an InputError whose code matches exactly and
+/// whose message carries the <file>:<line> context.
+void expect_network_rejected(const std::string& name, const std::string& code,
+                             std::size_t line) {
+  const std::string path = bad(name);
+  try {
+    (void)load_network_checked(path);
+    FAIL() << name << " was accepted";
+  } catch (const util::InputError& e) {
+    EXPECT_EQ(e.code(), code) << name << ": " << e.what();
+    const std::string context = path + ":" + std::to_string(line);
+    EXPECT_NE(std::string(e.what()).find(context), std::string::npos)
+        << name << " lacks context '" << context << "': " << e.what();
+  }
+}
+
+void expect_weights_rejected(const std::string& name,
+                             const std::string& code) {
+  try {
+    (void)load_weights_checked(bad(name));
+    FAIL() << name << " was accepted";
+  } catch (const util::InputError& e) {
+    EXPECT_EQ(e.code(), code) << name << ": " << e.what();
+  }
+}
+
+TEST(IoValidation, AcceptsTheGoodFile) {
+  const ConnectionMatrix network = load_network_checked(bad("good.ncsnet"));
+  EXPECT_EQ(network.size(), 6u);
+  EXPECT_EQ(network.connection_count(), 2u);
+  EXPECT_TRUE(network.has(0, 1));
+  EXPECT_TRUE(network.has(2, 3));
+}
+
+TEST(IoValidation, RejectsMissingFileWithOpenError) {
+  try {
+    (void)load_network_checked(bad("does_not_exist.ncsnet"));
+    FAIL() << "missing file was accepted";
+  } catch (const util::InputError& e) {
+    EXPECT_EQ(e.code(), "input.io.open");
+  }
+}
+
+TEST(IoValidation, RejectsHeaderProblems) {
+  expect_network_rejected("bad_magic.ncsnet", "input.io.magic", 1);
+  expect_network_rejected("bad_version.ncsnet", "input.io.version", 1);
+  expect_network_rejected("bad_header.ncsnet", "input.io.header", 1);
+  expect_network_rejected("count_overflow.ncsnet", "input.io.count", 1);
+}
+
+TEST(IoValidation, RejectsEmptyAndTruncatedFiles) {
+  try {
+    (void)load_network_checked(bad("empty.ncsnet"));
+    FAIL() << "empty file was accepted";
+  } catch (const util::InputError& e) {
+    EXPECT_EQ(e.code(), "input.io.truncated");
+  }
+  try {
+    (void)load_network_checked(bad("truncated.ncsnet"));
+    FAIL() << "truncated file was accepted";
+  } catch (const util::InputError& e) {
+    EXPECT_EQ(e.code(), "input.io.truncated");
+    // The message reports how far the file got.
+    EXPECT_NE(std::string(e.what()).find("1 of 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(IoValidation, RejectsBadConnections) {
+  expect_network_rejected("out_of_range.ncsnet", "input.io.index", 2);
+  expect_network_rejected("self_loop.ncsnet", "input.io.self_loop", 2);
+  expect_network_rejected("duplicate.ncsnet", "input.io.duplicate", 3);
+  expect_network_rejected("negative_index.ncsnet", "input.io.connection", 2);
+  expect_network_rejected("trailing.ncsnet", "input.io.trailing", 3);
+}
+
+TEST(IoValidation, RejectsNonFiniteAndMalformedWeights) {
+  expect_network_rejected("nan_weight.ncsnet", "input.io.weight", 2);
+  expect_network_rejected("inf_weight.ncsnet", "input.io.weight", 2);
+  expect_network_rejected("malformed_weight.ncsnet", "input.io.weight", 2);
+}
+
+TEST(IoValidation, WeightLoaderRejectsItsOwnCorpus) {
+  expect_weights_rejected("weights_duplicate.ncsnet", "input.io.duplicate");
+  expect_weights_rejected("weights_diagonal.ncsnet", "input.io.self_loop");
+  expect_weights_rejected("weights_two_fields.ncsnet", "input.io.weight");
+  expect_weights_rejected("nan_weight.ncsnet", "input.io.weight");
+}
+
+TEST(IoValidation, OptionalWrappersReturnNulloptInsteadOfThrowing) {
+  EXPECT_FALSE(load_network(bad("duplicate.ncsnet")).has_value());
+  EXPECT_FALSE(load_network(bad("truncated.ncsnet")).has_value());
+  EXPECT_FALSE(load_weights(bad("weights_diagonal.ncsnet")).has_value());
+  EXPECT_TRUE(load_network(bad("good.ncsnet")).has_value());
+}
+
+TEST(IoValidation, StreamReaderReportsStreamSourceContext) {
+  std::istringstream in("ncsnet 1 4 1\n0 0\n");
+  try {
+    (void)read_network_checked(in, "<test>");
+    FAIL() << "self loop was accepted";
+  } catch (const util::InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("<test>:2"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace autoncs::nn

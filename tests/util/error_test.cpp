@@ -1,0 +1,94 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace autoncs::util {
+namespace {
+
+TEST(ErrorCategory, NamesAreStable) {
+  EXPECT_STREQ(error_category_name(ErrorCategory::kInput), "input");
+  EXPECT_STREQ(error_category_name(ErrorCategory::kNumerical), "numerical");
+  EXPECT_STREQ(error_category_name(ErrorCategory::kResource), "resource");
+  EXPECT_STREQ(error_category_name(ErrorCategory::kInternal), "internal");
+}
+
+TEST(ErrorCategory, ExitCodeContract) {
+  EXPECT_EQ(exit_code_for(ErrorCategory::kInput), 2);
+  EXPECT_EQ(exit_code_for(ErrorCategory::kNumerical), 3);
+  EXPECT_EQ(exit_code_for(ErrorCategory::kResource), 4);
+  EXPECT_EQ(exit_code_for(ErrorCategory::kInternal), 5);
+}
+
+TEST(FlowError, CarriesCodeStageAndFormattedMessage) {
+  const NumericalError error("numerical.cg_init", "placement",
+                             "objective is non-finite");
+  EXPECT_EQ(error.category(), ErrorCategory::kNumerical);
+  EXPECT_EQ(error.code(), "numerical.cg_init");
+  EXPECT_EQ(error.stage(), "placement");
+  EXPECT_EQ(error.exit_code(), 3);
+  const std::string what = error.what();
+  EXPECT_NE(what.find("numerical error"), std::string::npos);
+  EXPECT_NE(what.find("[numerical.cg_init]"), std::string::npos);
+  EXPECT_NE(what.find("in placement"), std::string::npos);
+  EXPECT_NE(what.find("objective is non-finite"), std::string::npos);
+}
+
+TEST(FlowError, SubtypesMapToTheirCategories) {
+  EXPECT_EQ(InputError("c", "s", "m").exit_code(), 2);
+  EXPECT_EQ(NumericalError("c", "s", "m").exit_code(), 3);
+  EXPECT_EQ(ResourceError("c", "s", "m").exit_code(), 4);
+  EXPECT_EQ(InternalError("c", "s", "m").exit_code(), 5);
+}
+
+TEST(FlowError, IsRuntimeErrorWhileCheckErrorStaysLogicError) {
+  // The taxonomy split: runtime failures are recoverable events, an
+  // AUTONCS_CHECK failure is a bug.
+  EXPECT_THROW(throw InputError("c", "s", "m"), std::runtime_error);
+  EXPECT_THROW(throw CheckError("m"), std::logic_error);
+}
+
+TEST(RecoveryLog, CleanRetriesDoNotDegrade) {
+  RecoveryLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_FALSE(log.degraded());
+  log.record({"placement", "cg.nan", "retry", true, false, ""});
+  EXPECT_FALSE(log.empty());
+  EXPECT_FALSE(log.degraded());
+  EXPECT_EQ(log.first_degraded_code(), "");
+}
+
+TEST(RecoveryLog, AlteringActionsDegrade) {
+  RecoveryLog log;
+  log.record({"clustering", "lanczos.no_converge", "retry", true, false, ""});
+  log.record({"clustering", "lanczos.no_converge", "dense_fallback", true,
+              true, ""});
+  log.record({"routing", "router.unroutable", "partial_routing", true, true,
+              ""});
+  EXPECT_TRUE(log.degraded());
+  EXPECT_EQ(log.first_degraded_code(), "lanczos.no_converge");
+}
+
+TEST(RecoveryLog, UnrecoveredEventsDegrade) {
+  RecoveryLog log;
+  log.record({"placement", "cg.grad_nan", "damped_restart", false, true, ""});
+  EXPECT_TRUE(log.degraded());
+}
+
+TEST(RecoveryLog, MergePreservesOrder) {
+  RecoveryLog clustering;
+  clustering.record({"clustering", "a", "retry", true, false, ""});
+  RecoveryLog flow;
+  flow.record({"routing", "b", "partial_routing", true, true, ""});
+  RecoveryLog combined;
+  combined.merge(clustering);
+  combined.merge(flow);
+  ASSERT_EQ(combined.events().size(), 2u);
+  EXPECT_EQ(combined.events()[0].stage, "clustering");
+  EXPECT_EQ(combined.events()[1].stage, "routing");
+  EXPECT_EQ(combined.first_degraded_code(), "b");
+}
+
+}  // namespace
+}  // namespace autoncs::util

@@ -1,0 +1,100 @@
+#include "util/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace autoncs::util {
+namespace {
+
+/// Every test leaves the global registry disarmed for its neighbours.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault_disarm_all(); }
+  void TearDown() override { fault_disarm_all(); }
+};
+
+TEST_F(FaultTest, DisarmedPointsNeverFire) {
+  EXPECT_FALSE(fault_enabled());
+  EXPECT_FALSE(AUTONCS_FAULT_POINT("cg.nan"));
+  EXPECT_EQ(fault_fire_count("cg.nan"), 0u);
+}
+
+TEST_F(FaultTest, OneShotFiresExactlyOnce) {
+  fault_arm("cg.nan");
+  EXPECT_TRUE(fault_enabled());
+  EXPECT_TRUE(AUTONCS_FAULT_POINT("cg.nan"));
+  EXPECT_FALSE(AUTONCS_FAULT_POINT("cg.nan"));
+  EXPECT_FALSE(AUTONCS_FAULT_POINT("cg.nan"));
+  EXPECT_EQ(fault_fire_count("cg.nan"), 1u);
+  EXPECT_EQ(fault_hit_count("cg.nan"), 3u);
+}
+
+TEST_F(FaultTest, CountedSpecFiresFirstNHits) {
+  fault_arm("cg.grad_nan@2");
+  EXPECT_TRUE(AUTONCS_FAULT_POINT("cg.grad_nan"));
+  EXPECT_TRUE(AUTONCS_FAULT_POINT("cg.grad_nan"));
+  EXPECT_FALSE(AUTONCS_FAULT_POINT("cg.grad_nan"));
+  EXPECT_EQ(fault_fire_count("cg.grad_nan"), 2u);
+}
+
+TEST_F(FaultTest, StarSpecFiresForever) {
+  fault_arm("router.force_overflow@*");
+  for (int i = 0; i < 5; ++i)
+    EXPECT_TRUE(AUTONCS_FAULT_POINT("router.force_overflow"));
+  EXPECT_EQ(fault_fire_count("router.force_overflow"), 5u);
+}
+
+TEST_F(FaultTest, ArmedPointsDoNotAffectOthers) {
+  fault_arm("cg.nan");
+  EXPECT_FALSE(AUTONCS_FAULT_POINT("flow.bad_alloc"));
+  EXPECT_TRUE(AUTONCS_FAULT_POINT("cg.nan"));
+}
+
+TEST_F(FaultTest, CommaSeparatedSpecsAccumulate) {
+  fault_arm("cg.nan,lanczos.no_converge@2");
+  EXPECT_TRUE(AUTONCS_FAULT_POINT("cg.nan"));
+  EXPECT_TRUE(AUTONCS_FAULT_POINT("lanczos.no_converge"));
+  EXPECT_TRUE(AUTONCS_FAULT_POINT("lanczos.no_converge"));
+  EXPECT_FALSE(AUTONCS_FAULT_POINT("lanczos.no_converge"));
+}
+
+TEST_F(FaultTest, UnknownPointThrowsInputError) {
+  EXPECT_THROW(fault_arm("no.such.point"), InputError);
+  EXPECT_FALSE(fault_enabled());
+}
+
+TEST_F(FaultTest, MalformedCountThrowsInputError) {
+  EXPECT_THROW(fault_arm("cg.nan@"), InputError);
+  EXPECT_THROW(fault_arm("cg.nan@banana"), InputError);
+  EXPECT_THROW(fault_arm("cg.nan@0"), InputError);
+}
+
+TEST_F(FaultTest, DisarmAllResetsCounters) {
+  fault_arm("cg.nan@*");
+  (void)AUTONCS_FAULT_POINT("cg.nan");
+  fault_disarm_all();
+  EXPECT_FALSE(fault_enabled());
+  EXPECT_EQ(fault_fire_count("cg.nan"), 0u);
+  EXPECT_EQ(fault_hit_count("cg.nan"), 0u);
+}
+
+TEST_F(FaultTest, CatalogIsSortedAndCoversKnownPoints) {
+  const auto& catalog = fault_point_catalog();
+  EXPECT_TRUE(std::is_sorted(catalog.begin(), catalog.end()));
+  for (const char* point :
+       {"cg.grad_nan", "cg.nan", "flow.bad_alloc",
+        "flow.crash_after_placement", "lanczos.no_converge",
+        "router.force_overflow"}) {
+    EXPECT_TRUE(std::find(catalog.begin(), catalog.end(), point) !=
+                catalog.end())
+        << point << " missing from the catalog";
+  }
+  // Every catalog point must arm cleanly (the catalog IS the whitelist).
+  for (const std::string& point : catalog) fault_arm(point);
+}
+
+}  // namespace
+}  // namespace autoncs::util

@@ -79,6 +79,63 @@ TEST(JsonValid, RejectsInvalidDocuments) {
   EXPECT_FALSE(json_valid("{'a':1}"));
 }
 
+TEST(JsonParse, BuildsTheDom) {
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(
+      " {\"name\":\"flow\",\"n\":3,\"ok\":true,\"none\":null,"
+      "\"series\":[1,2.5,-3e4],\"inner\":{\"x\":1.5}} ",
+      doc));
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_EQ(doc.members.size(), 6u);
+  // Member order is preserved.
+  EXPECT_EQ(doc.members[0].first, "name");
+  EXPECT_EQ(doc.members[5].first, "inner");
+  const JsonValue* name = doc.find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_TRUE(name->is_string());
+  EXPECT_EQ(name->string_value, "flow");
+  EXPECT_EQ(doc.find("n")->number_value, 3.0);
+  EXPECT_TRUE(doc.find("ok")->bool_value);
+  EXPECT_EQ(doc.find("none")->kind, JsonValue::Kind::kNull);
+  const JsonValue* series = doc.find("series");
+  ASSERT_TRUE(series->is_array());
+  ASSERT_EQ(series->items.size(), 3u);
+  EXPECT_EQ(series->items[2].number_value, -3e4);
+  const JsonValue* inner = doc.find("inner");
+  ASSERT_TRUE(inner->is_object());
+  EXPECT_EQ(inner->find("x")->number_value, 1.5);
+  // find() on a non-object and a missing key both yield nullptr.
+  EXPECT_EQ(series->find("x"), nullptr);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, RoundTripsWriterDoublesExactly) {
+  // The checkpoint format depends on this: every %.17g double the writer
+  // emits must come back bit-identical through the parser.
+  const double values[] = {0.1 + 0.2, 1.0 / 3.0, 6.02214076e23, 5e-324,
+                           -123456.789012345678};
+  for (const double value : values) {
+    JsonValue parsed;
+    ASSERT_TRUE(json_parse(json_number(value), parsed));
+    ASSERT_TRUE(parsed.is_number());
+    EXPECT_EQ(parsed.number_value, value) << json_number(value);
+  }
+}
+
+TEST(JsonParse, DecodesEscapes) {
+  JsonValue doc;
+  ASSERT_TRUE(json_parse("\"a\\\"b\\\\c\\n\\t\\u0041\"", doc));
+  EXPECT_EQ(doc.string_value, "a\"b\\c\n\tA");
+}
+
+TEST(JsonParse, RejectsWhatJsonValidRejects) {
+  JsonValue doc;
+  for (const char* bad : {"", "{", "{\"a\":}", "{\"a\":1,}", "[1 2]", "{} {}",
+                          "nul", "01", "\"unterminated", "{'a':1}"}) {
+    EXPECT_FALSE(json_parse(bad, doc)) << bad;
+  }
+}
+
 TEST(WriteTextFile, RoundTrips) {
   const std::string path =
       ::testing::TempDir() + "/autoncs_json_test_artifact.json";

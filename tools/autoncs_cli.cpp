@@ -8,10 +8,24 @@
 //                            [--threads T] [--layout] [--csv out.csv]
 //                            [--trace trace.json] [--metrics metrics.jsonl]
 //                            [--manifest run.json] [--log-level LEVEL]
+//                            [--checkpoint-dir DIR] [--resume]
+//                            [--fault SPEC] [--budget-clustering-ms X]
+//                            [--budget-placement-ms X] [--budget-routing-ms X]
 //
 // `flow` runs AutoNCS (and optionally the FullCro baseline) on a network
 // file and prints the physical cost; `generate` writes the built-in
 // network families to disk; `info` prints topology statistics.
+//
+// Exit codes follow the error taxonomy (docs/robustness.md): 0 success
+// (including degraded-but-complete runs), 2 input error, 3 numerical
+// error, 4 resource exhaustion, 5 internal error. Usage mistakes share
+// exit 2 with input errors.
+//
+// Robustness (docs/robustness.md): --checkpoint-dir saves restart points
+// after clustering and placement; --resume restarts from the furthest
+// compatible one, bit-identically. --fault arms a deterministic fault
+// injection point (testing only); --budget-*-ms cap each stage's wall
+// clock, degrading gracefully instead of hanging.
 //
 // Telemetry (docs/observability.md): --trace writes a Chrome trace-event
 // JSON loadable in Perfetto / chrome://tracing, --metrics writes the
@@ -23,6 +37,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -33,6 +48,9 @@
 #include "nn/io.hpp"
 #include "nn/stats.hpp"
 #include "nn/testbench.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/heatmap.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
@@ -96,6 +114,16 @@ int usage() {
                "common options:\n"
                "  --log-level debug|info|warn|error|off   stderr verbosity "
                "(default warn)\n"
+               "  --checkpoint-dir DIR  save clustering/placement restart "
+               "points into DIR\n"
+               "  --resume         restart from the furthest compatible "
+               "checkpoint\n"
+               "  --fault SPEC     arm a deterministic fault point "
+               "(point, point@N, point@*)\n"
+               "  --budget-clustering-ms X / --budget-placement-ms X / "
+               "--budget-routing-ms X\n"
+               "                   per-stage wall-clock budgets (0 = "
+               "unlimited)\n"
                "  --trace FILE     write a Chrome trace-event JSON "
                "(Perfetto / chrome://tracing)\n"
                "  --metrics FILE   write convergence metrics as JSONL\n"
@@ -153,19 +181,17 @@ int cmd_generate(const Args& args) {
 
 int cmd_info(const Args& args) {
   if (args.positional.empty()) return usage();
-  const auto network = nn::load_network(args.positional[0]);
-  if (!network) {
-    std::fprintf(stderr, "info: cannot read %s\n", args.positional[0].c_str());
-    return 1;
-  }
-  const auto stats = nn::compute_stats(*network);
+  // The checked loader throws InputError with <file>:<line> context; main
+  // maps it to exit code 2.
+  const auto network = nn::load_network_checked(args.positional[0]);
+  const auto stats = nn::compute_stats(network);
   std::printf("neurons:            %zu\n", stats.neurons);
   std::printf("connections:        %zu\n", stats.connections);
   std::printf("sparsity:           %.2f%%\n", 100.0 * stats.sparsity);
-  std::printf("active neurons:     %zu\n", network->active_neurons().size());
+  std::printf("active neurons:     %zu\n", network.active_neurons().size());
   std::printf("mean fanin+fanout:  %.2f\n", stats.mean_fanin_fanout);
   std::printf("max fanin+fanout:   %zu\n", stats.max_fanin_fanout);
-  std::printf("%s", util::render_ascii(network->to_field(), 24, 48).c_str());
+  std::printf("%s", util::render_ascii(network.to_field(), 24, 48).c_str());
   return 0;
 }
 
@@ -219,11 +245,7 @@ int cmd_validate_json(const Args& args) {
 
 int cmd_flow(const Args& args) {
   if (args.positional.empty()) return usage();
-  const auto network = nn::load_network(args.positional[0]);
-  if (!network) {
-    std::fprintf(stderr, "flow: cannot read %s\n", args.positional[0].c_str());
-    return 1;
-  }
+  const auto network = nn::load_network_checked(args.positional[0]);
   FlowConfig config;
   config.seed = static_cast<std::uint64_t>(args.get_long("seed", 2015));
   // 0 = hardware concurrency; the flow result is identical for any value.
@@ -236,6 +258,13 @@ int cmd_flow(const Args& args) {
   config.telemetry.trace_path = args.get("trace", "");
   config.telemetry.metrics_path = args.get("metrics", "");
   config.telemetry.manifest_path = args.get("manifest", "");
+  config.checkpoint.dir = args.get("checkpoint-dir", "");
+  config.checkpoint.resume = args.has("resume");
+  config.stage_budget.clustering_ms =
+      args.get_double("budget-clustering-ms", 0.0);
+  config.stage_budget.placement_ms =
+      args.get_double("budget-placement-ms", 0.0);
+  config.stage_budget.routing_ms = args.get_double("budget-routing-ms", 0.0);
 
   // The CLI owns the telemetry session so a --baseline comparison lands
   // both flows in ONE trace/metrics artifact set (the nested per-flow
@@ -243,22 +272,36 @@ int cmd_flow(const Args& args) {
   // the two flows' series apart).
   telemetry::Session session(config.telemetry);
 
-  const auto ours = run_autoncs(*network, config);
-  std::printf("%s\n", summarize_flow(ours, "AutoNCS").c_str());
-  std::printf("%s\n", summarize_timings(ours).c_str());
-  std::printf("%s\n", summarize_convergence(ours).c_str());
-  if (args.has("layout")) {
-    std::printf("%s", util::render_ascii(layout_field(ours.netlist, 2.0), 26, 52)
-                          .c_str());
-  }
-  if (args.has("baseline")) {
-    const auto baseline = run_fullcro(*network, config);
-    std::printf("%s\n", summarize_flow(baseline, "FullCro").c_str());
-    const auto cmp = compare_costs(ours, baseline);
-    std::printf("reductions: wirelength %s, area %s, delay %s\n",
-                util::fmt_percent(cmp.wirelength_reduction()).c_str(),
-                util::fmt_percent(cmp.area_reduction()).c_str(),
-                util::fmt_percent(cmp.delay_reduction()).c_str());
+  try {
+    const auto ours = run_autoncs(network, config);
+    std::printf("%s\n", summarize_flow(ours, "AutoNCS").c_str());
+    std::printf("%s\n", summarize_timings(ours).c_str());
+    std::printf("%s\n", summarize_convergence(ours).c_str());
+    if (ours.resumed) std::printf("resumed from checkpoint\n");
+    if (ours.degraded) {
+      std::printf("DEGRADED: %zu recovery event(s), first: %s\n",
+                  ours.recovery.events().size(),
+                  ours.recovery.first_degraded_code().c_str());
+    }
+    if (args.has("layout")) {
+      std::printf(
+          "%s",
+          util::render_ascii(layout_field(ours.netlist, 2.0), 26, 52).c_str());
+    }
+    if (args.has("baseline")) {
+      const auto baseline = run_fullcro(network, config);
+      std::printf("%s\n", summarize_flow(baseline, "FullCro").c_str());
+      const auto cmp = compare_costs(ours, baseline);
+      std::printf("reductions: wirelength %s, area %s, delay %s\n",
+                  util::fmt_percent(cmp.wirelength_reduction()).c_str(),
+                  util::fmt_percent(cmp.area_reduction()).c_str(),
+                  util::fmt_percent(cmp.delay_reduction()).c_str());
+    }
+  } catch (const util::FlowError& e) {
+    // Land the error manifest while the telemetry session is still alive,
+    // then let main's handler pick the exit code.
+    telemetry::Session::record_error(e);
+    throw;
   }
   return 0;
 }
@@ -269,20 +312,39 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const Args args = Args::parse(argc, argv);
-  if (args.has("log-level")) {
-    util::LogLevel level;
-    const std::string name = args.get("log-level", "");
-    if (!util::parse_log_level(name, &level)) {
-      std::fprintf(stderr,
-                   "unknown --log-level '%s' (debug|info|warn|error|off)\n",
-                   name.c_str());
-      return 2;
+  // Typed errors map onto the exit-code contract (docs/robustness.md):
+  // 2 input, 3 numerical, 4 resource, 5 internal. A CheckError is a
+  // programmer-error invariant violation, so it lands on 5 alongside the
+  // dynamic internal failures.
+  try {
+    if (args.has("log-level")) {
+      util::LogLevel level;
+      const std::string name = args.get("log-level", "");
+      if (!util::parse_log_level(name, &level)) {
+        std::fprintf(stderr,
+                     "unknown --log-level '%s' (debug|info|warn|error|off)\n",
+                     name.c_str());
+        return 2;
+      }
+      util::set_log_level(level);
     }
-    util::set_log_level(level);
+    if (args.has("fault")) util::fault_arm(args.get("fault", ""));
+    if (command == "generate") return cmd_generate(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "flow") return cmd_flow(args);
+    if (command == "validate-json") return cmd_validate_json(args);
+    return usage();
+  } catch (const util::FlowError& e) {
+    std::fprintf(stderr, "autoncs: %s\n", e.what());
+    return e.exit_code();
+  } catch (const util::CheckError& e) {
+    std::fprintf(stderr, "autoncs: internal check failed: %s\n", e.what());
+    return 5;
+  } catch (const std::bad_alloc&) {
+    std::fprintf(stderr, "autoncs: out of memory\n");
+    return 4;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "autoncs: unexpected error: %s\n", e.what());
+    return 5;
   }
-  if (command == "generate") return cmd_generate(args);
-  if (command == "info") return cmd_info(args);
-  if (command == "flow") return cmd_flow(args);
-  if (command == "validate-json") return cmd_validate_json(args);
-  return usage();
 }
