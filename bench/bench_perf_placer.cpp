@@ -25,6 +25,7 @@
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -131,15 +132,26 @@ int main(int argc, char** argv) {
 
   // Multithreaded wall time at the largest size (bit-identical by the
   // determinism guarantee; the per-call parallelism pays off as n grows).
-  const std::size_t hw = std::thread::hardware_concurrency() > 0
-                             ? std::thread::hardware_concurrency()
-                             : 2;
+  // A FIXED thread count is requested — hardware_concurrency() resolves to
+  // 1 on single-core CI runners and would silently rerun the serial
+  // configuration while labeling it multithreaded. The artifact records
+  // the requested count, the resolved pool size, and the hardware's
+  // parallelism so a reader can tell oversubscribed numbers apart.
+  constexpr std::size_t kMtThreadsRequested = 8;
+  const std::size_t mt_threads = util::resolve_thread_count(kMtThreadsRequested);
+  const std::size_t hardware_threads = std::thread::hardware_concurrency();
   netlist::Netlist mt_net = bench_netlist(sizes.back());
   util::WallTimer timer;
-  place::place(mt_net, bench_options(hw, false));
+  place::place(mt_net, bench_options(mt_threads, false));
   const double fast_mt_ms = timer.elapsed_ms();
   std::printf("largest n=%zu with %zu threads: %.1f ms (1 thread: %.1f ms)\n",
-              sizes.back(), hw, fast_mt_ms, largest_fast_ms);
+              sizes.back(), mt_threads, fast_mt_ms, largest_fast_ms);
+  if (hardware_threads < mt_threads) {
+    std::printf("WARNING: %zu threads on %zu hardware thread(s) — the pool "
+                "is oversubscribed and fast_mt_ms measures scheduling "
+                "overhead, not scaling.\n",
+                mt_threads, hardware_threads);
+  }
   std::printf("placements bit-identical (fast vs legacy): %s\n",
               all_identical ? "yes" : "NO — determinism violated");
   std::printf("gradient evals <= value evals in every CG run: %s\n",
@@ -154,7 +166,9 @@ int main(int argc, char** argv) {
        {"fast_ms", largest_fast_ms},
        {"speedup", largest_speedup},
        {"fast_mt_ms", fast_mt_ms},
-       {"mt_threads", static_cast<double>(hw)},
+       {"mt_threads", static_cast<double>(mt_threads)},
+       {"mt_threads_requested", static_cast<double>(kMtThreadsRequested)},
+       {"hardware_threads", static_cast<double>(hardware_threads)},
        {"value_evals", static_cast<double>(largest_report.cg_value_evals_total)},
        {"gradient_evals",
         static_cast<double>(largest_report.cg_gradient_evals_total)},

@@ -12,6 +12,7 @@
 //   largest); CI smoke-runs with 1.
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "autoncs/pipeline.hpp"
 #include "mapping/fullcro.hpp"
@@ -42,6 +43,8 @@ int main(int argc, char** argv) {
   FlowResult reference;
   bool identical = true;
   double last_speedup = 1.0;
+  double place_ms_8t = 0.0;
+  double route_ms_8t = 0.0;
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     config.threads = threads;
     const FlowResult result = run_physical_design(mapping, config);
@@ -52,6 +55,10 @@ int main(int argc, char** argv) {
         reference.timings.placement_ms + reference.timings.routing_ms;
     const double speedup = place_route_ms > 0.0 ? ref_ms / place_route_ms : 1.0;
     last_speedup = speedup;
+    if (threads == 8) {
+      place_ms_8t = result.timings.placement_ms;
+      route_ms_8t = result.timings.routing_ms;
+    }
     const double route_s = result.timings.routing_ms / 1000.0;
     const double throughput =
         route_s > 0.0
@@ -90,6 +97,14 @@ int main(int argc, char** argv) {
                     result.routing.total_overflow});
   }
   std::printf("%s", table.render().c_str());
+  const std::size_t hardware_threads = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %zu\n", hardware_threads);
+  if (hardware_threads < 8) {
+    std::printf("WARNING: the 8-thread row runs on %zu hardware thread(s) — "
+                "speedup_8t measures oversubscription overhead there, not "
+                "parallel scaling.\n",
+                hardware_threads);
+  }
   std::printf("routing bit-identical across thread counts: %s\n",
               identical ? "yes" : "NO — determinism violated");
   std::printf("expected shape: route/place time shrinks with threads on "
@@ -98,7 +113,10 @@ int main(int argc, char** argv) {
       "perf_threads",
       {{"place_ms_1t", reference.timings.placement_ms},
        {"route_ms_1t", reference.timings.routing_ms},
+       {"place_ms_8t", place_ms_8t},
+       {"route_ms_8t", route_ms_8t},
        {"speedup_8t", last_speedup},
+       {"hardware_threads", static_cast<double>(hardware_threads)},
        {"wirelength_um", reference.routing.total_wirelength_um},
        {"overflow", reference.routing.total_overflow},
        {"deterministic", identical ? 1.0 : 0.0}});

@@ -42,6 +42,26 @@ CgResult minimize_cg(std::vector<double>& x, const Objective& objective,
   std::vector<double> trial(n, 0.0);
   std::vector<double> trial_grad(n, 0.0);
 
+  // Elementwise updates go through the pool when the vector is large
+  // enough that a block of work is worth a worker wakeup; below the grain
+  // parallel_for runs the whole range inline on the caller.
+  util::ThreadPool* pool =
+      (options.pool != nullptr && options.pool->size() > 1) ? options.pool
+                                                            : nullptr;
+  constexpr std::size_t kElementGrain = 2048;
+  const auto elementwise = [&](auto&& fn) {
+    if (pool == nullptr) {
+      fn(0, n);
+      return;
+    }
+    pool->parallel_for(
+        n,
+        [&](std::size_t begin, std::size_t end, std::size_t /*worker*/) {
+          fn(begin, end);
+        },
+        kElementGrain);
+  };
+
   CgResult result;
   const auto eval = [&](const std::vector<double>& point,
                         std::vector<double>* gradient) {
@@ -101,7 +121,9 @@ CgResult minimize_cg(std::vector<double>& x, const Objective& objective,
     result.converged = true;
     return result;
   }
-  for (std::size_t i = 0; i < n; ++i) direction[i] = -grad[i];
+  elementwise([&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) direction[i] = -grad[i];
+  });
   double step = options.initial_step;
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
@@ -110,7 +132,9 @@ CgResult minimize_cg(std::vector<double>& x, const Objective& objective,
     double slope = dot(grad, direction);
     if (slope >= 0.0) {
       // Direction lost descent property — restart with steepest descent.
-      for (std::size_t i = 0; i < n; ++i) direction[i] = -grad[i];
+      elementwise([&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) direction[i] = -grad[i];
+      });
       slope = dot(grad, direction);
       if (slope >= 0.0) break;  // gradient numerically zero
     }
@@ -123,7 +147,10 @@ CgResult minimize_cg(std::vector<double>& x, const Objective& objective,
     double trial_value = value;
     bool accepted = false;
     for (std::size_t bt = 0; bt < options.max_backtracks; ++bt) {
-      for (std::size_t i = 0; i < n; ++i) trial[i] = x[i] + t * direction[i];
+      elementwise([&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+          trial[i] = x[i] + t * direction[i];
+      });
       std::vector<double>* tg =
           options.value_only_trials ? nullptr : &trial_grad;
       trial_value = eval(trial, tg);
@@ -161,7 +188,9 @@ CgResult minimize_cg(std::vector<double>& x, const Objective& objective,
         result.degraded = true;
         break;
       }
-      for (std::size_t i = 0; i < n; ++i) direction[i] = -grad[i];
+      elementwise([&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) direction[i] = -grad[i];
+      });
       step = std::max(t * 0.25, 1e-12);
       continue;
     }
@@ -187,8 +216,10 @@ CgResult minimize_cg(std::vector<double>& x, const Objective& objective,
     for (std::size_t i = 0; i < n; ++i)
       beta += grad[i] * (grad[i] - prev_grad[i]);
     beta = std::max(0.0, beta / gg);
-    for (std::size_t i = 0; i < n; ++i)
-      direction[i] = -grad[i] + beta * direction[i];
+    elementwise([&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i)
+        direction[i] = -grad[i] + beta * direction[i];
+    });
   }
   return result;
 }

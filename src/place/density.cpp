@@ -131,9 +131,13 @@ double DensityModel::evaluate_with_grid(const Grid& grid,
   // only its own scratch list. The grid is read-only and its candidate
   // order is fixed by construction, so the lists are independent of the
   // thread count.
+  // A block of ~32 cells of candidate enumeration amortizes one worker
+  // wakeup; the fixed grain keeps the block grid thread-count-invariant.
+  constexpr std::size_t kCellGrain = 32;
   pairs_.resize(n);
   pool->parallel_for(
-      n, [&](std::size_t begin, std::size_t end, std::size_t /*worker*/) {
+      n,
+      [&](std::size_t begin, std::size_t end, std::size_t /*worker*/) {
         for (std::size_t i = begin; i < end; ++i) {
           auto& list = pairs_[i];
           list.clear();
@@ -169,7 +173,8 @@ double DensityModel::evaluate_with_grid(const Grid& grid,
             });
           }
         }
-      });
+      },
+      kCellGrain);
 
   // Phase 2 (sequential reduction in (i, candidate) order — the FP
   // operation order of the single-thread loop above).
@@ -220,17 +225,51 @@ double DensityModel::evaluate(const netlist::Netlist& netlist,
     // dx from the same state doubles the grid packed, tx from the same
     // half-extent sums — identical values, so the replayed gradient terms
     // match a full evaluation bit for bit.
-    for (const CachedPair& p : cache_pairs_) {
+    const std::size_t pairs = cache_pairs_.size();
+    const auto pair_terms = [&](std::size_t k, DensityPairTerm& term) {
+      const CachedPair& p = cache_pairs_[k];
       const double dx = state[2 * p.i] - state[2 * p.j];
       const double dy = state[2 * p.i + 1] - state[2 * p.j + 1];
       const double tx = half_w_[p.i] + half_w_[p.j];
       const double ty = half_h_[p.i] + half_h_[p.j];
-      DensityPairTerm term;
       density_pair_gradient(dx, dy, tx, ty, p.ox, p.oy, beta, term);
-      (*gradient)[2 * p.i] += term.sx;
-      (*gradient)[2 * p.j] -= term.sx;
-      (*gradient)[2 * p.i + 1] += term.sy;
-      (*gradient)[2 * p.j + 1] -= term.sy;
+    };
+    if (pool != nullptr && pool->size() > 1 && pairs >= 2) {
+      // The sigmoid work parallelizes — each pair owns its scratch slot —
+      // and the scatter (whose additions alias across pairs sharing a
+      // cell) stays sequential in the recorded order, so the gradient is
+      // bit-identical to the serial replay.
+      constexpr std::size_t kReplayGrain = 1024;
+      replay_sx_.resize(pairs);
+      replay_sy_.resize(pairs);
+      pool->parallel_for(
+          pairs,
+          [&](std::size_t begin, std::size_t end, std::size_t /*worker*/) {
+            for (std::size_t k = begin; k < end; ++k) {
+              DensityPairTerm term;
+              pair_terms(k, term);
+              replay_sx_[k] = term.sx;
+              replay_sy_[k] = term.sy;
+            }
+          },
+          kReplayGrain);
+      for (std::size_t k = 0; k < pairs; ++k) {
+        const CachedPair& p = cache_pairs_[k];
+        (*gradient)[2 * p.i] += replay_sx_[k];
+        (*gradient)[2 * p.j] -= replay_sx_[k];
+        (*gradient)[2 * p.i + 1] += replay_sy_[k];
+        (*gradient)[2 * p.j + 1] -= replay_sy_[k];
+      }
+    } else {
+      for (std::size_t k = 0; k < pairs; ++k) {
+        const CachedPair& p = cache_pairs_[k];
+        DensityPairTerm term;
+        pair_terms(k, term);
+        (*gradient)[2 * p.i] += term.sx;
+        (*gradient)[2 * p.j] -= term.sx;
+        (*gradient)[2 * p.i + 1] += term.sy;
+        (*gradient)[2 * p.j + 1] -= term.sy;
+      }
     }
     return cache_total_;
   }

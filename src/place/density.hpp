@@ -187,6 +187,12 @@ struct DensityModel {
   /// them (identical order, identical FP terms) and only pays the sigmoid
   /// work a full gradient evaluation would add on top of the value pass.
   mutable std::vector<CachedPair> cache_pairs_;
+  /// Replay scratch: per cached pair the gradient terms (sx, sy), computed
+  /// in parallel — each pair owns its slot — then scattered sequentially
+  /// in the recorded pair order, so the replayed gradient stays
+  /// bit-identical for any thread count.
+  mutable std::vector<double> replay_sx_;
+  mutable std::vector<double> replay_sy_;
   mutable std::vector<double> cache_state_;
   mutable double cache_total_ = 0.0;
   mutable double cache_beta_ = 0.0;

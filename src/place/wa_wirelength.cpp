@@ -238,7 +238,43 @@ double wa_axis_legacy(const std::vector<std::size_t>& pins,
   return f_plus - f_minus;
 }
 
+/// Work per dispatched block of the pooled loops, sized so one block is
+/// worth a wakeup: ~64 wires of exponentials, ~256 cells of gather adds.
+constexpr std::size_t kWireGrain = 64;
+constexpr std::size_t kCellGrain = 256;
+
 }  // namespace
+
+void WaModel::build_pin_index(const netlist::Netlist& netlist) const {
+  const std::size_t cells = netlist.cells.size();
+  const std::size_t wires = netlist.wires.size();
+  const std::size_t entries = offsets_[wires];
+  if (pin_index_cells_ == cells && pin_index_wires_ == wires &&
+      pin_index_entries_ == entries && !cell_off_.empty()) {
+    return;
+  }
+  cell_off_.assign(cells + 1, 0);
+  for (const auto& wire : netlist.wires)
+    for (std::size_t pin : wire.pins) ++cell_off_[pin + 1];
+  for (std::size_t c = 0; c < cells; ++c) cell_off_[c + 1] += cell_off_[c];
+  cell_wire_.resize(entries);
+  cell_slot_.resize(entries);
+  std::vector<std::size_t> cursor(cell_off_.begin(), cell_off_.end() - 1);
+  // Scanning wires then pins in ascending order leaves every cell's entry
+  // list sorted (wire, pin) ascending — the exact order the sequential
+  // scatter loop adds into that cell's gradient entries.
+  for (std::size_t w = 0; w < wires; ++w) {
+    const auto& pins = netlist.wires[w].pins;
+    for (std::size_t k = 0; k < pins.size(); ++k) {
+      const std::size_t at = cursor[pins[k]]++;
+      cell_wire_[at] = static_cast<std::uint32_t>(w);
+      cell_slot_[at] = static_cast<std::uint32_t>(offsets_[w] + k);
+    }
+  }
+  pin_index_cells_ = cells;
+  pin_index_wires_ = wires;
+  pin_index_entries_ = entries;
+}
 
 double WaModel::evaluate(const netlist::Netlist& netlist,
                          const std::vector<double>& state,
@@ -252,27 +288,64 @@ double WaModel::evaluate(const netlist::Netlist& netlist,
                   "gradient size must match the state");
   }
   const std::size_t wires = netlist.wires.size();
-  if (pool == nullptr || pool->size() == 1 || wires < 2) {
+  const bool pooled = pool != nullptr && pool->size() > 1 && wires >= 2;
+  if (!cached_kernels) {
+    // Reference engine: original uncached kernel (sequential only — the
+    // legacy baseline is a single-thread configuration).
     double total = 0.0;
-    if (!cached_kernels) {
-      // Reference engine: original uncached kernel (sequential only — the
-      // legacy baseline is a single-thread configuration).
-      for (const auto& wire : netlist.wires) {
-        total +=
-            wire.weight *
-            (wa_axis_legacy(wire.pins, state, 0, gamma, wire.weight, gradient) +
-             wa_axis_legacy(wire.pins, state, 1, gamma, wire.weight, gradient));
-      }
-      return total;
+    for (const auto& wire : netlist.wires) {
+      total +=
+          wire.weight *
+          (wa_axis_legacy(wire.pins, state, 0, gamma, wire.weight, gradient) +
+           wa_axis_legacy(wire.pins, state, 1, gamma, wire.weight, gradient));
     }
-    if (gradient != nullptr && cache_valid_ && cache_gamma_ == gamma &&
-        cache_state_ == state) {
-      // Acceptance replay: gradient at the exact point of the last
-      // value-only evaluation (the accepted Armijo trial). Only the
-      // gradient loops run, over the recorded exponentials and sums — the
-      // identical doubles the full kernel would recompute — in the same
-      // wire / axis / pin order, so gradient and value are bit-identical
-      // to an uncached evaluation.
+    return total;
+  }
+
+  offsets_.resize(wires + 1);
+  offsets_[0] = 0;
+  for (std::size_t w = 0; w < wires; ++w)
+    offsets_[w + 1] = offsets_[w] + netlist.wires[w].pins.size();
+
+  if (gradient != nullptr && cache_valid_ && cache_gamma_ == gamma &&
+      cache_state_ == state) {
+    // Acceptance replay: gradient at the exact point of the last
+    // value-only evaluation (the accepted Armijo trial). Only the
+    // gradient loops run, over the recorded exponentials and sums — the
+    // identical doubles the full kernel would recompute. The pooled form
+    // gathers per CELL through the inverse pin index: each gradient entry
+    // receives exactly the additions of the sequential wire-major loop,
+    // in the same (wire, pin) ascending order, so both forms are
+    // bit-identical to an uncached evaluation.
+    const auto replay_cell = [&](std::size_t c) {
+      const double vx = state[2 * c];
+      const double vy = state[2 * c + 1];
+      for (std::size_t e = cell_off_[c]; e < cell_off_[c + 1]; ++e) {
+        const std::size_t w = cell_wire_[e];
+        const std::size_t slot = cell_slot_[e];
+        const double weight = netlist.wires[w].weight;
+        const double* fp = &cache_fp_[8 * w];
+        const double dx_plus =
+            cache_ax_[slot] / fp[2] * (1.0 + (vx - fp[0]) / gamma);
+        const double dx_minus =
+            cache_bx_[slot] / fp[3] * (1.0 - (vx - fp[1]) / gamma);
+        (*gradient)[2 * c] += weight * (dx_plus - dx_minus);
+        const double dy_plus =
+            cache_ay_[slot] / fp[6] * (1.0 + (vy - fp[4]) / gamma);
+        const double dy_minus =
+            cache_by_[slot] / fp[7] * (1.0 - (vy - fp[5]) / gamma);
+        (*gradient)[2 * c + 1] += weight * (dy_plus - dy_minus);
+      }
+    };
+    if (pooled) {
+      build_pin_index(netlist);
+      pool->parallel_for(
+          netlist.cells.size(),
+          [&](std::size_t begin, std::size_t end, std::size_t /*worker*/) {
+            for (std::size_t c = begin; c < end; ++c) replay_cell(c);
+          },
+          kCellGrain);
+    } else {
       for (std::size_t w = 0; w < wires; ++w) {
         const auto& wire = netlist.wires[w];
         const std::size_t off = offsets_[w];
@@ -293,37 +366,57 @@ double WaModel::evaluate(const netlist::Netlist& netlist,
               cache_by_[off + k] / fp[7] * (1.0 - (v - fp[5]) / gamma);
           (*gradient)[2 * wire.pins[k] + 1] += wire.weight * (d_plus - d_minus);
         }
-        total += wire.weight * ((fp[0] - fp[1]) + (fp[4] - fp[5]));
       }
-      return total;
     }
-    if (gradient == nullptr) {
-      // Value-only trial: fill the acceptance cache as a side effect.
-      offsets_.resize(wires + 1);
-      offsets_[0] = 0;
-      for (std::size_t w = 0; w < wires; ++w)
-        offsets_[w + 1] = offsets_[w] + netlist.wires[w].pins.size();
-      cache_fp_.resize(8 * wires);
-      cache_ax_.resize(offsets_[wires]);
-      cache_bx_.resize(offsets_[wires]);
-      cache_ay_.resize(offsets_[wires]);
-      cache_by_.resize(offsets_[wires]);
-      cache_valid_ = false;
-      for (std::size_t w = 0; w < wires; ++w) {
-        const auto& wire = netlist.wires[w];
-        const std::size_t off = offsets_[w];
-        double* fp = &cache_fp_[8 * w];
-        total += wire.weight *
-                 (wa_axis_fill(wire.pins, state, 0, gamma, &cache_ax_[off],
-                               &cache_bx_[off], fp) +
-                  wa_axis_fill(wire.pins, state, 1, gamma, &cache_ay_[off],
-                               &cache_by_[off], fp + 4));
-      }
-      cache_state_ = state;
-      cache_gamma_ = gamma;
-      cache_valid_ = true;
-      return total;
+    // The cached total IS the fold of wire.weight * ((fp0-fp1)+(fp4-fp5))
+    // in wire order — recomputing it would reproduce it bit for bit.
+    return cache_value_;
+  }
+
+  if (gradient == nullptr) {
+    // Value-only trial: fill the acceptance cache as a side effect. Each
+    // wire owns its cache slots, so the fill parallelizes; the total is
+    // folded sequentially in wire order (the FP operation order of the
+    // single-thread loop, independent of the thread count).
+    cache_fp_.resize(8 * wires);
+    cache_ax_.resize(offsets_[wires]);
+    cache_bx_.resize(offsets_[wires]);
+    cache_ay_.resize(offsets_[wires]);
+    cache_by_.resize(offsets_[wires]);
+    cache_valid_ = false;
+    const auto fill_wire = [&](std::size_t w) {
+      const auto& wire = netlist.wires[w];
+      const std::size_t off = offsets_[w];
+      double* fp = &cache_fp_[8 * w];
+      return wire.weight *
+             (wa_axis_fill(wire.pins, state, 0, gamma, &cache_ax_[off],
+                           &cache_bx_[off], fp) +
+              wa_axis_fill(wire.pins, state, 1, gamma, &cache_ay_[off],
+                           &cache_by_[off], fp + 4));
+    };
+    double total = 0.0;
+    if (pooled) {
+      wire_value_.resize(wires);
+      pool->parallel_for(
+          wires,
+          [&](std::size_t begin, std::size_t end, std::size_t /*worker*/) {
+            for (std::size_t w = begin; w < end; ++w)
+              wire_value_[w] = fill_wire(w);
+          },
+          kWireGrain);
+      for (std::size_t w = 0; w < wires; ++w) total += wire_value_[w];
+    } else {
+      for (std::size_t w = 0; w < wires; ++w) total += fill_wire(w);
     }
+    cache_state_ = state;
+    cache_gamma_ = gamma;
+    cache_value_ = total;
+    cache_valid_ = true;
+    return total;
+  }
+
+  if (!pooled) {
+    double total = 0.0;
     for (const auto& wire : netlist.wires) {
       total += wire.weight *
                (wa_axis(wire.pins, state, 0, gamma, wire.weight, gradient) +
@@ -332,43 +425,44 @@ double WaModel::evaluate(const netlist::Netlist& netlist,
     return total;
   }
 
+  // Full gradient evaluation off the cache (e.g. the lambda_0 probe).
   // Phase 1 (parallel): each wire computes its value and per-pin gradient
   // terms into its own slots.
-  offsets_.resize(wires + 1);
-  offsets_[0] = 0;
-  for (std::size_t w = 0; w < wires; ++w)
-    offsets_[w + 1] = offsets_[w] + netlist.wires[w].pins.size();
   wire_value_.resize(wires);
-  if (gradient != nullptr) {
-    contrib_x_.resize(offsets_[wires]);
-    contrib_y_.resize(offsets_[wires]);
-  }
+  contrib_x_.resize(offsets_[wires]);
+  contrib_y_.resize(offsets_[wires]);
   pool->parallel_for(
-      wires, [&](std::size_t begin, std::size_t end, std::size_t /*worker*/) {
+      wires,
+      [&](std::size_t begin, std::size_t end, std::size_t /*worker*/) {
         for (std::size_t w = begin; w < end; ++w) {
           const auto& wire = netlist.wires[w];
-          double* cx = gradient ? contrib_x_.data() + offsets_[w] : nullptr;
-          double* cy = gradient ? contrib_y_.data() + offsets_[w] : nullptr;
+          double* cx = contrib_x_.data() + offsets_[w];
+          double* cy = contrib_y_.data() + offsets_[w];
           wire_value_[w] =
               wire.weight *
               (wa_axis_terms(wire.pins, state, 0, gamma, wire.weight, cx) +
                wa_axis_terms(wire.pins, state, 1, gamma, wire.weight, cy));
         }
-      });
+      },
+      kWireGrain);
 
-  // Phase 2 (sequential reduction in wire order — the FP operation order
-  // of the single-thread loop, independent of the thread count).
+  // Phase 2: the total folds sequentially in wire order; the gradient is
+  // gathered in parallel per cell — entry (wire, pin) ascending, the
+  // identical addition sequence of the sequential scatter.
+  build_pin_index(netlist);
+  pool->parallel_for(
+      netlist.cells.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t /*worker*/) {
+        for (std::size_t c = begin; c < end; ++c) {
+          for (std::size_t e = cell_off_[c]; e < cell_off_[c + 1]; ++e) {
+            (*gradient)[2 * c] += contrib_x_[cell_slot_[e]];
+            (*gradient)[2 * c + 1] += contrib_y_[cell_slot_[e]];
+          }
+        }
+      },
+      kCellGrain);
   double total = 0.0;
-  for (std::size_t w = 0; w < wires; ++w) {
-    const auto& wire = netlist.wires[w];
-    if (gradient != nullptr) {
-      for (std::size_t k = 0; k < wire.pins.size(); ++k)
-        (*gradient)[2 * wire.pins[k]] += contrib_x_[offsets_[w] + k];
-      for (std::size_t k = 0; k < wire.pins.size(); ++k)
-        (*gradient)[2 * wire.pins[k] + 1] += contrib_y_[offsets_[w] + k];
-    }
-    total += wire_value_[w];
-  }
+  for (std::size_t w = 0; w < wires; ++w) total += wire_value_[w];
   return total;
 }
 

@@ -10,12 +10,17 @@
 // Exponentials are max-shifted for numerical stability.
 //
 // With a thread pool, per-wire terms are computed in parallel (each wire
-// writes only its own slot of a scratch buffer) and then reduced into the
-// total and the gradient sequentially in wire order — the exact FP
-// operation order of the single-thread loop, so the result is
-// bit-identical for any thread count.
+// writes only its own slot of a scratch buffer) and then reduced: the
+// total is folded sequentially in wire order, and the gradient is
+// GATHERED in parallel per cell through a static cell -> (wire, pin-slot)
+// inverse index — each gradient entry receives exactly the additions of
+// the single-thread scatter loop, in the same (wire, pin) ascending
+// order, so every result is bit-identical for any thread count. The
+// acceptance cache (value-only trials replayed as gradients) works on the
+// pooled path too.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -83,7 +88,22 @@ struct WaModel {
   mutable std::vector<double> cache_by_;
   mutable std::vector<double> cache_state_;
   mutable double cache_gamma_ = 0.0;
+  /// Total of the cached value pass; a replay returns it directly (the
+  /// per-wire recomputation from cache_fp_ reproduces it bit for bit, so
+  /// storing it skips the fold).
+  mutable double cache_value_ = 0.0;
   mutable bool cache_valid_ = false;
+  /// Static cell -> incident (wire, pin-slot) CSR inverse of the wire pin
+  /// lists, entries sorted (wire, pin) ascending per cell — the order the
+  /// sequential scatter loop touches each gradient entry. Built lazily for
+  /// the pooled gather paths and rebuilt when the topology extents change.
+  void build_pin_index(const netlist::Netlist& netlist) const;
+  mutable std::vector<std::size_t> cell_off_;
+  mutable std::vector<std::uint32_t> cell_wire_;
+  mutable std::vector<std::uint32_t> cell_slot_;
+  mutable std::size_t pin_index_cells_ = 0;
+  mutable std::size_t pin_index_wires_ = 0;
+  mutable std::size_t pin_index_entries_ = 0;
 };
 
 /// Exact weighted HPWL: sum_e w_e (max x - min x + max y - min y) — the

@@ -121,6 +121,13 @@ std::optional<std::vector<BinRef>> maze_route(const GridGraph& grid,
   if (!found && windowed) found = search(0, 0, nx - 1, ny - 1);
   if (!found) return std::nullopt;
   std::vector<BinRef> path;
+  // Manhattan lower bound on the hop count — exact for detour-free routes,
+  // which are the common case, so backtracking rarely reallocates.
+  path.reserve((source.ix > target.ix ? source.ix - target.ix
+                                      : target.ix - source.ix) +
+               (source.iy > target.iy ? source.iy - target.iy
+                                      : target.iy - source.iy) +
+               1);
   for (std::size_t node = goal;;) {
     path.push_back({node % nx, node / nx});
     if (node == start) break;

@@ -206,6 +206,12 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
   util::ThreadPool pool(options.threads);
   result.threads_used = pool.size();
   std::vector<MazeWorkspace> workspaces(pool.size());
+  // Fixed batch of segments per dispatched block. The block grid is keyed
+  // on the pending-segment index only — never on pool.size() — so the
+  // batch boundaries (and the per-thread MazeWorkspace reuse pattern) are
+  // invariant to the thread count, and a wave that fits one batch runs
+  // inline on worker 0 without waking the pool at all.
+  constexpr std::size_t kSpeculateGrain = 4;
 
   // Committed grid path per segment (empty = intra-bin connection), plus
   // the relaxations its FINAL committed route used (reset on rip-up).
@@ -251,7 +257,8 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
                                           workspaces[worker],
                                           sabotaged[s] != 0);
             }
-          });
+          },
+          kSpeculateGrain);
       // Commit phase: sequential, in canonical order. Only clean
       // (unrelaxed) speculative paths commit; one invalidated by an
       // earlier commit of this wave is deferred and rerouted against the

@@ -1,11 +1,23 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "util/check.hpp"
 
 namespace autoncs::util {
 
 std::size_t resolve_thread_count(std::size_t requested) {
   if (requested != 0) return requested;
+  if (const char* env = std::getenv("AUTONCS_THREADS")) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0) {
+      return static_cast<std::size_t>(value);
+    }
+    // A malformed override falls through to hardware detection rather
+    // than silently serializing the flow.
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
@@ -13,17 +25,23 @@ std::size_t resolve_thread_count(std::size_t requested) {
 ThreadPool::ThreadPool(std::size_t threads)
     : worker_count_(resolve_thread_count(threads)) {
   threads_.reserve(worker_count_ - 1);
+  slots_.reserve(worker_count_ - 1);
+  for (std::size_t w = 1; w < worker_count_; ++w) {
+    slots_.emplace_back(std::make_unique<WorkerSlot>());
+  }
   for (std::size_t w = 1; w < worker_count_; ++w) {
     threads_.emplace_back([this, w] { worker_loop(w); });
   }
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
+  stop_.store(true);
+  for (auto& slot : slots_) {
+    // Taking the slot mutex around the notify guarantees the worker is
+    // either parked (and sees the wakeup) or about to re-check stop_.
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    slot->cv.notify_one();
   }
-  start_cv_.notify_all();
   for (auto& thread : threads_) thread.join();
 }
 
@@ -35,64 +53,88 @@ void ThreadPool::chunk_bounds(std::size_t count, std::size_t chunk,
   *end = (chunk + 1) * count / chunks;
 }
 
-void ThreadPool::run_chunk(const RangeFn& fn, std::size_t count,
-                           std::size_t worker) {
-  std::size_t begin = 0;
-  std::size_t end = 0;
-  chunk_bounds(count, worker, worker_count_, &begin, &end);
-  if (begin >= end) return;
+void ThreadPool::run_blocks(std::size_t worker) {
   try {
-    fn(begin, end, worker);
+    for (std::size_t b = worker; b < job_blocks_; b += job_active_) {
+      const std::size_t begin = b * job_grain_;
+      const std::size_t end = std::min(begin + job_grain_, job_count_);
+      (*job_)(begin, end, worker);
+    }
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(error_mutex_);
     if (!error_) error_ = std::current_exception();
   }
 }
 
-void ThreadPool::parallel_for(std::size_t count, const RangeFn& fn) {
+void ThreadPool::parallel_for(std::size_t count, const RangeFn& fn,
+                              std::size_t grain) {
   if (count == 0) return;
-  if (worker_count_ == 1) {
+  std::size_t g = grain;
+  if (g == 0) g = (count + worker_count_ - 1) / worker_count_;
+  if (g == 0) g = 1;
+  const std::size_t blocks = (count + g - 1) / g;
+  const std::size_t active = std::min(worker_count_, blocks);
+  if (active <= 1) {
+    // The whole range fits one block (or there is one worker): stay on
+    // the calling thread — no wakeups, no synchronization.
     fn(0, count, 0);
     return;
   }
+
+  job_ = &fn;
+  job_count_ = count;
+  job_grain_ = g;
+  job_blocks_ = blocks;
+  job_active_ = active;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    job_ = &fn;
-    job_count_ = count;
-    running_ = threads_.size();
+    std::lock_guard<std::mutex> lock(error_mutex_);
     error_ = nullptr;
-    ++job_id_;
   }
-  start_cv_.notify_all();
-  run_chunk(fn, count, 0);
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return running_ == 0; });
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    remaining_ = active - 1;
+  }
+  ++job_id_;
+  // Wake exactly the workers that own blocks; the rest stay parked. The
+  // slot mutex hand-off publishes the job fields written above.
+  for (std::size_t w = 1; w < active; ++w) {
+    WorkerSlot& slot = *slots_[w - 1];
+    {
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      slot.job = job_id_;
+    }
+    slot.cv.notify_one();
+  }
+  run_blocks(0);
+  {
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
   job_ = nullptr;
-  if (error_) {
-    std::exception_ptr error = error_;
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    error = error_;
     error_ = nullptr;
-    std::rethrow_exception(error);
   }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop(std::size_t worker) {
+  WorkerSlot& slot = *slots_[worker - 1];
   std::uint64_t seen = 0;
   for (;;) {
-    const RangeFn* job = nullptr;
-    std::size_t count = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] { return stop_ || job_id_ != seen; });
-      if (stop_) return;
-      seen = job_id_;
-      job = job_;
-      count = job_count_;
+      std::unique_lock<std::mutex> lock(slot.mutex);
+      slot.cv.wait(lock,
+                   [&] { return stop_.load() || slot.job != seen; });
+      if (stop_.load()) return;
+      seen = slot.job;
     }
-    run_chunk(*job, count, worker);
+    run_blocks(worker);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --running_;
-      if (running_ == 0) done_cv_.notify_all();
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      if (--remaining_ == 0) done_cv_.notify_one();
     }
   }
 }

@@ -1,20 +1,31 @@
 // Deterministic fixed-size thread pool.
 //
-// The pool statically partitions an index range [0, count) into size()
-// contiguous chunks — chunk w runs on worker w, with worker 0 being the
-// calling thread. The partition depends only on (count, size()), never on
-// scheduling, so any per-item computation that does not share mutable
-// state is reproducible run to run. Callers that need results independent
-// of the THREAD COUNT as well (the router and placer hot paths) arrange
-// their algorithms so each item's output is computed independently and
-// reduced in a fixed sequential order afterwards.
+// The pool partitions an index range [0, count) into a FIXED BLOCK GRID:
+// block b covers [b * grain, min((b + 1) * grain, count)), so the block
+// boundaries depend only on (count, grain) — never on the worker count or
+// on scheduling. Worker w runs blocks w, w + A, w + 2A, ... where A is the
+// number of active workers, so any per-item computation that does not
+// share mutable state is reproducible run to run and across thread
+// counts. Callers that need results independent of the THREAD COUNT as
+// well (the router and placer hot paths) arrange their algorithms so each
+// item's output is computed independently and reduced in a fixed order
+// afterwards.
+//
+// Dispatch is cheap by construction: workers park on per-worker slots, so
+// a job only wakes the workers that actually own blocks; a range that
+// fits a single block runs inline on the calling thread with no
+// cross-thread traffic at all. Pass a `grain` sized so one block is worth
+// a wakeup (tens of microseconds of work) and small inputs degrade to the
+// plain sequential loop instead of paying the pool.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -22,17 +33,22 @@
 namespace autoncs::util {
 
 /// Maps a user-facing thread knob to a concrete worker count: 0 means
-/// "hardware concurrency" (at least 1), anything else is used as given.
+/// "auto" — the AUTONCS_THREADS environment variable when set to a
+/// positive integer (the escape hatch for CI and cgroup limits, where
+/// hardware_concurrency() often misreports), otherwise the hardware
+/// concurrency (at least 1). An explicit nonzero request is used as given.
 std::size_t resolve_thread_count(std::size_t requested);
 
 class ThreadPool {
  public:
   /// fn(begin, end, worker): process items [begin, end) on worker `worker`.
+  /// A worker may invoke fn several times (once per block it owns); the
+  /// ranges it receives are disjoint but not necessarily contiguous.
   using RangeFn =
       std::function<void(std::size_t, std::size_t, std::size_t)>;
 
   /// Spawns `threads - 1` workers (the caller participates as worker 0);
-  /// 0 resolves to the hardware concurrency.
+  /// 0 resolves via resolve_thread_count.
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
@@ -41,10 +57,16 @@ class ThreadPool {
   /// Total workers including the calling thread (>= 1).
   std::size_t size() const { return worker_count_; }
 
-  /// Runs fn over [0, count) split into size() contiguous chunks; blocks
-  /// until every chunk finished. The first exception thrown by any chunk
-  /// is rethrown on the calling thread. Not reentrant.
-  void parallel_for(std::size_t count, const RangeFn& fn);
+  /// Runs fn over [0, count) split into fixed blocks of `grain` indices
+  /// (the last block may be short); blocks until every block finished.
+  /// Worker w owns blocks w, w + A, w + 2A, ... with
+  /// A = min(size(), blocks) active workers — workers without blocks are
+  /// never woken, and a single-block range runs inline on the caller.
+  /// `grain == 0` (the default) derives one block per worker, the legacy
+  /// contiguous partition. The first exception thrown by any block is
+  /// rethrown on the calling thread. Not reentrant.
+  void parallel_for(std::size_t count, const RangeFn& fn,
+                    std::size_t grain = 0);
 
   /// Chunk `chunk` of `chunks` over [0, count): [begin, end). Contiguous,
   /// covers the range exactly, sizes differ by at most one.
@@ -53,19 +75,39 @@ class ThreadPool {
                            std::size_t* end);
 
  private:
+  /// Parking slot owned by one spawned worker: the worker sleeps on its
+  /// own condition variable, so dispatching a job wakes exactly the
+  /// workers that participate in it.
+  struct WorkerSlot {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::uint64_t job = 0;
+  };
+
   void worker_loop(std::size_t worker);
-  void run_chunk(const RangeFn& fn, std::size_t count, std::size_t worker);
+  /// Runs every block owned by `worker` under the current job, capturing
+  /// the first exception.
+  void run_blocks(std::size_t worker);
 
   std::size_t worker_count_;
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::atomic<bool> stop_{false};
+
+  // Current job. Written by the caller before any slot is signalled; the
+  // per-slot mutex hand-off publishes them to the workers.
   const RangeFn* job_ = nullptr;
   std::size_t job_count_ = 0;
+  std::size_t job_grain_ = 0;
+  std::size_t job_blocks_ = 0;
+  std::size_t job_active_ = 0;
   std::uint64_t job_id_ = 0;
-  std::size_t running_ = 0;
-  bool stop_ = false;
+
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  std::size_t remaining_ = 0;
+
+  std::mutex error_mutex_;
   std::exception_ptr error_;
 };
 

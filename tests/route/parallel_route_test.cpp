@@ -88,7 +88,30 @@ TEST(ParallelRoute, BitIdenticalAcrossThreadCounts) {
   options.threads = 1;
   const auto reference = route(net, options);
   EXPECT_GT(reference.waves, 1u);  // contention actually produced deferrals
-  for (std::size_t threads : {2u, 4u, 8u}) {
+  // 3 exercises the odd-count case: the batched wave dispatch must produce
+  // the same speculation batches whether or not the pool size divides them.
+  for (std::size_t threads : {2u, 3u, 4u, 8u}) {
+    options.threads = threads;
+    const auto parallel = route(net, options);
+    EXPECT_EQ(parallel.threads_used, threads);
+    expect_identical(reference, parallel);
+  }
+}
+
+TEST(ParallelRoute, OddThreadCountsBitIdenticalUnderHeavyContention) {
+  // Larger instance than the sweep above so a wave spans many speculation
+  // batches: odd pool sizes (3, 5) must leave the batch grid — and with it
+  // every route, deferral, and relaxation — untouched.
+  const auto net = congested_netlist(10, 10, 110);
+  RouterOptions options;
+  options.theta = 4.0;
+  options.capacity_per_um = 0.25;
+  options.reroute_passes = 2;
+  options.threads = 1;
+  const auto reference = route(net, options);
+  EXPECT_GT(reference.waves, 1u);
+  EXPECT_GT(reference.segments_routed, 100u);  // spans several batches
+  for (std::size_t threads : {3u, 5u}) {
     options.threads = threads;
     const auto parallel = route(net, options);
     EXPECT_EQ(parallel.threads_used, threads);

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -14,6 +18,20 @@ TEST(ThreadPool, ResolveThreadCount) {
   EXPECT_GE(resolve_thread_count(0), 1u);
   EXPECT_EQ(resolve_thread_count(1), 1u);
   EXPECT_EQ(resolve_thread_count(7), 7u);
+}
+
+TEST(ThreadPool, ResolveThreadCountEnvOverride) {
+  // AUTONCS_THREADS caps the AUTO resolution only — explicit requests are
+  // honored as given (tests and benches rely on exact pool sizes).
+  ASSERT_EQ(setenv("AUTONCS_THREADS", "3", 1), 0);
+  EXPECT_EQ(resolve_thread_count(0), 3u);
+  EXPECT_EQ(resolve_thread_count(8), 8u);
+  ASSERT_EQ(setenv("AUTONCS_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(resolve_thread_count(0), 1u);  // garbage ignored, falls back
+  ASSERT_EQ(setenv("AUTONCS_THREADS", "0", 1), 0);
+  EXPECT_GE(resolve_thread_count(0), 1u);  // zero is not a usable cap
+  ASSERT_EQ(unsetenv("AUTONCS_THREADS"), 0);
+  EXPECT_GE(resolve_thread_count(0), 1u);
 }
 
 TEST(ThreadPool, ChunkBoundsPartitionExactly) {
@@ -114,6 +132,68 @@ TEST(ThreadPool, SingleThreadRunsInline) {
     EXPECT_EQ(worker, 0u);
     EXPECT_EQ(std::this_thread::get_id(), caller);
   });
+}
+
+TEST(ThreadPool, SmallRangeRunsInlineWithGrain) {
+  // A count that fits one grain must stay on the caller: no worker wakeup,
+  // one invocation covering the whole range.
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::size_t calls = 0;
+  pool.parallel_for(
+      8,
+      [&](std::size_t begin, std::size_t end, std::size_t worker) {
+        ++calls;
+        EXPECT_EQ(worker, 0u);
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 8u);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+      },
+      16);
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPool, GrainBlocksAreThreadCountInvariant) {
+  // The same (count, grain) must produce the same block boundaries for any
+  // pool size — the invariance the deterministic batched dispatch relies
+  // on. Each invocation must span exactly one block of the fixed grid.
+  const std::size_t count = 103;
+  const std::size_t grain = 10;
+  std::set<std::pair<std::size_t, std::size_t>> reference;
+  for (std::size_t b = 0; b * grain < count; ++b) {
+    reference.insert({b * grain, std::min((b + 1) * grain, count)});
+  }
+  for (std::size_t threads : {2u, 3u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    std::mutex mutex;
+    std::set<std::pair<std::size_t, std::size_t>> blocks;
+    pool.parallel_for(
+        count,
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          const std::lock_guard<std::mutex> lock(mutex);
+          blocks.insert({begin, end});
+        },
+        grain);
+    EXPECT_EQ(blocks, reference) << "threads = " << threads;
+  }
+}
+
+TEST(ThreadPool, GrainCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  for (std::size_t grain : {1u, 7u, 64u, 1000u}) {
+    const std::size_t count = 500;
+    std::vector<std::atomic<int>> hits(count);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(
+        count,
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+        },
+        grain);
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "grain = " << grain << ", i = " << i;
+    }
+  }
 }
 
 }  // namespace

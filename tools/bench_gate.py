@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""CI gate over the bench_perf_threads artifact.
+
+Reads BENCH_perf_threads.json and fails (exit 1) when the parallel
+place+route flow regresses:
+
+  * ``deterministic`` must be 1 — bit-identical routing across thread
+    counts is a hard contract, never waived.
+  * ``speedup_8t`` must clear a hardware-aware floor. On a multi-core
+    runner (``hardware_threads`` >= 2) the 8-thread run must beat serial
+    (default floor 1.0 — ratchet it upward with --min-speedup as the
+    scaling improves). On a single-core runner an 8-thread pool is pure
+    oversubscription, so the floor only bounds the dispatch overhead
+    (default 0.85): parallelism cannot pay, but it must stay near-free.
+
+Usage: bench_gate.py BENCH_perf_threads.json [--min-speedup X]
+       [--min-speedup-oversubscribed Y]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact", help="path to BENCH_perf_threads.json")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="speedup_8t floor when the runner has >= 2 hardware threads",
+    )
+    parser.add_argument(
+        "--min-speedup-oversubscribed",
+        type=float,
+        default=0.85,
+        help="speedup_8t floor when the runner has 1 hardware thread "
+        "(bounds thread-pool overhead, not scaling)",
+    )
+    args = parser.parse_args()
+
+    with open(args.artifact, encoding="utf-8") as handle:
+        artifact = json.load(handle)
+    metrics = artifact.get("metrics", {})
+
+    failures = []
+
+    deterministic = metrics.get("deterministic")
+    if deterministic != 1:
+        failures.append(
+            f"deterministic = {deterministic!r} (routing must be "
+            "bit-identical across thread counts)"
+        )
+
+    speedup = metrics.get("speedup_8t")
+    hardware = metrics.get("hardware_threads")
+    if speedup is None:
+        failures.append("speedup_8t missing from the artifact")
+    else:
+        multicore = hardware is None or hardware >= 2
+        floor = args.min_speedup if multicore else args.min_speedup_oversubscribed
+        label = (
+            f"multi-core floor ({hardware} hardware threads)"
+            if multicore
+            else "oversubscription floor (1 hardware thread)"
+        )
+        if speedup < floor:
+            failures.append(
+                f"speedup_8t = {speedup:.3f} < {floor:.2f} [{label}]"
+            )
+        else:
+            print(f"speedup_8t = {speedup:.3f} >= {floor:.2f} [{label}] OK")
+
+    if failures:
+        for failure in failures:
+            print(f"BENCH GATE FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
