@@ -14,12 +14,17 @@
 #include <cstdlib>
 #include <thread>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "autoncs/pipeline.hpp"
 #include "mapping/fullcro.hpp"
 #include "nn/testbench.hpp"
 #include "common.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace autoncs;
@@ -45,9 +50,36 @@ int main(int argc, char** argv) {
   double last_speedup = 1.0;
   double place_ms_8t = 0.0;
   double route_ms_8t = 0.0;
+  // Per-stage scheduler telemetry: each run gets a fresh pool-stats window
+  // so the "place"/"route" pool busy fractions are attributable to one
+  // thread count (docs/observability.md, scheduler telemetry).
+  std::vector<std::pair<std::string, double>> pool_metrics;
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     config.threads = threads;
+    util::start_pool_stats();
     const FlowResult result = run_physical_design(mapping, config);
+    const std::vector<util::PoolStats> pool_stats = util::stop_pool_stats();
+    const std::string suffix = std::to_string(threads) + "t";
+    for (const util::PoolStats& p : pool_stats) {
+      double busy_sum = 0.0;
+      for (std::size_t w = 0; w < p.busy_ns.size(); ++w) {
+        const double frac = p.wall_ns > 0 ? static_cast<double>(p.busy_ns[w]) /
+                                                static_cast<double>(p.wall_ns)
+                                          : 0.0;
+        busy_sum += frac;
+        // Per-worker lanes only for the widest run; the mean covers the
+        // narrower ones without flooding the artifact.
+        if (threads == 8) {
+          pool_metrics.emplace_back("pool_" + p.label + "_busy_frac_" +
+                                        suffix + "_w" + std::to_string(w),
+                                    frac);
+        }
+      }
+      pool_metrics.emplace_back(
+          "pool_" + p.label + "_busy_frac_" + suffix,
+          p.busy_ns.empty() ? 0.0
+                            : busy_sum / static_cast<double>(p.busy_ns.size()));
+    }
     const double place_route_ms =
         result.timings.placement_ms + result.timings.routing_ms;
     if (threads == 1) reference = result;
@@ -109,16 +141,18 @@ int main(int argc, char** argv) {
               identical ? "yes" : "NO — determinism violated");
   std::printf("expected shape: route/place time shrinks with threads on "
               "multi-core hosts; identical L and overflow on every row.\n");
-  bench::write_bench_json(
-      "perf_threads",
-      {{"place_ms_1t", reference.timings.placement_ms},
-       {"route_ms_1t", reference.timings.routing_ms},
-       {"place_ms_8t", place_ms_8t},
-       {"route_ms_8t", route_ms_8t},
-       {"speedup_8t", last_speedup},
-       {"hardware_threads", static_cast<double>(hardware_threads)},
-       {"wirelength_um", reference.routing.total_wirelength_um},
-       {"overflow", reference.routing.total_overflow},
-       {"deterministic", identical ? 1.0 : 0.0}});
+  std::vector<std::pair<std::string, double>> bench_metrics = {
+      {"place_ms_1t", reference.timings.placement_ms},
+      {"route_ms_1t", reference.timings.routing_ms},
+      {"place_ms_8t", place_ms_8t},
+      {"route_ms_8t", route_ms_8t},
+      {"speedup_8t", last_speedup},
+      {"hardware_threads", static_cast<double>(hardware_threads)},
+      {"wirelength_um", reference.routing.total_wirelength_um},
+      {"overflow", reference.routing.total_overflow},
+      {"deterministic", identical ? 1.0 : 0.0}};
+  bench_metrics.insert(bench_metrics.end(), pool_metrics.begin(),
+                       pool_metrics.end());
+  bench::write_bench_json("perf_threads", bench_metrics);
   return identical ? 0 : 1;
 }

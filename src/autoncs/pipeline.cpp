@@ -11,6 +11,7 @@
 #include "util/check.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
+#include "util/mem.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -36,10 +37,12 @@ FlowResult physical_design(mapping::HybridMapping mapping,
                               "the netlist");
   {
     AUTONCS_TRACE_SCOPE("flow/netlist");
+    util::set_log_stage("netlist");
     result.netlist = netlist::build_netlist(result.mapping, config.tech);
   }
   recovery::check_netlist_finite(result.netlist, "netlist");
   result.timings.netlist_ms = stage.elapsed_ms();
+  util::mem_stage_sample("netlist");
 
   stage.restart();
   if (restored != nullptr) {
@@ -67,6 +70,7 @@ FlowResult physical_design(mapping::HybridMapping mapping,
     placer.legalizer.omega = placer.omega;
     {
       AUTONCS_TRACE_SCOPE("flow/place");
+      util::set_log_stage("placement");
       result.placement = place::place(result.netlist, placer);
 
       if (config.refine_placement) {
@@ -84,6 +88,7 @@ FlowResult physical_design(mapping::HybridMapping mapping,
   }
   recovery::check_netlist_finite(result.netlist, "placement");
   result.timings.placement_ms = stage.elapsed_ms();
+  util::mem_stage_sample("placement");
 
   if (!config.checkpoint.dir.empty() && restored == nullptr) {
     checkpoint::save_placement(config.checkpoint.dir, config, result.mapping,
@@ -101,10 +106,13 @@ FlowResult physical_design(mapping::HybridMapping mapping,
   stage.restart();
   {
     AUTONCS_TRACE_SCOPE("flow/route");
+    util::set_log_stage("routing");
     result.routing = route::route(result.netlist, router, config.tech);
   }
   recovery::check_routing_finite(result.routing);
   result.timings.routing_ms = stage.elapsed_ms();
+  util::mem_stage_sample("routing");
+  util::set_log_stage(nullptr);
   result.timings.total_ms = result.timings.netlist_ms +
                             result.timings.placement_ms +
                             result.timings.routing_ms;
@@ -184,8 +192,10 @@ FlowResult run_autoncs(const nn::ConnectionMatrix& network,
   util::RecoveryLog clustering_log;
   clustering::IscResult isc = [&] {
     AUTONCS_TRACE_SCOPE("flow/clustering");
+    util::set_log_stage("clustering");
     return run_isc(network, config, &clustering_log);
   }();
+  util::mem_stage_sample("clustering");
   mapping::HybridMapping hybrid =
       mapping::mapping_from_isc(isc, network.size());
   const std::string error = mapping::validate_mapping(hybrid, network);

@@ -1,11 +1,21 @@
 #include "autoncs/telemetry.hpp"
 
+#include <cstring>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "autoncs/pipeline.hpp"
+#include "util/flight.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
+#include "util/mem.hpp"
 #include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
 #ifndef AUTONCS_BUILD_TYPE
@@ -202,11 +212,11 @@ void write_result(util::JsonWriter& w, const FlowConfig& config,
   w.end_object();  // result
 }
 
-/// <stem>.manifest.json next to the artifact the user did ask for.
-std::string derived_manifest_path(const TelemetryOptions& options) {
-  if (!options.manifest_path.empty()) return options.manifest_path;
-  std::string base =
-      !options.trace_path.empty() ? options.trace_path : options.metrics_path;
+/// Strips a known artifact suffix to recover the shared stem.
+std::string artifact_stem(const TelemetryOptions& options) {
+  std::string base = !options.manifest_path.empty() ? options.manifest_path
+                     : !options.trace_path.empty()  ? options.trace_path
+                                                    : options.metrics_path;
   if (base.empty()) return {};
   const auto strip = [&base](const char* suffix) {
     const std::string s(suffix);
@@ -214,10 +224,147 @@ std::string derived_manifest_path(const TelemetryOptions& options) {
         base.compare(base.size() - s.size(), s.size(), s) == 0)
       base.resize(base.size() - s.size());
   };
+  strip(".manifest.json");
   strip(".jsonl");
   strip(".json");
-  return base + ".manifest.json";
+  return base;
 }
+
+/// <stem>.manifest.json next to the artifact the user did ask for.
+std::string derived_manifest_path(const TelemetryOptions& options) {
+  if (!options.manifest_path.empty()) return options.manifest_path;
+  const std::string stem = artifact_stem(options);
+  return stem.empty() ? std::string() : stem + ".manifest.json";
+}
+
+/// <stem>.flight.json; written only when the flow dies.
+std::string derived_flight_path(const TelemetryOptions& options) {
+  if (!options.flight_path.empty()) return options.flight_path;
+  const std::string stem = artifact_stem(options);
+  return stem.empty() ? std::string() : stem + ".flight.json";
+}
+
+/// "pool" manifest section: per-label scheduler statistics aggregated by
+/// util::ThreadPool. Wall-clock quantities are allowed here (the manifest
+/// already records stage timings); they never enter the metrics stream.
+void write_pool_section(util::JsonWriter& w) {
+  w.key("pool").begin_array();
+  for (const util::PoolStats& p : util::pool_stats_snapshot()) {
+    w.begin_object();
+    w.field("label", p.label)
+        .field("workers", p.workers)
+        .field("pools", static_cast<long long>(p.pools))
+        .field("dispatches", static_cast<long long>(p.dispatches))
+        .field("inline_runs", static_cast<long long>(p.inline_runs))
+        .field("items", static_cast<long long>(p.items))
+        .field("blocks", static_cast<long long>(p.blocks))
+        .field("parks", static_cast<long long>(p.parks))
+        .field("wakes", static_cast<long long>(p.wakes))
+        .field("wall_ns", static_cast<long long>(p.wall_ns));
+    w.key("busy_ns").begin_array();
+    for (std::uint64_t ns : p.busy_ns) w.value(static_cast<long long>(ns));
+    w.end_array();
+    w.key("blocks_run").begin_array();
+    for (std::uint64_t b : p.blocks_run) w.value(static_cast<long long>(b));
+    w.end_array();
+    w.key("busy_fraction").begin_array();
+    for (std::uint64_t ns : p.busy_ns) {
+      w.value(p.wall_ns > 0
+                  ? static_cast<double>(ns) / static_cast<double>(p.wall_ns)
+                  : 0.0);
+    }
+    w.end_array();
+    w.key("imbalance").begin_object();
+    w.field("lt5", static_cast<long long>(p.imbalance[0]))
+        .field("lt10", static_cast<long long>(p.imbalance[1]))
+        .field("lt25", static_cast<long long>(p.imbalance[2]))
+        .field("lt50", static_cast<long long>(p.imbalance[3]))
+        .field("ge50", static_cast<long long>(p.imbalance[4]));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+/// "memory" manifest section: stage-boundary RSS samples and instrumented
+/// structure footprints from util/mem.
+void write_memory_section(util::JsonWriter& w) {
+  const util::MemSnapshot mem = util::mem_snapshot();
+  w.key("memory").begin_object();
+  w.field("peak_rss_bytes", mem.peak_rss_bytes);
+  w.key("stages").begin_array();
+  for (const util::MemStageSample& s : mem.stages) {
+    w.begin_object();
+    w.field("stage", s.stage)
+        .field("current_rss_bytes", s.current_rss_bytes)
+        .field("peak_rss_bytes", s.peak_rss_bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("structures").begin_array();
+  for (const util::MemStructure& s : mem.structures) {
+    w.begin_object();
+    w.field("name", s.name).field("bytes", s.bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+/// Fatal-signal flight dump. The handler only touches pre-computed state
+/// and async-signal-safe calls (open/write, manual formatting inside
+/// flight_dump_fd), then re-raises with the default disposition so the
+/// process still dies with the original signal.
+char g_flight_signal_path[1024] = {};
+constexpr int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+struct sigaction g_previous_actions[sizeof(kFatalSignals) /
+                                    sizeof(kFatalSignals[0])];
+bool g_handlers_installed = false;
+
+extern "C" void autoncs_flight_signal_handler(int sig) {
+  if (g_flight_signal_path[0] != '\0') {
+    const int fd = ::open(g_flight_signal_path,
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      util::flight_dump_fd(fd);
+      ::close(fd);
+    }
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void install_signal_handlers(const std::string& flight_path) {
+  if (g_handlers_installed || flight_path.empty() ||
+      flight_path.size() >= sizeof(g_flight_signal_path))
+    return;
+  std::memcpy(g_flight_signal_path, flight_path.c_str(),
+              flight_path.size() + 1);
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = autoncs_flight_signal_handler;
+  sigemptyset(&action.sa_mask);
+  for (std::size_t i = 0;
+       i < sizeof(kFatalSignals) / sizeof(kFatalSignals[0]); ++i) {
+    sigaction(kFatalSignals[i], &action, &g_previous_actions[i]);
+  }
+  g_handlers_installed = true;
+}
+
+void remove_signal_handlers() {
+  if (!g_handlers_installed) return;
+  for (std::size_t i = 0;
+       i < sizeof(kFatalSignals) / sizeof(kFatalSignals[0]); ++i) {
+    sigaction(kFatalSignals[i], &g_previous_actions[i], nullptr);
+  }
+  g_flight_signal_path[0] = '\0';
+  g_handlers_installed = false;
+}
+#else
+void install_signal_handlers(const std::string&) {}
+void remove_signal_handlers() {}
+#endif
 
 }  // namespace
 
@@ -232,7 +379,7 @@ std::string run_manifest_json(const FlowConfig& config,
                               const std::string& flow_name) {
   util::JsonWriter w;
   w.begin_object();
-  w.field("schema", "autoncs-run-manifest/2")
+  w.field("schema", "autoncs-run-manifest/3")
       .field("flow", flow_name)
       .field("build_type", AUTONCS_BUILD_TYPE)
       .field("seed", config.seed)
@@ -257,21 +404,27 @@ std::string run_manifest_json(const FlowConfig& config,
   w.key("config");
   write_config_object(w, config);
   write_result(w, config, result);
+  write_pool_section(w);
+  write_memory_section(w);
   w.end_object();
   return w.str();
 }
 
-std::string run_error_manifest_json(const util::FlowError& error) {
+std::string run_error_manifest_json(const util::FlowError& error,
+                                    const std::string& flight_path) {
   util::JsonWriter w;
   w.begin_object();
-  w.field("schema", "autoncs-run-manifest/2")
+  w.field("schema", "autoncs-run-manifest/3")
       .field("build_type", AUTONCS_BUILD_TYPE)
       .field("status", "error")
       .field("error_category", util::error_category_name(error.category()))
       .field("error_code", error.code())
       .field("error_stage", error.stage())
       .field("exit_code", static_cast<long long>(error.exit_code()))
-      .field("message", std::string(error.what()));
+      .field("message", std::string(error.what()))
+      .field("flight_path", flight_path);
+  write_pool_section(w);
+  write_memory_section(w);
   w.end_object();
   return w.str();
 }
@@ -282,11 +435,19 @@ Session::Session(const TelemetryOptions& options) : options_(options) {
   g_active = this;
   if (!options_.trace_path.empty()) util::start_tracing();
   if (!options_.metrics_path.empty()) util::start_metrics();
+  // The observatory layers are cheap enough to arm for every owned
+  // session: scheduler stats and memory accounting feed the manifest,
+  // the flight recorder only materializes an artifact if the flow dies.
+  util::start_pool_stats();
+  util::start_mem_accounting();
+  util::start_flight_recorder();
+  install_signal_handlers(derived_flight_path(options_));
 }
 
 Session::~Session() {
   if (!owner_) return;
   g_active = nullptr;
+  remove_signal_handlers();
   if (!options_.trace_path.empty()) {
     const std::string json = util::chrome_trace_json(util::stop_tracing());
     if (!util::write_text_file(options_.trace_path, json)) {
@@ -295,12 +456,36 @@ Session::~Session() {
     }
   }
   if (!options_.metrics_path.empty()) {
+    // Export-time pool metrics: ONLY thread-count-invariant quantities
+    // may enter the metrics stream (byte-identity contract); everything
+    // wall-clock or partition-dependent stays in the manifest's "pool"
+    // section. Snapshot order is sorted by label, so the JSONL stays
+    // deterministic.
+    for (const util::PoolStats& p : util::pool_stats_snapshot()) {
+      util::metric_gauge("pool/" + p.label + "/pools",
+                         static_cast<double>(p.pools));
+    }
     const std::string jsonl = util::metrics_jsonl(util::stop_metrics());
     if (!util::write_text_file(options_.metrics_path, jsonl)) {
       util::LogLine(util::LogLevel::kError, "telemetry")
           << "failed to write metrics to " << options_.metrics_path;
     }
   }
+  if (error_recorded_) {
+    const std::string flight_path = derived_flight_path(options_);
+    if (!flight_path.empty()) {
+      if (util::flight_write_json(flight_path)) {
+        util::LogLine(util::LogLevel::kInfo, "telemetry")
+            << "flight recorder dumped to " << flight_path;
+      } else {
+        util::LogLine(util::LogLevel::kError, "telemetry")
+            << "failed to write flight recorder to " << flight_path;
+      }
+    }
+  }
+  util::stop_flight_recorder();
+  util::stop_mem_accounting();
+  util::stop_pool_stats();
   const std::string manifest_path = derived_manifest_path(options_);
   if (!manifest_path.empty() && !manifest_json_.empty()) {
     if (!util::write_text_file(manifest_path, manifest_json_)) {
@@ -318,8 +503,13 @@ void Session::record_manifest(const FlowConfig& config,
 }
 
 void Session::record_error(const util::FlowError& error) {
-  if (g_active == nullptr || !g_active->manifest_json_.empty()) return;
-  g_active->manifest_json_ = run_error_manifest_json(error);
+  if (g_active == nullptr) return;
+  // The flight artifact is written for any recorded error, even when an
+  // earlier flow already claimed the manifest slot.
+  g_active->error_recorded_ = true;
+  if (!g_active->manifest_json_.empty()) return;
+  g_active->manifest_json_ = run_error_manifest_json(
+      error, derived_flight_path(g_active->options_));
 }
 
 Session* Session::active() { return g_active; }

@@ -36,10 +36,15 @@ struct TelemetryOptions {
   /// Run manifest path; when empty it is derived from trace_path (or
   /// metrics_path) by appending ".manifest.json" to the stem.
   std::string manifest_path;
+  /// Crash flight-recorder artifact path; when empty it is derived like
+  /// the manifest (".flight.json" on the same stem). The file is only
+  /// written when the flow dies — from the FlowError path or the
+  /// fatal-signal handler — so clean runs keep their artifact set.
+  std::string flight_path;
 
   bool any() const {
     return !trace_path.empty() || !metrics_path.empty() ||
-           !manifest_path.empty();
+           !manifest_path.empty() || !flight_path.empty();
   }
 };
 
@@ -62,8 +67,11 @@ std::string run_manifest_json(const FlowConfig& config,
 
 /// Renders the error manifest of a flow that died with a typed FlowError
 /// (status "error", category/code/stage, the exit code the CLI will
-/// return, and the message). Same schema version as the success manifest.
-std::string run_error_manifest_json(const util::FlowError& error);
+/// return, and the message). Same schema version as the success manifest;
+/// `flight_path` (when nonempty) points triage scripts at the flight
+/// recorder artifact written alongside.
+std::string run_error_manifest_json(const util::FlowError& error,
+                                    const std::string& flight_path = "");
 
 /// RAII telemetry session (see the ownership model above). Constructing
 /// with options.any() == false, or while another session is active, yields
@@ -97,6 +105,7 @@ class Session {
  private:
   TelemetryOptions options_;
   bool owner_ = false;
+  bool error_recorded_ = false;
   std::string manifest_json_;
 };
 

@@ -239,7 +239,7 @@ IscResult iterative_spectral_clustering(const nn::ConnectionMatrix& network,
   IscResult result;
   result.total_connections = network.connection_count();
 
-  util::ThreadPool pool(options.threads);
+  util::ThreadPool pool(options.threads, "isc");
   result.threads_used = pool.size();
   using Clock = std::chrono::steady_clock;
   const auto elapsed_ms = [](Clock::time_point since) {

@@ -59,6 +59,14 @@ class SparseMatrix {
   const std::vector<std::size_t>& col_indices() const { return col_indices_; }
   const std::vector<double>& values() const { return values_; }
 
+  /// Logical footprint of the CSR arrays in bytes — fully determined by
+  /// the matrix shape and sparsity, so thread-count invariant.
+  double footprint_bytes() const {
+    return static_cast<double>(
+        (row_offsets_.size() + col_indices_.size()) * sizeof(std::size_t) +
+        values_.size() * sizeof(double));
+  }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

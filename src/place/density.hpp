@@ -138,6 +138,23 @@ struct DensityModel {
   /// Rebuilds that had to grow a flat-grid buffer.
   std::size_t grid_reallocations() const { return grid_.reallocations(); }
 
+  /// Logical footprint of the pair lists, acceptance cache and the flat
+  /// grid's buckets in bytes (element counts, not capacities). Pair-list
+  /// lengths track the final accepted state so the value is reproducible,
+  /// but it is recorded manifest-only alongside the WA model's caches.
+  double footprint_bytes() const {
+    double pair_bytes = 0.0;
+    for (const auto& list : pairs_)
+      pair_bytes += static_cast<double>(list.size() * sizeof(PairTerm));
+    return pair_bytes +
+           static_cast<double>(
+               (half_w_.size() + half_h_.size() + replay_sx_.size() +
+                replay_sy_.size() + cache_state_.size()) *
+                   sizeof(double) +
+               cache_pairs_.size() * sizeof(CachedPair)) +
+           grid_.footprint_bytes();
+  }
+
  private:
   /// One interacting pair (i, j) found in phase 1: the smooth overlap area
   /// and the gradient terms applied to i (and negated on j) in phase 2,

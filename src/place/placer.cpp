@@ -6,6 +6,7 @@
 
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/mem.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -106,7 +107,7 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
   CgOptions cg_options = options.cg;
   if (options.legacy_evaluation) cg_options.value_only_trials = false;
   cg_options.recovery = options.recovery;
-  util::ThreadPool pool(options.threads);
+  util::ThreadPool pool(options.threads, "place");
   util::ThreadPool* pool_ptr = pool.size() > 1 ? &pool : nullptr;
   cg_options.pool = pool_ptr;
   // Elementwise helper for the objective's vector plumbing (zero-fill,
@@ -301,6 +302,12 @@ PlacementReport place(netlist::Netlist& netlist, const PlacerOptions& options) {
         "place/density_grid_reallocations",
         static_cast<double>(report.density_grid_reallocations));
   }
+  // Memory accounting: objective scratch/cache footprints. Both include
+  // pool-dependent buffers (WA pin index, parallel pair scratch), so they
+  // are manifest-only (deterministic = false).
+  util::mem_record_bytes("place/wa_model", wl_model.footprint_bytes(), false);
+  util::mem_record_bytes("place/density_model",
+                         density_model.footprint_bytes(), false);
   return report;
 }
 

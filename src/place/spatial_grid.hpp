@@ -142,6 +142,17 @@ class UniformGrid {
   /// extreme-coordinate fallback).
   bool dense() const { return dense_; }
 
+  /// Logical footprint of the bucket/scratch buffers in bytes (element
+  /// counts, not capacities) — the memory-accounting probe.
+  double footprint_bytes() const {
+    return static_cast<double>(
+        (starts_.size() + cursor_.size() + ids_.size()) *
+            sizeof(std::uint32_t) +
+        packed_.size() * sizeof(double) +
+        (bin_x_.size() + bin_y_.size()) * sizeof(long long) +
+        entries_.size() * sizeof(SparseEntry));
+  }
+
  private:
   long long bin_coord(double v) const {
     return static_cast<long long>(std::floor(v / bucket_));

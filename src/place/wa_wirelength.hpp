@@ -67,6 +67,20 @@ struct WaModel {
                   std::vector<double>* gradient,
                   util::ThreadPool* pool = nullptr) const;
 
+  /// Logical footprint of the scratch/acceptance-cache buffers in bytes
+  /// (element counts, not capacities). NOT thread-count invariant: the
+  /// pin inverse index is built only for pooled gather paths, so this
+  /// may only be recorded into the manifest, never into metrics.
+  double footprint_bytes() const {
+    return static_cast<double>(
+        (wire_value_.size() + contrib_x_.size() + contrib_y_.size() +
+         cache_fp_.size() + cache_ax_.size() + cache_bx_.size() +
+         cache_ay_.size() + cache_by_.size() + cache_state_.size()) *
+            sizeof(double) +
+        (offsets_.size() + cell_off_.size()) * sizeof(std::size_t) +
+        (cell_wire_.size() + cell_slot_.size()) * sizeof(std::uint32_t));
+  }
+
  private:
   // Reused across evaluate() calls (the placer evaluates in a tight CG
   // loop): per-wire values and per-pin gradient terms, flattened through

@@ -65,6 +65,15 @@ class GridGraph {
   /// congestion map of Fig. 10(b)/(d).
   util::Field2D congestion_field() const;
 
+  /// Logical footprint of the usage/history edge arrays in bytes. The
+  /// grid dimensions derive from the (bit-identical) placement, so this
+  /// is thread-count invariant and safe to expose as a metric.
+  double footprint_bytes() const {
+    return static_cast<double>((h_usage_.size() + v_usage_.size() +
+                                h_history_.size() + v_history_.size()) *
+                               sizeof(double));
+  }
+
  private:
   std::size_t h_index(std::size_t ix, std::size_t iy) const;
   std::size_t v_index(std::size_t ix, std::size_t iy) const;

@@ -103,6 +103,16 @@ class MazeWorkspace {
 
   std::vector<MazeQueueEntry>& heap() { return heap_; }
 
+  /// Logical footprint of the search buffers in bytes. Workspaces are
+  /// per-worker, so sums over them are NOT thread-count invariant —
+  /// manifest-only.
+  double footprint_bytes() const {
+    return static_cast<double>(best_.size() * sizeof(double) +
+                               parent_.size() * sizeof(std::size_t) +
+                               stamp_.size() * sizeof(std::uint64_t) +
+                               heap_.size() * sizeof(MazeQueueEntry));
+  }
+
  private:
   std::vector<double> best_;
   std::vector<std::size_t> parent_;

@@ -10,6 +10,7 @@
 #include "util/check.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
+#include "util/mem.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -203,7 +204,7 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
     seg_target[s] = grid.bin_of(cb.x, cb.y);
   }
 
-  util::ThreadPool pool(options.threads);
+  util::ThreadPool pool(options.threads, "route");
   result.threads_used = pool.size();
   std::vector<MazeWorkspace> workspaces(pool.size());
   // Fixed batch of segments per dispatched block. The block grid is keyed
@@ -494,6 +495,14 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
       util::metric_gauge("route/segments_failed",
                          static_cast<double>(result.segments_failed));
   }
+  // Memory accounting. The grid's edge arrays derive from the placement,
+  // so their size is thread-count invariant (metric-safe); the per-worker
+  // maze workspaces scale with the pool and stay manifest-only.
+  util::mem_record_bytes("route/grid", grid.footprint_bytes(), true);
+  double workspace_bytes = 0.0;
+  for (const MazeWorkspace& ws : workspaces)
+    workspace_bytes += ws.footprint_bytes();
+  util::mem_record_bytes("route/maze_workspaces", workspace_bytes, false);
 
   if (result.segments_failed > 0) {
     util::LogLine(util::LogLevel::kWarn, "route")

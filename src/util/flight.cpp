@@ -1,0 +1,249 @@
+#include "util/flight.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "util/json.hpp"
+
+namespace autoncs::util {
+
+namespace flight_detail {
+std::atomic<bool> g_enabled{false};
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum : std::uint8_t { kSpanBegin = 0, kSpanEnd = 1, kLog = 2 };
+
+/// One ring slot. `seq` is 0 while a writer fills the slot and
+/// claim-index + 1 once the contents are published; a reader that sees a
+/// different value than it expects skips the slot as torn.
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::uint8_t type = kLog;
+  std::uint32_t tid = 0;
+  std::uint64_t t_us = 0;
+  const char* name = nullptr;  // static span label; nullptr for log lines
+  char text[120] = {};
+};
+
+Slot g_ring[kFlightRingSlots];
+std::atomic<std::uint64_t> g_head{0};
+/// Session epoch; written by start_flight_recorder from sequential
+/// driver code before any recorder is armed.
+Clock::time_point g_epoch = Clock::now();
+std::atomic<std::uint32_t> g_next_tid{0};
+
+std::uint32_t flight_tid() {
+  thread_local std::uint32_t tid =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            g_epoch)
+          .count());
+}
+
+Slot& claim(std::uint64_t* index) {
+  const std::uint64_t idx = g_head.fetch_add(1, std::memory_order_relaxed);
+  *index = idx;
+  Slot& slot = g_ring[idx % kFlightRingSlots];
+  slot.seq.store(0, std::memory_order_release);  // mark in-progress
+  return slot;
+}
+
+void publish(Slot& slot, std::uint64_t index) {
+  slot.seq.store(index + 1, std::memory_order_release);
+}
+
+/// Copies one slot if it is intact (not concurrently rewritten). The
+/// seq check after the copy catches writers that raced us.
+bool read_slot(std::uint64_t index, Slot* out) {
+  const Slot& slot = g_ring[index % kFlightRingSlots];
+  if (slot.seq.load(std::memory_order_acquire) != index + 1) return false;
+  out->type = slot.type;
+  out->tid = slot.tid;
+  out->t_us = slot.t_us;
+  out->name = slot.name;
+  std::memcpy(out->text, slot.text, sizeof(out->text));
+  out->text[sizeof(out->text) - 1] = '\0';
+  return slot.seq.load(std::memory_order_acquire) == index + 1;
+}
+
+const char* type_name(std::uint8_t type) {
+  switch (type) {
+    case kSpanBegin:
+      return "span_begin";
+    case kSpanEnd:
+      return "span_end";
+    default:
+      return "log";
+  }
+}
+
+// ---- async-signal-safe formatting helpers (fd dump path) ----
+
+#if defined(__unix__) || defined(__APPLE__)
+void fd_write(int fd, const char* data, std::size_t length) {
+  while (length > 0) {
+    const ssize_t written = ::write(fd, data, length);
+    if (written <= 0) return;
+    data += written;
+    length -= static_cast<std::size_t>(written);
+  }
+}
+#else
+void fd_write(int, const char*, std::size_t) {}
+#endif
+
+void fd_puts(int fd, const char* text) { fd_write(fd, text, std::strlen(text)); }
+
+void fd_u64(int fd, std::uint64_t value) {
+  char buffer[24];
+  char* cursor = buffer + sizeof(buffer);
+  *--cursor = '\0';
+  do {
+    *--cursor = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  fd_puts(fd, cursor);
+}
+
+/// Minimal JSON string escaping with no allocation: quotes and
+/// backslashes are escaped, control characters become spaces.
+void fd_json_string(int fd, const char* text) {
+  fd_puts(fd, "\"");
+  for (const char* c = text; *c != '\0'; ++c) {
+    char ch = *c;
+    if (ch == '"' || ch == '\\') {
+      const char escaped[3] = {'\\', ch, '\0'};
+      fd_puts(fd, escaped);
+    } else {
+      if (static_cast<unsigned char>(ch) < 0x20) ch = ' ';
+      fd_write(fd, &ch, 1);
+    }
+  }
+  fd_puts(fd, "\"");
+}
+
+}  // namespace
+
+void start_flight_recorder() {
+  for (Slot& slot : g_ring) slot.seq.store(0, std::memory_order_relaxed);
+  g_head.store(0, std::memory_order_relaxed);
+  g_epoch = Clock::now();
+  flight_detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void stop_flight_recorder() {
+  flight_detail::g_enabled.store(false, std::memory_order_release);
+}
+
+void flight_record_span(const char* name, bool begin) {
+  if (!flight_enabled()) return;
+  std::uint64_t index = 0;
+  Slot& slot = claim(&index);
+  slot.type = begin ? kSpanBegin : kSpanEnd;
+  slot.tid = flight_tid();
+  slot.t_us = now_us();
+  slot.name = name;
+  publish(slot, index);
+}
+
+void flight_record_log(const char* line) {
+  if (!flight_enabled()) return;
+  std::uint64_t index = 0;
+  Slot& slot = claim(&index);
+  slot.type = kLog;
+  slot.tid = flight_tid();
+  slot.t_us = now_us();
+  slot.name = nullptr;
+  std::strncpy(slot.text, line, sizeof(slot.text) - 1);
+  slot.text[sizeof(slot.text) - 1] = '\0';
+  publish(slot, index);
+}
+
+std::size_t flight_recorder_size() {
+  const std::uint64_t head = g_head.load(std::memory_order_acquire);
+  return static_cast<std::size_t>(
+      head < kFlightRingSlots ? head : kFlightRingSlots);
+}
+
+std::string flight_recorder_json() {
+  const std::uint64_t head = g_head.load(std::memory_order_acquire);
+  const std::uint64_t start =
+      head > kFlightRingSlots ? head - kFlightRingSlots : 0;
+  JsonWriter json;
+  json.begin_object();
+  json.field("schema", "autoncs-flight/1")
+      .field("recorded", static_cast<long long>(head))
+      .field("capacity", kFlightRingSlots);
+  json.key("events").begin_array();
+  for (std::uint64_t i = start; i < head; ++i) {
+    Slot copy;
+    if (!read_slot(i, &copy)) continue;
+    json.begin_object();
+    json.field("type", type_name(copy.type))
+        .field("t_us", static_cast<long long>(copy.t_us))
+        .field("tid", static_cast<std::size_t>(copy.tid));
+    if (copy.type == kLog) {
+      json.field("line", std::string(copy.text));
+    } else {
+      json.field("name", copy.name != nullptr ? copy.name : "");
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+bool flight_write_json(const std::string& path) {
+  return write_text_file(path, flight_recorder_json());
+}
+
+void flight_dump_fd(int fd) {
+  const std::uint64_t head = g_head.load(std::memory_order_acquire);
+  const std::uint64_t start =
+      head > kFlightRingSlots ? head - kFlightRingSlots : 0;
+  fd_puts(fd, "{\"schema\":\"autoncs-flight/1\",\"recorded\":");
+  fd_u64(fd, head);
+  fd_puts(fd, ",\"capacity\":");
+  fd_u64(fd, kFlightRingSlots);
+  fd_puts(fd, ",\"events\":[");
+  bool first = true;
+  for (std::uint64_t i = start; i < head; ++i) {
+    // Read in place — a concurrent writer can tear a slot, but the crash
+    // path must not retry or allocate; a torn entry is simply skipped.
+    Slot copy;
+    if (!read_slot(i, &copy)) continue;
+    if (!first) fd_puts(fd, ",");
+    first = false;
+    fd_puts(fd, "{\"type\":\"");
+    fd_puts(fd, type_name(copy.type));
+    fd_puts(fd, "\",\"t_us\":");
+    fd_u64(fd, copy.t_us);
+    fd_puts(fd, ",\"tid\":");
+    fd_u64(fd, copy.tid);
+    if (copy.type == kLog) {
+      fd_puts(fd, ",\"line\":");
+      fd_json_string(fd, copy.text);
+    } else {
+      fd_puts(fd, ",\"name\":");
+      fd_json_string(fd, copy.name != nullptr ? copy.name : "");
+    }
+    fd_puts(fd, "}");
+  }
+  fd_puts(fd, "]}\n");
+}
+
+}  // namespace autoncs::util

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
 #include <utility>
+
+#include "util/flight.hpp"
 
 namespace autoncs::util {
 
@@ -14,6 +17,26 @@ namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_sink_mutex;
 LogSink g_sink;  // empty = default stderr sink
+
+std::atomic<bool> g_timestamps{false};
+std::atomic<bool> g_stage_context{false};
+/// Static stage label set by the pipeline; nullptr between stages.
+std::atomic<const char*> g_stage{nullptr};
+
+/// "2026-08-07T12:34:56Z" (UTC). Returns empty on a clock failure.
+std::string iso8601_now() {
+  std::time_t now = std::time(nullptr);
+  std::tm utc{};
+#if defined(_WIN32)
+  if (gmtime_s(&utc, &now) != 0) return {};
+#else
+  if (gmtime_r(&now, &utc) == nullptr) return {};
+#endif
+  char buffer[24];
+  if (std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc) == 0)
+    return {};
+  return buffer;
+}
 
 }  // namespace
 
@@ -54,18 +77,55 @@ LogSink set_log_sink(LogSink sink) {
   return previous;
 }
 
+void set_log_timestamps(bool enabled) {
+  g_timestamps.store(enabled, std::memory_order_relaxed);
+}
+
+bool log_timestamps() {
+  return g_timestamps.load(std::memory_order_relaxed);
+}
+
+void set_log_stage(const char* stage) {
+  g_stage.store(stage, std::memory_order_relaxed);
+}
+
+const char* log_stage() { return g_stage.load(std::memory_order_relaxed); }
+
+void set_log_stage_context(bool enabled) {
+  g_stage_context.store(enabled, std::memory_order_relaxed);
+}
+
+bool log_stage_context() {
+  return g_stage_context.load(std::memory_order_relaxed);
+}
+
 void log_message(LogLevel level, const std::string& tag, const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
   // Format outside the lock; dispatch atomically so lines from concurrent
   // stages (pool workers, parallel flows) never interleave mid-line.
   std::string line;
   line.reserve(tag.size() + message.size() + 16);
+  if (g_timestamps.load(std::memory_order_relaxed)) {
+    const std::string stamp = iso8601_now();
+    if (!stamp.empty()) {
+      line += stamp;
+      line += ' ';
+    }
+  }
   line += '[';
   line += log_level_name(level);
   line += "] ";
+  if (g_stage_context.load(std::memory_order_relaxed)) {
+    if (const char* stage = g_stage.load(std::memory_order_relaxed)) {
+      line += '(';
+      line += stage;
+      line += ") ";
+    }
+  }
   line += tag;
   line += ": ";
   line += message;
+  if (flight_enabled()) flight_record_log(line.c_str());
   std::lock_guard<std::mutex> lock(g_sink_mutex);
   if (g_sink) {
     g_sink(level, line);

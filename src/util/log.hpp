@@ -35,6 +35,22 @@ using LogSink = std::function<void(LogLevel level, const std::string& line)>;
 /// stderr sink. Returns the previous sink so scoped captures can restore.
 LogSink set_log_sink(LogSink sink);
 
+/// When enabled, each line is prefixed with an ISO-8601 UTC timestamp
+/// ("2026-08-07T12:34:56Z [info] ..."). Off by default so golden outputs
+/// (and the determinism of captured logs) are unchanged; wall clock then
+/// only appears when a user opts in (--log-timestamps).
+void set_log_timestamps(bool enabled);
+bool log_timestamps();
+
+/// Current flow stage, shown as "(stage)" after the level when stage
+/// context is enabled. The pipeline keeps this up to date (a static
+/// string, or nullptr between flows) regardless of the display flag; the
+/// flag (off by default) controls formatting only.
+void set_log_stage(const char* stage);
+const char* log_stage();
+void set_log_stage_context(bool enabled);
+bool log_stage_context();
+
 /// Emits one formatted line ("[level] tag: message") if `level` passes the
 /// threshold. Thread-safe: the line is dispatched to the sink atomically.
 void log_message(LogLevel level, const std::string& tag, const std::string& message);

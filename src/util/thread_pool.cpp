@@ -4,8 +4,78 @@
 #include <cstdlib>
 
 #include "util/check.hpp"
+#include "util/trace.hpp"
 
 namespace autoncs::util {
+
+namespace pool_detail {
+std::atomic<bool> g_stats_enabled{false};
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-label accumulator. Leaked so pools destroyed during static
+/// teardown can still flush.
+struct PoolRegistry {
+  std::mutex mutex;
+  std::vector<PoolStats> entries;
+};
+
+PoolRegistry& pool_registry() {
+  static PoolRegistry* r = new PoolRegistry();
+  return *r;
+}
+
+/// Buckets a relative spread in [0, 1] into the imbalance histogram.
+std::size_t imbalance_bucket(double spread) {
+  if (spread < 0.05) return 0;
+  if (spread < 0.10) return 1;
+  if (spread < 0.25) return 2;
+  if (spread < 0.50) return 3;
+  return 4;
+}
+
+}  // namespace
+
+void start_pool_stats() {
+  PoolRegistry& r = pool_registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.entries.clear();
+  pool_detail::g_stats_enabled.store(true, std::memory_order_release);
+}
+
+std::vector<PoolStats> pool_stats_snapshot() {
+  PoolRegistry& r = pool_registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<PoolStats> out = r.entries;
+  std::sort(out.begin(), out.end(),
+            [](const PoolStats& a, const PoolStats& b) {
+              return a.label < b.label;
+            });
+  return out;
+}
+
+std::vector<PoolStats> stop_pool_stats() {
+  pool_detail::g_stats_enabled.store(false, std::memory_order_release);
+  PoolRegistry& r = pool_registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<PoolStats> out = std::move(r.entries);
+  r.entries.clear();
+  std::sort(out.begin(), out.end(),
+            [](const PoolStats& a, const PoolStats& b) {
+              return a.label < b.label;
+            });
+  return out;
+}
 
 std::size_t resolve_thread_count(std::size_t requested) {
   if (requested != 0) return requested;
@@ -22,13 +92,21 @@ std::size_t resolve_thread_count(std::size_t requested) {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-ThreadPool::ThreadPool(std::size_t threads)
-    : worker_count_(resolve_thread_count(threads)) {
+ThreadPool::ThreadPool(std::size_t threads, const char* label)
+    : worker_count_(resolve_thread_count(threads)),
+      label_(label),
+      born_(Clock::now()) {
   threads_.reserve(worker_count_ - 1);
   slots_.reserve(worker_count_ - 1);
+  counters_.reserve(worker_count_ - 1);
   for (std::size_t w = 1; w < worker_count_; ++w) {
     slots_.emplace_back(std::make_unique<WorkerSlot>());
+    counters_.emplace_back(std::make_unique<WorkerCounters>());
   }
+  job_busy_ns_.assign(worker_count_, 0);
+  job_blocks_run_.assign(worker_count_, 0);
+  stat_busy_ns_.assign(worker_count_, 0);
+  stat_blocks_run_.assign(worker_count_, 0);
   for (std::size_t w = 1; w < worker_count_; ++w) {
     threads_.emplace_back([this, w] { worker_loop(w); });
   }
@@ -43,6 +121,55 @@ ThreadPool::~ThreadPool() {
     slot->cv.notify_one();
   }
   for (auto& thread : threads_) thread.join();
+  if (label_ != nullptr && pool_stats_enabled()) flush_stats();
+}
+
+void ThreadPool::flush_stats() {
+  // The workers have joined, so every counter is quiescent.
+  std::uint64_t parks = 0;
+  std::uint64_t wakes = 0;
+  for (const auto& c : counters_) {
+    parks += c->parks.load(std::memory_order_relaxed);
+    wakes += c->wakes.load(std::memory_order_relaxed);
+  }
+  const std::uint64_t wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           born_)
+          .count());
+  PoolRegistry& r = pool_registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  PoolStats* entry = nullptr;
+  for (PoolStats& e : r.entries) {
+    if (e.label == label_) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    r.entries.emplace_back();
+    entry = &r.entries.back();
+    entry->label = label_;
+  }
+  entry->workers = std::max(entry->workers, worker_count_);
+  entry->pools += 1;
+  entry->dispatches += stat_dispatches_;
+  entry->inline_runs += stat_inline_runs_;
+  entry->items += stat_items_;
+  entry->blocks += stat_blocks_;
+  entry->parks += parks;
+  entry->wakes += wakes;
+  entry->wall_ns += wall_ns;
+  if (entry->busy_ns.size() < worker_count_) {
+    entry->busy_ns.resize(worker_count_, 0);
+    entry->blocks_run.resize(worker_count_, 0);
+  }
+  for (std::size_t w = 0; w < worker_count_; ++w) {
+    entry->busy_ns[w] += stat_busy_ns_[w];
+    entry->blocks_run[w] += stat_blocks_run_[w];
+  }
+  for (std::size_t b = 0; b < entry->imbalance.size(); ++b) {
+    entry->imbalance[b] += stat_imbalance_[b];
+  }
 }
 
 void ThreadPool::chunk_bounds(std::size_t count, std::size_t chunk,
@@ -54,15 +181,29 @@ void ThreadPool::chunk_bounds(std::size_t count, std::size_t chunk,
 }
 
 void ThreadPool::run_blocks(std::size_t worker) {
+  const std::uint64_t t0 = job_stats_ ? now_ns() : 0;
+  std::uint64_t executed = 0;
   try {
+    // Blocks this worker owns under the fixed grid — the trace argument
+    // that makes uneven grids visible per worker lane in Perfetto.
+    const std::size_t owned =
+        job_blocks_ > worker
+            ? (job_blocks_ - worker + job_active_ - 1) / job_active_
+            : 0;
+    TraceSpan span("pool/run", "blocks", static_cast<std::int64_t>(owned));
     for (std::size_t b = worker; b < job_blocks_; b += job_active_) {
       const std::size_t begin = b * job_grain_;
       const std::size_t end = std::min(begin + job_grain_, job_count_);
       (*job_)(begin, end, worker);
+      ++executed;
     }
   } catch (...) {
     std::lock_guard<std::mutex> lock(error_mutex_);
     if (!error_) error_ = std::current_exception();
+  }
+  if (job_stats_) {
+    job_busy_ns_[worker] = now_ns() - t0;
+    job_blocks_run_[worker] = executed;
   }
 }
 
@@ -74,9 +215,17 @@ void ThreadPool::parallel_for(std::size_t count, const RangeFn& fn,
   if (g == 0) g = 1;
   const std::size_t blocks = (count + g - 1) / g;
   const std::size_t active = std::min(worker_count_, blocks);
+  const bool stats = label_ != nullptr && pool_stats_enabled();
   if (active <= 1) {
     // The whole range fits one block (or there is one worker): stay on
-    // the calling thread — no wakeups, no synchronization.
+    // the calling thread — no wakeups, no synchronization. Inline runs
+    // still count as dispatches (inline_runs is the subset of dispatches
+    // that never touched the workers).
+    if (stats) {
+      ++stat_dispatches_;
+      ++stat_inline_runs_;
+      stat_items_ += count;
+    }
     fn(0, count, 0);
     return;
   }
@@ -86,6 +235,7 @@ void ThreadPool::parallel_for(std::size_t count, const RangeFn& fn,
   job_grain_ = g;
   job_blocks_ = blocks;
   job_active_ = active;
+  job_stats_ = stats;
   {
     std::lock_guard<std::mutex> lock(error_mutex_);
     error_ = nullptr;
@@ -95,22 +245,50 @@ void ThreadPool::parallel_for(std::size_t count, const RangeFn& fn,
     remaining_ = active - 1;
   }
   ++job_id_;
-  // Wake exactly the workers that own blocks; the rest stay parked. The
-  // slot mutex hand-off publishes the job fields written above.
-  for (std::size_t w = 1; w < active; ++w) {
-    WorkerSlot& slot = *slots_[w - 1];
-    {
-      std::lock_guard<std::mutex> lock(slot.mutex);
-      slot.job = job_id_;
-    }
-    slot.cv.notify_one();
-  }
-  run_blocks(0);
   {
+    // Wake exactly the workers that own blocks; the rest stay parked. The
+    // slot mutex hand-off publishes the job fields written above. The
+    // dispatch span covers the wakeups plus the caller's own share of the
+    // blocks; the drain span is the time spent waiting for stragglers.
+    TraceSpan dispatch_span("pool/dispatch", "items",
+                            static_cast<std::int64_t>(count));
+    for (std::size_t w = 1; w < active; ++w) {
+      WorkerSlot& slot = *slots_[w - 1];
+      {
+        std::lock_guard<std::mutex> lock(slot.mutex);
+        slot.job = job_id_;
+      }
+      slot.cv.notify_one();
+    }
+    run_blocks(0);
+  }
+  {
+    TraceSpan drain_span("pool/drain");
     std::unique_lock<std::mutex> lock(done_mutex_);
     done_cv_.wait(lock, [this] { return remaining_ == 0; });
   }
+  if (stats) {
+    ++stat_dispatches_;
+    stat_items_ += count;
+    std::uint64_t busy_min = job_busy_ns_[0];
+    std::uint64_t busy_max = job_busy_ns_[0];
+    for (std::size_t w = 0; w < active; ++w) {
+      const std::uint64_t busy = job_busy_ns_[w];
+      stat_busy_ns_[w] += busy;
+      stat_blocks_run_[w] += job_blocks_run_[w];
+      stat_blocks_ += job_blocks_run_[w];
+      busy_min = std::min(busy_min, busy);
+      busy_max = std::max(busy_max, busy);
+    }
+    if (busy_max > 0) {
+      const double spread =
+          static_cast<double>(busy_max - busy_min) /
+          static_cast<double>(busy_max);
+      ++stat_imbalance_[imbalance_bucket(spread)];
+    }
+  }
   job_ = nullptr;
+  job_stats_ = false;
   std::exception_ptr error;
   {
     std::lock_guard<std::mutex> lock(error_mutex_);
@@ -122,15 +300,21 @@ void ThreadPool::parallel_for(std::size_t count, const RangeFn& fn,
 
 void ThreadPool::worker_loop(std::size_t worker) {
   WorkerSlot& slot = *slots_[worker - 1];
+  WorkerCounters& counters = *counters_[worker - 1];
   std::uint64_t seen = 0;
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(slot.mutex);
-      slot.cv.wait(lock,
-                   [&] { return stop_.load() || slot.job != seen; });
+      while (!stop_.load() && slot.job == seen) {
+        if (label_ != nullptr && pool_stats_enabled()) {
+          counters.parks.fetch_add(1, std::memory_order_relaxed);
+        }
+        slot.cv.wait(lock);
+      }
       if (stop_.load()) return;
       seen = slot.job;
     }
+    if (job_stats_) counters.wakes.fetch_add(1, std::memory_order_relaxed);
     run_blocks(worker);
     {
       std::lock_guard<std::mutex> lock(done_mutex_);

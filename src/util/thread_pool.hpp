@@ -17,9 +17,20 @@
 // cross-thread traffic at all. Pass a `grain` sized so one block is worth
 // a wakeup (tens of microseconds of work) and small inputs degrade to the
 // plain sequential loop instead of paying the pool.
+//
+// Scheduler telemetry (docs/observability.md): a pool constructed with a
+// label records, while pool stats are enabled, per-worker busy time,
+// park/wake counts, blocks executed, inline runs, and a per-dispatch
+// block-grid imbalance histogram. The counters follow the trace layer's
+// passivity contract — nothing in the flow reads them, disabled cost is
+// one relaxed atomic load per dispatch, and they are aggregated into a
+// process-wide per-label registry only at pool destruction, then exported
+// by the telemetry session into the run manifest.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -27,10 +38,64 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace autoncs::util {
+
+/// Aggregated scheduler statistics of every pool constructed under one
+/// label while pool stats were enabled. Purely observational: wall-clock
+/// quantities in here go to the run manifest only, never into metrics
+/// (they are not thread-count invariant).
+struct PoolStats {
+  std::string label;
+  /// Widest worker count seen under this label.
+  std::size_t workers = 0;
+  /// Pools constructed (and destroyed) under this label.
+  std::uint64_t pools = 0;
+  /// parallel_for calls that dispatched blocks to parked workers.
+  std::uint64_t dispatches = 0;
+  /// parallel_for calls served inline on the calling thread.
+  std::uint64_t inline_runs = 0;
+  /// Indices covered by dispatched (non-inline) jobs.
+  std::uint64_t items = 0;
+  /// Blocks executed across all workers of dispatched jobs.
+  std::uint64_t blocks = 0;
+  /// Times a worker went to sleep on its parking slot.
+  std::uint64_t parks = 0;
+  /// Jobs received by previously parked workers.
+  std::uint64_t wakes = 0;
+  /// Summed pool lifetimes (construction to destruction).
+  std::uint64_t wall_ns = 0;
+  /// Per-worker time spent inside dispatched jobs (worker 0 = caller).
+  std::vector<std::uint64_t> busy_ns;
+  /// Per-worker blocks executed.
+  std::vector<std::uint64_t> blocks_run;
+  /// Per-dispatch relative busy-time spread (max - min) / max across the
+  /// participating workers: buckets < 5%, < 10%, < 25%, < 50%, >= 50%.
+  std::array<std::uint64_t, 5> imbalance{};
+};
+
+namespace pool_detail {
+extern std::atomic<bool> g_stats_enabled;
+}
+
+/// True while pool statistics are collected. Relaxed load — safe and
+/// cheap from any thread.
+inline bool pool_stats_enabled() {
+  return pool_detail::g_stats_enabled.load(std::memory_order_relaxed);
+}
+
+/// Clears the per-label registry and starts collecting (idempotent).
+void start_pool_stats();
+
+/// Copies the registry so far, sorted by label. Pools still alive have
+/// not flushed yet — stats land in the registry at pool destruction.
+std::vector<PoolStats> pool_stats_snapshot();
+
+/// Stops collecting and returns (moving out) everything recorded.
+std::vector<PoolStats> stop_pool_stats();
 
 /// Maps a user-facing thread knob to a concrete worker count: 0 means
 /// "auto" — the AUTONCS_THREADS environment variable when set to a
@@ -48,8 +113,11 @@ class ThreadPool {
       std::function<void(std::size_t, std::size_t, std::size_t)>;
 
   /// Spawns `threads - 1` workers (the caller participates as worker 0);
-  /// 0 resolves via resolve_thread_count.
-  explicit ThreadPool(std::size_t threads = 0);
+  /// 0 resolves via resolve_thread_count. `label` names the pool in the
+  /// scheduler-telemetry registry ("place", "route", ...); it must be a
+  /// string literal or otherwise outlive the pool. nullptr opts out of
+  /// stats collection entirely.
+  explicit ThreadPool(std::size_t threads = 0, const char* label = nullptr);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -84,14 +152,27 @@ class ThreadPool {
     std::uint64_t job = 0;
   };
 
+  /// Park/wake counters of one spawned worker, written with relaxed
+  /// atomics from the worker thread and read only at pool destruction.
+  /// Cache-line padded so neighbouring workers never share a line.
+  struct alignas(64) WorkerCounters {
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> wakes{0};
+  };
+
   void worker_loop(std::size_t worker);
   /// Runs every block owned by `worker` under the current job, capturing
   /// the first exception.
   void run_blocks(std::size_t worker);
+  /// Merges this pool's counters into the per-label registry.
+  void flush_stats();
 
   std::size_t worker_count_;
+  const char* label_;
+  std::chrono::steady_clock::time_point born_;
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<std::unique_ptr<WorkerCounters>> counters_;
   std::atomic<bool> stop_{false};
 
   // Current job. Written by the caller before any slot is signalled; the
@@ -102,6 +183,23 @@ class ThreadPool {
   std::size_t job_blocks_ = 0;
   std::size_t job_active_ = 0;
   std::uint64_t job_id_ = 0;
+  /// Whether the current job collects stats — latched by the caller at
+  /// dispatch so workers see a consistent value for the whole job.
+  bool job_stats_ = false;
+
+  // Dispatch-level statistics. The per-job arrays are written by each
+  // participating worker (its own slot only) and read by the caller after
+  // the drain; the done_mutex_ hand-off orders those accesses. The
+  // cumulative counters are touched by the calling thread alone.
+  std::vector<std::uint64_t> job_busy_ns_;
+  std::vector<std::uint64_t> job_blocks_run_;
+  std::uint64_t stat_dispatches_ = 0;
+  std::uint64_t stat_inline_runs_ = 0;
+  std::uint64_t stat_items_ = 0;
+  std::uint64_t stat_blocks_ = 0;
+  std::vector<std::uint64_t> stat_busy_ns_;
+  std::vector<std::uint64_t> stat_blocks_run_;
+  std::array<std::uint64_t, 5> stat_imbalance_{};
 
   std::mutex done_mutex_;
   std::condition_variable done_cv_;

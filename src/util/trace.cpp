@@ -133,9 +133,14 @@ void TraceSpan::open(const char* name, const char* arg_name, std::int64_t arg) {
   arg_name_ = arg_name;
   arg_ = arg;
   start_us_ = trace_detail::now_us();
+  if (flight_enabled()) flight_record_span(name_, true);
 }
 
 void TraceSpan::close() {
+  if (flight_enabled()) flight_record_span(name_, false);
+  // A span that outlives its trace session (or opened for the flight
+  // recorder alone) is dropped from the trace, as before.
+  if (!tracing_enabled()) return;
   TraceEvent event;
   event.name = name_;
   event.ts_us = start_us_;

@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "util/flight.hpp"
+
 namespace autoncs::util {
 
 /// One completed span. Timestamps are microseconds since start_tracing().
@@ -63,18 +65,21 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events);
 
 /// RAII span. The name (and optional arg name) must be string literals or
 /// otherwise outlive the trace session — they are stored by pointer.
+/// Spans also feed the crash flight recorder when it is armed, so the
+/// last spans before a crash are reconstructable without a trace sink;
+/// disabled cost is two relaxed atomic loads.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
-    if (tracing_enabled()) open(name, nullptr, 0);
+    if (tracing_enabled() || flight_enabled()) open(name, nullptr, 0);
   }
   TraceSpan(const char* name, const char* arg_name, std::int64_t arg) {
-    if (tracing_enabled()) open(name, arg_name, arg);
+    if (tracing_enabled() || flight_enabled()) open(name, arg_name, arg);
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
   ~TraceSpan() {
-    if (name_ != nullptr && tracing_enabled()) close();
+    if (name_ != nullptr) close();
   }
 
  private:

@@ -14,13 +14,17 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "autoncs/pipeline.hpp"
+#include "autoncs/telemetry.hpp"
 #include "nn/generators.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace autoncs {
@@ -219,6 +223,52 @@ TEST_F(FaultInjectionTest, EveryCatalogPointIsExercisedWithoutCrashing) {
   }
   for (const std::string& point : util::fault_point_catalog())
     EXPECT_TRUE(fired.contains(point)) << point << " never fired";
+}
+
+TEST_F(FaultInjectionTest, InjectedCrashProducesAFlightRecorderArtifact) {
+  // A run killed by an injected fault must leave a post-mortem behind:
+  // the telemetry session dumps the flight ring next to the error
+  // manifest (docs/observability.md, crash flight recorder).
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "autoncs_fault_flight_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  FlowConfig config = fault_config();
+  config.telemetry.metrics_path = (dir / "run.jsonl").string();
+  config.telemetry.flight_path = (dir / "run.flight.json").string();
+
+  util::fault_arm("flow.crash_after_placement");
+  try {
+    telemetry::Session session(config.telemetry);
+    try {
+      (void)run_autoncs(fault_network(), config);
+      FAIL() << "injected crash did not throw";
+    } catch (const util::FlowError& e) {
+      telemetry::Session::record_error(e);
+      EXPECT_EQ(e.code(), "internal.injected_crash");
+    }
+  } catch (...) {
+    FAIL() << "telemetry session must not throw";
+  }
+
+  // The error manifest names the flight artifact, and the artifact is a
+  // parsable autoncs-flight/1 dump with pre-crash context in it.
+  std::ifstream manifest_in(dir / "run.manifest.json");
+  std::stringstream manifest;
+  manifest << manifest_in.rdbuf();
+  ASSERT_FALSE(manifest.str().empty());
+  EXPECT_NE(manifest.str().find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(manifest.str().find("run.flight.json"), std::string::npos);
+
+  std::ifstream flight_in(config.telemetry.flight_path);
+  std::stringstream flight;
+  flight << flight_in.rdbuf();
+  ASSERT_FALSE(flight.str().empty());
+  EXPECT_TRUE(util::json_valid(flight.str()));
+  EXPECT_NE(flight.str().find("\"schema\":\"autoncs-flight/1\""),
+            std::string::npos);
+  EXPECT_NE(flight.str().find("flow/place"), std::string::npos);
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(FaultInjectionTest, DisarmedRunsAreBitIdenticalAcrossRepeats) {

@@ -99,6 +99,57 @@ TEST(Log, SinkRespectsThreshold) {
   EXPECT_NE(capture.lines()[0].second.find("kept"), std::string::npos);
 }
 
+TEST(Log, TimestampsAndStageContextAreOffByDefault) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  LogCapture capture;
+  set_log_stage("placement");  // stage is tracked, but not displayed
+  log_message(LogLevel::kInfo, "tag", "plain line");
+  set_log_stage(nullptr);
+  ASSERT_EQ(capture.lines().size(), 1u);
+  // Golden output shape: "[info] tag: plain line" — no timestamp, no
+  // stage annotation unless explicitly enabled.
+  EXPECT_EQ(capture.lines()[0].second, "[info] tag: plain line");
+}
+
+TEST(Log, OptionalTimestampPrefixIsIso8601) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  LogCapture capture;
+  set_log_timestamps(true);
+  log_message(LogLevel::kInfo, "tag", "stamped");
+  set_log_timestamps(false);
+  ASSERT_EQ(capture.lines().size(), 1u);
+  const std::string& line = capture.lines()[0].second;
+  // "2026-08-07T12:34:56Z [info] tag: stamped"
+  ASSERT_GE(line.size(), 21u);
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[7], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[13], ':');
+  EXPECT_EQ(line[16], ':');
+  EXPECT_EQ(line[19], 'Z');
+  EXPECT_EQ(line[20], ' ');
+  EXPECT_NE(line.find("[info] tag: stamped"), std::string::npos);
+}
+
+TEST(Log, OptionalStageContextAnnotatesLines) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  LogCapture capture;
+  set_log_stage_context(true);
+  set_log_stage("routing");
+  log_message(LogLevel::kWarn, "tag", "with stage");
+  set_log_stage(nullptr);
+  log_message(LogLevel::kWarn, "tag", "without stage");
+  set_log_stage_context(false);
+  ASSERT_EQ(capture.lines().size(), 2u);
+  EXPECT_EQ(capture.lines()[0].second, "[warn] (routing) tag: with stage");
+  // No active stage -> the annotation disappears rather than printing
+  // an empty marker.
+  EXPECT_EQ(capture.lines()[1].second, "[warn] tag: without stage");
+}
+
 TEST(Log, ConcurrentWritersNeverInterleaveCharacters) {
   LogLevelGuard guard;
   set_log_level(LogLevel::kInfo);

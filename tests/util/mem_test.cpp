@@ -1,0 +1,94 @@
+#include "util/mem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+namespace autoncs::util {
+namespace {
+
+TEST(Mem, DisabledRecordsNothing) {
+  ASSERT_FALSE(mem_accounting_enabled());
+  mem_stage_sample("never");
+  mem_record_bytes("never/structure", 128.0, false);
+  start_mem_accounting();
+  const MemSnapshot snapshot = mem_snapshot();
+  stop_mem_accounting();
+  EXPECT_TRUE(snapshot.stages.empty());
+  EXPECT_TRUE(snapshot.structures.empty());
+}
+
+TEST(Mem, StageSamplesKeepCallOrder) {
+  start_mem_accounting();
+  mem_stage_sample("clustering");
+  mem_stage_sample("placement");
+  mem_stage_sample("routing");
+  const MemSnapshot snapshot = mem_snapshot();
+  stop_mem_accounting();
+  ASSERT_EQ(snapshot.stages.size(), 3u);
+  EXPECT_EQ(snapshot.stages[0].stage, "clustering");
+  EXPECT_EQ(snapshot.stages[1].stage, "placement");
+  EXPECT_EQ(snapshot.stages[2].stage, "routing");
+}
+
+TEST(Mem, LastWritePerStructureNameWins) {
+  start_mem_accounting();
+  mem_record_bytes("grid", 100.0, false);
+  mem_record_bytes("cache", 50.0, false);
+  mem_record_bytes("grid", 300.0, false);
+  const MemSnapshot snapshot = mem_snapshot();
+  stop_mem_accounting();
+  ASSERT_EQ(snapshot.structures.size(), 2u);
+  const auto it = std::find_if(
+      snapshot.structures.begin(), snapshot.structures.end(),
+      [](const MemStructure& s) { return s.name == "grid"; });
+  ASSERT_NE(it, snapshot.structures.end());
+  EXPECT_DOUBLE_EQ(it->bytes, 300.0);
+}
+
+TEST(Mem, DeterministicRecordsEmitMetricGauges) {
+  start_metrics();
+  start_mem_accounting();
+  mem_record_bytes("det_structure", 4096.0, true);
+  mem_record_bytes("nondet_structure", 8192.0, false);
+  stop_mem_accounting();
+  const MetricsSnapshot metrics = stop_metrics();
+  bool saw_det = false;
+  bool saw_nondet = false;
+  for (const auto& g : metrics.gauges) {
+    if (g.name == "mem/det_structure_bytes") {
+      saw_det = true;
+      EXPECT_DOUBLE_EQ(g.value, 4096.0);
+    }
+    if (g.name.find("nondet_structure") != std::string::npos)
+      saw_nondet = true;
+  }
+  EXPECT_TRUE(saw_det);
+  EXPECT_FALSE(saw_nondet);
+}
+
+TEST(Mem, RssReadersReturnPlausibleValues) {
+#if defined(__linux__)
+  // The test process certainly occupies at least a page and peak >= now.
+  EXPECT_GT(current_rss_bytes(), 0u);
+  EXPECT_GE(peak_rss_bytes(), current_rss_bytes() / 2);
+#else
+  // Unsupported platforms degrade to 0 rather than lying.
+  EXPECT_GE(current_rss_bytes(), 0u);
+#endif
+}
+
+TEST(Mem, ContainerBytesUsesSizeNotCapacity) {
+  std::vector<std::uint64_t> v;
+  v.reserve(100);
+  v.resize(10);
+  EXPECT_DOUBLE_EQ(container_bytes(v), 10.0 * sizeof(std::uint64_t));
+}
+
+}  // namespace
+}  // namespace autoncs::util

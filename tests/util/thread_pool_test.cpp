@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
@@ -176,6 +177,98 @@ TEST(ThreadPool, GrainBlocksAreThreadCountInvariant) {
         grain);
     EXPECT_EQ(blocks, reference) << "threads = " << threads;
   }
+}
+
+TEST(ThreadPoolStats, DisabledPoolsFlushNothing) {
+  // Stats are opt-in: a labeled pool outside a start/stop window must not
+  // register anything.
+  ASSERT_FALSE(pool_stats_enabled());
+  {
+    ThreadPool pool(2, "stats-test-disabled");
+    pool.parallel_for(100, [](std::size_t, std::size_t, std::size_t) {});
+  }
+  start_pool_stats();
+  const auto stats = stop_pool_stats();
+  for (const auto& p : stats) EXPECT_NE(p.label, "stats-test-disabled");
+}
+
+TEST(ThreadPoolStats, UnlabeledPoolsNeverRegister) {
+  start_pool_stats();
+  {
+    ThreadPool pool(2);
+    pool.parallel_for(100, [](std::size_t, std::size_t, std::size_t) {});
+  }
+  EXPECT_TRUE(stop_pool_stats().empty());
+  EXPECT_FALSE(pool_stats_enabled());
+}
+
+TEST(ThreadPoolStats, EnabledPoolsReportDispatchesAndBusyTime) {
+  start_pool_stats();
+  {
+    ThreadPool pool(3, "stats-test");
+    for (int job = 0; job < 4; ++job) {
+      pool.parallel_for(300, [](std::size_t begin, std::size_t end,
+                                std::size_t) {
+        volatile double sink = 0.0;
+        for (std::size_t i = begin; i < end; ++i)
+          sink = sink + static_cast<double>(i);
+      });
+    }
+  }
+  const auto stats = stop_pool_stats();
+  const auto it = std::find_if(stats.begin(), stats.end(), [](const auto& p) {
+    return p.label == "stats-test";
+  });
+  ASSERT_NE(it, stats.end());
+  EXPECT_EQ(it->workers, 3u);
+  EXPECT_EQ(it->pools, 1u);
+  EXPECT_EQ(it->dispatches, 4u);
+  EXPECT_EQ(it->items, 4u * 300u);
+  EXPECT_GT(it->blocks, 0u);
+  EXPECT_GT(it->wall_ns, 0u);
+  ASSERT_EQ(it->busy_ns.size(), 3u);
+  ASSERT_EQ(it->blocks_run.size(), 3u);
+  // Worker 0 (the caller) always runs its owned blocks.
+  EXPECT_GT(it->busy_ns[0], 0u);
+  EXPECT_GT(it->blocks_run[0], 0u);
+  std::uint64_t blocks_total = 0;
+  for (const std::uint64_t b : it->blocks_run) blocks_total += b;
+  EXPECT_EQ(blocks_total, it->blocks);
+  std::uint64_t imbalance_total = 0;
+  for (const std::uint64_t b : it->imbalance) imbalance_total += b;
+  EXPECT_EQ(imbalance_total, it->dispatches - it->inline_runs);
+}
+
+TEST(ThreadPoolStats, InlineJobsAreCountedSeparately) {
+  start_pool_stats();
+  {
+    ThreadPool pool(4, "stats-inline");
+    // Fits one grain -> runs inline on the caller without a wakeup.
+    pool.parallel_for(
+        4, [](std::size_t, std::size_t, std::size_t) {}, 16);
+  }
+  const auto stats = stop_pool_stats();
+  const auto it = std::find_if(stats.begin(), stats.end(), [](const auto& p) {
+    return p.label == "stats-inline";
+  });
+  ASSERT_NE(it, stats.end());
+  EXPECT_EQ(it->dispatches, 1u);
+  EXPECT_EQ(it->inline_runs, 1u);
+}
+
+TEST(ThreadPoolStats, SameLabelMergesAcrossPools) {
+  start_pool_stats();
+  for (int round = 0; round < 2; ++round) {
+    ThreadPool pool(2, "stats-merge");
+    pool.parallel_for(64, [](std::size_t, std::size_t, std::size_t) {});
+  }
+  const auto stats = stop_pool_stats();
+  const auto it = std::find_if(stats.begin(), stats.end(), [](const auto& p) {
+    return p.label == "stats-merge";
+  });
+  ASSERT_NE(it, stats.end());
+  EXPECT_EQ(it->pools, 2u);
+  EXPECT_EQ(it->dispatches, 2u);
 }
 
 TEST(ThreadPool, GrainCoversEveryIndexExactlyOnce) {

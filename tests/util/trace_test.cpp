@@ -51,12 +51,23 @@ TEST(Trace, WorkerSpansCarryDistinctThreadIds) {
     }
   });
   const auto events = stop_tracing();
-  ASSERT_EQ(events.size(), 4u);
+  // The pool adds its own scheduler spans (pool/dispatch + pool/drain on
+  // the caller, pool/run per active worker); count only the user spans.
   std::set<std::uint32_t> tids;
-  for (const auto& event : events) tids.insert(event.tid);
+  std::size_t chunks = 0;
+  std::size_t runs = 0;
+  for (const auto& event : events) {
+    if (std::string(event.name) == "worker/chunk") {
+      ++chunks;
+      tids.insert(event.tid);
+    }
+    if (std::string(event.name) == "pool/run") ++runs;
+  }
+  ASSERT_EQ(chunks, 4u);
   // One chunk per worker; worker 0 is the calling thread, the other three
   // are pool threads — every span must come from a different thread.
   EXPECT_EQ(tids.size(), 4u);
+  EXPECT_EQ(runs, 4u);
 }
 
 TEST(Trace, SessionsAreIsolated) {
@@ -69,6 +80,33 @@ TEST(Trace, SessionsAreIsolated) {
   const auto events = stop_tracing();
   ASSERT_EQ(events.size(), 1u);
   EXPECT_STREQ(events[0].name, "second/session");
+}
+
+TEST(Trace, EmptySessionExportsAValidDocument) {
+  // A run that enabled tracing but recorded no spans must still produce a
+  // loadable artifact (perf_report.py treats it as "empty trace").
+  start_tracing();
+  const auto events = stop_tracing();
+  EXPECT_TRUE(events.empty());
+  const std::string json = chrome_trace_json(events);
+  EXPECT_TRUE(json_valid(json));
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+TEST(Trace, SpanOpenAtExportIsDropped) {
+  // Spans are recorded at CLOSE: a span still open when the session stops
+  // is absent from the export, and its late close (tracing now disabled)
+  // must not leak into a later session either.
+  start_tracing();
+  {
+    TraceSpan open_span("never/closed-in-session");
+    { AUTONCS_TRACE_SCOPE("closed/in-session"); }
+    const auto events = stop_tracing();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].name, "closed/in-session");
+  }  // open_span closes here, after its session already exported
+  start_tracing();
+  EXPECT_TRUE(stop_tracing().empty());
 }
 
 TEST(Trace, ChromeTraceJsonIsValid) {

@@ -129,6 +129,12 @@ int usage() {
                "  --metrics FILE   write convergence metrics as JSONL\n"
                "  --manifest FILE  write the run manifest (defaults next to "
                "--trace/--metrics)\n"
+               "  --flight FILE    write the crash flight-recorder ring here "
+               "on error\n"
+               "  --log-timestamps prefix stderr log lines with UTC ISO-8601 "
+               "timestamps\n"
+               "  --log-stage      annotate stderr log lines with the active "
+               "flow stage\n"
                "see tools/autoncs_cli.cpp for the full option list\n");
   return 2;
 }
@@ -258,6 +264,9 @@ int cmd_flow(const Args& args) {
   config.telemetry.trace_path = args.get("trace", "");
   config.telemetry.metrics_path = args.get("metrics", "");
   config.telemetry.manifest_path = args.get("manifest", "");
+  config.telemetry.flight_path = args.get("flight", "");
+  if (args.has("log-timestamps")) util::set_log_timestamps(true);
+  if (args.has("log-stage")) util::set_log_stage_context(true);
   config.checkpoint.dir = args.get("checkpoint-dir", "");
   config.checkpoint.resume = args.has("resume");
   config.stage_budget.clustering_ms =

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""CI gate over the bench_perf_threads artifact.
+"""CI gate over the bench artifacts.
 
-Reads BENCH_perf_threads.json and fails (exit 1) when the parallel
-place+route flow regresses:
+Primary mode reads BENCH_perf_threads.json and fails (exit 1) when the
+parallel place+route flow regresses:
 
   * ``deterministic`` must be 1 — bit-identical routing across thread
     counts is a hard contract, never waived.
@@ -13,40 +13,69 @@ place+route flow regresses:
     oversubscription, so the floor only bounds the dispatch overhead
     (default 0.85): parallelism cannot pay, but it must stay near-free.
 
+Additional artifacts are validated when passed:
+
+  * ``--clustering BENCH_perf_clustering.json`` — required keys present,
+    all values finite, ``deterministic`` == 1.
+  * ``--table1 BENCH_table1_cost.json`` — the three reduction ratios
+    present and finite.
+  * ``--placer BENCH_perf_placer.json [--placer-baseline OLD.json]`` —
+    required keys present and finite; with a baseline artifact, the
+    disabled-instrumentation overhead gate compares ``fast_ms`` and fails
+    when the new run is more than ``--max-placer-regress`` (default 2%)
+    slower. The comparison only applies when both artifacts measured the
+    same problem size (``largest_n``); otherwise it is reported as
+    skipped (CI smoke runs a much smaller n than the committed artifact).
+
 Usage: bench_gate.py BENCH_perf_threads.json [--min-speedup X]
        [--min-speedup-oversubscribed Y]
+       [--clustering FILE] [--table1 FILE]
+       [--placer FILE [--placer-baseline FILE] [--max-placer-regress R]]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("artifact", help="path to BENCH_perf_threads.json")
-    parser.add_argument(
-        "--min-speedup",
-        type=float,
-        default=1.0,
-        help="speedup_8t floor when the runner has >= 2 hardware threads",
-    )
-    parser.add_argument(
-        "--min-speedup-oversubscribed",
-        type=float,
-        default=0.85,
-        help="speedup_8t floor when the runner has 1 hardware thread "
-        "(bounds thread-pool overhead, not scaling)",
-    )
-    args = parser.parse_args()
+def load_metrics(path: str, failures: list[str]) -> dict | None:
+    """Loads a bench artifact; returns its metrics dict or None on error."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            artifact = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        failures.append(f"{path}: unreadable or malformed JSON ({err})")
+        return None
+    metrics = artifact.get("metrics")
+    if not isinstance(metrics, dict):
+        failures.append(f"{path}: missing top-level 'metrics' object")
+        return None
+    return metrics
 
-    with open(args.artifact, encoding="utf-8") as handle:
-        artifact = json.load(handle)
-    metrics = artifact.get("metrics", {})
 
-    failures = []
+def require_finite(
+    metrics: dict, keys: list[str], path: str, failures: list[str]
+) -> bool:
+    """Checks every key is present and a finite number."""
+    ok = True
+    for key in keys:
+        value = metrics.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            failures.append(f"{path}: '{key}' missing or not a number")
+            ok = False
+        elif not math.isfinite(value):
+            failures.append(f"{path}: '{key}' = {value!r} is not finite")
+            ok = False
+    return ok
+
+
+def gate_threads(args, failures: list[str]) -> None:
+    metrics = load_metrics(args.artifact, failures)
+    if metrics is None:
+        return
 
     deterministic = metrics.get("deterministic")
     if deterministic != 1:
@@ -73,6 +102,121 @@ def main() -> int:
             )
         else:
             print(f"speedup_8t = {speedup:.3f} >= {floor:.2f} [{label}] OK")
+
+
+def gate_clustering(path: str, failures: list[str]) -> None:
+    metrics = load_metrics(path, failures)
+    if metrics is None:
+        return
+    keys = ["largest_n", "dense_ms", "lanczos_ms", "embedding_speedup",
+            "deterministic"]
+    if require_finite(metrics, keys, path, failures):
+        if metrics["deterministic"] != 1:
+            failures.append(
+                f"{path}: deterministic = {metrics['deterministic']!r} "
+                "(clustering must be bit-identical across thread counts)"
+            )
+        else:
+            print(f"{path}: keys present, values finite OK")
+
+
+def gate_table1(path: str, failures: list[str]) -> None:
+    metrics = load_metrics(path, failures)
+    if metrics is None:
+        return
+    keys = ["wirelength_reduction", "area_reduction", "delay_reduction"]
+    if require_finite(metrics, keys, path, failures):
+        print(f"{path}: keys present, values finite OK")
+
+
+def gate_placer(args, failures: list[str]) -> None:
+    metrics = load_metrics(args.placer, failures)
+    if metrics is None:
+        return
+    keys = ["largest_n", "fast_ms", "speedup", "bit_identical"]
+    if not require_finite(metrics, keys, args.placer, failures):
+        return
+    if metrics["bit_identical"] != 1:
+        failures.append(
+            f"{args.placer}: bit_identical = {metrics['bit_identical']!r}"
+        )
+        return
+    print(f"{args.placer}: keys present, values finite OK")
+
+    if not args.placer_baseline:
+        return
+    baseline = load_metrics(args.placer_baseline, failures)
+    if baseline is None:
+        return
+    if not require_finite(
+        baseline, ["largest_n", "fast_ms"], args.placer_baseline, failures
+    ):
+        return
+    if baseline["largest_n"] != metrics["largest_n"]:
+        print(
+            f"placer overhead gate: largest_n differs "
+            f"({baseline['largest_n']} baseline vs {metrics['largest_n']} "
+            "current) — not comparable, skipped"
+        )
+        return
+    if baseline["fast_ms"] <= 0:
+        print("placer overhead gate: baseline fast_ms <= 0, skipped")
+        return
+    regress = metrics["fast_ms"] / baseline["fast_ms"] - 1.0
+    if regress > args.max_placer_regress:
+        failures.append(
+            f"placer fast_ms regressed {regress * 100.0:.2f}% "
+            f"({baseline['fast_ms']:.1f} ms -> {metrics['fast_ms']:.1f} ms; "
+            f"limit {args.max_placer_regress * 100.0:.1f}%)"
+        )
+    else:
+        print(
+            f"placer fast_ms within budget: {regress * 100.0:+.2f}% vs "
+            f"baseline (limit +{args.max_placer_regress * 100.0:.1f}%)"
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact", help="path to BENCH_perf_threads.json")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="speedup_8t floor when the runner has >= 2 hardware threads",
+    )
+    parser.add_argument(
+        "--min-speedup-oversubscribed",
+        type=float,
+        default=0.85,
+        help="speedup_8t floor when the runner has 1 hardware thread "
+        "(bounds thread-pool overhead, not scaling)",
+    )
+    parser.add_argument(
+        "--clustering", help="also validate BENCH_perf_clustering.json"
+    )
+    parser.add_argument("--table1", help="also validate BENCH_table1_cost.json")
+    parser.add_argument("--placer", help="also validate BENCH_perf_placer.json")
+    parser.add_argument(
+        "--placer-baseline",
+        help="pre-change BENCH_perf_placer.json for the overhead gate",
+    )
+    parser.add_argument(
+        "--max-placer-regress",
+        type=float,
+        default=0.02,
+        help="max fractional fast_ms regression vs --placer-baseline",
+    )
+    args = parser.parse_args()
+
+    failures: list[str] = []
+    gate_threads(args, failures)
+    if args.clustering:
+        gate_clustering(args.clustering, failures)
+    if args.table1:
+        gate_table1(args.table1, failures)
+    if args.placer:
+        gate_placer(args, failures)
 
     if failures:
         for failure in failures:
