@@ -1,0 +1,117 @@
+// Performance study — routing-only microbenchmark: bidirectional vs
+// legacy unidirectional maze kernel.
+//
+// Places the selected Hopfield testbench once (FullCro mapping, so the
+// netlist and placement are fixed), then routes the SAME placed netlist
+// with both maze kernels at a single thread and reports wall-clock,
+// search effort (nodes expanded, heap pushes, window retries, frontier
+// meets), and the routing quality (wirelength, overflow) side by side.
+// The default flow config is used (the paper's single-pass flow), so the
+// warm-start seeds are exercised through wave deferrals and relaxation
+// retries. Each variant runs several repetitions and keeps the fastest
+// (the searches are deterministic, so quality and effort are identical
+// across reps — only the clock varies).
+//
+// Usage: bench_perf_route [testbench_id] [reps]
+//   testbench_id selects the Hopfield testbench (1..3, default 3 — the
+//   largest); CI smoke-runs with 1.
+#include <cstdio>
+#include <cstdlib>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autoncs/pipeline.hpp"
+#include "common.hpp"
+#include "mapping/fullcro.hpp"
+#include "nn/testbench.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace autoncs;
+  bench::banner("Performance: bidirectional vs unidirectional maze kernel");
+
+  int testbench_id = 3;  // largest testbench (N = 500)
+  if (argc > 1) testbench_id = std::atoi(argv[1]);
+  int reps = 3;
+  if (argc > 2) reps = std::atoi(argv[2]);
+  if (reps < 1) reps = 1;
+
+  const auto tb = nn::build_testbench(testbench_id);
+  FlowConfig config = bench::default_config();
+  config.router.threads = 1;  // single-thread kernel comparison
+  const mapping::HybridMapping mapping = mapping::fullcro_mapping(
+      tb.topology, {config.baseline_crossbar_size, true});
+  // One placement shared by every routing run.
+  const FlowResult placed = run_physical_design(mapping, config);
+
+  struct Variant {
+    const char* name;
+    bool bidirectional;
+    route::RoutingResult result;
+    double best_ms = 0.0;
+  };
+  Variant variants[] = {{"unidirectional", false, {}, 0.0},
+                        {"bidirectional", true, {}, 0.0}};
+  for (Variant& v : variants) {
+    route::RouterOptions options = config.router;
+    options.bidirectional = v.bidirectional;
+    for (int rep = 0; rep < reps; ++rep) {
+      util::WallTimer timer;
+      route::RoutingResult result = route::route(placed.netlist, options);
+      const double ms = timer.elapsed_ms();
+      if (rep == 0 || ms < v.best_ms) v.best_ms = ms;
+      if (rep == 0) v.result = std::move(result);
+    }
+  }
+
+  const route::RoutingResult& uni = variants[0].result;
+  const route::RoutingResult& bidi = variants[1].result;
+  const double uni_ms = variants[0].best_ms;
+  const double bidi_ms = variants[1].best_ms;
+  const double speedup = bidi_ms > 0.0 ? uni_ms / bidi_ms : 1.0;
+
+  util::ConsoleTable table({"kernel", "route (ms)", "nodes expanded",
+                            "heap pushes", "window retries", "meets",
+                            "L (um)", "overflow"});
+  for (const Variant& v : variants) {
+    table.add_row({v.name, util::fmt_double(v.best_ms, 1),
+                   std::to_string(v.result.maze_nodes_expanded),
+                   std::to_string(v.result.maze_heap_pushes),
+                   std::to_string(v.result.maze_window_retries),
+                   std::to_string(v.result.maze_meets),
+                   util::fmt_double(v.result.total_wirelength_um, 1),
+                   util::fmt_double(v.result.total_overflow, 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("bidirectional speedup over unidirectional: %.2fx\n", speedup);
+  std::printf("expected shape: the bidirectional kernel expands fewer nodes "
+              "and routes faster at equal-or-better wirelength/overflow.\n");
+
+  const auto ratio = [](std::uint64_t a, std::uint64_t b) {
+    return b > 0 ? static_cast<double>(a) / static_cast<double>(b) : 0.0;
+  };
+  bench::write_bench_json(
+      "perf_route",
+      {{"route_ms_uni", uni_ms},
+       {"route_ms_bidi", bidi_ms},
+       {"speedup_bidi", speedup},
+       {"nodes_expanded_uni", static_cast<double>(uni.maze_nodes_expanded)},
+       {"nodes_expanded_bidi", static_cast<double>(bidi.maze_nodes_expanded)},
+       {"expansion_ratio", ratio(uni.maze_nodes_expanded,
+                                 bidi.maze_nodes_expanded)},
+       {"heap_pushes_uni", static_cast<double>(uni.maze_heap_pushes)},
+       {"heap_pushes_bidi", static_cast<double>(bidi.maze_heap_pushes)},
+       {"window_retries_uni", static_cast<double>(uni.maze_window_retries)},
+       {"window_retries_bidi", static_cast<double>(bidi.maze_window_retries)},
+       {"meets_bidi", static_cast<double>(bidi.maze_meets)},
+       {"wirelength_um_uni", uni.total_wirelength_um},
+       {"wirelength_um_bidi", bidi.total_wirelength_um},
+       {"overflow_uni", uni.total_overflow},
+       {"overflow_bidi", bidi.total_overflow},
+       {"maze_invocations_uni", static_cast<double>(uni.maze_invocations)},
+       {"maze_invocations_bidi", static_cast<double>(bidi.maze_invocations)}});
+  return 0;
+}

@@ -105,6 +105,7 @@ void write_config_object(util::JsonWriter& w, const FlowConfig& config) {
       .field("max_relax_steps", config.router.max_relax_steps)
       .field("margin_bins", config.router.margin_bins)
       .field("window_margin_bins", config.router.window_margin_bins)
+      .field("bidirectional", config.router.bidirectional)
       .field("reroute_passes", config.router.reroute_passes)
       .field("history_weight", config.router.history_weight)
       .field("threads", config.router.threads);
@@ -195,6 +196,10 @@ void write_result(util::JsonWriter& w, const FlowConfig& config,
       .field("segments_relaxed", result.routing.segments_relaxed)
       .field("segments_fallback", result.routing.segments_fallback)
       .field("maze_invocations", result.routing.maze_invocations)
+      .field("maze_nodes_expanded", result.routing.maze_nodes_expanded)
+      .field("maze_heap_pushes", result.routing.maze_heap_pushes)
+      .field("maze_window_retries", result.routing.maze_window_retries)
+      .field("maze_meets", result.routing.maze_meets)
       .field("waves", result.routing.waves)
       .field("reroute_passes", result.routing.reroute_stats.size())
       .field("threads_used", result.routing.threads_used)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/check.hpp"
 
@@ -15,13 +16,57 @@ GridGraph::GridGraph(std::size_t nx, std::size_t ny, double bin_um,
       origin_x_(origin_x),
       origin_y_(origin_y),
       capacity_(edge_capacity),
-      h_usage_(nx >= 1 ? (nx - 1) * ny : 0, 0.0),
-      v_usage_(ny >= 1 ? nx * (ny - 1) : 0, 0.0),
-      h_history_(h_usage_.size(), 0.0),
-      v_history_(v_usage_.size(), 0.0) {
+      h_count_(nx >= 1 ? (nx - 1) * ny : 0),
+      usage_(h_count_ + (ny >= 1 ? nx * (ny - 1) : 0), 0.0),
+      history_(usage_.size(), 0.0) {
   AUTONCS_CHECK(nx >= 1 && ny >= 1, "grid must have at least one bin");
   AUTONCS_CHECK(bin_um > 0.0, "bin width must be positive");
   AUTONCS_CHECK(edge_capacity > 0.0, "edge capacity must be positive");
+  AUTONCS_CHECK(nx * ny < std::numeric_limits<std::uint32_t>::max(),
+                "grid too large for 32-bit adjacency table");
+  AUTONCS_CHECK(nx <= std::numeric_limits<std::uint16_t>::max() &&
+                    ny <= std::numeric_limits<std::uint16_t>::max(),
+                "grid dimension too large for 16-bit bin coordinates");
+  build_adjacency();
+}
+
+void GridGraph::build_adjacency() {
+  const std::size_t nodes = nx_ * ny_;
+  adjacency_offsets_.assign(nodes + 1, 0);
+  adjacency_.clear();
+  adjacency_.reserve(4 * nodes);
+  // Fixed neighbor order (east, west, north, south) matches the legacy
+  // kernel's expansion order, so searches relax edges identically.
+  for (std::size_t node = 0; node < nodes; ++node) {
+    const std::size_t ix = node % nx_;
+    const std::size_t iy = node / nx_;
+    const auto x16 = static_cast<std::uint16_t>(ix);
+    const auto y16 = static_cast<std::uint16_t>(iy);
+    if (ix + 1 < nx_) {
+      adjacency_.push_back({static_cast<std::uint32_t>(node + 1),
+                            static_cast<std::uint32_t>(h_index(ix, iy)),
+                            static_cast<std::uint16_t>(ix + 1), y16});
+    }
+    if (ix > 0) {
+      adjacency_.push_back({static_cast<std::uint32_t>(node - 1),
+                            static_cast<std::uint32_t>(h_index(ix - 1, iy)),
+                            static_cast<std::uint16_t>(ix - 1), y16});
+    }
+    if (iy + 1 < ny_) {
+      adjacency_.push_back(
+          {static_cast<std::uint32_t>(node + nx_),
+           static_cast<std::uint32_t>(h_count_ + v_index(ix, iy)), x16,
+           static_cast<std::uint16_t>(iy + 1)});
+    }
+    if (iy > 0) {
+      adjacency_.push_back(
+          {static_cast<std::uint32_t>(node - nx_),
+           static_cast<std::uint32_t>(h_count_ + v_index(ix, iy - 1)), x16,
+           static_cast<std::uint16_t>(iy - 1)});
+    }
+    adjacency_offsets_[node + 1] =
+        static_cast<std::uint32_t>(adjacency_.size());
+  }
 }
 
 BinRef GridGraph::bin_of(double x, double y) const {
@@ -54,40 +99,34 @@ std::size_t GridGraph::v_index(std::size_t ix, std::size_t iy) const {
 }
 
 double GridGraph::h_usage(std::size_t ix, std::size_t iy) const {
-  return h_usage_[h_index(ix, iy)];
+  return usage_[h_index(ix, iy)];
 }
 
 double GridGraph::v_usage(std::size_t ix, std::size_t iy) const {
-  return v_usage_[v_index(ix, iy)];
+  return usage_[h_count_ + v_index(ix, iy)];
 }
 
 void GridGraph::add_h_usage(std::size_t ix, std::size_t iy, double amount) {
-  h_usage_[h_index(ix, iy)] += amount;
+  usage_[h_index(ix, iy)] += amount;
 }
 
 void GridGraph::add_v_usage(std::size_t ix, std::size_t iy, double amount) {
-  v_usage_[v_index(ix, iy)] += amount;
+  usage_[h_count_ + v_index(ix, iy)] += amount;
 }
 
 double GridGraph::h_history(std::size_t ix, std::size_t iy) const {
-  return h_history_[h_index(ix, iy)];
+  return history_[h_index(ix, iy)];
 }
 
 double GridGraph::v_history(std::size_t ix, std::size_t iy) const {
-  return v_history_[v_index(ix, iy)];
+  return history_[h_count_ + v_index(ix, iy)];
 }
 
 std::size_t GridGraph::accumulate_history(double limit) {
   std::size_t overflowed = 0;
-  for (std::size_t e = 0; e < h_usage_.size(); ++e) {
-    if (h_usage_[e] > limit) {
-      h_history_[e] += h_usage_[e] - limit;
-      ++overflowed;
-    }
-  }
-  for (std::size_t e = 0; e < v_usage_.size(); ++e) {
-    if (v_usage_[e] > limit) {
-      v_history_[e] += v_usage_[e] - limit;
+  for (std::size_t e = 0; e < usage_.size(); ++e) {
+    if (usage_[e] > limit) {
+      history_[e] += usage_[e] - limit;
       ++overflowed;
     }
   }
@@ -96,15 +135,13 @@ std::size_t GridGraph::accumulate_history(double limit) {
 
 double GridGraph::total_overflow() const {
   double acc = 0.0;
-  for (double u : h_usage_) acc += std::max(0.0, u - capacity_);
-  for (double u : v_usage_) acc += std::max(0.0, u - capacity_);
+  for (double u : usage_) acc += std::max(0.0, u - capacity_);
   return acc;
 }
 
 double GridGraph::peak_congestion() const {
   double peak = 0.0;
-  for (double u : h_usage_) peak = std::max(peak, u / capacity_);
-  for (double u : v_usage_) peak = std::max(peak, u / capacity_);
+  for (double u : usage_) peak = std::max(peak, u / capacity_);
   return peak;
 }
 

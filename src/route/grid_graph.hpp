@@ -3,9 +3,15 @@
 // theta (user parameter); routing demand lives on the edges between
 // adjacent bins, each with a virtual capacity [17] that estimates how many
 // wires fit.
+//
+// Edges live in ONE flat array (horizontal edges first, then vertical), so
+// a maze search addresses any edge branchlessly by its unified id, and a
+// precomputed CSR adjacency table (neighbor node + unified edge id per
+// entry) replaces the per-expansion bin arithmetic and boundary branches.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/heatmap.hpp"
@@ -18,6 +24,17 @@ struct BinRef {
   friend bool operator==(const BinRef&, const BinRef&) = default;
 };
 
+/// One outgoing edge in the precomputed adjacency table: the neighbor's
+/// node index, the unified edge id shared by both directions, and the
+/// neighbor's bin coordinates (so window tests and heuristics need no
+/// div/mod in the expansion loop).
+struct GridNeighbor {
+  std::uint32_t node = 0;
+  std::uint32_t edge = 0;
+  std::uint16_t ix = 0;
+  std::uint16_t iy = 0;
+};
+
 class GridGraph {
  public:
   /// Builds an nx x ny grid with the given bin width (um) and per-edge
@@ -28,6 +45,7 @@ class GridGraph {
   std::size_t nx() const { return nx_; }
   std::size_t ny() const { return ny_; }
   double bin_um() const { return bin_um_; }
+  std::size_t node_count() const { return nx_ * ny_; }
 
   /// Bin containing the point (clamped to the grid).
   BinRef bin_of(double x, double y) const;
@@ -56,6 +74,18 @@ class GridGraph {
   std::size_t accumulate_history(double limit);
   std::size_t accumulate_history() { return accumulate_history(capacity_); }
 
+  // --- unified edge addressing (maze kernel hot path) ---
+  /// Edges adjacent to `node`, 2..4 entries.
+  const GridNeighbor* neighbors(std::size_t node) const {
+    return adjacency_.data() + adjacency_offsets_[node];
+  }
+  std::size_t neighbor_count(std::size_t node) const {
+    return adjacency_offsets_[node + 1] - adjacency_offsets_[node];
+  }
+  /// Usage / history by unified edge id (horizontal block first).
+  double edge_usage(std::uint32_t edge) const { return usage_[edge]; }
+  double edge_history(std::uint32_t edge) const { return history_[edge]; }
+
   /// Total usage above capacity, summed over edges (overflow metric).
   double total_overflow() const;
   /// Largest usage/capacity over all edges.
@@ -65,18 +95,21 @@ class GridGraph {
   /// congestion map of Fig. 10(b)/(d).
   util::Field2D congestion_field() const;
 
-  /// Logical footprint of the usage/history edge arrays in bytes. The
-  /// grid dimensions derive from the (bit-identical) placement, so this
-  /// is thread-count invariant and safe to expose as a metric.
+  /// Logical footprint of the usage/history edge arrays plus the
+  /// adjacency table in bytes. The grid dimensions derive from the
+  /// (bit-identical) placement, so this is thread-count invariant and
+  /// safe to expose as a metric.
   double footprint_bytes() const {
-    return static_cast<double>((h_usage_.size() + v_usage_.size() +
-                                h_history_.size() + v_history_.size()) *
-                               sizeof(double));
+    return static_cast<double>(
+        (usage_.size() + history_.size()) * sizeof(double) +
+        adjacency_.size() * sizeof(GridNeighbor) +
+        adjacency_offsets_.size() * sizeof(std::uint32_t));
   }
 
  private:
   std::size_t h_index(std::size_t ix, std::size_t iy) const;
   std::size_t v_index(std::size_t ix, std::size_t iy) const;
+  void build_adjacency();
 
   std::size_t nx_;
   std::size_t ny_;
@@ -84,10 +117,11 @@ class GridGraph {
   double origin_x_;
   double origin_y_;
   double capacity_;
-  std::vector<double> h_usage_;  // (nx-1) * ny
-  std::vector<double> v_usage_;  // nx * (ny-1)
-  std::vector<double> h_history_;
-  std::vector<double> v_history_;
+  std::size_t h_count_;  // horizontal edges: (nx-1) * ny, block 0 of usage_
+  std::vector<double> usage_;    // h edges then v edges (nx * (ny-1))
+  std::vector<double> history_;  // same layout
+  std::vector<std::uint32_t> adjacency_offsets_;  // node_count() + 1
+  std::vector<GridNeighbor> adjacency_;
 };
 
 }  // namespace autoncs::route

@@ -9,116 +9,156 @@ namespace autoncs::route {
 
 namespace {
 
+/// Legacy heap order: min-heap on priority alone (exact legacy
+/// replication for the unidirectional kernel).
 struct HeapOrder {
   bool operator()(const MazeQueueEntry& a, const MazeQueueEntry& b) const {
     return a.priority > b.priority;  // min-heap
   }
 };
 
-}  // namespace
+/// Bidirectional heap order: lowest priority first; priority ties pop
+/// the DEEPEST entry (highest g — commit to the frontier's current
+/// corridor instead of ping-ponging between equally promising ones),
+/// and remaining ties pop the MOST RECENT push (a depth-first march
+/// across equal-cost plateaus, like the legacy kernel's plateau
+/// behavior, instead of flooding them breadth-first). Both rules only
+/// pick among equal-priority entries, so the returned cost is
+/// unaffected — but the equal-cost path SHAPE they select measurably
+/// improves aggregate wirelength/overflow once thousands of segment
+/// routes interact (see bench_perf_route). seq is unique within a
+/// search pass, so the pop sequence — and with it the committed path —
+/// is a total order, a pure function of the grid state independent of
+/// thread count.
+struct BidiHeapOrder {
+  bool operator()(const MazeQueueEntry& a, const MazeQueueEntry& b) const {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    if (a.cost != b.cost) return a.cost < b.cost;  // deeper first
+    return a.seq < b.seq;
+  }
+};
 
-std::optional<std::vector<BinRef>> maze_route(const GridGraph& grid,
-                                              BinRef source, BinRef target,
-                                              const MazeOptions& options,
-                                              MazeWorkspace& workspace) {
+struct Window {
+  std::uint16_t lo_x = 0;
+  std::uint16_t lo_y = 0;
+  std::uint16_t hi_x = 0;
+  std::uint16_t hi_y = 0;
+  bool contains(std::uint16_t ix, std::uint16_t iy) const {
+    return ix >= lo_x && ix <= hi_x && iy >= lo_y && iy <= hi_y;
+  }
+};
+
+/// Inclusive bin bounding box, grown by `margin` and clamped to the grid.
+Window make_window(std::size_t min_x, std::size_t min_y, std::size_t max_x,
+                   std::size_t max_y, std::size_t margin, std::size_t nx,
+                   std::size_t ny) {
+  Window w;
+  w.lo_x = static_cast<std::uint16_t>(min_x > margin ? min_x - margin : 0);
+  w.lo_y = static_cast<std::uint16_t>(min_y > margin ? min_y - margin : 0);
+  const std::size_t hx = max_x + margin;
+  const std::size_t hy = max_y + margin;
+  w.hi_x = static_cast<std::uint16_t>((hx < max_x || hx > nx - 1) ? nx - 1 : hx);
+  w.hi_y = static_cast<std::uint16_t>((hy < max_y || hy > ny - 1) ? ny - 1 : hy);
+  return w;
+}
+
+/// Shared edge-cost model: base length plus congestion and history terms.
+struct EdgeCostModel {
+  double bin;
+  double inv_capacity;
+  double congestion_penalty;
+  double history_weight;
+  double limit;
+  double operator()(double usage, double history) const {
+    return bin * (1.0 + congestion_penalty * usage * inv_capacity +
+                  history_weight * history * inv_capacity);
+  }
+};
+
+std::optional<std::vector<BinRef>> maze_route_unidirectional(
+    const GridGraph& grid, BinRef source, BinRef target,
+    const MazeOptions& options, MazeWorkspace& workspace) {
   const std::size_t nx = grid.nx();
   const std::size_t ny = grid.ny();
-  AUTONCS_CHECK(source.ix < nx && source.iy < ny, "source bin out of range");
-  AUTONCS_CHECK(target.ix < nx && target.iy < ny, "target bin out of range");
-
   const auto node_of = [nx](BinRef b) { return b.iy * nx + b.ix; };
   const std::size_t start = node_of(source);
   const std::size_t goal = node_of(target);
   const std::size_t nodes = nx * ny;
 
   const double bin = grid.bin_um();
-  const double limit = options.capacity_limit_factor * grid.edge_capacity();
-  const auto heuristic = [&](std::size_t node) {
-    const double dx = static_cast<double>(node % nx) -
-                      static_cast<double>(target.ix);
-    const double dy = static_cast<double>(node / nx) -
-                      static_cast<double>(target.iy);
-    return (std::abs(dx) + std::abs(dy)) * bin;
-  };
+  const EdgeCostModel edge_cost{bin, 1.0 / grid.edge_capacity(),
+                                options.congestion_penalty,
+                                options.history_weight,
+                                options.capacity_limit_factor *
+                                    grid.edge_capacity()};
+  MazeStats& stats = workspace.stats();
 
-  // One A* pass restricted to the inclusive bin window [lo_x, hi_x] x
-  // [lo_y, hi_y] (the full grid when the window spans it). Returns true
-  // when the goal was reached.
-  const auto search = [&](std::size_t lo_x, std::size_t lo_y, std::size_t hi_x,
-                          std::size_t hi_y) {
+  // One A* pass restricted to the inclusive window (the full grid when the
+  // window spans it). Returns true when the goal was reached.
+  const auto search = [&](const Window& window) {
     workspace.prepare(nodes);
     auto& open = workspace.heap();
-    const auto push = [&open](MazeQueueEntry entry) {
+    const auto push = [&open, &stats](MazeQueueEntry entry) {
       open.push_back(entry);
       std::push_heap(open.begin(), open.end(), HeapOrder{});
+      ++stats.heap_pushes;
+    };
+    const auto heuristic = [&](std::size_t ix, std::size_t iy) {
+      const double dx =
+          static_cast<double>(ix) - static_cast<double>(target.ix);
+      const double dy =
+          static_cast<double>(iy) - static_cast<double>(target.iy);
+      return (std::abs(dx) + std::abs(dy)) * bin;
     };
     workspace.record(start, 0.0, nodes);
-    push({heuristic(start), 0.0, start});
+    push({heuristic(source.ix, source.iy), 0.0, start});
 
     while (!open.empty()) {
       const MazeQueueEntry entry = open.front();
       std::pop_heap(open.begin(), open.end(), HeapOrder{});
       open.pop_back();
       if (entry.cost > workspace.best(entry.node)) continue;
+      ++stats.nodes_expanded;
       if (entry.node == goal) break;
-      const std::size_t ix = entry.node % nx;
-      const std::size_t iy = entry.node / nx;
 
-      const auto relax = [&](std::size_t next, std::size_t nix, std::size_t niy,
-                             double usage, double history) {
-        if (nix < lo_x || nix > hi_x || niy < lo_y || niy > hi_y) return;
-        if (edge_blocked(usage, limit)) return;
-        const double edge_cost =
-            bin * (1.0 +
-                   options.congestion_penalty * usage / grid.edge_capacity() +
-                   options.history_weight * history / grid.edge_capacity());
-        const double g = entry.cost + edge_cost;
-        if (g < workspace.best(next)) {
-          workspace.record(next, g, entry.node);
-          push({g + heuristic(next), g, next});
+      const GridNeighbor* neighbors = grid.neighbors(entry.node);
+      const std::size_t count = grid.neighbor_count(entry.node);
+      for (std::size_t k = 0; k < count; ++k) {
+        const GridNeighbor& n = neighbors[k];
+        if (!window.contains(n.ix, n.iy)) continue;
+        const double usage = grid.edge_usage(n.edge);
+        if (edge_blocked(usage, edge_cost.limit)) continue;
+        const double g =
+            entry.cost + edge_cost(usage, grid.edge_history(n.edge));
+        if (g < workspace.best(n.node)) {
+          workspace.record(n.node, g, entry.node);
+          push({g + heuristic(n.ix, n.iy), g, n.node});
         }
-      };
-      if (ix + 1 < nx)
-        relax(entry.node + 1, ix + 1, iy, grid.h_usage(ix, iy),
-              grid.h_history(ix, iy));
-      if (ix > 0)
-        relax(entry.node - 1, ix - 1, iy, grid.h_usage(ix - 1, iy),
-              grid.h_history(ix - 1, iy));
-      if (iy + 1 < ny)
-        relax(entry.node + nx, ix, iy + 1, grid.v_usage(ix, iy),
-              grid.v_history(ix, iy));
-      if (iy > 0)
-        relax(entry.node - nx, ix, iy - 1, grid.v_usage(ix, iy - 1),
-              grid.v_history(ix, iy - 1));
+      }
     }
     return std::isfinite(workspace.best(goal));
   };
 
+  const Window full = make_window(0, 0, nx - 1, ny - 1, 0, nx, ny);
   bool found = false;
   bool windowed = false;
   if (options.window_margin_bins != MazeOptions::kNoWindow) {
-    const std::size_t margin = options.window_margin_bins;
-    const auto lo = [margin](std::size_t a, std::size_t b) {
-      const std::size_t v = std::min(a, b);
-      return v > margin ? v - margin : 0;
-    };
-    const auto hi = [margin](std::size_t a, std::size_t b, std::size_t bound) {
-      const std::size_t v = std::max(a, b);
-      const std::size_t sum = v + margin;
-      return (sum < v || sum > bound) ? bound : sum;  // saturating
-    };
-    const std::size_t lo_x = lo(source.ix, target.ix);
-    const std::size_t lo_y = lo(source.iy, target.iy);
-    const std::size_t hi_x = hi(source.ix, target.ix, nx - 1);
-    const std::size_t hi_y = hi(source.iy, target.iy, ny - 1);
-    windowed = lo_x > 0 || lo_y > 0 || hi_x < nx - 1 || hi_y < ny - 1;
-    found = search(lo_x, lo_y, hi_x, hi_y);
+    const Window window = make_window(
+        std::min(source.ix, target.ix), std::min(source.iy, target.iy),
+        std::max(source.ix, target.ix), std::max(source.iy, target.iy),
+        options.window_margin_bins, nx, ny);
+    windowed = window.lo_x > full.lo_x || window.lo_y > full.lo_y ||
+               window.hi_x < full.hi_x || window.hi_y < full.hi_y;
+    found = search(window);
   } else {
-    found = search(0, 0, nx - 1, ny - 1);
+    found = search(full);
   }
   // Congestion can force detours outside the window; retry unrestricted so
   // a net is reported unroutable only when the FULL grid has no path.
-  if (!found && windowed) found = search(0, 0, nx - 1, ny - 1);
+  if (!found && windowed) {
+    ++stats.window_retries;
+    found = search(full);
+  }
   if (!found) return std::nullopt;
   std::vector<BinRef> path;
   // Manhattan lower bound on the hop count — exact for detour-free routes,
@@ -136,6 +176,248 @@ std::optional<std::vector<BinRef>> maze_route(const GridGraph& grid,
   }
   std::reverse(path.begin(), path.end());
   return path;
+}
+
+std::optional<std::vector<BinRef>> maze_route_bidirectional(
+    const GridGraph& grid, BinRef source, BinRef target,
+    const MazeOptions& options, MazeWorkspace& workspace) {
+  const std::size_t nx = grid.nx();
+  const std::size_t ny = grid.ny();
+  const auto node_of = [nx](BinRef b) { return b.iy * nx + b.ix; };
+  const std::size_t start = node_of(source);
+  const std::size_t goal = node_of(target);
+  const std::size_t nodes = nx * ny;
+
+  const double bin = grid.bin_um();
+  const EdgeCostModel edge_cost{bin, 1.0 / grid.edge_capacity(),
+                                options.congestion_penalty,
+                                options.history_weight,
+                                options.capacity_limit_factor *
+                                    grid.edge_capacity()};
+  MazeStats& stats = workspace.stats();
+
+  // Ikeda balanced potential: p(v) = (dist(v,target) - dist(v,source))/2
+  // in cost units. Forward orders by g + p, backward by g - p; under this
+  // potential both frontiers run Dijkstra on the same reweighted graph
+  // (reduced edge costs >= 0 because each edge costs >= bin while p moves
+  // by at most bin), which makes the top_f + top_b >= best_meet stop rule
+  // exact (see the header comment).
+  const double half_bin = 0.5 * bin;
+  const auto potential = [&](std::size_t ix, std::size_t iy) {
+    const double to_target =
+        std::abs(static_cast<double>(ix) - static_cast<double>(target.ix)) +
+        std::abs(static_cast<double>(iy) - static_cast<double>(target.iy));
+    const double to_source =
+        std::abs(static_cast<double>(ix) - static_cast<double>(source.ix)) +
+        std::abs(static_cast<double>(iy) - static_cast<double>(source.iy));
+    return half_bin * (to_target - to_source);
+  };
+
+  // Warm start: a previous route of this segment seeds the window and —
+  // when traversable under the current limit — the initial meet bound.
+  const std::vector<BinRef>* seed = options.seed_path;
+  if (seed != nullptr &&
+      (seed->size() < 2 || seed->front() != source || seed->back() != target))
+    seed = nullptr;
+  double seed_bound = std::numeric_limits<double>::infinity();
+  if (seed != nullptr) {
+    double bound = 0.0;
+    bool traversable = true;
+    for (std::size_t k = 0; k + 1 < seed->size(); ++k) {
+      const BinRef a = (*seed)[k];
+      const BinRef b = (*seed)[k + 1];
+      const bool horizontal = a.iy == b.iy;
+      const double usage =
+          horizontal ? grid.h_usage(std::min(a.ix, b.ix), a.iy)
+                     : grid.v_usage(a.ix, std::min(a.iy, b.iy));
+      if (edge_blocked(usage, edge_cost.limit)) {
+        traversable = false;
+        break;
+      }
+      const double history =
+          horizontal ? grid.h_history(std::min(a.ix, b.ix), a.iy)
+                     : grid.v_history(a.ix, std::min(a.iy, b.iy));
+      bound += edge_cost(usage, history);
+    }
+    if (traversable) seed_bound = bound;
+  }
+
+  constexpr std::size_t kNoMeet = static_cast<std::size_t>(-1);
+  struct SearchOutcome {
+    double best_meet = 0.0;
+    std::size_t meet_node = kNoMeet;
+    bool found = false;
+  };
+
+  // One balanced two-frontier pass inside the window.
+  const auto search = [&](const Window& window) {
+    workspace.prepare(nodes, 2);
+    SearchOutcome out;
+    out.best_meet = seed_bound;
+
+    std::uint64_t push_seq = 0;  // pass-local push order for tie-breaking
+    const auto push = [&workspace, &stats, &push_seq](
+                          MazeWorkspace::Direction d, MazeQueueEntry entry) {
+      entry.seq = push_seq++;
+      auto& open = workspace.heap(d);
+      open.push_back(entry);
+      std::push_heap(open.begin(), open.end(), BidiHeapOrder{});
+      ++stats.heap_pushes;
+    };
+    // Meet bookkeeping: a node labeled by both frontiers witnesses a real
+    // source-to-target path of cost g_f + g_b. Strict improvement only, so
+    // an equal-cost seed path wins ties deterministically.
+    const auto try_meet = [&](std::size_t node, double g,
+                              MazeWorkspace::Direction d) {
+      const auto other = static_cast<MazeWorkspace::Direction>(1 - d);
+      if (!workspace.reached(node, other)) return;
+      const double candidate = g + workspace.best(node, other);
+      if (candidate < out.best_meet) {
+        out.best_meet = candidate;
+        out.meet_node = node;
+      }
+    };
+
+    workspace.record(start, 0.0, nodes, MazeWorkspace::kForward);
+    push(MazeWorkspace::kForward,
+         {potential(source.ix, source.iy), 0.0, start});
+    workspace.record(goal, 0.0, nodes, MazeWorkspace::kBackward);
+    try_meet(goal, 0.0, MazeWorkspace::kBackward);  // source == target
+    push(MazeWorkspace::kBackward,
+         {-potential(target.ix, target.iy), 0.0, goal});
+
+    auto& open_f = workspace.heap(MazeWorkspace::kForward);
+    auto& open_b = workspace.heap(MazeWorkspace::kBackward);
+    while (true) {
+      const double top_f = open_f.empty()
+                               ? std::numeric_limits<double>::infinity()
+                               : open_f.front().priority;
+      const double top_b = open_b.empty()
+                               ? std::numeric_limits<double>::infinity()
+                               : open_b.front().priority;
+      // Meet-in-the-middle termination; also exits when both frontiers
+      // are exhausted (both tops infinite) with or without a meet.
+      if (top_f + top_b >= out.best_meet) break;
+      if (open_f.empty() && open_b.empty()) break;
+
+      // Balanced expansion: advance the frontier with the cheaper top
+      // entry; ties go forward (deterministic).
+      const MazeWorkspace::Direction dir = top_f <= top_b
+                                               ? MazeWorkspace::kForward
+                                               : MazeWorkspace::kBackward;
+      auto& open = workspace.heap(dir);
+      const MazeQueueEntry entry = open.front();
+      std::pop_heap(open.begin(), open.end(), BidiHeapOrder{});
+      open.pop_back();
+      if (entry.cost > workspace.best(entry.node, dir)) continue;  // stale
+      ++stats.nodes_expanded;
+
+      const GridNeighbor* neighbors = grid.neighbors(entry.node);
+      const std::size_t count = grid.neighbor_count(entry.node);
+      // The backward frontier walks neighbors in reverse so its plateau
+      // march mirrors the forward frontier's — the composed path keeps
+      // one consistent bend style across the meet point.
+      const bool fwd = dir == MazeWorkspace::kForward;
+      for (std::size_t k = 0; k < count; ++k) {
+        const GridNeighbor& n = neighbors[fwd ? k : count - 1 - k];
+        if (!window.contains(n.ix, n.iy)) continue;
+        const double usage = grid.edge_usage(n.edge);
+        if (edge_blocked(usage, edge_cost.limit)) continue;
+        const double g =
+            entry.cost + edge_cost(usage, grid.edge_history(n.edge));
+        if (g < workspace.best(n.node, dir)) {
+          workspace.record(n.node, g, entry.node, dir);
+          try_meet(n.node, g, dir);
+          const double p = potential(n.ix, n.iy);
+          push(dir, {fwd ? g + p : g - p, g, n.node});
+        }
+      }
+    }
+    out.found = std::isfinite(out.best_meet);
+    if (out.found && out.meet_node != kNoMeet) ++stats.meets;
+    return out;
+  };
+
+  // Window schedule: start from the endpoints' (and seed path's) bounding
+  // box plus the configured margin, then grow the margin geometrically on
+  // failure until the window covers the grid — no full-grid fallback
+  // pass. Like the legacy kernel's windowed pass, a windowed SUCCESS is
+  // accepted as-is (exact within the window); keeping detours window-
+  // local also spreads congestion better than globally-cheapest detours,
+  // which pile onto the same few corridors.
+  SearchOutcome outcome;
+  const Window full = make_window(0, 0, nx - 1, ny - 1, 0, nx, ny);
+  if (options.window_margin_bins == MazeOptions::kNoWindow) {
+    outcome = search(full);
+  } else {
+    std::size_t min_x = std::min(source.ix, target.ix);
+    std::size_t min_y = std::min(source.iy, target.iy);
+    std::size_t max_x = std::max(source.ix, target.ix);
+    std::size_t max_y = std::max(source.iy, target.iy);
+    if (seed != nullptr) {
+      for (const BinRef& b : *seed) {
+        min_x = std::min(min_x, b.ix);
+        min_y = std::min(min_y, b.iy);
+        max_x = std::max(max_x, b.ix);
+        max_y = std::max(max_y, b.iy);
+      }
+    }
+    std::size_t margin = options.window_margin_bins;
+    while (true) {
+      const Window window =
+          make_window(min_x, min_y, max_x, max_y, margin, nx, ny);
+      const bool windowed =
+          window.lo_x > full.lo_x || window.lo_y > full.lo_y ||
+          window.hi_x < full.hi_x || window.hi_y < full.hi_y;
+      outcome = search(window);
+      if (outcome.found || !windowed) break;
+      ++stats.window_retries;
+      margin = margin == 0 ? 1 : margin * 2;
+    }
+  }
+  if (!outcome.found) return std::nullopt;
+
+  // The seed bound stood: nothing cheaper exists, reuse the seed path.
+  if (outcome.meet_node == kNoMeet) return *seed;
+
+  std::vector<BinRef> path;
+  path.reserve((source.ix > target.ix ? source.ix - target.ix
+                                      : target.ix - source.ix) +
+               (source.iy > target.iy ? source.iy - target.iy
+                                      : target.iy - source.iy) +
+               1);
+  // Forward half: meet -> start via forward parents, then reverse.
+  for (std::size_t node = outcome.meet_node;;) {
+    path.push_back({node % nx, node / nx});
+    if (node == start) break;
+    node = workspace.parent(node, MazeWorkspace::kForward);
+    AUTONCS_CHECK(node < nodes, "broken forward parent chain in maze route");
+  }
+  std::reverse(path.begin(), path.end());
+  // Backward half: meet -> goal via backward parents.
+  for (std::size_t node = outcome.meet_node; node != goal;) {
+    node = workspace.parent(node, MazeWorkspace::kBackward);
+    AUTONCS_CHECK(node < nodes, "broken backward parent chain in maze route");
+    path.push_back({node % nx, node / nx});
+  }
+  return path;
+}
+
+}  // namespace
+
+std::optional<std::vector<BinRef>> maze_route(const GridGraph& grid,
+                                              BinRef source, BinRef target,
+                                              const MazeOptions& options,
+                                              MazeWorkspace& workspace) {
+  AUTONCS_CHECK(source.ix < grid.nx() && source.iy < grid.ny(),
+                "source bin out of range");
+  AUTONCS_CHECK(target.ix < grid.nx() && target.iy < grid.ny(),
+                "target bin out of range");
+  return options.bidirectional
+             ? maze_route_bidirectional(grid, source, target, options,
+                                        workspace)
+             : maze_route_unidirectional(grid, source, target, options,
+                                         workspace);
 }
 
 std::optional<std::vector<BinRef>> maze_route(const GridGraph& grid,

@@ -5,6 +5,38 @@
 // caller relaxes the limit for wires that cannot be routed
 // (FastRoute-style rip-up avoidance [17]).
 //
+// ## Bidirectional kernel (default)
+//
+// The default kernel runs two opposing searches — forward from the source,
+// backward from the target — with balanced expansion (the frontier with
+// the cheaper top entry advances). Both searches order their heaps by the
+// Ikeda balanced potential p(v) = (dist(v,target) - dist(v,source))/2 *
+// bin: forward priority g_f + p(v), backward priority g_b - p(v). Under
+// this potential both searches are Dijkstra on the SAME reweighted graph
+// (reduced edge costs stay nonnegative because every grid edge costs at
+// least one bin width and p changes by at most one bin width per edge), so
+// the meet-in-the-middle stop rule
+//
+//     top_f + top_b >= best_meet
+//
+// is EXACT: the returned path has minimal cost, equal to what the
+// unidirectional kernel finds. Ties in the heaps break toward the
+// deepest entry, then the most recent push (see MazeQueueEntry::seq),
+// making the search — and the committed path — a pure function of the
+// grid state, bit-identical across thread counts. All search state (both best/parent/stamp sets, both heaps) lives
+// in the per-worker MazeWorkspace; grid nodes carry nothing.
+//
+// A windowed bidirectional search that fails GROWS its window
+// geometrically (the margin doubles per retry) instead of paying one
+// wasted windowed pass followed by a full-grid pass; a windowed success
+// is accepted as-is — exact within the window, like the legacy kernel's
+// windowed pass. A seed path (the segment's previous route, see
+// MazeOptions::seed_path) warm-starts the window and the initial meet
+// bound so relax retries and negotiated reroutes terminate early. Setting
+// MazeOptions::bidirectional = false selects the legacy unidirectional
+// kernel (single windowed pass, then a full-grid fallback on failure) for
+// exact legacy replication.
+//
 // ## Capacity invariant (shared by routing and negotiated rerouting)
 //
 // All capacity comparisons derive from ONE virtual limit
@@ -44,11 +76,24 @@ struct MazeOptions {
   double history_weight = 0.0;
   /// Sentinel for window_margin_bins: search the whole grid.
   static constexpr std::size_t kNoWindow = static_cast<std::size_t>(-1);
-  /// Restrict the A* to the source/target bounding box expanded by this
-  /// many bins on each side. A failed windowed search falls back to the
-  /// full grid automatically, so routability is unchanged — congested
-  /// detours longer than the margin just cost a second (full) search.
+  /// Restrict the search to the source/target bounding box expanded by
+  /// this many bins on each side. The bidirectional kernel grows a failed
+  /// window geometrically (margin doubles per retry) until it covers the
+  /// grid, so routability is unchanged; the legacy unidirectional kernel
+  /// retries a failed windowed search once on the full grid.
   std::size_t window_margin_bins = kNoWindow;
+  /// Bidirectional meet-in-the-middle kernel (default). false selects the
+  /// legacy unidirectional A* for exact legacy replication.
+  bool bidirectional = true;
+  /// Optional warm-start path from a previous route of the same segment
+  /// (same source/target). Seeds the initial search window with the
+  /// path's bounding box, and — when every seed edge is unblocked under
+  /// the current limit — seeds the initial meet bound with the seed
+  /// path's cost, so a reroute that cannot improve on its old path
+  /// terminates as soon as the frontiers prove it optimal and returns the
+  /// seed path itself. Never changes the returned path's cost. Ignored by
+  /// the unidirectional kernel. Not owned; must outlive the call.
+  const std::vector<BinRef>* seed_path = nullptr;
 };
 
 /// True when committing one more wire on an edge with `usage` would exceed
@@ -65,60 +110,116 @@ inline bool edge_overflowed(double usage, double limit) {
 /// Open-list entry of the A* search; exposed so MazeWorkspace can own the
 /// heap storage across calls.
 struct MazeQueueEntry {
-  double priority = 0.0;  // g + heuristic
+  double priority = 0.0;  // g + heuristic (potential)
   double cost = 0.0;      // g
   std::size_t node = 0;
+  /// Push sequence number within one search pass — the bidirectional
+  /// kernel breaks (priority, cost) ties toward the most recent push
+  /// (the deterministic equivalent of the legacy heap's plateau
+  /// behavior, which marches depth-first across equal-cost plateaus
+  /// instead of flooding them). Unused by the legacy unidirectional
+  /// kernel.
+  std::uint64_t seq = 0;
 };
 
-/// Reusable scratch for maze_route: the best-cost/parent arrays and the
-/// open heap survive across calls, and a generation stamp makes each reset
-/// O(1) instead of O(nx * ny). One workspace serves one thread; the
-/// parallel router keeps a workspace per pool worker.
+/// Cumulative search-effort counters. A workspace accumulates across
+/// calls; callers snapshot before/after to attribute deltas. The counts
+/// are pure functions of (grid state, endpoints, options), so per-segment
+/// sums are thread-count invariant and safe to expose as metrics.
+struct MazeStats {
+  /// Heap pops that were processed (not stale lazy-deletion entries).
+  std::uint64_t nodes_expanded = 0;
+  /// Entries pushed onto either frontier's heap.
+  std::uint64_t heap_pushes = 0;
+  /// Window enlargements: geometric growth steps (bidirectional) or
+  /// full-grid fallbacks after a failed windowed pass (unidirectional).
+  std::uint64_t window_retries = 0;
+  /// Searches that terminated through the meet-in-the-middle rule with a
+  /// frontier meet (excludes searches settled purely by a seed bound).
+  std::uint64_t meets = 0;
+};
+
+/// Reusable scratch for maze_route: per-direction best-cost/parent arrays
+/// and open heaps survive across calls, and a generation stamp makes each
+/// reset O(1) instead of O(nx * ny). The backward direction's buffers are
+/// only touched by the bidirectional kernel. One workspace serves one
+/// thread; the parallel router keeps a workspace per pool worker.
 class MazeWorkspace {
  public:
+  enum Direction : std::size_t { kForward = 0, kBackward = 1 };
+
   /// Sizes the buffers for `nodes` grid nodes and invalidates all entries
   /// from previous searches (constant time unless the grid size changed).
-  void prepare(std::size_t nodes) {
-    if (stamp_.size() != nodes) {
-      best_.assign(nodes, 0.0);
-      parent_.assign(nodes, nodes);
-      stamp_.assign(nodes, 0);
-      generation_ = 0;
+  /// `directions` is 1 for a unidirectional search, 2 for bidirectional.
+  void prepare(std::size_t nodes, std::size_t directions = 1) {
+    for (std::size_t d = 0; d < directions; ++d) {
+      Side& side = sides_[d];
+      if (side.stamp.size() != nodes) {
+        side.best.assign(nodes, 0.0);
+        side.parent.assign(nodes, nodes);
+        side.stamp.assign(nodes, 0);
+        side.generation = 0;
+      }
+      ++side.generation;
+      side.heap.clear();
     }
-    ++generation_;
-    heap_.clear();
   }
 
-  double best(std::size_t node) const {
-    return stamp_[node] == generation_
-               ? best_[node]
+  double best(std::size_t node, Direction d = kForward) const {
+    const Side& side = sides_[d];
+    return side.stamp[node] == side.generation
+               ? side.best[node]
                : std::numeric_limits<double>::infinity();
   }
-  std::size_t parent(std::size_t node) const { return parent_[node]; }
-  void record(std::size_t node, double cost, std::size_t from) {
-    stamp_[node] = generation_;
-    best_[node] = cost;
-    parent_[node] = from;
+  bool reached(std::size_t node, Direction d) const {
+    const Side& side = sides_[d];
+    return side.stamp[node] == side.generation;
+  }
+  std::size_t parent(std::size_t node, Direction d = kForward) const {
+    return sides_[d].parent[node];
+  }
+  void record(std::size_t node, double cost, std::size_t from,
+              Direction d = kForward) {
+    Side& side = sides_[d];
+    side.stamp[node] = side.generation;
+    side.best[node] = cost;
+    side.parent[node] = from;
   }
 
-  std::vector<MazeQueueEntry>& heap() { return heap_; }
+  std::vector<MazeQueueEntry>& heap(Direction d = kForward) {
+    return sides_[d].heap;
+  }
 
-  /// Logical footprint of the search buffers in bytes. Workspaces are
-  /// per-worker, so sums over them are NOT thread-count invariant —
-  /// manifest-only.
+  MazeStats& stats() { return stats_; }
+  const MazeStats& stats() const { return stats_; }
+
+  /// Logical footprint of the search buffers in bytes. Heaps report their
+  /// CAPACITY: prepare() clears them but keeps the allocation, so size()
+  /// right after a search returns near-zero and would undercount the
+  /// retained scratch. Workspaces are per-worker, so sums over them are
+  /// NOT thread-count invariant — manifest-only.
   double footprint_bytes() const {
-    return static_cast<double>(best_.size() * sizeof(double) +
-                               parent_.size() * sizeof(std::size_t) +
-                               stamp_.size() * sizeof(std::uint64_t) +
-                               heap_.size() * sizeof(MazeQueueEntry));
+    double bytes = 0.0;
+    for (const Side& side : sides_) {
+      bytes += static_cast<double>(
+          side.best.size() * sizeof(double) +
+          side.parent.size() * sizeof(std::size_t) +
+          side.stamp.size() * sizeof(std::uint64_t) +
+          side.heap.capacity() * sizeof(MazeQueueEntry));
+    }
+    return bytes;
   }
 
  private:
-  std::vector<double> best_;
-  std::vector<std::size_t> parent_;
-  std::vector<std::uint64_t> stamp_;
-  std::uint64_t generation_ = 0;
-  std::vector<MazeQueueEntry> heap_;
+  struct Side {
+    std::vector<double> best;
+    std::vector<std::size_t> parent;
+    std::vector<std::uint64_t> stamp;
+    std::uint64_t generation = 0;
+    std::vector<MazeQueueEntry> heap;
+  };
+  Side sides_[2];
+  MazeStats stats_;
 };
 
 /// Bin path from source to target inclusive; nullopt when no path exists

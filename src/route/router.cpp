@@ -44,15 +44,22 @@ struct Attempt {
 /// back to an unconstrained route (always succeeds on a connected grid)
 /// once max_relax_steps is exhausted. With strict_capacity the fallback is
 /// disabled and exhaustion returns an empty attempt (path == nullopt) for
-/// the caller to report as partial routing. `sabotage` (decided
-/// deterministically in sequential setup code by the router.force_overflow
-/// fault point) skips the constrained ladder as if every rung had failed.
+/// the caller to report as partial routing. `seed` (a previous route of
+/// the same segment, or null) warm-starts every rung of the ladder — it
+/// cannot change which rung succeeds, because the bidirectional window
+/// schedule always reaches the full grid, so rung success is full-grid
+/// routability under that rung's limit with or without the seed.
+/// `sabotage` (decided deterministically in sequential setup code by the
+/// router.force_overflow fault point) skips the constrained ladder as if
+/// every rung had failed.
 Attempt route_segment(const GridGraph& grid, BinRef source, BinRef target,
                       const RouterOptions& options, double history_weight,
-                      MazeWorkspace& workspace, bool sabotage = false) {
+                      MazeWorkspace& workspace, bool sabotage = false,
+                      const std::vector<BinRef>* seed = nullptr) {
   Attempt out;
   MazeOptions maze{options.congestion_penalty, options.capacity_limit_factor,
-                   history_weight, options.window_margin_bins};
+                   history_weight, options.window_margin_bins,
+                   options.bidirectional, seed};
   if (!sabotage) {
     for (std::size_t attempt = 0; attempt <= options.max_relax_steps;
          ++attempt) {
@@ -219,6 +226,16 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
   std::vector<std::vector<BinRef>> segment_path(segments.size());
   std::vector<std::size_t> segment_relax(segments.size(), 0);
   std::vector<Attempt> attempts(segments.size());
+  // Warm-start seeds for pending segments: a deferred segment keeps its
+  // invalidated speculative path here so the next wave's search starts
+  // from it. Written only in the sequential commit phase, read by the
+  // (parallel) speculative phase of the NEXT wave — no data race, and the
+  // contents depend only on the canonical commit order, never the
+  // partition, so seeding preserves thread-count determinism.
+  std::vector<std::vector<BinRef>> segment_seed(segments.size());
+  const auto seed_of = [&](std::size_t s) -> const std::vector<BinRef>* {
+    return segment_seed[s].empty() ? nullptr : &segment_seed[s];
+  };
   // Strict-capacity failures (1 = unroutable after the full ladder) and
   // fault-injected sabotage marks. Sabotage is decided below in sequential
   // setup code so the fault hit order — and therefore which segments are
@@ -256,7 +273,7 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
               attempts[s] = route_segment(grid, seg_source[s], seg_target[s],
                                           options, history_weight,
                                           workspaces[worker],
-                                          sabotaged[s] != 0);
+                                          sabotaged[s] != 0, seed_of(s));
             }
           },
           kSpeculateGrain);
@@ -277,15 +294,23 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
           commit_path(grid, *attempt.path);
           segment_path[s] = std::move(*attempt.path);
           segment_relax[s] = 0;
+          segment_seed[s].clear();
           continue;
         }
         if (attempt.path && attempt.relaxations == 0) {
+          // Keep the invalidated path as next wave's warm start: its
+          // bounding box still brackets the likely detour, and when the
+          // conflicting edges drain it is re-proven optimal immediately.
+          segment_seed[s] = std::move(*attempt.path);
           deferred.push_back(s);
           continue;
         }
+        // Relaxed speculations reroute inline against the live grid; the
+        // discarded speculative path still makes a good warm start.
+        if (attempt.path) segment_seed[s] = std::move(*attempt.path);
         Attempt fresh = route_segment(grid, seg_source[s], seg_target[s],
                                       options, history_weight, workspaces[0],
-                                      sabotaged[s] != 0);
+                                      sabotaged[s] != 0, seed_of(s));
         result.maze_invocations += fresh.searches;
         if (!fresh.path) {
           // Strict capacity: unroutable against the live grid too — final.
@@ -293,11 +318,13 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
           segment_failed[s] = 1;
           segment_path[s].clear();
           segment_relax[s] = fresh.relaxations;
+          segment_seed[s].clear();
           continue;
         }
         commit_path(grid, *fresh.path);
         segment_path[s] = std::move(*fresh.path);
         segment_relax[s] = fresh.relaxations;
+        segment_seed[s].clear();
       }
       result.segments_deferred += deferred.size();
       pending = std::move(deferred);
@@ -364,12 +391,17 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
         if (segment_path[s].empty() ||
             !path_overflows(grid, segment_path[s], overflow_limit))
           continue;
-        uncommit_path(grid, segment_path[s]);
+        // Rip up, then warm-start the reroute from the old path: it seeds
+        // the search window (the detour usually stays nearby) and, when
+        // still traversable, the meet bound — a reroute that cannot beat
+        // its old path terminates as soon as the frontiers prove it.
+        std::vector<BinRef> old_path = std::move(segment_path[s]);
         segment_path[s].clear();
+        uncommit_path(grid, old_path);
         Attempt fresh =
             route_segment(grid, seg_source[s], seg_target[s], options,
                           options.history_weight, workspaces[0],
-                          sabotaged[s] != 0);
+                          sabotaged[s] != 0, &old_path);
         result.maze_invocations += fresh.searches;
         if (!fresh.path) {
           // Strict capacity: the ripped-up segment no longer routes under
@@ -459,6 +491,17 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
   }
   result.degraded = result.segments_failed > 0 || result.budget_exhausted ||
                     sabotage_fired;
+  // Search-effort totals: every maze call charged one of the per-worker
+  // workspaces, and each search's counts depend only on (grid state,
+  // endpoints, options) — so the sum over workspaces is independent of how
+  // segments were partitioned across workers.
+  for (const MazeWorkspace& ws : workspaces) {
+    const MazeStats& st = ws.stats();
+    result.maze_nodes_expanded += st.nodes_expanded;
+    result.maze_heap_pushes += st.heap_pushes;
+    result.maze_window_retries += st.window_retries;
+    result.maze_meets += st.meets;
+  }
   result.runtime_ms = timer.elapsed_ms();
 
   if (util::metrics_enabled()) {
@@ -487,6 +530,14 @@ RoutingResult route(const netlist::Netlist& netlist, const RouterOptions& option
                        static_cast<double>(result.segments_fallback));
     util::metric_gauge("route/maze_invocations",
                        static_cast<double>(result.maze_invocations));
+    util::metric_gauge("route/maze_nodes_expanded",
+                       static_cast<double>(result.maze_nodes_expanded));
+    util::metric_gauge("route/maze_heap_pushes",
+                       static_cast<double>(result.maze_heap_pushes));
+    util::metric_gauge("route/maze_window_retries",
+                       static_cast<double>(result.maze_window_retries));
+    util::metric_gauge("route/maze_meets",
+                       static_cast<double>(result.maze_meets));
     util::metric_gauge("route/final_overflow", result.total_overflow);
     util::metric_gauge("route/peak_congestion", result.peak_congestion);
     util::metric_gauge("route/wirelength_um", result.total_wirelength_um);

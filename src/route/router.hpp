@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -76,12 +77,18 @@ struct RouterOptions {
   std::size_t reroute_passes = 0;
   /// Weight of the accumulated history in the maze cost during reroutes.
   double history_weight = 2.0;
-  /// Maze window: each segment's A* is restricted to its bounding box
+  /// Maze window: each segment's search is restricted to its bounding box
   /// expanded by this many bins (MazeOptions::kNoWindow = whole grid). A
-  /// failed windowed search retries on the full grid, so routability —
-  /// including unroutable-net handling — is unchanged; only searches whose
-  /// congested detour exceeds the margin pay a second pass.
+  /// failed windowed search grows the margin geometrically until the
+  /// window covers the grid (legacy unidirectional kernel: one full-grid
+  /// retry), so routability — including unroutable-net handling — is
+  /// unchanged; only searches whose congested detour exceeds the margin
+  /// pay extra passes.
   std::size_t window_margin_bins = 16;
+  /// Bidirectional meet-in-the-middle maze kernel (see maze_router.hpp);
+  /// false selects the legacy unidirectional A* for exact legacy
+  /// replication. Both kernels return equal-cost paths.
+  bool bidirectional = true;
   /// Worker threads for the speculative routing waves; 0 = hardware
   /// concurrency. The routing result is bit-identical for any value.
   std::size_t threads = 0;
@@ -139,6 +146,13 @@ struct RoutingResult {
   std::size_t segments_routed = 0;
   /// Maze searches performed, counting relaxation retries and reroutes.
   std::size_t maze_invocations = 0;
+  /// Search-effort counters summed over all maze searches (see MazeStats).
+  /// Pure functions of the deterministic search sequence, so thread-count
+  /// invariant and metric-safe.
+  std::uint64_t maze_nodes_expanded = 0;
+  std::uint64_t maze_heap_pushes = 0;
+  std::uint64_t maze_window_retries = 0;
+  std::uint64_t maze_meets = 0;
   /// Speculative routing waves executed across all passes.
   std::size_t waves = 0;
   /// Pool workers used (1 = sequential).

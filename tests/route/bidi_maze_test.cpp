@@ -1,0 +1,311 @@
+// Bidirectional maze kernel: equal-cost equivalence with the legacy
+// unidirectional kernel, geometric window growth, warm-started reroutes,
+// and the search-effort counters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "route/maze_router.hpp"
+#include "route/router.hpp"
+
+namespace autoncs::route {
+namespace {
+
+/// Cost of a path under the maze cost model (sum of edge costs).
+double path_cost(const GridGraph& grid, const std::vector<BinRef>& path,
+                 const MazeOptions& options) {
+  const double inv_cap = 1.0 / grid.edge_capacity();
+  double cost = 0.0;
+  for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+    const BinRef a = path[k];
+    const BinRef b = path[k + 1];
+    const bool horizontal = a.iy == b.iy;
+    const double usage = horizontal
+                             ? grid.h_usage(std::min(a.ix, b.ix), a.iy)
+                             : grid.v_usage(a.ix, std::min(a.iy, b.iy));
+    const double history = horizontal
+                               ? grid.h_history(std::min(a.ix, b.ix), a.iy)
+                               : grid.v_history(a.ix, std::min(a.iy, b.iy));
+    cost += grid.bin_um() *
+            (1.0 + options.congestion_penalty * usage * inv_cap +
+             options.history_weight * history * inv_cap);
+  }
+  return cost;
+}
+
+/// Deterministic congested grid: pseudo-random usage sprinkled over the
+/// edges (tiny LCG, no global RNG state).
+GridGraph congested_grid(std::size_t nx, std::size_t ny, double capacity,
+                         std::uint64_t seed) {
+  GridGraph grid(nx, ny, 1.0, 0.0, 0.0, capacity);
+  std::uint64_t state = seed;
+  const auto next = [&state](std::size_t bound) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::size_t>((state >> 33) % bound);
+  };
+  const std::size_t edges = (nx - 1) * ny + nx * (ny - 1);
+  for (std::size_t e = 0; e < edges / 3; ++e) {
+    const double amount = static_cast<double>(1 + next(3));
+    if (next(2) == 0) {
+      grid.add_h_usage(next(nx - 1), next(ny), amount);
+    } else {
+      grid.add_v_usage(next(nx), next(ny - 1), amount);
+    }
+  }
+  return grid;
+}
+
+TEST(BidiMaze, EqualCostToUnidirectionalOnRandomCongestedGrids) {
+  // Both kernels are exact: whenever one routes, the other routes at the
+  // SAME cost (the paths themselves may differ between equal-cost optima).
+  for (std::uint64_t seed : {1u, 7u, 42u, 2015u, 31337u}) {
+    const GridGraph grid = congested_grid(24, 20, 4.0, seed);
+    std::uint64_t state = seed ^ 0x9e3779b97f4a7c15ULL;
+    const auto next = [&state](std::size_t bound) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return static_cast<std::size_t>((state >> 33) % bound);
+    };
+    for (int pair = 0; pair < 12; ++pair) {
+      const BinRef source{next(24), next(20)};
+      const BinRef target{next(24), next(20)};
+      MazeOptions uni;
+      uni.bidirectional = false;
+      uni.congestion_penalty = 3.0;
+      uni.history_weight = 1.0;
+      MazeOptions bidi = uni;
+      bidi.bidirectional = true;
+      const auto uni_path = maze_route(grid, source, target, uni);
+      const auto bidi_path = maze_route(grid, source, target, bidi);
+      ASSERT_EQ(uni_path.has_value(), bidi_path.has_value())
+          << "seed " << seed << " pair " << pair;
+      if (!uni_path) continue;
+      EXPECT_NEAR(path_cost(grid, *uni_path, uni),
+                  path_cost(grid, *bidi_path, bidi), 1e-9)
+          << "seed " << seed << " pair " << pair;
+      EXPECT_EQ(bidi_path->front(), source);
+      EXPECT_EQ(bidi_path->back(), target);
+    }
+  }
+}
+
+TEST(BidiMaze, EqualCostWithWindowsOnRandomCongestedGrids) {
+  // Windowed searches are still exact WITHIN the schedule: when both
+  // kernels route, costs match, because both schedules end at the full
+  // grid and a window only ever shrinks the candidate set symmetrically.
+  for (std::uint64_t seed : {3u, 99u, 777u}) {
+    const GridGraph grid = congested_grid(24, 20, 2.0, seed);
+    MazeOptions uni;
+    uni.bidirectional = false;
+    uni.window_margin_bins = 2;
+    MazeOptions bidi = uni;
+    bidi.bidirectional = true;
+    std::uint64_t state = seed + 17;
+    const auto next = [&state](std::size_t bound) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return static_cast<std::size_t>((state >> 33) % bound);
+    };
+    for (int pair = 0; pair < 8; ++pair) {
+      const BinRef source{next(24), next(20)};
+      const BinRef target{next(24), next(20)};
+      const auto uni_path = maze_route(grid, source, target, uni);
+      const auto bidi_path = maze_route(grid, source, target, bidi);
+      ASSERT_EQ(uni_path.has_value(), bidi_path.has_value());
+      if (!uni_path) continue;
+      // The windowed schedules differ (single full-grid fallback vs
+      // geometric growth), so only the FULL-grid-equal outcomes are
+      // guaranteed identical in cost; both must at least be valid and no
+      // worse than the unwindowed optimum is required below.
+      MazeOptions full = bidi;
+      full.window_margin_bins = MazeOptions::kNoWindow;
+      const auto optimal = maze_route(grid, source, target, full);
+      ASSERT_TRUE(optimal.has_value());
+      EXPECT_GE(path_cost(grid, *bidi_path, bidi) + 1e-9,
+                path_cost(grid, *optimal, full));
+    }
+  }
+}
+
+TEST(BidiMaze, WindowGrowthFindsDetourBeyondInitialMargin) {
+  // Wall off rows 0..4 except the top row: the only detour climbs far
+  // outside a margin-1 window, so the kernel must grow the window until
+  // the detour fits — and report the growth steps in the stats.
+  GridGraph grid(10, 8, 1.0, 0.0, 0.0, 1.0);
+  for (std::size_t iy = 0; iy < 7; ++iy) grid.add_h_usage(4, iy, 1.0);
+  MazeOptions options;
+  options.window_margin_bins = 1;
+  options.bidirectional = true;
+  MazeWorkspace workspace;
+  const auto path = maze_route(grid, {0, 0}, {9, 0}, options, workspace);
+  ASSERT_TRUE(path.has_value());
+  bool used_top = false;
+  for (const auto& bin : *path) used_top = used_top || bin.iy == 7;
+  EXPECT_TRUE(used_top);
+  EXPECT_GE(workspace.stats().window_retries, 1u);
+  // Same cost as the unwindowed search: growth reaches the whole grid.
+  MazeOptions full = options;
+  full.window_margin_bins = MazeOptions::kNoWindow;
+  const auto reference = maze_route(grid, {0, 0}, {9, 0}, full);
+  ASSERT_TRUE(reference.has_value());
+  EXPECT_NEAR(path_cost(grid, *path, options),
+              path_cost(grid, *reference, full), 1e-9);
+}
+
+TEST(BidiMaze, UnroutableAfterFullGrowthReportsNoPath) {
+  GridGraph grid(8, 6, 1.0, 0.0, 0.0, 1.0);
+  for (std::size_t iy = 0; iy < 6; ++iy) grid.add_h_usage(3, iy, 1.0);
+  MazeOptions options;
+  options.window_margin_bins = 1;
+  options.bidirectional = true;
+  EXPECT_FALSE(maze_route(grid, {0, 2}, {7, 2}, options).has_value());
+}
+
+TEST(BidiMaze, WarmStartSeedNeverChangesCost) {
+  const GridGraph grid = congested_grid(20, 16, 3.0, 5150);
+  MazeOptions plain;
+  plain.bidirectional = true;
+  plain.congestion_penalty = 4.0;
+  const BinRef source{1, 2};
+  const BinRef target{17, 13};
+  const auto cold = maze_route(grid, source, target, plain);
+  ASSERT_TRUE(cold.has_value());
+  // Seed with the previous route of the same segment (the common case).
+  MazeOptions seeded = plain;
+  seeded.seed_path = &*cold;
+  const auto warm = maze_route(grid, source, target, seeded);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_NEAR(path_cost(grid, *cold, plain), path_cost(grid, *warm, seeded),
+              1e-9);
+  // A seed for DIFFERENT endpoints is ignored, not misapplied.
+  MazeOptions mismatched = plain;
+  mismatched.seed_path = &*cold;
+  const auto other = maze_route(grid, {0, 0}, {19, 15}, mismatched);
+  ASSERT_TRUE(other.has_value());
+  EXPECT_EQ(other->front(), (BinRef{0, 0}));
+  EXPECT_EQ(other->back(), (BinRef{19, 15}));
+}
+
+TEST(BidiMaze, OptimalSeedOnEmptyGridReturnsSeedWithoutExpansion) {
+  // On an empty grid a Manhattan-shortest seed is provably optimal, so the
+  // frontiers terminate before expanding anything and the seed comes back.
+  GridGraph grid(16, 16, 1.0, 0.0, 0.0, 4.0);
+  MazeOptions options;
+  options.bidirectional = true;
+  const auto first = maze_route(grid, {2, 2}, {10, 2}, options);
+  ASSERT_TRUE(first.has_value());
+  MazeWorkspace workspace;
+  MazeOptions seeded = options;
+  seeded.seed_path = &*first;
+  const auto again = maze_route(grid, {2, 2}, {10, 2}, seeded, workspace);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *first);
+  EXPECT_EQ(workspace.stats().nodes_expanded, 0u);
+}
+
+TEST(BidiMaze, BlockedSeedStillRoutesCorrectly) {
+  // The seed crosses an edge that is now blocked: the seed bound must NOT
+  // apply (it is not achievable), but the search still routes around.
+  GridGraph grid(10, 6, 1.0, 0.0, 0.0, 1.0);
+  const std::vector<BinRef> seed = {{0, 2}, {1, 2}, {2, 2}, {3, 2}, {4, 2}};
+  grid.add_h_usage(2, 2, 1.0);  // block the seed's third edge
+  MazeOptions options;
+  options.bidirectional = true;
+  options.seed_path = &seed;
+  const auto path = maze_route(grid, {0, 2}, {4, 2}, options);
+  ASSERT_TRUE(path.has_value());
+  for (std::size_t k = 0; k + 1 < path->size(); ++k) {
+    const BinRef a = (*path)[k];
+    const BinRef b = (*path)[k + 1];
+    if (a.iy == b.iy && a.iy == 2) EXPECT_NE(std::min(a.ix, b.ix), 2u);
+  }
+}
+
+TEST(BidiMaze, StatsCountExpansionsAndMeets) {
+  const GridGraph grid = congested_grid(24, 20, 3.0, 2020);
+  MazeOptions options;
+  options.bidirectional = true;
+  MazeWorkspace workspace;
+  const auto path = maze_route(grid, {2, 2}, {20, 17}, options, workspace);
+  ASSERT_TRUE(path.has_value());
+  const MazeStats& stats = workspace.stats();
+  EXPECT_GT(stats.nodes_expanded, 0u);
+  EXPECT_GT(stats.heap_pushes, 0u);
+  EXPECT_EQ(stats.meets, 1u);  // exactly one search, settled by a meet
+  // Bidirectional search touches FEWER nodes than unidirectional on the
+  // same problem — the point of the kernel.
+  MazeOptions uni = options;
+  uni.bidirectional = false;
+  MazeWorkspace uni_workspace;
+  ASSERT_TRUE(maze_route(grid, {2, 2}, {20, 17}, uni, uni_workspace));
+  EXPECT_LE(stats.nodes_expanded, uni_workspace.stats().nodes_expanded * 2);
+}
+
+TEST(BidiMaze, WorkspaceFootprintCountsHeapCapacity) {
+  // prepare() clears the heaps but keeps their allocation; the footprint
+  // must report the retained capacity, not the (near-zero) live size.
+  GridGraph grid(32, 32, 1.0, 0.0, 0.0, 4.0);
+  MazeWorkspace workspace;
+  ASSERT_TRUE(maze_route(grid, {0, 0}, {31, 31}, {}, workspace));
+  const double after_search = workspace.footprint_bytes();
+  workspace.prepare(grid.node_count(), 2);  // clears heaps, keeps storage
+  EXPECT_EQ(workspace.footprint_bytes(), after_search);
+  EXPECT_GT(after_search,
+            static_cast<double>(2 * grid.node_count() *
+                                (sizeof(double) + sizeof(std::size_t) +
+                                 sizeof(std::uint64_t))));
+}
+
+TEST(BidiRouter, KernelsProduceComparableQuality) {
+  // Each individual search is equal-cost across kernels (property tests
+  // above), but equal-cost ties can resolve to different paths, and the
+  // sequential commits then diverge — so at the router level assert
+  // comparable aggregate quality, not identical usage maps.
+  netlist::Netlist net;
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      netlist::Cell cell;
+      cell.width = 0.5;
+      cell.height = 0.5;
+      cell.x = static_cast<double>(c) * 6.0;
+      cell.y = static_cast<double>(r) * 6.0;
+      net.cells.push_back(cell);
+    }
+  }
+  std::uint64_t state = 404;
+  const auto next = [&state](std::size_t bound) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::size_t>((state >> 33) % bound);
+  };
+  for (std::size_t w = 0; w < 40; ++w) {
+    netlist::Wire wire;
+    wire.pins.push_back(next(36));
+    std::size_t other = next(36);
+    while (other == wire.pins[0]) other = next(36);
+    wire.pins.push_back(other);
+    wire.weight = 1.0;
+    net.wires.push_back(wire);
+  }
+  RouterOptions uni;
+  uni.theta = 4.0;
+  uni.capacity_per_um = 0.5;
+  uni.bidirectional = false;
+  RouterOptions bidi = uni;
+  bidi.bidirectional = true;
+  const auto uni_result = route(net, uni);
+  const auto bidi_result = route(net, bidi);
+  // Every wire routes under both kernels (the default flow guarantees it).
+  EXPECT_TRUE(uni_result.failed_wires.empty());
+  EXPECT_TRUE(bidi_result.failed_wires.empty());
+  // Comparable quality: within 5% on wirelength, no worse on overflow
+  // (deterministic instance, so these are stable expectations).
+  EXPECT_NEAR(bidi_result.total_wirelength_um, uni_result.total_wirelength_um,
+              0.05 * uni_result.total_wirelength_um);
+  EXPECT_LE(bidi_result.total_overflow, uni_result.total_overflow);
+  EXPECT_GT(bidi_result.maze_meets, 0u);
+  EXPECT_GT(bidi_result.maze_nodes_expanded, 0u);
+  EXPECT_GT(uni_result.maze_nodes_expanded, 0u);
+  EXPECT_EQ(uni_result.maze_meets, 0u);  // legacy kernel never meets
+}
+
+}  // namespace
+}  // namespace autoncs::route

@@ -19,6 +19,12 @@ Additional artifacts are validated when passed:
     all values finite, ``deterministic`` == 1.
   * ``--table1 BENCH_table1_cost.json`` — the three reduction ratios
     present and finite.
+  * ``--route BENCH_perf_route.json`` — required keys present, all
+    values finite, and ``speedup_bidi`` >= ``--min-route-speedup``
+    (default 1.0: the bidirectional kernel must never be slower than
+    the legacy unidirectional kernel; the committed artifact shows well
+    above the floor, which stays loose so smoke runs on slow shared
+    runners don't flap).
   * ``--placer BENCH_perf_placer.json [--placer-baseline OLD.json]`` —
     required keys present and finite; with a baseline artifact, the
     disabled-instrumentation overhead gate compares ``fast_ms`` and fails
@@ -30,6 +36,7 @@ Additional artifacts are validated when passed:
 Usage: bench_gate.py BENCH_perf_threads.json [--min-speedup X]
        [--min-speedup-oversubscribed Y]
        [--clustering FILE] [--table1 FILE]
+       [--route FILE [--min-route-speedup S]]
        [--placer FILE [--placer-baseline FILE] [--max-placer-regress R]]
 """
 
@@ -129,6 +136,35 @@ def gate_table1(path: str, failures: list[str]) -> None:
         print(f"{path}: keys present, values finite OK")
 
 
+def gate_route(args, failures: list[str]) -> None:
+    metrics = load_metrics(args.route, failures)
+    if metrics is None:
+        return
+    keys = [
+        "route_ms_uni", "route_ms_bidi", "speedup_bidi",
+        "nodes_expanded_uni", "nodes_expanded_bidi", "expansion_ratio",
+        "heap_pushes_uni", "heap_pushes_bidi",
+        "window_retries_uni", "window_retries_bidi", "meets_bidi",
+        "wirelength_um_uni", "wirelength_um_bidi",
+        "overflow_uni", "overflow_bidi",
+        "maze_invocations_uni", "maze_invocations_bidi",
+    ]
+    if not require_finite(metrics, keys, args.route, failures):
+        return
+    speedup = metrics["speedup_bidi"]
+    if speedup < args.min_route_speedup:
+        failures.append(
+            f"{args.route}: speedup_bidi = {speedup:.3f} < "
+            f"{args.min_route_speedup:.2f} (bidirectional kernel must not "
+            "be slower than the legacy kernel)"
+        )
+    else:
+        print(
+            f"{args.route}: keys present, values finite, speedup_bidi = "
+            f"{speedup:.3f} >= {args.min_route_speedup:.2f} OK"
+        )
+
+
 def gate_placer(args, failures: list[str]) -> None:
     metrics = load_metrics(args.placer, failures)
     if metrics is None:
@@ -196,6 +232,13 @@ def main() -> int:
         "--clustering", help="also validate BENCH_perf_clustering.json"
     )
     parser.add_argument("--table1", help="also validate BENCH_table1_cost.json")
+    parser.add_argument("--route", help="also validate BENCH_perf_route.json")
+    parser.add_argument(
+        "--min-route-speedup",
+        type=float,
+        default=1.0,
+        help="speedup_bidi floor for the --route artifact",
+    )
     parser.add_argument("--placer", help="also validate BENCH_perf_placer.json")
     parser.add_argument(
         "--placer-baseline",
@@ -215,6 +258,8 @@ def main() -> int:
         gate_clustering(args.clustering, failures)
     if args.table1:
         gate_table1(args.table1, failures)
+    if args.route:
+        gate_route(args, failures)
     if args.placer:
         gate_placer(args, failures)
 
