@@ -26,9 +26,25 @@ std::string hash_hex(std::uint64_t hash) {
   return buffer;
 }
 
-void warn(const std::string& path, const std::string& why) {
+/// Incompatible-checkpoint diagnostics: always a log warning, plus — when
+/// the caller collects recovery events — a structured event so the
+/// recompute decision lands in the run manifest. recovered=true and
+/// alters_result=false because falling back to a full recompute produces
+/// the clean-path result bit-identically; the run is visible, not degraded.
+void warn(const std::string& path, const std::string& why,
+          util::RecoveryLog* recovery) {
   util::LogLine(util::LogLevel::kWarn, "checkpoint")
       << path << ": " << why << " — recomputing from scratch";
+  if (recovery != nullptr) {
+    util::RecoveryEvent event;
+    event.stage = "flow";
+    event.point = "checkpoint.mismatch";
+    event.action = "recompute";
+    event.recovered = true;
+    event.alters_result = false;
+    event.detail = path + ": " + why;
+    recovery->record(std::move(event));
+  }
 }
 
 // ---- writing ----
@@ -188,37 +204,38 @@ bool read_doubles(const util::JsonValue* v, std::vector<double>& out) {
 
 /// Reads + parses + validates the stamp. Returns false after logging why.
 bool load_document(const std::string& path, const FlowConfig& config,
-                   const char* kind, util::JsonValue& doc) {
+                   const char* kind, util::JsonValue& doc,
+                   util::RecoveryLog* recovery) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;  // silently: a missing checkpoint is normal
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (!util::json_parse(buffer.str(), doc) || !doc.is_object()) {
-    warn(path, "corrupt or truncated checkpoint");
+    warn(path, "corrupt or truncated checkpoint", recovery);
     return false;
   }
   const util::JsonValue* schema = doc.find("schema");
   if (schema == nullptr || !schema->is_string() ||
       schema->string_value != kSchema) {
-    warn(path, "unknown checkpoint schema");
+    warn(path, "unknown checkpoint schema", recovery);
     return false;
   }
   const util::JsonValue* file_kind = doc.find("kind");
   if (file_kind == nullptr || !file_kind->is_string() ||
       file_kind->string_value != kind) {
-    warn(path, "wrong checkpoint kind");
+    warn(path, "wrong checkpoint kind", recovery);
     return false;
   }
   std::size_t seed = 0;
   if (!get_size(doc, "seed", seed) ||
       static_cast<std::uint64_t>(seed) != config.seed) {
-    warn(path, "checkpoint was written under a different seed");
+    warn(path, "checkpoint was written under a different seed", recovery);
     return false;
   }
   const util::JsonValue* hash = doc.find("config_hash");
   if (hash == nullptr || !hash->is_string() ||
       hash->string_value != hash_hex(config_hash(config))) {
-    warn(path, "checkpoint was written under a different config");
+    warn(path, "checkpoint was written under a different config", recovery);
     return false;
   }
   return true;
@@ -298,13 +315,15 @@ bool save_placement(const std::string& dir, const FlowConfig& config,
 }
 
 std::optional<mapping::HybridMapping> load_clustering(
-    const std::string& dir, const FlowConfig& config) {
+    const std::string& dir, const FlowConfig& config,
+    util::RecoveryLog* recovery) {
   const std::string path = clustering_path(dir);
   util::JsonValue doc;
-  if (!load_document(path, config, "clustering", doc)) return std::nullopt;
+  if (!load_document(path, config, "clustering", doc, recovery))
+    return std::nullopt;
   mapping::HybridMapping mapping;
   if (!read_mapping(doc.find("mapping"), mapping)) {
-    warn(path, "malformed mapping payload");
+    warn(path, "malformed mapping payload", recovery);
     return std::nullopt;
   }
   util::LogLine(util::LogLevel::kInfo, "checkpoint") << "loaded " << path;
@@ -312,16 +331,18 @@ std::optional<mapping::HybridMapping> load_clustering(
 }
 
 std::optional<PlacementState> load_placement(const std::string& dir,
-                                             const FlowConfig& config) {
+                                             const FlowConfig& config,
+                                             util::RecoveryLog* recovery) {
   const std::string path = placement_path(dir);
   util::JsonValue doc;
-  if (!load_document(path, config, "placement", doc)) return std::nullopt;
+  if (!load_document(path, config, "placement", doc, recovery))
+    return std::nullopt;
   PlacementState state;
   if (!read_mapping(doc.find("mapping"), state.mapping) ||
       !read_doubles(doc.find("x"), state.x) ||
       !read_doubles(doc.find("y"), state.y) ||
       state.x.size() != state.y.size()) {
-    warn(path, "malformed placement payload");
+    warn(path, "malformed placement payload", recovery);
     return std::nullopt;
   }
   const util::JsonValue* report = doc.find("report");
@@ -351,7 +372,7 @@ std::optional<PlacementState> load_placement(const std::string& dir,
                 r.density_grid_reallocations) ||
       !get_bool(*report, "budget_exhausted", r.budget_exhausted) ||
       !get_bool(*report, "degraded", r.degraded)) {
-    warn(path, "malformed placement report payload");
+    warn(path, "malformed placement report payload", recovery);
     return std::nullopt;
   }
   util::LogLine(util::LogLevel::kInfo, "checkpoint") << "loaded " << path;

@@ -29,6 +29,7 @@
 #include "mapping/hybrid_mapping.hpp"
 #include "netlist/netlist.hpp"
 #include "place/placer.hpp"
+#include "util/error.hpp"
 
 namespace autoncs {
 
@@ -77,11 +78,19 @@ bool save_placement(const std::string& dir, const FlowConfig& config,
 
 /// Load a checkpoint compatible with `config` (schema + seed + config
 /// hash). Returns nullopt — after logging why — when the file is missing,
-/// unparsable, or stamped by a different seed/config.
-std::optional<mapping::HybridMapping> load_clustering(const std::string& dir,
-                                                      const FlowConfig& config);
-std::optional<PlacementState> load_placement(const std::string& dir,
-                                             const FlowConfig& config);
+/// unparsable, or stamped by a different seed/config. When `recovery` is
+/// non-null, any incompatible-but-present checkpoint (corrupt payload,
+/// wrong schema/kind, seed or config-hash mismatch) additionally records a
+/// structured RecoveryEvent (point "checkpoint.mismatch", action
+/// "recompute") so a resumed-with-recompute run is visible in the run
+/// manifest, not just the warning log. A missing file is normal and
+/// records nothing.
+std::optional<mapping::HybridMapping> load_clustering(
+    const std::string& dir, const FlowConfig& config,
+    util::RecoveryLog* recovery = nullptr);
+std::optional<PlacementState> load_placement(
+    const std::string& dir, const FlowConfig& config,
+    util::RecoveryLog* recovery = nullptr);
 
 }  // namespace checkpoint
 }  // namespace autoncs

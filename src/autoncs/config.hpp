@@ -3,6 +3,7 @@
 // = delta = 1, ISC threshold tied to the FullCro baseline utilization).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "autoncs/checkpoint.hpp"
@@ -58,6 +59,16 @@ struct FlowConfig {
 
   /// Checkpoint/resume policy (docs/robustness.md). Empty dir = off.
   CheckpointOptions checkpoint{};
+
+  /// Cooperative cancellation token (docs/service.md). When non-null the
+  /// pipeline polls the flag at every stage boundary and aborts the run
+  /// with ResourceError("resource.deadline") once it is set — this is how
+  /// the resident service's deadline watchdog cancels a job between
+  /// stages (in-stage hangs are bounded by stage_budget). Null (the
+  /// default) is never consulted; like the telemetry sinks this cannot
+  /// change a completed run's results, so it is excluded from the config
+  /// hash and checkpoints stay compatible across attempts.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 }  // namespace autoncs

@@ -21,6 +21,21 @@ namespace autoncs {
 
 namespace {
 
+/// Stage-boundary cancellation poll (docs/service.md): one relaxed load
+/// when a token is installed, nothing otherwise. Cancellation is
+/// deliberately cooperative and coarse — it fires between stages, where
+/// no partial state can leak, while stage_budget bounds time spent inside
+/// a stage.
+void throw_if_cancelled(const FlowConfig& config, const char* stage) {
+  if (config.cancel != nullptr &&
+      config.cancel->load(std::memory_order_relaxed)) {
+    throw util::ResourceError(
+        "resource.deadline", stage,
+        std::string("job cancelled at the ") + stage +
+            " stage boundary (deadline/watchdog)");
+  }
+}
+
 /// Shared physical back end. `restored` carries a loaded placement
 /// checkpoint (positions + report; its mapping member has already been
 /// moved into `mapping`): the placement stage is skipped and the saved
@@ -31,6 +46,7 @@ FlowResult physical_design(mapping::HybridMapping mapping,
   util::WallTimer stage;
   FlowResult result;
   result.mapping = std::move(mapping);
+  throw_if_cancelled(config, "netlist");
   if (AUTONCS_FAULT_POINT("flow.bad_alloc"))
     throw util::ResourceError("resource.bad_alloc", "flow",
                               "injected allocation failure while building "
@@ -44,6 +60,7 @@ FlowResult physical_design(mapping::HybridMapping mapping,
   result.timings.netlist_ms = stage.elapsed_ms();
   util::mem_stage_sample("netlist");
 
+  throw_if_cancelled(config, "placement");
   stage.restart();
   if (restored != nullptr) {
     // The netlist builder is deterministic given the mapping, so the saved
@@ -98,6 +115,7 @@ FlowResult physical_design(mapping::HybridMapping mapping,
     throw util::InternalError("internal.injected_crash", "flow",
                               "injected crash between placement and routing");
 
+  throw_if_cancelled(config, "routing");
   route::RouterOptions router = config.router;
   if (router.threads == 0) router.threads = config.threads;
   if (router.wall_budget_ms == 0.0)
@@ -165,29 +183,41 @@ FlowResult run_autoncs(const nn::ConnectionMatrix& network,
   util::MetricPrefix prefix("autoncs");
   AUTONCS_TRACE_SCOPE("flow/autoncs");
 
+  // Incompatible-checkpoint events recorded while probing restart points;
+  // they are prepended to whichever path (resumed or full recompute) the
+  // flow takes, so the manifest shows WHY a --resume run recomputed.
+  util::RecoveryLog resume_log;
   if (config.checkpoint.resume && !config.checkpoint.dir.empty()) {
     if (auto placed = checkpoint::load_placement(config.checkpoint.dir,
-                                                 config)) {
+                                                 config, &resume_log)) {
       // physical_design only reads positions + report from the restored
       // state; the mapping member is handed over separately.
       mapping::HybridMapping restored_mapping = std::move(placed->mapping);
       FlowResult result =
           physical_design(std::move(restored_mapping), config, &*placed);
+      util::RecoveryLog combined = std::move(resume_log);
+      combined.merge(result.recovery);
+      result.recovery = std::move(combined);
       telemetry::Session::record_manifest(config, result, "autoncs");
       return result;
     }
-    if (auto restored =
-            checkpoint::load_clustering(config.checkpoint.dir, config)) {
+    if (auto restored = checkpoint::load_clustering(config.checkpoint.dir,
+                                                    config, &resume_log)) {
       FlowResult result = physical_design(std::move(*restored), config,
                                           nullptr);
       result.resumed = true;
+      util::RecoveryLog combined = std::move(resume_log);
+      combined.merge(result.recovery);
+      result.recovery = std::move(combined);
       telemetry::Session::record_manifest(config, result, "autoncs");
       return result;
     }
-    // Neither checkpoint was usable; load_* already logged why. Fall
-    // through to the full run.
+    // Neither checkpoint was usable; load_* already logged why (and
+    // resume_log carries the structured events). Fall through to the
+    // full run.
   }
 
+  throw_if_cancelled(config, "clustering");
   util::WallTimer stage;
   util::RecoveryLog clustering_log;
   clustering::IscResult isc = [&] {
@@ -212,8 +242,10 @@ FlowResult run_autoncs(const nn::ConnectionMatrix& network,
   result.timings.clustering_packing_ms = isc.timings.packing_ms;
   result.isc = std::move(isc);
   result.timings.total_ms += clustering_ms;
-  // Clustering ran first; its ladder events belong before the back end's.
-  util::RecoveryLog combined = std::move(clustering_log);
+  // Checkpoint-probe events first, then clustering's ladder events, then
+  // the back end's — execution order.
+  util::RecoveryLog combined = std::move(resume_log);
+  combined.merge(clustering_log);
   combined.merge(result.recovery);
   result.recovery = std::move(combined);
   if (result.recovery.degraded()) result.degraded = true;

@@ -1,0 +1,114 @@
+#include "service/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace autoncs::service {
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw util::InputError("input.io", "service", "cannot create socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd_);
+    fd_ = -1;
+    throw util::InputError("input.io", "service",
+                           "socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw util::InputError("input.io", "service",
+                           "cannot connect to " + socket_path + ": " + why);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_line(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::InputError("input.io", "service",
+                             std::string("send failed: ") +
+                                 std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Client::read_line(double timeout_ms) {
+  const double deadline = timeout_ms > 0.0 ? now_ms() + timeout_ms : 0.0;
+  for (;;) {
+    const std::size_t end = buffer_.find('\n');
+    if (end != std::string::npos) {
+      std::string line = buffer_.substr(0, end);
+      buffer_.erase(0, end + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    int wait = -1;
+    if (deadline > 0.0) {
+      const double left = deadline - now_ms();
+      if (left <= 0.0)
+        throw util::ResourceError("resource.timeout", "service",
+                                  "timed out waiting for a response line");
+      wait = static_cast<int>(left) + 1;
+    }
+    pollfd fd{fd_, POLLIN, 0};
+    const int ready = ::poll(&fd, 1, wait);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw util::InputError("input.io", "service", "poll failed");
+    }
+    if (ready == 0) continue;  // re-check the deadline
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::InputError("input.io", "service",
+                             std::string("recv failed: ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0)
+      throw util::InputError("input.io", "service",
+                             "server closed the connection");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::request(const std::string& line, double timeout_ms) {
+  send_line(line);
+  return read_line(timeout_ms);
+}
+
+}  // namespace autoncs::service

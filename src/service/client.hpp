@@ -1,0 +1,33 @@
+// Minimal blocking JSONL client for the resident service (docs/service.md).
+// Used by `autoncs submit` and the service tests; one request line out,
+// one response line back, over the daemon's Unix domain socket.
+#pragma once
+
+#include <string>
+
+namespace autoncs::service {
+
+class Client {
+ public:
+  /// Connects to the daemon. Throws util::InputError when the socket is
+  /// absent or refuses the connection.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request line (newline appended) and blocks for the next
+  /// response line. `timeout_ms` caps the wait (0 = forever); on timeout
+  /// or EOF throws util::ResourceError / util::InputError.
+  std::string request(const std::string& line, double timeout_ms = 0.0);
+
+  void send_line(const std::string& line);
+  std::string read_line(double timeout_ms = 0.0);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace autoncs::service

@@ -1,0 +1,70 @@
+#include "service/job_queue.hpp"
+
+#include <utility>
+
+namespace autoncs::service {
+
+JobQueue::JobQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+PushResult JobQueue::push(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ || closed_) return PushResult::kDraining;
+    if (jobs_.size() >= capacity_) return PushResult::kQueueFull;
+    jobs_.push_back(std::move(job));
+  }
+  ready_.notify_one();
+  return PushResult::kAccepted;
+}
+
+std::optional<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [&] {
+    return closed_ || draining_ || (!jobs_.empty() && !paused_);
+  });
+  if (jobs_.empty()) return std::nullopt;
+  Job job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return job;
+}
+
+void JobQueue::set_paused(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = paused;
+  }
+  ready_.notify_all();
+}
+
+void JobQueue::begin_drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::deque<Job> JobQueue::close() {
+  std::deque<Job> abandoned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+    closed_ = true;
+    abandoned.swap(jobs_);
+  }
+  ready_.notify_all();
+  return abandoned;
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+bool JobQueue::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+}  // namespace autoncs::service

@@ -1,0 +1,72 @@
+// Bounded admission queue of the resident service (docs/service.md).
+//
+// Backpressure contract: the queue NEVER grows past its capacity — a push
+// against a full queue fails immediately (the server turns that into a
+// typed "queue_full" rejection) instead of buffering unbounded work. The
+// drain states implement graceful shutdown: `begin_drain` refuses new
+// work but lets workers finish everything already queued; `close` wakes
+// every blocked popper so worker threads can exit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "service/protocol.hpp"
+
+namespace autoncs::service {
+
+/// One queued flow job: the validated request plus the response channel
+/// (a connection-bound writer; safe to call from any worker thread, and a
+/// no-op once the client disconnected) and the enqueue timestamp used to
+/// report queue latency.
+struct Job {
+  JobRequest request;
+  std::function<void(const std::string& line)> respond;
+  double enqueued_ms = 0.0;  // steady-clock milliseconds (server epoch)
+};
+
+enum class PushResult { kAccepted, kQueueFull, kDraining };
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity);
+
+  /// Non-blocking admission. kQueueFull sheds load; kDraining refuses
+  /// work after begin_drain()/close().
+  PushResult push(Job job);
+
+  /// Blocks until a job is available, the queue is draining AND empty, or
+  /// closed. nullopt = no more work will ever arrive (worker exits).
+  std::optional<Job> pop();
+
+  /// Stop admitting; queued jobs still drain through pop().
+  void begin_drain();
+
+  /// Test hook: while paused, pop() keeps blocking even with jobs queued,
+  /// so admission control can be exercised deterministically (fill the
+  /// queue → observe queue_full). Draining overrides pause, so a paused
+  /// pool can never stall a graceful shutdown.
+  void set_paused(bool paused);
+
+  /// Stop admitting AND discard queued jobs, returning them so the caller
+  /// can reject each one. Poppers wake and see nullopt once empty.
+  std::deque<Job> close();
+
+  std::size_t size() const;
+  bool draining() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Job> jobs_;
+  bool draining_ = false;
+  bool closed_ = false;
+  bool paused_ = false;
+};
+
+}  // namespace autoncs::service

@@ -1,0 +1,131 @@
+// JSONL request/response protocol of the resident AutoNCS service
+// (docs/service.md).
+//
+// Requests are one JSON object per line. The parser here is the daemon's
+// armor against hostile clients: it enforces a byte cap and a nesting
+// cap (util::JsonLimits) BEFORE any flow code sees the input, rejects
+// unknown operations and unknown fields, and range-checks every numeric
+// knob — a malformed request costs one typed error response, never a
+// worker, never the daemon.
+//
+//   {"op":"flow","id":"j1","network":"net.ncsnet","seed":7,"max_size":16,
+//    "threads":1,"deadline_ms":60000,"max_attempts":3,"fault":""}
+//   {"op":"ping"}        {"op":"stats"}        {"op":"shutdown"}
+//
+// Responses echo the request id and carry a stable status:
+//
+//   status "ok"            completed flow (cost/degraded/resumed/attempts)
+//   status "error"         typed FlowError taxonomy fields
+//   status "rejected"      admission control (queue_full, shutting_down)
+//                          or request validation (invalid_request)
+//   status "pong"/"stats"/"shutting_down"   control-plane answers
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tech/cost.hpp"
+#include "util/json.hpp"
+
+namespace autoncs::service {
+
+/// Hardened request-side bounds (see util::JsonLimits). The service
+/// reader additionally enforces max_request_bytes while buffering the
+/// line, so an attacker cannot even make the daemon hold an oversized
+/// request in memory.
+struct RequestLimits {
+  std::size_t max_request_bytes = 64 * 1024;
+  std::size_t max_json_depth = 32;
+};
+
+enum class Op { kFlow, kPing, kStats, kShutdown };
+
+/// One validated flow job request. Defaults mirror the CLI's.
+struct JobRequest {
+  Op op = Op::kFlow;
+  /// Client-assigned id echoed in the response and used to key per-job
+  /// artifacts; restricted to [A-Za-z0-9._-], 1..64 chars. Empty = the
+  /// server assigns "job-<seq>".
+  std::string id;
+  /// Path to an ncsnet network file (flow ops only).
+  std::string network;
+  std::uint64_t seed = 2015;
+  std::size_t max_size = 64;
+  /// Worker threads for the flow's parallel stages (NOT the daemon's
+  /// worker pool). Capped so one job cannot oversubscribe the host.
+  std::size_t threads = 1;
+  /// Per-job deadline in milliseconds; 0 = the server default.
+  double deadline_ms = 0.0;
+  /// Attempt cap for retryable failures; 0 = the server default.
+  std::size_t max_attempts = 0;
+  /// Deterministic fault spec armed for this job (testing only; the
+  /// server rejects it unless started with allow_fault).
+  std::string fault;
+};
+
+/// Outcome of parsing one request line.
+struct ParseResult {
+  bool ok = false;
+  JobRequest request;
+  /// Stable machine code when !ok: "invalid_request", "request_too_large".
+  std::string error_code;
+  std::string error_message;
+};
+
+/// Parses + validates one JSONL request line under `limits`. Never
+/// throws; every rejection carries a typed code + human message.
+ParseResult parse_request(const std::string& line,
+                          const RequestLimits& limits);
+
+/// Admission / load-shedding metrics, returned by the "stats" op and
+/// carried by the server.
+struct ServiceStats {
+  std::size_t connections = 0;
+  std::size_t requests = 0;
+  std::size_t jobs_ok = 0;
+  std::size_t jobs_failed = 0;
+  std::size_t jobs_rejected_queue_full = 0;
+  std::size_t jobs_rejected_shutting_down = 0;
+  std::size_t requests_invalid = 0;
+  std::size_t retries = 0;
+  std::size_t deadline_cancelled = 0;
+  std::size_t queue_depth = 0;
+  std::size_t workers = 0;
+  std::size_t network_cache_hits = 0;
+  std::size_t network_cache_misses = 0;
+  std::size_t threshold_cache_hits = 0;
+  std::size_t threshold_cache_misses = 0;
+};
+
+/// One completed/failed job as the supervisor reports it (the service's
+/// flow-facing result record; serialized by response_for_outcome).
+struct JobOutcome {
+  bool ok = false;
+  tech::PhysicalCost cost;
+  bool degraded = false;
+  bool resumed = false;
+  std::size_t attempts = 1;
+  std::size_t recovery_events = 0;
+  double run_ms = 0.0;
+  /// FlowError taxonomy fields when !ok.
+  std::string error_category;
+  std::string error_code;
+  std::string error_stage;
+  std::string error_message;
+};
+
+// ---- response rendering (all single-line JSON, no trailing newline) ----
+
+std::string response_ok(const std::string& id, const JobOutcome& outcome,
+                        double queue_ms);
+std::string response_error(const std::string& id, const JobOutcome& outcome,
+                           double queue_ms);
+/// `status` is "rejected" responses' detail code: "queue_full",
+/// "shutting_down", "invalid_request", "request_too_large".
+std::string response_rejected(const std::string& id, const std::string& code,
+                              const std::string& message);
+std::string response_pong();
+std::string response_stats(const ServiceStats& stats);
+std::string response_shutting_down();
+
+}  // namespace autoncs::service

@@ -1,0 +1,124 @@
+// Resident AutoNCS daemon (docs/service.md): a Unix-domain-socket JSONL
+// server in front of the flow pipeline.
+//
+// Thread architecture — every piece is bounded and owned:
+//
+//   accept thread   poll()s the listening socket plus a self-pipe; the
+//                   self-pipe byte is the drain signal (SIGTERM handler,
+//                   shutdown op, request_drain()) and is the only
+//                   async-signal-safe entry point into the server.
+//   connection      one thread per client, reading newline-delimited
+//   threads         requests under the hardened byte cap. Control ops
+//                   (ping/stats/shutdown) answer inline; flow jobs go
+//                   through the bounded queue (admission control: a full
+//                   queue sheds with a typed "queue_full" rejection).
+//   worker pool     N threads popping the queue and running jobs through
+//                   the supervisor. A job failure of ANY kind costs only
+//                   its typed response — workers never die.
+//   watchdog        scans in-flight jobs and trips each job's cancel
+//                   token once its deadline passes; the pipeline aborts
+//                   at the next stage boundary with resource.deadline.
+//
+// Graceful drain: stop accepting, refuse new jobs (shutting_down), let
+// workers finish everything already queued and respond, then tear down.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/job_queue.hpp"
+#include "service/protocol.hpp"
+#include "service/session_cache.hpp"
+#include "service/supervisor.hpp"
+
+namespace autoncs::service {
+
+struct ServerOptions {
+  /// Filesystem path the Unix domain socket binds to; an existing stale
+  /// socket file is replaced.
+  std::string socket_path;
+  std::size_t workers = 2;
+  /// Bounded queue capacity — the admission-control knob. Jobs beyond
+  /// (workers in flight + queue_capacity queued) are shed.
+  std::size_t queue_capacity = 8;
+  RequestLimits limits{};
+  SupervisorOptions supervisor{};
+  /// Cached parsed networks (see SessionCache).
+  std::size_t cache_networks = 16;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and spawns accept/worker/watchdog threads. Throws
+  /// util::InputError when the socket cannot be bound.
+  void start();
+
+  /// Requests a graceful drain (idempotent, thread-safe): stop accepting,
+  /// finish queued jobs, answer in-flight clients, then shut down.
+  void request_drain();
+
+  /// Async-signal-safe drain trigger for a SIGTERM handler: a single
+  /// write() to this fd requests the same graceful drain.
+  int drain_fd() const;
+
+  /// Blocks until a requested drain completes and every thread is joined.
+  void wait();
+
+  ServiceStats stats() const;
+  const std::string& socket_path() const { return options_.socket_path; }
+
+  /// Test hooks: freeze the worker pool between jobs so admission control
+  /// can be exercised deterministically (fill the queue → queue_full).
+  void pause_workers();
+  void resume_workers();
+
+ private:
+  struct Connection;
+  struct ActiveJob;
+
+  void accept_loop();
+  void connection_loop(std::shared_ptr<Connection> connection);
+  void worker_loop();
+  void watchdog_loop();
+  void handle_line(const std::shared_ptr<Connection>& connection,
+                   const std::string& line);
+
+  ServerOptions options_;
+  SessionCache cache_;
+  JobQueue queue_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connection_threads_;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+  std::atomic<std::size_t> next_seq_{1};
+
+  std::mutex active_mutex_;
+  std::condition_variable watchdog_cv_;
+  std::vector<std::shared_ptr<ActiveJob>> active_jobs_;
+  bool watchdog_stop_ = false;
+};
+
+}  // namespace autoncs::service

@@ -1,0 +1,122 @@
+#include "service/session_cache.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+
+#include "mapping/fullcro.hpp"
+#include "nn/io.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace autoncs::service {
+
+namespace {
+
+/// File identity for invalidation. Throws InputError when the file is
+/// unreadable so the caller's typed-error path reports it.
+void file_identity(const std::string& path, std::uintmax_t& size,
+                   std::int64_t& mtime_ns) {
+  std::error_code ec;
+  size = std::filesystem::file_size(path, ec);
+  if (ec)
+    throw util::InputError("input.io", "io",
+                           path + ": cannot stat network file");
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec)
+    throw util::InputError("input.io", "io",
+                           path + ": cannot stat network file");
+  mtime_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 mtime.time_since_epoch())
+                 .count();
+}
+
+}  // namespace
+
+SessionCache::SessionCache(std::size_t max_networks)
+    : max_networks_(std::max<std::size_t>(1, max_networks)) {}
+
+std::map<std::string, SessionCache::Entry>::iterator SessionCache::lookup(
+    const std::string& path) {
+  std::uintmax_t size = 0;
+  std::int64_t mtime_ns = 0;
+  file_identity(path, size, mtime_ns);
+
+  auto it = entries_.find(path);
+  if (it != entries_.end() && it->second.file_size == size &&
+      it->second.mtime_ns == mtime_ns) {
+    ++stats_.network_hits;
+    touch(path);
+    return it;
+  }
+  ++stats_.network_misses;
+  // Parse outside the entry so a throwing load leaves no stale state.
+  auto network = std::make_shared<const nn::ConnectionMatrix>(
+      nn::load_network_checked(path));
+  Entry entry;
+  entry.file_size = size;
+  entry.mtime_ns = mtime_ns;
+  entry.network = std::move(network);
+  if (it == entries_.end()) {
+    it = entries_.emplace(path, std::move(entry)).first;
+  } else {
+    it->second = std::move(entry);  // stale: drop thresholds too
+  }
+  touch(path);
+  evict_if_needed();
+  // evict_if_needed never removes the most-recently-used entry.
+  return entries_.find(path);
+}
+
+std::shared_ptr<const nn::ConnectionMatrix> SessionCache::network(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lookup(path)->second.network;
+}
+
+double SessionCache::baseline_threshold(const std::string& path,
+                                        std::size_t max_size) {
+  std::shared_ptr<const nn::ConnectionMatrix> network;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = lookup(path);
+    const auto cached = it->second.thresholds.find(max_size);
+    if (cached != it->second.thresholds.end()) {
+      ++stats_.threshold_hits;
+      return cached->second;
+    }
+    ++stats_.threshold_misses;
+    network = it->second.network;
+  }
+  // The baseline mapping is the expensive part — computed outside the
+  // lock so concurrent jobs on other networks are not serialized.
+  const double threshold = mapping::fullcro_utilization_threshold(
+      *network, {max_size, true});
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(path);
+  if (it != entries_.end() && it->second.network == network)
+    it->second.thresholds.emplace(max_size, threshold);
+  return threshold;
+}
+
+CacheStats SessionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SessionCache::touch(const std::string& path) {
+  lru_.remove(path);
+  lru_.push_front(path);
+}
+
+void SessionCache::evict_if_needed() {
+  while (entries_.size() > max_networks_ && lru_.size() > 1) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    util::LogLine(util::LogLevel::kDebug, "service")
+        << "session cache evicted " << victim;
+  }
+}
+
+}  // namespace autoncs::service

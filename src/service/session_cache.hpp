@@ -1,0 +1,76 @@
+// Warm caches shared read-only across the daemon's jobs (docs/service.md).
+//
+// Two expensive per-job prefixes repeat verbatim under production traffic:
+// parsing the network file and deriving the ISC stopping threshold from
+// the FullCro baseline (a full baseline mapping of the network). Both are
+// pure functions of (file content, max_size), so the cache shares them
+// across jobs and invalidates by file identity (size + mtime) — a client
+// overwriting net.ncsnet between jobs gets a fresh parse, never a stale
+// mapping.
+//
+// Thread-safe behind one mutex; entries are handed out as shared_ptr so a
+// running job keeps its network alive even if the LRU evicts the entry
+// mid-flight. Bounded: at most `max_networks` parsed networks resident
+// (LRU eviction), so hostile clients cycling thousands of files cannot
+// grow the daemon without bound.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "nn/connection_matrix.hpp"
+
+namespace autoncs::service {
+
+struct CacheStats {
+  std::size_t network_hits = 0;
+  std::size_t network_misses = 0;
+  std::size_t threshold_hits = 0;
+  std::size_t threshold_misses = 0;
+};
+
+class SessionCache {
+ public:
+  explicit SessionCache(std::size_t max_networks = 16);
+
+  /// Parsed network for `path`, shared across jobs. Re-reads when the
+  /// file's (size, mtime) identity changed. Throws util::InputError (from
+  /// the checked loader) on missing/malformed files — the supervisor maps
+  /// that onto a typed job error.
+  std::shared_ptr<const nn::ConnectionMatrix> network(
+      const std::string& path);
+
+  /// FullCro-baseline utilization threshold for (path's network,
+  /// max_size), cached on the network's cache entry so it shares the
+  /// invalidation rule. Computes on miss via
+  /// mapping::fullcro_utilization_threshold.
+  double baseline_threshold(const std::string& path, std::size_t max_size);
+
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::uintmax_t file_size = 0;
+    std::int64_t mtime_ns = 0;
+    std::shared_ptr<const nn::ConnectionMatrix> network;
+    std::map<std::size_t, double> thresholds;  // keyed by max_size
+  };
+
+  /// Loads-or-refreshes the entry for `path` under mutex_. Returns the
+  /// map iterator (never end()).
+  std::map<std::string, Entry>::iterator lookup(const std::string& path);
+  void touch(const std::string& path);
+  void evict_if_needed();
+
+  const std::size_t max_networks_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  CacheStats stats_;
+};
+
+}  // namespace autoncs::service

@@ -1,0 +1,74 @@
+// Per-job supervision (docs/service.md): every flow job the daemon runs
+// goes through run_job, which wraps the pipeline in the FlowError
+// taxonomy and implements the service-level recovery ladder:
+//
+//   - deadline: the job's deadline_ms feeds every stage wall budget
+//     (in-stage hangs degrade to best-so-far) and the caller's cancel
+//     token aborts between stages (resource.deadline), so a hung stage
+//     is cancelled at the next stage boundary;
+//   - retry with exponential backoff for retryable failures (Numerical /
+//     Resource, except deadline cancellations), capped attempts; every
+//     retry resumes from the job's last good checkpoint, so a crash
+//     after clustering never recomputes clustering;
+//   - crash containment: CheckError, bad_alloc and unknown exceptions
+//     are converted to typed outcomes; a fatal (internal) failure dumps
+//     the flight-recorder ring next to the job's error manifest and the
+//     worker returns to the pool — the daemon never dies with a job.
+//
+// Fault-injected jobs (testing only) arm the process-global fault
+// registry, so run_job serializes them: a job carrying a fault spec takes
+// an exclusive lock while every normal job holds it shared — the
+// deterministic fire schedule cannot leak into an unrelated job.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "service/session_cache.hpp"
+
+namespace autoncs::service {
+
+struct SupervisorOptions {
+  /// Attempt cap for retryable failures (>= 1); requests may lower but
+  /// never exceed it.
+  std::size_t max_attempts = 3;
+  /// Exponential backoff between attempts: initial * multiplier^(n-1),
+  /// capped at backoff_max_ms. Kept short — the failures being retried
+  /// are deterministic-transient (fault injection, allocation pressure),
+  /// not remote services.
+  double backoff_initial_ms = 25.0;
+  double backoff_multiplier = 4.0;
+  double backoff_max_ms = 1000.0;
+  /// Deadline applied when a request does not set its own; 0 = none.
+  double default_deadline_ms = 0.0;
+  /// Worker threads each flow may use when the request does not ask for
+  /// a specific count.
+  std::size_t flow_threads = 1;
+  /// Per-job checkpoint dirs live under here; "" disables checkpoints
+  /// (and therefore warm-started retries — they recompute instead).
+  std::string work_dir;
+  /// Per-job run/error manifests (and fatal-failure flight dumps) land
+  /// here as <id>.manifest.json / <id>.flight.json; "" disables.
+  std::string artifact_dir;
+  /// Honor request fault specs (testing only; off in production).
+  bool allow_fault = false;
+};
+
+/// Counters run_job reports back to the server's stats.
+struct JobCounters {
+  std::size_t retries = 0;
+  bool deadline_cancelled = false;
+};
+
+/// Runs one flow job to a terminal outcome. Never throws. `job_key` is a
+/// collision-free key for the job's scratch dirs (the server suffixes a
+/// sequence number so a reused client id cannot collide); `cancel` is the
+/// watchdog's token (may be null).
+JobOutcome run_job(const JobRequest& request, const std::string& job_key,
+                   const SupervisorOptions& options, SessionCache& cache,
+                   const std::atomic<bool>* cancel,
+                   JobCounters* counters = nullptr);
+
+}  // namespace autoncs::service

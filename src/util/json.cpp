@@ -137,9 +137,12 @@ namespace {
 /// Recursive-descent recognizer over [pos, text.size()).
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  Parser(const std::string& text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
 
   bool parse() {
+    if (limits_.max_bytes != 0 && text_.size() > limits_.max_bytes)
+      return false;
     skip_ws();
     if (!value()) return false;
     skip_ws();
@@ -148,7 +151,6 @@ class Parser {
 
  private:
   bool value() {
-    if (depth_ > 256) return false;  // defense against pathological nesting
     if (pos_ >= text_.size()) return false;
     switch (text_[pos_]) {
       case '{': return object();
@@ -162,6 +164,9 @@ class Parser {
   }
 
   bool object() {
+    // Defense against pathological nesting: recursion depth (and therefore
+    // stack use) is bounded by the limit.
+    if (static_cast<std::size_t>(depth_) >= limits_.max_depth) return false;
     ++depth_;
     ++pos_;  // '{'
     skip_ws();
@@ -182,6 +187,7 @@ class Parser {
   }
 
   bool array() {
+    if (static_cast<std::size_t>(depth_) >= limits_.max_depth) return false;
     ++depth_;
     ++pos_;  // '['
     skip_ws();
@@ -264,6 +270,7 @@ class Parser {
   char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
 
   const std::string& text_;
+  const JsonLimits& limits_;
   std::size_t pos_ = 0;
   int depth_ = 0;
 };
@@ -273,9 +280,12 @@ class Parser {
 /// stays allocation-free for the validate-json hot path.
 class DomParser {
  public:
-  explicit DomParser(const std::string& text) : text_(text) {}
+  DomParser(const std::string& text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
 
   bool parse(JsonValue& out) {
+    if (limits_.max_bytes != 0 && text_.size() > limits_.max_bytes)
+      return false;
     skip_ws();
     if (!value(out)) return false;
     skip_ws();
@@ -284,7 +294,6 @@ class DomParser {
 
  private:
   bool value(JsonValue& out) {
-    if (depth_ > 256) return false;
     if (pos_ >= text_.size()) return false;
     switch (text_[pos_]) {
       case '{': return object(out);
@@ -300,6 +309,7 @@ class DomParser {
   }
 
   bool object(JsonValue& out) {
+    if (static_cast<std::size_t>(depth_) >= limits_.max_depth) return false;
     out.kind = JsonValue::Kind::kObject;
     ++depth_;
     ++pos_;  // '{'
@@ -324,6 +334,7 @@ class DomParser {
   }
 
   bool array(JsonValue& out) {
+    if (static_cast<std::size_t>(depth_) >= limits_.max_depth) return false;
     out.kind = JsonValue::Kind::kArray;
     ++depth_;
     ++pos_;  // '['
@@ -444,13 +455,20 @@ class DomParser {
   char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
 
   const std::string& text_;
+  const JsonLimits& limits_;
   std::size_t pos_ = 0;
   int depth_ = 0;
 };
 
 }  // namespace
 
-bool json_valid(const std::string& text) { return Parser(text).parse(); }
+bool json_valid(const std::string& text) {
+  return json_valid(text, JsonLimits{});
+}
+
+bool json_valid(const std::string& text, const JsonLimits& limits) {
+  return Parser(text, limits).parse();
+}
 
 const JsonValue* JsonValue::find(const std::string& key) const {
   if (kind != Kind::kObject) return nullptr;
@@ -461,8 +479,13 @@ const JsonValue* JsonValue::find(const std::string& key) const {
 }
 
 bool json_parse(const std::string& text, JsonValue& out) {
+  return json_parse(text, out, JsonLimits{});
+}
+
+bool json_parse(const std::string& text, JsonValue& out,
+                const JsonLimits& limits) {
   out = JsonValue{};
-  return DomParser(text).parse(out);
+  return DomParser(text, limits).parse(out);
 }
 
 bool write_text_file(const std::string& path, const std::string& content) {

@@ -60,10 +60,26 @@ class JsonWriter {
   bool after_key_ = false;
 };
 
+/// Parser hardening knobs. Both parsers reject — never crash on — input
+/// exceeding these bounds, so they are safe to point at adversarial data
+/// (network requests, user-supplied files). The recursion depth of either
+/// parser is bounded by max_depth, which keeps a deeply nested document
+/// from overflowing the stack.
+struct JsonLimits {
+  /// Maximum container nesting depth. A document nested deeper is a parse
+  /// error. Must be small enough that max_depth recursive frames fit the
+  /// caller's stack (the historical default, 256, is conservative).
+  std::size_t max_depth = 256;
+  /// Maximum input size in bytes; 0 = unlimited. Checked before parsing,
+  /// so an oversized document is rejected in O(1).
+  std::size_t max_bytes = 0;
+};
+
 /// Strict JSON recognizer: true iff `text` is one complete, valid JSON
-/// value (with optional surrounding whitespace). Used by the telemetry
-/// tests to parse the emitted artifacts back.
+/// value (with optional surrounding whitespace) within `limits`. Used by
+/// the telemetry tests to parse the emitted artifacts back.
 bool json_valid(const std::string& text);
+bool json_valid(const std::string& text, const JsonLimits& limits);
 
 /// Minimal JSON DOM, the read-side counterpart of JsonWriter. Built for
 /// loading back the artifacts this library writes (checkpoints, manifests):
@@ -92,8 +108,10 @@ class JsonValue {
 
 /// Parses one complete JSON value (optional surrounding whitespace).
 /// Returns false and leaves `out` unspecified on any syntax error; accepts
-/// exactly the same language json_valid does.
+/// exactly the same language json_valid does, within the same limits.
 bool json_parse(const std::string& text, JsonValue& out);
+bool json_parse(const std::string& text, JsonValue& out,
+                const JsonLimits& limits);
 
 /// Writes `content` to `path`, returning false on I/O failure.
 bool write_text_file(const std::string& path, const std::string& content);

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "autoncs/pipeline.hpp"
+#include "autoncs/telemetry.hpp"
 #include "nn/generators.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -191,6 +192,56 @@ TEST_F(CheckpointTest, ResumeWithoutCheckpointsRunsCleanly) {
   const auto result = run_autoncs(small_network(), config);
   EXPECT_FALSE(result.resumed);
   EXPECT_GT(result.cost.total_wirelength_um, 0.0);
+}
+
+TEST_F(CheckpointTest, MismatchRecordsStructuredRecoveryEvent) {
+  FlowConfig config = fast_config();
+  config.checkpoint.dir = dir_;
+  (void)run_autoncs(small_network(), config);
+
+  // Direct probe: a present-but-incompatible checkpoint must both return
+  // nothing AND leave a typed event behind (not just a log warning).
+  FlowConfig other = fast_config();
+  other.seed = config.seed + 1;
+  util::RecoveryLog log;
+  EXPECT_FALSE(checkpoint::load_placement(dir_, other, &log).has_value());
+  EXPECT_FALSE(checkpoint::load_clustering(dir_, other, &log).has_value());
+  ASSERT_GE(log.events().size(), 2u);
+  for (const auto& event : log.events()) {
+    EXPECT_EQ(event.point, "checkpoint.mismatch");
+    EXPECT_EQ(event.action, "recompute");
+    EXPECT_EQ(event.stage, "flow");
+    EXPECT_TRUE(event.recovered);
+    EXPECT_FALSE(event.alters_result);
+  }
+  // A missing checkpoint is the normal cold start — no event.
+  util::RecoveryLog clean;
+  const std::string empty_dir = dir_ + "_empty";
+  EXPECT_FALSE(
+      checkpoint::load_placement(empty_dir, config, &clean).has_value());
+  EXPECT_TRUE(clean.empty());
+}
+
+TEST_F(CheckpointTest, MismatchEventIsVisibleInRunManifest) {
+  FlowConfig config = fast_config();
+  config.checkpoint.dir = dir_;
+  (void)run_autoncs(small_network(), config);
+
+  FlowConfig other = fast_config();
+  other.seed = config.seed + 1;
+  other.checkpoint.dir = dir_;
+  other.checkpoint.resume = true;
+  const auto result = run_autoncs(small_network(), other);
+  // The stale checkpoints were recomputed, and the run says so.
+  EXPECT_FALSE(result.resumed);
+  bool found = false;
+  for (const auto& event : result.recovery.events())
+    found = found || event.point == "checkpoint.mismatch";
+  EXPECT_TRUE(found);
+  const std::string manifest =
+      telemetry::run_manifest_json(other, result, "autoncs");
+  EXPECT_NE(manifest.find("checkpoint.mismatch"), std::string::npos);
+  EXPECT_NE(manifest.find("recompute"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,90 @@
+// Admission-control queue: bounded capacity with immediate shedding, and
+// the drain states workers rely on for graceful shutdown.
+#include "service/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace autoncs::service {
+namespace {
+
+Job job(const std::string& id) {
+  Job j;
+  j.request.id = id;
+  j.respond = [](const std::string&) {};
+  return j;
+}
+
+TEST(JobQueue, ShedsWhenFull) {
+  JobQueue queue(2);
+  EXPECT_EQ(queue.push(job("a")), PushResult::kAccepted);
+  EXPECT_EQ(queue.push(job("b")), PushResult::kAccepted);
+  EXPECT_EQ(queue.push(job("c")), PushResult::kQueueFull);
+  EXPECT_EQ(queue.size(), 2u);
+  // Popping one frees one slot.
+  EXPECT_TRUE(queue.pop().has_value());
+  EXPECT_EQ(queue.push(job("c")), PushResult::kAccepted);
+}
+
+TEST(JobQueue, PopsInFifoOrder) {
+  JobQueue queue(4);
+  (void)queue.push(job("a"));
+  (void)queue.push(job("b"));
+  EXPECT_EQ(queue.pop()->request.id, "a");
+  EXPECT_EQ(queue.pop()->request.id, "b");
+}
+
+TEST(JobQueue, DrainRefusesNewWorkButDeliversQueued) {
+  JobQueue queue(4);
+  (void)queue.push(job("a"));
+  queue.begin_drain();
+  EXPECT_TRUE(queue.draining());
+  EXPECT_EQ(queue.push(job("b")), PushResult::kDraining);
+  // The queued job still comes out; after that, poppers see the end.
+  auto first = queue.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->request.id, "a");
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(JobQueue, CloseWakesBlockedPopperAndReturnsAbandonedJobs) {
+  JobQueue queue(4);
+  (void)queue.push(job("left-behind"));
+  std::thread popper([&] {
+    // First pop gets the queued job; the second blocks until close().
+    EXPECT_TRUE(queue.pop().has_value());
+    EXPECT_FALSE(queue.pop().has_value());
+  });
+  // Give the popper time to drain the queue and block.
+  while (queue.size() > 0) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const auto abandoned = queue.close();
+  popper.join();
+  EXPECT_TRUE(abandoned.empty());
+
+  JobQueue second(4);
+  (void)second.push(job("x"));
+  (void)second.push(job("y"));
+  const auto left = second.close();
+  ASSERT_EQ(left.size(), 2u);
+  EXPECT_EQ(left[0].request.id, "x");
+}
+
+TEST(JobQueue, ConcurrentProducersNeverExceedCapacity) {
+  JobQueue queue(8);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&queue, t] {
+      for (int i = 0; i < 50; ++i)
+        (void)queue.push(job(std::to_string(t) + "-" + std::to_string(i)));
+    });
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_LE(queue.size(), 8u);
+}
+
+}  // namespace
+}  // namespace autoncs::service

@@ -1,0 +1,134 @@
+// Hardened request validation: every malformed, oversized, or out-of-range
+// request line must come back as a typed rejection — never an exception,
+// never a silently defaulted job.
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace autoncs::service {
+namespace {
+
+RequestLimits limits() { return RequestLimits{}; }
+
+TEST(ParseRequest, AcceptsMinimalFlow) {
+  const auto result =
+      parse_request("{\"op\":\"flow\",\"network\":\"net.ncsnet\"}", limits());
+  ASSERT_TRUE(result.ok) << result.error_message;
+  EXPECT_EQ(result.request.op, Op::kFlow);
+  EXPECT_EQ(result.request.network, "net.ncsnet");
+  EXPECT_EQ(result.request.seed, 2015u);
+  EXPECT_EQ(result.request.max_size, 64u);
+}
+
+TEST(ParseRequest, AcceptsEveryKnob) {
+  const auto result = parse_request(
+      "{\"op\":\"flow\",\"id\":\"run-1.a\",\"network\":\"n.ncsnet\","
+      "\"seed\":7,\"max_size\":16,\"threads\":2,\"deadline_ms\":5000,"
+      "\"max_attempts\":2,\"fault\":\"flow.bad_alloc\"}",
+      limits());
+  ASSERT_TRUE(result.ok) << result.error_message;
+  EXPECT_EQ(result.request.id, "run-1.a");
+  EXPECT_EQ(result.request.seed, 7u);
+  EXPECT_EQ(result.request.max_size, 16u);
+  EXPECT_EQ(result.request.threads, 2u);
+  EXPECT_EQ(result.request.deadline_ms, 5000.0);
+  EXPECT_EQ(result.request.max_attempts, 2u);
+  EXPECT_EQ(result.request.fault, "flow.bad_alloc");
+}
+
+TEST(ParseRequest, ControlOpsParse) {
+  EXPECT_EQ(parse_request("{\"op\":\"ping\"}", limits()).request.op,
+            Op::kPing);
+  EXPECT_EQ(parse_request("{\"op\":\"stats\"}", limits()).request.op,
+            Op::kStats);
+  EXPECT_EQ(parse_request("{\"op\":\"shutdown\"}", limits()).request.op,
+            Op::kShutdown);
+}
+
+TEST(ParseRequest, RejectsMalformedLines) {
+  for (const char* bad : {
+           "",                                    // empty
+           "not json",                            // not JSON at all
+           "[1,2,3]",                             // not an object
+           "{\"op\":\"flow\"}",                   // flow without network
+           "{\"network\":\"x\"}",                 // missing op
+           "{\"op\":\"fly\",\"network\":\"x\"}",  // unknown op
+           "{\"op\":\"flow\",\"network\":\"\"}",  // empty network
+           "{\"op\":\"flow\",\"network\":\"x\",\"color\":1}",  // unknown field
+           "{\"op\":\"flow\",\"network\":\"x\",\"seed\":-1}",
+           "{\"op\":\"flow\",\"network\":\"x\",\"seed\":1.5}",
+           "{\"op\":\"flow\",\"network\":\"x\",\"max_size\":2}",
+           "{\"op\":\"flow\",\"network\":\"x\",\"max_size\":4096}",
+           "{\"op\":\"flow\",\"network\":\"x\",\"threads\":0}",
+           "{\"op\":\"flow\",\"network\":\"x\",\"max_attempts\":0}",
+           "{\"op\":\"flow\",\"network\":\"x\",\"deadline_ms\":-5}",
+           "{\"op\":\"flow\",\"network\":\"x\",\"id\":\"bad id\"}",
+           "{\"op\":\"flow\",\"network\":\"x\",\"id\":\"\"}",
+           "{\"op\":\"ping\",\"network\":\"x\"}",  // flow field on control op
+       }) {
+    const auto result = parse_request(bad, limits());
+    EXPECT_FALSE(result.ok) << bad;
+    EXPECT_EQ(result.error_code, "invalid_request") << bad;
+    EXPECT_FALSE(result.error_message.empty()) << bad;
+  }
+}
+
+TEST(ParseRequest, RejectsOversizedAndDeepLines) {
+  const std::string big =
+      "{\"op\":\"flow\",\"network\":\"" + std::string(70000, 'x') + "\"}";
+  const auto too_large = parse_request(big, limits());
+  EXPECT_FALSE(too_large.ok);
+  EXPECT_EQ(too_large.error_code, "request_too_large");
+
+  std::string deep = "{\"op\":";
+  for (int i = 0; i < 100; ++i) deep += "[";
+  const auto nested = parse_request(deep, limits());
+  EXPECT_FALSE(nested.ok);
+  EXPECT_EQ(nested.error_code, "invalid_request");
+}
+
+TEST(Responses, AreSingleLineValidJson) {
+  JobOutcome ok;
+  ok.ok = true;
+  ok.cost.total_wirelength_um = 10.0;
+  JobOutcome error;
+  error.error_category = "resource";
+  error.error_code = "resource.deadline";
+  error.error_stage = "flow";
+  error.error_message = "cancelled \"late\"\n";
+  ServiceStats stats;
+  stats.jobs_ok = 3;
+  for (const std::string& line :
+       {response_ok("a", ok, 1.5), response_error("b", error, 0.0),
+        response_rejected("", "queue_full", "full"),
+        response_rejected("c", "invalid_request", "why"), response_pong(),
+        response_stats(stats), response_shutting_down()}) {
+    EXPECT_TRUE(util::json_valid(line)) << line;
+    EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+  }
+}
+
+TEST(Responses, ErrorCarriesTaxonomyFields) {
+  JobOutcome outcome;
+  outcome.attempts = 3;
+  outcome.error_category = "numerical";
+  outcome.error_code = "cg.diverged";
+  outcome.error_stage = "placement";
+  outcome.error_message = "boom";
+  const std::string line = response_error("j", outcome, 2.0);
+  util::JsonValue doc;
+  ASSERT_TRUE(util::json_parse(line, doc));
+  const util::JsonValue* error = doc.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->find("category")->string_value, "numerical");
+  EXPECT_EQ(error->find("code")->string_value, "cg.diverged");
+  EXPECT_EQ(error->find("stage")->string_value, "placement");
+  EXPECT_EQ(doc.find("attempts")->number_value, 3.0);
+}
+
+}  // namespace
+}  // namespace autoncs::service

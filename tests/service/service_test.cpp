@@ -1,0 +1,258 @@
+// End-to-end daemon drills over a real Unix socket, in process: protocol
+// round trips, result parity with a direct pipeline run, admission
+// control, hardened request handling, deadlines and graceful drain.
+// Fault-injection walks live in soak_test.cpp (own binary — the fault
+// registry is process-global).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autoncs/pipeline.hpp"
+#include "nn/generators.hpp"
+#include "nn/io.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::service {
+namespace {
+
+nn::ConnectionMatrix small_network() {
+  util::Rng rng(5);
+  nn::BlockSparseOptions topology;
+  topology.blocks = 4;
+  topology.intra_density = 0.45;
+  topology.inter_density = 0.01;
+  return nn::block_sparse(48, topology, rng);
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // sockaddr_un caps paths around 100 bytes, so build a short one
+    // directly under /tmp instead of the (long) gtest temp dir.
+    base_ = "/tmp/ancs_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++);
+    std::filesystem::create_directories(base_);
+    network_path_ = base_ + "/net.ncsnet";
+    ASSERT_TRUE(nn::save_network(small_network(), network_path_));
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  ServerOptions options() {
+    ServerOptions options;
+    options.socket_path = base_ + "/svc.sock";
+    options.workers = 2;
+    options.queue_capacity = 2;
+    options.supervisor.work_dir = base_ + "/work";
+    options.supervisor.artifact_dir = base_;
+    return options;
+  }
+
+  std::string flow_line(const std::string& id,
+                        const std::string& extra = "") {
+    return "{\"op\":\"flow\",\"id\":\"" + id + "\",\"network\":\"" +
+           network_path_ + "\",\"max_size\":16,\"seed\":77" + extra + "}";
+  }
+
+  static util::JsonValue parse(const std::string& line) {
+    util::JsonValue doc;
+    EXPECT_TRUE(util::json_parse(line, doc)) << line;
+    return doc;
+  }
+
+  std::string base_;
+  std::string network_path_;
+  static std::atomic<int> counter_;
+};
+
+std::atomic<int> ServiceTest::counter_{0};
+
+TEST_F(ServiceTest, PingStatsRoundTrip) {
+  Server server(options());
+  server.start();
+  Client client(server.socket_path());
+  EXPECT_EQ(client.request("{\"op\":\"ping\"}", 10000), response_pong());
+  const auto stats = parse(client.request("{\"op\":\"stats\"}", 10000));
+  EXPECT_EQ(stats.find("status")->string_value, "stats");
+  EXPECT_EQ(stats.find("workers")->number_value, 2.0);
+  server.request_drain();
+  server.wait();
+}
+
+TEST_F(ServiceTest, FlowJobMatchesDirectPipelineRun) {
+  // The daemon must be a transparent wrapper: same network, same seed,
+  // same knobs → bit-identical cost to calling run_autoncs directly.
+  FlowConfig config;
+  config.seed = 77;
+  config.isc.crossbar_sizes = {16};
+  config.baseline_crossbar_size = 16;
+  const auto direct = run_autoncs(small_network(), config);
+
+  Server server(options());
+  server.start();
+  Client client(server.socket_path());
+  const auto doc = parse(client.request(flow_line("parity"), 600000));
+  ASSERT_EQ(doc.find("status")->string_value, "ok")
+      << client.request("{\"op\":\"stats\"}", 10000);
+  const util::JsonValue* cost = doc.find("cost");
+  ASSERT_NE(cost, nullptr);
+  EXPECT_EQ(cost->find("wirelength_um")->number_value,
+            direct.cost.total_wirelength_um);
+  EXPECT_EQ(cost->find("area_um2")->number_value, direct.cost.area_um2);
+  EXPECT_EQ(cost->find("average_delay_ns")->number_value,
+            direct.cost.average_delay_ns);
+  EXPECT_EQ(doc.find("attempts")->number_value, 1.0);
+  // The per-job manifest landed in the artifact dir.
+  bool manifest_found = false;
+  for (const auto& entry : std::filesystem::directory_iterator(base_)) {
+    const std::string name = entry.path().filename().string();
+    manifest_found = manifest_found ||
+                     (name.rfind("parity.", 0) == 0 &&
+                      name.find(".manifest.json") != std::string::npos);
+  }
+  EXPECT_TRUE(manifest_found);
+  server.request_drain();
+  server.wait();
+}
+
+TEST_F(ServiceTest, MalformedAndOversizedLinesGetTypedRejections) {
+  Server server(options());
+  server.start();
+  Client client(server.socket_path());
+  const auto bad = parse(client.request("this is not json", 10000));
+  EXPECT_EQ(bad.find("status")->string_value, "rejected");
+  EXPECT_EQ(bad.find("error")->find("code")->string_value,
+            "invalid_request");
+  // An oversized line is rejected while still partial, and the SAME
+  // connection keeps working afterwards (the daemon resyncs on newline).
+  const std::string huge(options().limits.max_request_bytes + 1024, 'x');
+  const auto too_large = parse(client.request(huge, 10000));
+  EXPECT_EQ(too_large.find("status")->string_value, "rejected");
+  EXPECT_EQ(too_large.find("error")->find("code")->string_value,
+            "request_too_large");
+  EXPECT_EQ(client.request("{\"op\":\"ping\"}", 10000), response_pong());
+  // A fault spec without --allow-fault is refused.
+  const auto fault = parse(client.request(
+      flow_line("f1", ",\"fault\":\"flow.bad_alloc\""), 10000));
+  EXPECT_EQ(fault.find("status")->string_value, "rejected");
+  server.request_drain();
+  server.wait();
+}
+
+TEST_F(ServiceTest, QueueFullShedsWithTypedRejection) {
+  Server server(options());  // 2 workers, queue capacity 2
+  server.start();
+  server.pause_workers();  // freeze the pool so pushes stay queued
+  Client client(server.socket_path());
+  client.send_line(flow_line("q1"));
+  client.send_line(flow_line("q2"));
+  // Wait until both occupy the queue, then overflow it.
+  for (int i = 0; i < 200; ++i) {
+    if (server.stats().queue_depth == 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.stats().queue_depth, 2u);
+  const auto shed = parse(client.request(flow_line("q3"), 10000));
+  EXPECT_EQ(shed.find("status")->string_value, "rejected");
+  EXPECT_EQ(shed.find("error")->find("code")->string_value, "queue_full");
+  EXPECT_EQ(shed.find("id")->string_value, "q3");
+  // Unfreeze: the two queued jobs complete and answer.
+  server.resume_workers();
+  int ok = 0;
+  for (int i = 0; i < 2; ++i) {
+    const auto doc = parse(client.read_line(600000));
+    ok += doc.find("status")->string_value == "ok" ? 1 : 0;
+  }
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(server.stats().jobs_rejected_queue_full, 1u);
+  server.request_drain();
+  server.wait();
+}
+
+TEST_F(ServiceTest, DeadlineCancelsHungJobWithTypedError) {
+  // A 1 ms deadline cannot fit a flow: the watchdog trips the cancel
+  // token and the job dies with resource.deadline — and the daemon then
+  // serves the next job normally.
+  Server server(options());
+  server.start();
+  Client client(server.socket_path());
+  const auto doc = parse(
+      client.request(flow_line("dl", ",\"deadline_ms\":1"), 600000));
+  EXPECT_EQ(doc.find("status")->string_value, "error");
+  EXPECT_EQ(doc.find("error")->find("code")->string_value,
+            "resource.deadline");
+  EXPECT_EQ(doc.find("error")->find("category")->string_value, "resource");
+  EXPECT_GE(server.stats().deadline_cancelled, 1u);
+  const auto next = parse(client.request(flow_line("after-dl"), 600000));
+  EXPECT_EQ(next.find("status")->string_value, "ok");
+  server.request_drain();
+  server.wait();
+}
+
+TEST_F(ServiceTest, ShutdownOpDrainsGracefully) {
+  Server server(options());
+  server.start();
+  server.pause_workers();  // hold the job in the queue across the drain
+  Client client(server.socket_path());
+  client.send_line(flow_line("last"));
+  for (int i = 0; i < 200 && server.stats().queue_depth != 1; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_EQ(server.stats().queue_depth, 1u);
+  // Shut down with the job still queued: drain must run it to completion
+  // and answer before the daemon stops (drain overrides the pause).
+  Client control(server.socket_path());
+  EXPECT_EQ(control.request("{\"op\":\"shutdown\"}", 10000),
+            response_shutting_down());
+  const auto doc = parse(client.read_line(600000));
+  EXPECT_EQ(doc.find("status")->string_value, "ok");
+  server.wait();
+  // Fully stopped: the socket file is gone and connecting fails.
+  EXPECT_FALSE(std::filesystem::exists(server.socket_path()));
+  EXPECT_THROW(Client{server.socket_path()}, util::InputError);
+}
+
+TEST_F(ServiceTest, ConcurrentJobsAllAnswerAndCacheWarms) {
+  auto opts = options();
+  opts.queue_capacity = 16;
+  Server server(std::move(opts));
+  server.start();
+  Client client(server.socket_path());
+  constexpr int kJobs = 6;
+  for (int i = 0; i < kJobs; ++i)
+    client.send_line(flow_line("c" + std::to_string(i)));
+  int ok = 0;
+  std::vector<double> wirelengths;
+  for (int i = 0; i < kJobs; ++i) {
+    const auto doc = parse(client.read_line(600000));
+    if (doc.find("status")->string_value == "ok") {
+      ++ok;
+      wirelengths.push_back(
+          doc.find("cost")->find("wirelength_um")->number_value);
+    }
+  }
+  EXPECT_EQ(ok, kJobs);
+  // Identical request → identical result, across workers and cache hits.
+  for (const double w : wirelengths) EXPECT_EQ(w, wirelengths.front());
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.jobs_ok, static_cast<std::size_t>(kJobs));
+  // One network parse total; the threshold may be computed twice when
+  // both workers miss concurrently (it is computed outside the lock), but
+  // never once per job.
+  EXPECT_EQ(stats.network_cache_misses, 1u);
+  EXPECT_LE(stats.threshold_cache_misses, 2u);
+  EXPECT_GE(stats.network_cache_hits, static_cast<std::size_t>(kJobs - 1));
+  server.request_drain();
+  server.wait();
+}
+
+}  // namespace
+}  // namespace autoncs::service

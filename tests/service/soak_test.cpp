@@ -1,0 +1,163 @@
+// Service soak drill (docs/service.md): walk EVERY point of the fault
+// catalog through the daemon over a real socket and prove the resilience
+// contract — every response is typed, recovered jobs are bit-identical to
+// the clean run, a clean job right after each fault still matches, and
+// the daemon never stops serving.
+//
+// Own test binary (like tests/fault): fault-injected jobs arm the
+// process-global fault registry, so this must not share a process with
+// suites that assume clean runs.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "nn/generators.hpp"
+#include "nn/io.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "util/fault.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace autoncs::service {
+namespace {
+
+nn::ConnectionMatrix small_network() {
+  util::Rng rng(5);
+  nn::BlockSparseOptions topology;
+  topology.blocks = 4;
+  topology.intra_density = 0.45;
+  topology.inter_density = 0.01;
+  return nn::block_sparse(48, topology, rng);
+}
+
+std::string sanitize(const std::string& point) {
+  std::string id = point;
+  for (char& c : id) {
+    if (c == '@' || c == '*') c = '_';
+  }
+  return id;
+}
+
+TEST(ServiceSoak, SurvivesEveryFaultPointAndKeepsServing) {
+  const std::string base =
+      "/tmp/ancs_soak_" + std::to_string(::getpid());
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+  const std::string network_path = base + "/net.ncsnet";
+  ASSERT_TRUE(nn::save_network(small_network(), network_path));
+
+  ServerOptions options;
+  options.socket_path = base + "/svc.sock";
+  options.workers = 2;
+  options.queue_capacity = 8;
+  options.supervisor.work_dir = base + "/work";
+  options.supervisor.artifact_dir = base;
+  options.supervisor.allow_fault = true;
+  Server server(std::move(options));
+  server.start();
+  Client client(server.socket_path());
+
+  const auto flow_line = [&](const std::string& id,
+                             const std::string& fault) {
+    std::string line = "{\"op\":\"flow\",\"id\":\"" + id +
+                       "\",\"network\":\"" + network_path +
+                       "\",\"max_size\":16,\"seed\":77";
+    if (!fault.empty()) line += ",\"fault\":\"" + fault + "\"";
+    return line + "}";
+  };
+  const auto submit = [&](const std::string& id, const std::string& fault) {
+    util::JsonValue doc;
+    const std::string response = client.request(flow_line(id, fault), 600000);
+    EXPECT_TRUE(util::json_parse(response, doc)) << response;
+    return doc;
+  };
+
+  // Clean reference run: every later bit-identical claim compares to this.
+  const auto reference = submit("reference", "");
+  ASSERT_EQ(reference.find("status")->string_value, "ok");
+  const double ref_wl =
+      reference.find("cost")->find("wirelength_um")->number_value;
+  const double ref_area = reference.find("cost")->find("area_um2")->number_value;
+
+  std::size_t failed_typed = 0;
+  std::size_t clean_checks = 0;
+  for (const std::string& point : util::fault_point_catalog()) {
+    SCOPED_TRACE(point);
+    const auto doc = submit("soak-" + sanitize(point), point);
+    const std::string status = doc.find("status")->string_value;
+    if (status == "ok") {
+      // Recovered (in-flow ladder or supervisor retry). A non-degraded
+      // recovery must be bit-identical to the clean run.
+      const bool degraded = doc.find("degraded")->bool_value;
+      if (!degraded) {
+        EXPECT_EQ(doc.find("cost")->find("wirelength_um")->number_value,
+                  ref_wl);
+        EXPECT_EQ(doc.find("cost")->find("area_um2")->number_value, ref_area);
+      }
+      // Note: a point whose code path this small config never reaches
+      // (e.g. the Lanczos solver on a dense-eigensolver-sized network)
+      // legitimately yields a clean, event-free run — the contract here
+      // is only that recovery, when it happens, is correct and reported.
+    } else {
+      // Not recoverable: the failure must still be fully typed.
+      ASSERT_EQ(status, "error");
+      const util::JsonValue* error = doc.find("error");
+      ASSERT_NE(error, nullptr);
+      EXPECT_FALSE(error->find("category")->string_value.empty());
+      EXPECT_FALSE(error->find("code")->string_value.empty());
+      EXPECT_FALSE(error->find("stage")->string_value.empty());
+      ++failed_typed;
+    }
+    // The daemon must keep answering correctly after EVERY fault walk:
+    // control plane, then a clean job bit-identical to the reference.
+    Client probe(server.socket_path());
+    EXPECT_EQ(probe.request("{\"op\":\"ping\"}", 10000), response_pong());
+    const auto clean = submit("clean-" + sanitize(point), "");
+    ASSERT_EQ(clean.find("status")->string_value, "ok");
+    EXPECT_FALSE(clean.find("degraded")->bool_value);
+    EXPECT_EQ(clean.find("cost")->find("wirelength_um")->number_value,
+              ref_wl);
+    ++clean_checks;
+  }
+  EXPECT_EQ(clean_checks, util::fault_point_catalog().size());
+  // At least the injected-crash point is genuinely not recoverable.
+  EXPECT_GE(failed_typed, 1u);
+
+  // Supervisor retry path, explicitly: a post-clustering allocation crash
+  // is retried and warm-started from the checkpoint (resumed, 2 attempts,
+  // bit-identical) — clustering was NOT recomputed from scratch.
+  const auto retried = submit("retry", "flow.bad_alloc");
+  ASSERT_EQ(retried.find("status")->string_value, "ok");
+  EXPECT_EQ(retried.find("attempts")->number_value, 2.0);
+  EXPECT_TRUE(retried.find("resumed")->bool_value);
+  EXPECT_EQ(retried.find("cost")->find("wirelength_um")->number_value,
+            ref_wl);
+
+  // Retry exhaustion: a fault firing on EVERY hit defeats the attempt cap
+  // and must surface as a typed resource error — not a hang, not a crash.
+  const auto exhausted = submit("exhaust", "flow.bad_alloc@*");
+  ASSERT_EQ(exhausted.find("status")->string_value, "error");
+  EXPECT_EQ(exhausted.find("error")->find("category")->string_value,
+            "resource");
+  EXPECT_EQ(exhausted.find("attempts")->number_value, 3.0);
+
+  // And after everything: still serving, stats consistent, then a clean
+  // graceful drain.
+  const auto final_clean = submit("final", "");
+  EXPECT_EQ(final_clean.find("status")->string_value, "ok");
+  util::JsonValue stats;
+  ASSERT_TRUE(util::json_parse(client.request("{\"op\":\"stats\"}", 10000),
+                               stats));
+  EXPECT_GE(stats.find("jobs_ok")->number_value, 8.0);
+  EXPECT_GE(stats.find("retries")->number_value, 1.0);
+  server.request_drain();
+  server.wait();
+  std::filesystem::remove_all(base);
+}
+
+}  // namespace
+}  // namespace autoncs::service

@@ -136,6 +136,50 @@ TEST(JsonParse, RejectsWhatJsonValidRejects) {
   }
 }
 
+TEST(JsonLimits, PathologicallyDeepDocumentIsRejectedNotCrashed) {
+  // 100k open brackets would overflow the stack of a naive recursive
+  // parser; the default depth limit (256) must turn it into a parse
+  // failure long before that.
+  const std::string deep(100000, '[');
+  EXPECT_FALSE(json_valid(deep + std::string(100000, ']')));
+  JsonValue doc;
+  EXPECT_FALSE(json_parse(deep + std::string(100000, ']'), doc));
+  // Truncated mid-descent: still a clean rejection.
+  EXPECT_FALSE(json_valid(deep));
+  EXPECT_FALSE(json_parse(deep, doc));
+  const std::string deep_objects_truncated = [] {
+    std::string text;
+    for (int i = 0; i < 5000; ++i) text += "{\"k\":";
+    return text;
+  }();
+  EXPECT_FALSE(json_valid(deep_objects_truncated));
+}
+
+TEST(JsonLimits, DepthLimitBoundaryIsExact) {
+  JsonLimits limits;
+  limits.max_depth = 3;
+  // Exactly max_depth nested containers parse; one more fails — and a
+  // SCALAR at max depth is unaffected (the limit counts containers).
+  EXPECT_TRUE(json_valid("[[[1]]]", limits));
+  EXPECT_FALSE(json_valid("[[[[1]]]]", limits));
+  JsonValue doc;
+  EXPECT_TRUE(json_parse("{\"a\":{\"b\":[1,2,3]}}", doc, limits));
+  EXPECT_FALSE(json_parse("{\"a\":{\"b\":[[1]]}}", doc, limits));
+  EXPECT_TRUE(json_parse("7", doc, limits));
+}
+
+TEST(JsonLimits, MaxBytesCapRejectsOversizedInputUpFront) {
+  JsonLimits limits;
+  limits.max_bytes = 16;
+  EXPECT_TRUE(json_valid("{\"a\":1}", limits));
+  const std::string big = "\"" + std::string(64, 'x') + "\"";
+  EXPECT_FALSE(json_valid(big, limits));
+  JsonValue doc;
+  EXPECT_FALSE(json_parse(big, doc, limits));
+  // 0 (the default) means unlimited.
+  EXPECT_TRUE(json_valid(big));
+}
+
 TEST(WriteTextFile, RoundTrips) {
   const std::string path =
       ::testing::TempDir() + "/autoncs_json_test_artifact.json";

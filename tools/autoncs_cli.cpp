@@ -41,9 +41,15 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include <csignal>
+
 #include "autoncs/pipeline.hpp"
 #include "autoncs/report.hpp"
 #include "autoncs/telemetry.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
 #include "nn/generators.hpp"
 #include "nn/io.hpp"
 #include "nn/stats.hpp"
@@ -111,6 +117,15 @@ int usage() {
                "[--manifest run.json]\n"
                "  autoncs validate-json FILE... [--jsonl]   strict JSON (or "
                "JSONL) artifact check\n"
+               "  autoncs serve --socket PATH [--workers N] [--queue N] "
+               "[--deadline-ms X]\n"
+               "               [--max-attempts N] [--work-dir DIR] "
+               "[--artifact-dir DIR] [--allow-fault]\n"
+               "  autoncs submit FILE --socket PATH [--id ID] [--seed N] "
+               "[--max-size S] [--threads T]\n"
+               "               [--deadline-ms X] [--max-attempts N] "
+               "[--timeout-ms X]\n"
+               "  autoncs submit --socket PATH --op ping|stats|shutdown\n"
                "common options:\n"
                "  --log-level debug|info|warn|error|off   stderr verbosity "
                "(default warn)\n"
@@ -315,6 +330,110 @@ int cmd_flow(const Args& args) {
   return 0;
 }
 
+// SIGTERM/SIGINT request a graceful drain by writing one byte to the
+// server's wake pipe — the only async-signal-safe thing a handler may do
+// with the server (docs/service.md).
+volatile std::sig_atomic_t g_drain_fd = -1;
+
+extern "C" void handle_drain_signal(int) {
+  if (g_drain_fd >= 0) {
+    const char byte = 'd';
+    [[maybe_unused]] const ssize_t n =
+        ::write(static_cast<int>(g_drain_fd), &byte, 1);
+  }
+}
+
+int cmd_serve(const Args& args) {
+  service::ServerOptions options;
+  options.socket_path = args.get("socket", "");
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr, "serve: --socket PATH is required\n");
+    return 2;
+  }
+  options.workers = static_cast<std::size_t>(args.get_long("workers", 2));
+  options.queue_capacity =
+      static_cast<std::size_t>(args.get_long("queue", 8));
+  options.supervisor.default_deadline_ms = args.get_double("deadline-ms", 0.0);
+  options.supervisor.max_attempts =
+      static_cast<std::size_t>(args.get_long("max-attempts", 3));
+  options.supervisor.flow_threads =
+      static_cast<std::size_t>(args.get_long("threads", 1));
+  // Warm-started retries need checkpoints, so the work dir defaults on
+  // (next to the socket); artifacts stay opt-in.
+  options.supervisor.work_dir =
+      args.get("work-dir", options.socket_path + ".work");
+  options.supervisor.artifact_dir = args.get("artifact-dir", "");
+  options.supervisor.allow_fault = args.has("allow-fault");
+
+  service::Server server(std::move(options));
+  server.start();
+  g_drain_fd = server.drain_fd();
+  std::signal(SIGTERM, handle_drain_signal);
+  std::signal(SIGINT, handle_drain_signal);
+  std::printf("serving on %s\n", server.socket_path().c_str());
+  std::fflush(stdout);
+  server.wait();
+  g_drain_fd = -1;
+  return 0;
+}
+
+int cmd_submit(const Args& args) {
+  const std::string socket_path = args.get("socket", "");
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "submit: --socket PATH is required\n");
+    return 2;
+  }
+  const std::string op = args.get("op", "flow");
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("op", op);
+  if (op == "flow") {
+    if (args.positional.empty()) {
+      std::fprintf(stderr, "submit: flow requests need a network FILE\n");
+      return 2;
+    }
+    if (args.has("id")) w.field("id", args.get("id", ""));
+    w.field("network", args.positional[0]);
+    if (args.has("seed"))
+      w.field("seed", static_cast<std::size_t>(args.get_long("seed", 2015)));
+    if (args.has("max-size"))
+      w.field("max_size",
+              static_cast<std::size_t>(args.get_long("max-size", 64)));
+    if (args.has("threads"))
+      w.field("threads",
+              static_cast<std::size_t>(args.get_long("threads", 1)));
+    if (args.has("deadline-ms"))
+      w.field("deadline_ms", args.get_double("deadline-ms", 0.0));
+    if (args.has("max-attempts"))
+      w.field("max_attempts",
+              static_cast<std::size_t>(args.get_long("max-attempts", 3)));
+    if (args.has("fault")) w.field("fault", args.get("fault", ""));
+  }
+  w.end_object();
+
+  service::Client client(socket_path);
+  const std::string response =
+      client.request(w.str(), args.get_double("timeout-ms", 0.0));
+  std::printf("%s\n", response.c_str());
+
+  // Exit code mirrors the taxonomy so scripts can triage without parsing:
+  // rejected → 2, typed job errors → their category's code.
+  util::JsonValue doc;
+  if (!util::json_parse(response, doc) || !doc.is_object()) return 5;
+  const util::JsonValue* status = doc.find("status");
+  if (status == nullptr || !status->is_string()) return 5;
+  if (status->string_value == "rejected") return 2;
+  if (status->string_value != "error") return 0;
+  const util::JsonValue* error = doc.find("error");
+  const util::JsonValue* category =
+      error != nullptr ? error->find("category") : nullptr;
+  if (category == nullptr || !category->is_string()) return 5;
+  if (category->string_value == "input") return 2;
+  if (category->string_value == "numerical") return 3;
+  if (category->string_value == "resource") return 4;
+  return 5;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -342,6 +461,8 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(args);
     if (command == "flow") return cmd_flow(args);
     if (command == "validate-json") return cmd_validate_json(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "submit") return cmd_submit(args);
     return usage();
   } catch (const util::FlowError& e) {
     std::fprintf(stderr, "autoncs: %s\n", e.what());
